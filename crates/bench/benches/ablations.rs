@@ -1,0 +1,102 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * incremental cost combination (`BagCost::combine` overrides) vs the
+//!   generic assemble-the-bag-list fallback;
+//! * LB-Triang vs MCS-M as the baseline's black-box minimal triangulator;
+//! * reusing one `Preprocessed` across many constrained `MinTriang` calls vs
+//!   rebuilding it each time (the paper's shared-initialization decision).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtr_chordal::{lb_triang_identity, mcs_m};
+use mtr_core::cost::{BagCost, CostValue, Width};
+use mtr_core::{min_triangulation, Preprocessed, RankedEnumerator};
+use mtr_graph::{Graph, VertexSet};
+use mtr_workloads::random::gnp_connected;
+use mtr_workloads::structured::grid;
+use std::time::Duration;
+
+/// Width evaluated without the incremental `combine` override: forces the
+/// DP to assemble every candidate's bag list.
+struct NaiveWidth;
+
+impl BagCost for NaiveWidth {
+    fn name(&self) -> String {
+        "width-naive".into()
+    }
+    fn cost_of_bags(&self, g: &Graph, scope: &VertexSet, bags: &[VertexSet]) -> CostValue {
+        Width.cost_of_bags(g, scope, bags)
+    }
+}
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid4x4", grid(4, 4)),
+        ("gnp20_020", gnp_connected(20, 0.20, 7)),
+    ]
+}
+
+fn bench_incremental_vs_naive_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_combine");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, g) in instances() {
+        let pre = Preprocessed::new(&g);
+        group.bench_with_input(BenchmarkId::new("incremental", name), &pre, |b, pre| {
+            b.iter(|| min_triangulation(pre, &Width))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &pre, |b, pre| {
+            b.iter(|| min_triangulation(pre, &NaiveWidth))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangulator_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_black_box_triangulator");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, g) in instances() {
+        group.bench_with_input(BenchmarkId::new("lb_triang", name), &g, |b, g| {
+            b.iter(|| lb_triang_identity(g))
+        });
+        group.bench_with_input(BenchmarkId::new("mcs_m", name), &g, |b, g| {
+            b.iter(|| mcs_m(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_vs_rebuilt_initialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_shared_initialization");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, g) in instances() {
+        // Shared: one Preprocessed reused by the enumerator for 5 results.
+        group.bench_with_input(BenchmarkId::new("shared", name), &g, |b, g| {
+            b.iter(|| {
+                let pre = Preprocessed::new(g);
+                RankedEnumerator::new(&pre, &Width).take(5).count()
+            })
+        });
+        // Rebuilt: preprocessing recomputed before every result (what the
+        // verbatim pseudocode of the paper would do).
+        group.bench_with_input(BenchmarkId::new("rebuilt", name), &g, |b, g| {
+            b.iter(|| {
+                let mut produced = 0usize;
+                for _ in 0..5 {
+                    let pre = Preprocessed::new(g);
+                    produced += RankedEnumerator::new(&pre, &Width)
+                        .nth(produced)
+                        .is_some() as usize;
+                }
+                produced
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_vs_naive_combine,
+    bench_triangulator_choice,
+    bench_shared_vs_rebuilt_initialization
+);
+criterion_main!(benches);

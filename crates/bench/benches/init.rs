@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the initialization pipeline: minimal
+//! separator enumeration, PMC enumeration, and the full `Preprocessed`
+//! construction (the paper's "init" column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtr_core::Preprocessed;
+use mtr_graph::Graph;
+use mtr_pmc::potential_maximal_cliques;
+use mtr_separators::minimal_separators;
+use mtr_workloads::random::gnp_connected;
+use mtr_workloads::structured::{grid, mycielski};
+use std::time::Duration;
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("paper", mtr_graph::paper_example_graph()),
+        ("grid4x4", grid(4, 4)),
+        ("myciel4", mycielski(4)),
+        ("gnp20_020", gnp_connected(20, 0.20, 7)),
+        ("gnp25_015", gnp_connected(25, 0.15, 7)),
+    ]
+}
+
+fn bench_minseps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimal_separators");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, g) in instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| minimal_separators(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pmcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential_maximal_cliques");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, g) in instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| potential_maximal_cliques(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess_full");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, g) in instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| Preprocessed::new(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess_bounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess_bounded_width4");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, g) in instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| Preprocessed::new_bounded(g, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_minseps,
+    bench_pmcs,
+    bench_preprocess,
+    bench_preprocess_bounded
+);
+criterion_main!(benches);

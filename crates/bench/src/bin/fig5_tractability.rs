@@ -1,0 +1,96 @@
+//! Figure 5: tractability of computing the minimal separators and the PMCs
+//! over the dataset families.
+//!
+//! For every instance the initialization is attempted under a time budget;
+//! instances are classified as *terminated* (MinSep and PMC both finished),
+//! *ms-terminated* (only MinSep finished) or *not-terminated*, and the
+//! per-family counts are reported exactly like the stacked bars of Figure 5.
+//!
+//! `MTR_SCALE=smoke|standard|large` and `MTR_BUDGET_SECS=<pmc seconds>`
+//! control the workload.
+
+use mtr_bench::{budget_from_env, scale_from_env, write_report};
+use mtr_workloads::experiment::{
+    render_csv, render_markdown, secs, tractability_study, TractabilityBudget,
+    TractabilityStatus,
+};
+use mtr_workloads::{all_datasets, Dataset};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn main() {
+    let scale = scale_from_env();
+    let pmc_budget = budget_from_env(10.0);
+    let budget = TractabilityBudget {
+        minsep_time: pmc_budget.min(Duration::from_secs(2)),
+        minsep_limit: 200_000,
+        pmc_time: pmc_budget,
+    };
+    let datasets: Vec<Dataset> = all_datasets(scale);
+    eprintln!(
+        "fig5: {} families at {scale:?} scale, MinSep budget {} s, PMC budget {} s",
+        datasets.len(),
+        secs(budget.minsep_time),
+        secs(budget.pmc_time)
+    );
+
+    let rows = tractability_study(&datasets, &budget);
+
+    // Per-instance CSV (the raw data).
+    let instance_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.instance.clone(),
+                r.n.to_string(),
+                r.m.to_string(),
+                r.status.label().to_string(),
+                r.num_minseps.map_or("-".into(), |k| k.to_string()),
+                r.num_pmcs.map_or("-".into(), |k| k.to_string()),
+                secs(r.minsep_time),
+                secs(r.pmc_time),
+            ]
+        })
+        .collect();
+    let headers = [
+        "dataset", "instance", "n", "m", "status", "minseps", "pmcs", "minsep_time", "pmc_time",
+    ];
+    let csv = render_csv(&headers, &instance_rows);
+    let path = write_report("fig5_tractability.csv", &csv);
+    eprintln!("wrote {}", path.display());
+
+    // Per-family aggregate (the figure itself).
+    let mut per_family: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for r in &rows {
+        let entry = per_family.entry(r.dataset.clone()).or_default();
+        match r.status {
+            TractabilityStatus::Terminated => entry.0 += 1,
+            TractabilityStatus::MsTerminated => entry.1 += 1,
+            TractabilityStatus::NotTerminated => entry.2 += 1,
+        }
+    }
+    let agg_rows: Vec<Vec<String>> = per_family
+        .iter()
+        .map(|(name, (t, ms, nt))| {
+            vec![
+                name.clone(),
+                t.to_string(),
+                ms.to_string(),
+                nt.to_string(),
+            ]
+        })
+        .collect();
+    let md = render_markdown(
+        &["dataset", "terminated", "ms-terminated", "not-terminated"],
+        &agg_rows,
+    );
+    println!("# Figure 5 — tractability of the poly-MS assumption\n");
+    println!("{md}");
+    let total_terminated: usize = per_family.values().map(|v| v.0).sum();
+    let total: usize = rows.len();
+    println!(
+        "\n{total_terminated}/{total} instances fully terminated ({}%).",
+        100 * total_terminated / total.max(1)
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 7: the number of minimal separators of Erdős–Rényi graphs
+//! `G(n, p)` as a function of `p`, for several values of `n`, with timeout
+//! marks where the enumeration did not finish (the paper's red marks).
+//!
+//! The paper samples n ∈ {20, 30, 50, 70} and three graphs per probability;
+//! the default here keeps n ∈ {20, 30, 50} so the run stays laptop-sized —
+//! set `MTR_SCALE=large` to add n = 70.
+
+use mtr_bench::{budget_from_env, scale_from_env, write_report};
+use mtr_workloads::experiment::{random_minsep_study, render_csv, render_markdown, secs};
+use mtr_workloads::DatasetScale;
+
+fn main() {
+    let scale = scale_from_env();
+    let ns: Vec<u32> = match scale {
+        DatasetScale::Smoke => vec![15, 20],
+        DatasetScale::Standard => vec![20, 30, 50],
+        DatasetScale::Large => vec![20, 30, 50, 70],
+    };
+    let ps: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let seeds = 3;
+    let limit = 2_000_000;
+    let time_budget = budget_from_env(10.0);
+
+    eprintln!(
+        "fig7: n ∈ {ns:?}, p ∈ [0.05, 0.95], {seeds} seeds each, budget {} s per graph",
+        secs(time_budget)
+    );
+    let rows = random_minsep_study(&ns, &ps, seeds, limit, time_budget);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.2}", r.p),
+                r.seed.to_string(),
+                r.m.to_string(),
+                r.num_minseps.map_or("timeout".into(), |k| k.to_string()),
+                secs(r.time),
+            ]
+        })
+        .collect();
+    let headers = ["n", "p", "seed", "m", "minseps", "time"];
+    let csv = render_csv(&headers, &table);
+    let path = write_report("fig7_random_minseps.csv", &csv);
+    eprintln!("wrote {}", path.display());
+
+    // Aggregate per (n, p): average count (or timeout marker) — the series
+    // plotted in Figure 7.
+    println!("# Figure 7 — minimal separators of G(n, p)\n");
+    let mut agg: Vec<Vec<String>> = Vec::new();
+    for &n in &ns {
+        for &p in &ps {
+            let points: Vec<_> = rows
+                .iter()
+                .filter(|r| r.n == n && (r.p - p).abs() < 1e-9)
+                .collect();
+            let timeouts = points.iter().filter(|r| r.num_minseps.is_none()).count();
+            let finished: Vec<usize> = points.iter().filter_map(|r| r.num_minseps).collect();
+            let avg = if finished.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.0}", finished.iter().sum::<usize>() as f64 / finished.len() as f64)
+            };
+            agg.push(vec![
+                n.to_string(),
+                format!("{p:.2}"),
+                avg,
+                timeouts.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_markdown(&["n", "p", "avg_minseps", "timeouts"], &agg)
+    );
+    println!(
+        "\nExpected shape (paper): few separators for sparse and dense graphs, a blow-up around p ≈ 0.2–0.3."
+    );
+}

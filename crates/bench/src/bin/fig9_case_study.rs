@@ -1,0 +1,82 @@
+//! Figure 9: case studies on two specific graphs — the number of results and
+//! the width of the returned triangulations over time, for RankedTriang and
+//! for CKK.
+//!
+//! The paper uses a CSP graph (`myciel5g_3`) and an object-detection graph;
+//! the stand-ins are the Mycielski-5 CSP graph and a segmentation-style
+//! noisy grid, both large enough that neither algorithm exhausts the space
+//! within the budget. The output bins the execution into
+//! fixed intervals and reports, per interval, the cumulative number of
+//! results plus the minimum and median width among the results produced so
+//! far — the three series of each subplot of Figure 9.
+
+use mtr_bench::{budget_from_env, write_report};
+use mtr_workloads::experiment::{render_csv, render_markdown, timeline_study, AlgorithmRun};
+use mtr_workloads::structured;
+use std::time::Duration;
+
+fn binned_rows(name: &str, algorithm: &str, run: &AlgorithmRun, budget: Duration, bins: usize) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for b in 1..=bins {
+        let cutoff = budget.mul_f64(b as f64 / bins as f64);
+        let widths: Vec<usize> = run
+            .samples
+            .iter()
+            .filter(|s| s.elapsed <= cutoff)
+            .map(|s| s.width)
+            .collect();
+        let count = widths.len();
+        let (min_w, median_w) = if widths.is_empty() {
+            ("-".to_string(), "-".to_string())
+        } else {
+            let mut sorted = widths.clone();
+            sorted.sort_unstable();
+            (
+                sorted[0].to_string(),
+                sorted[sorted.len() / 2].to_string(),
+            )
+        };
+        rows.push(vec![
+            name.to_string(),
+            algorithm.to_string(),
+            format!("{:.2}", cutoff.as_secs_f64()),
+            count.to_string(),
+            min_w,
+            median_w,
+        ]);
+    }
+    rows
+}
+
+fn main() {
+    let budget = budget_from_env(5.0);
+    let bins = 10;
+    let cases = vec![
+        ("csp_myciel5", structured::mycielski(5)),
+        ("segmentation_5x5", structured::noisy_grid(5, 5, 0.25, 77)),
+    ];
+
+    let headers = ["graph", "algorithm", "time", "results", "min_width", "median_width"];
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+    for (name, g) in &cases {
+        eprintln!("fig9: running {} ({} vertices, {} edges)…", name, g.n(), g.m());
+        let (ranked, ckk) = timeline_study(g, budget);
+        if let Some(run) = &ranked {
+            all_rows.extend(binned_rows(name, "RankedTriang", run, budget, bins));
+        } else {
+            eprintln!("  RankedTriang initialization did not finish within the budget");
+        }
+        all_rows.extend(binned_rows(name, "CKK", &ckk, budget, bins));
+    }
+
+    println!("# Figure 9 — results and widths over time (case studies)\n");
+    println!("{}", render_markdown(&headers, &all_rows));
+    let csv = render_csv(&headers, &all_rows);
+    let path = write_report("fig9_case_study.csv", &csv);
+    eprintln!("wrote {}", path.display());
+    println!(
+        "\nExpected shape (paper): RankedTriang's min and median width coincide (all results \
+         optimal) and its result count grows steadily after the initialization; CKK produces \
+         results from the start but with higher and fluctuating median width."
+    );
+}

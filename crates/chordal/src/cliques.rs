@@ -1,0 +1,189 @@
+//! Maximal cliques of chordal graphs.
+//!
+//! A chordal graph on `n` vertices has fewer than `n` maximal cliques
+//! (Theorem 2.2 of the paper, originally Rose 1970) and they can be read off
+//! any perfect elimination ordering: each vertex `v` contributes the
+//! candidate clique `{v} ∪ {later-eliminated neighbors of v}`, and the
+//! maximal cliques are the inclusion-maximal candidates.
+
+use crate::mcs::perfect_elimination_ordering;
+use mtr_graph::{Graph, Vertex, VertexSet};
+
+/// Returns the maximal cliques of a chordal graph, or `None` if `g` is not
+/// chordal.
+///
+/// The cliques are returned in a deterministic order (sorted by the
+/// arbitrary-but-total order on [`VertexSet`]).
+pub fn maximal_cliques_chordal(g: &Graph) -> Option<Vec<VertexSet>> {
+    let peo = perfect_elimination_ordering(g)?;
+    Some(maximal_cliques_from_peo(g, &peo))
+}
+
+/// Returns the maximal cliques of a chordal graph given one of its perfect
+/// elimination orderings.
+///
+/// The caller is responsible for `peo` actually being a PEO of `g`; this is
+/// debug-asserted.
+pub fn maximal_cliques_from_peo(g: &Graph, peo: &[Vertex]) -> Vec<VertexSet> {
+    debug_assert!(crate::mcs::is_perfect_elimination_ordering(g, peo));
+    let n = g.n() as usize;
+    let mut position = vec![usize::MAX; n];
+    for (i, &v) in peo.iter().enumerate() {
+        position[v as usize] = i;
+    }
+    let mut candidates: Vec<VertexSet> = Vec::with_capacity(n);
+    for &v in peo {
+        let mut c = VertexSet::singleton(g.n(), v);
+        for u in g.neighbors(v).iter() {
+            if position[u as usize] > position[v as usize] {
+                c.insert(u);
+            }
+        }
+        candidates.push(c);
+    }
+    // Keep only inclusion-maximal candidates. A chordal graph has at most n
+    // maximal cliques, so the quadratic filter is cheap.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut maximal: Vec<VertexSet> = Vec::new();
+    for c in candidates {
+        if !maximal.iter().any(|m| c.is_subset_of(m)) {
+            maximal.push(c);
+        }
+    }
+    maximal.sort();
+    maximal
+}
+
+/// Brute-force maximal clique enumeration (Bron–Kerbosch with pivoting) for
+/// *arbitrary* graphs. Used as a reference in tests and for the small
+/// clique-graph constructions; exponential in the worst case.
+pub fn maximal_cliques_bruteforce(g: &Graph) -> Vec<VertexSet> {
+    fn bron_kerbosch(
+        g: &Graph,
+        r: &mut VertexSet,
+        mut p: VertexSet,
+        mut x: VertexSet,
+        out: &mut Vec<VertexSet>,
+    ) {
+        if p.is_empty() && x.is_empty() {
+            out.push(r.clone());
+            return;
+        }
+        // Pivot on the vertex of P ∪ X with the most neighbors in P.
+        let pivot = p
+            .union(&x)
+            .iter()
+            .max_by_key(|&u| g.neighbors(u).intersection_len(&p))
+            .expect("P ∪ X is non-empty here");
+        let candidates = p.difference(g.neighbors(pivot));
+        for v in candidates.iter() {
+            r.insert(v);
+            bron_kerbosch(
+                g,
+                r,
+                p.intersection(g.neighbors(v)),
+                x.intersection(g.neighbors(v)),
+                out,
+            );
+            r.remove(v);
+            p.remove(v);
+            x.insert(v);
+        }
+    }
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut r = VertexSet::empty(g.n());
+    bron_kerbosch(g, &mut r, VertexSet::full(g.n()), VertexSet::empty(g.n()), &mut out);
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn cliques_of_a_path() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cliques = maximal_cliques_chordal(&path).unwrap();
+        assert_eq!(cliques.len(), 3);
+        assert!(cliques.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn cliques_of_complete_graph() {
+        let g = Graph::complete(5);
+        let cliques = maximal_cliques_chordal(&g).unwrap();
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 5);
+    }
+
+    #[test]
+    fn non_chordal_returns_none() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(maximal_cliques_chordal(&c4).is_none());
+    }
+
+    #[test]
+    fn cliques_of_paper_triangulations() {
+        // H1 = G with {w1,w2,w3} saturated: maximal cliques
+        // {u,w1,w2,w3}, {v,w1,w2,w3}, {v,v'}.
+        let mut h1 = paper_example_graph();
+        h1.add_edge(3, 4);
+        h1.add_edge(3, 5);
+        h1.add_edge(4, 5);
+        let cliques = maximal_cliques_chordal(&h1).unwrap();
+        assert_eq!(cliques.len(), 3);
+        let expected: Vec<VertexSet> = vec![
+            VertexSet::from_slice(6, &[0, 3, 4, 5]),
+            VertexSet::from_slice(6, &[1, 3, 4, 5]),
+            VertexSet::from_slice(6, &[1, 2]),
+        ];
+        for e in &expected {
+            assert!(cliques.contains(e), "missing clique {e:?}");
+        }
+        // H2 = G + {u,v}: maximal cliques {u,v,w1}, {u,v,w2}, {u,v,w3}, {v,v'}.
+        let mut h2 = paper_example_graph();
+        h2.add_edge(0, 1);
+        let cliques2 = maximal_cliques_chordal(&h2).unwrap();
+        assert_eq!(cliques2.len(), 4);
+    }
+
+    #[test]
+    fn chordal_cliques_match_bruteforce() {
+        // A chordal graph: two triangles sharing an edge plus a pendant.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let fast = maximal_cliques_chordal(&g).unwrap();
+        let brute = maximal_cliques_bruteforce(&g);
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn bruteforce_on_cycle() {
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let cliques = maximal_cliques_bruteforce(&c5);
+        assert_eq!(cliques.len(), 5);
+        assert!(cliques.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn bruteforce_edge_cases() {
+        assert!(maximal_cliques_bruteforce(&Graph::new(0)).is_empty());
+        let isolated = Graph::new(3);
+        let cliques = maximal_cliques_bruteforce(&isolated);
+        assert_eq!(cliques.len(), 3);
+        assert!(cliques.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn chordal_clique_count_bound() {
+        // |MaxClq(G)| < |V(G)| for chordal graphs with at least one edge
+        // (Theorem 2.2(2)); for edgeless graphs it equals |V|.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let cliques = maximal_cliques_chordal(&g).unwrap();
+        assert!(cliques.len() < 6);
+    }
+}

@@ -1,0 +1,136 @@
+//! Clique trees of chordal graphs.
+//!
+//! A clique tree of a chordal graph `H` is a tree decomposition of `H` whose
+//! bags are exactly the maximal cliques of `H` (Theorem 2.2). Clique trees
+//! are exactly the maximum-weight spanning trees of the *clique graph*: the
+//! complete graph over the maximal cliques where the weight of an edge is
+//! the size of the intersection of its two cliques (Bernstein–Goodman; see
+//! also Blair–Peyton).
+
+use crate::cliques::maximal_cliques_chordal;
+use crate::treedec::TreeDecomposition;
+use mtr_graph::{Graph, VertexSet};
+
+/// Builds one clique tree of the chordal graph `h`, or returns `None` when
+/// `h` is not chordal.
+///
+/// The tree is a maximum-weight spanning tree of the clique graph, computed
+/// with Prim's algorithm; for disconnected graphs the per-component trees
+/// are linked by zero-weight edges so the result is always a single tree.
+pub fn clique_tree(h: &Graph) -> Option<TreeDecomposition> {
+    let cliques = maximal_cliques_chordal(h)?;
+    Some(clique_tree_from_cliques(cliques))
+}
+
+/// Builds a clique tree given the maximal cliques of a chordal graph.
+///
+/// This is the same maximum-weight spanning tree construction as
+/// [`clique_tree`], exposed separately so callers that already know the
+/// maximal cliques (e.g. the triangulation DP, which assembles bags itself)
+/// can skip the chordality machinery.
+pub fn clique_tree_from_cliques(cliques: Vec<VertexSet>) -> TreeDecomposition {
+    let k = cliques.len();
+    if k == 0 {
+        return TreeDecomposition::new(Vec::new(), Vec::new());
+    }
+    // Prim's algorithm over the complete clique graph with weights
+    // |C_i ∩ C_j|; zero weights are allowed so the result spans every clique
+    // even when the underlying graph is disconnected.
+    let mut in_tree = vec![false; k];
+    let mut best_weight = vec![usize::MAX; k];
+    let mut best_parent = vec![usize::MAX; k];
+    let mut edges = Vec::with_capacity(k - 1);
+    in_tree[0] = true;
+    for j in 1..k {
+        best_weight[j] = cliques[0].intersection_len(&cliques[j]);
+        best_parent[j] = 0;
+    }
+    for _ in 1..k {
+        let next = (0..k)
+            .filter(|&j| !in_tree[j])
+            .max_by_key(|&j| best_weight[j])
+            .expect("some clique remains outside the tree");
+        in_tree[next] = true;
+        edges.push((best_parent[next], next));
+        for j in 0..k {
+            if !in_tree[j] {
+                let w = cliques[next].intersection_len(&cliques[j]);
+                if w > best_weight[j] {
+                    best_weight[j] = w;
+                    best_parent[j] = next;
+                }
+            }
+        }
+    }
+    TreeDecomposition::new(cliques, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn clique_tree_of_paper_triangulation_h1() {
+        let mut h1 = paper_example_graph();
+        h1.add_edge(3, 4);
+        h1.add_edge(3, 5);
+        h1.add_edge(4, 5);
+        let t = clique_tree(&h1).unwrap();
+        assert_eq!(t.num_bags(), 3);
+        assert!(t.is_clique_tree_of(&h1));
+        assert!(t.is_valid(&paper_example_graph()));
+        assert_eq!(t.width(), 3);
+    }
+
+    #[test]
+    fn clique_tree_of_paper_triangulation_h2() {
+        let mut h2 = paper_example_graph();
+        h2.add_edge(0, 1);
+        let t = clique_tree(&h2).unwrap();
+        assert_eq!(t.num_bags(), 4);
+        assert!(t.is_clique_tree_of(&h2));
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.fill_in(&paper_example_graph()), 1);
+    }
+
+    #[test]
+    fn clique_tree_of_tree_is_edge_bags() {
+        let tree = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        let t = clique_tree(&tree).unwrap();
+        assert_eq!(t.num_bags(), 4);
+        assert!(t.is_clique_tree_of(&tree));
+        assert_eq!(t.width(), 1);
+        assert_eq!(t.fill_in(&tree), 0);
+    }
+
+    #[test]
+    fn clique_tree_of_complete_graph_is_single_bag() {
+        let g = Graph::complete(4);
+        let t = clique_tree(&g).unwrap();
+        assert_eq!(t.num_bags(), 1);
+        assert!(t.is_clique_tree_of(&g));
+    }
+
+    #[test]
+    fn non_chordal_has_no_clique_tree() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(clique_tree(&c4).is_none());
+    }
+
+    #[test]
+    fn disconnected_chordal_graph_still_yields_one_tree() {
+        // Two disjoint triangles.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let t = clique_tree(&g).unwrap();
+        assert_eq!(t.num_bags(), 2);
+        assert!(t.is_valid(&g));
+        assert!(t.is_clique_tree_of(&g));
+    }
+
+    #[test]
+    fn from_cliques_empty() {
+        let t = clique_tree_from_cliques(Vec::new());
+        assert_eq!(t.num_bags(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Elimination orderings, greedy triangulation heuristics, and treewidth
+//! bounds.
+//!
+//! The ranked enumeration machinery is exact but pays an initialization
+//! cost; practical pipelines (and the paper's experimental setup) also need
+//! cheap heuristics: the *elimination game* turns any vertex ordering into a
+//! triangulation, greedy orderings (min-degree, min-fill) give good widths
+//! fast, and degeneracy / MMD+ style lower bounds certify how far a
+//! heuristic can be from optimal. These are also the standard way to seed
+//! width bounds for `MinTriangB`.
+
+use crate::treedec::TreeDecomposition;
+use mtr_graph::{Graph, Vertex, VertexSet};
+
+/// The result of playing the elimination game on an ordering.
+#[derive(Clone, Debug)]
+pub struct EliminationResult {
+    /// The triangulation `G ∪ fill` (chordal, but not necessarily minimal).
+    pub triangulation: Graph,
+    /// The ordering that was eliminated (first element first).
+    pub ordering: Vec<Vertex>,
+    /// The width of the ordering: the largest number of higher neighbors a
+    /// vertex had at its elimination time.
+    pub width: usize,
+    /// The number of fill edges added.
+    pub fill: usize,
+}
+
+impl EliminationResult {
+    /// The tree decomposition induced by the elimination ordering: one bag
+    /// per vertex (the vertex plus its not-yet-eliminated neighbors at
+    /// elimination time), connected along the elimination order.
+    pub fn tree_decomposition(&self, g: &Graph) -> TreeDecomposition {
+        let n = g.n();
+        if n == 0 {
+            return TreeDecomposition::new(Vec::new(), Vec::new());
+        }
+        let mut position = vec![usize::MAX; n as usize];
+        for (i, &v) in self.ordering.iter().enumerate() {
+            position[v as usize] = i;
+        }
+        let mut bags: Vec<VertexSet> = Vec::with_capacity(n as usize);
+        for (i, &v) in self.ordering.iter().enumerate() {
+            let mut bag = VertexSet::singleton(n, v);
+            for u in self.triangulation.neighbors(v).iter() {
+                if position[u as usize] > i {
+                    bag.insert(u);
+                }
+            }
+            bags.push(bag);
+        }
+        // Connect bag i to the bag of its earliest-eliminated higher
+        // neighbor (its "parent" in the elimination tree); the last bag has
+        // no parent. Vertices whose bag is a singleton in another component
+        // attach to the final bag to keep one tree.
+        let mut edges = Vec::new();
+        for (i, &v) in self.ordering.iter().enumerate() {
+            if i + 1 == self.ordering.len() {
+                break;
+            }
+            let parent = self
+                .triangulation
+                .neighbors(v)
+                .iter()
+                .filter(|&u| position[u as usize] > i)
+                .min_by_key(|&u| position[u as usize]);
+            match parent {
+                Some(p) => edges.push((i, position[p as usize])),
+                None => edges.push((i, self.ordering.len() - 1)),
+            }
+        }
+        TreeDecomposition::new(bags, edges)
+    }
+}
+
+/// Plays the elimination game: eliminate the vertices in the given order,
+/// saturating the current (remaining) neighborhood of each vertex as it is
+/// removed. The result is always a triangulation of `g` whose width equals
+/// the width of the ordering.
+pub fn elimination_game(g: &Graph, ordering: &[Vertex]) -> EliminationResult {
+    let n = g.n();
+    assert_eq!(ordering.len(), n as usize, "ordering must cover all vertices");
+    let mut h = g.clone();
+    let mut remaining = VertexSet::full(n);
+    let mut width = 0usize;
+    for &v in ordering {
+        assert!(remaining.contains(v), "vertex {v} eliminated twice");
+        let nbrs = h.neighbors(v).intersection(&remaining);
+        width = width.max(nbrs.len());
+        h.saturate(&nbrs);
+        remaining.remove(v);
+    }
+    let fill = h.m() - g.m();
+    EliminationResult {
+        triangulation: h,
+        ordering: ordering.to_vec(),
+        width,
+        fill,
+    }
+}
+
+/// Greedy min-degree ordering: repeatedly eliminate a vertex of minimum
+/// degree in the current (partially saturated) graph.
+pub fn min_degree_ordering(g: &Graph) -> Vec<Vertex> {
+    greedy_ordering(g, |h, remaining, v| h.neighbors(v).intersection_len(remaining))
+}
+
+/// Greedy min-fill ordering: repeatedly eliminate a vertex whose elimination
+/// adds the fewest fill edges.
+pub fn min_fill_ordering(g: &Graph) -> Vec<Vertex> {
+    greedy_ordering(g, |h, remaining, v| {
+        let nbrs = h.neighbors(v).intersection(remaining);
+        h.missing_edges_in(&nbrs)
+    })
+}
+
+fn greedy_ordering(
+    g: &Graph,
+    score: impl Fn(&Graph, &VertexSet, Vertex) -> usize,
+) -> Vec<Vertex> {
+    let n = g.n();
+    let mut h = g.clone();
+    let mut remaining = VertexSet::full(n);
+    let mut order = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let v = remaining
+            .iter()
+            .min_by_key(|&v| (score(&h, &remaining, v), v))
+            .expect("remaining is non-empty");
+        let nbrs = h.neighbors(v).intersection(&remaining);
+        h.saturate(&nbrs);
+        remaining.remove(v);
+        order.push(v);
+    }
+    order
+}
+
+/// Upper bound on the treewidth from the better of the min-degree and
+/// min-fill elimination heuristics (returns the full elimination result of
+/// the winner so callers get the ordering and triangulation too).
+pub fn treewidth_upper_bound(g: &Graph) -> EliminationResult {
+    let by_degree = elimination_game(g, &min_degree_ordering(g));
+    let by_fill = elimination_game(g, &min_fill_ordering(g));
+    if by_fill.width < by_degree.width {
+        by_fill
+    } else {
+        by_degree
+    }
+}
+
+/// The degeneracy of the graph (a classic treewidth lower bound): the
+/// largest minimum degree over all subgraphs, computed by repeatedly
+/// removing a minimum-degree vertex.
+pub fn degeneracy(g: &Graph) -> usize {
+    let mut remaining = g.vertex_set();
+    let mut best = 0usize;
+    while !remaining.is_empty() {
+        let v = remaining
+            .iter()
+            .min_by_key(|&v| g.neighbors(v).intersection_len(&remaining))
+            .expect("remaining is non-empty");
+        best = best.max(g.neighbors(v).intersection_len(&remaining));
+        remaining.remove(v);
+    }
+    best
+}
+
+/// The MMD+ (minor-min-degree) treewidth lower bound: repeatedly contract a
+/// minimum-degree vertex into its lowest-degree neighbor, tracking the
+/// largest minimum degree encountered. At least as strong as [`degeneracy`].
+pub fn mmd_plus_lower_bound(g: &Graph) -> usize {
+    let mut h = g.clone();
+    let mut remaining = h.vertex_set();
+    let mut best = 0usize;
+    while remaining.len() > 1 {
+        let v = remaining
+            .iter()
+            .min_by_key(|&v| h.neighbors(v).intersection_len(&remaining))
+            .expect("at least two vertices remain");
+        let deg = h.neighbors(v).intersection_len(&remaining);
+        best = best.max(deg);
+        // Contract v into its minimum-degree remaining neighbor (or simply
+        // remove it when isolated).
+        let target = h
+            .neighbors(v)
+            .intersection(&remaining)
+            .iter()
+            .min_by_key(|&u| h.neighbors(u).intersection_len(&remaining));
+        if let Some(u) = target {
+            let nbrs: Vec<Vertex> = h
+                .neighbors(v)
+                .intersection(&remaining)
+                .iter()
+                .filter(|&w| w != u)
+                .collect();
+            for w in nbrs {
+                h.add_edge(u, w);
+            }
+        }
+        remaining.remove(v);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::is_chordal;
+    use crate::verify::is_triangulation;
+    use mtr_graph::paper_example_graph;
+
+    fn grid3() -> Graph {
+        let idx = |r: u32, c: u32| r * 3 + c;
+        let mut edges = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < 3 {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        Graph::from_edges(9, &edges)
+    }
+
+    #[test]
+    fn elimination_game_produces_a_triangulation() {
+        let g = paper_example_graph();
+        let order: Vec<Vertex> = (0..6).collect();
+        let r = elimination_game(&g, &order);
+        assert!(is_triangulation(&g, &r.triangulation));
+        assert!(is_chordal(&r.triangulation));
+        assert_eq!(r.fill, r.triangulation.m() - g.m());
+        // The induced tree decomposition is valid and has the same width.
+        let td = r.tree_decomposition(&g);
+        assert!(td.is_valid(&g));
+        assert_eq!(td.width(), r.width);
+    }
+
+    #[test]
+    fn elimination_game_on_chordal_graph_with_peo_adds_nothing() {
+        let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = elimination_game(&path, &[0, 1, 2, 3, 4]);
+        assert_eq!(r.fill, 0);
+        assert_eq!(r.width, 1);
+    }
+
+    #[test]
+    fn greedy_orderings_are_permutations() {
+        let g = grid3();
+        for order in [min_degree_ordering(&g), min_fill_ordering(&g)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn heuristics_find_the_grid_treewidth() {
+        // The 3x3 grid has treewidth 3; min-fill finds it.
+        let g = grid3();
+        let ub = treewidth_upper_bound(&g);
+        assert!(ub.width >= 3);
+        assert!(ub.width <= 4);
+        assert!(is_triangulation(&g, &ub.triangulation));
+        let lb = mmd_plus_lower_bound(&g);
+        assert!(lb >= 2);
+        assert!(lb <= ub.width);
+    }
+
+    #[test]
+    fn bounds_bracket_known_treewidths() {
+        // (graph, exact treewidth)
+        let cases: Vec<(Graph, usize)> = vec![
+            (Graph::complete(5), 4),
+            (Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]), 2),
+            (paper_example_graph(), 2),
+            (grid3(), 3),
+            (Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]), 1),
+        ];
+        for (g, tw) in cases {
+            let ub = treewidth_upper_bound(&g).width;
+            let lb = degeneracy(&g).min(mmd_plus_lower_bound(&g));
+            let mmd = mmd_plus_lower_bound(&g);
+            assert!(lb <= tw, "degeneracy-style bound exceeded the treewidth of {g:?}");
+            assert!(mmd <= tw, "MMD+ exceeded the treewidth of {g:?}");
+            assert!(ub >= tw, "upper bound below the treewidth of {g:?}");
+        }
+    }
+
+    #[test]
+    fn degeneracy_of_regular_structures() {
+        assert_eq!(degeneracy(&Graph::complete(6)), 5);
+        assert_eq!(degeneracy(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])), 1);
+        assert_eq!(degeneracy(&grid3()), 2);
+        assert_eq!(degeneracy(&Graph::new(3)), 0);
+    }
+
+    #[test]
+    fn disconnected_and_trivial_inputs() {
+        let g = Graph::new(4);
+        let r = elimination_game(&g, &[3, 1, 0, 2]);
+        assert_eq!(r.width, 0);
+        assert_eq!(r.fill, 0);
+        let td = r.tree_decomposition(&g);
+        assert!(td.is_valid(&g));
+        assert_eq!(mmd_plus_lower_bound(&Graph::new(0)), 0);
+        assert_eq!(elimination_game(&Graph::new(0), &[]).width, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eliminated twice")]
+    fn duplicate_vertices_rejected() {
+        let g = Graph::new(3);
+        elimination_game(&g, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,149 @@
+//! LB-Triang: minimal triangulation from an arbitrary vertex ordering
+//! (Berry, Bordat, Heggernes, Simonet, Villanger 2006).
+//!
+//! The paper's baseline (`CKK`) uses LB-Triang as its black-box minimal
+//! triangulator because it tends to produce triangulations of low width and
+//! fill. LB-Triang processes the vertices in a caller-supplied order and
+//! makes each vertex *LB-simplicial* in turn: for the current graph `H` and
+//! vertex `v`, every set `N_H(C)` for a component `C` of `H \ N_H[v]` is a
+//! minimal separator contained in `N_H(v)`, and saturating all of them keeps
+//! `H` a (sub)graph of some minimal triangulation. After all vertices are
+//! processed, `H` is a minimal triangulation of the input graph.
+
+use mtr_graph::{Graph, Vertex};
+
+/// Computes a minimal triangulation of `g` by running LB-Triang on the given
+/// vertex ordering.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the vertices of `g`.
+pub fn lb_triang(g: &Graph, order: &[Vertex]) -> Graph {
+    let n = g.n() as usize;
+    assert_eq!(order.len(), n, "ordering must cover all vertices");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(
+            !std::mem::replace(&mut seen[v as usize], true),
+            "vertex {v} appears twice in the ordering"
+        );
+    }
+    let mut h = g.clone();
+    for &v in order {
+        // Components of H \ N[v]; their H-neighborhoods are the minimal
+        // separators included in N_H(v). Saturate each of them.
+        let closed = h.closed_neighbors(v);
+        let comps = h.components_excluding(&closed);
+        for c in comps {
+            let sep = h.neighborhood_of_set(&c);
+            h.saturate(&sep);
+        }
+    }
+    h
+}
+
+/// LB-Triang with the identity ordering `0, 1, …, n-1`.
+pub fn lb_triang_identity(g: &Graph) -> Graph {
+    let order: Vec<Vertex> = (0..g.n()).collect();
+    lb_triang(g, &order)
+}
+
+/// LB-Triang with a minimum-degree-first ordering (a common quality
+/// heuristic: low-degree vertices are made LB-simplicial early).
+pub fn lb_triang_min_degree(g: &Graph) -> Graph {
+    let mut order: Vec<Vertex> = (0..g.n()).collect();
+    order.sort_by_key(|&v| (g.degree(v), v));
+    lb_triang(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::is_chordal;
+    use crate::verify::is_minimal_triangulation;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn chordal_graph_is_unchanged() {
+        let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = lb_triang_identity(&path);
+        assert_eq!(h, path);
+        let complete = Graph::complete(5);
+        assert_eq!(lb_triang_identity(&complete), complete);
+    }
+
+    #[test]
+    fn cycle_triangulation_is_minimal() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let h = lb_triang_identity(&c6);
+        assert!(is_chordal(&h));
+        assert!(is_minimal_triangulation(&c6, &h));
+        // Any minimal triangulation of C6 adds exactly 3 fill edges.
+        assert_eq!(h.m(), c6.m() + 3);
+    }
+
+    #[test]
+    fn paper_graph_triangulations() {
+        let g = paper_example_graph();
+        for order in [
+            vec![0, 1, 2, 3, 4, 5],
+            vec![5, 4, 3, 2, 1, 0],
+            vec![2, 0, 1, 3, 4, 5],
+            vec![3, 4, 5, 0, 1, 2],
+        ] {
+            let h = lb_triang(&g, &order);
+            assert!(is_chordal(&h), "order {order:?} produced a non-chordal graph");
+            assert!(
+                is_minimal_triangulation(&g, &h),
+                "order {order:?} produced a non-minimal triangulation"
+            );
+            // The paper's graph has exactly two minimal triangulations:
+            // either add {u,v} (1 fill edge) or saturate {w1,w2,w3} (3 fill edges).
+            assert!(h.m() == g.m() + 1 || h.m() == g.m() + 3);
+        }
+    }
+
+    #[test]
+    fn different_orderings_can_reach_both_paper_triangulations() {
+        let g = paper_example_graph();
+        let mut fills = std::collections::HashSet::new();
+        for order in [
+            vec![0, 1, 2, 3, 4, 5],
+            vec![3, 4, 5, 2, 1, 0],
+            vec![2, 1, 0, 5, 4, 3],
+            vec![5, 0, 1, 2, 3, 4],
+        ] {
+            fills.insert(lb_triang(&g, &order).m() - g.m());
+        }
+        // Both the fill-1 and the fill-3 triangulation should be reachable.
+        assert!(fills.contains(&1), "fill-1 triangulation never produced: {fills:?}");
+        assert!(fills.contains(&3), "fill-3 triangulation never produced: {fills:?}");
+    }
+
+    #[test]
+    fn min_degree_ordering_on_grid() {
+        // 3x3 grid graph.
+        let mut edges = Vec::new();
+        let idx = |r: u32, c: u32| r * 3 + c;
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < 3 {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let g = Graph::from_edges(9, &edges);
+        let h = lb_triang_min_degree(&g);
+        assert!(is_chordal(&h));
+        assert!(is_minimal_triangulation(&g, &h));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_ordering_rejected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        lb_triang(&g, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,49 @@
+//! `mtr-chordal`: chordal-graph machinery for the ranked-triangulations
+//! workspace.
+//!
+//! This crate supplies the substrate around chordality that the paper's
+//! algorithms assume:
+//!
+//! * [`mcs`] — Maximum Cardinality Search, perfect elimination orderings and
+//!   the Tarjan–Yannakakis chordality test;
+//! * [`cliques`] — maximal cliques of chordal graphs (and a Bron–Kerbosch
+//!   reference for arbitrary graphs);
+//! * [`cliquetree`] / [`spanning`] — one clique tree, or all of them, of a
+//!   chordal graph;
+//! * [`treedec`] — the [`TreeDecomposition`] type with validity, width,
+//!   fill-in, and clique-tree checks;
+//! * [`lbtriang`] / [`mcsm`] — the LB-Triang and MCS-M minimal
+//!   triangulation heuristics used by the CKK-style baseline;
+//! * [`elimination`] — elimination-game heuristics (min-degree, min-fill)
+//!   and treewidth lower bounds (degeneracy, MMD+);
+//! * [`verify`] — predicates for "is a (minimal) triangulation", used by
+//!   tests and the experiment harness;
+//! * [`td_io`] — PACE `.td` serialization of tree decompositions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cliques;
+pub mod elimination;
+pub mod cliquetree;
+pub mod lbtriang;
+pub mod mcs;
+pub mod mcsm;
+pub mod spanning;
+pub mod td_io;
+pub mod treedec;
+pub mod verify;
+
+pub use cliques::{maximal_cliques_bruteforce, maximal_cliques_chordal};
+pub use elimination::{
+    degeneracy, elimination_game, min_degree_ordering, min_fill_ordering, mmd_plus_lower_bound,
+    treewidth_upper_bound, EliminationResult,
+};
+pub use cliquetree::{clique_tree, clique_tree_from_cliques};
+pub use lbtriang::{lb_triang, lb_triang_identity, lb_triang_min_degree};
+pub use mcs::{is_chordal, is_perfect_elimination_ordering, mcs_order, perfect_elimination_ordering};
+pub use mcsm::{mcs_m, McsMResult};
+pub use spanning::{clique_trees, clique_trees_from_cliques};
+pub use td_io::{parse_td, write_td, TdParseError};
+pub use treedec::{InvalidDecomposition, TreeDecomposition};
+pub use verify::{fill_edges, is_minimal_triangulation, is_triangulation};

@@ -1,0 +1,187 @@
+//! Maximum Cardinality Search, perfect elimination orderings and the
+//! linear-time chordality test of Tarjan and Yannakakis.
+//!
+//! A graph is chordal iff it admits a *perfect elimination ordering* (PEO):
+//! an order in which every vertex, at the moment it is eliminated, has a
+//! clique as its remaining (later-eliminated) neighborhood. Maximum
+//! Cardinality Search (MCS) visits vertices by decreasing number of visited
+//! neighbors; for chordal graphs the reverse visit order is a PEO, which the
+//! Tarjan–Yannakakis test then verifies.
+
+use mtr_graph::{Graph, Vertex, VertexSet};
+
+/// Returns an MCS visit order (`result[0]` is visited first).
+///
+/// Ties are broken by smallest vertex index so the order is deterministic.
+pub fn mcs_order(g: &Graph) -> Vec<Vertex> {
+    let n = g.n() as usize;
+    let mut weight = vec![0usize; n];
+    let mut visited = VertexSet::empty(g.n());
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..g.n())
+            .filter(|&v| !visited.contains(v))
+            .max_by(|&a, &b| {
+                weight[a as usize]
+                    .cmp(&weight[b as usize])
+                    .then(b.cmp(&a))
+            })
+            .expect("unvisited vertex must exist");
+        visited.insert(v);
+        order.push(v);
+        for u in g.neighbors(v).iter() {
+            if !visited.contains(u) {
+                weight[u as usize] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Checks whether `elimination_order` (first element eliminated first) is a
+/// perfect elimination ordering of `g`.
+///
+/// Uses the Tarjan–Yannakakis criterion: for each vertex `v`, let `S` be the
+/// neighbors of `v` eliminated after `v` and `p` the earliest-eliminated
+/// vertex of `S` (the "parent"); the ordering is perfect iff `S \ {p}` is
+/// always contained in the neighborhood of `p`.
+///
+/// # Panics
+/// Panics if the order does not contain every vertex exactly once.
+pub fn is_perfect_elimination_ordering(g: &Graph, elimination_order: &[Vertex]) -> bool {
+    let n = g.n() as usize;
+    assert_eq!(elimination_order.len(), n, "order must cover all vertices");
+    let mut position = vec![usize::MAX; n];
+    for (i, &v) in elimination_order.iter().enumerate() {
+        assert!(
+            position[v as usize] == usize::MAX,
+            "vertex {v} appears twice in the elimination order"
+        );
+        position[v as usize] = i;
+    }
+    for &v in elimination_order {
+        let pos_v = position[v as usize];
+        // Later-eliminated neighbors of v.
+        let mut later: Vec<Vertex> = g
+            .neighbors(v)
+            .iter()
+            .filter(|&u| position[u as usize] > pos_v)
+            .collect();
+        if later.len() <= 1 {
+            continue;
+        }
+        later.sort_by_key(|&u| position[u as usize]);
+        let parent = later[0];
+        let parent_nbrs = g.neighbors(parent);
+        if !later[1..].iter().all(|&u| parent_nbrs.contains(u)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Linear-time-style chordality test: MCS followed by the PEO check.
+pub fn is_chordal(g: &Graph) -> bool {
+    let mut order = mcs_order(g);
+    order.reverse();
+    is_perfect_elimination_ordering(g, &order)
+}
+
+/// Returns a perfect elimination ordering of a chordal graph, or `None` if
+/// the graph is not chordal.
+pub fn perfect_elimination_ordering(g: &Graph) -> Option<Vec<Vertex>> {
+    let mut order = mcs_order(g);
+    order.reverse();
+    if is_perfect_elimination_ordering(g, &order) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    fn cycle(n: u32) -> Graph {
+        let edges: Vec<(Vertex, Vertex)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn trees_and_cliques_are_chordal() {
+        let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(is_chordal(&path));
+        assert!(is_chordal(&Graph::complete(6)));
+        assert!(is_chordal(&Graph::new(4)));
+        assert!(is_chordal(&Graph::new(0)));
+    }
+
+    #[test]
+    fn long_cycles_are_not_chordal() {
+        assert!(is_chordal(&cycle(3)));
+        assert!(!is_chordal(&cycle(4)));
+        assert!(!is_chordal(&cycle(5)));
+        assert!(!is_chordal(&cycle(8)));
+    }
+
+    #[test]
+    fn cycle_with_chord_is_chordal() {
+        let mut g = cycle(4);
+        g.add_edge(0, 2);
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn paper_graph_is_not_chordal() {
+        // It contains the chordless cycle u—w1—v—w2—u.
+        assert!(!is_chordal(&paper_example_graph()));
+    }
+
+    #[test]
+    fn paper_triangulations_are_chordal() {
+        // H1: saturate {w1,w2,w3} (and S3={v}, S... ) per Figure 1(b).
+        let mut h1 = paper_example_graph();
+        h1.add_edge(3, 4);
+        h1.add_edge(3, 5);
+        h1.add_edge(4, 5);
+        assert!(is_chordal(&h1));
+        // H2: add the edge {u, v}.
+        let mut h2 = paper_example_graph();
+        h2.add_edge(0, 1);
+        assert!(is_chordal(&h2));
+    }
+
+    #[test]
+    fn mcs_order_is_a_permutation() {
+        let g = paper_example_graph();
+        let mut order = mcs_order(&g);
+        order.sort_unstable();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peo_rejects_bad_order_on_chordal_graph() {
+        // A path 0-1-2: eliminating the middle vertex first is not perfect.
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_perfect_elimination_ordering(&path, &[1, 0, 2]));
+        assert!(is_perfect_elimination_ordering(&path, &[0, 1, 2]));
+        assert!(is_perfect_elimination_ordering(&path, &[0, 2, 1]));
+    }
+
+    #[test]
+    fn peo_extraction() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let peo = perfect_elimination_ordering(&path).unwrap();
+        assert!(is_perfect_elimination_ordering(&path, &peo));
+        assert!(perfect_elimination_ordering(&cycle(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn peo_check_rejects_duplicates() {
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        is_perfect_elimination_ordering(&path, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,200 @@
+//! MCS-M: minimal triangulation via Maximum Cardinality Search with fill
+//! (Berry, Blair, Heggernes 2002).
+//!
+//! MCS-M generalizes MCS: vertices are numbered from `n` down to `1` by
+//! decreasing weight, and when a vertex `v` is numbered, every unnumbered
+//! vertex `u` that can reach `v` through unnumbered vertices of strictly
+//! smaller weight gets its weight bumped — and a fill edge `{u, v}` if the
+//! two are not already adjacent. The graph plus the collected fill edges is
+//! a minimal triangulation, and the numbering (reversed) is a perfect
+//! elimination ordering of it.
+//!
+//! It is included both as a second black-box minimal triangulator for the
+//! CKK-style baseline and for ablation benches against LB-Triang.
+
+use mtr_graph::{Graph, Vertex, VertexSet};
+
+/// The result of running MCS-M.
+#[derive(Clone, Debug)]
+pub struct McsMResult {
+    /// The minimal triangulation `G ∪ fill`.
+    pub triangulation: Graph,
+    /// The fill edges added, as `(u, v)` pairs with `u < v`.
+    pub fill: Vec<(Vertex, Vertex)>,
+    /// The computed elimination ordering of the triangulation
+    /// (first element eliminated first).
+    pub elimination_order: Vec<Vertex>,
+}
+
+/// Runs MCS-M on `g`, producing a minimal triangulation.
+///
+/// Ties between equal-weight vertices are broken by smallest index so the
+/// result is deterministic.
+pub fn mcs_m(g: &Graph) -> McsMResult {
+    let n = g.n() as usize;
+    let mut weight = vec![0usize; n];
+    let mut numbered = VertexSet::empty(g.n());
+    let mut fill: Vec<(Vertex, Vertex)> = Vec::new();
+    // visit_order[0] is the vertex numbered n (visited first).
+    let mut visit_order: Vec<Vertex> = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let v = (0..g.n())
+            .filter(|&x| !numbered.contains(x))
+            .max_by(|&a, &b| weight[a as usize].cmp(&weight[b as usize]).then(b.cmp(&a)))
+            .expect("an unnumbered vertex exists");
+        // For every unnumbered u ≠ v: if there is a path v → u through
+        // unnumbered vertices whose intermediate vertices all have weight
+        // strictly smaller than weight[u], bump u (and add a fill edge when
+        // u ∉ N(v)). We compute, for every unnumbered u, the smallest
+        // possible "maximum intermediate weight" over all v→u paths through
+        // unnumbered vertices, via a Dijkstra-style relaxation on the
+        // bottleneck weight.
+        let unnumbered: Vec<Vertex> = (0..g.n())
+            .filter(|&x| !numbered.contains(x) && x != v)
+            .collect();
+        let mut bottleneck: Vec<Option<usize>> = vec![None; n];
+        // Direct neighbors of v have no intermediate vertices: bottleneck 0
+        // (interpreted as "no intermediate", always acceptable).
+        let mut todo: Vec<Vertex> = Vec::new();
+        for u in g.neighbors(v).iter() {
+            if !numbered.contains(u) {
+                bottleneck[u as usize] = Some(0);
+                todo.push(u);
+            }
+        }
+        // Relax until fixpoint (graphs here are small; a simple loop is fine).
+        while let Some(x) = todo.pop() {
+            let through = bottleneck[x as usize].expect("reached vertex has a bottleneck");
+            // Using x as an intermediate vertex costs max(through, weight[x] + 1)
+            // in the sense that every intermediate on the path must have
+            // weight < weight[u]; we track the maximum intermediate weight.
+            let via = through.max(weight[x as usize] + 1);
+            for y in g.neighbors(x).iter() {
+                if numbered.contains(y) || y == v {
+                    continue;
+                }
+                let better = match bottleneck[y as usize] {
+                    None => true,
+                    Some(cur) => via < cur,
+                };
+                if better {
+                    bottleneck[y as usize] = Some(via);
+                    todo.push(y);
+                }
+            }
+        }
+        let mut bumped: Vec<Vertex> = Vec::new();
+        for &u in &unnumbered {
+            if let Some(b) = bottleneck[u as usize] {
+                // The path exists iff every intermediate weight < weight[u],
+                // i.e. the best achievable maximum intermediate weight
+                // (stored as weight+1) is ≤ weight[u].
+                if b <= weight[u as usize] {
+                    bumped.push(u);
+                    if !g.has_edge(u, v) && !fill.contains(&(u.min(v), u.max(v))) {
+                        fill.push((u.min(v), u.max(v)));
+                    }
+                }
+            }
+        }
+        for u in bumped {
+            weight[u as usize] += 1;
+        }
+        numbered.insert(v);
+        visit_order.push(v);
+    }
+
+    let mut triangulation = g.clone();
+    for &(u, v) in &fill {
+        triangulation.add_edge(u, v);
+    }
+    // Vertices were numbered n, n-1, …, 1; the elimination order eliminates
+    // the vertex numbered 1 first, i.e. the reverse of the visit order.
+    let elimination_order: Vec<Vertex> = visit_order.into_iter().rev().collect();
+    McsMResult {
+        triangulation,
+        fill,
+        elimination_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::{is_chordal, is_perfect_elimination_ordering};
+    use crate::verify::is_minimal_triangulation;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn chordal_graphs_get_no_fill() {
+        let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = mcs_m(&path);
+        assert!(r.fill.is_empty());
+        assert_eq!(r.triangulation, path);
+        assert!(is_perfect_elimination_ordering(&path, &r.elimination_order));
+    }
+
+    #[test]
+    fn cycles_get_minimal_fill() {
+        for n in 4..9u32 {
+            let edges: Vec<(Vertex, Vertex)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+            let c = Graph::from_edges(n, &edges);
+            let r = mcs_m(&c);
+            assert!(is_chordal(&r.triangulation), "C{n} triangulation not chordal");
+            assert!(
+                is_minimal_triangulation(&c, &r.triangulation),
+                "C{n} triangulation not minimal"
+            );
+            assert_eq!(r.fill.len(), (n - 3) as usize, "C{n} should need n-3 fill edges");
+        }
+    }
+
+    #[test]
+    fn paper_graph_minimal_triangulation() {
+        let g = paper_example_graph();
+        let r = mcs_m(&g);
+        assert!(is_chordal(&r.triangulation));
+        assert!(is_minimal_triangulation(&g, &r.triangulation));
+        assert!(r.fill.len() == 1 || r.fill.len() == 3);
+        assert!(is_perfect_elimination_ordering(
+            &r.triangulation,
+            &r.elimination_order
+        ));
+    }
+
+    #[test]
+    fn elimination_order_is_peo_of_triangulation() {
+        // 3x3 grid.
+        let mut edges = Vec::new();
+        let idx = |r: u32, c: u32| r * 3 + c;
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < 3 {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let g = Graph::from_edges(9, &edges);
+        let r = mcs_m(&g);
+        assert!(is_chordal(&r.triangulation));
+        assert!(is_minimal_triangulation(&g, &r.triangulation));
+        assert!(is_perfect_elimination_ordering(
+            &r.triangulation,
+            &r.elimination_order
+        ));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let r = mcs_m(&Graph::new(0));
+        assert_eq!(r.triangulation.n(), 0);
+        let r1 = mcs_m(&Graph::new(1));
+        assert!(r1.fill.is_empty());
+        let r2 = mcs_m(&Graph::from_edges(2, &[(0, 1)]));
+        assert!(r2.fill.is_empty());
+    }
+}

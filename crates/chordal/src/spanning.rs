@@ -1,0 +1,202 @@
+//! Enumeration of all clique trees of a chordal graph.
+//!
+//! A tree over the maximal cliques of a chordal graph `H` is a clique tree
+//! iff it is a maximum-weight spanning tree of the clique graph, where the
+//! weight of `{C_i, C_j}` is `|C_i ∩ C_j|` (see Appendix A.3 of the paper,
+//! citing Jordan). Equivalently — and this is the characterization we use,
+//! because it needs no weight bookkeeping — a spanning tree over the maximal
+//! cliques is a clique tree iff the resulting tree decomposition satisfies
+//! the junction-tree property.
+//!
+//! The number of clique trees can be exponential in the number of cliques,
+//! so the enumerator is lazy and the convenience collectors take an explicit
+//! cap. This is the ingredient that turns ranked enumeration of minimal
+//! triangulations into ranked enumeration of *all* proper tree
+//! decompositions (Proposition 6.1).
+
+use crate::cliques::maximal_cliques_chordal;
+use crate::treedec::TreeDecomposition;
+use mtr_graph::{Graph, VertexSet};
+
+/// Enumerates clique trees of the chordal graph `h`, up to `limit` results.
+///
+/// Returns `None` if `h` is not chordal. The first result equals the tree
+/// produced by [`crate::cliquetree::clique_tree`] up to the choice of tree
+/// edges (both are valid clique trees).
+pub fn clique_trees(h: &Graph, limit: usize) -> Option<Vec<TreeDecomposition>> {
+    let cliques = maximal_cliques_chordal(h)?;
+    Some(clique_trees_from_cliques(h, cliques, limit))
+}
+
+/// Enumerates up to `limit` clique trees given the maximal cliques of `h`.
+pub fn clique_trees_from_cliques(
+    h: &Graph,
+    cliques: Vec<VertexSet>,
+    limit: usize,
+) -> Vec<TreeDecomposition> {
+    let k = cliques.len();
+    let mut results = Vec::new();
+    if limit == 0 {
+        return results;
+    }
+    if k == 0 {
+        results.push(TreeDecomposition::new(Vec::new(), Vec::new()));
+        return results;
+    }
+    if k == 1 {
+        results.push(TreeDecomposition::new(cliques, Vec::new()));
+        return results;
+    }
+    // Candidate tree edges: pairs of cliques. Only pairs with non-empty
+    // intersection can appear in a clique tree of a connected graph, but for
+    // disconnected graphs zero-weight edges are needed, so all pairs are
+    // candidates and the junction-tree filter decides.
+    let mut candidate_edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            candidate_edges.push((i, j));
+        }
+    }
+    // Order candidates by decreasing intersection size so valid trees are
+    // found early.
+    candidate_edges.sort_by_key(|&(i, j)| std::cmp::Reverse(cliques[i].intersection_len(&cliques[j])));
+
+    // Depth-first enumeration of spanning trees (choose k-1 edges that keep
+    // the edge set acyclic), validated by the junction-tree property.
+    struct Dfs<'a> {
+        h: &'a Graph,
+        cliques: &'a [VertexSet],
+        edges: &'a [(usize, usize)],
+        limit: usize,
+        results: Vec<TreeDecomposition>,
+    }
+    impl Dfs<'_> {
+        fn union_find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+
+        fn recurse(&mut self, start: usize, chosen: &mut Vec<(usize, usize)>, parent: &mut Vec<usize>) {
+            if self.results.len() >= self.limit {
+                return;
+            }
+            if chosen.len() == self.cliques.len() - 1 {
+                let td = TreeDecomposition::new(self.cliques.to_vec(), chosen.clone());
+                if td.is_valid(self.h) {
+                    self.results.push(td);
+                }
+                return;
+            }
+            let remaining_needed = self.cliques.len() - 1 - chosen.len();
+            if self.edges.len() - start < remaining_needed {
+                return;
+            }
+            for idx in start..self.edges.len() {
+                let (a, b) = self.edges[idx];
+                let (ra, rb) = (
+                    Self::union_find(parent, a),
+                    Self::union_find(parent, b),
+                );
+                if ra == rb {
+                    continue;
+                }
+                let saved = parent.clone();
+                parent[ra] = rb;
+                chosen.push((a, b));
+                self.recurse(idx + 1, chosen, parent);
+                chosen.pop();
+                *parent = saved;
+                if self.results.len() >= self.limit {
+                    return;
+                }
+            }
+        }
+    }
+    let mut dfs = Dfs {
+        h,
+        cliques: &cliques,
+        edges: &candidate_edges,
+        limit,
+        results: Vec::new(),
+    };
+    let mut parent: Vec<usize> = (0..k).collect();
+    dfs.recurse(0, &mut Vec::new(), &mut parent);
+    dfs.results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn single_clique_tree_for_simple_chordal_graphs() {
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let trees = clique_trees(&path, 100).unwrap();
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].is_clique_tree_of(&path));
+    }
+
+    #[test]
+    fn paper_h2_has_multiple_clique_trees() {
+        // H2 = paper graph + {u,v}: maximal cliques {u,v,w1}, {u,v,w2},
+        // {u,v,w3}, {v,v'}; the three big cliques share the adhesion {u,v}
+        // and can be connected in several tree shapes (T2 and T2'' of
+        // Figure 1(c) are two of them).
+        let mut h2 = paper_example_graph();
+        h2.add_edge(0, 1);
+        let trees = clique_trees(&h2, 1000).unwrap();
+        assert!(trees.len() > 1, "expected several clique trees, got {}", trees.len());
+        for t in &trees {
+            assert!(t.is_clique_tree_of(&h2));
+            assert!(t.is_valid(&paper_example_graph()));
+        }
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let mut h2 = paper_example_graph();
+        h2.add_edge(0, 1);
+        let trees = clique_trees(&h2, 2).unwrap();
+        assert_eq!(trees.len(), 2);
+        assert!(clique_trees(&h2, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_chordal_yields_none() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(clique_trees(&c4, 10).is_none());
+    }
+
+    #[test]
+    fn all_trees_are_distinct() {
+        let mut h2 = paper_example_graph();
+        h2.add_edge(0, 1);
+        let trees = clique_trees(&h2, 1000).unwrap();
+        for i in 0..trees.len() {
+            for j in (i + 1)..trees.len() {
+                assert_ne!(trees[i], trees[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn star_of_cliques_counts() {
+        // A "star" chordal graph: central clique {0,1}, pendant vertices 2,3
+        // attached to vertex 0. Maximal cliques: {0,1}, {0,2}, {0,3}.
+        // Every spanning tree over the three cliques is a clique tree
+        // (all share vertex 0), so there are 3 of them.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let trees = clique_trees(&g, 100).unwrap();
+        assert_eq!(trees.len(), 3);
+    }
+}

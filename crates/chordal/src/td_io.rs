@@ -1,0 +1,223 @@
+//! Reading and writing tree decompositions in the PACE `.td` format.
+//!
+//! The PACE challenge exchange format for tree decompositions is:
+//!
+//! ```text
+//! c optional comment lines
+//! s td <#bags> <max-bag-size> <#vertices>
+//! b <bag-id> <vertex> <vertex> …        (bag ids and vertices are 1-based)
+//! <bag-id> <bag-id>                     (one line per tree edge)
+//! ```
+//!
+//! Writing lets downstream treewidth tooling consume the decompositions this
+//! library enumerates; parsing lets users validate third-party solutions
+//! with [`TreeDecomposition::check_valid`].
+
+use crate::treedec::TreeDecomposition;
+use mtr_graph::{Vertex, VertexSet};
+use std::fmt::Write as _;
+
+/// Serializes a tree decomposition in PACE `.td` format.
+///
+/// `n` is the number of vertices of the decomposed graph (the format records
+/// it in the header even though it is implied by the bags).
+pub fn write_td(td: &TreeDecomposition, n: u32) -> String {
+    let mut out = String::new();
+    let max_bag = td.bags().iter().map(|b| b.len()).max().unwrap_or(0);
+    let _ = writeln!(out, "s td {} {} {}", td.num_bags(), max_bag, n);
+    for (i, bag) in td.bags().iter().enumerate() {
+        let members: Vec<String> = bag.iter().map(|v| (v + 1).to_string()).collect();
+        let _ = writeln!(out, "b {} {}", i + 1, members.join(" "));
+    }
+    for &(a, b) in td.tree_edges() {
+        let _ = writeln!(out, "{} {}", a + 1, b + 1);
+    }
+    out
+}
+
+/// Errors produced while parsing a `.td` file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TdParseError {
+    /// The `s td …` header is missing or malformed.
+    BadHeader(String),
+    /// A bag or edge line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line_number: usize,
+        /// The offending line.
+        line: String,
+    },
+    /// A bag id or vertex id is out of the declared range.
+    OutOfRange {
+        /// 1-based line number.
+        line_number: usize,
+        /// The out-of-range value as written.
+        value: usize,
+    },
+}
+
+impl std::fmt::Display for TdParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdParseError::BadHeader(l) => write!(f, "malformed or missing .td header: {l:?}"),
+            TdParseError::BadLine { line_number, line } => {
+                write!(f, "malformed .td line {line_number}: {line:?}")
+            }
+            TdParseError::OutOfRange { line_number, value } => {
+                write!(f, "value {value} on line {line_number} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TdParseError {}
+
+/// Parses a PACE `.td` file. Returns the decomposition and the declared
+/// number of graph vertices.
+pub fn parse_td(input: &str) -> Result<(TreeDecomposition, u32), TdParseError> {
+    let mut header: Option<(usize, u32)> = None; // (#bags, n)
+    let mut bags: Vec<VertexSet> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_number = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("s td") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(TdParseError::BadHeader(line.to_string()));
+            }
+            let num_bags: usize = parts[0]
+                .parse()
+                .map_err(|_| TdParseError::BadHeader(line.to_string()))?;
+            let n: u32 = parts[2]
+                .parse()
+                .map_err(|_| TdParseError::BadHeader(line.to_string()))?;
+            bags = vec![VertexSet::empty(n); num_bags];
+            header = Some((num_bags, n));
+            continue;
+        }
+        let (num_bags, n) = header
+            .ok_or_else(|| TdParseError::BadHeader("content before the s td header".into()))?;
+        if let Some(rest) = line.strip_prefix("b ") {
+            let mut parts = rest.split_whitespace();
+            let bag_id: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| TdParseError::BadLine {
+                    line_number,
+                    line: line.to_string(),
+                })?;
+            if bag_id == 0 || bag_id > num_bags {
+                return Err(TdParseError::OutOfRange {
+                    line_number,
+                    value: bag_id,
+                });
+            }
+            for token in parts {
+                let v: usize = token.parse().map_err(|_| TdParseError::BadLine {
+                    line_number,
+                    line: line.to_string(),
+                })?;
+                if v == 0 || v > n as usize {
+                    return Err(TdParseError::OutOfRange {
+                        line_number,
+                        value: v,
+                    });
+                }
+                bags[bag_id - 1].insert((v - 1) as Vertex);
+            }
+        } else {
+            let mut parts = line.split_whitespace();
+            let (a, b) = match (parts.next(), parts.next()) {
+                (Some(a), Some(b)) => (
+                    a.parse::<usize>().map_err(|_| TdParseError::BadLine {
+                        line_number,
+                        line: line.to_string(),
+                    })?,
+                    b.parse::<usize>().map_err(|_| TdParseError::BadLine {
+                        line_number,
+                        line: line.to_string(),
+                    })?,
+                ),
+                _ => {
+                    return Err(TdParseError::BadLine {
+                        line_number,
+                        line: line.to_string(),
+                    })
+                }
+            };
+            if a == 0 || a > num_bags || b == 0 || b > num_bags {
+                return Err(TdParseError::OutOfRange {
+                    line_number,
+                    value: a.max(b),
+                });
+            }
+            edges.push((a - 1, b - 1));
+        }
+    }
+    let (_, n) = header.ok_or_else(|| TdParseError::BadHeader("no header found".into()))?;
+    Ok((TreeDecomposition::new(bags, edges), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliquetree::clique_tree;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn roundtrip_clique_tree() {
+        let g = paper_example_graph();
+        let mut h = g.clone();
+        h.add_edge(0, 1);
+        let td = clique_tree(&h).unwrap();
+        let text = write_td(&td, g.n());
+        let (parsed, n) = parse_td(&text).unwrap();
+        assert_eq!(n, g.n());
+        assert_eq!(parsed.num_bags(), td.num_bags());
+        assert!(parsed.is_valid(&g));
+        assert_eq!(parsed.width(), td.width());
+    }
+
+    #[test]
+    fn parse_reference_example() {
+        let input = "c example\ns td 2 3 4\nb 1 1 2 3\nb 2 3 4\n1 2\n";
+        let (td, n) = parse_td(input).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(td.num_bags(), 2);
+        assert_eq!(td.width(), 2);
+        assert_eq!(td.tree_edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_td(""), Err(TdParseError::BadHeader(_))));
+        assert!(matches!(
+            parse_td("b 1 1\n"),
+            Err(TdParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_td("s td 1 1 2\nb 5 1\n"),
+            Err(TdParseError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            parse_td("s td 2 1 2\nb 1 1\nb 2 2\n1 x\n"),
+            Err(TdParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_td("s td 1 1 2\nb 1 9\n"),
+            Err(TdParseError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn header_width_field_is_max_bag_size() {
+        let g = paper_example_graph();
+        let td = crate::treedec::TreeDecomposition::trivial(&g);
+        let text = write_td(&td, g.n());
+        assert!(text.starts_with("s td 1 6 6"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Tree decompositions: the structure, validity checks and the standard
+//! quality measures (width, fill-in).
+//!
+//! A tree decomposition of a graph `G` is a tree whose nodes carry *bags* of
+//! vertices such that every vertex and every edge of `G` is covered by some
+//! bag and, for every vertex, the bags containing it form a connected
+//! subtree (the junction-tree property).
+
+use mtr_graph::{Graph, VertexSet};
+
+/// A tree decomposition: bags connected by tree edges.
+///
+/// Bag indices are dense (`0..bags.len()`); `tree_edges` lists the edges of
+/// the tree over those indices. A decomposition with a single bag has no
+/// tree edges; an empty decomposition (no bags) is allowed only for the
+/// empty graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    bags: Vec<VertexSet>,
+    tree_edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Creates a tree decomposition from bags and tree edges.
+    ///
+    /// Only structural sanity is checked here (edge endpoints in range);
+    /// whether this is a *valid* decomposition of a particular graph is
+    /// checked by [`TreeDecomposition::check_valid`].
+    pub fn new(bags: Vec<VertexSet>, tree_edges: Vec<(usize, usize)>) -> Self {
+        for &(a, b) in &tree_edges {
+            assert!(a < bags.len() && b < bags.len(), "tree edge out of range");
+            assert_ne!(a, b, "tree self-loop");
+        }
+        TreeDecomposition { bags, tree_edges }
+    }
+
+    /// A decomposition with a single bag containing every vertex of `g`.
+    pub fn trivial(g: &Graph) -> Self {
+        TreeDecomposition {
+            bags: vec![g.vertex_set()],
+            tree_edges: Vec::new(),
+        }
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[VertexSet] {
+        &self.bags
+    }
+
+    /// The tree edges (pairs of bag indices).
+    pub fn tree_edges(&self) -> &[(usize, usize)] {
+        &self.tree_edges
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Width: size of the largest bag minus one. The width of a
+    /// decomposition with no bags is 0 by convention.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Fill-in relative to `g`: the number of distinct non-edges of `g` that
+    /// saturating every bag would add.
+    pub fn fill_in(&self, g: &Graph) -> usize {
+        let mut h = g.clone();
+        let mut added = 0;
+        for bag in &self.bags {
+            added += h.saturate(bag);
+        }
+        added
+    }
+
+    /// The chordal graph obtained from `g` by saturating every bag.
+    pub fn saturated_graph(&self, g: &Graph) -> Graph {
+        let mut h = g.clone();
+        for bag in &self.bags {
+            h.saturate(bag);
+        }
+        h
+    }
+
+    /// The adhesions: intersections of the two bags of each tree edge.
+    pub fn adhesions(&self) -> Vec<VertexSet> {
+        self.tree_edges
+            .iter()
+            .map(|&(a, b)| self.bags[a].intersection(&self.bags[b]))
+            .collect()
+    }
+
+    /// Checks validity with respect to `g`; returns a description of the
+    /// first violated condition, or `Ok(())`.
+    pub fn check_valid(&self, g: &Graph) -> Result<(), InvalidDecomposition> {
+        // The tree must be a tree: connected and acyclic over the bags.
+        let k = self.bags.len();
+        if k == 0 {
+            if g.n() == 0 {
+                return Ok(());
+            }
+            return Err(InvalidDecomposition::VertexNotCovered(0));
+        }
+        if self.tree_edges.len() != k - 1 {
+            return Err(InvalidDecomposition::NotATree);
+        }
+        // Connectivity of the bag tree via union-find.
+        let mut parent: Vec<usize> = (0..k).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for &(a, b) in &self.tree_edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra == rb {
+                return Err(InvalidDecomposition::NotATree);
+            }
+            parent[ra] = rb;
+        }
+        // Vertices covered.
+        let mut covered = VertexSet::empty(g.n());
+        for bag in &self.bags {
+            covered.union_with(bag);
+        }
+        if covered.len() != g.n() as usize {
+            let missing = covered.complement().min_vertex().expect("some vertex uncovered");
+            return Err(InvalidDecomposition::VertexNotCovered(missing));
+        }
+        // Edges covered.
+        for (u, v) in g.edges() {
+            if !self
+                .bags
+                .iter()
+                .any(|bag| bag.contains(u) && bag.contains(v))
+            {
+                return Err(InvalidDecomposition::EdgeNotCovered(u, v));
+            }
+        }
+        // Junction-tree property: for every vertex, the bags containing it
+        // induce a connected subtree.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &(a, b) in &self.tree_edges {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for v in g.vertices() {
+            let holding: Vec<usize> = (0..k).filter(|&i| self.bags[i].contains(v)).collect();
+            if holding.is_empty() {
+                return Err(InvalidDecomposition::VertexNotCovered(v));
+            }
+            let mut seen = vec![false; k];
+            let mut stack = vec![holding[0]];
+            seen[holding[0]] = true;
+            let mut reached = 0usize;
+            while let Some(x) = stack.pop() {
+                reached += 1;
+                for &y in &adjacency[x] {
+                    if !seen[y] && self.bags[y].contains(v) {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            if reached != holding.len() {
+                return Err(InvalidDecomposition::JunctionTreeViolated(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff this is a valid tree decomposition of `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.check_valid(g).is_ok()
+    }
+
+    /// `true` iff this decomposition is a clique tree of `h`: its bags are
+    /// exactly the maximal cliques of `h`, with no repetitions, and the
+    /// decomposition is valid for `h`.
+    pub fn is_clique_tree_of(&self, h: &Graph) -> bool {
+        if !self.is_valid(h) {
+            return false;
+        }
+        let Some(mut cliques) = crate::cliques::maximal_cliques_chordal(h) else {
+            return false;
+        };
+        let mut bags = self.bags.clone();
+        bags.sort();
+        cliques.sort();
+        if bags.len() != cliques.len() {
+            return false;
+        }
+        bags == cliques
+    }
+}
+
+/// The ways a tree decomposition can fail validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvalidDecomposition {
+    /// The bag graph is not a tree (wrong edge count or a cycle).
+    NotATree,
+    /// This vertex is in no bag.
+    VertexNotCovered(mtr_graph::Vertex),
+    /// This edge is in no bag.
+    EdgeNotCovered(mtr_graph::Vertex, mtr_graph::Vertex),
+    /// The bags containing this vertex are not connected in the tree.
+    JunctionTreeViolated(mtr_graph::Vertex),
+}
+
+impl std::fmt::Display for InvalidDecomposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidDecomposition::NotATree => write!(f, "bag graph is not a tree"),
+            InvalidDecomposition::VertexNotCovered(v) => write!(f, "vertex {v} is not covered"),
+            InvalidDecomposition::EdgeNotCovered(u, v) => {
+                write!(f, "edge ({u},{v}) is not covered")
+            }
+            InvalidDecomposition::JunctionTreeViolated(v) => {
+                write!(f, "junction-tree property violated for vertex {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidDecomposition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    /// T1 of Figure 1(c): bags {u,w1,w2,w3}, {v,w1,w2,w3}, {v,v'} in a path.
+    fn paper_t1() -> TreeDecomposition {
+        TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(6, &[0, 3, 4, 5]),
+                VertexSet::from_slice(6, &[1, 3, 4, 5]),
+                VertexSet::from_slice(6, &[1, 2]),
+            ],
+            vec![(0, 1), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn trivial_decomposition_is_valid() {
+        let g = paper_example_graph();
+        let t = TreeDecomposition::trivial(&g);
+        assert!(t.is_valid(&g));
+        assert_eq!(t.width(), 5);
+    }
+
+    #[test]
+    fn paper_t1_is_valid_with_expected_width_and_fill() {
+        let g = paper_example_graph();
+        let t1 = paper_t1();
+        assert!(t1.is_valid(&g));
+        assert_eq!(t1.width(), 3);
+        // Saturating the two big bags adds the 3 edges among {w1,w2,w3}.
+        assert_eq!(t1.fill_in(&g), 3);
+        assert_eq!(t1.adhesions().len(), 2);
+    }
+
+    #[test]
+    fn missing_edge_coverage_detected() {
+        let g = paper_example_graph();
+        let t = TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(6, &[0, 3, 4, 5]),
+                VertexSet::from_slice(6, &[1, 3, 4, 5]),
+            ],
+            vec![(0, 1)],
+        );
+        assert_eq!(
+            t.check_valid(&g),
+            Err(InvalidDecomposition::VertexNotCovered(2))
+        );
+    }
+
+    #[test]
+    fn junction_tree_violation_detected() {
+        // Vertex 0 appears in two bags that are not adjacent in the tree.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let t = TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(3, &[0, 1]),
+                VertexSet::from_slice(3, &[1, 2]),
+                VertexSet::from_slice(3, &[0, 2]),
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        assert_eq!(
+            t.check_valid(&g),
+            Err(InvalidDecomposition::JunctionTreeViolated(0))
+        );
+    }
+
+    #[test]
+    fn cycle_in_bag_graph_detected() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let t = TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(2, &[0, 1]),
+                VertexSet::from_slice(2, &[0, 1]),
+                VertexSet::from_slice(2, &[0, 1]),
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        assert!(t.is_valid(&g));
+        let cyclic = TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(2, &[0, 1]),
+                VertexSet::from_slice(2, &[0, 1]),
+                VertexSet::from_slice(2, &[0, 1]),
+            ],
+            vec![(0, 1), (1, 2), (2, 0)],
+        );
+        assert_eq!(cyclic.check_valid(&g), Err(InvalidDecomposition::NotATree));
+    }
+
+    #[test]
+    fn uncovered_edge_detected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let t = TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(3, &[0, 1]),
+                VertexSet::from_slice(3, &[1, 2]),
+                VertexSet::from_slice(3, &[0, 2]),
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        // This fails junction tree (vertex 0) — build a cleaner example:
+        let t2 = TreeDecomposition::new(
+            vec![
+                VertexSet::from_slice(3, &[0, 1]),
+                VertexSet::from_slice(3, &[1, 2]),
+            ],
+            vec![(0, 1)],
+        );
+        assert_eq!(
+            t2.check_valid(&g),
+            Err(InvalidDecomposition::EdgeNotCovered(0, 2))
+        );
+        assert!(!t.is_valid(&g));
+    }
+
+    #[test]
+    fn clique_tree_detection() {
+        let g = paper_example_graph();
+        let t1 = paper_t1();
+        // T1 is a clique tree of H1 (G with {w1,w2,w3} saturated)…
+        let h1 = t1.saturated_graph(&g);
+        assert!(t1.is_clique_tree_of(&h1));
+        // …but not of H2 (G + {u,v}).
+        let mut h2 = g.clone();
+        h2.add_edge(0, 1);
+        assert!(!t1.is_clique_tree_of(&h2));
+        // The trivial decomposition is not a clique tree of H1.
+        assert!(!TreeDecomposition::trivial(&g).is_clique_tree_of(&h1));
+    }
+
+    #[test]
+    fn empty_graph_decompositions() {
+        let g = Graph::new(0);
+        let t = TreeDecomposition::new(Vec::new(), Vec::new());
+        assert!(t.is_valid(&g));
+        let g1 = Graph::new(1);
+        assert!(!t.is_valid(&g1));
+    }
+
+    #[test]
+    fn saturated_graph_is_supergraph() {
+        let g = paper_example_graph();
+        let t = paper_t1();
+        let h = t.saturated_graph(&g);
+        assert_eq!(h.m(), g.m() + 3);
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Verification predicates for triangulations.
+//!
+//! These checks are used throughout the test suites and by the experiment
+//! harness to validate enumeration output: a graph `H` is a *triangulation*
+//! of `G` when it is a chordal supergraph of `G` on the same vertices, and
+//! it is *minimal* when no proper subset of its fill edges already yields a
+//! chordal supergraph — equivalently (Rose–Tarjan–Lueker), when removing any
+//! single fill edge breaks chordality.
+
+use crate::mcs::is_chordal;
+use mtr_graph::{Graph, Vertex};
+
+/// `true` iff `h` is a triangulation of `g`: same vertex count, `E(g) ⊆ E(h)`,
+/// and `h` is chordal.
+pub fn is_triangulation(g: &Graph, h: &Graph) -> bool {
+    if g.n() != h.n() {
+        return false;
+    }
+    if g.edges().any(|(u, v)| !h.has_edge(u, v)) {
+        return false;
+    }
+    is_chordal(h)
+}
+
+/// `true` iff `h` is a *minimal* triangulation of `g`.
+///
+/// Uses the single-edge criterion: `h` is minimal iff it is a triangulation
+/// and for every fill edge `e`, the graph `h − e` is not chordal.
+pub fn is_minimal_triangulation(g: &Graph, h: &Graph) -> bool {
+    if !is_triangulation(g, h) {
+        return false;
+    }
+    let fill = g.fill_edges_of(h);
+    let mut work = h.clone();
+    for &(u, v) in &fill {
+        work.remove_edge(u, v);
+        let still_chordal = is_chordal(&work);
+        work.add_edge(u, v);
+        if still_chordal {
+            return false;
+        }
+    }
+    true
+}
+
+/// The fill edges of the triangulation `h` of `g` (edges of `h` absent from `g`).
+pub fn fill_edges(g: &Graph, h: &Graph) -> Vec<(Vertex, Vertex)> {
+    g.fill_edges_of(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn chordal_graph_is_its_own_minimal_triangulation() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_triangulation(&path, &path));
+        assert!(is_minimal_triangulation(&path, &path));
+    }
+
+    #[test]
+    fn paper_triangulations_are_minimal() {
+        let g = paper_example_graph();
+        let mut h1 = g.clone();
+        h1.add_edge(3, 4);
+        h1.add_edge(3, 5);
+        h1.add_edge(4, 5);
+        assert!(is_minimal_triangulation(&g, &h1));
+        let mut h2 = g.clone();
+        h2.add_edge(0, 1);
+        assert!(is_minimal_triangulation(&g, &h2));
+    }
+
+    #[test]
+    fn non_minimal_triangulation_detected() {
+        let g = paper_example_graph();
+        // Adding both {u,v} and the {w1,w2,w3} saturation is chordal but not minimal.
+        let mut h = g.clone();
+        h.add_edge(0, 1);
+        h.add_edge(3, 4);
+        h.add_edge(3, 5);
+        h.add_edge(4, 5);
+        assert!(is_triangulation(&g, &h));
+        assert!(!is_minimal_triangulation(&g, &h));
+    }
+
+    #[test]
+    fn non_chordal_supergraph_is_not_a_triangulation() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(!is_triangulation(&c4, &c4));
+        assert!(!is_minimal_triangulation(&c4, &c4));
+    }
+
+    #[test]
+    fn missing_base_edge_is_not_a_triangulation() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let h = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_triangulation(&g, &h));
+    }
+
+    #[test]
+    fn complete_graph_is_minimal_only_when_needed() {
+        // For C4, the complete graph K4 adds two fill edges but one suffices:
+        // K4 is a triangulation yet not minimal.
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let k4 = Graph::complete(4);
+        assert!(is_triangulation(&c4, &k4));
+        assert!(!is_minimal_triangulation(&c4, &k4));
+        let mut one_diag = c4.clone();
+        one_diag.add_edge(0, 2);
+        assert!(is_minimal_triangulation(&c4, &one_diag));
+    }
+
+    #[test]
+    fn fill_edges_reported() {
+        let g = paper_example_graph();
+        let mut h = g.clone();
+        h.add_edge(0, 1);
+        assert_eq!(fill_edges(&g, &h), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Baseline enumerators the paper compares `RankedTriang` against.
+//!
+//! The paper's experiments compare against the enumerator of Carmeli, Kenig
+//! and Kimelfeld (PODS 2017), "CKK": a *complete* enumeration of all minimal
+//! triangulations with incremental-polynomial-time guarantees but **no order
+//! guarantee**, driven by a black-box minimal triangulator (LB-Triang).
+//!
+//! Our stand-in, [`CkkEnumerator`], keeps those characteristics: it is
+//! complete, unranked, and produces its first answers essentially instantly
+//! (LB-Triang on the input ordering). It exploits the same Parra–Scheffler
+//! correspondence CKK builds on — minimal triangulations are the maximal
+//! independent sets of the separator crossing graph — and enumerates those
+//! maximal independent sets with the classic Johnson–Yannakakis–
+//! Papadimitriou successor scheme. The separator graph is built lazily on
+//! the first call that needs it, so the time-to-first-result stays tiny,
+//! mirroring the behaviour the paper reports for CKK.
+//!
+//! A second, heuristic-only baseline ([`LbTriangSampler`]) produces minimal
+//! triangulations from randomized LB-Triang orderings with zero
+//! initialization and no completeness guarantee; it is used for ablations on
+//! graphs where the separator structure is intractable.
+
+use crate::cost::CostValue;
+use mtr_chordal::cliques::maximal_cliques_chordal;
+use mtr_chordal::lbtriang::lb_triang;
+use mtr_graph::{Graph, Vertex, VertexSet};
+use mtr_separators::crossing::SeparatorGraph;
+use mtr_separators::enumerate::minimal_separators;
+use std::collections::{HashSet, VecDeque};
+
+/// One triangulation produced by a baseline enumerator.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The minimal triangulation.
+    pub triangulation: Graph,
+    /// Its maximal cliques.
+    pub bags: Vec<VertexSet>,
+    /// Width of the triangulation.
+    pub width: usize,
+    /// Fill-in relative to the input graph.
+    pub fill_in: usize,
+}
+
+impl BaselineResult {
+    fn from_graph(g: &Graph, h: Graph) -> Self {
+        let bags = maximal_cliques_chordal(&h)
+            .expect("baseline results must be chordal");
+        let width = bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1);
+        let fill_in = h.m() - g.m();
+        BaselineResult {
+            triangulation: h,
+            bags,
+            width,
+            fill_in,
+        }
+    }
+
+    /// Evaluates an arbitrary bag cost on this result (used by the
+    /// experiment harness to compare quality against the ranked enumerator).
+    pub fn evaluate<K: crate::cost::BagCost + ?Sized>(&self, g: &Graph, cost: &K) -> CostValue {
+        cost.cost_of_bags(g, &g.vertex_set(), &self.bags)
+    }
+}
+
+/// Complete, unranked enumerator of minimal triangulations ("CKK" stand-in).
+pub struct CkkEnumerator<'a> {
+    graph: &'a Graph,
+    /// Lazily built separator graph.
+    separator_graph: Option<SeparatorGraph>,
+    /// Queue of maximal independent sets (as separator-index sets) to emit.
+    queue: VecDeque<VertexSet>,
+    /// All maximal independent sets ever enqueued.
+    seen: HashSet<VertexSet>,
+    /// The first result (from LB-Triang) is produced before any separator
+    /// machinery is touched.
+    first: Option<Graph>,
+    /// Fill sets of emitted triangulations, for deduplication against the
+    /// LB-Triang seed.
+    emitted_fills: HashSet<Vec<(Vertex, Vertex)>>,
+}
+
+impl<'a> CkkEnumerator<'a> {
+    /// Creates the enumerator. No separator enumeration happens here; the
+    /// first result is available immediately.
+    pub fn new(graph: &'a Graph) -> Self {
+        let order: Vec<Vertex> = (0..graph.n()).collect();
+        let first = lb_triang(graph, &order);
+        CkkEnumerator {
+            graph,
+            separator_graph: None,
+            queue: VecDeque::new(),
+            seen: HashSet::new(),
+            first: Some(first),
+            emitted_fills: HashSet::new(),
+        }
+    }
+
+    fn separator_graph(&mut self) -> &SeparatorGraph {
+        if self.separator_graph.is_none() {
+            let seps = minimal_separators(self.graph);
+            let sg = SeparatorGraph::build(self.graph, seps);
+            // Seed the queue with the lexicographically-first maximal
+            // independent set.
+            let k = sg.len() as u32;
+            let seed = sg.greedy_maximal_independent(&VertexSet::empty(k));
+            self.seen.insert(seed.clone());
+            self.queue.push_back(seed);
+            self.separator_graph = Some(sg);
+        }
+        self.separator_graph.as_ref().expect("just initialized")
+    }
+
+    /// The triangulation obtained by saturating the separators of a maximal
+    /// independent set (Theorem 2.5).
+    fn realize(&self, mis: &VertexSet) -> Graph {
+        let sg = self
+            .separator_graph
+            .as_ref()
+            .expect("realize is only called after initialization");
+        let mut h = self.graph.clone();
+        for i in mis.iter() {
+            h.saturate(&sg.separators()[i as usize]);
+        }
+        h
+    }
+
+    fn push_successors(&mut self, mis: &VertexSet) {
+        let sg = self
+            .separator_graph
+            .as_ref()
+            .expect("successors are only generated after initialization");
+        let k = sg.len() as u32;
+        let mut new_sets: Vec<VertexSet> = Vec::new();
+        for j in 0..k {
+            if mis.contains(j) {
+                continue;
+            }
+            // Johnson–Yannakakis–Papadimitriou successor: keep the part of
+            // the current MIS lexicographically before j that is compatible
+            // with j, add j, and greedily complete.
+            let mut seed = VertexSet::empty(k);
+            for i in mis.iter() {
+                if i < j && !sg.are_crossing(i as usize, j as usize) {
+                    seed.insert(i);
+                }
+            }
+            seed.insert(j);
+            let completed = sg.greedy_maximal_independent(&seed);
+            new_sets.push(completed);
+        }
+        for s in new_sets {
+            if !self.seen.contains(&s) {
+                self.seen.insert(s.clone());
+                self.queue.push_back(s);
+            }
+        }
+    }
+
+    fn fill_key(&self, h: &Graph) -> Vec<(Vertex, Vertex)> {
+        let mut fill = self.graph.fill_edges_of(h);
+        fill.sort_unstable();
+        fill
+    }
+}
+
+impl Iterator for CkkEnumerator<'_> {
+    type Item = BaselineResult;
+
+    fn next(&mut self) -> Option<BaselineResult> {
+        // Emit the LB-Triang seed first: this is what gives CKK its
+        // near-zero time to the first answer.
+        if let Some(first) = self.first.take() {
+            self.emitted_fills.insert(self.fill_key(&first));
+            return Some(BaselineResult::from_graph(self.graph, first));
+        }
+        // From the second answer on, drive the MIS enumeration.
+        self.separator_graph();
+        loop {
+            let mis = self.queue.pop_front()?;
+            let h = self.realize(&mis);
+            self.push_successors(&mis);
+            let key = self.fill_key(&h);
+            if self.emitted_fills.insert(key) {
+                return Some(BaselineResult::from_graph(self.graph, h));
+            }
+            // Identical to an earlier answer (can only collide with the
+            // LB-Triang seed); try the next queued set.
+        }
+    }
+}
+
+/// Heuristic sampler: minimal triangulations from randomized LB-Triang
+/// orderings. Zero initialization, no completeness or order guarantees.
+pub struct LbTriangSampler<'a> {
+    graph: &'a Graph,
+    /// Simple xorshift state so the crate needs no RNG dependency.
+    state: u64,
+    emitted: HashSet<Vec<(Vertex, Vertex)>>,
+    /// Number of consecutive duplicate draws after which the sampler stops.
+    patience: usize,
+}
+
+impl<'a> LbTriangSampler<'a> {
+    /// Creates a sampler with the given seed and duplicate patience.
+    pub fn new(graph: &'a Graph, seed: u64, patience: usize) -> Self {
+        LbTriangSampler {
+            graph,
+            state: seed.max(1),
+            emitted: HashSet::new(),
+            patience,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn random_order(&mut self) -> Vec<Vertex> {
+        let mut order: Vec<Vertex> = (0..self.graph.n()).collect();
+        for i in (1..order.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+}
+
+impl Iterator for LbTriangSampler<'_> {
+    type Item = BaselineResult;
+
+    fn next(&mut self) -> Option<BaselineResult> {
+        let mut misses = 0;
+        while misses < self.patience {
+            let order = self.random_order();
+            let h = lb_triang(self.graph, &order);
+            let mut fill = self.graph.fill_edges_of(&h);
+            fill.sort_unstable();
+            if self.emitted.insert(fill) {
+                return Some(BaselineResult::from_graph(self.graph, h));
+            }
+            misses += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{FillIn, Width};
+    use crate::ranked::all_triangulations_ranked;
+    use mtr_chordal::verify::is_minimal_triangulation;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn ckk_is_complete_on_paper_example() {
+        let g = paper_example_graph();
+        let results: Vec<_> = CkkEnumerator::new(&g).collect();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(is_minimal_triangulation(&g, &r.triangulation));
+        }
+        let fills: HashSet<usize> = results.iter().map(|r| r.fill_in).collect();
+        assert_eq!(fills, HashSet::from([1, 3]));
+    }
+
+    #[test]
+    fn ckk_matches_ranked_enumeration_count() {
+        let cases = vec![
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+            paper_example_graph(),
+        ];
+        for g in cases {
+            let ckk: Vec<_> = CkkEnumerator::new(&g).collect();
+            let ranked = all_triangulations_ranked(&g, &FillIn);
+            assert_eq!(ckk.len(), ranked.len(), "count mismatch on {g:?}");
+            // Same sets of triangulations (by fill sets).
+            let ckk_fills: HashSet<Vec<(u32, u32)>> = ckk
+                .iter()
+                .map(|r| {
+                    let mut f = g.fill_edges_of(&r.triangulation);
+                    f.sort_unstable();
+                    f
+                })
+                .collect();
+            let ranked_fills: HashSet<Vec<(u32, u32)>> = ranked
+                .iter()
+                .map(|r| {
+                    let mut f = g.fill_edges_of(&r.triangulation);
+                    f.sort_unstable();
+                    f
+                })
+                .collect();
+            assert_eq!(ckk_fills, ranked_fills, "set mismatch on {g:?}");
+        }
+    }
+
+    #[test]
+    fn ckk_first_result_is_instant_lb_triang() {
+        let g = paper_example_graph();
+        let mut e = CkkEnumerator::new(&g);
+        // Before pulling the second result no separator graph exists.
+        let first = e.next().unwrap();
+        assert!(is_minimal_triangulation(&g, &first.triangulation));
+        assert!(e.separator_graph.is_none());
+        let _second = e.next().unwrap();
+        assert!(e.separator_graph.is_some());
+    }
+
+    #[test]
+    fn ckk_results_have_correct_width_and_fill_fields() {
+        let g = paper_example_graph();
+        for r in CkkEnumerator::new(&g) {
+            assert_eq!(r.fill_in, r.triangulation.m() - g.m());
+            assert_eq!(
+                r.width,
+                r.bags.iter().map(|b| b.len()).max().unwrap() - 1
+            );
+            assert_eq!(r.evaluate(&g, &Width), CostValue::from_usize(r.width));
+            assert_eq!(r.evaluate(&g, &FillIn), CostValue::from_usize(r.fill_in));
+        }
+    }
+
+    #[test]
+    fn sampler_produces_distinct_minimal_triangulations() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let results: Vec<_> = LbTriangSampler::new(&g, 42, 50).collect();
+        assert!(!results.is_empty());
+        let mut keys = HashSet::new();
+        for r in &results {
+            assert!(is_minimal_triangulation(&g, &r.triangulation));
+            let mut f = g.fill_edges_of(&r.triangulation);
+            f.sort_unstable();
+            assert!(keys.insert(f), "sampler emitted a duplicate");
+        }
+        // C6 has 14 minimal triangulations; with patience 50 the sampler
+        // should find a decent fraction of them.
+        assert!(results.len() >= 3);
+    }
+
+    #[test]
+    fn sampler_on_chordal_graph_stops_after_one() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let results: Vec<_> = LbTriangSampler::new(&path, 7, 10).collect();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].fill_in, 0);
+    }
+}

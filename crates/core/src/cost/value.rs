@@ -1,0 +1,156 @@
+//! Totally ordered cost values.
+//!
+//! Every bag cost in this crate evaluates to a [`CostValue`]: a finite
+//! `f64` or the distinguished `infinite` value used to encode violated
+//! constraints and exceeded width bounds (Sections 5.3 and 6.1 of the
+//! paper). The ordering is total (via `f64::total_cmp`), which is what the
+//! priority queue of the ranked enumeration requires.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A cost: a finite number or `+∞`.
+///
+/// `NaN` is rejected at construction so the ordering is a genuine total
+/// order on the values that can exist.
+#[derive(Clone, Copy, PartialEq)]
+pub struct CostValue(f64);
+
+impl CostValue {
+    /// The infinite cost, used for constraint violations and width-bound
+    /// violations.
+    pub const INFINITE: CostValue = CostValue(f64::INFINITY);
+
+    /// The zero cost.
+    pub const ZERO: CostValue = CostValue(0.0);
+
+    /// Creates a finite cost value.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN.
+    pub fn finite(v: f64) -> Self {
+        assert!(!v.is_nan(), "cost values must not be NaN");
+        CostValue(v)
+    }
+
+    /// Creates a cost from an unsigned integer quantity (width, fill count…).
+    pub fn from_usize(v: usize) -> Self {
+        CostValue(v as f64)
+    }
+
+    /// The raw numeric value (`f64::INFINITY` when infinite).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `true` when the value is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// `true` when the value is the infinite sentinel.
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Addition, saturating at infinity.
+    pub fn plus(self, other: CostValue) -> CostValue {
+        CostValue(self.0 + other.0)
+    }
+
+    /// The maximum of two costs.
+    pub fn max(self, other: CostValue) -> CostValue {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for CostValue {}
+
+impl PartialOrd for CostValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CostValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for CostValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for CostValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<usize> for CostValue {
+    fn from(v: usize) -> Self {
+        CostValue::from_usize(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_infinity() {
+        let a = CostValue::finite(1.0);
+        let b = CostValue::finite(2.0);
+        assert!(a < b);
+        assert!(b < CostValue::INFINITE);
+        assert!(CostValue::INFINITE <= CostValue::INFINITE);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.plus(b), CostValue::finite(3.0));
+        assert_eq!(a.plus(CostValue::INFINITE), CostValue::INFINITE);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(CostValue::from_usize(7).value(), 7.0);
+        assert_eq!(CostValue::from(3usize), CostValue::finite(3.0));
+        assert!(CostValue::ZERO.is_finite());
+        assert!(CostValue::INFINITE.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        CostValue::finite(f64::NAN);
+    }
+
+    #[test]
+    fn sorting_is_stable_and_total() {
+        let mut v = vec![
+            CostValue::INFINITE,
+            CostValue::finite(3.0),
+            CostValue::ZERO,
+            CostValue::finite(-1.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                CostValue::finite(-1.0),
+                CostValue::ZERO,
+                CostValue::finite(3.0),
+                CostValue::INFINITE
+            ]
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Diversity-aware enumeration.
+//!
+//! The paper's concluding remarks raise the question of *diversifying* the
+//! enumeration: an application that inspects the top-k results would often
+//! rather see k structurally different decompositions than k near-identical
+//! ones of almost equal cost. This module provides a post-processing filter
+//! over any triangulation stream: results that are too similar (by Jaccard
+//! similarity of their fill sets, or by sharing all of their minimal
+//! separators) to an already-kept result are skipped.
+//!
+//! The filter preserves the cost order of the underlying ranked enumeration,
+//! so the output is a *diverse, ranked* subset: every kept result is at
+//! least `1 − threshold` different from every earlier kept result.
+
+use crate::ranked::RankedTriangulation;
+use mtr_graph::Graph;
+use std::collections::BTreeSet;
+
+/// How similarity between two triangulations is measured.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimilarityMeasure {
+    /// Jaccard similarity of the fill-edge sets (1.0 = identical fill).
+    /// Two triangulations with no fill edges are considered identical.
+    FillJaccard,
+    /// Jaccard similarity of the minimal-separator sets.
+    SeparatorJaccard,
+}
+
+/// A filter keeping only results sufficiently dissimilar from those kept
+/// before it.
+pub struct DiversityFilter {
+    graph: Graph,
+    measure: SimilarityMeasure,
+    /// Maximum allowed similarity to any previously kept result.
+    threshold: f64,
+    kept_fills: Vec<BTreeSet<(u32, u32)>>,
+    kept_separators: Vec<BTreeSet<Vec<u32>>>,
+}
+
+impl DiversityFilter {
+    /// Creates a filter for triangulations of `graph`. `threshold` is the
+    /// maximum allowed similarity in `[0, 1]`: 1.0 only rejects exact
+    /// duplicates, 0.0 demands completely disjoint structure.
+    pub fn new(graph: &Graph, measure: SimilarityMeasure, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        DiversityFilter {
+            graph: graph.clone(),
+            measure,
+            threshold,
+            kept_fills: Vec::new(),
+            kept_separators: Vec::new(),
+        }
+    }
+
+    /// Decides whether `candidate` is diverse enough; if so, records it and
+    /// returns `true`.
+    pub fn admit(&mut self, candidate: &RankedTriangulation) -> bool {
+        match self.measure {
+            SimilarityMeasure::FillJaccard => {
+                let fill: BTreeSet<(u32, u32)> = self
+                    .graph
+                    .fill_edges_of(&candidate.triangulation)
+                    .into_iter()
+                    .collect();
+                let too_similar = self
+                    .kept_fills
+                    .iter()
+                    .any(|kept| jaccard(kept, &fill) > self.threshold);
+                if too_similar {
+                    return false;
+                }
+                self.kept_fills.push(fill);
+                true
+            }
+            SimilarityMeasure::SeparatorJaccard => {
+                let seps: BTreeSet<Vec<u32>> = candidate
+                    .minimal_separators
+                    .iter()
+                    .map(|s| s.to_vec())
+                    .collect();
+                let too_similar = self
+                    .kept_separators
+                    .iter()
+                    .any(|kept| jaccard(kept, &seps) > self.threshold);
+                if too_similar {
+                    return false;
+                }
+                self.kept_separators.push(seps);
+                true
+            }
+        }
+    }
+
+    /// Number of results admitted so far.
+    pub fn kept(&self) -> usize {
+        self.kept_fills.len() + self.kept_separators.len()
+    }
+}
+
+fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    intersection / union
+}
+
+/// Adapts any iterator of ranked triangulations into a diverse one.
+pub struct Diversified<I> {
+    inner: I,
+    filter: DiversityFilter,
+}
+
+impl<I> Diversified<I> {
+    /// Wraps `inner` with a [`DiversityFilter`].
+    pub fn new(inner: I, filter: DiversityFilter) -> Self {
+        Diversified { inner, filter }
+    }
+}
+
+impl<I: Iterator<Item = RankedTriangulation>> Iterator for Diversified<I> {
+    type Item = RankedTriangulation;
+
+    fn next(&mut self) -> Option<RankedTriangulation> {
+        for candidate in self.inner.by_ref() {
+            if self.filter.admit(&candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FillIn;
+    use crate::mintriang::Preprocessed;
+    use crate::ranked::RankedEnumerator;
+    use mtr_graph::Graph;
+
+    fn c6() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything() {
+        let g = c6();
+        let pre = Preprocessed::new(&g);
+        let filter = DiversityFilter::new(&g, SimilarityMeasure::FillJaccard, 1.0);
+        let diverse: Vec<_> =
+            Diversified::new(RankedEnumerator::new(&pre, &FillIn), filter).collect();
+        assert_eq!(diverse.len(), 14, "C6 has 14 minimal triangulations");
+    }
+
+    #[test]
+    fn low_threshold_prunes_similar_results() {
+        let g = c6();
+        let pre = Preprocessed::new(&g);
+        let all: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let filter = DiversityFilter::new(&g, SimilarityMeasure::FillJaccard, 0.3);
+        let diverse: Vec<_> =
+            Diversified::new(RankedEnumerator::new(&pre, &FillIn), filter).collect();
+        assert!(!diverse.is_empty());
+        assert!(diverse.len() < all.len());
+        // The first (optimal) result always survives and order is preserved.
+        assert_eq!(diverse[0].cost, all[0].cost);
+        for w in diverse.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+        // Any two kept results share at most 30% of their fill edges.
+        for i in 0..diverse.len() {
+            for j in (i + 1)..diverse.len() {
+                let a: BTreeSet<(u32, u32)> =
+                    g.fill_edges_of(&diverse[i].triangulation).into_iter().collect();
+                let b: BTreeSet<(u32, u32)> =
+                    g.fill_edges_of(&diverse[j].triangulation).into_iter().collect();
+                assert!(jaccard(&a, &b) <= 0.3 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn separator_similarity_measure() {
+        let g = c6();
+        let pre = Preprocessed::new(&g);
+        let filter = DiversityFilter::new(&g, SimilarityMeasure::SeparatorJaccard, 0.5);
+        let diverse: Vec<_> =
+            Diversified::new(RankedEnumerator::new(&pre, &FillIn), filter).collect();
+        assert!(!diverse.is_empty());
+        assert!(diverse.len() <= 14);
+    }
+
+    #[test]
+    fn chordal_graph_single_result_is_kept() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let pre = Preprocessed::new(&path);
+        let filter = DiversityFilter::new(&path, SimilarityMeasure::FillJaccard, 0.0);
+        let diverse: Vec<_> =
+            Diversified::new(RankedEnumerator::new(&pre, &FillIn), filter).collect();
+        assert_eq!(diverse.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_rejected() {
+        let g = c6();
+        DiversityFilter::new(&g, SimilarityMeasure::FillJaccard, 1.5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Ranked enumeration of proper tree decompositions (Proposition 6.1).
+//!
+//! A tree decomposition is *proper* when no other decomposition strictly
+//! subsumes it (splitting a bag or dropping one); Carmeli et al. show these
+//! are exactly the clique trees of the minimal triangulations. Because a
+//! bag cost gives every clique tree of one triangulation the same cost, the
+//! ranked enumeration of proper tree decompositions reduces to the ranked
+//! enumeration of minimal triangulations, emitting the clique trees of each
+//! triangulation before moving to the next one.
+
+use crate::cost::{BagCost, CostValue};
+use crate::mintriang::Preprocessed;
+use crate::ranked::{RankedEnumerator, RankedTriangulation};
+use mtr_chordal::spanning::clique_trees_from_cliques;
+use mtr_chordal::treedec::TreeDecomposition;
+use mtr_graph::Graph;
+
+/// One proper tree decomposition, paired with the triangulation it is a
+/// clique tree of and the cost shared by all clique trees of that
+/// triangulation.
+#[derive(Clone, Debug)]
+pub struct RankedDecomposition {
+    /// The proper tree decomposition (a clique tree of `triangulation`).
+    pub decomposition: TreeDecomposition,
+    /// The minimal triangulation this decomposition belongs to.
+    pub triangulation: Graph,
+    /// The cost of the triangulation (and of every one of its clique trees).
+    pub cost: CostValue,
+}
+
+/// Lazy ranked enumerator of proper tree decompositions.
+pub struct ProperDecompositionEnumerator<'a, K: BagCost + ?Sized> {
+    inner: RankedEnumerator<'a, K>,
+    /// How many clique trees to emit per triangulation (`None` = all —
+    /// beware, this can be exponential in the number of bags).
+    per_triangulation: Option<usize>,
+    pending: Vec<RankedDecomposition>,
+}
+
+impl<'a, K: BagCost + ?Sized> ProperDecompositionEnumerator<'a, K> {
+    /// Creates the enumerator. `per_triangulation` caps how many clique
+    /// trees of each minimal triangulation are emitted; `Some(1)` gives one
+    /// canonical proper tree decomposition per triangulation, `None` emits
+    /// every clique tree.
+    pub fn new(pre: &'a Preprocessed, cost: &'a K, per_triangulation: Option<usize>) -> Self {
+        ProperDecompositionEnumerator {
+            inner: RankedEnumerator::new(pre, cost),
+            per_triangulation,
+            pending: Vec::new(),
+        }
+    }
+
+    fn refill(&mut self, item: RankedTriangulation) {
+        let limit = self.per_triangulation.unwrap_or(usize::MAX);
+        let trees = clique_trees_from_cliques(&item.triangulation, item.bags.clone(), limit);
+        // Emit in a stable order; reverse so `pop` yields them first-to-last.
+        self.pending = trees
+            .into_iter()
+            .map(|decomposition| RankedDecomposition {
+                decomposition,
+                triangulation: item.triangulation.clone(),
+                cost: item.cost,
+            })
+            .collect();
+        self.pending.reverse();
+    }
+}
+
+impl<K: BagCost + ?Sized> Iterator for ProperDecompositionEnumerator<'_, K> {
+    type Item = RankedDecomposition;
+
+    fn next(&mut self) -> Option<RankedDecomposition> {
+        loop {
+            if let Some(d) = self.pending.pop() {
+                return Some(d);
+            }
+            let item = self.inner.next()?;
+            self.refill(item);
+        }
+    }
+}
+
+/// Convenience: the `k` cheapest proper tree decompositions of `g` under
+/// `cost` (counting every clique tree of every triangulation).
+pub fn top_k_proper_decompositions<K: BagCost + ?Sized>(
+    g: &Graph,
+    cost: &K,
+    k: usize,
+) -> Vec<RankedDecomposition> {
+    let pre = Preprocessed::new(g);
+    ProperDecompositionEnumerator::new(&pre, cost, None)
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{FillIn, Width};
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn paper_example_proper_decompositions() {
+        let g = paper_example_graph();
+        let pre = Preprocessed::new(&g);
+        // One clique tree per triangulation: exactly 2 results, ordered by fill.
+        let one_each: Vec<_> =
+            ProperDecompositionEnumerator::new(&pre, &FillIn, Some(1)).collect();
+        assert_eq!(one_each.len(), 2);
+        assert!(one_each[0].cost <= one_each[1].cost);
+        for d in &one_each {
+            assert!(d.decomposition.is_valid(&g));
+            assert!(d.decomposition.is_clique_tree_of(&d.triangulation));
+        }
+        // All clique trees: H2 (the fill-1 triangulation, bags {u,v,wi} sharing
+        // {u,v}) has 3 clique trees; H1 has 2 (the middle bag arrangement), so
+        // in total more than 2 proper decompositions exist.
+        let all: Vec<_> = ProperDecompositionEnumerator::new(&pre, &FillIn, None).collect();
+        assert!(all.len() > 2, "expected several clique trees, got {}", all.len());
+        for w in all.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn decompositions_are_valid_and_proper_costed() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&c6);
+        let results: Vec<_> =
+            ProperDecompositionEnumerator::new(&pre, &Width, Some(2)).take(10).collect();
+        assert!(!results.is_empty());
+        for d in &results {
+            assert!(d.decomposition.is_valid(&c6));
+            assert_eq!(
+                CostValue::from_usize(d.decomposition.width()),
+                d.cost,
+                "every clique tree inherits the triangulation's width"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_convenience() {
+        let g = paper_example_graph();
+        let top = top_k_proper_decompositions(&g, &FillIn, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].cost <= top[2].cost);
+    }
+}

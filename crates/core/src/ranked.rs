@@ -1,0 +1,343 @@
+//! `RankedTriang⟨κ⟩` — ranked enumeration of minimal triangulations
+//! (Section 6, Figure 4 of the paper).
+//!
+//! The enumerator adapts the Lawler–Murty procedure: the space of minimal
+//! triangulations is partitioned by inclusion/exclusion constraints over
+//! minimal separators (by Parra–Scheffler, a minimal triangulation is
+//! identified by its set of minimal separators). A priority queue holds one
+//! entry per partition, keyed by the cost of the partition's best member,
+//! which is computed by `MinTriang` under the compiled constraint cost
+//! `κ[I, X]`. Popping the cheapest entry emits its triangulation and splits
+//! the remainder of its partition into sub-partitions.
+//!
+//! The enumerator is exposed as a lazy [`Iterator`], so callers get any-time
+//! top-k semantics: stop pulling and no further work is done. With a
+//! poly-MS class of graphs (or a constant width bound) the delay between
+//! consecutive results is polynomial.
+
+use crate::cost::{BagCost, Constrained, Constraints, CostValue};
+use crate::mintriang::{min_triangulation, Preprocessed, Triangulation};
+use mtr_graph::{Graph, VertexSet};
+use mtr_separators::enumerate::minimal_separators;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One result of the ranked enumeration.
+#[derive(Clone, Debug)]
+pub struct RankedTriangulation {
+    /// The minimal triangulation (chordal supergraph of the input).
+    pub triangulation: Graph,
+    /// Its maximal cliques (the bags of its proper tree decompositions).
+    pub bags: Vec<VertexSet>,
+    /// Its cost under the enumeration's bag cost.
+    pub cost: CostValue,
+    /// Its minimal separators (the maximal set of pairwise-parallel minimal
+    /// separators of the input graph it corresponds to).
+    pub minimal_separators: Vec<VertexSet>,
+}
+
+impl RankedTriangulation {
+    /// Width of the triangulation.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Fill-in relative to `g`.
+    pub fn fill_in(&self, g: &Graph) -> usize {
+        self.triangulation.m() - g.m()
+    }
+}
+
+/// A partition of the not-yet-emitted triangulations, represented by its
+/// best member.
+struct QueueEntry {
+    cost: CostValue,
+    sequence: u64,
+    best: Triangulation,
+    constraints: Constraints,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.sequence == other.sequence
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the cheapest cost (then the
+        // oldest entry) is popped first.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// Lazy ranked enumerator of the minimal triangulations of a graph.
+pub struct RankedEnumerator<'a, K: BagCost + ?Sized> {
+    pre: &'a Preprocessed,
+    cost: &'a K,
+    queue: BinaryHeap<QueueEntry>,
+    emitted_fills: HashSet<Vec<(u32, u32)>>,
+    duplicates_skipped: usize,
+    sequence: u64,
+    started: bool,
+}
+
+impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
+    /// Creates an enumerator over the preprocessed graph, ranked by `cost`.
+    ///
+    /// Preprocessing (minimal separators, PMCs, block structure) is shared:
+    /// build [`Preprocessed`] once and reuse it across cost functions.
+    pub fn new(pre: &'a Preprocessed, cost: &'a K) -> Self {
+        RankedEnumerator {
+            pre,
+            cost,
+            queue: BinaryHeap::new(),
+            emitted_fills: HashSet::new(),
+            duplicates_skipped: 0,
+            sequence: 0,
+            started: false,
+        }
+    }
+
+    /// Number of results skipped because an identical triangulation was
+    /// already emitted. Lawler–Murty partitions are disjoint, so this should
+    /// always be zero; it is tracked as a self-check and asserted by the
+    /// test suite.
+    pub fn duplicates_skipped(&self) -> usize {
+        self.duplicates_skipped
+    }
+
+    fn push_partition(&mut self, constraints: Constraints) {
+        let constrained = Constrained::new(self.cost, &constraints);
+        if let Some(best) = min_triangulation(self.pre, &constrained) {
+            // Guard against a best solution that silently violates the
+            // constraints (line 12 of the algorithm): only non-empty
+            // partitions are enqueued.
+            if constraints.satisfied_by_graph(&best.graph) {
+                self.sequence += 1;
+                self.queue.push(QueueEntry {
+                    cost: best.cost,
+                    sequence: self.sequence,
+                    best,
+                    constraints,
+                });
+            }
+        }
+    }
+
+    fn expand(&mut self, emitted: &Triangulation, constraints: &Constraints) {
+        // Minimal separators of the emitted triangulation H; those not
+        // already forced define the sub-partitions.
+        let seps_of_h = minimal_separators(&emitted.graph);
+        let new_seps: Vec<VertexSet> = seps_of_h
+            .into_iter()
+            .filter(|s| !constraints.include.contains(s))
+            .collect();
+        for i in 0..new_seps.len() {
+            let mut include = constraints.include.clone();
+            include.extend(new_seps[..i].iter().cloned());
+            let mut exclude = constraints.exclude.clone();
+            exclude.push(new_seps[i].clone());
+            self.push_partition(Constraints::new(include, exclude));
+        }
+    }
+}
+
+impl<K: BagCost + ?Sized> Iterator for RankedEnumerator<'_, K> {
+    type Item = RankedTriangulation;
+
+    fn next(&mut self) -> Option<RankedTriangulation> {
+        if !self.started {
+            self.started = true;
+            self.push_partition(Constraints::none());
+        }
+        loop {
+            let entry = self.queue.pop()?;
+            let fill = entry.best.fill_edges(self.pre.graph());
+            let is_new = self.emitted_fills.insert(fill);
+            if !is_new {
+                // Should not happen (partitions are disjoint); counted so the
+                // tests can assert on it, and skipped to preserve soundness.
+                self.duplicates_skipped += 1;
+                self.expand(&entry.best, &entry.constraints);
+                continue;
+            }
+            self.expand(&entry.best, &entry.constraints);
+            let result = RankedTriangulation {
+                minimal_separators: minimal_separators(&entry.best.graph),
+                triangulation: entry.best.graph,
+                bags: entry.best.bags,
+                cost: entry.best.cost,
+            };
+            return Some(result);
+        }
+    }
+}
+
+/// Convenience: the `k` cheapest minimal triangulations of `g` under `cost`
+/// (fewer if the graph has fewer minimal triangulations).
+pub fn top_k_triangulations<K: BagCost + ?Sized>(
+    g: &Graph,
+    cost: &K,
+    k: usize,
+) -> Vec<RankedTriangulation> {
+    let pre = Preprocessed::new(g);
+    RankedEnumerator::new(&pre, cost).take(k).collect()
+}
+
+/// Convenience: all minimal triangulations of `g` by increasing `cost`.
+///
+/// Only sensible for graphs with manageably many minimal triangulations;
+/// prefer driving [`RankedEnumerator`] lazily otherwise.
+pub fn all_triangulations_ranked<K: BagCost + ?Sized>(
+    g: &Graph,
+    cost: &K,
+) -> Vec<RankedTriangulation> {
+    let pre = Preprocessed::new(g);
+    RankedEnumerator::new(&pre, cost).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{FillIn, WeightedWidth, Width, WidthThenFill};
+    use mtr_chordal::verify::is_minimal_triangulation;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn paper_example_enumeration_by_fill() {
+        let g = paper_example_graph();
+        let pre = Preprocessed::new(&g);
+        let mut enumerator = RankedEnumerator::new(&pre, &FillIn);
+        let results: Vec<_> = enumerator.by_ref().collect();
+        assert_eq!(results.len(), 2, "the paper's example has two minimal triangulations");
+        assert_eq!(enumerator.duplicates_skipped(), 0);
+        // Ordered by fill: H2 (1 fill edge) before H1 (3 fill edges).
+        assert_eq!(results[0].fill_in(&g), 1);
+        assert_eq!(results[1].fill_in(&g), 3);
+        for r in &results {
+            assert!(is_minimal_triangulation(&g, &r.triangulation));
+        }
+        // The separator sets match Parra–Scheffler: {S2, S3} and {S1, S3}.
+        assert_eq!(results[0].minimal_separators.len(), 2);
+        assert!(results[0]
+            .minimal_separators
+            .contains(&VertexSet::from_slice(6, &[0, 1])));
+        assert!(results[1]
+            .minimal_separators
+            .contains(&VertexSet::from_slice(6, &[3, 4, 5])));
+    }
+
+    #[test]
+    fn paper_example_enumeration_by_weighted_width() {
+        // Make w1,w2,w3 cheap and u,v expensive: now H1 (bags {u,w*},{v,w*})
+        // costs less than H2 (bags {u,v,wi}), flipping the order.
+        let g = paper_example_graph();
+        let pre = Preprocessed::new(&g);
+        let cost = WeightedWidth::new(vec![10.0, 10.0, 1.0, 0.1, 0.1, 0.1]);
+        let results: Vec<_> = RankedEnumerator::new(&pre, &cost).collect();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].fill_in(&g), 3, "H1 should now come first");
+        assert!(results[0].cost <= results[1].cost);
+    }
+
+    #[test]
+    fn costs_are_non_decreasing() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        );
+        let pre = Preprocessed::new(&g);
+        for cost in [&Width as &dyn BagCost, &FillIn, &WidthThenFill] {
+            let results: Vec<_> = RankedEnumerator::new(&pre, cost).collect();
+            assert!(!results.is_empty());
+            for w in results.windows(2) {
+                assert!(w[0].cost <= w[1].cost, "{} order violated", cost.name());
+            }
+            for r in &results {
+                assert!(is_minimal_triangulation(&g, &r.triangulation));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_complete_on_c5() {
+        // C5 has exactly 5 minimal triangulations (the polygon triangulations).
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let pre = Preprocessed::new(&c5);
+        let mut e = RankedEnumerator::new(&pre, &FillIn);
+        let results: Vec<_> = e.by_ref().collect();
+        assert_eq!(results.len(), 5);
+        assert_eq!(e.duplicates_skipped(), 0);
+        // All have exactly 2 fill edges and width 2.
+        for r in &results {
+            assert_eq!(r.fill_in(&c5), 2);
+            assert_eq!(r.width(), 2);
+        }
+        // All distinct.
+        let fills: HashSet<Vec<(u32, u32)>> = results
+            .iter()
+            .map(|r| {
+                let mut f = c5.fill_edges_of(&r.triangulation);
+                f.sort_unstable();
+                f
+            })
+            .collect();
+        assert_eq!(fills.len(), 5);
+    }
+
+    #[test]
+    fn chordal_input_has_single_result() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let results = all_triangulations_ranked(&path, &FillIn);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].triangulation, path);
+        assert_eq!(results[0].cost, CostValue::ZERO);
+    }
+
+    #[test]
+    fn top_k_stops_early() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let top2 = top_k_triangulations(&c6, &FillIn, 2);
+        assert_eq!(top2.len(), 2);
+        let all = all_triangulations_ranked(&c6, &FillIn);
+        // C6 has 14 minimal triangulations (polygon triangulations: Catalan(4)).
+        assert_eq!(all.len(), 14);
+        assert_eq!(top2[0].cost, all[0].cost);
+        assert_eq!(top2[1].cost, all[1].cost);
+    }
+
+    #[test]
+    fn bounded_width_enumeration() {
+        // C6: every minimal triangulation has width 2, so a bound of 2 keeps
+        // all 14 and a bound of 1 keeps none.
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre2 = Preprocessed::new_bounded(&c6, 2);
+        let results2: Vec<_> = RankedEnumerator::new(&pre2, &FillIn).collect();
+        assert_eq!(results2.len(), 14);
+        let pre1 = Preprocessed::new_bounded(&c6, 1);
+        let results1: Vec<_> = RankedEnumerator::new(&pre1, &FillIn).collect();
+        assert!(results1.is_empty());
+    }
+
+    #[test]
+    fn disconnected_graph_enumeration() {
+        // C4 plus a disjoint edge: the C4 has 2 minimal triangulations, the
+        // edge is already chordal, so the whole graph has 2.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]);
+        let results = all_triangulations_ranked(&g, &FillIn);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(is_minimal_triangulation(&g, &r.triangulation));
+            assert_eq!(r.fill_in(&g), 1);
+        }
+    }
+}

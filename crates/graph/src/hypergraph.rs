@@ -1,0 +1,209 @@
+//! Hypergraphs and their primal (Gaifman) graphs.
+//!
+//! Join queries and constraint networks are naturally hypergraphs: each
+//! relation atom / constraint scope is a hyperedge over its variables. The
+//! decomposition algorithms of this workspace operate on the *primal graph*
+//! (every two vertices sharing a hyperedge are connected), while bag costs
+//! such as (generalized) hypertree width need the hyperedges themselves to
+//! price a bag by the number of hyperedges required to cover it.
+
+use crate::graph::Graph;
+use crate::vertexset::{Vertex, VertexSet};
+
+/// A hypergraph over vertices `0..n` with a list of hyperedges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: u32,
+    edges: Vec<VertexSet>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with `n` vertices and no hyperedges.
+    pub fn new(n: u32) -> Self {
+        Hypergraph { n, edges: Vec::new() }
+    }
+
+    /// Creates a hypergraph from hyperedges given as vertex slices.
+    pub fn from_edges(n: u32, edges: &[&[Vertex]]) -> Self {
+        let mut h = Hypergraph::new(n);
+        for e in edges {
+            h.add_edge_slice(e);
+        }
+        h
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a hyperedge.
+    pub fn add_edge(&mut self, edge: VertexSet) {
+        assert_eq!(edge.universe(), self.n, "hyperedge universe mismatch");
+        self.edges.push(edge);
+    }
+
+    /// Adds a hyperedge given as a vertex slice.
+    pub fn add_edge_slice(&mut self, edge: &[Vertex]) {
+        self.add_edge(VertexSet::from_slice(self.n, edge));
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[VertexSet] {
+        &self.edges
+    }
+
+    /// The primal (Gaifman) graph: vertices sharing a hyperedge are adjacent.
+    pub fn primal_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for e in &self.edges {
+            let vs = e.to_vec();
+            for (i, &u) in vs.iter().enumerate() {
+                for &v in &vs[i + 1..] {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Minimum number of hyperedges needed to cover `bag`, computed exactly
+    /// by branch-and-bound over the (deduplicated, restricted) hyperedges.
+    ///
+    /// This is the edge-cover number used by the hypertree-width-style bag
+    /// cost. Returns `None` when some vertex of the bag appears in no
+    /// hyperedge (the bag cannot be covered).
+    ///
+    /// Bags produced by tree decompositions of primal graphs are small, so an
+    /// exact exponential search in the number of *useful* hyperedges is
+    /// practical; a greedy upper bound primes the search.
+    pub fn cover_number(&self, bag: &VertexSet) -> Option<usize> {
+        if bag.is_empty() {
+            return Some(0);
+        }
+        // Restrict hyperedges to the bag and drop dominated ones.
+        let mut restricted: Vec<VertexSet> = self
+            .edges
+            .iter()
+            .map(|e| e.intersection(bag))
+            .filter(|e| !e.is_empty())
+            .collect();
+        restricted.sort_by_key(|e| std::cmp::Reverse(e.len()));
+        restricted.dedup();
+        let mut useful: Vec<VertexSet> = Vec::new();
+        for e in restricted {
+            if !useful.iter().any(|f| e.is_subset_of(f)) {
+                useful.push(e);
+            }
+        }
+        // Coverage check.
+        let mut coverable = VertexSet::empty(self.n);
+        for e in &useful {
+            coverable.union_with(e);
+        }
+        if !bag.is_subset_of(&coverable) {
+            return None;
+        }
+        // Greedy upper bound.
+        let mut best = {
+            let mut remaining = bag.clone();
+            let mut picked = 0usize;
+            while !remaining.is_empty() {
+                let e = useful
+                    .iter()
+                    .max_by_key(|e| e.intersection_len(&remaining))
+                    .expect("coverable bag must intersect some edge");
+                remaining.difference_with(e);
+                picked += 1;
+            }
+            picked
+        };
+        // Branch and bound: always branch on the lowest uncovered vertex.
+        fn search(
+            useful: &[VertexSet],
+            remaining: &VertexSet,
+            used: usize,
+            best: &mut usize,
+        ) {
+            if remaining.is_empty() {
+                *best = (*best).min(used);
+                return;
+            }
+            if used + 1 >= *best {
+                return;
+            }
+            let pivot = remaining.min_vertex().expect("non-empty remaining set");
+            for e in useful.iter().filter(|e| e.contains(pivot)) {
+                let next = remaining.difference(e);
+                search(useful, &next, used + 1, best);
+            }
+        }
+        search(&useful, bag, 0, &mut best);
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_query() -> Hypergraph {
+        // R(a,b), S(b,c), T(c,a)
+        Hypergraph::from_edges(3, &[&[0, 1], &[1, 2], &[2, 0]])
+    }
+
+    #[test]
+    fn primal_graph_of_triangle_query() {
+        let h = triangle_query();
+        let g = h.primal_graph();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn primal_graph_of_wide_edge() {
+        let h = Hypergraph::from_edges(4, &[&[0, 1, 2, 3]]);
+        let g = h.primal_graph();
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn cover_number_simple() {
+        let h = triangle_query();
+        // Covering all three vertices requires two binary edges.
+        assert_eq!(h.cover_number(&VertexSet::full(3)), Some(2));
+        // A single edge covers its own vertices.
+        assert_eq!(h.cover_number(&VertexSet::from_slice(3, &[0, 1])), Some(1));
+        // Empty bag needs no edges.
+        assert_eq!(h.cover_number(&VertexSet::empty(3)), Some(0));
+    }
+
+    #[test]
+    fn cover_number_prefers_large_edges() {
+        let h = Hypergraph::from_edges(5, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 1, 2, 3, 4]]);
+        assert_eq!(h.cover_number(&VertexSet::full(5)), Some(1));
+    }
+
+    #[test]
+    fn cover_number_uncoverable() {
+        let h = Hypergraph::from_edges(3, &[&[0, 1]]);
+        assert_eq!(h.cover_number(&VertexSet::full(3)), None);
+    }
+
+    #[test]
+    fn cover_number_exact_beats_greedy() {
+        // Universe {0..5}; greedy picks the size-3 edge {2,3,4} first and then
+        // needs 3 more edges, while the optimum is 2: {0,1,2} ∪ {3,4,5}.
+        let h = Hypergraph::from_edges(
+            6,
+            &[&[2, 3, 4], &[0, 1, 2], &[3, 4, 5], &[0], &[1], &[5]],
+        );
+        assert_eq!(h.cover_number(&VertexSet::full(6)), Some(2));
+    }
+}

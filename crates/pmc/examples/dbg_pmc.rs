@@ -1,0 +1,9 @@
+fn main() {
+    let g = mtr_graph::paper_example_graph();
+    let fast = mtr_pmc::potential_maximal_cliques(&g);
+    let brute = mtr_pmc::potential_maximal_cliques_bruteforce(&g);
+    println!("fast:");
+    for p in &fast.pmcs { println!("  {:?}", p); }
+    println!("brute:");
+    for p in &brute { println!("  {:?}", p); }
+}

@@ -1,0 +1,87 @@
+//! Brute-force enumeration of potential maximal cliques.
+//!
+//! Tests every vertex subset with the polynomial PMC test. Exponential in
+//! the number of vertices — intended only for cross-validating the
+//! incremental enumeration of [`crate::enumerate`] on small graphs (the
+//! property tests use `n ≤ 10`).
+
+use crate::test::is_potential_maximal_clique;
+use mtr_graph::{Graph, VertexSet};
+
+/// Enumerates all PMCs of `g` by exhaustive subset search.
+///
+/// # Panics
+/// Panics when `g` has more than 24 vertices.
+pub fn potential_maximal_cliques_bruteforce(g: &Graph) -> Vec<VertexSet> {
+    let n = g.n();
+    assert!(n <= 24, "brute force is limited to small graphs");
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        let omega = VertexSet::from_iter(n, (0..n).filter(|&v| (mask >> v) & 1 == 1));
+        if is_potential_maximal_clique(g, &omega) {
+            out.push(omega);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn paper_example_has_six_pmcs() {
+        let g = paper_example_graph();
+        let pmcs = potential_maximal_cliques_bruteforce(&g);
+        assert_eq!(pmcs.len(), 6);
+    }
+
+    #[test]
+    fn chordal_graph_pmcs_are_maximal_cliques() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let pmcs = potential_maximal_cliques_bruteforce(&path);
+        let cliques = mtr_chordal_maximal_cliques(&path);
+        assert_eq!(pmcs, cliques);
+    }
+
+    // Local helper to avoid a dev-dependency cycle: recompute the maximal
+    // cliques of a small chordal graph by subset search.
+    fn mtr_chordal_maximal_cliques(g: &Graph) -> Vec<VertexSet> {
+        let n = g.n();
+        let mut cliques: Vec<VertexSet> = Vec::new();
+        for mask in 1u32..(1u32 << n) {
+            let s = VertexSet::from_iter(n, (0..n).filter(|&v| (mask >> v) & 1 == 1));
+            if g.is_clique(&s) {
+                cliques.push(s);
+            }
+        }
+        let mut maximal: Vec<VertexSet> = Vec::new();
+        for c in &cliques {
+            if !cliques.iter().any(|d| c.is_proper_subset_of(d)) {
+                maximal.push(c.clone());
+            }
+        }
+        maximal.sort();
+        maximal
+    }
+
+    #[test]
+    fn cycle_counts() {
+        // |PMC(C_n)| = n(n-3)/2 + n for n ≥ 4? For C4: 4 triples = 4.
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(potential_maximal_cliques_bruteforce(&c4).len(), 4);
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        // Each minimal triangulation of C5 has 3 maximal cliques (triangles);
+        // there are 5 minimal triangulations; the distinct bags number 10.
+        assert_eq!(potential_maximal_cliques_bruteforce(&c5).len(), 10);
+    }
+
+    #[test]
+    fn complete_graph_single_pmc() {
+        let g = Graph::complete(5);
+        let pmcs = potential_maximal_cliques_bruteforce(&g);
+        assert_eq!(pmcs, vec![VertexSet::full(5)]);
+    }
+}

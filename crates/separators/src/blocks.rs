@@ -1,0 +1,224 @@
+//! Blocks `(S, C)` and their realizations `R(S, C)`.
+//!
+//! A *block* of `G` is a pair `(S, C)` of a minimal separator `S` and an
+//! `S`-component `C` (a connected component of `G \ S`); it is *full* when
+//! every vertex of `S` has a neighbor in `C`. The *realization* `R(S, C)`
+//! is the induced subgraph on `S ∪ C` with `S` saturated into a clique
+//! (Section 5.1 of the paper). The Bouchitté–Todinca dynamic program
+//! computes one optimal minimal triangulation per full block, in ascending
+//! order of `|S ∪ C|`.
+
+use mtr_graph::{Graph, VertexSet};
+
+/// A block `(S, C)`: a separator together with one of its components.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Block {
+    /// The (minimal) separator `S`.
+    pub separator: VertexSet,
+    /// The `S`-component `C`.
+    pub component: VertexSet,
+}
+
+impl Block {
+    /// Creates a block from its separator and component.
+    pub fn new(separator: VertexSet, component: VertexSet) -> Self {
+        debug_assert!(separator.is_disjoint(&component));
+        Block {
+            separator,
+            component,
+        }
+    }
+
+    /// The vertex set `S ∪ C` the paper identifies the block with.
+    pub fn vertices(&self) -> VertexSet {
+        self.separator.union(&self.component)
+    }
+
+    /// `|S ∪ C|`, the quantity the DP sorts blocks by.
+    pub fn size(&self) -> usize {
+        self.separator.len() + self.component.len()
+    }
+
+    /// `true` iff the block is full in `g`: every vertex of `S` has a
+    /// neighbor in `C`.
+    pub fn is_full(&self, g: &Graph) -> bool {
+        let nbhd = g.neighborhood_of_set(&self.component);
+        self.separator.is_subset_of(&nbhd)
+    }
+
+    /// The realization `R(S, C) = G[S ∪ C] ∪ K_S`, materialized over the
+    /// same vertex range as `g` (vertices outside `S ∪ C` become isolated).
+    pub fn realization(&self, g: &Graph) -> Graph {
+        let verts = self.vertices();
+        let mut r = Graph::new(g.n());
+        for u in verts.iter() {
+            for v in g.neighbors(u).intersection(&verts).iter() {
+                if v > u {
+                    r.add_edge(u, v);
+                }
+            }
+        }
+        r.saturate(&self.separator);
+        r
+    }
+
+    /// The realization remapped to a compact vertex range `0..|S ∪ C|`,
+    /// together with the mapping from new indices to original vertices.
+    pub fn realization_remapped(&self, g: &Graph) -> (Graph, Vec<mtr_graph::Vertex>) {
+        let verts = self.vertices();
+        let (mut sub, mapping) = g.induced_subgraph(&verts);
+        let sep_new: Vec<mtr_graph::Vertex> = mapping
+            .iter()
+            .enumerate()
+            .filter(|(_, &old)| self.separator.contains(old))
+            .map(|(new, _)| new as mtr_graph::Vertex)
+            .collect();
+        sub.saturate(&VertexSet::from_slice(sub.n(), &sep_new));
+        (sub, mapping)
+    }
+}
+
+/// All blocks of `g` for a given family of separators: one block per
+/// `(S, component of G \ S)` pair.
+pub fn all_blocks(g: &Graph, separators: &[VertexSet]) -> Vec<Block> {
+    let mut out = Vec::new();
+    for s in separators {
+        for c in g.components_excluding(s) {
+            out.push(Block::new(s.clone(), c));
+        }
+    }
+    out
+}
+
+/// All *full* blocks of `g` for the given separators, sorted by ascending
+/// `|S ∪ C|` (the processing order of the DP in Figure 3 of the paper).
+pub fn full_blocks(g: &Graph, separators: &[VertexSet]) -> Vec<Block> {
+    let mut out: Vec<Block> = all_blocks(g, separators)
+        .into_iter()
+        .filter(|b| b.is_full(g))
+        .collect();
+    out.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.cmp(b)));
+    out
+}
+
+/// The blocks *associated to* a vertex set `Ω` (Section 5.1): for each
+/// component `C` of `G \ Ω`, the pair `(N(C), C)`. When `Ω` is a potential
+/// maximal clique these are full blocks of `g` and `N(C)` is a minimal
+/// separator.
+pub fn blocks_of_set(g: &Graph, omega: &VertexSet) -> Vec<Block> {
+    g.components_excluding(omega)
+        .into_iter()
+        .map(|c| Block::new(g.neighborhood_of_set(&c), c))
+        .collect()
+}
+
+/// The minimal separators associated to `Ω`: the deduplicated neighborhoods
+/// of the components of `G \ Ω`.
+pub fn separators_of_set(g: &Graph, omega: &VertexSet) -> Vec<VertexSet> {
+    let mut seps: Vec<VertexSet> = blocks_of_set(g, omega)
+        .into_iter()
+        .map(|b| b.separator)
+        .collect();
+    seps.sort();
+    seps.dedup();
+    seps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::minimal_separators;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn paper_blocks_and_fullness() {
+        let g = paper_example_graph();
+        let seps = minimal_separators(&g);
+        let blocks = all_blocks(&g, &seps);
+        // Per Figure 2: S1 has 2 blocks, S2 has 4, S3 has 2 — 8 in total.
+        assert_eq!(blocks.len(), 8);
+        let full = full_blocks(&g, &seps);
+        // All are full except (S2, C4) = ({u,v}, {v'}): v' is not adjacent to u.
+        assert_eq!(full.len(), 7);
+        let not_full = Block::new(
+            VertexSet::from_slice(6, &[0, 1]),
+            VertexSet::singleton(6, 2),
+        );
+        assert!(!not_full.is_full(&g));
+        assert!(blocks.contains(&not_full));
+        assert!(!full.contains(&not_full));
+    }
+
+    #[test]
+    fn full_blocks_sorted_by_size() {
+        let g = paper_example_graph();
+        let seps = minimal_separators(&g);
+        let full = full_blocks(&g, &seps);
+        for w in full.windows(2) {
+            assert!(w[0].size() <= w[1].size());
+        }
+    }
+
+    #[test]
+    fn realization_saturates_separator() {
+        let g = paper_example_graph();
+        // Block (S1, {u}) with S1 = {w1,w2,w3}: realization is the star on
+        // u plus the triangle w1-w2-w3.
+        let b = Block::new(
+            VertexSet::from_slice(6, &[3, 4, 5]),
+            VertexSet::singleton(6, 0),
+        );
+        assert!(b.is_full(&g));
+        let r = b.realization(&g);
+        assert!(r.has_edge(3, 4) && r.has_edge(3, 5) && r.has_edge(4, 5));
+        assert!(r.has_edge(0, 3) && r.has_edge(0, 4) && r.has_edge(0, 5));
+        // No edges incident to vertices outside the block.
+        assert_eq!(r.degree(1), 0);
+        assert_eq!(r.degree(2), 0);
+        assert_eq!(r.m(), 6);
+    }
+
+    #[test]
+    fn realization_remapped_is_compact() {
+        let g = paper_example_graph();
+        let b = Block::new(
+            VertexSet::from_slice(6, &[0, 1]),
+            VertexSet::singleton(6, 3),
+        );
+        let (sub, mapping) = b.realization_remapped(&g);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(mapping, vec![0, 1, 3]);
+        // The separator {u, v} is saturated in the realization.
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(sub.m(), 3);
+    }
+
+    #[test]
+    fn block_vertices_and_size() {
+        let b = Block::new(
+            VertexSet::from_slice(6, &[0, 1]),
+            VertexSet::from_slice(6, &[3, 4]),
+        );
+        assert_eq!(b.size(), 4);
+        assert_eq!(b.vertices().to_vec(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn blocks_of_pmc() {
+        let g = paper_example_graph();
+        // Ω = {w1, u, v} (a PMC per Example 5.2): its associated separators
+        // are S2 = {u,v} and S3 = {v}, with blocks ({u,v},{w2}), ({u,v},{w3}),
+        // ({v},{v'}) — and also the block for w? No: components of G \ Ω are
+        // {w2}, {w3}, {v'}.
+        let omega = VertexSet::from_slice(6, &[0, 1, 3]);
+        let blocks = blocks_of_set(&g, &omega);
+        assert_eq!(blocks.len(), 3);
+        let seps = separators_of_set(&g, &omega);
+        assert_eq!(seps.len(), 2);
+        assert!(seps.contains(&VertexSet::from_slice(6, &[0, 1])));
+        assert!(seps.contains(&VertexSet::from_slice(6, &[1])));
+        for b in &blocks {
+            assert!(b.is_full(&g));
+        }
+    }
+}

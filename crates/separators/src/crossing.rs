@@ -1,0 +1,231 @@
+//! The crossing / parallel relation between minimal separators, and the
+//! *separator graph* built from it.
+//!
+//! Two minimal separators `S` and `T` cross when `S` separates two vertices
+//! of `T` (equivalently, `T \ S` meets at least two components of `G \ S`);
+//! crossing is symmetric. Parra and Scheffler's theorem (Theorem 2.5 of the
+//! paper) states that the minimal triangulations of `G` are exactly the
+//! graphs obtained by saturating a *maximal set of pairwise-parallel*
+//! minimal separators — i.e. a maximal independent set of the separator
+//! graph. Both the CKK-style baseline and several tests rely on this.
+
+use mtr_graph::{Graph, VertexSet};
+
+/// `true` iff `s` crosses `t` in `g`: `s` separates two vertices of `t`.
+///
+/// Implemented as: `t` intersects at least two distinct components of
+/// `G \ s`.
+pub fn crosses(g: &Graph, s: &VertexSet, t: &VertexSet) -> bool {
+    let mut hit = 0;
+    for c in g.components_excluding(s) {
+        if c.intersects(t) {
+            hit += 1;
+            if hit >= 2 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `true` iff `s` and `t` are parallel (do not cross).
+pub fn parallel(g: &Graph, s: &VertexSet, t: &VertexSet) -> bool {
+    !crosses(g, s, t)
+}
+
+/// The separator graph over an indexed family of minimal separators:
+/// vertex `i` corresponds to `separators[i]`, and `i` is adjacent to `j`
+/// when the two separators cross.
+///
+/// The maximal independent sets of this graph are exactly the maximal sets
+/// of pairwise-parallel separators, i.e. the minimal triangulations.
+#[derive(Clone, Debug)]
+pub struct SeparatorGraph {
+    /// The separators, in the order used for indexing.
+    separators: Vec<VertexSet>,
+    /// `adjacency[i]` holds the indices of separators crossing `separators[i]`.
+    adjacency: Vec<VertexSet>,
+}
+
+impl SeparatorGraph {
+    /// Builds the separator graph for the given separators of `g`.
+    ///
+    /// Quadratic in the number of separators, with one component computation
+    /// per pair; this is the dominant part of the CKK-style baseline's
+    /// initialization.
+    pub fn build(g: &Graph, separators: Vec<VertexSet>) -> Self {
+        let k = separators.len() as u32;
+        let mut adjacency: Vec<VertexSet> = (0..k).map(|_| VertexSet::empty(k)).collect();
+        // For each separator, compute the components of G \ S once and test
+        // every other separator against them.
+        for i in 0..separators.len() {
+            let comps = g.components_excluding(&separators[i]);
+            for j in 0..separators.len() {
+                if i == j {
+                    continue;
+                }
+                let mut hit = 0;
+                for c in &comps {
+                    if c.intersects(&separators[j]) {
+                        hit += 1;
+                        if hit >= 2 {
+                            break;
+                        }
+                    }
+                }
+                if hit >= 2 {
+                    adjacency[i].insert(j as u32);
+                    adjacency[j].insert(i as u32);
+                }
+            }
+        }
+        SeparatorGraph {
+            separators,
+            adjacency,
+        }
+    }
+
+    /// Number of separators (vertices of the separator graph).
+    pub fn len(&self) -> usize {
+        self.separators.len()
+    }
+
+    /// `true` when there are no separators at all.
+    pub fn is_empty(&self) -> bool {
+        self.separators.is_empty()
+    }
+
+    /// The separators, in index order.
+    pub fn separators(&self) -> &[VertexSet] {
+        &self.separators
+    }
+
+    /// The indices of separators crossing separator `i`.
+    pub fn crossing_neighbors(&self, i: usize) -> &VertexSet {
+        &self.adjacency[i]
+    }
+
+    /// `true` iff separators `i` and `j` cross.
+    pub fn are_crossing(&self, i: usize, j: usize) -> bool {
+        self.adjacency[i].contains(j as u32)
+    }
+
+    /// `true` iff the given set of separator indices is pairwise parallel.
+    pub fn is_independent(&self, indices: &VertexSet) -> bool {
+        indices
+            .iter()
+            .all(|i| self.adjacency[i as usize].is_disjoint(indices))
+    }
+
+    /// `true` iff the given set of separator indices is a *maximal* set of
+    /// pairwise-parallel separators.
+    pub fn is_maximal_independent(&self, indices: &VertexSet) -> bool {
+        if !self.is_independent(indices) {
+            return false;
+        }
+        (0..self.len() as u32)
+            .filter(|v| !indices.contains(*v))
+            .all(|v| self.adjacency[v as usize].intersects(indices))
+    }
+
+    /// Greedily extends `seed` (assumed independent) to a maximal
+    /// independent set, preferring smaller indices.
+    pub fn greedy_maximal_independent(&self, seed: &VertexSet) -> VertexSet {
+        debug_assert!(self.is_independent(seed));
+        let mut result = seed.clone();
+        let mut blocked = VertexSet::empty(self.len() as u32);
+        for i in seed.iter() {
+            blocked.union_with(&self.adjacency[i as usize]);
+        }
+        for v in 0..self.len() as u32 {
+            if !result.contains(v) && !blocked.contains(v) {
+                result.insert(v);
+                blocked.union_with(&self.adjacency[v as usize]);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::minimal_separators;
+    use mtr_graph::paper_example_graph;
+
+    #[test]
+    fn paper_crossing_relation() {
+        let g = paper_example_graph();
+        let s1 = VertexSet::from_slice(6, &[3, 4, 5]); // {w1,w2,w3}
+        let s2 = VertexSet::from_slice(6, &[0, 1]); // {u,v}
+        let s3 = VertexSet::singleton(6, 1); // {v}
+        assert!(crosses(&g, &s1, &s2));
+        assert!(crosses(&g, &s2, &s1), "crossing must be symmetric");
+        assert!(parallel(&g, &s1, &s3));
+        assert!(parallel(&g, &s3, &s1));
+        assert!(parallel(&g, &s2, &s3));
+        // A separator never crosses itself.
+        assert!(parallel(&g, &s1, &s1));
+    }
+
+    #[test]
+    fn separator_graph_of_paper_example() {
+        let g = paper_example_graph();
+        let seps = minimal_separators(&g);
+        let sg = SeparatorGraph::build(&g, seps.clone());
+        assert_eq!(sg.len(), 3);
+        let i1 = seps.iter().position(|s| s.len() == 3).unwrap(); // {w1,w2,w3}
+        let i2 = seps.iter().position(|s| s.len() == 2).unwrap(); // {u,v}
+        let i3 = seps.iter().position(|s| s.len() == 1).unwrap(); // {v}
+        assert!(sg.are_crossing(i1, i2));
+        assert!(!sg.are_crossing(i1, i3));
+        assert!(!sg.are_crossing(i2, i3));
+        // Maximal independent sets: {S1, S3} and {S2, S3} — exactly the two
+        // minimal triangulations of the paper's example.
+        let k = sg.len() as u32;
+        let mis1 = VertexSet::from_slice(k, &[i1 as u32, i3 as u32]);
+        let mis2 = VertexSet::from_slice(k, &[i2 as u32, i3 as u32]);
+        assert!(sg.is_maximal_independent(&mis1));
+        assert!(sg.is_maximal_independent(&mis2));
+        assert!(!sg.is_maximal_independent(&VertexSet::singleton(k, i3 as u32)));
+        assert!(!sg.is_independent(&VertexSet::from_slice(k, &[i1 as u32, i2 as u32])));
+    }
+
+    #[test]
+    fn greedy_extension_is_maximal() {
+        let g = paper_example_graph();
+        let seps = minimal_separators(&g);
+        let sg = SeparatorGraph::build(&g, seps);
+        let empty = VertexSet::empty(sg.len() as u32);
+        let m = sg.greedy_maximal_independent(&empty);
+        assert!(sg.is_maximal_independent(&m));
+        for i in 0..sg.len() as u32 {
+            let seeded = sg.greedy_maximal_independent(&VertexSet::singleton(sg.len() as u32, i));
+            assert!(sg.is_maximal_independent(&seeded));
+            assert!(seeded.contains(i));
+        }
+    }
+
+    #[test]
+    fn cycle_separator_graph() {
+        // In C5 the minimal separators are the 5 non-adjacent vertex pairs;
+        // {a, c} and {b, d} cross whenever the pairs interleave around the
+        // cycle. Every separator crosses exactly two others.
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let seps = minimal_separators(&c5);
+        let sg = SeparatorGraph::build(&c5, seps);
+        assert_eq!(sg.len(), 5);
+        for i in 0..5 {
+            assert_eq!(sg.crossing_neighbors(i).len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_separator_graph() {
+        let g = Graph::complete(4);
+        let sg = SeparatorGraph::build(&g, minimal_separators(&g));
+        assert!(sg.is_empty());
+        let empty = VertexSet::empty(0);
+        assert!(sg.is_maximal_independent(&empty));
+    }
+}

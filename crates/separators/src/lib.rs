@@ -1,0 +1,27 @@
+//! `mtr-separators`: minimal separators, the crossing relation, and blocks.
+//!
+//! This crate implements the separator-level substrate of the paper:
+//!
+//! * [`enumerate`] — the Berry–Bordat–Cogis enumeration of all minimal
+//!   separators (`MinSep(G)`), with an optional budget for graphs violating
+//!   the poly-MS assumption, plus a brute-force reference used in tests;
+//! * [`crossing`] — the crossing/parallel relation and the
+//!   [`crossing::SeparatorGraph`] whose maximal independent
+//!   sets are the minimal triangulations (Parra–Scheffler);
+//! * [`blocks`] — blocks `(S, C)`, full blocks, realizations `R(S, C)`, and
+//!   the blocks/separators associated to a vertex set, i.e. the objects the
+//!   Bouchitté–Todinca dynamic program manipulates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod crossing;
+pub mod enumerate;
+
+pub use blocks::{all_blocks, blocks_of_set, full_blocks, separators_of_set, Block};
+pub use crossing::{crosses, parallel, SeparatorGraph};
+pub use enumerate::{
+    is_minimal_separator, minimal_separators, minimal_separators_bounded,
+    minimal_separators_bruteforce, minimal_separators_with_limits, MinSepLimitExceeded,
+};

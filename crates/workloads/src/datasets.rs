@@ -1,0 +1,321 @@
+//! Dataset families mirroring the paper's experimental datasets.
+//!
+//! The paper evaluates on four sources: probabilistic graphical models from
+//! the PIC 2011 challenge, Gaifman graphs of TPC-H queries, PACE 2016
+//! treewidth instances, and Erdős–Rényi random graphs. Those files are not
+//! redistributable here, so each family is replaced by a synthetic generator
+//! with the same structural character (see DESIGN.md, "Substitutions").
+//! Every instance is deterministic (seeded), so experiment output is
+//! reproducible run to run.
+
+use crate::queries;
+use crate::random;
+use crate::structured;
+use mtr_graph::Graph;
+
+/// A named graph instance belonging to a dataset family.
+#[derive(Clone, Debug)]
+pub struct DatasetInstance {
+    /// Instance name (unique within the family).
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+/// A dataset family (one row of the paper's Figure 5 / Table 2).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Family name, echoing the paper's dataset names with a `-like` suffix.
+    pub name: String,
+    /// The instances.
+    pub instances: Vec<DatasetInstance>,
+}
+
+impl Dataset {
+    fn new(name: &str, instances: Vec<(String, Graph)>) -> Self {
+        Dataset {
+            name: name.to_string(),
+            instances: instances
+                .into_iter()
+                .map(|(name, graph)| DatasetInstance { name, graph })
+                .collect(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when the family has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// How large the generated instances should be.
+///
+/// `Smoke` keeps every instance small enough for CI-style runs (seconds in
+/// total); `Standard` matches the laptop-scale budgets used by the
+/// experiment binaries; `Large` pushes towards the regimes where the
+/// poly-MS assumption visibly breaks, as in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// Tiny instances for tests.
+    Smoke,
+    /// Default experiment scale.
+    Standard,
+    /// Stress scale.
+    Large,
+}
+
+/// Builds every dataset family at the requested scale.
+pub fn all_datasets(scale: DatasetScale) -> Vec<Dataset> {
+    use DatasetScale::*;
+    let mut out = Vec::new();
+
+    // --- Grids (PIC2011 "Grids") -----------------------------------------
+    let grid_sizes: &[(u32, u32)] = match scale {
+        Smoke => &[(3, 3), (3, 4)],
+        Standard => &[(3, 3), (4, 4), (4, 5), (5, 5)],
+        Large => &[(4, 4), (5, 5), (6, 6), (7, 7)],
+    };
+    out.push(Dataset::new(
+        "grids-like",
+        grid_sizes
+            .iter()
+            .map(|&(r, c)| (format!("grid_{r}x{c}"), structured::grid(r, c)))
+            .collect(),
+    ));
+
+    // --- Segmentation (noisy grids) --------------------------------------
+    let seg_sizes: &[(u32, u32)] = match scale {
+        Smoke => &[(3, 3)],
+        Standard => &[(3, 4), (4, 4), (4, 5)],
+        Large => &[(5, 5), (5, 6), (6, 6)],
+    };
+    out.push(Dataset::new(
+        "segmentation-like",
+        seg_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| {
+                (
+                    format!("seg_{r}x{c}"),
+                    structured::noisy_grid(r, c, 0.3, 100 + i as u64),
+                )
+            })
+            .collect(),
+    ));
+
+    // --- DBN (layered temporal models) ------------------------------------
+    let dbn_params: &[(u32, u32)] = match scale {
+        Smoke => &[(3, 3)],
+        Standard => &[(3, 4), (4, 4), (5, 4)],
+        Large => &[(5, 5), (6, 5), (6, 6)],
+    };
+    out.push(Dataset::new(
+        "dbn-like",
+        dbn_params
+            .iter()
+            .enumerate()
+            .map(|(i, &(slices, per))| {
+                (
+                    format!("dbn_{slices}x{per}"),
+                    structured::dbn_like(slices, per, 0.4, 0.15, 200 + i as u64),
+                )
+            })
+            .collect(),
+    ));
+
+    // --- Object detection (core clique + parts) ---------------------------
+    let obj_params: &[(u32, u32, u32)] = match scale {
+        Smoke => &[(4, 8, 2)],
+        Standard => &[(4, 12, 2), (5, 16, 2), (5, 20, 3)],
+        Large => &[(6, 24, 3), (6, 30, 3), (7, 30, 3)],
+    };
+    out.push(Dataset::new(
+        "object-detection-like",
+        obj_params
+            .iter()
+            .enumerate()
+            .map(|(i, &(core, parts, attach))| {
+                (
+                    format!("obj_{core}_{parts}"),
+                    structured::object_detection_like(core, parts, attach, 300 + i as u64),
+                )
+            })
+            .collect(),
+    ));
+
+    // --- CSP (coloring-style graphs: Mycielski + queens) ------------------
+    let csp: Vec<(String, Graph)> = match scale {
+        Smoke => vec![
+            ("myciel3".into(), structured::mycielski(3)),
+            ("queens4".into(), structured::queens(4)),
+        ],
+        Standard => vec![
+            ("myciel4".into(), structured::mycielski(4)),
+            ("myciel5".into(), structured::mycielski(5)),
+            ("queens5".into(), structured::queens(5)),
+        ],
+        Large => vec![
+            ("myciel5".into(), structured::mycielski(5)),
+            ("myciel6".into(), structured::mycielski(6)),
+            ("queens6".into(), structured::queens(6)),
+            ("queens7".into(), structured::queens(7)),
+        ],
+    };
+    out.push(Dataset::new("csp-like", csp));
+
+    // --- Promedas (dense noisy diagnostic networks: hard for poly-MS) -----
+    let promedas_params: &[(u32, f64)] = match scale {
+        Smoke => &[(18, 0.25)],
+        Standard => &[(30, 0.25), (35, 0.25)],
+        Large => &[(45, 0.25), (55, 0.25), (65, 0.3)],
+    };
+    out.push(Dataset::new(
+        "promedas-like",
+        promedas_params
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, p))| {
+                (
+                    format!("promedas_{n}"),
+                    random::gnp_connected(n, p, 400 + i as u64),
+                )
+            })
+            .collect(),
+    ));
+
+    // --- TPC-H (join query Gaifman graphs) ---------------------------------
+    let tpch: Vec<(String, Graph)> = vec![
+        ("chain5".into(), queries::chain_query(5).primal_graph()),
+        ("star4".into(), queries::star_query(4).primal_graph()),
+        (
+            "snowflake3x2".into(),
+            queries::snowflake_query(3, 2).primal_graph(),
+        ),
+        ("cycle6".into(), queries::cycle_query(6).primal_graph()),
+        ("tpch2".into(), queries::tpch_like_query(2).primal_graph()),
+        ("tpch4".into(), queries::tpch_like_query(4).primal_graph()),
+    ];
+    out.push(Dataset::new("tpch-like", tpch));
+
+    // --- PACE 2016, 100-second track (smaller instances) -------------------
+    let pace100: Vec<(String, Graph)> = match scale {
+        Smoke => vec![
+            ("petersen".into(), structured::petersen()),
+            ("sp20".into(), structured::series_parallel(20, 500)),
+        ],
+        Standard | Large => vec![
+            ("petersen".into(), structured::petersen()),
+            ("sp30".into(), structured::series_parallel(30, 500)),
+            ("sp60".into(), structured::series_parallel(60, 501)),
+            ("pkt_30_4".into(), random::random_partial_k_tree(30, 4, 0.8, 502)),
+            ("tree40+".into(), {
+                // A tree with a few extra edges (near-tree control-flow shape).
+                let mut g = random::random_tree(40, 503);
+                g.add_edge(0, 20);
+                g.add_edge(5, 30);
+                g.add_edge(10, 35);
+                g
+            }),
+        ],
+    };
+    out.push(Dataset::new("pace100s-like", pace100));
+
+    // --- PACE 2016, 1000-second track (larger / denser) --------------------
+    let pace1000: Vec<(String, Graph)> = match scale {
+        Smoke => vec![("pkt_15_3".into(), random::random_partial_k_tree(15, 3, 0.9, 600))],
+        Standard => vec![
+            ("pkt_40_5".into(), random::random_partial_k_tree(40, 5, 0.85, 600)),
+            ("gnp40_10".into(), random::gnp_connected(40, 0.10, 601)),
+        ],
+        Large => vec![
+            ("pkt_60_6".into(), random::random_partial_k_tree(60, 6, 0.85, 600)),
+            ("gnp60_10".into(), random::gnp_connected(60, 0.10, 601)),
+            ("gnp70_15".into(), random::gnp_connected(70, 0.15, 602)),
+        ],
+    };
+    out.push(Dataset::new("pace1000s-like", pace1000));
+
+    // --- Hard dense families (Alchemy / Pedigree / Protein stand-ins) ------
+    let hard_params: &[(u32, f64)] = match scale {
+        Smoke => &[(20, 0.4)],
+        Standard => &[(35, 0.35), (40, 0.35)],
+        Large => &[(50, 0.35), (60, 0.35), (70, 0.4)],
+    };
+    out.push(Dataset::new(
+        "protein-like",
+        hard_params
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, p))| {
+                (
+                    format!("protein_{n}"),
+                    random::gnp_connected(n, p, 700 + i as u64),
+                )
+            })
+            .collect(),
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_datasets_are_small_and_nonempty() {
+        let datasets = all_datasets(DatasetScale::Smoke);
+        assert!(datasets.len() >= 8);
+        for d in &datasets {
+            assert!(!d.is_empty(), "{} has no instances", d.name);
+            for inst in &d.instances {
+                assert!(inst.graph.n() > 0);
+                assert!(inst.graph.n() <= 60, "{} too large for smoke scale", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn instance_names_are_unique_within_a_family() {
+        for scale in [DatasetScale::Smoke, DatasetScale::Standard, DatasetScale::Large] {
+            for d in all_datasets(scale) {
+                let mut names: Vec<&str> = d.instances.iter().map(|i| i.name.as_str()).collect();
+                names.sort_unstable();
+                names.dedup();
+                assert_eq!(names.len(), d.len(), "duplicate names in {}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = all_datasets(DatasetScale::Standard);
+        let b = all_datasets(DatasetScale::Standard);
+        for (da, db) in a.iter().zip(b.iter()) {
+            assert_eq!(da.name, db.name);
+            for (ia, ib) in da.instances.iter().zip(db.instances.iter()) {
+                assert_eq!(ia.graph, ib.graph, "instance {} not deterministic", ia.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_grow() {
+        let smoke: usize = all_datasets(DatasetScale::Smoke)
+            .iter()
+            .flat_map(|d| d.instances.iter())
+            .map(|i| i.graph.n() as usize)
+            .sum();
+        let large: usize = all_datasets(DatasetScale::Large)
+            .iter()
+            .flat_map(|d| d.instances.iter())
+            .map(|i| i.graph.n() as usize)
+            .sum();
+        assert!(large > smoke);
+    }
+}

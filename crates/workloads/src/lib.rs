@@ -1,0 +1,26 @@
+//! `mtr-workloads`: workload generators and the experiment harness.
+//!
+//! The paper evaluates on probabilistic graphical models (PIC 2011), TPC-H
+//! join queries, PACE 2016 treewidth instances and Erdős–Rényi random
+//! graphs. This crate provides seeded synthetic generators covering the same
+//! structural regimes ([`random`], [`structured`], [`queries`]), a registry
+//! of dataset families mirroring the paper's datasets ([`datasets`]), and
+//! the measurement harness that regenerates each table and figure
+//! ([`experiment`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiment;
+pub mod queries;
+pub mod random;
+pub mod structured;
+
+pub use datasets::{all_datasets, Dataset, DatasetInstance, DatasetScale};
+pub use experiment::{
+    classify_graph, compare_on_graph, minsep_distribution, random_minsep_study, render_csv,
+    render_markdown, run_ckk, run_ranked, timeline_study, tractability_study, AlgorithmRun,
+    CostKind, GraphComparison, ResultSample, TractabilityBudget, TractabilityRow,
+    TractabilityStatus,
+};

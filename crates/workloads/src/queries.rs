@@ -1,0 +1,183 @@
+//! Join-query workloads: TPC-H-like conjunctive queries and their Gaifman
+//! (primal) graphs.
+//!
+//! The paper evaluates on Gaifman graphs of conjunctive queries translated
+//! from the TPC-H benchmark and notes they are small enough that all minimal
+//! triangulations are produced within seconds. The generators here build
+//! query hypergraphs with the same shapes — chain joins, star (fact table
+//! with dimensions), snowflake (star of stars) and cycle joins — over
+//! TPC-H-like relation arities, and expose both the hypergraph (for
+//! hypertree-width-style costs) and its primal graph.
+
+use mtr_graph::{Graph, Hypergraph, Vertex};
+
+/// A join query: named relations over shared variables.
+#[derive(Clone, Debug)]
+pub struct JoinQuery {
+    /// Number of variables.
+    pub variables: u32,
+    /// The atoms: relation name plus the variables it mentions.
+    pub atoms: Vec<(String, Vec<Vertex>)>,
+}
+
+impl JoinQuery {
+    /// The query's hypergraph (one hyperedge per atom).
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new(self.variables);
+        for (_, vars) in &self.atoms {
+            h.add_edge_slice(vars);
+        }
+        h
+    }
+
+    /// The Gaifman (primal) graph of the query.
+    pub fn primal_graph(&self) -> Graph {
+        self.hypergraph().primal_graph()
+    }
+
+    /// Number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+/// A chain join `R_1(x_0, x_1) ⋈ R_2(x_1, x_2) ⋈ … ⋈ R_k(x_{k-1}, x_k)`.
+pub fn chain_query(k: u32) -> JoinQuery {
+    let atoms = (0..k)
+        .map(|i| (format!("R{}", i + 1), vec![i, i + 1]))
+        .collect();
+    JoinQuery {
+        variables: k + 1,
+        atoms,
+    }
+}
+
+/// A star join: one fact atom over `dimensions` keys, each key shared with
+/// a binary dimension atom carrying one private attribute (the TPC-H
+/// `lineitem ⋈ part/supplier/…` shape).
+pub fn star_query(dimensions: u32) -> JoinQuery {
+    // Variables: keys 0..d, then private attributes d..2d.
+    let keys: Vec<Vertex> = (0..dimensions).collect();
+    let mut atoms = vec![("Fact".to_string(), keys.clone())];
+    for i in 0..dimensions {
+        atoms.push((format!("Dim{}", i + 1), vec![i, dimensions + i]));
+    }
+    JoinQuery {
+        variables: 2 * dimensions,
+        atoms,
+    }
+}
+
+/// A snowflake join: a star whose dimensions each have `branch` further
+/// child atoms (two levels of normalization).
+pub fn snowflake_query(dimensions: u32, branch: u32) -> JoinQuery {
+    let mut query = star_query(dimensions);
+    let mut next = query.variables;
+    for i in 0..dimensions {
+        let dim_attr = dimensions + i;
+        for b in 0..branch {
+            query
+                .atoms
+                .push((format!("Dim{}_{}", i + 1, b + 1), vec![dim_attr, next]));
+            next += 1;
+        }
+    }
+    query.variables = next;
+    query
+}
+
+/// A cycle join `R_1(x_0, x_1) ⋈ … ⋈ R_k(x_{k-1}, x_0)` — the canonical
+/// non-acyclic query.
+pub fn cycle_query(k: u32) -> JoinQuery {
+    assert!(k >= 3);
+    let atoms = (0..k)
+        .map(|i| (format!("R{}", i + 1), vec![i, (i + 1) % k]))
+        .collect();
+    JoinQuery {
+        variables: k,
+        atoms,
+    }
+}
+
+/// A TPC-H-like schema join: eight relations with realistic arities joined
+/// along key chains (suppliers, parts, orders, lineitems, customers,
+/// nation, region), parameterized by how many "lineitem" fan-out copies are
+/// included. Produces small, mostly-acyclic Gaifman graphs like the paper's
+/// TPC-H workload.
+pub fn tpch_like_query(lineitems: u32) -> JoinQuery {
+    // Variables (keys): 0=regionkey 1=nationkey 2=custkey 3=orderkey
+    // 4=partkey 5=suppkey; then one "price" attribute per lineitem copy.
+    let mut atoms = vec![
+        ("Region".to_string(), vec![0]),
+        ("Nation".to_string(), vec![0, 1]),
+        ("Customer".to_string(), vec![1, 2]),
+        ("Orders".to_string(), vec![2, 3]),
+        ("Part".to_string(), vec![4]),
+        ("Supplier".to_string(), vec![1, 5]),
+        ("PartSupp".to_string(), vec![4, 5]),
+    ];
+    let mut next = 6u32;
+    for i in 0..lineitems {
+        atoms.push((format!("Lineitem{}", i + 1), vec![3, 4, 5, next]));
+        next += 1;
+    }
+    JoinQuery {
+        variables: next,
+        atoms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_chordal::is_chordal;
+
+    #[test]
+    fn chain_query_is_acyclic() {
+        let q = chain_query(5);
+        assert_eq!(q.variables, 6);
+        assert_eq!(q.num_atoms(), 5);
+        let g = q.primal_graph();
+        assert_eq!(g.m(), 5);
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn star_query_shape() {
+        let q = star_query(4);
+        let g = q.primal_graph();
+        assert_eq!(g.n(), 8);
+        // The fact atom makes the 4 keys a clique; each dimension adds a
+        // pendant vertex.
+        assert_eq!(g.m(), 6 + 4);
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn snowflake_query_grows() {
+        let q = snowflake_query(3, 2);
+        assert_eq!(q.variables, 3 * 2 + 6);
+        assert_eq!(q.num_atoms(), 1 + 3 + 6);
+        assert!(q.primal_graph().is_connected());
+    }
+
+    #[test]
+    fn cycle_query_is_cyclic() {
+        let q = cycle_query(5);
+        let g = q.primal_graph();
+        assert_eq!(g.m(), 5);
+        assert!(!is_chordal(&g));
+    }
+
+    #[test]
+    fn tpch_like_query_is_small_and_connected() {
+        let q = tpch_like_query(2);
+        let g = q.primal_graph();
+        assert_eq!(g.n(), 8);
+        assert!(g.is_connected());
+        // The hypergraph covers every variable.
+        let h = q.hypergraph();
+        assert_eq!(h.num_edges(), 9);
+        assert!(h.cover_number(&g.vertex_set()).is_some());
+    }
+}

@@ -1,0 +1,197 @@
+//! Random graph generators.
+//!
+//! The paper's random workload is the Erdős–Rényi model `G(n, p)`: `n`
+//! vertices, each pair independently connected with probability `p`
+//! (Section 7.1). The generators here are seeded so every experiment is
+//! reproducible.
+
+use mtr_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples an Erdős–Rényi graph `G(n, p)` with the given seed.
+pub fn gnp(n: u32, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Samples `G(n, p)` and then connects the components with uniformly chosen
+/// bridge edges, so the result is always connected (useful for experiments
+/// where per-component behaviour would only add noise).
+pub fn gnp_connected(n: u32, p: f64, seed: u64) -> Graph {
+    let mut g = gnp(n, p, seed);
+    if n == 0 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    loop {
+        let comps = g.components();
+        if comps.len() <= 1 {
+            break;
+        }
+        // Connect the first two components with a random bridge.
+        let a = comps[0].to_vec();
+        let b = comps[1].to_vec();
+        let u = a[rng.gen_range(0..a.len())];
+        let v = b[rng.gen_range(0..b.len())];
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// Samples a uniformly random labelled tree on `n` vertices (via a random
+/// Prüfer sequence); trees are the extreme sparse case of the random study.
+pub fn random_tree(n: u32, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(0, 1);
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1u32; n as usize];
+    for &x in &prufer {
+        degree[x as usize] += 1;
+    }
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        g.add_edge(leaf, x);
+        degree[x as usize] -= 1;
+        if degree[x as usize] == 1 {
+            leaves.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+    g.add_edge(a, b);
+    g
+}
+
+/// A random partial k-tree: a k-tree (maximal graph of treewidth `k`) built
+/// by repeated simplicial additions, from which each edge is then kept with
+/// probability `keep`. Useful for generating graphs whose treewidth is
+/// bounded by construction.
+pub fn random_partial_k_tree(n: u32, k: u32, keep: f64, seed: u64) -> Graph {
+    assert!(n > k, "need more vertices than the clique size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::complete(k + 1).resized_to(n);
+    // Track the cliques a new vertex can attach to.
+    let mut cliques: Vec<Vec<Vertex>> = vec![(0..=k).collect()];
+    for v in (k + 1)..n {
+        let base = cliques[rng.gen_range(0..cliques.len())].clone();
+        // Attach v to a random k-subset of the chosen (k+1)-clique.
+        let drop = rng.gen_range(0..base.len());
+        let attach: Vec<Vertex> = base
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, &x)| x)
+            .collect();
+        for &u in &attach {
+            g.add_edge(u, v);
+        }
+        let mut new_clique = attach;
+        new_clique.push(v);
+        cliques.push(new_clique);
+    }
+    // Thin the edges.
+    let mut thinned = Graph::new(n);
+    for (u, v) in g.edges() {
+        if rng.gen_bool(keep) {
+            thinned.add_edge(u, v);
+        }
+    }
+    thinned
+}
+
+/// Extension trait used by the generators to grow a graph's vertex range.
+trait Resized {
+    fn resized_to(&self, n: u32) -> Graph;
+}
+
+impl Resized for Graph {
+    fn resized_to(&self, n: u32) -> Graph {
+        assert!(n >= self.n());
+        let mut g = Graph::new(n);
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+        assert_eq!(gnp(0, 0.5, 1).n(), 0);
+    }
+
+    #[test]
+    fn gnp_is_reproducible() {
+        let a = gnp(30, 0.3, 7);
+        let b = gnp(30, 0.3, 7);
+        assert_eq!(a, b);
+        let c = gnp(30, 0.3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_edge_count_is_plausible() {
+        let g = gnp(50, 0.2, 3);
+        let expected = 0.2 * (50.0 * 49.0 / 2.0);
+        let m = g.m() as f64;
+        assert!((m - expected).abs() < expected * 0.5, "m = {m}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        for seed in 0..5 {
+            let g = gnp_connected(40, 0.05, seed);
+            assert!(g.is_connected());
+        }
+        assert!(gnp_connected(1, 0.5, 0).is_connected());
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..5 {
+            let t = random_tree(20, seed);
+            assert_eq!(t.m(), 19);
+            assert!(t.is_connected());
+            assert!(mtr_chordal::is_chordal(&t));
+        }
+        assert_eq!(random_tree(1, 0).m(), 0);
+        assert_eq!(random_tree(2, 0).m(), 1);
+    }
+
+    #[test]
+    fn partial_k_tree_has_bounded_treewidth_skeleton() {
+        let g = random_partial_k_tree(15, 3, 1.0, 11);
+        assert!(g.is_connected());
+        // A full k-tree on n vertices has k(k+1)/2 + (n-k-1)k edges.
+        assert_eq!(g.m(), 6 + 11 * 3);
+        let thinned = random_partial_k_tree(15, 3, 0.5, 11);
+        assert!(thinned.m() <= g.m());
+    }
+}

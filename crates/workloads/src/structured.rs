@@ -1,0 +1,293 @@
+//! Structured graph families standing in for the paper's real-world
+//! datasets (PIC 2011 probabilistic graphical models and PACE 2016
+//! treewidth instances).
+//!
+//! Each generator mirrors the *structure* of one dataset family so that the
+//! tractability and quality experiments traverse the same regimes: grid
+//! Markov networks (image segmentation / grids), layered dynamic Bayesian
+//! networks, star-of-cliques object-detection models, Mycielski graphs
+//! (graph-coloring CSPs), series-parallel control-flow graphs, and small
+//! classic named graphs.
+
+use mtr_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An `rows × cols` grid graph (the primal graph of a lattice Markov random
+/// field, as in the paper's "Grids" and "Segmentation" datasets).
+pub fn grid(rows: u32, cols: u32) -> Graph {
+    let idx = |r: u32, c: u32| r * cols + c;
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A grid with extra random "diagonal" potentials, mimicking segmentation
+/// models whose factors connect nearby but not strictly adjacent pixels.
+pub fn noisy_grid(rows: u32, cols: u32, extra_probability: f64, seed: u64) -> Graph {
+    let mut g = grid(rows, cols);
+    let idx = |r: u32, c: u32| r * cols + c;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols.saturating_sub(1) {
+            if rng.gen_bool(extra_probability) {
+                g.add_edge(idx(r, c), idx(r + 1, c + 1));
+            }
+            if rng.gen_bool(extra_probability) {
+                g.add_edge(idx(r, c + 1), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A layered dynamic-Bayesian-network-style graph: `slices` time slices of
+/// `per_slice` state variables; variables within a slice form a sparse
+/// random graph and consecutive slices are joined by per-variable
+/// transition edges plus a few random cross edges.
+pub fn dbn_like(slices: u32, per_slice: u32, intra_p: f64, cross_p: f64, seed: u64) -> Graph {
+    let n = slices * per_slice;
+    let mut g = Graph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |t: u32, i: u32| t * per_slice + i;
+    for t in 0..slices {
+        for i in 0..per_slice {
+            for j in (i + 1)..per_slice {
+                if rng.gen_bool(intra_p) {
+                    g.add_edge(idx(t, i), idx(t, j));
+                }
+            }
+            if t + 1 < slices {
+                g.add_edge(idx(t, i), idx(t + 1, i));
+                for j in 0..per_slice {
+                    if j != i && rng.gen_bool(cross_p) {
+                        g.add_edge(idx(t, i), idx(t + 1, j));
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// An "object detection"-style model: a small core clique of object
+/// variables, with many part variables each connected to a few core
+/// variables (star-of-cliques shape with small separators).
+pub fn object_detection_like(core: u32, parts: u32, attach: u32, seed: u64) -> Graph {
+    assert!(attach <= core);
+    let n = core + parts;
+    let mut g = Graph::new(n);
+    for u in 0..core {
+        for v in (u + 1)..core {
+            g.add_edge(u, v);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in 0..parts {
+        let part = core + p;
+        let mut chosen: Vec<Vertex> = Vec::new();
+        while chosen.len() < attach as usize {
+            let c = rng.gen_range(0..core);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        for c in chosen {
+            g.add_edge(part, c);
+        }
+    }
+    g
+}
+
+/// The Mycielski construction applied `k - 2` times to a single edge,
+/// producing the triangle-free graph `M_k` with chromatic number `k`
+/// (`M_3 = C5`, `M_4` = the Grötzsch graph). The PACE 2016 "coloring" CSP
+/// instances in the paper (e.g. `myciel5g`) come from this family.
+pub fn mycielski(k: u32) -> Graph {
+    assert!(k >= 2, "the construction starts from a single edge (k = 2)");
+    let mut g = Graph::from_edges(2, &[(0, 1)]);
+    for _ in 2..k {
+        g = mycielski_step(&g);
+    }
+    g
+}
+
+/// One Mycielski step: from `G` on vertices `0..n` build a graph on
+/// `2n + 1` vertices (the original, one "shadow" per vertex, one apex).
+fn mycielski_step(g: &Graph) -> Graph {
+    let n = g.n();
+    let mut out = Graph::new(2 * n + 1);
+    for (u, v) in g.edges() {
+        out.add_edge(u, v);
+        out.add_edge(u, n + v);
+        out.add_edge(v, n + u);
+    }
+    let apex = 2 * n;
+    for u in 0..n {
+        out.add_edge(n + u, apex);
+    }
+    out
+}
+
+/// A random series-parallel graph (treewidth ≤ 2), standing in for the
+/// control-flow graphs of the PACE 2016 benchmark: start from a single
+/// edge and repeatedly apply random series or parallel expansions.
+pub fn series_parallel(operations: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Edge list over a growing vertex set; start with the edge (0, 1).
+    let mut edges: Vec<(Vertex, Vertex)> = vec![(0, 1)];
+    let mut n: u32 = 2;
+    for _ in 0..operations {
+        let pick = rng.gen_range(0..edges.len());
+        let (u, v) = edges[pick];
+        if rng.gen_bool(0.5) {
+            // Series: subdivide the edge with a new vertex.
+            edges.swap_remove(pick);
+            edges.push((u, n));
+            edges.push((n, v));
+            n += 1;
+        } else {
+            // Parallel: add a parallel path of length 2 (simple graphs have
+            // no parallel edges, so the duplicate goes through a new vertex).
+            edges.push((u, n));
+            edges.push((n, v));
+            n += 1;
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The Petersen graph: a classic "named graph" of the PACE benchmark family.
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5u32 {
+        g.add_edge(i, (i + 1) % 5); // outer cycle
+        g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        g.add_edge(i, 5 + i); // spokes
+    }
+    g
+}
+
+/// The `n`-queens graph: vertices are board squares, edges connect squares
+/// that attack each other (row, column or diagonal) — the DIMACS coloring
+/// family used by PACE.
+pub fn queens(n: u32) -> Graph {
+    let idx = |r: u32, c: u32| r * n + c;
+    let mut g = Graph::new(n * n);
+    for r1 in 0..n {
+        for c1 in 0..n {
+            for r2 in 0..n {
+                for c2 in 0..n {
+                    if (r1, c1) >= (r2, c2) {
+                        continue;
+                    }
+                    let same_row = r1 == r2;
+                    let same_col = c1 == c2;
+                    let same_diag = r1 as i64 - r2 as i64 == c1 as i64 - c2 as i64
+                        || r1 as i64 - r2 as i64 == c2 as i64 - c1 as i64;
+                    if same_row || same_col || same_diag {
+                        g.add_edge(idx(r1, c1), idx(r2, c2));
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_chordal::is_chordal;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical edges
+        assert!(g.is_connected());
+        assert!(!is_chordal(&g));
+        assert_eq!(grid(1, 5).m(), 4);
+    }
+
+    #[test]
+    fn noisy_grid_adds_edges() {
+        let base = grid(4, 4);
+        let noisy = noisy_grid(4, 4, 1.0, 1);
+        assert!(noisy.m() > base.m());
+        let clean = noisy_grid(4, 4, 0.0, 1);
+        assert_eq!(clean, base);
+    }
+
+    #[test]
+    fn dbn_is_layered_and_connected_across_slices() {
+        let g = dbn_like(4, 5, 0.3, 0.1, 2);
+        assert_eq!(g.n(), 20);
+        // Per-variable transition edges guarantee connectivity across slices
+        // as long as each slice is internally reachable… at minimum the
+        // transition edges exist:
+        for t in 0..3u32 {
+            for i in 0..5u32 {
+                assert!(g.has_edge(t * 5 + i, (t + 1) * 5 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn object_detection_shape() {
+        let g = object_detection_like(5, 20, 2, 3);
+        assert_eq!(g.n(), 25);
+        // Core is a clique; each part has exactly `attach` neighbors.
+        for p in 5..25 {
+            assert_eq!(g.degree(p), 2);
+        }
+        assert_eq!(g.m(), 10 + 40);
+    }
+
+    #[test]
+    fn mycielski_families() {
+        assert_eq!(mycielski(2).n(), 2);
+        let m3 = mycielski(3);
+        assert_eq!(m3.n(), 5);
+        assert_eq!(m3.m(), 5); // C5
+        let m4 = mycielski(4); // Grötzsch graph
+        assert_eq!(m4.n(), 11);
+        assert_eq!(m4.m(), 20);
+        // Triangle-free: no clique of size 3.
+        let cliques = mtr_chordal::maximal_cliques_bruteforce(&m4);
+        assert!(cliques.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn series_parallel_stays_sparse() {
+        let g = series_parallel(30, 9);
+        assert!(g.is_connected());
+        assert!(g.m() < 2 * g.n() as usize);
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!((0..10).all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn queens_graph() {
+        let g = queens(4);
+        assert_eq!(g.n(), 16);
+        assert!(g.is_connected());
+        // Every square attacks its whole row and column: degree ≥ 6.
+        assert!((0..16).all(|v| g.degree(v) >= 6));
+    }
+}

@@ -1,0 +1,91 @@
+//! # ranked-triangulations
+//!
+//! A from-scratch Rust implementation of **“Ranked Enumeration of Minimal
+//! Triangulations”** (Ravid, Medini, Kimelfeld — PODS 2019): enumerate the
+//! minimal triangulations of a graph — equivalently, its proper tree
+//! decompositions — in increasing order of any *split-monotone bag cost*
+//! (width, fill-in, weighted variants, hypertree-width-like costs, or your
+//! own), with polynomial delay on poly-MS graph classes or under a constant
+//! width bound.
+//!
+//! ## Crate map
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `mtr-graph` | bitset vertex sets, graphs, hypergraphs, PACE/DIMACS I/O |
+//! | [`chordal`] | `mtr-chordal` | chordality, maximal cliques, clique trees, tree decompositions, LB-Triang, MCS-M |
+//! | [`separators`] | `mtr-separators` | minimal separators, crossing relation, blocks, realizations |
+//! | [`pmc`] | `mtr-pmc` | potential maximal cliques (test + enumeration) |
+//! | [`core`] | `mtr-core` | bag costs, `MinTriang`, `RankedTriang`, proper-decomposition enumeration, CKK baseline |
+//! | [`workloads`] | `mtr-workloads` | dataset generators and the experiment harness |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ranked_triangulations::prelude::*;
+//!
+//! // The running example of the paper (Figure 1): u, v joined through
+//! // three parallel middle vertices, plus a pendant v'.
+//! let g = ranked_triangulations::graph::paper_example_graph();
+//!
+//! // One-time initialization: minimal separators, potential maximal
+//! // cliques, and the block structure of the Bouchitté–Todinca DP.
+//! let pre = Preprocessed::new(&g);
+//!
+//! // Enumerate the minimal triangulations by increasing fill-in.
+//! let results: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].fill_in(&g), 1);   // the cheapest comes first
+//! assert_eq!(results[1].fill_in(&g), 3);
+//!
+//! // Or get proper tree decompositions directly, ranked by width.
+//! let decompositions = top_k_proper_decompositions(&g, &Width, 3);
+//! assert!(decompositions[0].decomposition.is_valid(&g));
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios (join-query
+//! optimization, Bayesian inference, bounded-width sweeps) and the
+//! `mtr-bench` crate for the binaries regenerating every table and figure
+//! of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mtr_chordal as chordal;
+pub use mtr_core as core;
+pub use mtr_graph as graph;
+pub use mtr_pmc as pmc;
+pub use mtr_separators as separators;
+pub use mtr_workloads as workloads;
+
+/// The most commonly used items, for glob import in applications.
+pub mod prelude {
+    pub use mtr_chordal::{clique_tree, is_chordal, is_minimal_triangulation, TreeDecomposition};
+    pub use mtr_core::cost::{
+        BagCost, Constrained, Constraints, CostValue, CoverWidth, ExpBagSum, FillIn,
+        LinearCombination, WeightedFillIn, WeightedWidth, Width, WidthThenFill,
+    };
+    pub use mtr_core::{
+        all_triangulations_ranked, min_triangulation, top_k_proper_decompositions,
+        top_k_triangulations, CkkEnumerator, Diversified, DiversityFilter, LbTriangSampler,
+        ParallelRankedEnumerator, Preprocessed, ProperDecompositionEnumerator,
+        RankedDecomposition, RankedEnumerator, RankedTriangulation, SimilarityMeasure,
+        Triangulation,
+    };
+    pub use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_runs() {
+        let g = crate::graph::paper_example_graph();
+        let top = top_k_triangulations(&g, &Width, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].width(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared helpers for the integration/property test suites.
+
+use mtr_graph::Graph;
+use proptest::prelude::*;
+
+/// Proptest strategy: a random graph with `n ∈ [min_n, max_n]` vertices where
+/// each possible edge is present independently (roughly) with probability ~¼
+/// to ~¾, chosen per case.
+pub fn arbitrary_graph(min_n: u32, max_n: u32) -> impl Strategy<Value = Graph> {
+    (min_n..=max_n)
+        .prop_flat_map(|n| {
+            let pairs = (n * (n - 1) / 2) as usize;
+            (
+                Just(n),
+                prop::collection::vec(0u8..4, pairs),
+                1u8..4, // density threshold: keep an edge when bit < threshold
+            )
+        })
+        .prop_map(|(n, bits, threshold)| {
+            let mut g = Graph::new(n);
+            let mut idx = 0usize;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[idx] < threshold {
+                        g.add_edge(u, v);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+}
+
+#[allow(dead_code)] // used by a subset of the test binaries that include this module
+/// The canonical identity of a triangulation of `g`: its sorted fill set.
+pub fn fill_key(g: &Graph, h: &Graph) -> Vec<(u32, u32)> {
+    let mut fill = g.fill_edges_of(h);
+    fill.sort_unstable();
+    fill
+}
+
+#[allow(dead_code)] // used by a subset of the test binaries that include this module
+/// Exhaustive enumeration of the minimal triangulations of a *small* graph
+/// by trying every subset of the non-edges. Exponential — only for graphs
+/// with at most ~14 non-edges.
+pub fn all_minimal_triangulations_exhaustive(g: &Graph) -> Vec<Graph> {
+    let non_edges: Vec<(u32, u32)> = (0..g.n())
+        .flat_map(|u| ((u + 1)..g.n()).map(move |v| (u, v)))
+        .filter(|&(u, v)| !g.has_edge(u, v))
+        .collect();
+    assert!(
+        non_edges.len() <= 16,
+        "exhaustive enumeration limited to 16 non-edges, got {}",
+        non_edges.len()
+    );
+    let mut triangulations: Vec<Graph> = Vec::new();
+    for mask in 0u32..(1u32 << non_edges.len()) {
+        let mut h = g.clone();
+        for (i, &(u, v)) in non_edges.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                h.add_edge(u, v);
+            }
+        }
+        if mtr_chordal::is_chordal(&h) {
+            triangulations.push(h);
+        }
+    }
+    // Keep only the minimal ones (no other triangulation's fill set is a
+    // strict subset).
+    let minimal: Vec<Graph> = triangulations
+        .iter()
+        .filter(|h| {
+            !triangulations.iter().any(|h2| {
+                h2.m() < h.m() && h2.edges().all(|(u, v)| h.has_edge(u, v))
+            })
+        })
+        .cloned()
+        .collect();
+    minimal
+}

@@ -1,0 +1,205 @@
+//! Property tests for the paper's algorithms: `MinTriang`, `RankedTriang`,
+//! the bounded-width variants, the proper-tree-decomposition enumeration and
+//! the CKK-style baseline.
+//!
+//! The key invariants:
+//!
+//! * soundness — every emitted graph is a minimal triangulation;
+//! * optimality — the first ranked result attains the brute-force optimum;
+//! * completeness — the ranked enumeration, the baseline and (on very small
+//!   graphs) an exhaustive search over fill-edge subsets all produce the
+//!   same set of triangulations;
+//! * order — costs are non-decreasing along the ranked enumeration;
+//! * disjointness — the Lawler–Murty partitions never emit duplicates.
+
+mod common;
+
+use common::{all_minimal_triangulations_exhaustive, arbitrary_graph, fill_key};
+use mtr_chordal::is_minimal_triangulation;
+use mtr_core::cost::{BagCost, CostValue, ExpBagSum, FillIn, WeightedWidth, Width, WidthThenFill};
+use mtr_core::{CkkEnumerator, Preprocessed, RankedEnumerator};
+use mtr_graph::Graph;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn ranked_fill_sets(g: &Graph, cost: &dyn BagCost) -> (Vec<CostValue>, HashSet<Vec<(u32, u32)>>) {
+    let pre = Preprocessed::new(g);
+    let mut enumerator = RankedEnumerator::new(&pre, cost);
+    let mut costs = Vec::new();
+    let mut fills = HashSet::new();
+    for r in enumerator.by_ref() {
+        costs.push(r.cost);
+        fills.insert(fill_key(g, &r.triangulation));
+    }
+    assert_eq!(enumerator.duplicates_skipped(), 0, "Lawler–Murty partitions overlapped");
+    (costs, fills)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness + order + completeness against the CKK-style baseline.
+    #[test]
+    fn ranked_enumeration_is_sound_complete_and_ordered(g in arbitrary_graph(3, 8)) {
+        let pre = Preprocessed::new(&g);
+        let results: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        // Soundness and order.
+        for r in &results {
+            prop_assert!(is_minimal_triangulation(&g, &r.triangulation));
+            prop_assert_eq!(r.cost, CostValue::from_usize(r.fill_in(&g)));
+        }
+        for w in results.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost);
+        }
+        // No duplicates.
+        let ranked_fills: HashSet<_> = results.iter().map(|r| fill_key(&g, &r.triangulation)).collect();
+        prop_assert_eq!(ranked_fills.len(), results.len());
+        // Completeness against the independent baseline implementation.
+        let baseline_fills: HashSet<_> = CkkEnumerator::new(&g)
+            .map(|r| fill_key(&g, &r.triangulation))
+            .collect();
+        prop_assert_eq!(ranked_fills, baseline_fills);
+    }
+
+    /// On very small graphs, both enumerators match the exhaustive search
+    /// over every subset of non-edges.
+    #[test]
+    fn enumeration_matches_exhaustive_search(g in arbitrary_graph(3, 6)) {
+        let exhaustive: HashSet<_> = all_minimal_triangulations_exhaustive(&g)
+            .iter()
+            .map(|h| fill_key(&g, h))
+            .collect();
+        let (_, ranked) = ranked_fill_sets(&g, &FillIn);
+        prop_assert_eq!(&ranked, &exhaustive);
+        let ckk: HashSet<_> = CkkEnumerator::new(&g)
+            .map(|r| fill_key(&g, &r.triangulation))
+            .collect();
+        prop_assert_eq!(&ckk, &exhaustive);
+    }
+
+    /// The first result of the ranked enumeration attains the minimum cost
+    /// over all minimal triangulations, for several cost functions.
+    #[test]
+    fn first_result_is_optimal(g in arbitrary_graph(3, 7)) {
+        let pre = Preprocessed::new(&g);
+        let weights: Vec<f64> = (0..g.n()).map(|v| 1.0 + (v % 3) as f64).collect();
+        let weighted = WeightedWidth::new(weights);
+        let costs: Vec<&dyn BagCost> = vec![&Width, &FillIn, &WidthThenFill, &ExpBagSum, &weighted];
+        for cost in costs {
+            let results: Vec<_> = RankedEnumerator::new(&pre, cost).collect();
+            prop_assert!(!results.is_empty());
+            let best = results.iter().map(|r| r.cost).min().unwrap();
+            prop_assert_eq!(results[0].cost, best, "cost {}", cost.name());
+            // And it agrees with a direct MinTriang call.
+            let direct = mtr_core::min_triangulation(&pre, cost).unwrap();
+            prop_assert_eq!(direct.cost, best, "MinTriang vs enumeration for {}", cost.name());
+        }
+    }
+
+    /// Bounded-width enumeration returns exactly the width-≤ b subset of the
+    /// full enumeration.
+    #[test]
+    fn bounded_width_enumeration_is_a_filter(g in arbitrary_graph(3, 7), bound in 1usize..5) {
+        let pre_full = Preprocessed::new(&g);
+        let full: Vec<_> = RankedEnumerator::new(&pre_full, &FillIn).collect();
+        let expected: HashSet<_> = full
+            .iter()
+            .filter(|r| r.width() <= bound)
+            .map(|r| fill_key(&g, &r.triangulation))
+            .collect();
+        let pre_bounded = Preprocessed::new_bounded(&g, bound);
+        let bounded: HashSet<_> = RankedEnumerator::new(&pre_bounded, &FillIn)
+            .map(|r| fill_key(&g, &r.triangulation))
+            .collect();
+        prop_assert_eq!(bounded, expected);
+    }
+
+    /// Proper tree decompositions: each emitted decomposition is valid for
+    /// the input graph, is a clique tree of its triangulation, and costs are
+    /// non-decreasing.
+    #[test]
+    fn proper_decompositions_are_valid(g in arbitrary_graph(3, 7)) {
+        let pre = Preprocessed::new(&g);
+        let results: Vec<_> =
+            mtr_core::ProperDecompositionEnumerator::new(&pre, &Width, Some(3)).take(30).collect();
+        prop_assert!(!results.is_empty());
+        for d in &results {
+            prop_assert!(d.decomposition.is_valid(&g));
+            prop_assert!(d.decomposition.is_clique_tree_of(&d.triangulation));
+        }
+        for w in results.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    /// The number of minimal triangulations equals the number of maximal
+    /// independent sets of the separator crossing graph (Parra–Scheffler).
+    #[test]
+    fn count_matches_separator_graph_mis(g in arbitrary_graph(3, 7)) {
+        use mtr_separators::{minimal_separators, SeparatorGraph};
+        let seps = minimal_separators(&g);
+        prop_assume!(seps.len() <= 18);
+        let sg = SeparatorGraph::build(&g, seps.clone());
+        // Brute-force count of maximal independent sets.
+        let k = seps.len() as u32;
+        let mut mis_count = 0usize;
+        for mask in 0u32..(1u32 << k) {
+            let set = mtr_graph::VertexSet::from_iter(k, (0..k).filter(|&i| (mask >> i) & 1 == 1));
+            if sg.is_maximal_independent(&set) {
+                mis_count += 1;
+            }
+        }
+        let (_, ranked) = ranked_fill_sets(&g, &FillIn);
+        prop_assert_eq!(ranked.len(), mis_count);
+    }
+}
+
+/// Deterministic regression cases with known counts: cycles have
+/// Catalan-number many minimal triangulations.
+#[test]
+fn cycle_triangulation_counts_are_catalan() {
+    // A triangulation of the n-cycle is a triangulation of the n-gon, so the
+    // count is the Catalan number C(n-2): 2, 5, 14, 42, 132 for n = 4..8.
+    let catalan = [2usize, 5, 14, 42, 132];
+    for n in 4..=8u32 {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let c = Graph::from_edges(n, &edges);
+        let pre = Preprocessed::new(&c);
+        let count = RankedEnumerator::new(&pre, &FillIn).count();
+        assert_eq!(count, catalan[(n - 4) as usize], "C{n}");
+        let ckk_count = CkkEnumerator::new(&c).count();
+        assert_eq!(ckk_count, count, "baseline disagrees on C{n}");
+    }
+}
+
+/// The paper's Table-2-style quality claim on a fixed graph: every prefix of
+/// the ranked enumeration is optimal, whereas the unranked baseline
+/// interleaves qualities.
+#[test]
+fn ranked_prefix_quality_dominates_baseline() {
+    // Two 5-cycles sharing a chord structure — enough triangulations to make
+    // the ordering meaningful.
+    let g = Graph::from_edges(
+        8,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (3, 5), (5, 6), (6, 7), (7, 4)],
+    );
+    let pre = Preprocessed::new(&g);
+    let ranked: Vec<_> = RankedEnumerator::new(&pre, &Width).collect();
+    let baseline: Vec<_> = CkkEnumerator::new(&g).collect();
+    assert_eq!(ranked.len(), baseline.len());
+    let optimal = ranked[0].width();
+    // Every prefix of the ranked output only contains optimal results until
+    // the optimal ones are exhausted.
+    let optimal_count = ranked.iter().filter(|r| r.width() == optimal).count();
+    for (i, r) in ranked.iter().enumerate() {
+        if i < optimal_count {
+            assert_eq!(r.width(), optimal);
+        }
+    }
+    // The baseline produces the same multiset of widths overall.
+    let mut ranked_widths: Vec<usize> = ranked.iter().map(|r| r.width()).collect();
+    let mut baseline_widths: Vec<usize> = baseline.iter().map(|r| r.width).collect();
+    ranked_widths.sort_unstable();
+    baseline_widths.sort_unstable();
+    assert_eq!(ranked_widths, baseline_widths);
+}

@@ -1,0 +1,168 @@
+//! End-to-end integration tests spanning the workload generators, the
+//! experiment harness and the enumeration stack — the paths the benchmark
+//! binaries exercise, at smoke scale so they run in CI time.
+
+use mtr_chordal::{is_minimal_triangulation, treewidth_upper_bound};
+use mtr_core::cost::{FillIn, Width};
+use mtr_core::{min_triangulation, CkkEnumerator, Preprocessed, RankedEnumerator};
+use mtr_graph::io;
+use mtr_workloads::experiment::{
+    classify_graph, compare_on_graph, random_minsep_study, tractability_study, CostKind,
+    TractabilityBudget, TractabilityStatus,
+};
+use mtr_workloads::{all_datasets, DatasetScale};
+use std::time::Duration;
+
+#[test]
+fn smoke_datasets_flow_through_the_whole_pipeline() {
+    let datasets = all_datasets(DatasetScale::Smoke);
+    let budget = TractabilityBudget {
+        minsep_time: Duration::from_secs(1),
+        minsep_limit: 50_000,
+        pmc_time: Duration::from_secs(3),
+    };
+    let mut enumerated_somewhere = false;
+    for dataset in &datasets {
+        for inst in &dataset.instances {
+            let (status, seps, pmcs, _, _) = classify_graph(&inst.graph, &budget);
+            if status != TractabilityStatus::Terminated {
+                continue;
+            }
+            let seps = seps.unwrap();
+            let pmcs = pmcs.unwrap();
+            assert!(pmcs >= 1, "{} should have at least one PMC", inst.name);
+            // Exact optimum respects the heuristic upper bound and the
+            // enumeration agrees with the baseline on the first few results.
+            let pre = Preprocessed::new(&inst.graph);
+            assert_eq!(pre.minimal_separators().len(), seps);
+            assert_eq!(pre.pmcs().len(), pmcs);
+            let best = min_triangulation(&pre, &Width).expect("graph has a triangulation");
+            let ub = treewidth_upper_bound(&inst.graph);
+            assert!(
+                best.width() <= ub.width,
+                "{}: exact width {} exceeds heuristic bound {}",
+                inst.name,
+                best.width(),
+                ub.width
+            );
+            assert!(is_minimal_triangulation(&inst.graph, &best.graph));
+            // First three ranked results are sound and ordered.
+            let ranked: Vec<_> = RankedEnumerator::new(&pre, &FillIn).take(3).collect();
+            assert!(!ranked.is_empty());
+            for w in ranked.windows(2) {
+                assert!(w[0].cost <= w[1].cost);
+            }
+            // Baseline produces the same optimum width eventually (bounded pull).
+            let ckk_best_width = CkkEnumerator::new(&inst.graph)
+                .take(50)
+                .map(|r| r.width)
+                .min()
+                .unwrap();
+            assert!(ckk_best_width >= best.width());
+            enumerated_somewhere = true;
+        }
+    }
+    assert!(enumerated_somewhere, "no smoke instance was tractable — budgets too small");
+}
+
+#[test]
+fn comparison_harness_smoke() {
+    let datasets = all_datasets(DatasetScale::Smoke);
+    // Pick the TPC-H family: tiny graphs, instant enumeration.
+    let tpch = datasets
+        .iter()
+        .find(|d| d.name == "tpch-like")
+        .expect("tpch-like family exists");
+    for inst in &tpch.instances {
+        let cmp = compare_on_graph(&inst.name, &inst.graph, Duration::from_secs(2));
+        let rw = cmp.ranked_width.expect("tiny graphs initialize instantly");
+        let rf = cmp.ranked_fill.expect("tiny graphs initialize instantly");
+        assert!(rw.exhausted, "{}: budget should be enough to finish", inst.name);
+        assert_eq!(rw.count(), cmp.ckk.count(), "{}", inst.name);
+        assert_eq!(rf.count(), cmp.ckk.count(), "{}", inst.name);
+        // The ranked stream's first sample attains the best width.
+        if let (Some(first), Some(best)) = (rw.samples.first(), rw.min_width()) {
+            assert_eq!(first.width, best);
+        }
+    }
+}
+
+#[test]
+fn random_minsep_study_shape_is_unimodal_in_expectation() {
+    // The separator count at p=0.05 and p=0.95 should be well below the
+    // count around p=0.25 for n=20 (the paper's Figure 7 phenomenon).
+    let rows = random_minsep_study(
+        &[20],
+        &[0.05, 0.25, 0.95],
+        3,
+        1_000_000,
+        Duration::from_secs(10),
+    );
+    let avg = |p: f64| {
+        let pts: Vec<usize> = rows
+            .iter()
+            .filter(|r| (r.p - p).abs() < 1e-9)
+            .filter_map(|r| r.num_minseps)
+            .collect();
+        pts.iter().sum::<usize>() as f64 / pts.len().max(1) as f64
+    };
+    let sparse = avg(0.05);
+    let middle = avg(0.25);
+    let dense = avg(0.95);
+    assert!(middle > sparse, "middle {middle} should exceed sparse {sparse}");
+    assert!(middle > dense, "middle {middle} should exceed dense {dense}");
+}
+
+#[test]
+fn tractability_study_runs_over_families() {
+    let datasets = all_datasets(DatasetScale::Smoke);
+    let budget = TractabilityBudget {
+        minsep_time: Duration::from_millis(500),
+        minsep_limit: 20_000,
+        pmc_time: Duration::from_secs(1),
+    };
+    let rows = tractability_study(&datasets, &budget);
+    assert_eq!(
+        rows.len(),
+        datasets.iter().map(|d| d.len()).sum::<usize>()
+    );
+    // At least the query graphs must terminate even at these tiny budgets.
+    assert!(rows
+        .iter()
+        .filter(|r| r.dataset == "tpch-like")
+        .all(|r| r.status == TractabilityStatus::Terminated));
+}
+
+#[test]
+fn cost_kind_round_trip() {
+    assert_eq!(CostKind::Width.label(), "width");
+    assert_eq!(CostKind::Fill.label(), "fill");
+    assert_eq!(CostKind::Width.cost().name(), "width");
+    assert_eq!(CostKind::Fill.cost().name(), "fill-in");
+}
+
+#[test]
+fn generated_graphs_round_trip_through_pace_format() {
+    for dataset in all_datasets(DatasetScale::Smoke) {
+        for inst in &dataset.instances {
+            let text = io::write_pace(&inst.graph);
+            let parsed = io::parse_pace(&text).expect("generated graphs serialize cleanly");
+            assert_eq!(parsed, inst.graph, "round-trip failed for {}", inst.name);
+        }
+    }
+}
+
+#[test]
+fn clique_trees_of_enumerated_results_serialize_to_td() {
+    use mtr_chordal::{clique_tree, parse_td, write_td};
+    let g = mtr_workloads::structured::grid(3, 3);
+    let pre = Preprocessed::new(&g);
+    for result in RankedEnumerator::new(&pre, &Width).take(5) {
+        let tree = clique_tree(&result.triangulation).expect("chordal");
+        let text = write_td(&tree, g.n());
+        let (parsed, n) = parse_td(&text).expect("own output parses");
+        assert_eq!(n, g.n());
+        assert!(parsed.is_valid(&g));
+        assert_eq!(parsed.width(), result.width());
+    }
+}
