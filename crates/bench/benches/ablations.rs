@@ -37,7 +37,9 @@ fn instances() -> Vec<(&'static str, Graph)> {
 
 fn bench_incremental_vs_naive_combine(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_combine");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (name, g) in instances() {
         let pre = Preprocessed::new(&g);
         group.bench_with_input(BenchmarkId::new("incremental", name), &pre, |b, pre| {
@@ -52,7 +54,9 @@ fn bench_incremental_vs_naive_combine(c: &mut Criterion) {
 
 fn bench_triangulator_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_black_box_triangulator");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (name, g) in instances() {
         group.bench_with_input(BenchmarkId::new("lb_triang", name), &g, |b, g| {
             b.iter(|| lb_triang_identity(g))
@@ -66,7 +70,9 @@ fn bench_triangulator_choice(c: &mut Criterion) {
 
 fn bench_shared_vs_rebuilt_initialization(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_shared_initialization");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, g) in instances() {
         // Shared: one Preprocessed reused by the enumerator for 5 results.
         group.bench_with_input(BenchmarkId::new("shared", name), &g, |b, g| {
@@ -82,9 +88,8 @@ fn bench_shared_vs_rebuilt_initialization(c: &mut Criterion) {
                 let mut produced = 0usize;
                 for _ in 0..5 {
                     let pre = Preprocessed::new(g);
-                    produced += RankedEnumerator::new(&pre, &Width)
-                        .nth(produced)
-                        .is_some() as usize;
+                    produced +=
+                        RankedEnumerator::new(&pre, &Width).nth(produced).is_some() as usize;
                 }
                 produced
             })

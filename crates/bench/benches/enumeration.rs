@@ -21,7 +21,9 @@ fn instances() -> Vec<(&'static str, Graph)> {
 
 fn bench_min_triangulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("min_triangulation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (name, g) in instances() {
         let pre = Preprocessed::new(&g);
         group.bench_with_input(BenchmarkId::new("width", name), &pre, |b, pre| {
@@ -52,7 +54,9 @@ fn bench_min_triangulation(c: &mut Criterion) {
 
 fn bench_ranked_first_10(c: &mut Criterion) {
     let mut group = c.benchmark_group("ranked_first_10_results");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, g) in instances() {
         let pre = Preprocessed::new(&g);
         group.bench_with_input(BenchmarkId::from_parameter(name), &pre, |b, pre| {
@@ -64,7 +68,9 @@ fn bench_ranked_first_10(c: &mut Criterion) {
 
 fn bench_ckk_first_10(c: &mut Criterion) {
     let mut group = c.benchmark_group("ckk_first_10_results");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, g) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| CkkEnumerator::new(g).take(10).count())

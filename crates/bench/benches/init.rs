@@ -23,7 +23,9 @@ fn instances() -> Vec<(&'static str, Graph)> {
 
 fn bench_minseps(c: &mut Criterion) {
     let mut group = c.benchmark_group("minimal_separators");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (name, g) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| minimal_separators(g))
@@ -34,7 +36,9 @@ fn bench_minseps(c: &mut Criterion) {
 
 fn bench_pmcs(c: &mut Criterion) {
     let mut group = c.benchmark_group("potential_maximal_cliques");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, g) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| potential_maximal_cliques(g))
@@ -45,7 +49,9 @@ fn bench_pmcs(c: &mut Criterion) {
 
 fn bench_preprocess(c: &mut Criterion) {
     let mut group = c.benchmark_group("preprocess_full");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, g) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| Preprocessed::new(g))
@@ -56,7 +62,9 @@ fn bench_preprocess(c: &mut Criterion) {
 
 fn bench_preprocess_bounded(c: &mut Criterion) {
     let mut group = c.benchmark_group("preprocess_bounded_width4");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (name, g) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| Preprocessed::new_bounded(g, 4))

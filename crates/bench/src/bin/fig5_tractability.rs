@@ -11,8 +11,7 @@
 
 use mtr_bench::{budget_from_env, scale_from_env, write_report};
 use mtr_workloads::experiment::{
-    render_csv, render_markdown, secs, tractability_study, TractabilityBudget,
-    TractabilityStatus,
+    render_csv, render_markdown, secs, tractability_study, TractabilityBudget, TractabilityStatus,
 };
 use mtr_workloads::{all_datasets, Dataset};
 use std::collections::BTreeMap;
@@ -54,7 +53,15 @@ fn main() {
         })
         .collect();
     let headers = [
-        "dataset", "instance", "n", "m", "status", "minseps", "pmcs", "minsep_time", "pmc_time",
+        "dataset",
+        "instance",
+        "n",
+        "m",
+        "status",
+        "minseps",
+        "pmcs",
+        "minsep_time",
+        "pmc_time",
     ];
     let csv = render_csv(&headers, &instance_rows);
     let path = write_report("fig5_tractability.csv", &csv);
@@ -73,12 +80,7 @@ fn main() {
     let agg_rows: Vec<Vec<String>> = per_family
         .iter()
         .map(|(name, (t, ms, nt))| {
-            vec![
-                name.clone(),
-                t.to_string(),
-                ms.to_string(),
-                nt.to_string(),
-            ]
+            vec![name.clone(), t.to_string(), ms.to_string(), nt.to_string()]
         })
         .collect();
     let md = render_markdown(

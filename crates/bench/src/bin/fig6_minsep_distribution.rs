@@ -3,10 +3,10 @@
 //! the paper; here the raw series plus the #minseps / #edges ratio).
 
 use mtr_bench::{budget_from_env, scale_from_env, write_report};
+use mtr_workloads::all_datasets;
 use mtr_workloads::experiment::{
     minsep_distribution, render_csv, render_markdown, tractability_study, TractabilityBudget,
 };
-use mtr_workloads::all_datasets;
 use std::time::Duration;
 
 fn main() {

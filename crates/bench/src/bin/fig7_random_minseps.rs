@@ -61,7 +61,10 @@ fn main() {
             let avg = if finished.is_empty() {
                 "-".to_string()
             } else {
-                format!("{:.0}", finished.iter().sum::<usize>() as f64 / finished.len() as f64)
+                format!(
+                    "{:.0}",
+                    finished.iter().sum::<usize>() as f64 / finished.len() as f64
+                )
             };
             agg.push(vec![
                 n.to_string(),

@@ -15,7 +15,13 @@ use mtr_workloads::experiment::{render_csv, render_markdown, timeline_study, Alg
 use mtr_workloads::structured;
 use std::time::Duration;
 
-fn binned_rows(name: &str, algorithm: &str, run: &AlgorithmRun, budget: Duration, bins: usize) -> Vec<Vec<String>> {
+fn binned_rows(
+    name: &str,
+    algorithm: &str,
+    run: &AlgorithmRun,
+    budget: Duration,
+    bins: usize,
+) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
     for b in 1..=bins {
         let cutoff = budget.mul_f64(b as f64 / bins as f64);
@@ -31,10 +37,7 @@ fn binned_rows(name: &str, algorithm: &str, run: &AlgorithmRun, budget: Duration
         } else {
             let mut sorted = widths.clone();
             sorted.sort_unstable();
-            (
-                sorted[0].to_string(),
-                sorted[sorted.len() / 2].to_string(),
-            )
+            (sorted[0].to_string(), sorted[sorted.len() / 2].to_string())
         };
         rows.push(vec![
             name.to_string(),
@@ -56,10 +59,22 @@ fn main() {
         ("segmentation_5x5", structured::noisy_grid(5, 5, 0.25, 77)),
     ];
 
-    let headers = ["graph", "algorithm", "time", "results", "min_width", "median_width"];
+    let headers = [
+        "graph",
+        "algorithm",
+        "time",
+        "results",
+        "min_width",
+        "median_width",
+    ];
     let mut all_rows: Vec<Vec<String>> = Vec::new();
     for (name, g) in &cases {
-        eprintln!("fig9: running {} ({} vertices, {} edges)…", name, g.n(), g.m());
+        eprintln!(
+            "fig9: running {} ({} vertices, {} edges)…",
+            name,
+            g.n(),
+            g.m()
+        );
         let (ranked, ckk) = timeline_study(g, budget);
         if let Some(run) = &ranked {
             all_rows.extend(binned_rows(name, "RankedTriang", run, budget, bins));

@@ -12,8 +12,8 @@
 use mtr_bench::{
     accumulate_row, budget_from_env, finalize_row, scale_from_env, write_report, Table2Row,
 };
-use mtr_workloads::experiment::{compare_on_graph, render_csv, render_markdown};
 use mtr_workloads::all_datasets;
+use mtr_workloads::experiment::{compare_on_graph, render_csv, render_markdown};
 use std::time::Duration;
 
 fn main() {
@@ -39,7 +39,11 @@ fn main() {
             ..Default::default()
         };
         for inst in &dataset.instances {
-            eprintln!("  comparing on {} ({} vertices)…", inst.name, inst.graph.n());
+            eprintln!(
+                "  comparing on {} ({} vertices)…",
+                inst.name,
+                inst.graph.n()
+            );
             let cmp = compare_on_graph(&inst.name, &inst.graph, budget);
             // Skip instances whose ranked initialization does not fit the
             // budget — the paper likewise only compares on "terminated"
@@ -60,7 +64,14 @@ fn main() {
                 .min()
                 .unwrap_or(0);
             let ranked_init = rw.init;
-            accumulate_row(&mut ranked_row, &rw, &rf, ranked_init, best_width, best_fill);
+            accumulate_row(
+                &mut ranked_row,
+                &rw,
+                &rf,
+                ranked_init,
+                best_width,
+                best_fill,
+            );
             accumulate_row(
                 &mut ckk_row,
                 &cmp.ckk,

@@ -28,7 +28,11 @@ use std::time::Duration;
 
 /// Reads the experiment scale from `MTR_SCALE` (default: standard).
 pub fn scale_from_env() -> DatasetScale {
-    match std::env::var("MTR_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("MTR_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "smoke" => DatasetScale::Smoke,
         "large" => DatasetScale::Large,
         _ => DatasetScale::Standard,

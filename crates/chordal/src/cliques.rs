@@ -95,7 +95,13 @@ pub fn maximal_cliques_bruteforce(g: &Graph) -> Vec<VertexSet> {
     }
     let mut out = Vec::new();
     let mut r = VertexSet::empty(g.n());
-    bron_kerbosch(g, &mut r, VertexSet::full(g.n()), VertexSet::empty(g.n()), &mut out);
+    bron_kerbosch(
+        g,
+        &mut r,
+        VertexSet::full(g.n()),
+        VertexSet::empty(g.n()),
+        &mut out,
+    );
     out.sort();
     out
 }

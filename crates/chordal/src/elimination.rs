@@ -79,7 +79,11 @@ impl EliminationResult {
 /// the width of the ordering.
 pub fn elimination_game(g: &Graph, ordering: &[Vertex]) -> EliminationResult {
     let n = g.n();
-    assert_eq!(ordering.len(), n as usize, "ordering must cover all vertices");
+    assert_eq!(
+        ordering.len(),
+        n as usize,
+        "ordering must cover all vertices"
+    );
     let mut h = g.clone();
     let mut remaining = VertexSet::full(n);
     let mut width = 0usize;
@@ -102,7 +106,9 @@ pub fn elimination_game(g: &Graph, ordering: &[Vertex]) -> EliminationResult {
 /// Greedy min-degree ordering: repeatedly eliminate a vertex of minimum
 /// degree in the current (partially saturated) graph.
 pub fn min_degree_ordering(g: &Graph) -> Vec<Vertex> {
-    greedy_ordering(g, |h, remaining, v| h.neighbors(v).intersection_len(remaining))
+    greedy_ordering(g, |h, remaining, v| {
+        h.neighbors(v).intersection_len(remaining)
+    })
 }
 
 /// Greedy min-fill ordering: repeatedly eliminate a vertex whose elimination
@@ -114,10 +120,7 @@ pub fn min_fill_ordering(g: &Graph) -> Vec<Vertex> {
     })
 }
 
-fn greedy_ordering(
-    g: &Graph,
-    score: impl Fn(&Graph, &VertexSet, Vertex) -> usize,
-) -> Vec<Vertex> {
+fn greedy_ordering(g: &Graph, score: impl Fn(&Graph, &VertexSet, Vertex) -> usize) -> Vec<Vertex> {
     let n = g.n();
     let mut h = g.clone();
     let mut remaining = VertexSet::full(n);
@@ -275,7 +278,10 @@ mod tests {
         // (graph, exact treewidth)
         let cases: Vec<(Graph, usize)> = vec![
             (Graph::complete(5), 4),
-            (Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]), 2),
+            (
+                Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+                2,
+            ),
             (paper_example_graph(), 2),
             (grid3(), 3),
             (Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]), 1),
@@ -284,7 +290,10 @@ mod tests {
             let ub = treewidth_upper_bound(&g).width;
             let lb = degeneracy(&g).min(mmd_plus_lower_bound(&g));
             let mmd = mmd_plus_lower_bound(&g);
-            assert!(lb <= tw, "degeneracy-style bound exceeded the treewidth of {g:?}");
+            assert!(
+                lb <= tw,
+                "degeneracy-style bound exceeded the treewidth of {g:?}"
+            );
             assert!(mmd <= tw, "MMD+ exceeded the treewidth of {g:?}");
             assert!(ub >= tw, "upper bound below the treewidth of {g:?}");
         }
@@ -293,7 +302,10 @@ mod tests {
     #[test]
     fn degeneracy_of_regular_structures() {
         assert_eq!(degeneracy(&Graph::complete(6)), 5);
-        assert_eq!(degeneracy(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])), 1);
+        assert_eq!(
+            degeneracy(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])),
+            1
+        );
         assert_eq!(degeneracy(&grid3()), 2);
         assert_eq!(degeneracy(&Graph::new(3)), 0);
     }

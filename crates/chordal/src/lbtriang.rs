@@ -91,7 +91,10 @@ mod tests {
             vec![3, 4, 5, 0, 1, 2],
         ] {
             let h = lb_triang(&g, &order);
-            assert!(is_chordal(&h), "order {order:?} produced a non-chordal graph");
+            assert!(
+                is_chordal(&h),
+                "order {order:?} produced a non-chordal graph"
+            );
             assert!(
                 is_minimal_triangulation(&g, &h),
                 "order {order:?} produced a non-minimal triangulation"
@@ -115,8 +118,14 @@ mod tests {
             fills.insert(lb_triang(&g, &order).m() - g.m());
         }
         // Both the fill-1 and the fill-3 triangulation should be reachable.
-        assert!(fills.contains(&1), "fill-1 triangulation never produced: {fills:?}");
-        assert!(fills.contains(&3), "fill-3 triangulation never produced: {fills:?}");
+        assert!(
+            fills.contains(&1),
+            "fill-1 triangulation never produced: {fills:?}"
+        );
+        assert!(
+            fills.contains(&3),
+            "fill-3 triangulation never produced: {fills:?}"
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod cliques;
-pub mod elimination;
 pub mod cliquetree;
+pub mod elimination;
 pub mod lbtriang;
 pub mod mcs;
 pub mod mcsm;
@@ -35,13 +35,15 @@ pub mod treedec;
 pub mod verify;
 
 pub use cliques::{maximal_cliques_bruteforce, maximal_cliques_chordal};
+pub use cliquetree::{clique_tree, clique_tree_from_cliques};
 pub use elimination::{
     degeneracy, elimination_game, min_degree_ordering, min_fill_ordering, mmd_plus_lower_bound,
     treewidth_upper_bound, EliminationResult,
 };
-pub use cliquetree::{clique_tree, clique_tree_from_cliques};
 pub use lbtriang::{lb_triang, lb_triang_identity, lb_triang_min_degree};
-pub use mcs::{is_chordal, is_perfect_elimination_ordering, mcs_order, perfect_elimination_ordering};
+pub use mcs::{
+    is_chordal, is_perfect_elimination_ordering, mcs_order, perfect_elimination_ordering,
+};
 pub use mcsm::{mcs_m, McsMResult};
 pub use spanning::{clique_trees, clique_trees_from_cliques};
 pub use td_io::{parse_td, write_td, TdParseError};

@@ -21,11 +21,7 @@ pub fn mcs_order(g: &Graph) -> Vec<Vertex> {
     for _ in 0..n {
         let v = (0..g.n())
             .filter(|&v| !visited.contains(v))
-            .max_by(|&a, &b| {
-                weight[a as usize]
-                    .cmp(&weight[b as usize])
-                    .then(b.cmp(&a))
-            })
+            .max_by(|&a, &b| weight[a as usize].cmp(&weight[b as usize]).then(b.cmp(&a)))
             .expect("unvisited vertex must exist");
         visited.insert(v);
         order.push(v);

@@ -141,12 +141,19 @@ mod tests {
             let edges: Vec<(Vertex, Vertex)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
             let c = Graph::from_edges(n, &edges);
             let r = mcs_m(&c);
-            assert!(is_chordal(&r.triangulation), "C{n} triangulation not chordal");
+            assert!(
+                is_chordal(&r.triangulation),
+                "C{n} triangulation not chordal"
+            );
             assert!(
                 is_minimal_triangulation(&c, &r.triangulation),
                 "C{n} triangulation not minimal"
             );
-            assert_eq!(r.fill.len(), (n - 3) as usize, "C{n} should need n-3 fill edges");
+            assert_eq!(
+                r.fill.len(),
+                (n - 3) as usize,
+                "C{n} should need n-3 fill edges"
+            );
         }
     }
 

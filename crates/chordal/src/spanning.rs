@@ -59,7 +59,8 @@ pub fn clique_trees_from_cliques(
     }
     // Order candidates by decreasing intersection size so valid trees are
     // found early.
-    candidate_edges.sort_by_key(|&(i, j)| std::cmp::Reverse(cliques[i].intersection_len(&cliques[j])));
+    candidate_edges
+        .sort_by_key(|&(i, j)| std::cmp::Reverse(cliques[i].intersection_len(&cliques[j])));
 
     // Depth-first enumeration of spanning trees (choose k-1 edges that keep
     // the edge set acyclic), validated by the junction-tree property.
@@ -85,7 +86,12 @@ pub fn clique_trees_from_cliques(
             root
         }
 
-        fn recurse(&mut self, start: usize, chosen: &mut Vec<(usize, usize)>, parent: &mut Vec<usize>) {
+        fn recurse(
+            &mut self,
+            start: usize,
+            chosen: &mut Vec<(usize, usize)>,
+            parent: &mut Vec<usize>,
+        ) {
             if self.results.len() >= self.limit {
                 return;
             }
@@ -102,10 +108,7 @@ pub fn clique_trees_from_cliques(
             }
             for idx in start..self.edges.len() {
                 let (a, b) = self.edges[idx];
-                let (ra, rb) = (
-                    Self::union_find(parent, a),
-                    Self::union_find(parent, b),
-                );
+                let (ra, rb) = (Self::union_find(parent, a), Self::union_find(parent, b));
                 if ra == rb {
                     continue;
                 }
@@ -155,7 +158,11 @@ mod tests {
         let mut h2 = paper_example_graph();
         h2.add_edge(0, 1);
         let trees = clique_trees(&h2, 1000).unwrap();
-        assert!(trees.len() > 1, "expected several clique trees, got {}", trees.len());
+        assert!(
+            trees.len() > 1,
+            "expected several clique trees, got {}",
+            trees.len()
+        );
         for t in &trees {
             assert!(t.is_clique_tree_of(&h2));
             assert!(t.is_valid(&paper_example_graph()));

@@ -103,13 +103,14 @@ pub fn parse_td(input: &str) -> Result<(TreeDecomposition, u32), TdParseError> {
             .ok_or_else(|| TdParseError::BadHeader("content before the s td header".into()))?;
         if let Some(rest) = line.strip_prefix("b ") {
             let mut parts = rest.split_whitespace();
-            let bag_id: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| TdParseError::BadLine {
-                    line_number,
-                    line: line.to_string(),
-                })?;
+            let bag_id: usize =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| TdParseError::BadLine {
+                        line_number,
+                        line: line.to_string(),
+                    })?;
             if bag_id == 0 || bag_id > num_bags {
                 return Err(TdParseError::OutOfRange {
                     line_number,

@@ -60,7 +60,12 @@ impl TreeDecomposition {
     /// Width: size of the largest bag minus one. The width of a
     /// decomposition with no bags is 0 by convention.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Fill-in relative to `g`: the number of distinct non-edges of `g` that
@@ -127,7 +132,10 @@ impl TreeDecomposition {
             covered.union_with(bag);
         }
         if covered.len() != g.n() as usize {
-            let missing = covered.complement().min_vertex().expect("some vertex uncovered");
+            let missing = covered
+                .complement()
+                .min_vertex()
+                .expect("some vertex uncovered");
             return Err(InvalidDecomposition::VertexNotCovered(missing));
         }
         // Edges covered.

@@ -1,0 +1,366 @@
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment is hermetic (no registry access), so this crate
+//! implements the API surface the `mtr-bench` benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple but
+//! real measurement loop: per benchmark it runs `sample_size` samples (or
+//! until the group's `measurement_time` budget is spent, whichever comes
+//! first) and reports min / mean / max wall-clock time per iteration.
+//!
+//! Two environment variables extend the default text report:
+//!
+//! * `MTR_BENCH_JSON=<path>` — additionally writes all results as a JSON
+//!   array (used to snapshot `BENCH_baseline.json`);
+//! * `MTR_BENCH_FAST=1` — caps every group at 3 samples for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function/parameter` identifier.
+    pub id: String,
+    /// Samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Prints the final report and honours `MTR_BENCH_JSON`.
+    pub fn final_summary(&self) {
+        println!();
+        println!(
+            "{:<55} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "mean", "max"
+        );
+        for r in &self.results {
+            println!(
+                "{:<55} {:>12} {:>12} {:>12}",
+                r.id,
+                format_ns(r.min_ns),
+                format_ns(r.mean_ns),
+                format_ns(r.max_ns)
+            );
+        }
+        if let Ok(path) = std::env::var("MTR_BENCH_JSON") {
+            let json = results_to_json(&self.results);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {path}: {e}");
+            } else {
+                println!("\nwrote {} results to {path}", self.results.len());
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            '\r' => "\\r".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  {{\"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}}}{}",
+            json_escape(&r.id),
+            r.samples,
+            r.iters_per_sample,
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns,
+            comma
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// A named identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only form (the group name carries the function).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{group}/{f}/{p}"),
+            (Some(f), None) => format!("{group}/{f}"),
+            (None, Some(p)) => format!("{group}/{p}"),
+            (None, None) => group.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measures `routine(bencher, input)`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: effective_sample_size(self.sample_size),
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher, input);
+        self.record(id, bencher);
+        self
+    }
+
+    fn record(&mut self, id: BenchmarkId, bencher: Bencher) {
+        let id = id.render(&self.name);
+        let samples = &bencher.samples_ns;
+        if samples.is_empty() {
+            return;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        eprintln!(
+            "measured {id}: {} ({} samples)",
+            format_ns(mean),
+            samples.len()
+        );
+        self.criterion.results.push(BenchResult {
+            id,
+            samples: samples.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            min_ns: min,
+            mean_ns: mean,
+            max_ns: max,
+        });
+    }
+
+    /// Ends the group (kept for API compatibility; recording is eager).
+    pub fn finish(self) {}
+}
+
+fn effective_sample_size(configured: usize) -> usize {
+    if std::env::var("MTR_BENCH_FAST").is_ok_and(|v| v == "1") {
+        configured.min(3)
+    } else {
+        configured
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to the configured number of samples
+    /// within the group's time budget. Each sample runs enough iterations
+    /// to make the per-sample time measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of at least ~1ms or one iteration.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed();
+        let iters = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        } else {
+            1
+        };
+        self.iters_per_sample = iters;
+        let budget_start = Instant::now();
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples_ns.push(per_iter);
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this file's benchmark functions against one [`Criterion`].
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); this
+            // minimal harness runs everything and ignores the arguments.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).fold((0u64, 1u64), |(a, b), _| (b, a + b)).0
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(5)
+                .measurement_time(Duration::from_millis(50));
+            group.bench_with_input(BenchmarkId::new("fib", 20), &20u64, |b, &n| {
+                b.iter(|| fib(n))
+            });
+            group.bench_with_input(BenchmarkId::from_parameter("p"), &5u64, |b, &n| {
+                b.iter(|| fib(n))
+            });
+            group.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/fib/20");
+        assert_eq!(c.results[1].id, "g/p");
+        assert!(c.results.iter().all(|r| r.mean_ns > 0.0));
+        assert!(c
+            .results
+            .iter()
+            .all(|r| r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns));
+    }
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let json = results_to_json(&[BenchResult {
+            id: "a/b".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+            max_ns: 3.0,
+        }]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"id\": \"a/b\""));
+    }
+
+    #[test]
+    fn json_ids_are_escaped() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the crates.io
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment is hermetic (no registry access), so this crate
+//! reimplements the slice of proptest the test suites use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`strategy::Just`], `prop::collection::vec`, the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a fixed deterministic seed sequence, so every
+//!   run of the suite tests the same inputs (reproducible CI);
+//! * there is no shrinking — on failure the case index is reported and the
+//!   failing values are printed when they implement `Debug` via the assert
+//!   message the test supplies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A strategy producing a `Vec` of exactly `size` elements drawn
+        /// from `element`. (Real proptest also accepts size *ranges*; the
+        /// workspace only uses exact sizes.)
+        pub fn vec<S: Strategy>(element: S, size: usize) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// The glob-importable surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(x in strategy, ..) { body }` item
+/// becomes a `#[test]` that runs `body` for `config.cases` deterministic
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // A prop_assume! rejection resamples (fresh derived seed)
+                    // rather than silently consuming the case, mirroring real
+                    // proptest; a case whose every sample rejects is vacuous
+                    // and fails loudly.
+                    let mut accepted = false;
+                    for attempt in 0..$crate::test_runner::MAX_REJECTS_PER_CASE {
+                        let mut rng = $crate::test_runner::TestRng::deterministic(
+                            (case as u64).wrapping_add(attempt.wrapping_mul(0x1_0000_0000)),
+                        );
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        match outcome {
+                            ::std::result::Result::Ok(()) => {
+                                accepted = true;
+                                break;
+                            }
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                                panic!("property failed at case {case}/{}: {msg}", config.cases);
+                            }
+                        }
+                    }
+                    assert!(
+                        accepted,
+                        "prop_assume! rejected {} consecutive samples at case {case}; \
+                         the property is vacuous — loosen the assumption or the strategy",
+                        $crate::test_runner::MAX_REJECTS_PER_CASE,
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (counts as neither pass nor fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0usize..4, z in 1u8..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((1..=5).contains(&z));
+        }
+
+        #[test]
+        fn combinators_compose(v in (2u32..6).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0u8..2, n as usize))
+        }).prop_map(|(n, bits)| (n, bits))) {
+            let (n, bits) = v;
+            prop_assert_eq!(bits.len(), n as usize);
+            prop_assert!(bits.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0u32..1000;
+        let a: Vec<u32> = (0..16)
+            .map(|c| strat.clone().generate(&mut TestRng::deterministic(c)))
+            .collect();
+        let b: Vec<u32> = (0..16)
+            .map(|c| strat.clone().generate(&mut TestRng::deterministic(c)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "cases should vary");
+    }
+}

@@ -1,0 +1,66 @@
+//! Runner configuration, case RNG, and the error type threaded through the
+//! `prop_assert*` macros.
+
+/// How many cases [`crate::proptest!`] runs per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// How many `prop_assume!` rejections one case may resample through before
+/// the property is declared vacuous.
+pub const MAX_REJECTS_PER_CASE: u64 = 64;
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The deterministic per-case generator (the workspace `rand` stand-in's
+/// [`StdRng`], seeded per case).
+///
+/// Each case index maps to an independent, fixed stream, so a failing case
+/// number identifies its inputs exactly across runs and machines.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case number `case`.
+    pub fn deterministic(case: u64) -> Self {
+        // Golden-ratio offset keeps neighbouring case streams uncorrelated.
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+            ),
+        }
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -43,9 +43,13 @@ pub struct BaselineResult {
 
 impl BaselineResult {
     fn from_graph(g: &Graph, h: Graph) -> Self {
-        let bags = maximal_cliques_chordal(&h)
-            .expect("baseline results must be chordal");
-        let width = bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1);
+        let bags = maximal_cliques_chordal(&h).expect("baseline results must be chordal");
+        let width = bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1);
         let fill_in = h.m() - g.m();
         BaselineResult {
             triangulation: h,
@@ -321,10 +325,7 @@ mod tests {
         let g = paper_example_graph();
         for r in CkkEnumerator::new(&g) {
             assert_eq!(r.fill_in, r.triangulation.m() - g.m());
-            assert_eq!(
-                r.width,
-                r.bags.iter().map(|b| b.len()).max().unwrap() - 1
-            );
+            assert_eq!(r.width, r.bags.iter().map(|b| b.len()).max().unwrap() - 1);
             assert_eq!(r.evaluate(&g, &Width), CostValue::from_usize(r.width));
             assert_eq!(r.evaluate(&g, &FillIn), CostValue::from_usize(r.fill_in));
         }

@@ -142,14 +142,20 @@ impl WeightedFillIn {
         assert!(default.is_finite() && default >= 0.0);
         let mut costs = HashMap::new();
         for ((u, v), c) in overrides {
-            assert!(c.is_finite() && c >= 0.0, "edge costs must be finite and non-negative");
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "edge costs must be finite and non-negative"
+            );
             costs.insert((u.min(v), u.max(v)), c);
         }
         WeightedFillIn { costs, default }
     }
 
     fn edge_cost(&self, u: Vertex, v: Vertex) -> f64 {
-        *self.costs.get(&(u.min(v), u.max(v))).unwrap_or(&self.default)
+        *self
+            .costs
+            .get(&(u.min(v), u.max(v)))
+            .unwrap_or(&self.default)
     }
 }
 
@@ -205,7 +211,10 @@ impl BagCost for ExpBagSum {
     }
 
     fn cost_of_bags(&self, _g: &Graph, _scope: &VertexSet, bags: &[VertexSet]) -> CostValue {
-        let total: f64 = bags.iter().map(|b| 2f64.powi(b.len().min(1000) as i32)).sum();
+        let total: f64 = bags
+            .iter()
+            .map(|b| 2f64.powi(b.len().min(1000) as i32))
+            .sum();
         CostValue::finite(total)
     }
 
@@ -349,16 +358,28 @@ mod tests {
     fn width_of_paper_decompositions() {
         let g = paper_example_graph();
         let scope = g.vertex_set();
-        assert_eq!(Width.cost_of_bags(&g, &scope, &t1_bags()), CostValue::from_usize(3));
-        assert_eq!(Width.cost_of_bags(&g, &scope, &t2_bags()), CostValue::from_usize(2));
+        assert_eq!(
+            Width.cost_of_bags(&g, &scope, &t1_bags()),
+            CostValue::from_usize(3)
+        );
+        assert_eq!(
+            Width.cost_of_bags(&g, &scope, &t2_bags()),
+            CostValue::from_usize(2)
+        );
     }
 
     #[test]
     fn fill_of_paper_decompositions() {
         let g = paper_example_graph();
         let scope = g.vertex_set();
-        assert_eq!(FillIn.cost_of_bags(&g, &scope, &t1_bags()), CostValue::from_usize(3));
-        assert_eq!(FillIn.cost_of_bags(&g, &scope, &t2_bags()), CostValue::from_usize(1));
+        assert_eq!(
+            FillIn.cost_of_bags(&g, &scope, &t1_bags()),
+            CostValue::from_usize(3)
+        );
+        assert_eq!(
+            FillIn.cost_of_bags(&g, &scope, &t2_bags()),
+            CostValue::from_usize(1)
+        );
     }
 
     #[test]
@@ -416,15 +437,29 @@ mod tests {
         // Query R(u,w1), S(u,w2), T(u,w3), U(v,w1), V(v,w2), W(v,w3), X(v,v').
         let h = Hypergraph::from_edges(
             6,
-            &[&[0, 3], &[0, 4], &[0, 5], &[1, 3], &[1, 4], &[1, 5], &[1, 2]],
+            &[
+                &[0, 3],
+                &[0, 4],
+                &[0, 5],
+                &[1, 3],
+                &[1, 4],
+                &[1, 5],
+                &[1, 2],
+            ],
         );
         let g = h.primal_graph();
         assert_eq!(g, paper_example_graph());
         let k = CoverWidth::new(h);
         let scope = g.vertex_set();
         // T1's big bags need 3 binary hyperedges each; T2's bags need 2.
-        assert_eq!(k.cost_of_bags(&g, &scope, &t1_bags()), CostValue::from_usize(3));
-        assert_eq!(k.cost_of_bags(&g, &scope, &t2_bags()), CostValue::from_usize(2));
+        assert_eq!(
+            k.cost_of_bags(&g, &scope, &t1_bags()),
+            CostValue::from_usize(3)
+        );
+        assert_eq!(
+            k.cost_of_bags(&g, &scope, &t2_bags()),
+            CostValue::from_usize(2)
+        );
     }
 
     #[test]
@@ -444,8 +479,14 @@ mod tests {
             (10.0, Box::new(Width) as Box<dyn BagCost>),
             (1.0, Box::new(FillIn)),
         ]);
-        assert_eq!(combo.cost_of_bags(&g, &scope, &t1_bags()), CostValue::finite(33.0));
-        assert_eq!(combo.cost_of_bags(&g, &scope, &t2_bags()), CostValue::finite(21.0));
+        assert_eq!(
+            combo.cost_of_bags(&g, &scope, &t1_bags()),
+            CostValue::finite(33.0)
+        );
+        assert_eq!(
+            combo.cost_of_bags(&g, &scope, &t2_bags()),
+            CostValue::finite(21.0)
+        );
         assert!(combo.name().contains("width"));
     }
 
@@ -469,7 +510,12 @@ mod tests {
             let combined = cost.combine(&g, &scope, &omega, &[child]);
             let mut bags = child_bags.clone();
             bags.push(omega.clone());
-            assert_eq!(combined, cost.cost_of_bags(&g, &scope, &bags), "{}", cost.name());
+            assert_eq!(
+                combined,
+                cost.cost_of_bags(&g, &scope, &bags),
+                "{}",
+                cost.name()
+            );
         }
     }
 

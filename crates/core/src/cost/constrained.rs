@@ -66,8 +66,7 @@ impl Constraints {
     /// every inclusion separator is a clique of `h` and every exclusion
     /// separator is not.
     pub fn satisfied_by_graph(&self, h: &Graph) -> bool {
-        self.include.iter().all(|u| h.is_clique(u))
-            && self.exclude.iter().all(|u| !h.is_clique(u))
+        self.include.iter().all(|u| h.is_clique(u)) && self.exclude.iter().all(|u| !h.is_clique(u))
     }
 }
 
@@ -231,7 +230,10 @@ mod tests {
         // Require S1 = {w1,w2,w3} to be a clique: T1 satisfies, T2 does not.
         let cons = Constraints::new(vec![VertexSet::from_slice(6, &[3, 4, 5])], vec![]);
         let wrapped = Constrained::new(&FillIn, &cons);
-        assert_eq!(wrapped.cost_of_bags(&g, &scope, &t1_bags()), CostValue::from_usize(3));
+        assert_eq!(
+            wrapped.cost_of_bags(&g, &scope, &t1_bags()),
+            CostValue::from_usize(3)
+        );
         assert!(wrapped.cost_of_bags(&g, &scope, &t2_bags()).is_infinite());
     }
 

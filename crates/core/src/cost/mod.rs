@@ -79,9 +79,8 @@ pub trait BagCost {
         omega: &VertexSet,
         children: &[ChildSolution<'_>],
     ) -> CostValue {
-        let mut bags: Vec<VertexSet> = Vec::with_capacity(
-            1 + children.iter().map(|c| c.bags.len()).sum::<usize>(),
-        );
+        let mut bags: Vec<VertexSet> =
+            Vec::with_capacity(1 + children.iter().map(|c| c.bags.len()).sum::<usize>());
         for c in children {
             bags.extend(c.bags.iter().cloned());
         }

@@ -42,7 +42,10 @@ impl DiversityFilter {
     /// maximum allowed similarity in `[0, 1]`: 1.0 only rejects exact
     /// duplicates, 0.0 demands completely disjoint structure.
     pub fn new(graph: &Graph, measure: SimilarityMeasure, threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
         DiversityFilter {
             graph: graph.clone(),
             measure,
@@ -123,12 +126,10 @@ impl<I: Iterator<Item = RankedTriangulation>> Iterator for Diversified<I> {
     type Item = RankedTriangulation;
 
     fn next(&mut self) -> Option<RankedTriangulation> {
-        for candidate in self.inner.by_ref() {
-            if self.filter.admit(&candidate) {
-                return Some(candidate);
-            }
-        }
-        None
+        let filter = &mut self.filter;
+        self.inner
+            .by_ref()
+            .find(|candidate| filter.admit(candidate))
     }
 }
 
@@ -172,10 +173,14 @@ mod tests {
         // Any two kept results share at most 30% of their fill edges.
         for i in 0..diverse.len() {
             for j in (i + 1)..diverse.len() {
-                let a: BTreeSet<(u32, u32)> =
-                    g.fill_edges_of(&diverse[i].triangulation).into_iter().collect();
-                let b: BTreeSet<(u32, u32)> =
-                    g.fill_edges_of(&diverse[j].triangulation).into_iter().collect();
+                let a: BTreeSet<(u32, u32)> = g
+                    .fill_edges_of(&diverse[i].triangulation)
+                    .into_iter()
+                    .collect();
+                let b: BTreeSet<(u32, u32)> = g
+                    .fill_edges_of(&diverse[j].triangulation)
+                    .into_iter()
+                    .collect();
                 assert!(jaccard(&a, &b) <= 0.3 + 1e-9);
             }
         }

@@ -38,18 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
-pub mod diverse;
 pub mod cost;
+pub mod diverse;
 pub mod mintriang;
 pub mod parallel;
 pub mod properdec;
 pub mod ranked;
 
 pub use baseline::{BaselineResult, CkkEnumerator, LbTriangSampler};
-pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
-pub use parallel::ParallelRankedEnumerator;
 pub use cost::{BagCost, Constrained, Constraints, CostValue};
+pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
 pub use mintriang::{min_triangulation, Preprocessed, Triangulation};
+pub use parallel::ParallelRankedEnumerator;
 pub use properdec::{
     top_k_proper_decompositions, ProperDecompositionEnumerator, RankedDecomposition,
 };

@@ -37,7 +37,12 @@ pub struct Triangulation {
 impl Triangulation {
     /// Width of the triangulation: largest bag size minus one.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Fill-in relative to `g`: number of edges of the triangulation absent
@@ -108,11 +113,7 @@ impl Preprocessed {
     }
 
     /// Builds the candidate structure from precomputed separators and PMCs.
-    pub fn from_parts(
-        g: &Graph,
-        minimal_separators: Vec<VertexSet>,
-        pmcs: Vec<VertexSet>,
-    ) -> Self {
+    pub fn from_parts(g: &Graph, minimal_separators: Vec<VertexSet>, pmcs: Vec<VertexSet>) -> Self {
         Self::build(g, minimal_separators, pmcs, None)
     }
 
@@ -137,7 +138,8 @@ impl Preprocessed {
             let block_vertices = block.vertices();
             let mut candidates = Vec::new();
             for (pi, omega) in pmcs.iter().enumerate() {
-                if !block.separator.is_proper_subset_of(omega) || !omega.is_subset_of(&block_vertices)
+                if !block.separator.is_proper_subset_of(omega)
+                    || !omega.is_subset_of(&block_vertices)
                 {
                     continue;
                 }

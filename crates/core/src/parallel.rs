@@ -115,8 +115,10 @@ impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
                 .collect()
         });
         solved.sort_by_key(|(ci, _)| *ci);
-        let flat: Vec<Option<Triangulation>> =
-            solved.into_iter().flat_map(|(_, results)| results).collect();
+        let flat: Vec<Option<Triangulation>> = solved
+            .into_iter()
+            .flat_map(|(_, results)| results)
+            .collect();
         batch
             .into_iter()
             .zip(flat)
@@ -226,7 +228,17 @@ mod tests {
             Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
             Graph::from_edges(
                 8,
-                &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 7), (7, 4)],
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (2, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 4),
+                ],
             ),
         ];
         for g in cases {
@@ -255,7 +267,9 @@ mod tests {
     fn take_works_lazily() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let pre = Preprocessed::new(&g);
-        let top3: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, 2).take(3).collect();
+        let top3: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, 2)
+            .take(3)
+            .collect();
         assert_eq!(top3.len(), 3);
         for w in top3.windows(2) {
             assert!(w[0].cost <= w[1].cost);

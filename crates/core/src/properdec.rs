@@ -104,8 +104,7 @@ mod tests {
         let g = paper_example_graph();
         let pre = Preprocessed::new(&g);
         // One clique tree per triangulation: exactly 2 results, ordered by fill.
-        let one_each: Vec<_> =
-            ProperDecompositionEnumerator::new(&pre, &FillIn, Some(1)).collect();
+        let one_each: Vec<_> = ProperDecompositionEnumerator::new(&pre, &FillIn, Some(1)).collect();
         assert_eq!(one_each.len(), 2);
         assert!(one_each[0].cost <= one_each[1].cost);
         for d in &one_each {
@@ -116,7 +115,11 @@ mod tests {
         // {u,v}) has 3 clique trees; H1 has 2 (the middle bag arrangement), so
         // in total more than 2 proper decompositions exist.
         let all: Vec<_> = ProperDecompositionEnumerator::new(&pre, &FillIn, None).collect();
-        assert!(all.len() > 2, "expected several clique trees, got {}", all.len());
+        assert!(
+            all.len() > 2,
+            "expected several clique trees, got {}",
+            all.len()
+        );
         for w in all.windows(2) {
             assert!(w[0].cost <= w[1].cost);
         }
@@ -126,8 +129,9 @@ mod tests {
     fn decompositions_are_valid_and_proper_costed() {
         let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let pre = Preprocessed::new(&c6);
-        let results: Vec<_> =
-            ProperDecompositionEnumerator::new(&pre, &Width, Some(2)).take(10).collect();
+        let results: Vec<_> = ProperDecompositionEnumerator::new(&pre, &Width, Some(2))
+            .take(10)
+            .collect();
         assert!(!results.is_empty());
         for d in &results {
             assert!(d.decomposition.is_valid(&c6));

@@ -39,7 +39,12 @@ pub struct RankedTriangulation {
 impl RankedTriangulation {
     /// Width of the triangulation.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Fill-in relative to `g`.
@@ -218,7 +223,11 @@ mod tests {
         let pre = Preprocessed::new(&g);
         let mut enumerator = RankedEnumerator::new(&pre, &FillIn);
         let results: Vec<_> = enumerator.by_ref().collect();
-        assert_eq!(results.len(), 2, "the paper's example has two minimal triangulations");
+        assert_eq!(
+            results.len(),
+            2,
+            "the paper's example has two minimal triangulations"
+        );
         assert_eq!(enumerator.duplicates_skipped(), 0);
         // Ordered by fill: H2 (1 fill edge) before H1 (3 fill edges).
         assert_eq!(results[0].fill_in(&g), 1);
@@ -251,10 +260,7 @@ mod tests {
 
     #[test]
     fn costs_are_non_decreasing() {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
         let pre = Preprocessed::new(&g);
         for cost in [&Width as &dyn BagCost, &FillIn, &WidthThenFill] {
             let results: Vec<_> = RankedEnumerator::new(&pre, cost).collect();

@@ -78,7 +78,11 @@ impl Graph {
     /// Panics on self-loops or out-of-range endpoints.
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> bool {
         assert!(u != v, "self-loop {u}");
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range n={}",
+            self.n
+        );
         let added = self.adj[u as usize].insert(v);
         self.adj[v as usize].insert(u);
         if added {
@@ -190,7 +194,10 @@ impl Graph {
     /// # Panics
     /// Panics if the vertex counts differ.
     pub fn union(&self, other: &Graph) -> Graph {
-        assert_eq!(self.n, other.n, "graph union requires the same vertex range");
+        assert_eq!(
+            self.n, other.n,
+            "graph union requires the same vertex range"
+        );
         let mut g = self.clone();
         for (u, v) in other.edges() {
             g.add_edge(u, v);
@@ -335,7 +342,13 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, edges={:?})", self.n, self.m, self.edges().collect::<Vec<_>>())
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.n,
+            self.m,
+            self.edges().collect::<Vec<_>>()
+        )
     }
 }
 
@@ -347,10 +360,7 @@ mod tests {
     /// vertices u=0, v=1, v'=2, w1=3, w2=4, w3=5;
     /// u and v are both adjacent to w1, w2, w3; v' is adjacent to v only.
     pub(crate) fn paper_graph() -> Graph {
-        Graph::from_edges(
-            6,
-            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (1, 2)],
-        )
+        Graph::from_edges(6, &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (1, 2)])
     }
 
     #[test]

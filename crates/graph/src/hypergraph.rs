@@ -20,7 +20,10 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Creates a hypergraph with `n` vertices and no hyperedges.
     pub fn new(n: u32) -> Self {
-        Hypergraph { n, edges: Vec::new() }
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a hypergraph from hyperedges given as vertex slices.
@@ -124,12 +127,7 @@ impl Hypergraph {
             picked
         };
         // Branch and bound: always branch on the lowest uncovered vertex.
-        fn search(
-            useful: &[VertexSet],
-            remaining: &VertexSet,
-            used: usize,
-            best: &mut usize,
-        ) {
+        fn search(useful: &[VertexSet], remaining: &VertexSet, used: usize, best: &mut usize) {
             if remaining.is_empty() {
                 *best = (*best).min(used);
                 return;
@@ -200,10 +198,7 @@ mod tests {
     fn cover_number_exact_beats_greedy() {
         // Universe {0..5}; greedy picks the size-3 edge {2,3,4} first and then
         // needs 3 more edges, while the optimum is 2: {0,1,2} ∪ {3,4,5}.
-        let h = Hypergraph::from_edges(
-            6,
-            &[&[2, 3, 4], &[0, 1, 2], &[3, 4, 5], &[0], &[1], &[5]],
-        );
+        let h = Hypergraph::from_edges(6, &[&[2, 3, 4], &[0, 1, 2], &[3, 4, 5], &[0], &[1], &[5]]);
         assert_eq!(h.cover_number(&VertexSet::full(6)), Some(2));
     }
 }

@@ -45,7 +45,11 @@ impl std::fmt::Display for ParseError {
             ParseError::BadEdge { line_number, line } => {
                 write!(f, "malformed edge on line {line_number}: {line:?}")
             }
-            ParseError::VertexOutOfRange { line_number, vertex, n } => write!(
+            ParseError::VertexOutOfRange {
+                line_number,
+                vertex,
+                n,
+            } => write!(
                 f,
                 "vertex {vertex} on line {line_number} is outside the declared range 1..={n}"
             ),
@@ -57,7 +61,11 @@ impl std::error::Error for ParseError {}
 
 fn is_comment(line: &str) -> bool {
     let t = line.trim_start();
-    t.is_empty() || t.starts_with('c') && t[1..].starts_with([' ', '\t']) || t == "c" || t.starts_with('#') || t.starts_with('%')
+    t.is_empty()
+        || t.starts_with('c') && t[1..].starts_with([' ', '\t'])
+        || t == "c"
+        || t.starts_with('#')
+        || t.starts_with('%')
 }
 
 /// Parses a PACE 2016 `.gr` file (`p tw n m`, 1-based `u v` edge lines).
@@ -107,7 +115,11 @@ pub fn parse_pace(input: &str) -> Result<Graph, ParseError> {
         };
         for &x in &[u, v] {
             if x == 0 || x > n {
-                return Err(ParseError::VertexOutOfRange { line_number, vertex: x, n });
+                return Err(ParseError::VertexOutOfRange {
+                    line_number,
+                    vertex: x,
+                    n,
+                });
             }
         }
         if u != v {
@@ -175,7 +187,11 @@ pub fn parse_dimacs(input: &str) -> Result<Graph, ParseError> {
             };
             for &x in &[u, v] {
                 if x == 0 || x > n {
-                    return Err(ParseError::VertexOutOfRange { line_number, vertex: x, n });
+                    return Err(ParseError::VertexOutOfRange {
+                        line_number,
+                        vertex: x,
+                        n,
+                    });
                 }
             }
             if u != v {

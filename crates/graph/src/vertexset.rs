@@ -91,7 +91,11 @@ impl VertexSet {
     /// Membership test.
     #[inline]
     pub fn contains(&self, v: Vertex) -> bool {
-        debug_assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        debug_assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let (w, b) = (v as usize / BITS, v as usize % BITS);
         (self.words[w] >> b) & 1 == 1
     }
@@ -99,7 +103,11 @@ impl VertexSet {
     /// Inserts a vertex; returns `true` if it was newly added.
     #[inline]
     pub fn insert(&mut self, v: Vertex) -> bool {
-        debug_assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        debug_assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let (w, b) = (v as usize / BITS, v as usize % BITS);
         let had = (self.words[w] >> b) & 1 == 1;
         self.words[w] |= 1 << b;
@@ -109,7 +117,11 @@ impl VertexSet {
     /// Removes a vertex; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, v: Vertex) -> bool {
-        debug_assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        debug_assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let (w, b) = (v as usize / BITS, v as usize % BITS);
         let had = (self.words[w] >> b) & 1 == 1;
         self.words[w] &= !(1 << b);
@@ -264,7 +276,10 @@ impl VertexSet {
     pub fn resized(&self, new_universe: u32) -> VertexSet {
         let mut s = VertexSet::empty(new_universe);
         for v in self.iter() {
-            assert!(v < new_universe, "vertex {v} does not fit in universe {new_universe}");
+            assert!(
+                v < new_universe,
+                "vertex {v} does not fit in universe {new_universe}"
+            );
             s.insert(v);
         }
         s

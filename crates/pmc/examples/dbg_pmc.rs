@@ -1,9 +1,16 @@
+//! Prints the PMCs of the paper's Figure 1 graph from both the incremental
+//! enumeration and the brute-force reference, for eyeballing disagreements.
+
 fn main() {
     let g = mtr_graph::paper_example_graph();
     let fast = mtr_pmc::potential_maximal_cliques(&g);
     let brute = mtr_pmc::potential_maximal_cliques_bruteforce(&g);
     println!("fast:");
-    for p in &fast.pmcs { println!("  {:?}", p); }
+    for p in &fast.pmcs {
+        println!("  {:?}", p);
+    }
     println!("brute:");
-    for p in &brute { println!("  {:?}", p); }
+    for p in &brute {
+        println!("  {:?}", p);
+    }
 }

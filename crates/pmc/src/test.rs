@@ -21,10 +21,7 @@ pub fn is_potential_maximal_clique(g: &Graph, omega: &VertexSet) -> bool {
         return false;
     }
     let comps = g.components_excluding(omega);
-    let neighborhoods: Vec<VertexSet> = comps
-        .iter()
-        .map(|c| g.neighborhood_of_set(c))
-        .collect();
+    let neighborhoods: Vec<VertexSet> = comps.iter().map(|c| g.neighborhood_of_set(c)).collect();
     // Condition 1: no full component.
     if neighborhoods.iter().any(|nb| nb == omega) {
         return false;
@@ -108,13 +105,28 @@ mod tests {
         // For a chordal graph the only minimal triangulation is the graph
         // itself, so PMC(G) = MaxClq(G).
         let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        assert!(is_potential_maximal_clique(&path, &VertexSet::from_slice(4, &[0, 1])));
-        assert!(is_potential_maximal_clique(&path, &VertexSet::from_slice(4, &[1, 2])));
-        assert!(!is_potential_maximal_clique(&path, &VertexSet::from_slice(4, &[0, 2])));
-        assert!(!is_potential_maximal_clique(&path, &VertexSet::singleton(4, 1)));
+        assert!(is_potential_maximal_clique(
+            &path,
+            &VertexSet::from_slice(4, &[0, 1])
+        ));
+        assert!(is_potential_maximal_clique(
+            &path,
+            &VertexSet::from_slice(4, &[1, 2])
+        ));
+        assert!(!is_potential_maximal_clique(
+            &path,
+            &VertexSet::from_slice(4, &[0, 2])
+        ));
+        assert!(!is_potential_maximal_clique(
+            &path,
+            &VertexSet::singleton(4, 1)
+        ));
         // A single non-simplicial vertex is not a PMC; a simplicial leaf is not
         // a PMC either because its closed neighborhood strictly contains it.
-        assert!(!is_potential_maximal_clique(&path, &VertexSet::singleton(4, 0)));
+        assert!(!is_potential_maximal_clique(
+            &path,
+            &VertexSet::singleton(4, 0)
+        ));
     }
 
     #[test]
@@ -130,7 +142,10 @@ mod tests {
         ] {
             assert!(is_potential_maximal_clique(&c4, &omega));
         }
-        assert!(!is_potential_maximal_clique(&c4, &VertexSet::from_slice(4, &[0, 1])));
+        assert!(!is_potential_maximal_clique(
+            &c4,
+            &VertexSet::from_slice(4, &[0, 1])
+        ));
         assert!(!is_potential_maximal_clique(&c4, &VertexSet::full(4)));
     }
 }

@@ -181,11 +181,17 @@ mod tests {
     #[test]
     fn minimal_separator_predicate() {
         let g = paper_example_graph();
-        assert!(is_minimal_separator(&g, &VertexSet::from_slice(6, &[3, 4, 5])));
+        assert!(is_minimal_separator(
+            &g,
+            &VertexSet::from_slice(6, &[3, 4, 5])
+        ));
         assert!(is_minimal_separator(&g, &VertexSet::from_slice(6, &[0, 1])));
         assert!(is_minimal_separator(&g, &VertexSet::singleton(6, 1)));
         // {u, v, w1} separates w2 from v' but is not minimal.
-        assert!(!is_minimal_separator(&g, &VertexSet::from_slice(6, &[0, 1, 3])));
+        assert!(!is_minimal_separator(
+            &g,
+            &VertexSet::from_slice(6, &[0, 1, 3])
+        ));
         // The empty set and the full set are never minimal separators.
         assert!(!is_minimal_separator(&g, &VertexSet::empty(6)));
         assert!(!is_minimal_separator(&g, &VertexSet::full(6)));
@@ -200,7 +206,7 @@ mod tests {
             Graph::complete(5),
             Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]), // path
             Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5), (5, 6)]), // tree
-            Graph::new(4), // edgeless
+            Graph::new(4),                                                   // edgeless
         ];
         for g in cases {
             assert_eq!(

@@ -212,7 +212,10 @@ pub fn all_datasets(scale: DatasetScale) -> Vec<Dataset> {
             ("petersen".into(), structured::petersen()),
             ("sp30".into(), structured::series_parallel(30, 500)),
             ("sp60".into(), structured::series_parallel(60, 501)),
-            ("pkt_30_4".into(), random::random_partial_k_tree(30, 4, 0.8, 502)),
+            (
+                "pkt_30_4".into(),
+                random::random_partial_k_tree(30, 4, 0.8, 502),
+            ),
             ("tree40+".into(), {
                 // A tree with a few extra edges (near-tree control-flow shape).
                 let mut g = random::random_tree(40, 503);
@@ -227,13 +230,22 @@ pub fn all_datasets(scale: DatasetScale) -> Vec<Dataset> {
 
     // --- PACE 2016, 1000-second track (larger / denser) --------------------
     let pace1000: Vec<(String, Graph)> = match scale {
-        Smoke => vec![("pkt_15_3".into(), random::random_partial_k_tree(15, 3, 0.9, 600))],
+        Smoke => vec![(
+            "pkt_15_3".into(),
+            random::random_partial_k_tree(15, 3, 0.9, 600),
+        )],
         Standard => vec![
-            ("pkt_40_5".into(), random::random_partial_k_tree(40, 5, 0.85, 600)),
+            (
+                "pkt_40_5".into(),
+                random::random_partial_k_tree(40, 5, 0.85, 600),
+            ),
             ("gnp40_10".into(), random::gnp_connected(40, 0.10, 601)),
         ],
         Large => vec![
-            ("pkt_60_6".into(), random::random_partial_k_tree(60, 6, 0.85, 600)),
+            (
+                "pkt_60_6".into(),
+                random::random_partial_k_tree(60, 6, 0.85, 600),
+            ),
             ("gnp60_10".into(), random::gnp_connected(60, 0.10, 601)),
             ("gnp70_15".into(), random::gnp_connected(70, 0.15, 602)),
         ],
@@ -275,14 +287,22 @@ mod tests {
             assert!(!d.is_empty(), "{} has no instances", d.name);
             for inst in &d.instances {
                 assert!(inst.graph.n() > 0);
-                assert!(inst.graph.n() <= 60, "{} too large for smoke scale", inst.name);
+                assert!(
+                    inst.graph.n() <= 60,
+                    "{} too large for smoke scale",
+                    inst.name
+                );
             }
         }
     }
 
     #[test]
     fn instance_names_are_unique_within_a_family() {
-        for scale in [DatasetScale::Smoke, DatasetScale::Standard, DatasetScale::Large] {
+        for scale in [
+            DatasetScale::Smoke,
+            DatasetScale::Standard,
+            DatasetScale::Large,
+        ] {
             for d in all_datasets(scale) {
                 let mut names: Vec<&str> = d.instances.iter().map(|i| i.name.as_str()).collect();
                 names.sort_unstable();

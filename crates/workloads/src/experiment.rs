@@ -97,7 +97,16 @@ impl Default for TractabilityBudget {
 }
 
 /// Classifies one graph.
-pub fn classify_graph(g: &Graph, budget: &TractabilityBudget) -> (TractabilityStatus, Option<usize>, Option<usize>, Duration, Duration) {
+pub fn classify_graph(
+    g: &Graph,
+    budget: &TractabilityBudget,
+) -> (
+    TractabilityStatus,
+    Option<usize>,
+    Option<usize>,
+    Duration,
+    Duration,
+) {
     let start = Instant::now();
     let seps =
         minimal_separators_with_limits(g, Some(budget.minsep_limit), Some(budget.minsep_time));
@@ -136,7 +145,10 @@ pub fn classify_graph(g: &Graph, budget: &TractabilityBudget) -> (TractabilitySt
 }
 
 /// Runs the tractability study over whole dataset families.
-pub fn tractability_study(datasets: &[Dataset], budget: &TractabilityBudget) -> Vec<TractabilityRow> {
+pub fn tractability_study(
+    datasets: &[Dataset],
+    budget: &TractabilityBudget,
+) -> Vec<TractabilityRow> {
     let mut rows = Vec::new();
     for d in datasets {
         for inst in &d.instances {
@@ -527,13 +539,7 @@ mod tests {
 
     #[test]
     fn random_minsep_study_produces_grid() {
-        let rows = random_minsep_study(
-            &[10, 12],
-            &[0.1, 0.5],
-            2,
-            50_000,
-            Duration::from_secs(5),
-        );
+        let rows = random_minsep_study(&[10, 12], &[0.1, 0.5], 2, 50_000, Duration::from_secs(5));
         assert_eq!(rows.len(), 2 * 2 * 2);
         assert!(rows.iter().all(|r| r.num_minseps.is_some()));
     }
@@ -582,9 +588,21 @@ mod tests {
             algorithm: "test".into(),
             init: Duration::from_millis(100),
             samples: vec![
-                ResultSample { elapsed: Duration::from_millis(150), width: 3, fill: 5 },
-                ResultSample { elapsed: Duration::from_millis(200), width: 2, fill: 7 },
-                ResultSample { elapsed: Duration::from_millis(300), width: 4, fill: 5 },
+                ResultSample {
+                    elapsed: Duration::from_millis(150),
+                    width: 3,
+                    fill: 5,
+                },
+                ResultSample {
+                    elapsed: Duration::from_millis(200),
+                    width: 2,
+                    fill: 7,
+                },
+                ResultSample {
+                    elapsed: Duration::from_millis(300),
+                    width: 4,
+                    fill: 5,
+                },
             ],
             total: Duration::from_millis(300),
             exhausted: true,

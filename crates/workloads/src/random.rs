@@ -161,7 +161,10 @@ mod tests {
         let g = gnp(50, 0.2, 3);
         let expected = 0.2 * (50.0 * 49.0 / 2.0);
         let m = g.m() as f64;
-        assert!((m - expected).abs() < expected * 0.5, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() < expected * 0.5,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]

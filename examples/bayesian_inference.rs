@@ -16,7 +16,11 @@ use ranked_triangulations::workloads::structured;
 /// Exact junction-tree state space: Σ over bags of ∏ of domain sizes.
 fn state_space(bags: &[VertexSet], domains: &[u32]) -> f64 {
     bags.iter()
-        .map(|bag| bag.iter().map(|v| domains[v as usize] as f64).product::<f64>())
+        .map(|bag| {
+            bag.iter()
+                .map(|v| domains[v as usize] as f64)
+                .product::<f64>()
+        })
         .sum()
 }
 
@@ -70,10 +74,18 @@ fn main() {
     // Compare with the plain width-optimal choice.
     let width_optimal = min_triangulation(&pre, &Width).expect("width optimum exists");
     let width_optimal_cost = state_space(&width_optimal.bags, &domains);
-    println!("\nwidth-optimal junction tree:   width = {}, state space = {width_optimal_cost:.0}",
-        width_optimal.width());
-    println!("domain-aware junction tree:    width = {}, state space = {cost:.0}", t.width());
-    assert!(cost <= width_optimal_cost, "ranked exploration never does worse");
+    println!(
+        "\nwidth-optimal junction tree:   width = {}, state space = {width_optimal_cost:.0}",
+        width_optimal.width()
+    );
+    println!(
+        "domain-aware junction tree:    width = {}, state space = {cost:.0}",
+        t.width()
+    );
+    assert!(
+        cost <= width_optimal_cost,
+        "ranked exploration never does worse"
+    );
 
     // Materialize the junction tree itself (a clique tree of the chosen
     // triangulation) for the inference engine.

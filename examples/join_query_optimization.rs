@@ -17,11 +17,7 @@ use ranked_triangulations::workloads::queries;
 /// the estimated sizes of the relations covering it (smaller cover ⇒ fewer
 /// joins), and the query cost is dominated by the most expensive bag plus a
 /// penalty for wide adhesions (bad for caching).
-fn execution_cost(
-    g: &Graph,
-    hypergraph: &Hypergraph,
-    decomposition: &TreeDecomposition,
-) -> f64 {
+fn execution_cost(g: &Graph, hypergraph: &Hypergraph, decomposition: &TreeDecomposition) -> f64 {
     let _ = g;
     let bag_cost: f64 = decomposition
         .bags()
@@ -82,11 +78,11 @@ fn main() {
     println!("\nchosen plan (execution score {score:.0}):");
     for (i, bag) in winner.decomposition.bags().iter().enumerate() {
         let cover = hypergraph.cover_number(bag).unwrap_or(0);
-        println!("  bag {i}: {:?} (covered by {cover} relations)", bag.to_vec());
+        println!(
+            "  bag {i}: {:?} (covered by {cover} relations)",
+            bag.to_vec()
+        );
     }
-    println!(
-        "tree edges: {:?}",
-        winner.decomposition.tree_edges()
-    );
+    println!("tree edges: {:?}", winner.decomposition.tree_edges());
     assert!(winner.decomposition.is_valid(&g));
 }

@@ -47,7 +47,10 @@ fn main() {
     // 3. Proper tree decompositions (clique trees of the triangulations),
     //    ranked by width; stop after the first three.
     println!("\ntop-3 proper tree decompositions by width:");
-    for (i, d) in top_k_proper_decompositions(&g, &Width, 3).iter().enumerate() {
+    for (i, d) in top_k_proper_decompositions(&g, &Width, 3)
+        .iter()
+        .enumerate()
+    {
         println!(
             "  #{i}: width = {}, {} bags, valid = {}",
             d.decomposition.width(),

@@ -121,7 +121,9 @@ fn cost_object(name: &str) -> Result<Box<dyn BagCost + Sync>, String> {
         "fill" => Ok(Box::new(FillIn)),
         "width-fill" => Ok(Box::new(WidthThenFill)),
         "expbags" => Ok(Box::new(ExpBagSum)),
-        other => Err(format!("unknown cost {other} (expected width|fill|width-fill|expbags)")),
+        other => Err(format!(
+            "unknown cost {other} (expected width|fill|width-fill|expbags)"
+        )),
     }
 }
 
@@ -157,7 +159,10 @@ fn run(opts: Options) -> Result<(), String> {
     if opts.bounds {
         let ub = chordal::treewidth_upper_bound(&g);
         let lb = chordal::mmd_plus_lower_bound(&g);
-        println!("treewidth bounds: {} ≤ tw(G) ≤ {} (MMD+ / greedy elimination)", lb, ub.width);
+        println!(
+            "treewidth bounds: {} ≤ tw(G) ≤ {} (MMD+ / greedy elimination)",
+            lb, ub.width
+        );
     }
 
     let started = std::time::Instant::now();
@@ -176,7 +181,11 @@ fn run(opts: Options) -> Result<(), String> {
     let cost = cost_object(&opts.cost)?;
     let results: Vec<RankedTriangulation> = {
         let base: Box<dyn Iterator<Item = RankedTriangulation>> = if opts.threads > 1 {
-            Box::new(ParallelRankedEnumerator::new(&pre, cost.as_ref(), opts.threads))
+            Box::new(ParallelRankedEnumerator::new(
+                &pre,
+                cost.as_ref(),
+                opts.threads,
+            ))
         } else {
             Box::new(RankedEnumerator::new(&pre, cost.as_ref()))
         };

@@ -70,9 +70,8 @@ pub mod prelude {
     pub use mtr_core::{
         all_triangulations_ranked, min_triangulation, top_k_proper_decompositions,
         top_k_triangulations, CkkEnumerator, Diversified, DiversityFilter, LbTriangSampler,
-        ParallelRankedEnumerator, Preprocessed, ProperDecompositionEnumerator,
-        RankedDecomposition, RankedEnumerator, RankedTriangulation, SimilarityMeasure,
-        Triangulation,
+        ParallelRankedEnumerator, Preprocessed, ProperDecompositionEnumerator, RankedDecomposition,
+        RankedEnumerator, RankedTriangulation, SimilarityMeasure, Triangulation,
     };
     pub use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
 }

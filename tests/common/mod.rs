@@ -70,9 +70,9 @@ pub fn all_minimal_triangulations_exhaustive(g: &Graph) -> Vec<Graph> {
     let minimal: Vec<Graph> = triangulations
         .iter()
         .filter(|h| {
-            !triangulations.iter().any(|h2| {
-                h2.m() < h.m() && h2.edges().all(|(u, v)| h.has_edge(u, v))
-            })
+            !triangulations
+                .iter()
+                .any(|h2| h2.m() < h.m() && h2.edges().all(|(u, v)| h.has_edge(u, v)))
         })
         .cloned()
         .collect();

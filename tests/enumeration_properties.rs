@@ -31,7 +31,11 @@ fn ranked_fill_sets(g: &Graph, cost: &dyn BagCost) -> (Vec<CostValue>, HashSet<V
         costs.push(r.cost);
         fills.insert(fill_key(g, &r.triangulation));
     }
-    assert_eq!(enumerator.duplicates_skipped(), 0, "Lawler–Murty partitions overlapped");
+    assert_eq!(
+        enumerator.duplicates_skipped(),
+        0,
+        "Lawler–Murty partitions overlapped"
+    );
     (costs, fills)
 }
 
@@ -181,7 +185,17 @@ fn ranked_prefix_quality_dominates_baseline() {
     // the ordering meaningful.
     let g = Graph::from_edges(
         8,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (3, 5), (5, 6), (6, 7), (7, 4)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (3, 5),
+            (5, 6),
+            (6, 7),
+            (7, 4),
+        ],
     );
     let pre = Preprocessed::new(&g);
     let ranked: Vec<_> = RankedEnumerator::new(&pre, &Width).collect();

@@ -12,9 +12,7 @@ use mtr_chordal::{
 };
 use mtr_graph::{Graph, VertexSet};
 use mtr_pmc::{potential_maximal_cliques, potential_maximal_cliques_bruteforce};
-use mtr_separators::{
-    crosses, minimal_separators, minimal_separators_bruteforce, SeparatorGraph,
-};
+use mtr_separators::{crosses, minimal_separators, minimal_separators_bruteforce, SeparatorGraph};
 use proptest::prelude::*;
 
 proptest! {

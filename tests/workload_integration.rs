@@ -2,16 +2,47 @@
 //! experiment harness and the enumeration stack — the paths the benchmark
 //! binaries exercise, at smoke scale so they run in CI time.
 
+mod common;
+
+use common::arbitrary_graph;
 use mtr_chordal::{is_minimal_triangulation, treewidth_upper_bound};
 use mtr_core::cost::{FillIn, Width};
 use mtr_core::{min_triangulation, CkkEnumerator, Preprocessed, RankedEnumerator};
 use mtr_graph::io;
 use mtr_workloads::experiment::{
-    classify_graph, compare_on_graph, random_minsep_study, tractability_study, CostKind,
-    TractabilityBudget, TractabilityStatus,
+    classify_graph, compare_on_graph, random_minsep_study, run_ckk, run_ranked, tractability_study,
+    CostKind, TractabilityBudget, TractabilityStatus,
 };
 use mtr_workloads::{all_datasets, DatasetScale};
+use proptest::prelude::*;
 use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The measurement harness agrees with the enumerators it wraps on
+    /// arbitrary small graphs: same result count, and the recorded quality
+    /// extrema match a direct ranked run.
+    #[test]
+    fn harness_runs_agree_with_direct_enumeration(g in arbitrary_graph(3, 7)) {
+        let budget = Duration::from_secs(5);
+        let ranked = run_ranked(&g, CostKind::Fill, budget).expect("small graphs initialize");
+        prop_assert!(ranked.exhausted, "5s must exhaust a ≤7-vertex graph");
+        let pre = Preprocessed::new(&g);
+        let direct: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        prop_assert_eq!(ranked.count(), direct.len());
+        prop_assert_eq!(ranked.min_fill(), direct.iter().map(|r| r.fill_in(&g)).min());
+        prop_assert_eq!(ranked.min_width(), direct.iter().map(|r| r.width()).min());
+        // The fill-ranked stream reports its optimum in the first sample.
+        if let (Some(first), Some(best)) = (ranked.samples.first(), ranked.min_fill()) {
+            prop_assert_eq!(first.fill, best);
+        }
+        // The unranked baseline sees the same number of triangulations.
+        let ckk = run_ckk(&g, budget);
+        prop_assert!(ckk.exhausted);
+        prop_assert_eq!(ckk.count(), direct.len());
+    }
+}
 
 #[test]
 fn smoke_datasets_flow_through_the_whole_pipeline() {
@@ -62,7 +93,10 @@ fn smoke_datasets_flow_through_the_whole_pipeline() {
             enumerated_somewhere = true;
         }
     }
-    assert!(enumerated_somewhere, "no smoke instance was tractable — budgets too small");
+    assert!(
+        enumerated_somewhere,
+        "no smoke instance was tractable — budgets too small"
+    );
 }
 
 #[test]
@@ -77,7 +111,11 @@ fn comparison_harness_smoke() {
         let cmp = compare_on_graph(&inst.name, &inst.graph, Duration::from_secs(2));
         let rw = cmp.ranked_width.expect("tiny graphs initialize instantly");
         let rf = cmp.ranked_fill.expect("tiny graphs initialize instantly");
-        assert!(rw.exhausted, "{}: budget should be enough to finish", inst.name);
+        assert!(
+            rw.exhausted,
+            "{}: budget should be enough to finish",
+            inst.name
+        );
         assert_eq!(rw.count(), cmp.ckk.count(), "{}", inst.name);
         assert_eq!(rf.count(), cmp.ckk.count(), "{}", inst.name);
         // The ranked stream's first sample attains the best width.
@@ -109,8 +147,14 @@ fn random_minsep_study_shape_is_unimodal_in_expectation() {
     let sparse = avg(0.05);
     let middle = avg(0.25);
     let dense = avg(0.95);
-    assert!(middle > sparse, "middle {middle} should exceed sparse {sparse}");
-    assert!(middle > dense, "middle {middle} should exceed dense {dense}");
+    assert!(
+        middle > sparse,
+        "middle {middle} should exceed sparse {sparse}"
+    );
+    assert!(
+        middle > dense,
+        "middle {middle} should exceed dense {dense}"
+    );
 }
 
 #[test]
@@ -122,10 +166,7 @@ fn tractability_study_runs_over_families() {
         pmc_time: Duration::from_secs(1),
     };
     let rows = tractability_study(&datasets, &budget);
-    assert_eq!(
-        rows.len(),
-        datasets.iter().map(|d| d.len()).sum::<usize>()
-    );
+    assert_eq!(rows.len(), datasets.iter().map(|d| d.len()).sum::<usize>());
     // At least the query graphs must terminate even at these tiny budgets.
     assert!(rows
         .iter()
