@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtr_chordal::{lb_triang_identity, mcs_m};
 use mtr_core::cost::{BagCost, CostValue, Width};
-use mtr_core::{min_triangulation, Preprocessed, RankedEnumerator};
+use mtr_core::{min_triangulation, Enumerate, Preprocessed};
 use mtr_graph::{Graph, VertexSet};
 use mtr_workloads::random::gnp_connected;
 use mtr_workloads::structured::grid;
@@ -74,11 +74,16 @@ fn bench_shared_vs_rebuilt_initialization(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
     for (name, g) in instances() {
-        // Shared: one Preprocessed reused by the enumerator for 5 results.
+        // Shared: one preprocessing pass reused by the session for 5 results.
         group.bench_with_input(BenchmarkId::new("shared", name), &g, |b, g| {
             b.iter(|| {
-                let pre = Preprocessed::new(g);
-                RankedEnumerator::new(&pre, &Width).take(5).count()
+                Enumerate::on(g)
+                    .cost(&Width)
+                    .max_results(5)
+                    .run()
+                    .expect("session is well-configured")
+                    .results
+                    .len()
             })
         });
         // Rebuilt: preprocessing recomputed before every result (what the
@@ -87,9 +92,12 @@ fn bench_shared_vs_rebuilt_initialization(c: &mut Criterion) {
             b.iter(|| {
                 let mut produced = 0usize;
                 for _ in 0..5 {
-                    let pre = Preprocessed::new(g);
-                    produced +=
-                        RankedEnumerator::new(&pre, &Width).nth(produced).is_some() as usize;
+                    let run = Enumerate::on(g)
+                        .cost(&Width)
+                        .max_results(produced + 1)
+                        .run()
+                        .expect("session is well-configured");
+                    produced += (run.results.len() > produced) as usize;
                 }
                 produced
             })

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtr_core::cost::{Constrained, Constraints, FillIn, Width};
-use mtr_core::{min_triangulation, CkkEnumerator, Preprocessed, RankedEnumerator};
+use mtr_core::{min_triangulation, CkkEnumerator, Enumerate, Preprocessed};
 use mtr_graph::Graph;
 use mtr_workloads::random::gnp_connected;
 use mtr_workloads::structured::{grid, mycielski};
@@ -60,7 +60,15 @@ fn bench_ranked_first_10(c: &mut Criterion) {
     for (name, g) in instances() {
         let pre = Preprocessed::new(&g);
         group.bench_with_input(BenchmarkId::from_parameter(name), &pre, |b, pre| {
-            b.iter(|| RankedEnumerator::new(pre, &Width).take(10).count())
+            b.iter(|| {
+                Enumerate::with(pre)
+                    .cost(&Width)
+                    .max_results(10)
+                    .run()
+                    .expect("session is well-configured")
+                    .results
+                    .len()
+            })
         });
     }
     group.finish();

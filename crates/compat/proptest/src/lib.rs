@@ -3,7 +3,7 @@
 //!
 //! The build environment is hermetic (no registry access), so this crate
 //! reimplements the slice of proptest the test suites use: the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
 //! strategies, [`strategy::Just`], `prop::collection::vec`, the
 //! [`proptest!`] macro with `#![proptest_config(..)]`, and the
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.

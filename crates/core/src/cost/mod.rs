@@ -50,6 +50,26 @@ pub struct ChildSolution<'a> {
     pub bags: &'a [VertexSet],
 }
 
+/// A thread-safe boxed bag cost, as produced by [`named_cost`] and consumed
+/// by configuration-driven callers (the `mtr` CLI, experiment harnesses).
+pub type DynBagCost = dyn BagCost + Send + Sync;
+
+/// Looks up one of the parameter-free shipped costs by its CLI/config name.
+///
+/// Recognized names (with aliases): `width`, `fill` / `fill-in`,
+/// `width-fill` / `width-then-fill`, `expbags` / `exp-bag-sum`. Costs that
+/// need parameters (weighted variants, cover width, linear combinations)
+/// must be constructed programmatically.
+pub fn named_cost(name: &str) -> Option<Box<DynBagCost>> {
+    match name {
+        "width" => Some(Box::new(Width)),
+        "fill" | "fill-in" => Some(Box::new(FillIn)),
+        "width-fill" | "width-then-fill" => Some(Box::new(WidthThenFill)),
+        "expbags" | "exp-bag-sum" => Some(Box::new(ExpBagSum)),
+        _ => None,
+    }
+}
+
 /// A bag cost over tree decompositions / triangulations.
 ///
 /// Implementations must be *split monotone* for the optimizer to be exact;
@@ -130,6 +150,16 @@ mod tests {
         let omega = VertexSet::from_slice(6, &[0, 1, 3]);
         let cost = BagCount.combine(&g, &g.vertex_set(), &omega, &[child]);
         assert_eq!(cost, CostValue::from_usize(2));
+    }
+
+    #[test]
+    fn named_costs_resolve_with_aliases() {
+        assert_eq!(named_cost("width").unwrap().name(), "width");
+        assert_eq!(named_cost("fill").unwrap().name(), "fill-in");
+        assert_eq!(named_cost("fill-in").unwrap().name(), "fill-in");
+        assert_eq!(named_cost("width-fill").unwrap().name(), "width-then-fill");
+        assert_eq!(named_cost("expbags").unwrap().name(), "exp-bag-sum");
+        assert!(named_cost("no-such-cost").is_none());
     }
 
     #[test]

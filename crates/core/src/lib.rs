@@ -19,20 +19,30 @@
 //! * [`parallel`] — the parallel variant of the ranked enumerator (the
 //!   delay-reduction extension sketched in the paper's footnote 3);
 //! * [`diverse`] — diversity-aware filtering of the ranked stream (the
-//!   diversification question raised in the paper's conclusions).
+//!   diversification question raised in the paper's conclusions);
+//! * [`session`] — the canonical entry point: the [`Enumerate`]
+//!   builder/session API composing all of the above, with budgets
+//!   ([`StopReason`]), statistics ([`EnumerationStats`]) and typed errors
+//!   ([`EnumerationError`]).
 //!
 //! # Quick start
 //!
 //! ```
-//! use mtr_core::{cost::Width, Preprocessed, RankedEnumerator};
+//! use mtr_core::{cost::Width, Enumerate};
 //! use mtr_graph::paper_example_graph;
 //!
 //! let g = paper_example_graph();
-//! let pre = Preprocessed::new(&g);            // minimal separators + PMCs
-//! let mut best = RankedEnumerator::new(&pre, &Width);
-//! let first = best.next().expect("the graph has a minimal triangulation");
+//! let run = Enumerate::on(&g).cost(&Width).max_results(1).run()?;
+//! let first = run.best().expect("the graph has a minimal triangulation");
 //! assert_eq!(first.width(), 2);               // the optimum comes first
+//! # Ok::<(), mtr_core::EnumerationError>(())
 //! ```
+//!
+//! The per-algorithm constructors ([`RankedEnumerator::new`],
+//! [`ParallelRankedEnumerator::new`],
+//! [`ProperDecompositionEnumerator::new`], [`Diversified::new`]) remain
+//! available as the engine layer underneath the session; prefer
+//! [`Enumerate`] in new code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,9 +54,10 @@ pub mod mintriang;
 pub mod parallel;
 pub mod properdec;
 pub mod ranked;
+pub mod session;
 
 pub use baseline::{BaselineResult, CkkEnumerator, LbTriangSampler};
-pub use cost::{BagCost, Constrained, Constraints, CostValue};
+pub use cost::{named_cost, BagCost, Constrained, Constraints, CostValue, DynBagCost};
 pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
 pub use mintriang::{min_triangulation, Preprocessed, Triangulation};
 pub use parallel::ParallelRankedEnumerator;
@@ -55,4 +66,8 @@ pub use properdec::{
 };
 pub use ranked::{
     all_triangulations_ranked, top_k_triangulations, RankedEnumerator, RankedTriangulation,
+};
+pub use session::{
+    DecompositionRun, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, SessionReport,
+    StopReason,
 };

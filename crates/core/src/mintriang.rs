@@ -117,6 +117,23 @@ impl Preprocessed {
         Self::build(g, minimal_separators, pmcs, None)
     }
 
+    /// Like [`Preprocessed::from_parts`], but for parts produced by a
+    /// width-bounded enumeration: separators larger than `width_bound` are
+    /// dropped (mirroring [`Preprocessed::new_bounded`]) and the bound is
+    /// recorded.
+    pub fn from_parts_bounded(
+        g: &Graph,
+        minimal_separators: Vec<VertexSet>,
+        pmcs: Vec<VertexSet>,
+        width_bound: usize,
+    ) -> Self {
+        let seps = minimal_separators
+            .into_iter()
+            .filter(|s| s.len() <= width_bound)
+            .collect();
+        Self::build(g, seps, pmcs, Some(width_bound))
+    }
+
     fn build(
         g: &Graph,
         minimal_separators: Vec<VertexSet>,

@@ -57,6 +57,7 @@ pub struct ParallelRankedEnumerator<'a, K: BagCost + Sync + ?Sized> {
     queue: BinaryHeap<Entry>,
     emitted_fills: HashSet<Vec<(u32, u32)>>,
     duplicates_skipped: usize,
+    nodes_explored: usize,
     sequence: u64,
     started: bool,
 }
@@ -71,6 +72,7 @@ impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
             queue: BinaryHeap::new(),
             emitted_fills: HashSet::new(),
             duplicates_skipped: 0,
+            nodes_explored: 0,
             sequence: 0,
             started: false,
         }
@@ -80,6 +82,18 @@ impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
     /// [`crate::ranked::RankedEnumerator::duplicates_skipped`]).
     pub fn duplicates_skipped(&self) -> usize {
         self.duplicates_skipped
+    }
+
+    /// Number of Lawler–Murty partitions explored so far (one constrained
+    /// `MinTriang` re-optimization each); see
+    /// [`crate::ranked::RankedEnumerator::nodes_explored`].
+    pub fn nodes_explored(&self) -> usize {
+        self.nodes_explored
+    }
+
+    /// Number of partitions currently pending in the priority queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Solves `MinTriang⟨κ[I, X]⟩` for a batch of constraint sets in
@@ -146,21 +160,21 @@ impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
         }
     }
 
-    fn expand(&mut self, emitted: &Triangulation, constraints: &Constraints) {
-        let seps_of_h = minimal_separators(&emitted.graph);
-        let new_seps: Vec<VertexSet> = seps_of_h
-            .into_iter()
+    fn expand(&mut self, seps_of_h: &[VertexSet], constraints: &Constraints) {
+        let new_seps: Vec<&VertexSet> = seps_of_h
+            .iter()
             .filter(|s| !constraints.include.contains(s))
             .collect();
         let batch: Vec<Constraints> = (0..new_seps.len())
             .map(|i| {
                 let mut include = constraints.include.clone();
-                include.extend(new_seps[..i].iter().cloned());
+                include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
                 let mut exclude = constraints.exclude.clone();
                 exclude.push(new_seps[i].clone());
                 Constraints::new(include, exclude)
             })
             .collect();
+        self.nodes_explored += batch.len();
         let solutions = self.solve_batch(batch);
         self.push_solutions(solutions);
     }
@@ -172,6 +186,7 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, K> {
     fn next(&mut self) -> Option<RankedTriangulation> {
         if !self.started {
             self.started = true;
+            self.nodes_explored += 1;
             let solutions = self.solve_batch(vec![Constraints::none()]);
             self.push_solutions(solutions);
         }
@@ -179,13 +194,15 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, K> {
             let entry = self.queue.pop()?;
             let fill = entry.best.fill_edges(self.pre.graph());
             let is_new = self.emitted_fills.insert(fill);
-            self.expand(&entry.best, &entry.constraints);
+            // Computed once: shared by the expansion and the emitted result.
+            let seps_of_h = minimal_separators(&entry.best.graph);
+            self.expand(&seps_of_h, &entry.constraints);
             if !is_new {
                 self.duplicates_skipped += 1;
                 continue;
             }
             return Some(RankedTriangulation {
-                minimal_separators: minimal_separators(&entry.best.graph),
+                minimal_separators: seps_of_h,
                 triangulation: entry.best.graph,
                 bags: entry.best.bags,
                 cost: entry.best.cost,

@@ -91,6 +91,7 @@ pub struct RankedEnumerator<'a, K: BagCost + ?Sized> {
     queue: BinaryHeap<QueueEntry>,
     emitted_fills: HashSet<Vec<(u32, u32)>>,
     duplicates_skipped: usize,
+    nodes_explored: usize,
     sequence: u64,
     started: bool,
 }
@@ -107,6 +108,7 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
             queue: BinaryHeap::new(),
             emitted_fills: HashSet::new(),
             duplicates_skipped: 0,
+            nodes_explored: 0,
             sequence: 0,
             started: false,
         }
@@ -120,7 +122,20 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
         self.duplicates_skipped
     }
 
+    /// Number of Lawler–Murty partitions explored so far. Every partition
+    /// costs one constrained `MinTriang` re-optimization, so this is the
+    /// natural work unit for node budgets.
+    pub fn nodes_explored(&self) -> usize {
+        self.nodes_explored
+    }
+
+    /// Number of partitions currently pending in the priority queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
     fn push_partition(&mut self, constraints: Constraints) {
+        self.nodes_explored += 1;
         let constrained = Constrained::new(self.cost, &constraints);
         if let Some(best) = min_triangulation(self.pre, &constrained) {
             // Guard against a best solution that silently violates the
@@ -138,17 +153,16 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
         }
     }
 
-    fn expand(&mut self, emitted: &Triangulation, constraints: &Constraints) {
+    fn expand(&mut self, seps_of_h: &[VertexSet], constraints: &Constraints) {
         // Minimal separators of the emitted triangulation H; those not
         // already forced define the sub-partitions.
-        let seps_of_h = minimal_separators(&emitted.graph);
-        let new_seps: Vec<VertexSet> = seps_of_h
-            .into_iter()
+        let new_seps: Vec<&VertexSet> = seps_of_h
+            .iter()
             .filter(|s| !constraints.include.contains(s))
             .collect();
         for i in 0..new_seps.len() {
             let mut include = constraints.include.clone();
-            include.extend(new_seps[..i].iter().cloned());
+            include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
             let mut exclude = constraints.exclude.clone();
             exclude.push(new_seps[i].clone());
             self.push_partition(Constraints::new(include, exclude));
@@ -168,16 +182,18 @@ impl<K: BagCost + ?Sized> Iterator for RankedEnumerator<'_, K> {
             let entry = self.queue.pop()?;
             let fill = entry.best.fill_edges(self.pre.graph());
             let is_new = self.emitted_fills.insert(fill);
+            // The minimal separators of H feed both the partition expansion
+            // and the emitted result: compute them once and share.
+            let seps_of_h = minimal_separators(&entry.best.graph);
+            self.expand(&seps_of_h, &entry.constraints);
             if !is_new {
                 // Should not happen (partitions are disjoint); counted so the
                 // tests can assert on it, and skipped to preserve soundness.
                 self.duplicates_skipped += 1;
-                self.expand(&entry.best, &entry.constraints);
                 continue;
             }
-            self.expand(&entry.best, &entry.constraints);
             let result = RankedTriangulation {
-                minimal_separators: minimal_separators(&entry.best.graph),
+                minimal_separators: seps_of_h,
                 triangulation: entry.best.graph,
                 bags: entry.best.bags,
                 cost: entry.best.cost,

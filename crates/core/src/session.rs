@@ -1,0 +1,960 @@
+//! The canonical front door to the enumeration stack: a fluent
+//! builder/session API with budgets, per-run statistics, and typed errors.
+//!
+//! Every algorithm of the crate — `RankedTriang`, its parallel variant,
+//! width-bounded `MinTriangB` preprocessing, diversity filtering, and the
+//! proper-tree-decomposition expansion — is reachable through one composable
+//! entry point:
+//!
+//! ```
+//! use mtr_core::session::{Enumerate, StopReason};
+//! use mtr_core::cost::FillIn;
+//! use mtr_graph::paper_example_graph;
+//!
+//! let g = paper_example_graph();
+//! let run = Enumerate::on(&g).cost(&FillIn).run()?;
+//! assert_eq!(run.results.len(), 2);
+//! assert_eq!(run.stop_reason, StopReason::Exhausted);
+//! assert_eq!(run.stats.duplicates_skipped, 0);
+//! # Ok::<(), mtr_core::session::EnumerationError>(())
+//! ```
+//!
+//! Three cross-cutting capabilities distinguish a session from driving the
+//! enumerators by hand:
+//!
+//! * **budgets** — [`Enumerate::max_results`], [`Enumerate::deadline`] and
+//!   [`Enumerate::node_budget`] stop the enumeration early; the session
+//!   reports *why* it stopped through a typed [`StopReason`], and the
+//!   results are always a prefix of the unbudgeted ranked stream;
+//! * **statistics** — every run returns [`EnumerationStats`]: preprocessing
+//!   time, per-result delays, priority-queue depth, explored Lawler–Murty
+//!   nodes, duplicates skipped;
+//! * **typed errors** — misconfiguration and bad inputs surface as
+//!   [`EnumerationError`] values instead of panics.
+//!
+//! The pre-existing constructors (`RankedEnumerator::new`,
+//! `ParallelRankedEnumerator::new`, `ProperDecompositionEnumerator::new`,
+//! `Diversified::new`) remain available as the low-level engine layer the
+//! session drives; new code should prefer [`Enumerate`].
+
+use crate::cost::{named_cost, BagCost, DynBagCost, Width};
+use crate::diverse::{DiversityFilter, SimilarityMeasure};
+use crate::mintriang::Preprocessed;
+use crate::parallel::ParallelRankedEnumerator;
+use crate::properdec::RankedDecomposition;
+use crate::ranked::{RankedEnumerator, RankedTriangulation};
+use mtr_chordal::clique_trees_from_cliques;
+use mtr_graph::io::ParseError;
+use mtr_graph::Graph;
+use mtr_pmc::enumerate::{
+    potential_maximal_cliques_bounded_with_deadline, potential_maximal_cliques_with_deadline,
+};
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+/// A typed error for every way a session (or a caller feeding one, like the
+/// `mtr` CLI) can be misconfigured or handed bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnumerationError {
+    /// The input graph file could not be parsed; the wrapped
+    /// [`ParseError`] carries the offending line number.
+    Parse(ParseError),
+    /// The input graph file could not be read at all.
+    Io {
+        /// The path that failed to load.
+        path: String,
+        /// The operating-system error message.
+        message: String,
+    },
+    /// [`Enumerate::cost_named`] was given a name no shipped cost answers
+    /// to.
+    UnknownCost(String),
+    /// The diversity threshold passed to [`Enumerate::diverse`] is outside
+    /// `[0, 1]`.
+    InvalidDiversityThreshold(f64),
+    /// [`Enumerate::width_bound`] was combined with
+    /// [`Enumerate::with`]: the width bound is a *preprocessing* restriction,
+    /// so it must be chosen when the [`Preprocessed`] value is built (or by
+    /// starting from the graph with [`Enumerate::on`]).
+    WidthBoundOnPreprocessed,
+}
+
+impl std::fmt::Display for EnumerationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumerationError::Parse(e) => write!(f, "graph parse error: {e}"),
+            EnumerationError::Io { path, message } => {
+                write!(f, "cannot read {path}: {message}")
+            }
+            EnumerationError::UnknownCost(name) => write!(
+                f,
+                "unknown cost {name:?} (expected width|fill|width-fill|expbags)"
+            ),
+            EnumerationError::InvalidDiversityThreshold(t) => {
+                write!(f, "diversity threshold {t} is outside [0, 1]")
+            }
+            EnumerationError::WidthBoundOnPreprocessed => write!(
+                f,
+                "a width bound cannot be applied to an existing Preprocessed value; \
+                 build it with Preprocessed::new_bounded or start from the graph \
+                 with Enumerate::on"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnumerationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EnumerationError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EnumerationError {
+    fn from(e: ParseError) -> Self {
+        EnumerationError::Parse(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stop reasons and statistics
+// ---------------------------------------------------------------------------
+
+/// Why a session stopped producing results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The graph has no further minimal triangulations (or proper tree
+    /// decompositions) under the session's restrictions.
+    Exhausted,
+    /// The [`Enumerate::max_results`] budget was reached.
+    MaxResults,
+    /// The [`Enumerate::deadline`] wall-clock budget expired (possibly
+    /// already during preprocessing — see
+    /// [`EnumerationStats::preprocessing_complete`]).
+    DeadlineExceeded,
+    /// The [`Enumerate::node_budget`] on explored Lawler–Murty partitions
+    /// was exhausted.
+    NodeBudgetExhausted,
+    /// The [`Enumerate::drive`] callback requested an early stop.
+    Stopped,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::Exhausted => "exhausted",
+            StopReason::MaxResults => "max-results",
+            StopReason::DeadlineExceeded => "deadline-exceeded",
+            StopReason::NodeBudgetExhausted => "node-budget-exhausted",
+            StopReason::Stopped => "stopped",
+        })
+    }
+}
+
+/// Aggregate and per-result measurements of one session run.
+#[derive(Clone, Debug, Default)]
+pub struct EnumerationStats {
+    /// Name of the bag cost the session ranked by.
+    pub cost: String,
+    /// Wall-clock time spent on preprocessing (zero when the session reused
+    /// an existing [`Preprocessed`]).
+    pub preprocessing: Duration,
+    /// Whether preprocessing ran to completion. `false` only when a
+    /// [`Enumerate::deadline`] expired during the initialization itself, in
+    /// which case the run carries zero results.
+    pub preprocessing_complete: bool,
+    /// Total wall-clock time of the run, preprocessing included.
+    pub total: Duration,
+    /// Number of emitted results. For [`Enumerate::run_decompositions`]
+    /// this counts the underlying *triangulations*, not the clique trees
+    /// expanded from them.
+    pub results: usize,
+    /// Per-result delay: `delays[i]` is the wall-clock time between result
+    /// `i-1` and result `i` (for `i = 0`, since the end of preprocessing).
+    pub delays: Vec<Duration>,
+    /// Largest observed depth of the Lawler–Murty priority queue.
+    pub max_queue_depth: usize,
+    /// Queue depth when the session stopped.
+    pub final_queue_depth: usize,
+    /// Explored Lawler–Murty partitions (constrained `MinTriang` calls).
+    pub nodes_explored: usize,
+    /// Duplicate results skipped by the engine (expected to be zero).
+    pub duplicates_skipped: usize,
+    /// Results rejected by the [`Enumerate::diverse`] filter.
+    pub diversity_rejected: usize,
+    /// Minimal separators found during preprocessing.
+    pub minimal_separators: usize,
+    /// Potential maximal cliques found during preprocessing.
+    pub pmcs: usize,
+    /// Full blocks of the Bouchitté–Todinca dynamic program.
+    pub full_blocks: usize,
+}
+
+impl EnumerationStats {
+    /// Average delay per result, excluding preprocessing; `None` when the
+    /// run produced no results.
+    pub fn average_delay(&self) -> Option<Duration> {
+        if self.delays.is_empty() {
+            return None;
+        }
+        Some(self.delays.iter().sum::<Duration>() / self.delays.len() as u32)
+    }
+
+    /// Largest single-result delay; `None` when the run produced no results.
+    pub fn max_delay(&self) -> Option<Duration> {
+        self.delays.iter().max().copied()
+    }
+}
+
+/// What [`Enumerate::drive`] returns: everything about the run except the
+/// results themselves (those went to the callback).
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Measurements of the run.
+    pub stats: EnumerationStats,
+    /// Why the session stopped.
+    pub stop_reason: StopReason,
+}
+
+/// The outcome of [`Enumerate::run`]: ranked minimal triangulations plus
+/// the session report.
+#[derive(Clone, Debug)]
+pub struct EnumerationRun {
+    /// The emitted triangulations, cheapest first.
+    pub results: Vec<RankedTriangulation>,
+    /// Measurements of the run.
+    pub stats: EnumerationStats,
+    /// Why the session stopped.
+    pub stop_reason: StopReason,
+}
+
+impl EnumerationRun {
+    /// The cheapest result, if any.
+    pub fn best(&self) -> Option<&RankedTriangulation> {
+        self.results.first()
+    }
+}
+
+/// The outcome of [`Enumerate::run_decompositions`]: ranked proper tree
+/// decompositions plus the session report.
+#[derive(Clone, Debug)]
+pub struct DecompositionRun {
+    /// The emitted proper tree decompositions, cheapest first.
+    pub results: Vec<RankedDecomposition>,
+    /// Measurements of the run (results/delays count triangulations).
+    pub stats: EnumerationStats,
+    /// Why the session stopped.
+    pub stop_reason: StopReason,
+}
+
+// ---------------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------------
+
+/// Where the session gets its preprocessing from.
+enum Source<'a> {
+    /// Preprocess this graph inside the session.
+    Graph(&'a Graph),
+    /// Reuse preprocessing the caller already paid for.
+    Pre(&'a Preprocessed),
+}
+
+/// A cost that is either borrowed from the caller or owned by the builder
+/// (the [`Enumerate::cost_named`] path).
+enum CostHolder<'a, K: ?Sized> {
+    Borrowed(&'a K),
+    Owned(Box<K>),
+}
+
+impl<K: ?Sized> CostHolder<'_, K> {
+    fn get(&self) -> &K {
+        match self {
+            CostHolder::Borrowed(c) => c,
+            CostHolder::Owned(b) => b,
+        }
+    }
+}
+
+/// Fluent builder for one enumeration session — the canonical entry point
+/// of the crate. See the [module documentation](self) for an overview and
+/// the method docs for the individual knobs.
+pub struct Enumerate<'a, K: BagCost + Sync + ?Sized = Width> {
+    source: Source<'a>,
+    cost: CostHolder<'a, K>,
+    width_bound: Option<usize>,
+    threads: usize,
+    diversity: Option<(SimilarityMeasure, f64)>,
+    per_triangulation: Option<usize>,
+    max_results: Option<usize>,
+    deadline: Option<Duration>,
+    node_budget: Option<usize>,
+}
+
+impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enumerate")
+            .field("cost", &self.cost.get().name())
+            .field("width_bound", &self.width_bound)
+            .field("threads", &self.threads)
+            .field("diversity", &self.diversity)
+            .field("per_triangulation", &self.per_triangulation)
+            .field("max_results", &self.max_results)
+            .field("deadline", &self.deadline)
+            .field("node_budget", &self.node_budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Enumerate<'a, Width> {
+    /// Starts a session on `graph`; preprocessing (minimal separators,
+    /// PMCs, block structure) happens inside [`Enumerate::run`] and is
+    /// included in the session's deadline and statistics.
+    pub fn on(graph: &'a Graph) -> Self {
+        Self::from_source(Source::Graph(graph))
+    }
+
+    /// Starts a session on preprocessing the caller already built — the
+    /// way to amortize initialization across many sessions (different
+    /// costs, budgets, or diversity settings) on one graph.
+    pub fn with(pre: &'a Preprocessed) -> Self {
+        Self::from_source(Source::Pre(pre))
+    }
+
+    fn from_source(source: Source<'a>) -> Self {
+        Enumerate {
+            source,
+            cost: CostHolder::Borrowed(&Width),
+            width_bound: None,
+            threads: 1,
+            diversity: None,
+            per_triangulation: None,
+            max_results: None,
+            deadline: None,
+            node_budget: None,
+        }
+    }
+}
+
+impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
+    /// Ranks by `cost` instead of the default [`Width`]. Accepts any
+    /// (possibly unsized) split-monotone bag cost, including trait objects.
+    pub fn cost<K2: BagCost + Sync + ?Sized>(self, cost: &'a K2) -> Enumerate<'a, K2> {
+        Enumerate {
+            source: self.source,
+            cost: CostHolder::Borrowed(cost),
+            width_bound: self.width_bound,
+            threads: self.threads,
+            diversity: self.diversity,
+            per_triangulation: self.per_triangulation,
+            max_results: self.max_results,
+            deadline: self.deadline,
+            node_budget: self.node_budget,
+        }
+    }
+
+    /// Ranks by the shipped cost registered under `name` (see
+    /// [`named_cost`] for the accepted names) — the path for CLI and
+    /// configuration-driven callers.
+    pub fn cost_named(self, name: &str) -> Result<Enumerate<'a, DynBagCost>, EnumerationError> {
+        let cost = named_cost(name).ok_or_else(|| EnumerationError::UnknownCost(name.into()))?;
+        Ok(Enumerate {
+            source: self.source,
+            cost: CostHolder::Owned(cost),
+            width_bound: self.width_bound,
+            threads: self.threads,
+            diversity: self.diversity,
+            per_triangulation: self.per_triangulation,
+            max_results: self.max_results,
+            deadline: self.deadline,
+            node_budget: self.node_budget,
+        })
+    }
+
+    /// Restricts the enumeration to minimal triangulations of width at most
+    /// `bound` (the `MinTriangB` preprocessing of Section 5.3). Only valid
+    /// on sessions started with [`Enumerate::on`]; combining it with
+    /// [`Enumerate::with`] yields
+    /// [`EnumerationError::WidthBoundOnPreprocessed`].
+    pub fn width_bound(mut self, bound: usize) -> Self {
+        self.width_bound = Some(bound);
+        self
+    }
+
+    /// Fans the partition re-optimizations out over `threads` worker
+    /// threads (clamped to ≥ 1). The result stream is identical to the
+    /// sequential one; only the delay changes.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Keeps only results whose similarity to every previously kept result
+    /// is at most `threshold` under `measure` (see [`DiversityFilter`]).
+    /// `threshold` must lie in `[0, 1]`.
+    pub fn diverse(mut self, measure: SimilarityMeasure, threshold: f64) -> Self {
+        self.diversity = Some((measure, threshold));
+        self
+    }
+
+    /// For [`Enumerate::run_decompositions`]: emit at most
+    /// `per_triangulation` clique trees per minimal triangulation (`None` =
+    /// all of them — beware, that can be exponential in the number of bags).
+    pub fn proper_decompositions(mut self, per_triangulation: Option<usize>) -> Self {
+        self.per_triangulation = per_triangulation;
+        self
+    }
+
+    /// Budget: stop after `k` results with [`StopReason::MaxResults`].
+    pub fn max_results(mut self, k: usize) -> Self {
+        self.max_results = Some(k);
+        self
+    }
+
+    /// Budget: stop with [`StopReason::DeadlineExceeded`] once `deadline`
+    /// wall-clock time has elapsed since the run started. The deadline
+    /// covers preprocessing too: on sessions started with
+    /// [`Enumerate::on`] the PMC enumeration itself (bounded or not) is
+    /// aborted when the deadline expires, yielding an empty result prefix
+    /// with [`EnumerationStats::preprocessing_complete`] `== false`.
+    ///
+    /// The deadline is checked between results, so the session overshoots
+    /// by at most one result delay.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Budget: stop with [`StopReason::NodeBudgetExhausted`] once `nodes`
+    /// Lawler–Murty partitions have been explored (each costs one
+    /// constrained `MinTriang` re-optimization — the dominant unit of work).
+    /// Checked between results, like the deadline.
+    pub fn node_budget(mut self, nodes: usize) -> Self {
+        self.node_budget = Some(nodes);
+        self
+    }
+
+    /// Runs the session, collecting the ranked minimal triangulations.
+    pub fn run(self) -> Result<EnumerationRun, EnumerationError> {
+        let mut results = Vec::new();
+        let report = self.drive(|t| {
+            results.push(t);
+            ControlFlow::Continue(())
+        })?;
+        Ok(EnumerationRun {
+            results,
+            stats: report.stats,
+            stop_reason: report.stop_reason,
+        })
+    }
+
+    /// Runs the session, expanding each minimal triangulation into its
+    /// clique trees — the ranked enumeration of proper tree decompositions
+    /// (Proposition 6.1). [`Enumerate::max_results`] counts
+    /// *decompositions* here; [`Enumerate::proper_decompositions`] caps the
+    /// clique trees taken per triangulation.
+    pub fn run_decompositions(mut self) -> Result<DecompositionRun, EnumerationError> {
+        let per = self.per_triangulation.unwrap_or(usize::MAX);
+        let max = self.max_results;
+        // The triangulation-level drive must not stop at `max` triangulations:
+        // the budget counts expanded decompositions instead.
+        self.max_results = None;
+        let mut results: Vec<RankedDecomposition> = Vec::new();
+        let mut reached_max = max == Some(0);
+        let report = self.drive(|t| {
+            let remaining = max.map_or(usize::MAX, |k| k.saturating_sub(results.len()));
+            if remaining == 0 {
+                reached_max = true;
+                return ControlFlow::Break(());
+            }
+            let limit = per.min(remaining);
+            let trees = clique_trees_from_cliques(&t.triangulation, t.bags.clone(), limit);
+            for tree in trees {
+                results.push(RankedDecomposition {
+                    decomposition: tree,
+                    triangulation: t.triangulation.clone(),
+                    cost: t.cost,
+                });
+            }
+            if max.is_some_and(|k| results.len() >= k) {
+                reached_max = true;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        })?;
+        let stop_reason = if reached_max {
+            StopReason::MaxResults
+        } else {
+            report.stop_reason
+        };
+        Ok(DecompositionRun {
+            results,
+            stats: report.stats,
+            stop_reason,
+        })
+    }
+
+    /// Streams the session's results into `on_result` without collecting
+    /// them — the any-time interface. Returning
+    /// [`ControlFlow::Break`] stops the session with
+    /// [`StopReason::Stopped`]; the configured budgets apply as usual.
+    pub fn drive<F>(self, mut on_result: F) -> Result<SessionReport, EnumerationError>
+    where
+        F: FnMut(RankedTriangulation) -> ControlFlow<()>,
+    {
+        let started = Instant::now();
+        let Enumerate {
+            source,
+            cost,
+            width_bound,
+            threads,
+            diversity,
+            per_triangulation: _,
+            max_results,
+            deadline,
+            node_budget,
+        } = self;
+
+        if let Some((_, threshold)) = diversity {
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(EnumerationError::InvalidDiversityThreshold(threshold));
+            }
+        }
+
+        let cost_name = cost.get().name();
+        let owned_pre: Preprocessed;
+        let pre: &Preprocessed = match source {
+            Source::Pre(p) => {
+                if width_bound.is_some() {
+                    return Err(EnumerationError::WidthBoundOnPreprocessed);
+                }
+                p
+            }
+            Source::Graph(g) => {
+                let aborted_init = |started: &Instant| {
+                    let elapsed = started.elapsed();
+                    let stats = EnumerationStats {
+                        cost: cost_name.clone(),
+                        preprocessing: elapsed,
+                        preprocessing_complete: false,
+                        total: elapsed,
+                        ..EnumerationStats::default()
+                    };
+                    SessionReport {
+                        stats,
+                        stop_reason: StopReason::DeadlineExceeded,
+                    }
+                };
+                owned_pre = match (width_bound, deadline) {
+                    (Some(b), Some(d)) => {
+                        match potential_maximal_cliques_bounded_with_deadline(g, b + 1, d) {
+                            Ok(e) => {
+                                Preprocessed::from_parts_bounded(g, e.minimal_separators, e.pmcs, b)
+                            }
+                            Err(_) => return Ok(aborted_init(&started)),
+                        }
+                    }
+                    (Some(b), None) => Preprocessed::new_bounded(g, b),
+                    (None, Some(d)) => match potential_maximal_cliques_with_deadline(g, d) {
+                        Ok(e) => Preprocessed::from_parts(g, e.minimal_separators, e.pmcs),
+                        Err(_) => return Ok(aborted_init(&started)),
+                    },
+                    (None, None) => Preprocessed::new(g),
+                };
+                &owned_pre
+            }
+        };
+
+        let cost_ref = cost.get();
+        let mut engine: Engine<'_, K> = if threads.max(1) > 1 {
+            Engine::Parallel(ParallelRankedEnumerator::new(pre, cost_ref, threads))
+        } else {
+            Engine::Sequential(RankedEnumerator::new(pre, cost_ref))
+        };
+        let mut filter = diversity
+            .map(|(measure, threshold)| DiversityFilter::new(pre.graph(), measure, threshold));
+
+        let mut stats = EnumerationStats {
+            cost: cost_name,
+            preprocessing: started.elapsed(),
+            preprocessing_complete: true,
+            minimal_separators: pre.minimal_separators().len(),
+            pmcs: pre.pmcs().len(),
+            full_blocks: pre.full_blocks().len(),
+            ..EnumerationStats::default()
+        };
+        // `Instant + Duration` can overflow for practically-infinite
+        // deadlines; a non-representable deadline is simply never hit.
+        let deadline_at = deadline.and_then(|d| started.checked_add(d));
+        let mut last_emit = Instant::now();
+
+        let stop_reason = loop {
+            if max_results.is_some_and(|k| stats.results >= k) {
+                break StopReason::MaxResults;
+            }
+            if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                break StopReason::DeadlineExceeded;
+            }
+            if node_budget.is_some_and(|n| engine.nodes_explored() >= n) {
+                break StopReason::NodeBudgetExhausted;
+            }
+            let Some(result) = engine.next() else {
+                break StopReason::Exhausted;
+            };
+            stats.max_queue_depth = stats.max_queue_depth.max(engine.queue_depth());
+            if let Some(f) = filter.as_mut() {
+                if !f.admit(&result) {
+                    stats.diversity_rejected += 1;
+                    continue;
+                }
+            }
+            let now = Instant::now();
+            stats.delays.push(now.duration_since(last_emit));
+            last_emit = now;
+            stats.results += 1;
+            if on_result(result).is_break() {
+                break StopReason::Stopped;
+            }
+        };
+
+        stats.final_queue_depth = engine.queue_depth();
+        stats.nodes_explored = engine.nodes_explored();
+        stats.duplicates_skipped = engine.duplicates_skipped();
+        stats.total = started.elapsed();
+        Ok(SessionReport { stats, stop_reason })
+    }
+}
+
+/// The engine layer the session drives: either ranked enumerator, behind a
+/// uniform statistics interface.
+enum Engine<'e, K: BagCost + Sync + ?Sized> {
+    Sequential(RankedEnumerator<'e, K>),
+    Parallel(ParallelRankedEnumerator<'e, K>),
+}
+
+impl<K: BagCost + Sync + ?Sized> Engine<'_, K> {
+    fn next(&mut self) -> Option<RankedTriangulation> {
+        match self {
+            Engine::Sequential(e) => e.next(),
+            Engine::Parallel(e) => e.next(),
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.queue_depth(),
+            Engine::Parallel(e) => e.queue_depth(),
+        }
+    }
+
+    fn nodes_explored(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.nodes_explored(),
+            Engine::Parallel(e) => e.nodes_explored(),
+        }
+    }
+
+    fn duplicates_skipped(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.duplicates_skipped(),
+            Engine::Parallel(e) => e.duplicates_skipped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostValue, FillIn};
+    use mtr_chordal::is_minimal_triangulation;
+    use mtr_graph::paper_example_graph;
+
+    fn c6() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+    }
+
+    #[test]
+    fn default_cost_is_width() {
+        let g = paper_example_graph();
+        let run = Enumerate::on(&g).run().unwrap();
+        assert_eq!(run.stats.cost, "width");
+        assert_eq!(run.results.len(), 2);
+        assert_eq!(run.best().unwrap().width(), 2);
+        assert_eq!(run.stop_reason, StopReason::Exhausted);
+    }
+
+    #[test]
+    fn max_results_budget_truncates_with_reason() {
+        let g = c6();
+        let run = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(3)
+            .run()
+            .unwrap();
+        assert_eq!(run.results.len(), 3);
+        assert_eq!(run.stop_reason, StopReason::MaxResults);
+        for w in run.results.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+        // A zero budget yields an empty prefix.
+        let none = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(0)
+            .run()
+            .unwrap();
+        assert!(none.results.is_empty());
+        assert_eq!(none.stop_reason, StopReason::MaxResults);
+    }
+
+    #[test]
+    fn generous_budgets_do_not_truncate() {
+        let g = c6();
+        let run = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(1000)
+            .deadline(Duration::from_secs(3600))
+            .node_budget(1_000_000)
+            .run()
+            .unwrap();
+        assert_eq!(run.results.len(), 14, "C6 has 14 minimal triangulations");
+        assert_eq!(run.stop_reason, StopReason::Exhausted);
+    }
+
+    #[test]
+    fn zero_deadline_on_preprocessed_yields_empty_prefix() {
+        let g = c6();
+        let pre = Preprocessed::new(&g);
+        let run = Enumerate::with(&pre)
+            .cost(&FillIn)
+            .deadline(Duration::ZERO)
+            .run()
+            .unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.stop_reason, StopReason::DeadlineExceeded);
+        assert!(run.stats.preprocessing_complete);
+    }
+
+    #[test]
+    fn node_budget_stops_early() {
+        let g = c6();
+        let all = Enumerate::on(&g).cost(&FillIn).run().unwrap();
+        let budgeted = Enumerate::on(&g)
+            .cost(&FillIn)
+            .node_budget(1)
+            .run()
+            .unwrap();
+        assert_eq!(budgeted.stop_reason, StopReason::NodeBudgetExhausted);
+        assert!(budgeted.results.len() < all.results.len());
+        // The budgeted results are a prefix of the full stream.
+        for (b, f) in budgeted.results.iter().zip(&all.results) {
+            assert_eq!(b.cost, f.cost);
+        }
+        let zero = Enumerate::on(&g)
+            .cost(&FillIn)
+            .node_budget(0)
+            .run()
+            .unwrap();
+        assert!(zero.results.is_empty());
+        assert_eq!(zero.stop_reason, StopReason::NodeBudgetExhausted);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = c6();
+        let run = Enumerate::on(&g).cost(&FillIn).run().unwrap();
+        let s = &run.stats;
+        assert_eq!(s.cost, "fill-in");
+        assert_eq!(s.results, 14);
+        assert_eq!(s.delays.len(), 14);
+        assert!(s.preprocessing_complete);
+        assert!(s.total >= s.preprocessing);
+        assert!(s.minimal_separators > 0);
+        assert!(s.pmcs > 0);
+        assert!(s.full_blocks > 0);
+        assert!(s.max_queue_depth > 0);
+        assert!(s.nodes_explored > 0);
+        assert_eq!(s.duplicates_skipped, 0);
+        assert!(s.average_delay().is_some());
+        assert!(s.max_delay().unwrap() >= s.average_delay().unwrap());
+        // An exhausted run drains its queue of satisfiable partitions.
+        assert!(s.final_queue_depth <= s.max_queue_depth);
+    }
+
+    #[test]
+    fn threads_match_sequential_output() {
+        let g = c6();
+        let sequential = Enumerate::on(&g).cost(&FillIn).run().unwrap();
+        let parallel = Enumerate::on(&g).cost(&FillIn).threads(4).run().unwrap();
+        assert_eq!(sequential.results.len(), parallel.results.len());
+        let seq_costs: Vec<CostValue> = sequential.results.iter().map(|r| r.cost).collect();
+        let par_costs: Vec<CostValue> = parallel.results.iter().map(|r| r.cost).collect();
+        assert_eq!(seq_costs, par_costs);
+    }
+
+    #[test]
+    fn named_cost_and_unknown_cost() {
+        let g = paper_example_graph();
+        let run = Enumerate::on(&g).cost_named("fill").unwrap().run().unwrap();
+        assert_eq!(run.stats.cost, "fill-in");
+        assert_eq!(run.results[0].fill_in(&g), 1);
+        let err = Enumerate::on(&g).cost_named("bogus").unwrap_err();
+        assert_eq!(err, EnumerationError::UnknownCost("bogus".into()));
+    }
+
+    #[test]
+    fn invalid_diversity_threshold_is_an_error() {
+        let g = c6();
+        let err = Enumerate::on(&g)
+            .cost(&FillIn)
+            .diverse(SimilarityMeasure::FillJaccard, 1.5)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, EnumerationError::InvalidDiversityThreshold(1.5));
+    }
+
+    #[test]
+    fn width_bound_on_preprocessed_is_an_error() {
+        let g = c6();
+        let pre = Preprocessed::new(&g);
+        let err = Enumerate::with(&pre).width_bound(2).run().unwrap_err();
+        assert_eq!(err, EnumerationError::WidthBoundOnPreprocessed);
+    }
+
+    #[test]
+    fn width_bound_restricts_results() {
+        let g = c6();
+        let bounded = Enumerate::on(&g)
+            .cost(&FillIn)
+            .width_bound(2)
+            .run()
+            .unwrap();
+        assert_eq!(bounded.results.len(), 14);
+        let impossible = Enumerate::on(&g)
+            .cost(&FillIn)
+            .width_bound(1)
+            .run()
+            .unwrap();
+        assert!(impossible.results.is_empty());
+        assert_eq!(impossible.stop_reason, StopReason::Exhausted);
+    }
+
+    #[test]
+    fn width_bound_and_deadline_compose() {
+        let g = c6();
+        // A generous deadline changes nothing about the bounded session.
+        let generous = Enumerate::on(&g)
+            .cost(&FillIn)
+            .width_bound(2)
+            .deadline(Duration::from_secs(3600))
+            .run()
+            .unwrap();
+        assert_eq!(generous.results.len(), 14);
+        assert_eq!(generous.stop_reason, StopReason::Exhausted);
+        // A zero deadline aborts the bounded preprocessing itself.
+        let aborted = Enumerate::on(&g)
+            .cost(&FillIn)
+            .width_bound(2)
+            .deadline(Duration::ZERO)
+            .run()
+            .unwrap();
+        assert!(aborted.results.is_empty());
+        assert_eq!(aborted.stop_reason, StopReason::DeadlineExceeded);
+        assert!(!aborted.stats.preprocessing_complete);
+    }
+
+    #[test]
+    fn diversity_filters_and_counts_rejections() {
+        let g = c6();
+        let run = Enumerate::on(&g)
+            .cost(&FillIn)
+            .diverse(SimilarityMeasure::FillJaccard, 0.3)
+            .run()
+            .unwrap();
+        assert!(!run.results.is_empty());
+        assert!(run.results.len() < 14);
+        assert_eq!(run.results.len() + run.stats.diversity_rejected, 14);
+        assert_eq!(run.stats.results, run.results.len());
+    }
+
+    #[test]
+    fn drive_callback_can_stop() {
+        let g = c6();
+        let mut seen = 0usize;
+        let report = Enumerate::on(&g)
+            .cost(&FillIn)
+            .drive(|_| {
+                seen += 1;
+                if seen == 5 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+        assert_eq!(seen, 5);
+        assert_eq!(report.stats.results, 5);
+        assert_eq!(report.stop_reason, StopReason::Stopped);
+    }
+
+    #[test]
+    fn decompositions_with_budgets() {
+        let g = paper_example_graph();
+        let one_each = Enumerate::on(&g)
+            .cost(&FillIn)
+            .proper_decompositions(Some(1))
+            .run_decompositions()
+            .unwrap();
+        assert_eq!(one_each.results.len(), 2);
+        assert_eq!(one_each.stop_reason, StopReason::Exhausted);
+        for d in &one_each.results {
+            assert!(d.decomposition.is_valid(&g));
+            assert!(d.decomposition.is_clique_tree_of(&d.triangulation));
+        }
+        let capped = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(3)
+            .run_decompositions()
+            .unwrap();
+        assert_eq!(capped.results.len(), 3);
+        assert_eq!(capped.stop_reason, StopReason::MaxResults);
+        assert!(capped.results.windows(2).all(|w| w[0].cost <= w[1].cost));
+    }
+
+    #[test]
+    fn results_are_sound_minimal_triangulations() {
+        let g = c6();
+        let run = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(5)
+            .run()
+            .unwrap();
+        for r in &run.results {
+            assert!(is_minimal_triangulation(&g, &r.triangulation));
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EnumerationError::UnknownCost("nope".into());
+        assert!(e.to_string().contains("nope"));
+        let p: EnumerationError = ParseError::BadEdge {
+            line_number: 7,
+            line: "x y".into(),
+        }
+        .into();
+        assert!(p.to_string().contains("line 7"));
+        let io = EnumerationError::Io {
+            path: "missing.gr".into(),
+            message: "no such file".into(),
+        };
+        assert!(io.to_string().contains("missing.gr"));
+        assert!(EnumerationError::WidthBoundOnPreprocessed
+            .to_string()
+            .contains("width bound"));
+    }
+}

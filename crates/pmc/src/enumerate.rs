@@ -84,6 +84,18 @@ pub fn potential_maximal_cliques_bounded(g: &Graph, max_size: usize) -> PmcEnume
     potential_maximal_cliques_impl(g, Some(max_size), None).expect("no deadline was set")
 }
 
+/// The size-bounded enumeration of [`potential_maximal_cliques_bounded`]
+/// under the wall-clock budget of
+/// [`potential_maximal_cliques_with_deadline`] — the combination a
+/// deadline-budgeted width-bounded enumeration session needs.
+pub fn potential_maximal_cliques_bounded_with_deadline(
+    g: &Graph,
+    max_size: usize,
+    budget: Duration,
+) -> Result<PmcEnumeration, PmcDeadlineExceeded> {
+    potential_maximal_cliques_impl(g, Some(max_size), Some(budget))
+}
+
 fn potential_maximal_cliques_impl(
     g: &Graph,
     max_size: Option<usize>,

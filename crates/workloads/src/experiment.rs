@@ -19,10 +19,11 @@
 use crate::datasets::Dataset;
 use crate::random::gnp;
 use mtr_core::cost::{BagCost, FillIn, Width};
-use mtr_core::{CkkEnumerator, Preprocessed, RankedEnumerator};
+use mtr_core::{CkkEnumerator, Enumerate, StopReason};
 use mtr_graph::Graph;
 use mtr_pmc::enumerate::potential_maximal_cliques_with_deadline;
 use mtr_separators::enumerate::minimal_separators_with_limits;
+use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -331,7 +332,7 @@ pub enum CostKind {
 
 impl CostKind {
     /// The cost object.
-    pub fn cost(&self) -> Box<dyn BagCost> {
+    pub fn cost(&self) -> Box<dyn BagCost + Sync> {
         match self {
             CostKind::Width => Box::new(Width),
             CostKind::Fill => Box::new(FillIn),
@@ -348,42 +349,36 @@ impl CostKind {
 }
 
 /// Runs `RankedTriang` on `g` for at most `budget` wall-clock time,
-/// optimizing `kind`. Returns `None` when the initialization itself does
-/// not fit in the budget (the graph would be "not terminated" in Figure 5).
+/// optimizing `kind`, as a deadline-budgeted [`Enumerate`] session.
+/// Returns `None` when the initialization itself does not fit in the budget
+/// (the graph would be "not terminated" in Figure 5).
 pub fn run_ranked(g: &Graph, kind: CostKind, budget: Duration) -> Option<AlgorithmRun> {
     let start = Instant::now();
-    let enumeration = potential_maximal_cliques_with_deadline(g, budget).ok()?;
-    let pre = Preprocessed::from_parts(g, enumeration.minimal_separators, enumeration.pmcs);
-    let init = start.elapsed();
-    if init > budget {
-        return None;
-    }
     let cost = kind.cost();
     let mut samples = Vec::new();
-    let mut exhausted = true;
-    let mut enumerator = RankedEnumerator::new(&pre, cost.as_ref());
-    loop {
-        if start.elapsed() >= budget {
-            exhausted = false;
-            break;
-        }
-        match enumerator.next() {
-            Some(result) => {
-                samples.push(ResultSample {
-                    elapsed: start.elapsed(),
-                    width: result.width(),
-                    fill: result.fill_in(g),
-                });
-            }
-            None => break,
-        }
+    let report = Enumerate::on(g)
+        .cost(cost.as_ref())
+        .deadline(budget)
+        .drive(|result| {
+            samples.push(ResultSample {
+                elapsed: start.elapsed(),
+                width: result.width(),
+                fill: result.fill_in(g),
+            });
+            ControlFlow::Continue(())
+        })
+        .expect("a deadline-only session on a plain graph cannot be misconfigured");
+    // "Not terminated" (Figure 5): the PMC enumeration was aborted, or the
+    // remaining initialization (block construction) overran the budget.
+    if !report.stats.preprocessing_complete || report.stats.preprocessing > budget {
+        return None;
     }
     Some(AlgorithmRun {
         algorithm: format!("ranked-{}", kind.label()),
-        init,
+        init: report.stats.preprocessing,
         samples,
         total: start.elapsed(),
-        exhausted,
+        exhausted: report.stop_reason == StopReason::Exhausted,
     })
 }
 

@@ -58,8 +58,13 @@ fn main() {
 
     // …and evaluate the exact state space on each candidate, keeping the
     // best seen within an any-time budget of 40 candidates.
+    let run = Enumerate::with(&pre)
+        .cost(&guide)
+        .max_results(40)
+        .run()
+        .expect("a session on shared preprocessing cannot be misconfigured");
     let mut best: Option<(f64, RankedTriangulation)> = None;
-    for t in RankedEnumerator::new(&pre, &guide).take(40) {
+    for t in run.results {
         let cost = state_space(&t.bags, &domains);
         if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             println!(

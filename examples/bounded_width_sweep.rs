@@ -20,21 +20,28 @@ fn main() {
 
     // Sweep the width bound upward. For each bound, the bounded
     // preprocessing only enumerates separators of size ≤ b and PMCs of size
-    // ≤ b + 1, so small bounds are cheap even on hostile graphs.
+    // ≤ b + 1, so small bounds are cheap even on hostile graphs. The result
+    // count is capped so the example stays fast on dense inputs; the stop
+    // reason tells us whether the cap was hit.
+    let cap = 500;
     for bound in 1..=5usize {
-        let pre = Preprocessed::new_bounded(&g, bound);
-        let mut enumerator = RankedEnumerator::new(&pre, &FillIn);
-        match enumerator.next() {
+        let run = Enumerate::on(&g)
+            .width_bound(bound)
+            .cost(&FillIn)
+            .max_results(cap)
+            .run()
+            .expect("a width-bounded sweep session cannot be misconfigured");
+        match run.best() {
             None => println!("width ≤ {bound}: no minimal triangulation"),
             Some(first) => {
-                // Count how many width-≤ b minimal triangulations exist (cap
-                // the count so the example stays fast on dense inputs).
-                let cap = 500;
-                let more = enumerator.take(cap - 1).count();
-                let total = more + 1;
-                let suffix = if total == cap { "+" } else { "" };
+                let suffix = if run.stop_reason == StopReason::MaxResults {
+                    "+"
+                } else {
+                    ""
+                };
                 println!(
-                    "width ≤ {bound}: {total}{suffix} minimal triangulations, best fill-in = {}",
+                    "width ≤ {bound}: {}{suffix} minimal triangulations, best fill-in = {}",
+                    run.results.len(),
                     first.fill_in(&g)
                 );
                 // The treewidth of the graph is the first bound that admits
@@ -61,8 +68,13 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     for bound in 3..=5usize {
-        let pre = Preprocessed::new_bounded(&g, bound);
-        if let Some(best) = min_triangulation(&pre, &protected_cost) {
+        let run = Enumerate::on(&g)
+            .width_bound(bound)
+            .cost(&protected_cost)
+            .max_results(1)
+            .run()
+            .expect("a width-bounded optimum session cannot be misconfigured");
+        if let Some(best) = run.best() {
             println!(
                 "width ≤ {bound}: cheapest protected-fill triangulation costs {} (width {})",
                 best.cost,

@@ -79,10 +79,14 @@ fn main() {
 
     // Ranked enumeration under the custom cost, diversified so the top
     // results differ structurally.
-    let filter = DiversityFilter::new(&g, SimilarityMeasure::FillJaccard, 0.6);
     println!("\ntop-5 diverse results under the custom cost:");
-    let stream = Diversified::new(RankedEnumerator::new(&pre, &skew_cost), filter);
-    for (i, t) in stream.take(5).enumerate() {
+    let run = Enumerate::with(&pre)
+        .cost(&skew_cost)
+        .diverse(SimilarityMeasure::FillJaccard, 0.6)
+        .max_results(5)
+        .run()
+        .expect("the diversity threshold is within [0, 1]");
+    for (i, t) in run.results.iter().enumerate() {
         println!(
             "  #{i}: cost = {}, width = {}, fill-in = {}",
             t.cost,
@@ -90,4 +94,8 @@ fn main() {
             t.fill_in(&g)
         );
     }
+    println!(
+        "({} near-duplicates were filtered out along the way)",
+        run.stats.diversity_rejected
+    );
 }

@@ -55,13 +55,23 @@ fn main() {
     let cover_cost = CoverWidth::new(hypergraph.clone());
 
     // …and let the application re-score each candidate with its own cost
-    // model, stopping after a fixed exploration budget.
-    let exploration_budget = 25;
+    // model, stopping after a fixed exploration budget: at most two clique
+    // trees per triangulation, at most 25 candidates overall.
+    let exploration = Enumerate::with(&pre)
+        .cost(&cover_cost)
+        .proper_decompositions(Some(2))
+        .max_results(25)
+        .run_decompositions()
+        .expect("a cover-cost session on shared preprocessing cannot fail");
+    println!(
+        "explored {} candidates in {:.2?} (stop: {})",
+        exploration.results.len(),
+        exploration.stats.total,
+        exploration.stop_reason
+    );
     let mut best: Option<(f64, RankedDecomposition)> = None;
     let mut inspected = 0usize;
-    for candidate in
-        ProperDecompositionEnumerator::new(&pre, &cover_cost, Some(2)).take(exploration_budget)
-    {
+    for candidate in exploration.results {
         inspected += 1;
         let score = execution_cost(&g, &hypergraph, &candidate.decomposition);
         println!(

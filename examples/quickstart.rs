@@ -1,41 +1,32 @@
 //! Quickstart: ranked enumeration of minimal triangulations and proper tree
-//! decompositions on the paper's running example.
+//! decompositions on the paper's running example, through the [`Enumerate`]
+//! builder/session API.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use ranked_triangulations::prelude::*;
+use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), EnumerationError> {
     // The running example of the paper (Figure 1(a)): vertices
     // u=0, v=1, v'=2, w1=3, w2=4, w3=5.
     let g = ranked_triangulations::graph::paper_example_graph();
     println!("input graph: {} vertices, {} edges", g.n(), g.m());
 
-    // One-time initialization shared by every enumeration on this graph:
-    // minimal separators, potential maximal cliques, full blocks.
-    let pre = Preprocessed::new(&g);
+    // 1. One call: preprocessing + ranked enumeration + statistics. The
+    //    default cost is width; `.cost(..)` swaps in any split-monotone
+    //    bag cost.
+    let run = Enumerate::on(&g).cost(&FillIn).run()?;
     println!(
-        "initialization: {} minimal separators, {} potential maximal cliques, {} full blocks",
-        pre.minimal_separators().len(),
-        pre.pmcs().len(),
-        pre.full_blocks().len()
+        "initialization: {} minimal separators, {} potential maximal cliques, \
+         {} full blocks ({:.2} ms)",
+        run.stats.minimal_separators,
+        run.stats.pmcs,
+        run.stats.full_blocks,
+        run.stats.preprocessing.as_secs_f64() * 1000.0
     );
-
-    // 1. The single best triangulation under a few different costs.
-    for cost in [&Width as &dyn BagCost, &FillIn, &WidthThenFill, &ExpBagSum] {
-        let best = min_triangulation(&pre, cost).expect("the graph has a minimal triangulation");
-        println!(
-            "optimal by {:<16}  width = {}  fill-in = {}  cost = {}",
-            cost.name(),
-            best.width(),
-            best.fill_in(&g),
-            best.cost
-        );
-    }
-
-    // 2. Ranked enumeration: every minimal triangulation, cheapest first.
     println!("\nall minimal triangulations by increasing fill-in:");
-    for (i, t) in RankedEnumerator::new(&pre, &FillIn).enumerate() {
+    for (i, t) in run.results.iter().enumerate() {
         println!(
             "  #{i}: fill-in = {}, width = {}, bags = {:?}",
             t.fill_in(&g),
@@ -44,13 +35,35 @@ fn main() {
         );
     }
 
+    // 2. Reuse one preprocessing across several costs with
+    //    `Enumerate::with`, asking each session for just the optimum.
+    let pre = Preprocessed::new(&g);
+    for cost in [
+        &Width as &(dyn BagCost + Sync),
+        &FillIn,
+        &WidthThenFill,
+        &ExpBagSum,
+    ] {
+        let best = Enumerate::with(&pre).cost(cost).max_results(1).run()?;
+        let t = best.best().expect("the graph has a minimal triangulation");
+        println!(
+            "optimal by {:<16}  width = {}  fill-in = {}  cost = {}",
+            best.stats.cost,
+            t.width(),
+            t.fill_in(&g),
+            t.cost
+        );
+    }
+
     // 3. Proper tree decompositions (clique trees of the triangulations),
     //    ranked by width; stop after the first three.
     println!("\ntop-3 proper tree decompositions by width:");
-    for (i, d) in top_k_proper_decompositions(&g, &Width, 3)
-        .iter()
-        .enumerate()
-    {
+    let decs = Enumerate::with(&pre)
+        .cost(&Width)
+        .proper_decompositions(Some(1))
+        .max_results(3)
+        .run_decompositions()?;
+    for (i, d) in decs.results.iter().enumerate() {
         println!(
             "  #{i}: width = {}, {} bags, valid = {}",
             d.decomposition.width(),
@@ -59,13 +72,19 @@ fn main() {
         );
     }
 
-    // 4. Any-time usage: take results until a quality target is met.
-    let target_width = 2;
-    let winner = RankedEnumerator::new(&pre, &Width)
-        .find(|t| t.width() <= target_width)
-        .expect("a width-2 triangulation exists");
+    // 4. Budgets make any session any-time safe: this one is capped by a
+    //    wall-clock deadline and a node budget, and reports why it stopped.
+    let budgeted = Enumerate::with(&pre)
+        .cost(&Width)
+        .deadline(Duration::from_secs(1))
+        .node_budget(50)
+        .run()?;
     println!(
-        "\nfirst triangulation of width ≤ {target_width}: fill-in = {}",
-        winner.fill_in(&g)
+        "\nbudgeted session: {} results, stop reason: {}, avg delay: {:?}",
+        budgeted.results.len(),
+        budgeted.stop_reason,
+        budgeted.stats.average_delay().unwrap_or_default()
     );
+
+    Ok(())
 }

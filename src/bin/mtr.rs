@@ -4,24 +4,27 @@
 //! ```text
 //! mtr <graph-file> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]
 //!                  [--top <k>] [--width-bound <b>] [--threads <t>]
-//!                  [--diverse <threshold>] [--emit-td <directory>] [--bounds]
+//!                  [--diverse <threshold>] [--deadline <secs>] [--node-budget <n>]
+//!                  [--emit-td <directory>] [--bounds]
 //! ```
 //!
 //! The graph format is guessed from the extension (`.gr` → PACE, `.col` →
-//! DIMACS, anything else → edge list) unless `--format` is given. For each
-//! of the top-k minimal triangulations the tool prints the cost, width and
-//! fill-in, and optionally writes the corresponding clique tree as a PACE
-//! `.td` file.
+//! DIMACS, anything else → edge list) unless `--format` is given. The tool
+//! builds an [`Enumerate`] session from the flags, prints the cost, width
+//! and fill-in of each returned triangulation plus the session statistics,
+//! and optionally writes each clique tree as a PACE `.td` file.
+//!
+//! Bad inputs exit with a non-zero status and a typed, line-numbered
+//! message (see [`EnumerationError`]) instead of panicking.
 
 use ranked_triangulations::chordal::{self, clique_tree, write_td};
-use ranked_triangulations::core::cost::{BagCost, ExpBagSum, FillIn, Width, WidthThenFill};
 use ranked_triangulations::core::{
-    Diversified, DiversityFilter, ParallelRankedEnumerator, Preprocessed, RankedEnumerator,
-    RankedTriangulation, SimilarityMeasure,
+    Enumerate, EnumerationError, EnumerationRun, RankedTriangulation, SimilarityMeasure, StopReason,
 };
 use ranked_triangulations::graph::{io, Graph};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     input: PathBuf,
@@ -31,14 +34,38 @@ struct Options {
     width_bound: Option<usize>,
     threads: usize,
     diverse: Option<f64>,
+    deadline: Option<f64>,
+    node_budget: Option<usize>,
     emit_td: Option<PathBuf>,
     bounds: bool,
+}
+
+/// Everything the CLI can fail with: flag misuse, or a typed enumeration
+/// error (file I/O, parse failures with line numbers, unknown costs, …).
+enum CliError {
+    Usage(String),
+    Enumeration(EnumerationError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) => f.write_str(message),
+            CliError::Enumeration(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<EnumerationError> for CliError {
+    fn from(e: EnumerationError) -> Self {
+        CliError::Enumeration(e)
+    }
 }
 
 fn usage() -> &'static str {
     "usage: mtr <graph-file> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]\n\
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
-     \x20          [--emit-td <directory>] [--bounds]"
+     \x20          [--deadline <secs>] [--node-budget <n>] [--emit-td <directory>] [--bounds]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -52,6 +79,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         width_bound: None,
         threads: 1,
         diverse: None,
+        deadline: None,
+        node_budget: None,
         emit_td: None,
         bounds: false,
     };
@@ -88,6 +117,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--diverse expects a number in [0,1]".to_string())?,
                 )
             }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| "--deadline expects a number of seconds".to_string())?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(
+                        "--deadline expects a finite, non-negative number of seconds".to_string(),
+                    );
+                }
+                opts.deadline = Some(secs);
+            }
+            "--node-budget" => {
+                opts.node_budget = Some(
+                    value("--node-budget")?
+                        .parse()
+                        .map_err(|_| "--node-budget expects a positive integer".to_string())?,
+                )
+            }
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -96,9 +143,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_graph(path: &Path, format: Option<&str>) -> Result<Graph, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+fn load_graph(path: &Path, format: Option<&str>) -> Result<Graph, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| EnumerationError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
     let format = format.map(str::to_string).unwrap_or_else(|| {
         match path.extension().and_then(|e| e.to_str()) {
             Some("gr") | Some("tw") => "pace".into(),
@@ -107,24 +156,16 @@ fn load_graph(path: &Path, format: Option<&str>) -> Result<Graph, String> {
         }
     });
     let graph = match format.as_str() {
-        "pace" => io::parse_pace(&text).map_err(|e| e.to_string())?,
-        "dimacs" => io::parse_dimacs(&text).map_err(|e| e.to_string())?,
-        "edges" => io::parse_edge_list(&text).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown format {other}")),
+        "pace" => io::parse_pace(&text).map_err(EnumerationError::from)?,
+        "dimacs" => io::parse_dimacs(&text).map_err(EnumerationError::from)?,
+        "edges" => io::parse_edge_list(&text).map_err(EnumerationError::from)?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format {other} (expected pace|dimacs|edges)"
+            )))
+        }
     };
     Ok(graph)
-}
-
-fn cost_object(name: &str) -> Result<Box<dyn BagCost + Sync>, String> {
-    match name {
-        "width" => Ok(Box::new(Width)),
-        "fill" => Ok(Box::new(FillIn)),
-        "width-fill" => Ok(Box::new(WidthThenFill)),
-        "expbags" => Ok(Box::new(ExpBagSum)),
-        other => Err(format!(
-            "unknown cost {other} (expected width|fill|width-fill|expbags)"
-        )),
-    }
 }
 
 fn print_result(index: usize, g: &Graph, r: &RankedTriangulation) {
@@ -137,17 +178,40 @@ fn print_result(index: usize, g: &Graph, r: &RankedTriangulation) {
     );
 }
 
-fn emit_td(dir: &Path, index: usize, g: &Graph, r: &RankedTriangulation) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+fn emit_td(dir: &Path, index: usize, g: &Graph, r: &RankedTriangulation) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir).map_err(|e| EnumerationError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
     let tree = clique_tree(&r.triangulation).expect("triangulations are chordal");
     let path = dir.join(format!("decomposition_{index:03}.td"));
-    std::fs::write(&path, write_td(&tree, g.n()))
-        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    std::fs::write(&path, write_td(&tree, g.n())).map_err(|e| EnumerationError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
     println!("   wrote {}", path.display());
     Ok(())
 }
 
-fn run(opts: Options) -> Result<(), String> {
+fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationError> {
+    let mut session = Enumerate::on(g).cost_named(&opts.cost)?;
+    if let Some(bound) = opts.width_bound {
+        session = session.width_bound(bound);
+    }
+    session = session.threads(opts.threads).max_results(opts.top);
+    if let Some(threshold) = opts.diverse {
+        session = session.diverse(SimilarityMeasure::FillJaccard, threshold);
+    }
+    if let Some(secs) = opts.deadline {
+        session = session.deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(nodes) = opts.node_budget {
+        session = session.node_budget(nodes);
+    }
+    session.run()
+}
+
+fn run(opts: Options) -> Result<(), CliError> {
     let g = load_graph(&opts.input, opts.format.as_deref())?;
     println!(
         "graph: {} vertices, {} edges ({} components)",
@@ -165,55 +229,48 @@ fn run(opts: Options) -> Result<(), String> {
         );
     }
 
-    let started = std::time::Instant::now();
-    let pre = match opts.width_bound {
-        Some(b) => Preprocessed::new_bounded(&g, b),
-        None => Preprocessed::new(&g),
-    };
+    let run = enumerate(&g, &opts)?;
+    let stats = &run.stats;
     println!(
         "initialization: {} minimal separators, {} PMCs, {} full blocks ({:.2}s)",
-        pre.minimal_separators().len(),
-        pre.pmcs().len(),
-        pre.full_blocks().len(),
-        started.elapsed().as_secs_f64()
+        stats.minimal_separators,
+        stats.pmcs,
+        stats.full_blocks,
+        stats.preprocessing.as_secs_f64()
     );
-
-    let cost = cost_object(&opts.cost)?;
-    let results: Vec<RankedTriangulation> = {
-        let base: Box<dyn Iterator<Item = RankedTriangulation>> = if opts.threads > 1 {
-            Box::new(ParallelRankedEnumerator::new(
-                &pre,
-                cost.as_ref(),
-                opts.threads,
-            ))
-        } else {
-            Box::new(RankedEnumerator::new(&pre, cost.as_ref()))
-        };
-        let stream: Box<dyn Iterator<Item = RankedTriangulation>> = match opts.diverse {
-            Some(threshold) => Box::new(Diversified::new(
-                base,
-                DiversityFilter::new(&g, SimilarityMeasure::FillJaccard, threshold),
-            )),
-            None => base,
-        };
-        stream.take(opts.top).collect()
-    };
-
-    if results.is_empty() {
-        println!("no minimal triangulation satisfies the given restrictions");
+    if !stats.preprocessing_complete {
+        println!("deadline expired during initialization — no results");
+        return Ok(());
+    }
+    if run.results.is_empty() {
+        match run.stop_reason {
+            StopReason::Exhausted => {
+                println!("no minimal triangulation satisfies the given restrictions")
+            }
+            reason => println!("budget exhausted before the first result (stop: {reason})"),
+        }
         return Ok(());
     }
     println!(
-        "top {} minimal triangulations by {} ({:.2}s total):",
-        results.len(),
-        cost.name(),
-        started.elapsed().as_secs_f64()
+        "top {} minimal triangulations by {} ({:.2}s total, stop: {}):",
+        run.results.len(),
+        stats.cost,
+        stats.total.as_secs_f64(),
+        run.stop_reason
     );
-    for (i, r) in results.iter().enumerate() {
+    for (i, r) in run.results.iter().enumerate() {
         print_result(i, &g, r);
         if let Some(dir) = &opts.emit_td {
             emit_td(dir, i, &g, r)?;
         }
+    }
+    if let Some(delay) = stats.average_delay() {
+        println!(
+            "session: avg delay {:.2} ms/result, {} nodes explored, peak queue depth {}",
+            delay.as_secs_f64() * 1000.0,
+            stats.nodes_explored,
+            stats.max_queue_depth
+        );
     }
     Ok(())
 }
@@ -224,11 +281,93 @@ fn main() -> ExitCode {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
-    match parse_args(&args).and_then(run) {
+    match parse_args(&args).map_err(CliError::Usage).and_then(run) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_reads_all_flags() {
+        let opts = parse_args(&args(&[
+            "graph.gr",
+            "--cost",
+            "fill",
+            "--top",
+            "7",
+            "--threads",
+            "2",
+            "--deadline",
+            "1.5",
+            "--node-budget",
+            "100",
+            "--diverse",
+            "0.4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.cost, "fill");
+        assert_eq!(opts.top, 7);
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.deadline, Some(1.5));
+        assert_eq!(opts.node_budget, Some(100));
+        assert_eq!(opts.diverse, Some(0.4));
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags_and_bad_values() {
+        assert!(parse_args(&args(&["g.gr", "--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--top", "many"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--deadline"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--deadline", "-1"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--deadline", "nan"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--deadline", "inf"])).is_err());
+    }
+
+    #[test]
+    fn load_graph_surfaces_line_numbered_parse_errors() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mtr_cli_test_bad_edge.gr");
+        std::fs::write(&path, "p tw 3 2\n1 2\nnot an edge\n").unwrap();
+        let err = load_graph(&path, Some("pace")).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("line 3"),
+            "message should carry the line number: {message}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_graph_reports_missing_files() {
+        let err = load_graph(Path::new("/no/such/file.gr"), None).unwrap_err();
+        assert!(err.to_string().contains("/no/such/file.gr"));
+    }
+
+    #[test]
+    fn unknown_cost_is_a_typed_error() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let opts = parse_args(&args(&["g.gr", "--cost", "bogus"])).unwrap();
+        let err = enumerate(&g, &opts).unwrap_err();
+        assert_eq!(err, EnumerationError::UnknownCost("bogus".into()));
+    }
+
+    #[test]
+    fn enumerate_applies_budgets() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let opts = parse_args(&args(&["g.gr", "--cost", "fill", "--top", "3"])).unwrap();
+        let run = enumerate(&g, &opts).unwrap();
+        assert_eq!(run.results.len(), 3);
+        assert_eq!(run.stop_reason, StopReason::MaxResults);
     }
 }

@@ -23,6 +23,9 @@
 //!
 //! ## Quick start
 //!
+//! The canonical entry point is the [`Enumerate`](prelude::Enumerate)
+//! builder: pick a graph, a cost, optional budgets, and run.
+//!
 //! ```
 //! use ranked_triangulations::prelude::*;
 //!
@@ -30,20 +33,50 @@
 //! // three parallel middle vertices, plus a pendant v'.
 //! let g = ranked_triangulations::graph::paper_example_graph();
 //!
-//! // One-time initialization: minimal separators, potential maximal
-//! // cliques, and the block structure of the Bouchitté–Todinca DP.
-//! let pre = Preprocessed::new(&g);
-//!
 //! // Enumerate the minimal triangulations by increasing fill-in.
-//! let results: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
-//! assert_eq!(results.len(), 2);
-//! assert_eq!(results[0].fill_in(&g), 1);   // the cheapest comes first
-//! assert_eq!(results[1].fill_in(&g), 3);
+//! let run = Enumerate::on(&g).cost(&FillIn).run()?;
+//! assert_eq!(run.results.len(), 2);
+//! assert_eq!(run.results[0].fill_in(&g), 1);   // the cheapest comes first
+//! assert_eq!(run.results[1].fill_in(&g), 3);
+//! assert_eq!(run.stop_reason, StopReason::Exhausted);
 //!
 //! // Or get proper tree decompositions directly, ranked by width.
-//! let decompositions = top_k_proper_decompositions(&g, &Width, 3);
-//! assert!(decompositions[0].decomposition.is_valid(&g));
+//! let decs = Enumerate::on(&g)
+//!     .cost(&Width)
+//!     .proper_decompositions(Some(1))
+//!     .max_results(3)
+//!     .run_decompositions()?;
+//! assert!(decs.results[0].decomposition.is_valid(&g));
+//! # Ok::<(), EnumerationError>(())
 //! ```
+//!
+//! Budgets make any session any-time safe: `.max_results(k)`,
+//! `.deadline(duration)` and `.node_budget(n)` each truncate the ranked
+//! stream to a prefix and report the typed
+//! [`StopReason`](prelude::StopReason); per-run measurements (preprocessing
+//! time, per-result delays, queue depth) come back in
+//! [`EnumerationStats`](prelude::EnumerationStats).
+//!
+//! To amortize preprocessing across several enumerations on one graph,
+//! build a [`Preprocessed`](prelude::Preprocessed) once and start sessions
+//! with `Enumerate::with(&pre)`:
+//!
+//! ```
+//! use ranked_triangulations::prelude::*;
+//!
+//! let g = ranked_triangulations::graph::paper_example_graph();
+//! let pre = Preprocessed::new(&g);             // minimal separators + PMCs
+//! let by_width = Enumerate::with(&pre).cost(&Width).run()?;
+//! let by_fill = Enumerate::with(&pre).cost(&FillIn).run()?;
+//! assert_eq!(by_width.results.len(), by_fill.results.len());
+//! # Ok::<(), EnumerationError>(())
+//! ```
+//!
+//! The per-algorithm constructors (`RankedEnumerator::new`,
+//! `ParallelRankedEnumerator::new`, `ProperDecompositionEnumerator::new`,
+//! `Diversified::new`) are still exported as the engine layer the session
+//! drives — existing code keeps working — but new code should go through
+//! `Enumerate`.
 //!
 //! See the `examples/` directory for end-to-end scenarios (join-query
 //! optimization, Bayesian inference, bounded-width sweeps) and the
@@ -64,14 +97,16 @@ pub use mtr_workloads as workloads;
 pub mod prelude {
     pub use mtr_chordal::{clique_tree, is_chordal, is_minimal_triangulation, TreeDecomposition};
     pub use mtr_core::cost::{
-        BagCost, Constrained, Constraints, CostValue, CoverWidth, ExpBagSum, FillIn,
-        LinearCombination, WeightedFillIn, WeightedWidth, Width, WidthThenFill,
+        named_cost, BagCost, Constrained, Constraints, CostValue, CoverWidth, DynBagCost,
+        ExpBagSum, FillIn, LinearCombination, WeightedFillIn, WeightedWidth, Width, WidthThenFill,
     };
     pub use mtr_core::{
         all_triangulations_ranked, min_triangulation, top_k_proper_decompositions,
-        top_k_triangulations, CkkEnumerator, Diversified, DiversityFilter, LbTriangSampler,
+        top_k_triangulations, CkkEnumerator, DecompositionRun, Diversified, DiversityFilter,
+        Enumerate, EnumerationError, EnumerationRun, EnumerationStats, LbTriangSampler,
         ParallelRankedEnumerator, Preprocessed, ProperDecompositionEnumerator, RankedDecomposition,
-        RankedEnumerator, RankedTriangulation, SimilarityMeasure, Triangulation,
+        RankedEnumerator, RankedTriangulation, SessionReport, SimilarityMeasure, StopReason,
+        Triangulation,
     };
     pub use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
 }
@@ -83,6 +118,15 @@ mod tests {
     #[test]
     fn facade_quickstart_compiles_and_runs() {
         let g = crate::graph::paper_example_graph();
+        let run = Enumerate::on(&g)
+            .cost(&Width)
+            .max_results(1)
+            .run()
+            .expect("a width session on a plain graph cannot fail");
+        assert_eq!(run.results.len(), 1);
+        assert_eq!(run.results[0].width(), 2);
+        assert_eq!(run.stop_reason, StopReason::MaxResults);
+        // The engine-layer helpers still work (shim status).
         let top = top_k_triangulations(&g, &Width, 1);
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].width(), 2);

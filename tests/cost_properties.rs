@@ -10,7 +10,7 @@ use mtr_core::cost::{
     BagCost, Constrained, Constraints, CostValue, FillIn, WeightedFillIn, WeightedWidth, Width,
     WidthThenFill,
 };
-use mtr_core::{all_triangulations_ranked, Preprocessed, RankedEnumerator};
+use mtr_core::{all_triangulations_ranked, Enumerate, Preprocessed};
 use mtr_graph::Graph;
 use proptest::prelude::*;
 
@@ -93,7 +93,7 @@ proptest! {
         // Enumerating with the compiled cost yields exactly the satisfying
         // triangulations (the infinite-cost ones are suppressed by the
         // enumerator), in non-decreasing fill order.
-        let constrained_results: Vec<_> = RankedEnumerator::new(&pre, &constrained).collect();
+        let constrained_results = Enumerate::with(&pre).cost(&constrained).run().unwrap().results;
         let expected: Vec<_> = all
             .iter()
             .filter(|t| constraints.satisfied_by_graph(&t.triangulation))
@@ -186,7 +186,7 @@ fn clique_minus_matching() {
         g.remove_edge(2 * i, 2 * i + 1);
     }
     let pre = Preprocessed::new(&g);
-    let results: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+    let results = Enumerate::with(&pre).cost(&FillIn).run().unwrap().results;
     // Each minimal triangulation adds chords for a subset of the "missing"
     // matching edges; there are 2^(n/2) - ... at least one and all are
     // minimal triangulations of fill ≤ n/2.

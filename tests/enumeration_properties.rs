@@ -17,10 +17,14 @@ mod common;
 use common::{all_minimal_triangulations_exhaustive, arbitrary_graph, fill_key};
 use mtr_chordal::is_minimal_triangulation;
 use mtr_core::cost::{BagCost, CostValue, ExpBagSum, FillIn, WeightedWidth, Width, WidthThenFill};
-use mtr_core::{CkkEnumerator, Preprocessed, RankedEnumerator};
+use mtr_core::{
+    CkkEnumerator, Diversified, DiversityFilter, Enumerate, ParallelRankedEnumerator, Preprocessed,
+    RankedEnumerator, SimilarityMeasure, StopReason,
+};
 use mtr_graph::Graph;
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::time::Duration;
 
 fn ranked_fill_sets(g: &Graph, cost: &dyn BagCost) -> (Vec<CostValue>, HashSet<Vec<(u32, u32)>>) {
     let pre = Preprocessed::new(g);
@@ -133,6 +137,148 @@ proptest! {
         }
         for w in results.windows(2) {
             prop_assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    /// Budget semantics: a `.max_results(k)` session returns exactly the
+    /// first `min(k, total)` results of the unbudgeted ranked stream, with
+    /// the matching `StopReason`.
+    #[test]
+    fn max_results_sessions_are_ranked_prefixes(g in arbitrary_graph(3, 7), k in 0usize..8) {
+        let pre = Preprocessed::new(&g);
+        let full: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let run = Enumerate::with(&pre).cost(&FillIn).max_results(k).run().unwrap();
+        let expected = k.min(full.len());
+        prop_assert_eq!(run.results.len(), expected);
+        for (b, f) in run.results.iter().zip(&full) {
+            prop_assert_eq!(b.cost, f.cost);
+            prop_assert_eq!(fill_key(&g, &b.triangulation), fill_key(&g, &f.triangulation));
+        }
+        if k <= full.len() {
+            prop_assert_eq!(run.stop_reason, StopReason::MaxResults);
+        } else {
+            prop_assert_eq!(run.stop_reason, StopReason::Exhausted);
+        }
+    }
+
+    /// Budget semantics: deadline sessions return a prefix of the ranked
+    /// stream. A generous deadline exhausts the stream; a zero deadline
+    /// stops before the first result with `DeadlineExceeded`.
+    #[test]
+    fn deadline_sessions_are_ranked_prefixes(g in arbitrary_graph(3, 7)) {
+        let pre = Preprocessed::new(&g);
+        let full: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let generous = Enumerate::with(&pre)
+            .cost(&FillIn)
+            .deadline(Duration::from_secs(3600))
+            .run()
+            .unwrap();
+        prop_assert_eq!(generous.results.len(), full.len());
+        prop_assert_eq!(generous.stop_reason, StopReason::Exhausted);
+        let zero = Enumerate::with(&pre)
+            .cost(&FillIn)
+            .deadline(Duration::ZERO)
+            .run()
+            .unwrap();
+        prop_assert!(zero.results.is_empty());
+        prop_assert_eq!(zero.stop_reason, StopReason::DeadlineExceeded);
+    }
+
+    /// Budget semantics: a `.node_budget(n)` session returns a prefix of the
+    /// unbudgeted stream and reports whether the budget was the binding
+    /// constraint.
+    #[test]
+    fn node_budget_sessions_are_ranked_prefixes(g in arbitrary_graph(3, 7), nodes in 0usize..25) {
+        let pre = Preprocessed::new(&g);
+        let full: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let run = Enumerate::with(&pre).cost(&FillIn).node_budget(nodes).run().unwrap();
+        prop_assert!(run.results.len() <= full.len());
+        for (b, f) in run.results.iter().zip(&full) {
+            prop_assert_eq!(b.cost, f.cost);
+            prop_assert_eq!(fill_key(&g, &b.triangulation), fill_key(&g, &f.triangulation));
+        }
+        match run.stop_reason {
+            StopReason::Exhausted => {
+                prop_assert_eq!(run.results.len(), full.len());
+                // Exhaustion is only reachable while the budget still holds.
+                prop_assert!(run.stats.nodes_explored < nodes);
+            }
+            StopReason::NodeBudgetExhausted => {
+                prop_assert!(run.stats.nodes_explored >= nodes);
+            }
+            other => prop_assert!(false, "unexpected stop reason {other:?}"),
+        }
+    }
+
+    /// Shim equivalence: every builder configuration yields the same results
+    /// as the hand-wired enumerator it replaces.
+    #[test]
+    fn builder_matches_direct_enumerators(g in arbitrary_graph(3, 7)) {
+        let pre = Preprocessed::new(&g);
+
+        // Sequential ranked enumeration.
+        let direct: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let built = Enumerate::with(&pre).cost(&FillIn).run().unwrap();
+        prop_assert_eq!(built.results.len(), direct.len());
+        for (b, d) in built.results.iter().zip(&direct) {
+            prop_assert_eq!(b.cost, d.cost);
+            prop_assert_eq!(fill_key(&g, &b.triangulation), fill_key(&g, &d.triangulation));
+        }
+        prop_assert_eq!(built.stop_reason, StopReason::Exhausted);
+        prop_assert_eq!(built.stats.duplicates_skipped, 0);
+
+        // Parallel variant: identical cost sequence, identical result set
+        // (tie order among equal costs may differ).
+        let direct_par: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, 3).collect();
+        let built_par = Enumerate::with(&pre).cost(&FillIn).threads(3).run().unwrap();
+        let direct_costs: Vec<_> = direct_par.iter().map(|r| r.cost).collect();
+        let built_costs: Vec<_> = built_par.results.iter().map(|r| r.cost).collect();
+        prop_assert_eq!(direct_costs, built_costs);
+        let mut direct_fills: Vec<_> = direct_par.iter().map(|r| fill_key(&g, &r.triangulation)).collect();
+        let mut built_fills: Vec<_> = built_par.results.iter().map(|r| fill_key(&g, &r.triangulation)).collect();
+        direct_fills.sort();
+        built_fills.sort();
+        prop_assert_eq!(direct_fills, built_fills);
+
+        // Width-bounded preprocessing.
+        let bound = 2usize;
+        let pre_bounded = Preprocessed::new_bounded(&g, bound);
+        let direct_bounded: Vec<_> = RankedEnumerator::new(&pre_bounded, &FillIn).collect();
+        let built_bounded = Enumerate::on(&g).width_bound(bound).cost(&FillIn).run().unwrap();
+        prop_assert_eq!(built_bounded.results.len(), direct_bounded.len());
+        for (b, d) in built_bounded.results.iter().zip(&direct_bounded) {
+            prop_assert_eq!(b.cost, d.cost);
+            prop_assert_eq!(fill_key(&g, &b.triangulation), fill_key(&g, &d.triangulation));
+        }
+
+        // Diversity filtering.
+        let filter = DiversityFilter::new(&g, SimilarityMeasure::FillJaccard, 0.5);
+        let direct_diverse: Vec<_> =
+            Diversified::new(RankedEnumerator::new(&pre, &FillIn), filter).collect();
+        let built_diverse = Enumerate::with(&pre)
+            .cost(&FillIn)
+            .diverse(SimilarityMeasure::FillJaccard, 0.5)
+            .run()
+            .unwrap();
+        prop_assert_eq!(built_diverse.results.len(), direct_diverse.len());
+        for (b, d) in built_diverse.results.iter().zip(&direct_diverse) {
+            prop_assert_eq!(b.cost, d.cost);
+            prop_assert_eq!(fill_key(&g, &b.triangulation), fill_key(&g, &d.triangulation));
+        }
+
+        // Proper tree decompositions.
+        let direct_decs: Vec<_> =
+            mtr_core::ProperDecompositionEnumerator::new(&pre, &Width, Some(2)).take(10).collect();
+        let built_decs = Enumerate::with(&pre)
+            .cost(&Width)
+            .proper_decompositions(Some(2))
+            .max_results(10)
+            .run_decompositions()
+            .unwrap();
+        prop_assert_eq!(built_decs.results.len(), direct_decs.len());
+        for (b, d) in built_decs.results.iter().zip(&direct_decs) {
+            prop_assert_eq!(b.cost, d.cost);
+            prop_assert_eq!(b.decomposition.bags(), d.decomposition.bags());
         }
     }
 

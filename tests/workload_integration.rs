@@ -7,7 +7,7 @@ mod common;
 use common::arbitrary_graph;
 use mtr_chordal::{is_minimal_triangulation, treewidth_upper_bound};
 use mtr_core::cost::{FillIn, Width};
-use mtr_core::{min_triangulation, CkkEnumerator, Preprocessed, RankedEnumerator};
+use mtr_core::{min_triangulation, CkkEnumerator, Enumerate, Preprocessed};
 use mtr_graph::io;
 use mtr_workloads::experiment::{
     classify_graph, compare_on_graph, random_minsep_study, run_ckk, run_ranked, tractability_study,
@@ -29,7 +29,7 @@ proptest! {
         let ranked = run_ranked(&g, CostKind::Fill, budget).expect("small graphs initialize");
         prop_assert!(ranked.exhausted, "5s must exhaust a ≤7-vertex graph");
         let pre = Preprocessed::new(&g);
-        let direct: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let direct = Enumerate::with(&pre).cost(&FillIn).run().unwrap().results;
         prop_assert_eq!(ranked.count(), direct.len());
         prop_assert_eq!(ranked.min_fill(), direct.iter().map(|r| r.fill_in(&g)).min());
         prop_assert_eq!(ranked.min_width(), direct.iter().map(|r| r.width()).min());
@@ -78,7 +78,12 @@ fn smoke_datasets_flow_through_the_whole_pipeline() {
             );
             assert!(is_minimal_triangulation(&inst.graph, &best.graph));
             // First three ranked results are sound and ordered.
-            let ranked: Vec<_> = RankedEnumerator::new(&pre, &FillIn).take(3).collect();
+            let ranked = Enumerate::with(&pre)
+                .cost(&FillIn)
+                .max_results(3)
+                .run()
+                .unwrap()
+                .results;
             assert!(!ranked.is_empty());
             for w in ranked.windows(2) {
                 assert!(w[0].cost <= w[1].cost);
@@ -198,7 +203,12 @@ fn clique_trees_of_enumerated_results_serialize_to_td() {
     use mtr_chordal::{clique_tree, parse_td, write_td};
     let g = mtr_workloads::structured::grid(3, 3);
     let pre = Preprocessed::new(&g);
-    for result in RankedEnumerator::new(&pre, &Width).take(5) {
+    let run = Enumerate::with(&pre)
+        .cost(&Width)
+        .max_results(5)
+        .run()
+        .unwrap();
+    for result in &run.results {
         let tree = clique_tree(&result.triangulation).expect("chordal");
         let text = write_td(&tree, g.n());
         let (parsed, n) = parse_td(&text).expect("own output parses");
