@@ -1,0 +1,83 @@
+//! Benchmarks for the `mtr-reduce` subsystem: end-to-end ranked
+//! enumeration (first 10 results, preprocessing included) with reduction
+//! off vs. full, on decomposable instances (where the atom decomposition
+//! should win big) and on non-decomposable control instances (where the
+//! decomposition attempt must be near-free); plus the decomposition step
+//! itself.
+//!
+//! Snapshot with `MTR_BENCH_JSON=BENCH_reduce.json cargo bench -p
+//! mtr-bench --bench reduction`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtr_core::cost::Width;
+use mtr_core::Enumerate;
+use mtr_graph::Graph;
+use mtr_reduce::{decompose, EnumerateReduceExt, ReductionLevel};
+use mtr_workloads::decomposable::{glued_grids, gnp_with_bridges, star_of_cliques};
+use mtr_workloads::random::gnp_connected;
+use mtr_workloads::structured::{grid, mycielski};
+use std::time::Duration;
+
+/// Instances whose clique-separator structure the reduction can exploit.
+fn decomposable_instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("glued_grids4x4", glued_grids(4, 4, 2)),
+        ("star_of_cliques4x4", star_of_cliques(4, 4, 2)),
+        ("gnp_bridges3x12", gnp_with_bridges(3, 12, 0.25, 800)),
+    ]
+}
+
+/// Control instances with no useful decomposition: `--reduce full` must
+/// not regress these beyond the (cheap) decomposition attempt.
+fn control_instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid4x4", grid(4, 4)),
+        ("myciel4", mycielski(4)),
+        ("gnp20_020", gnp_connected(20, 0.20, 7)),
+    ]
+}
+
+fn ranked_first_10(g: &Graph, level: ReductionLevel) -> usize {
+    Enumerate::on(g)
+        .cost(&Width)
+        .max_results(10)
+        .reduce(level)
+        .run()
+        .expect("session is well-configured")
+        .results
+        .len()
+}
+
+fn bench_ranked_first_10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_ranked_first_10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let mut all = decomposable_instances();
+    all.extend(control_instances());
+    for (name, g) in all {
+        group.bench_with_input(BenchmarkId::new("off", name), &g, |b, g| {
+            b.iter(|| ranked_first_10(g, ReductionLevel::Off))
+        });
+        group.bench_with_input(BenchmarkId::new("full", name), &g, |b, g| {
+            b.iter(|| ranked_first_10(g, ReductionLevel::Full))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atom_decomposition");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (name, g) in decomposable_instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| decompose(g, ReductionLevel::Full).atoms.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranked_first_10, bench_decompose);
+criterion_main!(benches);

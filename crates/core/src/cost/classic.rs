@@ -1,6 +1,6 @@
 //! The classic split-monotone bag costs of Section 3.
 
-use super::{induced_edge_count, BagCost, ChildSolution, CostValue};
+use super::{induced_edge_count, AtomCombine, BagCost, ChildSolution, CostValue};
 use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
 use std::collections::HashMap;
 
@@ -30,6 +30,12 @@ impl BagCost for Width {
             cost = cost.max(c.cost);
         }
         cost
+    }
+
+    fn atom_combine(&self) -> Option<AtomCombine> {
+        // Width is the maximum of a ⊆-monotone bag price and ignores vertex
+        // identities, so it max-combines exactly across atoms.
+        Some(AtomCombine::Max)
     }
 }
 
@@ -68,6 +74,12 @@ impl BagCost for FillIn {
             cost = cost.plus(c.cost).plus(CostValue::finite(-overlap.value()));
         }
         cost
+    }
+
+    fn atom_combine(&self) -> Option<AtomCombine> {
+        // Fill sets of the per-atom triangulations are pairwise disjoint
+        // (clique separators have no missing edges), so fill adds up.
+        Some(AtomCombine::Additive)
     }
 }
 

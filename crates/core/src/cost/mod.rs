@@ -34,7 +34,54 @@ pub use classic::{
 pub use constrained::{Constrained, Constraints};
 pub use value::CostValue;
 
+#[cfg(test)]
+mod atom_combine_tests {
+    use super::*;
+
+    #[test]
+    fn shipped_costs_declare_their_factorization() {
+        assert_eq!(Width.atom_combine(), Some(AtomCombine::Max));
+        assert_eq!(FillIn.atom_combine(), Some(AtomCombine::Additive));
+        // Vertex-identity-dependent and non-factorizing costs stay opted out.
+        assert_eq!(WeightedWidth::new(vec![1.0]).atom_combine(), None);
+        assert_eq!(WidthThenFill.atom_combine(), None);
+        assert_eq!(ExpBagSum.atom_combine(), None);
+        // The CLI-facing boxed costs carry the declaration through.
+        assert_eq!(
+            named_cost("width").unwrap().atom_combine(),
+            Some(AtomCombine::Max)
+        );
+        assert_eq!(
+            named_cost("fill").unwrap().atom_combine(),
+            Some(AtomCombine::Additive)
+        );
+        assert_eq!(named_cost("expbags").unwrap().atom_combine(), None);
+    }
+}
+
 use mtr_graph::{Graph, VertexSet};
+
+/// How a bag cost combines across the *atoms* of a clique-separator
+/// decomposition (and across connected components, the special case of an
+/// empty clique separator).
+///
+/// When a graph is decomposed by clique minimal separators into atoms
+/// `A_1, …, A_k`, its minimal triangulations are exactly the unions of one
+/// minimal triangulation per atom, with pairwise-disjoint fill sets, and
+/// every maximal clique of the combined triangulation lies inside a single
+/// atom. A cost declares here — via [`BagCost::atom_combine`] — how its
+/// value on the combined triangulation follows from the per-atom values,
+/// which is what lets `mtr-reduce` rank the product space of per-atom
+/// streams without ever materializing a non-optimal combination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomCombine {
+    /// `cost(H) = Σ_i cost(H_i)` — fill-like costs, whose value is a sum
+    /// over fill edges (per-atom fill sets are disjoint).
+    Additive,
+    /// `cost(H) = max_i cost(H_i)` — width-like costs, whose value is a
+    /// maximum of a ⊆-monotone bag price (every bag lives inside an atom).
+    Max,
+}
 
 /// The stored solution of one child block, as seen by [`BagCost::combine`].
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +153,21 @@ pub trait BagCost {
         }
         bags.push(omega.clone());
         self.cost_of_bags(g, scope, &bags)
+    }
+
+    /// How (and whether) this cost factorizes over the atoms of a
+    /// clique-separator decomposition; see [`AtomCombine`].
+    ///
+    /// Return `Some` only when **both** hold:
+    ///
+    /// * the cost is invariant under vertex relabeling (atoms are evaluated
+    ///   as remapped induced subgraphs), and
+    /// * the combined value follows the declared rule exactly.
+    ///
+    /// The default is `None`, which makes reduction-enabled sessions fall
+    /// back to direct enumeration — always sound, never faster.
+    fn atom_combine(&self) -> Option<AtomCombine> {
+        None
     }
 }
 

@@ -65,9 +65,10 @@ pub use properdec::{
     top_k_proper_decompositions, ProperDecompositionEnumerator, RankedDecomposition,
 };
 pub use ranked::{
-    all_triangulations_ranked, top_k_triangulations, RankedEnumerator, RankedTriangulation,
+    all_triangulations_ranked, top_k_triangulations, RankedEnumerator, RankedState,
+    RankedTriangulation,
 };
 pub use session::{
-    DecompositionRun, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, SessionReport,
-    StopReason,
+    drive_engine, DecompositionRun, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
+    SessionConfig, SessionEngine, SessionReport, StopReason,
 };

@@ -55,6 +55,7 @@ impl RankedTriangulation {
 
 /// A partition of the not-yet-emitted triangulations, represented by its
 /// best member.
+#[derive(Debug)]
 struct QueueEntry {
     cost: CostValue,
     sequence: u64,
@@ -84,10 +85,17 @@ impl Ord for QueueEntry {
     }
 }
 
-/// Lazy ranked enumerator of the minimal triangulations of a graph.
-pub struct RankedEnumerator<'a, K: BagCost + ?Sized> {
-    pre: &'a Preprocessed,
-    cost: &'a K,
+/// The mutable engine state of one Lawler–Murty ranked enumeration —
+/// priority queue, emitted set, and counters — decoupled from *where* the
+/// preprocessing and cost live.
+///
+/// [`RankedEnumerator`] is the common borrowing wrapper; callers that need
+/// to own their [`Preprocessed`] next to the enumeration state (the
+/// per-atom streams of the `mtr-reduce` factorized enumerator) drive a
+/// `RankedState` directly, passing the same `pre`/`cost` pair to every
+/// [`RankedState::next`] call.
+#[derive(Debug, Default)]
+pub struct RankedState {
     queue: BinaryHeap<QueueEntry>,
     emitted_fills: HashSet<Vec<(u32, u32)>>,
     duplicates_skipped: usize,
@@ -96,22 +104,10 @@ pub struct RankedEnumerator<'a, K: BagCost + ?Sized> {
     started: bool,
 }
 
-impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
-    /// Creates an enumerator over the preprocessed graph, ranked by `cost`.
-    ///
-    /// Preprocessing (minimal separators, PMCs, block structure) is shared:
-    /// build [`Preprocessed`] once and reuse it across cost functions.
-    pub fn new(pre: &'a Preprocessed, cost: &'a K) -> Self {
-        RankedEnumerator {
-            pre,
-            cost,
-            queue: BinaryHeap::new(),
-            emitted_fills: HashSet::new(),
-            duplicates_skipped: 0,
-            nodes_explored: 0,
-            sequence: 0,
-            started: false,
-        }
+impl RankedState {
+    /// Creates a fresh (not yet started) enumeration state.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Number of results skipped because an identical triangulation was
@@ -134,10 +130,52 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
         self.queue.len()
     }
 
-    fn push_partition(&mut self, constraints: Constraints) {
+    /// Advances the enumeration by one result.
+    ///
+    /// Every call on one `RankedState` must pass the *same* `pre` and
+    /// `cost`; the state is meaningless across different graphs or costs.
+    pub fn next<K: BagCost + ?Sized>(
+        &mut self,
+        pre: &Preprocessed,
+        cost: &K,
+    ) -> Option<RankedTriangulation> {
+        if !self.started {
+            self.started = true;
+            self.push_partition(pre, cost, Constraints::none());
+        }
+        loop {
+            let entry = self.queue.pop()?;
+            let fill = entry.best.fill_edges(pre.graph());
+            let is_new = self.emitted_fills.insert(fill);
+            // The minimal separators of H feed both the partition expansion
+            // and the emitted result: compute them once and share.
+            let seps_of_h = minimal_separators(&entry.best.graph);
+            self.expand(pre, cost, &seps_of_h, &entry.constraints);
+            if !is_new {
+                // Should not happen (partitions are disjoint); counted so the
+                // tests can assert on it, and skipped to preserve soundness.
+                self.duplicates_skipped += 1;
+                continue;
+            }
+            let result = RankedTriangulation {
+                minimal_separators: seps_of_h,
+                triangulation: entry.best.graph,
+                bags: entry.best.bags,
+                cost: entry.best.cost,
+            };
+            return Some(result);
+        }
+    }
+
+    fn push_partition<K: BagCost + ?Sized>(
+        &mut self,
+        pre: &Preprocessed,
+        cost: &K,
+        constraints: Constraints,
+    ) {
         self.nodes_explored += 1;
-        let constrained = Constrained::new(self.cost, &constraints);
-        if let Some(best) = min_triangulation(self.pre, &constrained) {
+        let constrained = Constrained::new(cost, &constraints);
+        if let Some(best) = min_triangulation(pre, &constrained) {
             // Guard against a best solution that silently violates the
             // constraints (line 12 of the algorithm): only non-empty
             // partitions are enqueued.
@@ -153,7 +191,13 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
         }
     }
 
-    fn expand(&mut self, seps_of_h: &[VertexSet], constraints: &Constraints) {
+    fn expand<K: BagCost + ?Sized>(
+        &mut self,
+        pre: &Preprocessed,
+        cost: &K,
+        seps_of_h: &[VertexSet],
+        constraints: &Constraints,
+    ) {
         // Minimal separators of the emitted triangulation H; those not
         // already forced define the sub-partitions.
         let new_seps: Vec<&VertexSet> = seps_of_h
@@ -165,8 +209,46 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
             include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
             let mut exclude = constraints.exclude.clone();
             exclude.push(new_seps[i].clone());
-            self.push_partition(Constraints::new(include, exclude));
+            self.push_partition(pre, cost, Constraints::new(include, exclude));
         }
+    }
+}
+
+/// Lazy ranked enumerator of the minimal triangulations of a graph.
+pub struct RankedEnumerator<'a, K: BagCost + ?Sized> {
+    pre: &'a Preprocessed,
+    cost: &'a K,
+    state: RankedState,
+}
+
+impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
+    /// Creates an enumerator over the preprocessed graph, ranked by `cost`.
+    ///
+    /// Preprocessing (minimal separators, PMCs, block structure) is shared:
+    /// build [`Preprocessed`] once and reuse it across cost functions.
+    pub fn new(pre: &'a Preprocessed, cost: &'a K) -> Self {
+        RankedEnumerator {
+            pre,
+            cost,
+            state: RankedState::new(),
+        }
+    }
+
+    /// Number of duplicate results skipped; see
+    /// [`RankedState::duplicates_skipped`].
+    pub fn duplicates_skipped(&self) -> usize {
+        self.state.duplicates_skipped()
+    }
+
+    /// Number of Lawler–Murty partitions explored so far; see
+    /// [`RankedState::nodes_explored`].
+    pub fn nodes_explored(&self) -> usize {
+        self.state.nodes_explored()
+    }
+
+    /// Number of partitions currently pending in the priority queue.
+    pub fn queue_depth(&self) -> usize {
+        self.state.queue_depth()
     }
 }
 
@@ -174,32 +256,7 @@ impl<K: BagCost + ?Sized> Iterator for RankedEnumerator<'_, K> {
     type Item = RankedTriangulation;
 
     fn next(&mut self) -> Option<RankedTriangulation> {
-        if !self.started {
-            self.started = true;
-            self.push_partition(Constraints::none());
-        }
-        loop {
-            let entry = self.queue.pop()?;
-            let fill = entry.best.fill_edges(self.pre.graph());
-            let is_new = self.emitted_fills.insert(fill);
-            // The minimal separators of H feed both the partition expansion
-            // and the emitted result: compute them once and share.
-            let seps_of_h = minimal_separators(&entry.best.graph);
-            self.expand(&seps_of_h, &entry.constraints);
-            if !is_new {
-                // Should not happen (partitions are disjoint); counted so the
-                // tests can assert on it, and skipped to preserve soundness.
-                self.duplicates_skipped += 1;
-                continue;
-            }
-            let result = RankedTriangulation {
-                minimal_separators: seps_of_h,
-                triangulation: entry.best.graph,
-                bags: entry.best.bags,
-                cost: entry.best.cost,
-            };
-            return Some(result);
-        }
+        self.state.next(self.pre, self.cost)
     }
 }
 

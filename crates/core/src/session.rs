@@ -194,6 +194,12 @@ pub struct EnumerationStats {
     pub pmcs: usize,
     /// Full blocks of the Bouchitté–Todinca dynamic program.
     pub full_blocks: usize,
+    /// Atoms found by a reduction-enabled session (`mtr-reduce`): `0` when
+    /// no decomposition was attempted (reduction off, non-factorizing cost,
+    /// or a `Preprocessed` source); `1` when the decomposition found a
+    /// single atom — the direct engine ran, there was nothing to factorize;
+    /// `≥ 2` when the factorized per-atom engine actually ran.
+    pub atoms: usize,
 }
 
 impl EnumerationStats {
@@ -278,6 +284,50 @@ impl<K: ?Sized> CostHolder<'_, K> {
             CostHolder::Borrowed(c) => c,
             CostHolder::Owned(b) => b,
         }
+    }
+}
+
+/// The deconstructed configuration of an [`Enumerate`] builder.
+///
+/// This is the hook that lets *higher* layers of the stack drive
+/// alternative engines with the same fluent configuration: the
+/// `mtr-reduce` crate turns a builder into a `SessionConfig` (via
+/// [`Enumerate::into_config`]), inspects the source graph, cost, and
+/// budgets, and either runs its factorized per-atom engine or rebuilds the
+/// direct session with [`Enumerate::from_config`].
+pub struct SessionConfig<'a, K: BagCost + Sync + ?Sized = Width> {
+    source: Source<'a>,
+    cost: CostHolder<'a, K>,
+    /// The width bound, if one was set with [`Enumerate::width_bound`].
+    pub width_bound: Option<usize>,
+    /// Worker threads requested with [`Enumerate::threads`].
+    pub threads: usize,
+    /// Diversity filter configuration from [`Enumerate::diverse`].
+    pub diversity: Option<(SimilarityMeasure, f64)>,
+    /// Per-triangulation cap from [`Enumerate::proper_decompositions`].
+    pub per_triangulation: Option<usize>,
+    /// Result budget from [`Enumerate::max_results`].
+    pub max_results: Option<usize>,
+    /// Wall-clock budget from [`Enumerate::deadline`].
+    pub deadline: Option<Duration>,
+    /// Exploration budget from [`Enumerate::node_budget`].
+    pub node_budget: Option<usize>,
+}
+
+impl<'a, K: BagCost + Sync + ?Sized> SessionConfig<'a, K> {
+    /// The graph the session was started on with [`Enumerate::on`], or
+    /// `None` when it reuses an existing [`Preprocessed`]
+    /// ([`Enumerate::with`]).
+    pub fn graph(&self) -> Option<&'a Graph> {
+        match self.source {
+            Source::Graph(g) => Some(g),
+            Source::Pre(_) => None,
+        }
+    }
+
+    /// The cost the session ranks by.
+    pub fn cost(&self) -> &K {
+        self.cost.get()
     }
 }
 
@@ -439,6 +489,40 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         self
     }
 
+    /// Deconstructs the builder into its [`SessionConfig`] — the hook for
+    /// alternative engines (see the `SessionConfig` docs). Most callers
+    /// never need this; they call [`Enumerate::run`] directly.
+    pub fn into_config(self) -> SessionConfig<'a, K> {
+        SessionConfig {
+            source: self.source,
+            cost: self.cost,
+            width_bound: self.width_bound,
+            threads: self.threads,
+            diversity: self.diversity,
+            per_triangulation: self.per_triangulation,
+            max_results: self.max_results,
+            deadline: self.deadline,
+            node_budget: self.node_budget,
+        }
+    }
+
+    /// Rebuilds a builder from a [`SessionConfig`] — the inverse of
+    /// [`Enumerate::into_config`], used by alternative engines to fall back
+    /// to the direct session.
+    pub fn from_config(config: SessionConfig<'a, K>) -> Self {
+        Enumerate {
+            source: config.source,
+            cost: config.cost,
+            width_bound: config.width_bound,
+            threads: config.threads,
+            diversity: config.diversity,
+            per_triangulation: config.per_triangulation,
+            max_results: config.max_results,
+            deadline: config.deadline,
+            node_budget: config.node_budget,
+        }
+    }
+
     /// Runs the session, collecting the ranked minimal triangulations.
     pub fn run(self) -> Result<EnumerationRun, EnumerationError> {
         let mut results = Vec::new();
@@ -503,7 +587,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
     /// them — the any-time interface. Returning
     /// [`ControlFlow::Break`] stops the session with
     /// [`StopReason::Stopped`]; the configured budgets apply as usual.
-    pub fn drive<F>(self, mut on_result: F) -> Result<SessionReport, EnumerationError>
+    pub fn drive<F>(self, on_result: F) -> Result<SessionReport, EnumerationError>
     where
         F: FnMut(RankedTriangulation) -> ControlFlow<()>,
     {
@@ -576,7 +660,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         } else {
             Engine::Sequential(RankedEnumerator::new(pre, cost_ref))
         };
-        let mut filter = diversity
+        let filter = diversity
             .map(|(measure, threshold)| DiversityFilter::new(pre.graph(), measure, threshold));
 
         let mut stats = EnumerationStats {
@@ -588,46 +672,101 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             full_blocks: pre.full_blocks().len(),
             ..EnumerationStats::default()
         };
-        // `Instant + Duration` can overflow for practically-infinite
-        // deadlines; a non-representable deadline is simply never hit.
-        let deadline_at = deadline.and_then(|d| started.checked_add(d));
-        let mut last_emit = Instant::now();
-
-        let stop_reason = loop {
-            if max_results.is_some_and(|k| stats.results >= k) {
-                break StopReason::MaxResults;
-            }
-            if deadline_at.is_some_and(|at| Instant::now() >= at) {
-                break StopReason::DeadlineExceeded;
-            }
-            if node_budget.is_some_and(|n| engine.nodes_explored() >= n) {
-                break StopReason::NodeBudgetExhausted;
-            }
-            let Some(result) = engine.next() else {
-                break StopReason::Exhausted;
-            };
-            stats.max_queue_depth = stats.max_queue_depth.max(engine.queue_depth());
-            if let Some(f) = filter.as_mut() {
-                if !f.admit(&result) {
-                    stats.diversity_rejected += 1;
-                    continue;
-                }
-            }
-            let now = Instant::now();
-            stats.delays.push(now.duration_since(last_emit));
-            last_emit = now;
-            stats.results += 1;
-            if on_result(result).is_break() {
-                break StopReason::Stopped;
-            }
-        };
-
-        stats.final_queue_depth = engine.queue_depth();
-        stats.nodes_explored = engine.nodes_explored();
-        stats.duplicates_skipped = engine.duplicates_skipped();
-        stats.total = started.elapsed();
+        let stop_reason = drive_engine(
+            &mut engine,
+            filter,
+            &mut stats,
+            started,
+            max_results,
+            deadline,
+            node_budget,
+            on_result,
+        );
         Ok(SessionReport { stats, stop_reason })
     }
+}
+
+/// The interface between the generic session loop and a result-producing
+/// engine. The direct engines ([`RankedEnumerator`],
+/// [`ParallelRankedEnumerator`]) implement it behind the scenes, and
+/// alternative engines (the factorized per-atom enumerator of
+/// `mtr-reduce`) implement it to reuse the *exact* budget, diversity, and
+/// statistics semantics of a session through [`drive_engine`].
+pub trait SessionEngine {
+    /// Produces the next ranked result, or `None` when exhausted.
+    fn next_result(&mut self) -> Option<RankedTriangulation>;
+    /// Entries currently pending in the engine's priority queue.
+    fn queue_depth(&self) -> usize;
+    /// Work units (Lawler–Murty partitions) explored so far — the quantity
+    /// [`Enumerate::node_budget`] is checked against.
+    fn nodes_explored(&self) -> usize;
+    /// Duplicate results skipped (`0` for engines that cannot emit them).
+    fn duplicates_skipped(&self) -> usize;
+}
+
+/// The shared emission loop of every session: drives `engine` until it is
+/// exhausted, a budget trips, or `on_result` breaks, recording per-result
+/// delays, queue depths, and rejection counts into `stats` (including the
+/// final `total`/`final_queue_depth`/`nodes_explored` bookkeeping).
+///
+/// `started` anchors both the deadline and `stats.total`, so it must be
+/// the instant the session (including preprocessing) began. This is the
+/// single source of truth for budget semantics — alternative engines must
+/// go through it rather than reimplementing the loop.
+#[allow(clippy::too_many_arguments)] // mirrors the session's knobs 1:1
+pub fn drive_engine<E, F>(
+    engine: &mut E,
+    mut filter: Option<DiversityFilter>,
+    stats: &mut EnumerationStats,
+    started: Instant,
+    max_results: Option<usize>,
+    deadline: Option<Duration>,
+    node_budget: Option<usize>,
+    mut on_result: F,
+) -> StopReason
+where
+    E: SessionEngine,
+    F: FnMut(RankedTriangulation) -> ControlFlow<()>,
+{
+    // `Instant + Duration` can overflow for practically-infinite
+    // deadlines; a non-representable deadline is simply never hit.
+    let deadline_at = deadline.and_then(|d| started.checked_add(d));
+    let mut last_emit = Instant::now();
+
+    let stop_reason = loop {
+        if max_results.is_some_and(|k| stats.results >= k) {
+            break StopReason::MaxResults;
+        }
+        if deadline_at.is_some_and(|at| Instant::now() >= at) {
+            break StopReason::DeadlineExceeded;
+        }
+        if node_budget.is_some_and(|n| engine.nodes_explored() >= n) {
+            break StopReason::NodeBudgetExhausted;
+        }
+        let Some(result) = engine.next_result() else {
+            break StopReason::Exhausted;
+        };
+        stats.max_queue_depth = stats.max_queue_depth.max(engine.queue_depth());
+        if let Some(f) = filter.as_mut() {
+            if !f.admit(&result) {
+                stats.diversity_rejected += 1;
+                continue;
+            }
+        }
+        let now = Instant::now();
+        stats.delays.push(now.duration_since(last_emit));
+        last_emit = now;
+        stats.results += 1;
+        if on_result(result).is_break() {
+            break StopReason::Stopped;
+        }
+    };
+
+    stats.final_queue_depth = engine.queue_depth();
+    stats.nodes_explored = engine.nodes_explored();
+    stats.duplicates_skipped = engine.duplicates_skipped();
+    stats.total = started.elapsed();
+    stop_reason
 }
 
 /// The engine layer the session drives: either ranked enumerator, behind a
@@ -637,8 +776,8 @@ enum Engine<'e, K: BagCost + Sync + ?Sized> {
     Parallel(ParallelRankedEnumerator<'e, K>),
 }
 
-impl<K: BagCost + Sync + ?Sized> Engine<'_, K> {
-    fn next(&mut self) -> Option<RankedTriangulation> {
+impl<K: BagCost + Sync + ?Sized> SessionEngine for Engine<'_, K> {
+    fn next_result(&mut self) -> Option<RankedTriangulation> {
         match self {
             Engine::Sequential(e) => e.next(),
             Engine::Parallel(e) => e.next(),

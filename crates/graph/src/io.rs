@@ -202,6 +202,17 @@ pub fn parse_dimacs(input: &str) -> Result<Graph, ParseError> {
     g.ok_or_else(|| ParseError::BadHeader(String::from("no header found")))
 }
 
+/// Writes a graph in DIMACS `.col` format (`p edge n m`, 1-based `e u v`
+/// edge lines) — the counterpart of [`parse_dimacs`].
+pub fn write_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p edge {} {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {} {}", u + 1, v + 1);
+    }
+    out
+}
+
 /// Parses a plain 0-based edge list. An optional leading `n <count>` line
 /// declares the vertex count; otherwise it is inferred as `max index + 1`.
 pub fn parse_edge_list(input: &str) -> Result<Graph, ParseError> {
@@ -309,6 +320,17 @@ mod tests {
         let g = parse_dimacs(input).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let input = "p edge 4 3\ne 1 2\ne 2 3\ne 3 4\n";
+        let g = parse_dimacs(input).unwrap();
+        let written = write_dimacs(&g);
+        let g2 = parse_dimacs(&written).unwrap();
+        assert_eq!(g, g2);
+        assert!(written.starts_with("p edge 4 3"));
+        assert!(written.contains("e 1 2"));
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! Safe reductions and the clique minimal-separator decomposition into
+//! atoms.
+//!
+//! Three reductions are applied, all of them *safe* for the enumeration of
+//! minimal triangulations (the set of minimal triangulations of the input
+//! is in cost-preserving bijection with the product of the per-atom sets):
+//!
+//! * **connected-component splitting** — components are atoms joined by the
+//!   empty (trivially complete) separator;
+//! * **isolated / simplicial vertex elimination** — a simplicial vertex `v`
+//!   (its neighborhood is a clique; isolated vertices are the degenerate
+//!   case) lies in no minimal separator, so no fill edge ever touches it;
+//!   `{v} ∪ N(v)` splits off as a *clique atom* with exactly one (empty)
+//!   minimal triangulation;
+//! * **clique minimal-separator decomposition** — the remaining core is cut
+//!   along its clique minimal separators into atoms, following the MCS-M
+//!   based algorithm of Berry, Pogorelčnik & Simonet (*An introduction to
+//!   clique minimal separator decomposition*, Algorithms 2010): compute a
+//!   minimal triangulation `H` of the core with [`mcs_m`], walk its
+//!   elimination order, and carve off a component whenever the monotone
+//!   adjacency of the current vertex is a clique in the original graph.
+//!
+//! The resulting atoms cover every vertex and every edge, intersect
+//! pairwise in cliques, and — the property the factorized enumerator
+//! relies on — every clique of every minimal triangulation of the input
+//! lies inside a single atom.
+
+use mtr_chordal::{is_chordal, mcs_m};
+use mtr_graph::{Graph, Vertex, VertexSet};
+
+/// How aggressively a reduction-enabled session preprocesses the graph
+/// before enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReductionLevel {
+    /// No reduction: the direct engine runs on the whole graph. This is the
+    /// default, so existing sessions behave exactly as before.
+    #[default]
+    Off,
+    /// Split into connected components only (cheap, always safe).
+    Components,
+    /// Components, simplicial/isolated vertex elimination, and clique
+    /// minimal-separator decomposition into atoms.
+    Full,
+}
+
+impl std::fmt::Display for ReductionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReductionLevel::Off => "off",
+            ReductionLevel::Components => "components",
+            ReductionLevel::Full => "full",
+        })
+    }
+}
+
+impl std::str::FromStr for ReductionLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ReductionLevel::Off),
+            "components" => Ok(ReductionLevel::Components),
+            "full" => Ok(ReductionLevel::Full),
+            other => Err(format!(
+                "unknown reduction level {other:?} (expected off|components|full)"
+            )),
+        }
+    }
+}
+
+/// One atom of the decomposition: an induced subgraph whose minimal
+/// triangulations can be enumerated independently.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// The atom's vertices, in the *original* graph's indexing.
+    pub vertices: VertexSet,
+    /// The induced subgraph, remapped to the compact range `0..|atom|`.
+    pub graph: Graph,
+    /// `mapping[new] = old`: the translation back to original vertices.
+    pub mapping: Vec<Vertex>,
+    /// `true` when the atom is already chordal — it then has exactly one
+    /// minimal triangulation (itself, zero fill), so its ranked stream is a
+    /// single result that costs nothing to produce.
+    pub chordal: bool,
+}
+
+/// The result of decomposing a graph at some [`ReductionLevel`].
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// The atoms, each covering a subset of the original vertices. Their
+    /// union is the full vertex set and every edge lies inside some atom.
+    pub atoms: Vec<Atom>,
+    /// The non-empty clique minimal separators the core was cut along
+    /// (original indexing). Empty at [`ReductionLevel::Components`].
+    pub clique_separators: Vec<VertexSet>,
+    /// Simplicial (incl. isolated) vertices eliminated before the core
+    /// decomposition, in elimination order. Empty below
+    /// [`ReductionLevel::Full`].
+    pub simplicial: Vec<Vertex>,
+    /// The level the decomposition was computed at.
+    pub level: ReductionLevel,
+}
+
+impl Decomposition {
+    /// `true` when the decomposition found more than one atom, i.e. the
+    /// factorized enumerator has something to gain over the direct engine.
+    pub fn is_nontrivial(&self) -> bool {
+        self.atoms.len() > 1
+    }
+
+    /// Size of the largest atom (0 for the empty graph).
+    pub fn largest_atom(&self) -> usize {
+        self.atoms
+            .iter()
+            .map(|a| a.vertices.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Decomposes `g` at the requested level. At [`ReductionLevel::Off`] the
+/// whole graph is returned as a single atom (the identity decomposition).
+pub fn decompose(g: &Graph, level: ReductionLevel) -> Decomposition {
+    let (atom_sets, clique_separators, simplicial) = match level {
+        ReductionLevel::Off => {
+            let full = g.vertex_set();
+            (
+                if g.n() == 0 { vec![] } else { vec![full] },
+                Vec::new(),
+                Vec::new(),
+            )
+        }
+        ReductionLevel::Components => (g.components(), Vec::new(), Vec::new()),
+        ReductionLevel::Full => {
+            let (mut sets, simplicial) = strip_simplicial(g);
+            let core = {
+                let mut c = g.vertex_set();
+                for &v in &simplicial {
+                    c.remove(v);
+                }
+                c
+            };
+            let (core_sets, seps) = clique_separator_atoms(g, &core);
+            sets.extend(core_sets);
+            (keep_maximal(sets), seps, simplicial)
+        }
+    };
+    let atoms = atom_sets
+        .into_iter()
+        .map(|vertices| {
+            let (graph, mapping) = g.induced_subgraph(&vertices);
+            let chordal = is_chordal(&graph);
+            Atom {
+                vertices,
+                graph,
+                mapping,
+                chordal,
+            }
+        })
+        .collect();
+    Decomposition {
+        atoms,
+        clique_separators,
+        simplicial,
+        level,
+    }
+}
+
+/// Iteratively strips simplicial vertices. Returns one clique atom
+/// `{v} ∪ N(v)` (evaluated in the graph *at strip time*) per stripped
+/// vertex, plus the strip order.
+fn strip_simplicial(g: &Graph) -> (Vec<VertexSet>, Vec<Vertex>) {
+    let mut remaining = g.vertex_set();
+    let mut atoms = Vec::new();
+    let mut order = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in g.vertices() {
+            if !remaining.contains(v) {
+                continue;
+            }
+            let nbrs = g.neighbors(v).intersection(&remaining);
+            if g.is_clique(&nbrs) {
+                let mut atom = nbrs;
+                atom.insert(v);
+                atoms.push(atom);
+                remaining.remove(v);
+                order.push(v);
+                changed = true;
+            }
+        }
+    }
+    (atoms, order)
+}
+
+/// The ATOMS algorithm of Berry, Pogorelčnik & Simonet on `g[core]`:
+/// carves the core along its clique minimal separators. Returns the atom
+/// vertex sets and the non-empty separators used, both in the original
+/// indexing.
+fn clique_separator_atoms(g: &Graph, core: &VertexSet) -> (Vec<VertexSet>, Vec<VertexSet>) {
+    if core.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let (core_graph, mapping) = g.induced_subgraph(core);
+    let n = core_graph.n();
+    let result = mcs_m(&core_graph);
+    let h = &result.triangulation;
+    let order = &result.elimination_order;
+    let mut pos = vec![0usize; n as usize];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+
+    let mut remaining = core_graph.vertex_set();
+    let mut atoms = Vec::new();
+    let mut separators = Vec::new();
+    for &x in order {
+        if !remaining.contains(x) {
+            continue;
+        }
+        // Monotone adjacency of x: its neighbors in the triangulation that
+        // are eliminated later and have not been carved away yet.
+        let mut s = VertexSet::empty(n);
+        for y in h.neighbors(x).iter() {
+            if pos[y as usize] > pos[x as usize] && remaining.contains(y) {
+                s.insert(y);
+            }
+        }
+        // The carve condition: S must be complete in the *original* graph.
+        if !core_graph.is_clique(&s) {
+            continue;
+        }
+        let within = remaining.difference(&s);
+        let comp = component_containing(&core_graph, &within, x);
+        if comp.len() + s.len() < remaining.len() {
+            let mut atom = comp.clone();
+            atom.union_with(&s);
+            atoms.push(atom);
+            if !s.is_empty() {
+                separators.push(s);
+            }
+            remaining.difference_with(&comp);
+        }
+    }
+    if !remaining.is_empty() {
+        atoms.push(remaining);
+    }
+
+    let translate =
+        |set: &VertexSet| VertexSet::from_iter(g.n(), set.iter().map(|v| mapping[v as usize]));
+    (
+        atoms.iter().map(&translate).collect(),
+        separators.iter().map(&translate).collect(),
+    )
+}
+
+/// The connected component of `g[within]` containing `start`.
+fn component_containing(g: &Graph, within: &VertexSet, start: Vertex) -> VertexSet {
+    debug_assert!(within.contains(start));
+    let mut comp = VertexSet::empty(g.n());
+    comp.insert(start);
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        for w in g.neighbors(v).intersection(within).iter() {
+            if comp.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    comp
+}
+
+/// Keeps only the ⊆-maximal sets (atoms absorbed by a larger atom
+/// contribute nothing: they are cliques with a single empty triangulation).
+fn keep_maximal(mut sets: Vec<VertexSet>) -> Vec<VertexSet> {
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut out: Vec<VertexSet> = Vec::new();
+    for s in sets {
+        if !out.iter().any(|t| s.is_subset_of(t)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::paper_example_graph;
+
+    /// Checks the structural invariants every decomposition must satisfy.
+    fn check_invariants(g: &Graph, dec: &Decomposition) {
+        // Vertices covered.
+        let mut covered = VertexSet::empty(g.n());
+        for a in &dec.atoms {
+            covered.union_with(&a.vertices);
+        }
+        assert_eq!(covered, g.vertex_set(), "atoms must cover every vertex");
+        // Edges covered.
+        for (u, v) in g.edges() {
+            assert!(
+                dec.atoms
+                    .iter()
+                    .any(|a| a.vertices.contains(u) && a.vertices.contains(v)),
+                "edge ({u},{v}) not inside any atom"
+            );
+        }
+        // Pairwise intersections are cliques.
+        for (i, a) in dec.atoms.iter().enumerate() {
+            for b in &dec.atoms[i + 1..] {
+                let overlap = a.vertices.intersection(&b.vertices);
+                assert!(g.is_clique(&overlap), "atom overlap is not a clique");
+            }
+        }
+        // The remapped subgraphs are the induced subgraphs.
+        for a in &dec.atoms {
+            assert_eq!(a.graph.n() as usize, a.vertices.len());
+            assert_eq!(a.chordal, is_chordal(&a.graph));
+        }
+    }
+
+    fn two_triangles_sharing_an_edge_plus_c4() -> Graph {
+        // Vertices 0..4: two triangles glued on edge {0,1}; vertices 4..8: a
+        // disjoint C4. The clique separator {0,1} splits the first component.
+        Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (1, 3),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn off_is_the_identity_decomposition() {
+        let g = paper_example_graph();
+        let dec = decompose(&g, ReductionLevel::Off);
+        assert_eq!(dec.atoms.len(), 1);
+        assert_eq!(dec.atoms[0].vertices, g.vertex_set());
+        check_invariants(&g, &dec);
+    }
+
+    #[test]
+    fn components_split() {
+        let g = two_triangles_sharing_an_edge_plus_c4();
+        let dec = decompose(&g, ReductionLevel::Components);
+        assert_eq!(dec.atoms.len(), 2);
+        check_invariants(&g, &dec);
+    }
+
+    #[test]
+    fn full_decomposes_along_clique_separators() {
+        let g = two_triangles_sharing_an_edge_plus_c4();
+        let dec = decompose(&g, ReductionLevel::Full);
+        // Triangles are chordal (simplicial elimination takes the whole
+        // first component apart into clique atoms absorbed as {0,1,2} and
+        // {0,1,3}); the C4 core stays one atom.
+        assert!(dec.atoms.len() >= 3);
+        check_invariants(&g, &dec);
+        let c4_atom = dec
+            .atoms
+            .iter()
+            .find(|a| a.vertices.contains(4))
+            .expect("C4 atom");
+        assert_eq!(c4_atom.vertices.len(), 4);
+        assert!(!c4_atom.chordal);
+    }
+
+    #[test]
+    fn paper_graph_has_no_clique_separator_core_split() {
+        // The paper's example: v' is simplicial (pendant), the rest is
+        // 2-connected with no clique separator.
+        let g = paper_example_graph();
+        let dec = decompose(&g, ReductionLevel::Full);
+        check_invariants(&g, &dec);
+        assert!(dec.simplicial.contains(&2), "v' is simplicial");
+        // The non-chordal core {u, v, w1, w2, w3} stays one atom.
+        let core_atom = dec.atoms.iter().find(|a| !a.chordal).expect("core atom");
+        assert_eq!(core_atom.vertices.len(), 5);
+    }
+
+    #[test]
+    fn chordal_graphs_dissolve_into_clique_atoms() {
+        // A path: every atom is an edge.
+        let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let dec = decompose(&path, ReductionLevel::Full);
+        check_invariants(&path, &dec);
+        assert_eq!(dec.atoms.len(), 4);
+        assert!(dec.atoms.iter().all(|a| a.chordal));
+        assert_eq!(dec.simplicial.len(), 5);
+    }
+
+    #[test]
+    fn isolated_vertices_and_empty_graphs() {
+        let g = Graph::new(3);
+        let dec = decompose(&g, ReductionLevel::Full);
+        check_invariants(&g, &dec);
+        assert_eq!(dec.atoms.len(), 3);
+        let empty = Graph::new(0);
+        let dec0 = decompose(&empty, ReductionLevel::Full);
+        assert!(dec0.atoms.is_empty());
+        let dec0_off = decompose(&empty, ReductionLevel::Off);
+        assert!(dec0_off.atoms.is_empty());
+    }
+
+    #[test]
+    fn cut_vertex_is_a_clique_separator() {
+        // Two C4s sharing the cut vertex 0 — {0} is a clique minimal
+        // separator, so Full splits where Components cannot.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+            ],
+        );
+        assert_eq!(decompose(&g, ReductionLevel::Components).atoms.len(), 1);
+        let dec = decompose(&g, ReductionLevel::Full);
+        check_invariants(&g, &dec);
+        assert_eq!(dec.atoms.len(), 2);
+        assert!(dec
+            .clique_separators
+            .iter()
+            .any(|s| s.len() == 1 && s.contains(0)));
+    }
+
+    #[test]
+    fn level_parsing_and_display() {
+        assert_eq!("off".parse::<ReductionLevel>(), Ok(ReductionLevel::Off));
+        assert_eq!(
+            "components".parse::<ReductionLevel>(),
+            Ok(ReductionLevel::Components)
+        );
+        assert_eq!("full".parse::<ReductionLevel>(), Ok(ReductionLevel::Full));
+        assert!("max".parse::<ReductionLevel>().is_err());
+        assert_eq!(ReductionLevel::Full.to_string(), "full");
+        assert_eq!(ReductionLevel::default(), ReductionLevel::Off);
+    }
+}

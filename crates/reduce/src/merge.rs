@@ -1,0 +1,335 @@
+//! The factorized ranked enumerator: one lazy ranked stream per atom,
+//! merged into a single globally ranked stream over the product space.
+//!
+//! Minimal triangulations factorize over the atoms of a clique-separator
+//! decomposition: every minimal triangulation of the input is the union of
+//! exactly one minimal triangulation per atom, with pairwise-disjoint fill
+//! sets. The merge therefore ranks *tuples* `(j_1, …, j_k)` — "take the
+//! `j_i`-th cheapest triangulation of atom `i`" — in a Lawler-style best
+//! first search: a priority queue keyed by the combined cost (additive for
+//! fill-like costs, max for width-like costs, per
+//! [`AtomCombine`]), popping a tuple emits its materialized
+//! triangulation and pushes the `k` tuples that increment one coordinate.
+//! Per-atom streams are pulled lazily and memoized, so atom `i` only ever
+//! computes as many of its own triangulations as the global ranking needs.
+//!
+//! Emitted triangulations are fill-edge sets of the *original* graph: the
+//! per-atom fill edges are remapped through the atom's vertex mapping, the
+//! union graph is rebuilt, and the reported cost is re-evaluated on the
+//! full bag set — so results are bit-for-bit comparable with the direct
+//! engine's.
+
+use crate::decompose::Atom;
+use mtr_chordal::maximal_cliques_chordal;
+use mtr_core::cost::{AtomCombine, BagCost, CostValue};
+use mtr_core::{Preprocessed, RankedState, RankedTriangulation};
+use mtr_graph::{Graph, Vertex};
+use mtr_separators::minimal_separators;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One memoized per-atom result: its cost (evaluated on the remapped atom
+/// graph) and its fill edges translated back to original vertex ids.
+struct CachedResult {
+    cost: CostValue,
+    fill: Vec<(Vertex, Vertex)>,
+}
+
+/// The engine behind one atom's ranked stream.
+enum AtomEngine {
+    /// Chordal atom: exactly one minimal triangulation (the atom itself,
+    /// zero fill). No preprocessing, no Lawler–Murty machinery.
+    Trivial { graph: Graph },
+    /// General atom: a full ranked enumeration over its own preprocessing
+    /// (boxed — `Preprocessed` is large compared to the trivial variant).
+    Ranked {
+        pre: Box<Preprocessed>,
+        state: RankedState,
+    },
+}
+
+/// A lazily pulled, memoized ranked stream of one atom's triangulations.
+pub(crate) struct AtomStream {
+    mapping: Vec<Vertex>,
+    engine: AtomEngine,
+    cached: Vec<CachedResult>,
+    exhausted: bool,
+}
+
+impl AtomStream {
+    /// A stream backed by the trivial single-result engine (chordal atoms).
+    pub(crate) fn trivial(atom: &Atom) -> Self {
+        AtomStream {
+            mapping: atom.mapping.clone(),
+            engine: AtomEngine::Trivial {
+                graph: atom.graph.clone(),
+            },
+            cached: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// A stream backed by a ranked enumeration over `pre` (which must be
+    /// the preprocessing of the atom's remapped graph).
+    pub(crate) fn ranked(atom: &Atom, pre: Preprocessed) -> Self {
+        AtomStream {
+            mapping: atom.mapping.clone(),
+            engine: AtomEngine::Ranked {
+                pre: Box::new(pre),
+                state: RankedState::new(),
+            },
+            cached: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    fn nodes_explored(&self) -> usize {
+        match &self.engine {
+            AtomEngine::Trivial { .. } => 0,
+            AtomEngine::Ranked { state, .. } => state.nodes_explored(),
+        }
+    }
+
+    fn preprocessing_counts(&self) -> (usize, usize, usize) {
+        match &self.engine {
+            AtomEngine::Trivial { .. } => (0, 0, 0),
+            AtomEngine::Ranked { pre, .. } => (
+                pre.minimal_separators().len(),
+                pre.pmcs().len(),
+                pre.full_blocks().len(),
+            ),
+        }
+    }
+
+    /// Makes sure result `j` is cached (pulling the engine as needed).
+    /// Returns `false` when the stream is exhausted before `j`.
+    fn ensure<K: BagCost + ?Sized>(
+        &mut self,
+        j: usize,
+        cost: &K,
+        width_bound: Option<usize>,
+    ) -> bool {
+        while self.cached.len() <= j {
+            if self.exhausted {
+                return false;
+            }
+            match &mut self.engine {
+                AtomEngine::Trivial { graph } => {
+                    self.exhausted = true;
+                    let bags = maximal_cliques_chordal(graph)
+                        .expect("trivial atoms are chordal by construction");
+                    let width = bags.iter().map(|b| b.len()).max().unwrap_or(1) - 1;
+                    if width_bound.is_some_and(|b| width > b) {
+                        return false;
+                    }
+                    let value = cost.cost_of_bags(graph, &graph.vertex_set(), &bags);
+                    self.cached.push(CachedResult {
+                        cost: value,
+                        fill: Vec::new(),
+                    });
+                }
+                AtomEngine::Ranked { pre, state } => match state.next(pre, cost) {
+                    Some(result) => {
+                        let fill = pre
+                            .graph()
+                            .fill_edges_of(&result.triangulation)
+                            .into_iter()
+                            .map(|(u, v)| (self.mapping[u as usize], self.mapping[v as usize]))
+                            .collect();
+                        self.cached.push(CachedResult {
+                            cost: result.cost,
+                            fill,
+                        });
+                    }
+                    None => {
+                        self.exhausted = true;
+                        return false;
+                    }
+                },
+            }
+        }
+        true
+    }
+}
+
+/// One pending tuple of per-atom stream indices.
+struct TupleEntry {
+    cost: CostValue,
+    sequence: u64,
+    tuple: Vec<u32>,
+}
+
+impl PartialEq for TupleEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.sequence == other.sequence
+    }
+}
+impl Eq for TupleEntry {}
+impl PartialOrd for TupleEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TupleEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap semantics on a max-heap: cheapest cost, then oldest.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// The merged, globally ranked enumerator over the product of the per-atom
+/// streams.
+pub(crate) struct FactorizedEnumerator<'a, K: BagCost + ?Sized> {
+    graph: &'a Graph,
+    cost: &'a K,
+    combine: AtomCombine,
+    width_bound: Option<usize>,
+    atoms: Vec<AtomStream>,
+    heap: BinaryHeap<TupleEntry>,
+    seen: HashSet<Vec<u32>>,
+    sequence: u64,
+    started: bool,
+}
+
+impl<'a, K: BagCost + ?Sized> FactorizedEnumerator<'a, K> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        cost: &'a K,
+        combine: AtomCombine,
+        width_bound: Option<usize>,
+        atoms: Vec<AtomStream>,
+    ) -> Self {
+        FactorizedEnumerator {
+            graph,
+            cost,
+            combine,
+            width_bound,
+            atoms,
+            heap: BinaryHeap::new(),
+            seen: HashSet::new(),
+            sequence: 0,
+            started: false,
+        }
+    }
+
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Lawler–Murty partitions explored across all atom streams.
+    pub(crate) fn nodes_explored(&self) -> usize {
+        self.atoms.iter().map(AtomStream::nodes_explored).sum()
+    }
+
+    /// `(minimal separators, PMCs, full blocks)` summed over the per-atom
+    /// preprocessings.
+    pub(crate) fn preprocessing_counts(&self) -> (usize, usize, usize) {
+        self.atoms
+            .iter()
+            .map(AtomStream::preprocessing_counts)
+            .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z))
+    }
+
+    /// The combined cost of a tuple, pulling atom streams as needed;
+    /// `None` when some coordinate is past the end of its (finite) stream.
+    fn combined_cost(&mut self, tuple: &[u32]) -> Option<CostValue> {
+        let mut acc: Option<CostValue> = None;
+        for (i, &j) in tuple.iter().enumerate() {
+            if !self.atoms[i].ensure(j as usize, self.cost, self.width_bound) {
+                return None;
+            }
+            let c = self.atoms[i].cached[j as usize].cost;
+            acc = Some(match (acc, self.combine) {
+                (None, _) => c,
+                (Some(a), AtomCombine::Additive) => a.plus(c),
+                (Some(a), AtomCombine::Max) => a.max(c),
+            });
+        }
+        Some(acc.unwrap_or(CostValue::ZERO))
+    }
+
+    fn push_tuple(&mut self, tuple: Vec<u32>) {
+        if !self.seen.insert(tuple.clone()) {
+            return;
+        }
+        if let Some(cost) = self.combined_cost(&tuple) {
+            self.sequence += 1;
+            self.heap.push(TupleEntry {
+                cost,
+                sequence: self.sequence,
+                tuple,
+            });
+        }
+    }
+
+    /// Rebuilds the original-graph triangulation a tuple denotes.
+    fn materialize(&self, entry: &TupleEntry) -> RankedTriangulation {
+        let mut h = self.graph.clone();
+        for (i, &j) in entry.tuple.iter().enumerate() {
+            for &(u, v) in &self.atoms[i].cached[j as usize].fill {
+                h.add_edge(u, v);
+            }
+        }
+        let bags = maximal_cliques_chordal(&h)
+            .expect("the union of per-atom minimal triangulations is chordal");
+        let cost = self
+            .cost
+            .cost_of_bags(self.graph, &self.graph.vertex_set(), &bags);
+        // The combined heap key must equal the true cost — that is exactly
+        // the contract of `AtomCombine` — otherwise the stream would not be
+        // globally sorted.
+        debug_assert_eq!(cost, entry.cost, "atom_combine() contract violated");
+        let seps = minimal_separators(&h);
+        RankedTriangulation {
+            minimal_separators: seps,
+            triangulation: h,
+            bags,
+            cost,
+        }
+    }
+}
+
+impl<K: BagCost + ?Sized> Iterator for FactorizedEnumerator<'_, K> {
+    type Item = RankedTriangulation;
+
+    fn next(&mut self) -> Option<RankedTriangulation> {
+        if !self.started {
+            self.started = true;
+            // The all-zeros tuple: every atom's optimum. For the empty
+            // product (zero atoms, i.e. the empty graph) this is the empty
+            // tuple whose materialization is the graph itself.
+            self.push_tuple(vec![0; self.atoms.len()]);
+        }
+        let entry = self.heap.pop()?;
+        let result = self.materialize(&entry);
+        for i in 0..entry.tuple.len() {
+            let mut successor = entry.tuple.clone();
+            successor[i] += 1;
+            self.push_tuple(successor);
+        }
+        Some(result)
+    }
+}
+
+impl<K: BagCost + ?Sized> mtr_core::SessionEngine for FactorizedEnumerator<'_, K> {
+    fn next_result(&mut self) -> Option<RankedTriangulation> {
+        self.next()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue_depth()
+    }
+
+    fn nodes_explored(&self) -> usize {
+        self.nodes_explored()
+    }
+
+    fn duplicates_skipped(&self) -> usize {
+        // Distinct tuples materialize distinct fill unions (per-atom fill
+        // sets are disjoint), and the `seen` set keeps tuples unique.
+        0
+    }
+}

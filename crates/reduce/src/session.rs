@@ -1,0 +1,253 @@
+//! Wiring the reduction subsystem into the [`Enumerate`] session builder.
+//!
+//! The entry point is [`EnumerateReduceExt::reduce`]:
+//!
+//! ```
+//! use mtr_core::{cost::FillIn, Enumerate};
+//! use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+//! use mtr_graph::Graph;
+//!
+//! // Two triangles glued on an edge next to a disjoint C4: three atoms.
+//! let g = Graph::from_edges(
+//!     8,
+//!     &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (4, 5), (5, 6), (6, 7), (7, 4)],
+//! );
+//! let run = Enumerate::on(&g)
+//!     .cost(&FillIn)
+//!     .reduce(ReductionLevel::Full)
+//!     .run()?;
+//! assert_eq!(run.stats.atoms, 3);
+//! assert_eq!(run.results[0].fill_in(&g), 1); // the C4's single chord
+//! # Ok::<(), mtr_core::EnumerationError>(())
+//! ```
+//!
+//! A reduced session behaves exactly like the direct one — same results,
+//! same cost order, same budgets and statistics — but preprocesses each
+//! atom of the clique-separator decomposition independently and merges the
+//! per-atom ranked streams. When the reduction cannot apply it falls back
+//! to the direct engine transparently:
+//!
+//! * [`ReductionLevel::Off`] (the default) always runs direct;
+//! * sessions started from an existing `Preprocessed` value have already
+//!   paid the whole-graph initialization, so there is nothing to reduce;
+//! * costs that do not declare an [`AtomCombine`](mtr_core::cost::AtomCombine)
+//!   (see [`BagCost::atom_combine`]) cannot be ranked per-atom soundly;
+//! * decompositions with a single atom gain nothing.
+//!
+//! [`EnumerationStats::atoms`] reports what happened: `0` — no
+//! decomposition was attempted (one of the fallbacks above); `1` — the
+//! decomposition found a single atom, so the direct engine ran; `≥ 2` —
+//! the factorized engine ran. `threads` is ignored while the factorized
+//! engine is active (per-atom parallelism is an open roadmap item).
+
+use crate::decompose::{decompose, ReductionLevel};
+use crate::merge::{AtomStream, FactorizedEnumerator};
+use mtr_core::cost::BagCost;
+use mtr_core::diverse::DiversityFilter;
+use mtr_core::mintriang::Preprocessed;
+use mtr_core::ranked::RankedTriangulation;
+use mtr_core::session::{
+    drive_engine, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, SessionConfig,
+    SessionReport, StopReason,
+};
+use mtr_pmc::enumerate::{
+    potential_maximal_cliques_bounded_with_deadline, potential_maximal_cliques_with_deadline,
+};
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+/// Extension trait adding [`reduce`](EnumerateReduceExt::reduce) to the
+/// [`Enumerate`] session builder. Import it (or the facade prelude) and
+/// chain `.reduce(level)` like any other builder knob.
+pub trait EnumerateReduceExt<'a, K: BagCost + Sync + ?Sized> {
+    /// Enables safe reductions and clique-separator atom decomposition for
+    /// this session. `ReductionLevel::Off` keeps the direct engine; see the
+    /// [module documentation](self) for the fallback rules.
+    fn reduce(self, level: ReductionLevel) -> Reduced<'a, K>;
+}
+
+impl<'a, K: BagCost + Sync + ?Sized> EnumerateReduceExt<'a, K> for Enumerate<'a, K> {
+    fn reduce(self, level: ReductionLevel) -> Reduced<'a, K> {
+        Reduced {
+            config: self.into_config(),
+            level,
+        }
+    }
+}
+
+/// A reduction-enabled session: an [`Enumerate`] configuration plus a
+/// [`ReductionLevel`]. Terminal methods mirror the direct session's.
+pub struct Reduced<'a, K: BagCost + Sync + ?Sized> {
+    config: SessionConfig<'a, K>,
+    level: ReductionLevel,
+}
+
+impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
+    /// Budget: stop after `k` results (mirrors [`Enumerate::max_results`]),
+    /// so budgets can be chained after `.reduce(..)` too.
+    pub fn max_results(mut self, k: usize) -> Self {
+        self.config.max_results = Some(k);
+        self
+    }
+
+    /// Budget: wall-clock deadline covering the per-atom preprocessing too
+    /// (mirrors [`Enumerate::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Budget: cap on explored Lawler–Murty partitions, summed across the
+    /// per-atom streams (mirrors [`Enumerate::node_budget`]).
+    pub fn node_budget(mut self, nodes: usize) -> Self {
+        self.config.node_budget = Some(nodes);
+        self
+    }
+
+    /// Restricts every atom's enumeration to width ≤ `bound` — equivalent
+    /// to the whole-graph bound, since a triangulation's width is the
+    /// maximum over its atoms (mirrors [`Enumerate::width_bound`]).
+    pub fn width_bound(mut self, bound: usize) -> Self {
+        self.config.width_bound = Some(bound);
+        self
+    }
+
+    /// Runs the session, collecting the ranked minimal triangulations
+    /// (mirrors [`Enumerate::run`]).
+    pub fn run(self) -> Result<EnumerationRun, EnumerationError> {
+        let mut results = Vec::new();
+        let report = self.drive(|t| {
+            results.push(t);
+            ControlFlow::Continue(())
+        })?;
+        Ok(EnumerationRun {
+            results,
+            stats: report.stats,
+            stop_reason: report.stop_reason,
+        })
+    }
+
+    /// Streams the session's results into `on_result` (mirrors
+    /// [`Enumerate::drive`]).
+    pub fn drive<F>(self, on_result: F) -> Result<SessionReport, EnumerationError>
+    where
+        F: FnMut(RankedTriangulation) -> ControlFlow<()>,
+    {
+        let started = Instant::now();
+        let Reduced { config, level } = self;
+
+        // Decide whether the factorized engine applies; otherwise fall back
+        // to the direct session, which also performs all the validation.
+        let combine = config.cost().atom_combine();
+        let graph = config.graph();
+        let applicable = level != ReductionLevel::Off && combine.is_some() && graph.is_some();
+        if !applicable {
+            return Enumerate::from_config(config).drive(on_result);
+        }
+        let (graph, combine) = (graph.expect("checked"), combine.expect("checked"));
+
+        if let Some((_, threshold)) = config.diversity {
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(EnumerationError::InvalidDiversityThreshold(threshold));
+            }
+        }
+
+        let decomposition = decompose(graph, level);
+        let atom_count = decomposition.atoms.len();
+        if atom_count <= 1 {
+            // Nothing factorized out: the direct engine is strictly better
+            // (the merge layer would only duplicate per-result work). The
+            // atom count is still reported so callers can see why.
+            let mut report = Enumerate::from_config(config).drive(on_result)?;
+            report.stats.atoms = atom_count.max(1);
+            return Ok(report);
+        }
+
+        let cost_name = config.cost().name();
+        let deadline_at = config.deadline.and_then(|d| started.checked_add(d));
+        let aborted_init = |started: &Instant| {
+            let elapsed = started.elapsed();
+            let stats = EnumerationStats {
+                cost: cost_name.clone(),
+                preprocessing: elapsed,
+                preprocessing_complete: false,
+                total: elapsed,
+                atoms: atom_count,
+                ..EnumerationStats::default()
+            };
+            SessionReport {
+                stats,
+                stop_reason: StopReason::DeadlineExceeded,
+            }
+        };
+
+        // Per-atom preprocessing: chordal atoms are trivial streams; the
+        // rest get their own (possibly width-bounded) `Preprocessed`, with
+        // the session deadline covering the whole sequence.
+        let mut streams = Vec::with_capacity(atom_count);
+        for atom in &decomposition.atoms {
+            if atom.chordal {
+                streams.push(AtomStream::trivial(atom));
+                continue;
+            }
+            let remaining = match deadline_at {
+                Some(at) => match at.checked_duration_since(Instant::now()) {
+                    Some(d) if d > Duration::ZERO => Some(d),
+                    _ => return Ok(aborted_init(&started)),
+                },
+                None => None,
+            };
+            let pre = match (config.width_bound, remaining) {
+                (Some(b), Some(d)) => {
+                    match potential_maximal_cliques_bounded_with_deadline(&atom.graph, b + 1, d) {
+                        Ok(e) => Preprocessed::from_parts_bounded(
+                            &atom.graph,
+                            e.minimal_separators,
+                            e.pmcs,
+                            b,
+                        ),
+                        Err(_) => return Ok(aborted_init(&started)),
+                    }
+                }
+                (Some(b), None) => Preprocessed::new_bounded(&atom.graph, b),
+                (None, Some(d)) => match potential_maximal_cliques_with_deadline(&atom.graph, d) {
+                    Ok(e) => Preprocessed::from_parts(&atom.graph, e.minimal_separators, e.pmcs),
+                    Err(_) => return Ok(aborted_init(&started)),
+                },
+                (None, None) => Preprocessed::new(&atom.graph),
+            };
+            streams.push(AtomStream::ranked(atom, pre));
+        }
+
+        let mut engine =
+            FactorizedEnumerator::new(graph, config.cost(), combine, config.width_bound, streams);
+        let filter = config
+            .diversity
+            .map(|(measure, threshold)| DiversityFilter::new(graph, measure, threshold));
+
+        let (minimal_separators, pmcs, full_blocks) = engine.preprocessing_counts();
+        let mut stats = EnumerationStats {
+            cost: cost_name,
+            preprocessing: started.elapsed(),
+            preprocessing_complete: true,
+            minimal_separators,
+            pmcs,
+            full_blocks,
+            atoms: atom_count,
+            ..EnumerationStats::default()
+        };
+        // The shared session loop owns all budget/diversity/statistics
+        // semantics; the factorized engine only supplies results.
+        let stop_reason = drive_engine(
+            &mut engine,
+            filter,
+            &mut stats,
+            started,
+            config.max_results,
+            config.deadline,
+            config.node_budget,
+            on_result,
+        );
+        Ok(SessionReport { stats, stop_reason })
+    }
+}

@@ -8,6 +8,7 @@
 //! Every instance is deterministic (seeded), so experiment output is
 //! reproducible run to run.
 
+use crate::decomposable;
 use crate::queries;
 use crate::random;
 use crate::structured;
@@ -271,6 +272,35 @@ pub fn all_datasets(scale: DatasetScale) -> Vec<Dataset> {
             })
             .collect(),
     ));
+
+    // --- Decomposable instances (clique-separator atom structure) ----------
+    let decomposable: Vec<(String, Graph)> = match scale {
+        Smoke => vec![
+            ("glued3x3".into(), decomposable::glued_grids(3, 3, 2)),
+            ("staro3x3".into(), decomposable::star_of_cliques(3, 3, 2)),
+            (
+                "bridges2x8".into(),
+                decomposable::gnp_with_bridges(2, 8, 0.3, 800),
+            ),
+        ],
+        Standard => vec![
+            ("glued4x4".into(), decomposable::glued_grids(4, 4, 2)),
+            ("staro4x4".into(), decomposable::star_of_cliques(4, 4, 2)),
+            (
+                "bridges3x12".into(),
+                decomposable::gnp_with_bridges(3, 12, 0.25, 800),
+            ),
+        ],
+        Large => vec![
+            ("glued5x5".into(), decomposable::glued_grids(5, 5, 3)),
+            ("staro6x5".into(), decomposable::star_of_cliques(6, 5, 3)),
+            (
+                "bridges4x16".into(),
+                decomposable::gnp_with_bridges(4, 16, 0.25, 800),
+            ),
+        ],
+    };
+    out.push(Dataset::new("decomposable-like", decomposable));
 
     out
 }

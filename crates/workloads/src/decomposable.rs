@@ -1,0 +1,142 @@
+//! Decomposable graph families: instances built to have small clique
+//! minimal separators, so the `mtr-reduce` atom decomposition splits them
+//! into much smaller independent parts.
+//!
+//! These are the stress instances for the factorized ranked enumeration:
+//! the direct engine pays the separator/PMC machinery on the glued graph,
+//! while the reduced engine pays it per atom.
+
+use crate::random::gnp_connected;
+use crate::structured::grid;
+use mtr_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two `rows × cols` grids glued on a shared clique of `clique` vertices.
+///
+/// Vertices `0..rows*cols` form the first grid, the next `rows*cols` the
+/// second, and the last `clique` vertices a complete separator `S`; vertex
+/// `S[i]` is attached to cell `(i % rows, 0)` of both grids. Removing `S`
+/// disconnects the grids, so `S` is a clique minimal separator and the
+/// atoms are (at most) the two grids plus `S`.
+pub fn glued_grids(rows: u32, cols: u32, clique: u32) -> Graph {
+    let per = rows * cols;
+    let n = 2 * per + clique;
+    let mut g = Graph::new(n);
+    let add_grid = |g: &mut Graph, offset: u32| {
+        let grid = grid(rows, cols);
+        for (u, v) in grid.edges() {
+            g.add_edge(offset + u, offset + v);
+        }
+    };
+    add_grid(&mut g, 0);
+    add_grid(&mut g, per);
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            g.add_edge(2 * per + i, 2 * per + j);
+        }
+        // Anchor cell (i % rows, 0) in each grid.
+        let anchor = (i % rows) * cols;
+        g.add_edge(2 * per + i, anchor);
+        g.add_edge(2 * per + i, per + anchor);
+    }
+    g
+}
+
+/// A star of cliques: a central clique of `center` vertices with `arms`
+/// outer cliques of `arm_size` vertices each, every arm vertex adjacent to
+/// every center vertex.
+///
+/// The graph is chordal (its clique tree is the star), so every atom of
+/// the decomposition is a clique: the reduced enumeration is O(1) per atom
+/// while the direct engine still has to enumerate the separators and PMCs
+/// of the whole graph.
+pub fn star_of_cliques(arms: u32, arm_size: u32, center: u32) -> Graph {
+    let n = center + arms * arm_size;
+    let mut g = Graph::new(n);
+    for u in 0..center {
+        for v in (u + 1)..center {
+            g.add_edge(u, v);
+        }
+    }
+    for a in 0..arms {
+        let base = center + a * arm_size;
+        for i in 0..arm_size {
+            for j in (i + 1)..arm_size {
+                g.add_edge(base + i, base + j);
+            }
+            for c in 0..center {
+                g.add_edge(base + i, c);
+            }
+        }
+    }
+    g
+}
+
+/// A chain of `blobs` connected `G(n, p)` blobs of `blob_n` vertices each,
+/// consecutive blobs joined by a single bridge edge between uniformly
+/// chosen endpoints.
+///
+/// Bridge endpoints are cut vertices, i.e. clique minimal separators of
+/// size one: the atoms are the blobs (plus the bridge edges), so the
+/// reduced enumeration never sees more than one blob at a time.
+pub fn gnp_with_bridges(blobs: u32, blob_n: u32, p: f64, seed: u64) -> Graph {
+    let n = blobs * blob_n;
+    let mut g = Graph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xB71D_6E5B));
+    for b in 0..blobs {
+        let blob = gnp_connected(blob_n, p, seed.wrapping_add(b as u64));
+        let offset = b * blob_n;
+        for (u, v) in blob.edges() {
+            g.add_edge(offset + u, offset + v);
+        }
+        if b > 0 {
+            let u: Vertex = (b - 1) * blob_n + rng.gen_range(0..blob_n);
+            let v: Vertex = offset + rng.gen_range(0..blob_n);
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_chordal::is_chordal;
+
+    #[test]
+    fn glued_grids_shape_and_separator() {
+        let g = glued_grids(3, 3, 2);
+        assert_eq!(g.n(), 20);
+        assert!(g.is_connected());
+        // The clique vertices separate the two grids.
+        let sep = mtr_graph::VertexSet::from_slice(20, &[18, 19]);
+        assert!(g.is_clique(&sep));
+        assert!(g.separates(&sep, 0, 9));
+        assert!(!is_chordal(&g));
+    }
+
+    #[test]
+    fn star_of_cliques_is_chordal() {
+        let g = star_of_cliques(3, 3, 2);
+        assert_eq!(g.n(), 11);
+        assert!(g.is_connected());
+        assert!(is_chordal(&g));
+        // Every arm vertex sees its arm plus the whole center.
+        for v in 2..11 {
+            assert_eq!(g.degree(v), 2 + 2);
+        }
+    }
+
+    #[test]
+    fn gnp_with_bridges_chains_blobs() {
+        let g = gnp_with_bridges(3, 8, 0.4, 11);
+        assert_eq!(g.n(), 24);
+        assert!(g.is_connected());
+        // Deterministic for a fixed seed.
+        assert_eq!(g, gnp_with_bridges(3, 8, 0.4, 11));
+        // Exactly two bridge edges between consecutive blob ranges.
+        let crossing = g.edges().filter(|&(u, v)| u / 8 != v / 8).count();
+        assert_eq!(crossing, 2);
+    }
+}

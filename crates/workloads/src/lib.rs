@@ -3,15 +3,17 @@
 //! The paper evaluates on probabilistic graphical models (PIC 2011), TPC-H
 //! join queries, PACE 2016 treewidth instances and Erdős–Rényi random
 //! graphs. This crate provides seeded synthetic generators covering the same
-//! structural regimes ([`random`], [`structured`], [`queries`]), a registry
-//! of dataset families mirroring the paper's datasets ([`datasets`]), and
-//! the measurement harness that regenerates each table and figure
-//! ([`experiment`]).
+//! structural regimes ([`random`], [`structured`], [`queries`]), instances
+//! engineered to exercise the clique-separator atom decomposition
+//! ([`decomposable`]), a registry of dataset families mirroring the paper's
+//! datasets ([`datasets`]), and the measurement harness that regenerates
+//! each table and figure ([`experiment`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod decomposable;
 pub mod experiment;
 pub mod queries;
 pub mod random;

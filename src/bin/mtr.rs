@@ -2,31 +2,50 @@
 //! proper tree decompositions.
 //!
 //! ```text
-//! mtr <graph-file> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]
-//!                  [--top <k>] [--width-bound <b>] [--threads <t>]
-//!                  [--diverse <threshold>] [--deadline <secs>] [--node-budget <n>]
-//!                  [--emit-td <directory>] [--bounds]
+//! mtr <graph-file|-> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]
+//!                    [--top <k>] [--width-bound <b>] [--threads <t>]
+//!                    [--diverse <threshold>] [--deadline <secs>] [--node-budget <n>]
+//!                    [--reduce off|components|full] [--stats-json]
+//!                    [--emit-td <directory>] [--bounds]
+//! mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]
 //! ```
 //!
-//! The graph format is guessed from the extension (`.gr` → PACE, `.col` →
+//! The graph is read from a file, or from standard input when the path is
+//! `-`. The format is guessed from the extension (`.gr` → PACE, `.col` →
 //! DIMACS, anything else → edge list) unless `--format` is given. The tool
 //! builds an [`Enumerate`] session from the flags, prints the cost, width
-//! and fill-in of each returned triangulation plus the session statistics,
-//! and optionally writes each clique tree as a PACE `.td` file.
+//! and fill-in of each returned triangulation plus the session statistics
+//! (machine-readable with `--stats-json`), and optionally writes each
+//! clique tree as a PACE `.td` file.
+//!
+//! `--reduce` enables the safe-reduction / atom-decomposition preprocessing
+//! of `mtr-reduce`; the `atoms` subcommand prints the decomposition itself
+//! without enumerating.
 //!
 //! Bad inputs exit with a non-zero status and a typed, line-numbered
 //! message (see [`EnumerationError`]) instead of panicking.
 
 use ranked_triangulations::chordal::{self, clique_tree, write_td};
 use ranked_triangulations::core::{
-    Enumerate, EnumerationError, EnumerationRun, RankedTriangulation, SimilarityMeasure, StopReason,
+    Enumerate, EnumerationError, EnumerationRun, EnumerationStats, RankedTriangulation,
+    SimilarityMeasure, StopReason,
 };
 use ranked_triangulations::graph::{io, Graph};
+use ranked_triangulations::reduce::{decompose, EnumerateReduceExt, ReductionLevel};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// What the invocation asks for: ranked enumeration (the default) or an
+/// inspection of the atom decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Enumerate,
+    Atoms,
+}
+
 struct Options {
+    mode: Mode,
     input: PathBuf,
     format: Option<String>,
     cost: String,
@@ -36,6 +55,8 @@ struct Options {
     diverse: Option<f64>,
     deadline: Option<f64>,
     node_budget: Option<usize>,
+    reduce: ReductionLevel,
+    stats_json: bool,
     emit_td: Option<PathBuf>,
     bounds: bool,
 }
@@ -63,15 +84,24 @@ impl From<EnumerationError> for CliError {
 }
 
 fn usage() -> &'static str {
-    "usage: mtr <graph-file> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]\n\
+    "usage: mtr <graph-file|-> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]\n\
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
-     \x20          [--deadline <secs>] [--node-budget <n>] [--emit-td <directory>] [--bounds]"
+     \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
+     \x20          [--stats-json] [--emit-td <directory>] [--bounds]\n\
+     \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
-    let input = PathBuf::from(it.next().ok_or_else(|| usage().to_string())?);
+    let first = it.next().ok_or_else(|| usage().to_string())?;
+    let (mode, input) = if first == "atoms" {
+        let input = it.next().ok_or_else(|| usage().to_string())?;
+        (Mode::Atoms, PathBuf::from(input))
+    } else {
+        (Mode::Enumerate, PathBuf::from(first))
+    };
     let mut opts = Options {
+        mode,
         input,
         format: None,
         cost: "width".into(),
@@ -81,10 +111,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         diverse: None,
         deadline: None,
         node_budget: None,
+        reduce: match mode {
+            // Inspecting atoms at level `off` would always print one atom;
+            // default to the full decomposition there.
+            Mode::Atoms => ReductionLevel::Full,
+            Mode::Enumerate => ReductionLevel::Off,
+        },
+        stats_json: false,
         emit_td: None,
         bounds: false,
     };
     while let Some(flag) = it.next() {
+        if mode == Mode::Atoms && !matches!(flag.as_str(), "--format" | "--reduce") {
+            return Err(format!(
+                "flag {flag} does not apply to the atoms subcommand\n{}",
+                usage()
+            ));
+        }
         let mut value = |name: &str| -> Result<String, String> {
             it.next()
                 .cloned()
@@ -135,19 +178,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--node-budget expects a positive integer".to_string())?,
                 )
             }
+            "--reduce" => opts.reduce = value("--reduce")?.parse()?,
+            "--stats-json" => opts.stats_json = true,
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
+    if opts.mode == Mode::Atoms && opts.reduce == ReductionLevel::Off {
+        return Err("the atoms subcommand expects --reduce components|full".to_string());
+    }
     Ok(opts)
 }
 
 fn load_graph(path: &Path, format: Option<&str>) -> Result<Graph, CliError> {
-    let text = std::fs::read_to_string(path).map_err(|e| EnumerationError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
-    })?;
+    let from_stdin = path.as_os_str() == "-";
+    let text = if from_stdin {
+        std::io::read_to_string(std::io::stdin()).map_err(|e| EnumerationError::Io {
+            path: "<stdin>".into(),
+            message: e.to_string(),
+        })?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| EnumerationError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?
+    };
     let format = format.map(str::to_string).unwrap_or_else(|| {
         match path.extension().and_then(|e| e.to_str()) {
             Some("gr") | Some("tw") => "pace".into(),
@@ -208,7 +264,93 @@ fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationErr
     if let Some(nodes) = opts.node_budget {
         session = session.node_budget(nodes);
     }
-    session.run()
+    // `ReductionLevel::Off` transparently runs the direct engine, so the
+    // session can always go through the reduction layer.
+    session.reduce(opts.reduce).run()
+}
+
+/// Renders the run's statistics as a single JSON object (the `--stats-json`
+/// output). Keys mirror the [`EnumerationStats`] field names.
+fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
+    let opt_secs = |d: Option<Duration>| {
+        d.map(|d| format!("{:.6}", d.as_secs_f64()))
+            .unwrap_or_else(|| "null".into())
+    };
+    let delays: Vec<String> = stats
+        .delays
+        .iter()
+        .map(|d| format!("{:.3}", d.as_secs_f64() * 1000.0))
+        .collect();
+    format!(
+        concat!(
+            "{{\"cost\": \"{}\", \"stop_reason\": \"{}\", \"results\": {}, ",
+            "\"preprocessing_secs\": {:.6}, \"preprocessing_complete\": {}, ",
+            "\"total_secs\": {:.6}, \"atoms\": {}, \"minimal_separators\": {}, ",
+            "\"pmcs\": {}, \"full_blocks\": {}, \"nodes_explored\": {}, ",
+            "\"max_queue_depth\": {}, \"final_queue_depth\": {}, ",
+            "\"duplicates_skipped\": {}, \"diversity_rejected\": {}, ",
+            "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
+            "\"delays_ms\": [{}]}}"
+        ),
+        stats.cost,
+        stop_reason,
+        stats.results,
+        stats.preprocessing.as_secs_f64(),
+        stats.preprocessing_complete,
+        stats.total.as_secs_f64(),
+        stats.atoms,
+        stats.minimal_separators,
+        stats.pmcs,
+        stats.full_blocks,
+        stats.nodes_explored,
+        stats.max_queue_depth,
+        stats.final_queue_depth,
+        stats.duplicates_skipped,
+        stats.diversity_rejected,
+        opt_secs(stats.average_delay()),
+        opt_secs(stats.max_delay()),
+        delays.join(", "),
+    )
+}
+
+/// Renders a vertex set compactly, eliding long lists.
+fn format_vertices(set: &ranked_triangulations::graph::VertexSet) -> String {
+    const SHOWN: usize = 16;
+    let vs = set.to_vec();
+    let mut parts: Vec<String> = vs.iter().take(SHOWN).map(|v| v.to_string()).collect();
+    if vs.len() > SHOWN {
+        parts.push(format!("… +{}", vs.len() - SHOWN));
+    }
+    format!("{{{}}}", parts.join(" "))
+}
+
+fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
+    let dec = decompose(g, opts.reduce);
+    println!(
+        "decomposition at level {}: {} atoms (largest {}), {} clique separators, {} simplicial vertices eliminated",
+        dec.level,
+        dec.atoms.len(),
+        dec.largest_atom(),
+        dec.clique_separators.len(),
+        dec.simplicial.len()
+    );
+    for (i, atom) in dec.atoms.iter().enumerate() {
+        println!(
+            "atom #{i}: {} vertices, {} edges, {} {}",
+            atom.graph.n(),
+            atom.graph.m(),
+            if atom.chordal {
+                "chordal (trivial)"
+            } else {
+                "non-chordal"
+            },
+            format_vertices(&atom.vertices)
+        );
+    }
+    for sep in &dec.clique_separators {
+        println!("clique separator: {}", format_vertices(sep));
+    }
+    Ok(())
 }
 
 fn run(opts: Options) -> Result<(), CliError> {
@@ -219,6 +361,10 @@ fn run(opts: Options) -> Result<(), CliError> {
         g.m(),
         g.components().len()
     );
+
+    if opts.mode == Mode::Atoms {
+        return run_atoms(&g, &opts);
+    }
 
     if opts.bounds {
         let ub = chordal::treewidth_upper_bound(&g);
@@ -238,6 +384,24 @@ fn run(opts: Options) -> Result<(), CliError> {
         stats.full_blocks,
         stats.preprocessing.as_secs_f64()
     );
+    if opts.reduce != ReductionLevel::Off {
+        // See `EnumerationStats::atoms`: ≥2 = factorized engine, 1 = the
+        // decomposition found nothing to split, 0 = reduction inapplicable.
+        match stats.atoms {
+            0 => println!(
+                "reduction ({}): inapplicable for cost {:?}; ran the direct engine",
+                opts.reduce, opts.cost
+            ),
+            1 => println!(
+                "reduction ({}): graph is a single atom; ran the direct engine",
+                opts.reduce
+            ),
+            n => println!("reduction ({}): factorized over {n} atoms", opts.reduce),
+        }
+    }
+    if opts.stats_json {
+        println!("{}", stats_json(stats, run.stop_reason));
+    }
     if !stats.preprocessing_complete {
         println!("deadline expired during initialization — no results");
         return Ok(());
@@ -314,14 +478,42 @@ mod tests {
             "100",
             "--diverse",
             "0.4",
+            "--reduce",
+            "full",
+            "--stats-json",
         ]))
         .unwrap();
+        assert_eq!(opts.mode, Mode::Enumerate);
         assert_eq!(opts.cost, "fill");
         assert_eq!(opts.top, 7);
         assert_eq!(opts.threads, 2);
         assert_eq!(opts.deadline, Some(1.5));
         assert_eq!(opts.node_budget, Some(100));
         assert_eq!(opts.diverse, Some(0.4));
+        assert_eq!(opts.reduce, ReductionLevel::Full);
+        assert!(opts.stats_json);
+    }
+
+    #[test]
+    fn parse_args_defaults_reduction_off() {
+        let opts = parse_args(&args(&["graph.gr"])).unwrap();
+        assert_eq!(opts.reduce, ReductionLevel::Off);
+        assert!(!opts.stats_json);
+    }
+
+    #[test]
+    fn parse_args_atoms_subcommand() {
+        let opts = parse_args(&args(&["atoms", "graph.gr"])).unwrap();
+        assert_eq!(opts.mode, Mode::Atoms);
+        assert_eq!(opts.input, PathBuf::from("graph.gr"));
+        assert_eq!(opts.reduce, ReductionLevel::Full, "atoms defaults to full");
+        let components = parse_args(&args(&["atoms", "-", "--reduce", "components"])).unwrap();
+        assert_eq!(components.reduce, ReductionLevel::Components);
+        assert!(parse_args(&args(&["atoms"])).is_err());
+        // Enumeration-only flags and `--reduce off` are rejected for atoms.
+        assert!(parse_args(&args(&["atoms", "g.gr", "--top", "3"])).is_err());
+        assert!(parse_args(&args(&["atoms", "g.gr", "--stats-json"])).is_err());
+        assert!(parse_args(&args(&["atoms", "g.gr", "--reduce", "off"])).is_err());
     }
 
     #[test]
@@ -332,6 +524,7 @@ mod tests {
         assert!(parse_args(&args(&["g.gr", "--deadline", "-1"])).is_err());
         assert!(parse_args(&args(&["g.gr", "--deadline", "nan"])).is_err());
         assert!(parse_args(&args(&["g.gr", "--deadline", "inf"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--reduce", "max"])).is_err());
     }
 
     #[test]
@@ -369,5 +562,56 @@ mod tests {
         let run = enumerate(&g, &opts).unwrap();
         assert_eq!(run.results.len(), 3);
         assert_eq!(run.stop_reason, StopReason::MaxResults);
+    }
+
+    #[test]
+    fn enumerate_with_reduction_matches_direct() {
+        // Two C4s sharing a cut vertex: 2 atoms, 4 minimal triangulations.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+            ],
+        );
+        let direct = enumerate(
+            &g,
+            &parse_args(&args(&["g", "--cost", "fill", "--top", "10"])).unwrap(),
+        )
+        .unwrap();
+        let reduced = enumerate(
+            &g,
+            &parse_args(&args(&[
+                "g", "--cost", "fill", "--top", "10", "--reduce", "full",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reduced.stats.atoms, 2);
+        let direct_costs: Vec<_> = direct.results.iter().map(|r| r.cost).collect();
+        let reduced_costs: Vec<_> = reduced.results.iter().map(|r| r.cost).collect();
+        assert_eq!(direct_costs, reduced_costs);
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let opts = parse_args(&args(&["g.gr", "--cost", "fill", "--top", "2"])).unwrap();
+        let run = enumerate(&g, &opts).unwrap();
+        let json = stats_json(&run.stats, run.stop_reason);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cost\": \"fill-in\""));
+        assert!(json.contains("\"results\": 2"));
+        assert!(json.contains("\"stop_reason\": \"max-results\""));
+        assert!(json.contains("\"atoms\": 0"));
+        assert!(json.contains("\"delays_ms\": ["));
+        // Exactly one top-level object: no stray braces from the format.
+        assert_eq!(json.matches('{').count(), 1);
     }
 }

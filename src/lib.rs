@@ -19,6 +19,7 @@
 //! | [`separators`] | `mtr-separators` | minimal separators, crossing relation, blocks, realizations |
 //! | [`pmc`] | `mtr-pmc` | potential maximal cliques (test + enumeration) |
 //! | [`core`] | `mtr-core` | bag costs, `MinTriang`, `RankedTriang`, proper-decomposition enumeration, CKK baseline |
+//! | [`reduce`] | `mtr-reduce` | safe reductions, clique-separator atom decomposition, factorized ranked enumeration |
 //! | [`workloads`] | `mtr-workloads` | dataset generators and the experiment harness |
 //!
 //! ## Quick start
@@ -72,6 +73,31 @@
 //! # Ok::<(), EnumerationError>(())
 //! ```
 //!
+//! On decomposable inputs — graphs glued along cliques, models with
+//! simplicial fringes, blobs joined by bridges — chain
+//! `.reduce(ReductionLevel::Full)` to split the graph into the atoms of
+//! its clique minimal-separator decomposition, enumerate each atom
+//! independently, and merge the per-atom ranked streams into the same
+//! globally ranked stream at a fraction of the preprocessing cost:
+//!
+//! ```
+//! use ranked_triangulations::prelude::*;
+//!
+//! // Two 4-cycles sharing the cut vertex 0: two atoms.
+//! let g = Graph::from_edges(
+//!     7,
+//!     &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6), (6, 0)],
+//! );
+//! let run = Enumerate::on(&g)
+//!     .cost(&FillIn)
+//!     .reduce(ReductionLevel::Full)
+//!     .run()?;
+//! assert_eq!(run.stats.atoms, 2);
+//! assert_eq!(run.results.len(), 4, "2 triangulations per C4, combined");
+//! assert_eq!(run.results[0].fill_in(&g), 2);
+//! # Ok::<(), EnumerationError>(())
+//! ```
+//!
 //! The per-algorithm constructors (`RankedEnumerator::new`,
 //! `ParallelRankedEnumerator::new`, `ProperDecompositionEnumerator::new`,
 //! `Diversified::new`) are still exported as the engine layer the session
@@ -90,6 +116,7 @@ pub use mtr_chordal as chordal;
 pub use mtr_core as core;
 pub use mtr_graph as graph;
 pub use mtr_pmc as pmc;
+pub use mtr_reduce as reduce;
 pub use mtr_separators as separators;
 pub use mtr_workloads as workloads;
 
@@ -109,6 +136,7 @@ pub mod prelude {
         Triangulation,
     };
     pub use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
+    pub use mtr_reduce::{decompose, Decomposition, EnumerateReduceExt, Reduced, ReductionLevel};
 }
 
 #[cfg(test)]

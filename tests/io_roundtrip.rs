@@ -1,0 +1,55 @@
+//! Round-trip property tests for the three graph serialization formats:
+//! `parse(write(g)) == g` for PACE `.gr`, DIMACS `.col`, and plain edge
+//! lists, on arbitrary graphs (including disconnected ones and graphs with
+//! isolated trailing vertices, which only survive thanks to the headers).
+
+mod common;
+
+use common::arbitrary_graph;
+use mtr_graph::io::{
+    parse_dimacs, parse_edge_list, parse_pace, write_dimacs, write_edge_list, write_pace,
+};
+use mtr_graph::Graph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pace_roundtrip(g in arbitrary_graph(1, 24)) {
+        let written = write_pace(&g);
+        let parsed = parse_pace(&written).expect("own output must parse");
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn dimacs_roundtrip(g in arbitrary_graph(1, 24)) {
+        let written = write_dimacs(&g);
+        let parsed = parse_dimacs(&written).expect("own output must parse");
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arbitrary_graph(1, 24)) {
+        let written = write_edge_list(&g);
+        let parsed = parse_edge_list(&written).expect("own output must parse");
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Cross-format: PACE and DIMACS encode the same graph.
+    #[test]
+    fn pace_and_dimacs_agree(g in arbitrary_graph(1, 16)) {
+        let via_pace = parse_pace(&write_pace(&g)).unwrap();
+        let via_dimacs = parse_dimacs(&write_dimacs(&g)).unwrap();
+        prop_assert_eq!(via_pace, via_dimacs);
+    }
+}
+
+#[test]
+fn empty_and_isolated_graphs_roundtrip() {
+    for g in [Graph::new(0), Graph::new(5)] {
+        assert_eq!(parse_pace(&write_pace(&g)).unwrap(), g);
+        assert_eq!(parse_dimacs(&write_dimacs(&g)).unwrap(), g);
+        assert_eq!(parse_edge_list(&write_edge_list(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,186 @@
+//! Correctness of the `mtr-reduce` factorized enumeration: on any input,
+//! enumeration through the reduction layer must yield the same multiset of
+//! fill-edge sets and the same ranked cost sequence as the direct engine.
+//!
+//! Two layers of evidence:
+//!
+//! * property tests over small random graphs (every level, fill and width
+//!   costs, full enumeration);
+//! * corpus checks on the benchmark instances (paper graph, grid, Mycielski,
+//!   random graphs, glued/decomposable instances) comparing the first
+//!   K = 25 ranked results, as required by the acceptance criteria.
+
+mod common;
+
+use common::{arbitrary_graph, fill_key};
+use mtr_core::cost::{CostValue, FillIn, Width};
+use mtr_core::{BagCost, Enumerate, EnumerationRun};
+use mtr_graph::{paper_example_graph, Graph};
+use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+use mtr_workloads::decomposable::{glued_grids, gnp_with_bridges, star_of_cliques};
+use mtr_workloads::random::gnp_connected;
+use mtr_workloads::structured::{grid, mycielski};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn run_direct(g: &Graph, cost: &(dyn BagCost + Sync), k: Option<usize>) -> EnumerationRun {
+    let mut session = Enumerate::on(g).cost(cost);
+    if let Some(k) = k {
+        session = session.max_results(k);
+    }
+    session.run().expect("direct session cannot fail")
+}
+
+fn run_reduced(
+    g: &Graph,
+    cost: &(dyn BagCost + Sync),
+    k: Option<usize>,
+    level: ReductionLevel,
+) -> EnumerationRun {
+    let mut session = Enumerate::on(g).cost(cost);
+    if let Some(k) = k {
+        session = session.max_results(k);
+    }
+    session
+        .reduce(level)
+        .run()
+        .expect("reduced session cannot fail")
+}
+
+fn costs(run: &EnumerationRun) -> Vec<CostValue> {
+    run.results.iter().map(|r| r.cost).collect()
+}
+
+fn fill_multiset(g: &Graph, run: &EnumerationRun) -> BTreeSet<Vec<(u32, u32)>> {
+    let set: BTreeSet<_> = run
+        .results
+        .iter()
+        .map(|r| fill_key(g, &r.triangulation))
+        .collect();
+    assert_eq!(
+        set.len(),
+        run.results.len(),
+        "enumeration must not emit duplicates"
+    );
+    set
+}
+
+/// The full-stream check used by the property tests: identical cost
+/// sequences and identical triangulation sets, plus sound per-result data.
+fn assert_equivalent(g: &Graph, cost: &(dyn BagCost + Sync), level: ReductionLevel) {
+    let direct = run_direct(g, cost, None);
+    let reduced = run_reduced(g, cost, None, level);
+    assert_eq!(
+        costs(&direct),
+        costs(&reduced),
+        "cost sequence mismatch at level {level} under {}",
+        cost.name()
+    );
+    assert_eq!(
+        fill_multiset(g, &direct),
+        fill_multiset(g, &reduced),
+        "triangulation set mismatch at level {level} under {}",
+        cost.name()
+    );
+    for r in &reduced.results {
+        assert!(
+            mtr_chordal::is_minimal_triangulation(g, &r.triangulation),
+            "reduced result is not a minimal triangulation"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// `ReductionLevel::Full` is exactly equivalent to direct enumeration on
+    /// random graphs, for both a fill-like and a width-like cost.
+    #[test]
+    fn full_reduction_is_equivalent_on_random_graphs(g in arbitrary_graph(3, 8)) {
+        assert_equivalent(&g, &FillIn, ReductionLevel::Full);
+        assert_equivalent(&g, &Width, ReductionLevel::Full);
+    }
+
+    /// Component splitting alone is also exact (random graphs at these
+    /// densities are frequently disconnected).
+    #[test]
+    fn component_reduction_is_equivalent_on_random_graphs(g in arbitrary_graph(3, 8)) {
+        assert_equivalent(&g, &FillIn, ReductionLevel::Components);
+    }
+
+    /// Budget prefixes agree too: the first k results of a reduced session
+    /// have the same costs as the first k of the direct stream.
+    #[test]
+    fn reduced_budget_prefix_matches(g in arbitrary_graph(3, 7), k in 1usize..6) {
+        let direct = run_direct(&g, &FillIn, Some(k));
+        let reduced = run_reduced(&g, &FillIn, Some(k), ReductionLevel::Full);
+        prop_assert_eq!(costs(&direct), costs(&reduced));
+    }
+}
+
+/// The corpus check of the acceptance criteria: identical cost sequences
+/// for the first K = 25 results, fill and width ("treewidth") costs.
+fn assert_corpus_equivalent(g: &Graph) {
+    const K: usize = 25;
+    for cost in [&FillIn as &(dyn BagCost + Sync), &Width] {
+        let direct = run_direct(g, cost, Some(K));
+        let reduced = run_reduced(g, cost, Some(K), ReductionLevel::Full);
+        assert_eq!(
+            costs(&direct),
+            costs(&reduced),
+            "first-{K} cost sequence mismatch under {}",
+            cost.name()
+        );
+    }
+}
+
+#[test]
+fn corpus_paper_graph() {
+    assert_corpus_equivalent(&paper_example_graph());
+}
+
+#[test]
+fn corpus_grid4x4() {
+    assert_corpus_equivalent(&grid(4, 4));
+}
+
+#[test]
+fn corpus_myciel4() {
+    assert_corpus_equivalent(&mycielski(4));
+}
+
+#[test]
+fn corpus_gnp20() {
+    assert_corpus_equivalent(&gnp_connected(20, 0.20, 7));
+}
+
+#[test]
+fn corpus_gnp25() {
+    assert_corpus_equivalent(&gnp_connected(25, 0.15, 8));
+}
+
+#[test]
+fn corpus_glued_grids() {
+    let g = glued_grids(3, 3, 2);
+    assert_corpus_equivalent(&g);
+    // And the decomposition must actually trigger on this instance.
+    let run = run_reduced(&g, &FillIn, Some(5), ReductionLevel::Full);
+    assert!(run.stats.atoms >= 2, "glued grids must decompose");
+}
+
+#[test]
+fn corpus_star_of_cliques() {
+    let g = star_of_cliques(3, 3, 2);
+    assert_corpus_equivalent(&g);
+    let run = run_reduced(&g, &Width, None, ReductionLevel::Full);
+    assert_eq!(run.results.len(), 1, "chordal graph: single triangulation");
+    assert!(run.stats.atoms >= 3);
+}
+
+#[test]
+fn corpus_gnp_with_bridges() {
+    let g = gnp_with_bridges(2, 8, 0.3, 42);
+    assert_corpus_equivalent(&g);
+    let run = run_reduced(&g, &FillIn, Some(5), ReductionLevel::Full);
+    assert!(run.stats.atoms >= 2, "bridged blobs must decompose");
+}
