@@ -1,0 +1,74 @@
+//! Thread-scaling benchmarks for the work-stealing execution layer:
+//! end-to-end ranked enumeration (first 10 results, preprocessing
+//! included) at 1, 2 and 4 worker threads.
+//!
+//! Two engine configurations are measured:
+//!
+//! * decomposable instances with `--reduce full` — the factorized engine
+//!   preprocesses atoms and advances per-atom streams on the pool, so on a
+//!   multi-core host the wall clock should shrink roughly with the number
+//!   of (large) atoms until it is bound by the largest atom;
+//! * a non-decomposable control on the direct engine — the pool
+//!   parallelizes the Lawler–Murty partition expansions instead.
+//!
+//! The threads = 1 rows double as the no-regression guard: the sequential
+//! path bypasses the pool entirely, so they must stay within noise of the
+//! `BENCH_reduce.json` snapshot.
+//!
+//! Snapshot with `MTR_BENCH_JSON=BENCH_parallel.json cargo bench -p
+//! mtr-bench --bench parallel_scaling`. Interpret speedups against the
+//! recording host's core count: on a single-core container every
+//! `threads > 1` row degenerates to (at best) the sequential time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtr_core::cost::Width;
+use mtr_core::Enumerate;
+use mtr_graph::Graph;
+use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+use mtr_workloads::decomposable::{glued_grids, gnp_with_bridges};
+use mtr_workloads::structured::grid;
+use std::time::Duration;
+
+/// `(name, graph, reduction level)` — the decomposable instances exercise
+/// the factorized per-atom parallelism, the control the direct engine.
+fn instances() -> Vec<(&'static str, Graph, ReductionLevel)> {
+    vec![
+        ("glued_grids4x4", glued_grids(4, 4, 2), ReductionLevel::Full),
+        (
+            "gnp_bridges3x12",
+            gnp_with_bridges(3, 12, 0.25, 800),
+            ReductionLevel::Full,
+        ),
+        ("grid4x4_control", grid(4, 4), ReductionLevel::Off),
+    ]
+}
+
+fn ranked_first_10(g: &Graph, level: ReductionLevel, threads: usize) -> usize {
+    Enumerate::on(g)
+        .cost(&Width)
+        .threads(threads)
+        .max_results(10)
+        .reduce(level)
+        .run()
+        .expect("session is well-configured")
+        .results
+        .len()
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling_ranked_first_10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (name, g, level) in instances() {
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(BenchmarkId::new(name, threads), &g, |b, g| {
+                b.iter(|| ranked_first_10(g, level, threads))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -18,6 +18,8 @@
 //!   against ("CKK") and a zero-initialization LB-Triang sampler;
 //! * [`parallel`] — the parallel variant of the ranked enumerator (the
 //!   delay-reduction extension sketched in the paper's footnote 3);
+//! * [`pool`] — the shared work-stealing worker pool both the parallel
+//!   engine and the factorized per-atom engine of `mtr-reduce` execute on;
 //! * [`diverse`] — diversity-aware filtering of the ranked stream (the
 //!   diversification question raised in the paper's conclusions);
 //! * [`session`] — the canonical entry point: the [`Enumerate`]
@@ -52,6 +54,7 @@ pub mod cost;
 pub mod diverse;
 pub mod mintriang;
 pub mod parallel;
+pub mod pool;
 pub mod properdec;
 pub mod ranked;
 pub mod session;
@@ -61,6 +64,7 @@ pub use cost::{named_cost, BagCost, Constrained, Constraints, CostValue, DynBagC
 pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
 pub use mintriang::{min_triangulation, Preprocessed, Triangulation};
 pub use parallel::ParallelRankedEnumerator;
+pub use pool::{resolve_threads, PoolStats, Scratch, WorkerPool};
 pub use properdec::{
     top_k_proper_decompositions, ProperDecompositionEnumerator, RankedDecomposition,
 };

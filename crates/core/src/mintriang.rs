@@ -17,6 +17,7 @@
 //! (exactly the "initialization step" the paper's experiments report).
 
 use crate::cost::{BagCost, ChildSolution, CostValue};
+use crate::pool::{self, Scratch};
 use mtr_chordal::cliques::maximal_cliques_chordal;
 use mtr_graph::{Graph, VertexSet};
 use mtr_pmc::enumerate::{potential_maximal_cliques, potential_maximal_cliques_bounded};
@@ -96,7 +97,7 @@ impl Preprocessed {
     /// potential maximal cliques. Polynomial under the poly-MS assumption.
     pub fn new(g: &Graph) -> Self {
         let enumeration = potential_maximal_cliques(g);
-        Self::build(g, enumeration.minimal_separators, enumeration.pmcs, None)
+        Self::build(g, enumeration.minimal_separators, enumeration.pmcs, None, 1)
     }
 
     /// Width-bounded preprocessing (`MinTriangB`): only separators of size
@@ -109,12 +110,12 @@ impl Preprocessed {
             .into_iter()
             .filter(|s| s.len() <= width_bound)
             .collect();
-        Self::build(g, seps, enumeration.pmcs, Some(width_bound))
+        Self::build(g, seps, enumeration.pmcs, Some(width_bound), 1)
     }
 
     /// Builds the candidate structure from precomputed separators and PMCs.
     pub fn from_parts(g: &Graph, minimal_separators: Vec<VertexSet>, pmcs: Vec<VertexSet>) -> Self {
-        Self::build(g, minimal_separators, pmcs, None)
+        Self::build(g, minimal_separators, pmcs, None, 1)
     }
 
     /// Like [`Preprocessed::from_parts`], but for parts produced by a
@@ -131,7 +132,29 @@ impl Preprocessed {
             .into_iter()
             .filter(|s| s.len() <= width_bound)
             .collect();
-        Self::build(g, seps, pmcs, Some(width_bound))
+        Self::build(g, seps, pmcs, Some(width_bound), 1)
+    }
+
+    /// The threaded constructor behind the session layer: like
+    /// [`Preprocessed::from_parts`] / [`Preprocessed::from_parts_bounded`]
+    /// (the bound filter applies when `width_bound` is set), but the
+    /// per-block candidate resolution — the embarrassingly parallel part of
+    /// the initialization — fans out over `threads` pool workers.
+    pub fn from_parts_threaded(
+        g: &Graph,
+        minimal_separators: Vec<VertexSet>,
+        pmcs: Vec<VertexSet>,
+        width_bound: Option<usize>,
+        threads: usize,
+    ) -> Self {
+        let seps = match width_bound {
+            Some(b) => minimal_separators
+                .into_iter()
+                .filter(|s| s.len() <= b)
+                .collect(),
+            None => minimal_separators,
+        };
+        Self::build(g, seps, pmcs, width_bound, threads)
     }
 
     fn build(
@@ -139,6 +162,7 @@ impl Preprocessed {
         minimal_separators: Vec<VertexSet>,
         pmcs: Vec<VertexSet>,
         width_bound: Option<usize>,
+        threads: usize,
     ) -> Self {
         let blocks = full_blocks(g, &minimal_separators);
         let block_vertices: Vec<VertexSet> = blocks.iter().map(Block::vertices).collect();
@@ -149,27 +173,44 @@ impl Preprocessed {
             .collect();
 
         // Candidates per block: PMCs Ω with S ⊂ Ω ⊆ S ∪ C, each with the
-        // child blocks induced by the components of (S ∪ C) \ Ω.
-        let mut block_candidates: Vec<Vec<Candidate>> = Vec::with_capacity(blocks.len());
-        for block in &blocks {
-            let block_vertices = block.vertices();
-            let mut candidates = Vec::new();
-            for (pi, omega) in pmcs.iter().enumerate() {
-                if !block.separator.is_proper_subset_of(omega)
-                    || !omega.is_subset_of(&block_vertices)
-                {
-                    continue;
-                }
-                if let Some(children) =
-                    resolve_children(g, &block_vertices, omega, &block_index, Some(block))
-                {
-                    candidates.push(Candidate { pmc: pi, children });
-                }
-            }
-            block_candidates.push(candidates);
-        }
+        // child blocks induced by the components of (S ∪ C) \ Ω. Blocks are
+        // independent of each other, so with `threads > 1` the resolution
+        // runs as chunked work-stealing pool tasks.
+        let mut scratch = Scratch::default();
+        let block_candidates: Vec<Vec<Candidate>> = if threads > 1 && blocks.len() > 1 {
+            let chunk = blocks.len().div_ceil(threads * 4).max(1);
+            let ranges: Vec<std::ops::Range<usize>> = (0..blocks.len())
+                .step_by(chunk)
+                .map(|start| start..(start + chunk).min(blocks.len()))
+                .collect();
+            let chunked: Vec<Vec<Vec<Candidate>>> = pool::scoped(threads, |p| {
+                let tasks: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| {
+                        let blocks = &blocks;
+                        let pmcs = &pmcs;
+                        let block_index = &block_index;
+                        move |scratch: &mut Scratch| {
+                            range
+                                .map(|bi| {
+                                    candidates_for_block(g, &blocks[bi], pmcs, block_index, scratch)
+                                })
+                                .collect::<Vec<_>>()
+                        }
+                    })
+                    .collect();
+                p.run_batch(tasks)
+            });
+            chunked.into_iter().flatten().collect()
+        } else {
+            blocks
+                .iter()
+                .map(|b| candidates_for_block(g, b, &pmcs, &block_index, &mut scratch))
+                .collect()
+        };
 
-        // Top-level candidates per connected component.
+        // Top-level candidates per connected component (few components, so
+        // this stays sequential).
         let components = g.components();
         let mut top_candidates: Vec<Vec<Candidate>> = Vec::with_capacity(components.len());
         for comp in &components {
@@ -178,7 +219,9 @@ impl Preprocessed {
                 if omega.is_empty() || !omega.is_subset_of(comp) {
                     continue;
                 }
-                if let Some(children) = resolve_children(g, comp, omega, &block_index, None) {
+                if let Some(children) =
+                    resolve_children(g, comp, omega, &block_index, None, &mut scratch)
+                {
                     candidates.push(Candidate { pmc: pi, children });
                 }
             }
@@ -224,6 +267,30 @@ impl Preprocessed {
     }
 }
 
+/// Resolves all candidate PMCs of one full block — the unit of work the
+/// threaded initialization distributes over the pool.
+fn candidates_for_block(
+    g: &Graph,
+    block: &Block,
+    pmcs: &[VertexSet],
+    block_index: &HashMap<Block, usize>,
+    scratch: &mut Scratch,
+) -> Vec<Candidate> {
+    let block_vertices = block.vertices();
+    let mut candidates = Vec::new();
+    for (pi, omega) in pmcs.iter().enumerate() {
+        if !block.separator.is_proper_subset_of(omega) || !omega.is_subset_of(&block_vertices) {
+            continue;
+        }
+        if let Some(children) =
+            resolve_children(g, &block_vertices, omega, block_index, Some(block), scratch)
+        {
+            candidates.push(Candidate { pmc: pi, children });
+        }
+    }
+    candidates
+}
+
 /// Resolves the child blocks of choosing `omega` inside `scope`: the
 /// components of `scope \ omega` with their neighborhoods. Returns `None`
 /// when some child block is not a known full block (which, per Theorems 5.3
@@ -235,9 +302,13 @@ fn resolve_children(
     omega: &VertexSet,
     block_index: &HashMap<Block, usize>,
     parent: Option<&Block>,
+    scratch: &mut Scratch,
 ) -> Option<Vec<usize>> {
-    let rest = scope.difference(omega);
+    let mut rest = scratch.take(scope.universe());
+    rest.copy_from(scope);
+    rest.difference_with(omega);
     let mut children = Vec::new();
+    let mut resolved = true;
     for c in g.components_within(&rest) {
         let sep = g.neighborhood_of_set(&c).intersection(scope);
         let child = Block::new(sep, c);
@@ -245,15 +316,20 @@ fn resolve_children(
             // Progress check: the child must be strictly smaller than the
             // parent block so the DP's processing order is respected.
             if child.size() >= parent.size() {
-                return None;
+                resolved = false;
+                break;
             }
         }
         match block_index.get(&child) {
             Some(&idx) => children.push(idx),
-            None => return None,
+            None => {
+                resolved = false;
+                break;
+            }
         }
     }
-    Some(children)
+    scratch.recycle(rest);
+    resolved.then_some(children)
 }
 
 /// The stored optimal solution of one block.
@@ -533,6 +609,38 @@ mod tests {
         let pre3 = Preprocessed::new_bounded(&g, 3);
         let t3 = min_triangulation(&pre3, &FillIn).unwrap();
         assert_eq!(t3.fill_in(&g), 1);
+    }
+
+    #[test]
+    fn threaded_preprocessing_matches_sequential() {
+        use mtr_pmc::enumerate::potential_maximal_cliques;
+        let cases = vec![
+            paper_example_graph(),
+            cycle(6),
+            Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6)]),
+        ];
+        for g in cases {
+            let e = potential_maximal_cliques(&g);
+            let sequential =
+                Preprocessed::from_parts(&g, e.minimal_separators.clone(), e.pmcs.clone());
+            let threaded =
+                Preprocessed::from_parts_threaded(&g, e.minimal_separators, e.pmcs, None, 4);
+            assert_eq!(sequential.full_blocks().len(), threaded.full_blocks().len());
+            for cost in [&Width as &dyn BagCost, &FillIn] {
+                let a = min_triangulation(&sequential, cost).unwrap();
+                let b = min_triangulation(&threaded, cost).unwrap();
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.graph, b.graph);
+            }
+        }
+        // The bounded filter applies identically through the threaded path.
+        let g = paper_example_graph();
+        let e = potential_maximal_cliques(&g);
+        let bounded =
+            Preprocessed::from_parts_threaded(&g, e.minimal_separators, e.pmcs, Some(2), 2);
+        assert_eq!(bounded.width_bound(), Some(2));
+        let t = min_triangulation(&bounded, &FillIn).unwrap();
+        assert_eq!(t.width(), 2);
     }
 
     #[test]

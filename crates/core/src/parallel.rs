@@ -4,17 +4,28 @@
 //! parallelized for delay reduction by parallelizing its main loop: after a
 //! triangulation is popped and printed, the `k` constrained `MinTriang`
 //! re-optimizations that split its partition are independent of each other.
-//! [`ParallelRankedEnumerator`] implements exactly that with scoped OS
-//! threads — each expansion fans the constrained optimizations out over a
-//! bounded number of workers and collects the resulting partitions back into
-//! the priority queue.
+//! [`ParallelRankedEnumerator`] implements exactly that on the shared
+//! work-stealing [`pool`]: each expansion submits one task per
+//! constrained optimization, so a straggler re-optimization never idles the
+//! other workers (which a fixed chunking would).
 //!
 //! The output is identical to the sequential [`RankedEnumerator`](crate::ranked::RankedEnumerator)
 //! (same results, same cost order); only the wall-clock delay changes. The
 //! cost function must be `Sync` since it is shared across workers.
+//!
+//! Two ways to run:
+//!
+//! * [`ParallelRankedEnumerator::new`] keeps the historical constructor:
+//!   it spins a scoped pool up per expansion batch — fine for one-shot
+//!   iteration;
+//! * [`ParallelRankedEnumerator::with_pool`] attaches the enumerator to an
+//!   existing [`WorkerPool`], so one set of workers (and their per-worker
+//!   scratch) serves the whole session. The [`Enumerate`](crate::Enumerate)
+//!   session builder uses this path.
 
 use crate::cost::{BagCost, Constrained, Constraints, CostValue};
 use crate::mintriang::{min_triangulation, Preprocessed, Triangulation};
+use crate::pool::{self, Scratch, WorkerPool};
 use crate::ranked::RankedTriangulation;
 use mtr_graph::VertexSet;
 use mtr_separators::enumerate::minimal_separators;
@@ -48,12 +59,20 @@ impl Ord for Entry {
     }
 }
 
-/// Ranked enumerator whose partition re-optimizations run on `threads`
-/// worker threads.
-pub struct ParallelRankedEnumerator<'a, K: BagCost + Sync + ?Sized> {
+/// How the enumerator executes its expansion batches.
+enum Exec<'env, 'p> {
+    /// Spin up a scoped pool per batch (the standalone constructor).
+    Owned(usize),
+    /// Submit to a pool that outlives the enumerator (the session path).
+    Pooled(WorkerPool<'env, 'p>),
+}
+
+/// Ranked enumerator whose partition re-optimizations run as work-stealing
+/// pool tasks.
+pub struct ParallelRankedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     pre: &'a Preprocessed,
     cost: &'a K,
-    threads: usize,
+    exec: Exec<'a, 'p>,
     queue: BinaryHeap<Entry>,
     emitted_fills: HashSet<Vec<(u32, u32)>>,
     duplicates_skipped: usize,
@@ -62,13 +81,27 @@ pub struct ParallelRankedEnumerator<'a, K: BagCost + Sync + ?Sized> {
     started: bool,
 }
 
-impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
+impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
     /// Creates the enumerator with the given worker count (clamped to ≥ 1).
+    /// Every expansion batch runs on a short-lived scoped pool; prefer
+    /// [`ParallelRankedEnumerator::with_pool`] (or the session API) to
+    /// reuse one pool across the whole enumeration.
     pub fn new(pre: &'a Preprocessed, cost: &'a K, threads: usize) -> Self {
+        Self::with_exec(pre, cost, Exec::Owned(threads.max(1)))
+    }
+
+    /// Creates the enumerator on an existing worker pool (see
+    /// [`pool::scoped`]); the session layer uses this so one set of workers
+    /// serves preprocessing and every expansion batch.
+    pub fn with_pool(pre: &'a Preprocessed, cost: &'a K, pool: WorkerPool<'a, 'p>) -> Self {
+        Self::with_exec(pre, cost, Exec::Pooled(pool))
+    }
+
+    fn with_exec(pre: &'a Preprocessed, cost: &'a K, exec: Exec<'a, 'p>) -> Self {
         ParallelRankedEnumerator {
             pre,
             cost,
-            threads: threads.max(1),
+            exec,
             queue: BinaryHeap::new(),
             emitted_fills: HashSet::new(),
             duplicates_skipped: 0,
@@ -97,46 +130,31 @@ impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
     }
 
     /// Solves `MinTriang⟨κ[I, X]⟩` for a batch of constraint sets in
-    /// parallel and returns the satisfying optima.
+    /// parallel (one pool task each) and returns the satisfying optima, in
+    /// batch order.
     fn solve_batch(&self, batch: Vec<Constraints>) -> Vec<(Triangulation, Constraints)> {
         if batch.is_empty() {
             return Vec::new();
         }
         let pre = self.pre;
         let cost = self.cost;
-        let chunk = batch.len().div_ceil(self.threads);
-        let chunks: Vec<&[Constraints]> = batch.chunks(chunk).collect();
-        let mut solved: Vec<(usize, Vec<Option<Triangulation>>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .enumerate()
-                .map(|(ci, chunk)| {
-                    scope.spawn(move || {
-                        let results: Vec<Option<Triangulation>> = chunk
-                            .iter()
-                            .map(|constraints| {
-                                let constrained = Constrained::new(cost, constraints);
-                                min_triangulation(pre, &constrained)
-                            })
-                            .collect();
-                        (ci, results)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        solved.sort_by_key(|(ci, _)| *ci);
-        let flat: Vec<Option<Triangulation>> = solved
+        let tasks: Vec<_> = batch
             .into_iter()
-            .flat_map(|(_, results)| results)
+            .map(|constraints| {
+                move |_scratch: &mut Scratch| {
+                    let constrained = Constrained::new(cost, &constraints);
+                    let best = min_triangulation(pre, &constrained);
+                    (best, constraints)
+                }
+            })
             .collect();
-        batch
+        let solved = match &self.exec {
+            Exec::Owned(threads) => pool::scoped(*threads, |p| p.run_batch(tasks)),
+            Exec::Pooled(p) => p.run_batch(tasks),
+        };
+        solved
             .into_iter()
-            .zip(flat)
-            .filter_map(|(constraints, result)| {
+            .filter_map(|(result, constraints)| {
                 result.and_then(|best| {
                     if constraints.satisfied_by_graph(&best.graph) {
                         Some((best, constraints))
@@ -180,7 +198,7 @@ impl<'a, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, K> {
     }
 }
 
-impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, K> {
+impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K> {
     type Item = RankedTriangulation;
 
     fn next(&mut self) -> Option<RankedTriangulation> {
@@ -278,6 +296,21 @@ mod tests {
                 assert_eq!(seq_fills, par_fills);
             }
         }
+    }
+
+    #[test]
+    fn shared_pool_matches_owned_per_batch_pools() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&g);
+        let owned: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, 3).collect();
+        let (pooled, stats) = pool::scoped(3, |p| {
+            let results: Vec<_> = ParallelRankedEnumerator::with_pool(&pre, &FillIn, p).collect();
+            (results, p.stats())
+        });
+        assert_eq!(owned.len(), pooled.len());
+        assert_eq!(fill_keys(&g, &owned), fill_keys(&g, &pooled));
+        assert_eq!(stats.threads, 3);
+        assert!(stats.worker_tasks.iter().sum::<usize>() > 0);
     }
 
     #[test]

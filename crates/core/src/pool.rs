@@ -1,0 +1,478 @@
+//! A shared work-stealing execution layer for the enumeration engines.
+//!
+//! Both ranked engines spend nearly all of their time in independent
+//! constrained re-optimizations: the direct engine fans each Lawler–Murty
+//! partition expansion out into `k` constrained `MinTriang` calls, and the
+//! factorized engine of `mtr-reduce` advances one ranked stream per atom.
+//! [`WorkerPool`] is the execution substrate they share: a *scoped* pool of
+//! worker threads, each with its own task deque and a reusable [`Scratch`]
+//! arena, stealing from its siblings when its own deque runs dry. Compared
+//! to fixed chunking, stealing means a straggler task never idles a whole
+//! chunk's worth of workers.
+//!
+//! The pool is scoped ([`scoped`]) so tasks may borrow data that outlives
+//! the `scoped` call — typically the [`Preprocessed`](crate::Preprocessed)
+//! value and the cost function of a session. Workers are spawned once per
+//! scope, not once per batch; because task lifetimes are pinned to the
+//! scope's environment, a phase whose tasks borrow phase-local data opens
+//! its own scope (the session layer runs one short-lived pool for the
+//! preprocessing candidate build and one long-lived pool for the whole
+//! enumeration). The submitting thread participates in every batch, so
+//! `threads == 1` degrades to plain inline execution with no
+//! synchronization at all.
+//!
+//! ```
+//! use mtr_core::pool;
+//!
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let sum: u64 = pool::scoped(4, |p| {
+//!     let tasks = inputs.iter().map(|&x| move |_s: &mut pool::Scratch| x * x);
+//!     p.run_batch(tasks.collect()).into_iter().sum()
+//! });
+//! assert_eq!(sum, (0..100u64).map(|x| x * x).sum());
+//! ```
+
+use mtr_graph::VertexSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// Reusable per-worker scratch space. Every task receives `&mut Scratch`
+/// for its worker; sets recycled here are handed back by [`Scratch::take`]
+/// without reallocating, so hot per-task temporaries ([`VertexSet`]s of the
+/// host graph's universe) stop churning the allocator.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    free: Vec<VertexSet>,
+}
+
+impl Scratch {
+    /// Returns a cleared set over `universe`, reusing a recycled one of the
+    /// same universe when available.
+    pub fn take(&mut self, universe: u32) -> VertexSet {
+        if let Some(pos) = self.free.iter().position(|s| s.universe() == universe) {
+            let mut s = self.free.swap_remove(pos);
+            s.clear();
+            s
+        } else {
+            VertexSet::empty(universe)
+        }
+    }
+
+    /// Hands a set back for reuse by a later [`Scratch::take`].
+    pub fn recycle(&mut self, set: VertexSet) {
+        // Bound the arena so one huge batch cannot pin memory forever.
+        if self.free.len() < 32 {
+            self.free.push(set);
+        }
+    }
+}
+
+/// Snapshot of a pool's execution counters, taken with
+/// [`WorkerPool::stats`]. These feed
+/// [`EnumerationStats`](crate::EnumerationStats) so the bench suite can
+/// verify that work actually spread across workers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker count of the pool, the submitting thread included.
+    pub threads: usize,
+    /// Tasks executed per worker; index 0 is the submitting thread.
+    pub worker_tasks: Vec<usize>,
+    /// Tasks a worker popped from a sibling's deque (work stealing events).
+    pub steals: usize,
+}
+
+type Task<'env> = Box<dyn FnOnce(&mut Scratch) + Send + 'env>;
+
+struct PoolState {
+    /// Tasks currently sitting in some deque (not yet popped).
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared<'env> {
+    /// One deque per worker; index 0 belongs to the submitting thread.
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    state: Mutex<PoolState>,
+    wakeup: Condvar,
+    executed: Vec<AtomicUsize>,
+    steals: AtomicUsize,
+    /// Scratch of the submitting thread (workers own theirs on their stack).
+    main_scratch: Mutex<Scratch>,
+}
+
+impl<'env> Shared<'env> {
+    fn new(threads: usize) -> Self {
+        Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                pending: 0,
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            executed: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
+            steals: AtomicUsize::new(0),
+            main_scratch: Mutex::new(Scratch::default()),
+        }
+    }
+
+    /// Pops a task: the worker's own deque first (FIFO), then a steal from
+    /// each sibling (LIFO end, so stolen work is the coldest). Returns the
+    /// task and the deque index it came from.
+    fn pop_any(&self, wi: usize) -> Option<(Task<'env>, usize)> {
+        let threads = self.queues.len();
+        for k in 0..threads {
+            let qi = (wi + k) % threads;
+            let task = {
+                let mut q = self.queues[qi].lock().expect("pool queue poisoned");
+                if qi == wi {
+                    q.pop_front()
+                } else {
+                    q.pop_back()
+                }
+            };
+            if let Some(task) = task {
+                self.state.lock().expect("pool state poisoned").pending -= 1;
+                return Some((task, qi));
+            }
+        }
+        None
+    }
+
+    fn run_task(&self, wi: usize, task: Task<'env>, from: usize, scratch: &mut Scratch) {
+        self.executed[wi].fetch_add(1, Ordering::Relaxed);
+        if from != wi {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        task(scratch);
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("pool state poisoned").shutdown = true;
+        self.wakeup.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>, wi: usize) {
+    let mut scratch = Scratch::default();
+    loop {
+        if let Some((task, from)) = shared.pop_any(wi) {
+            shared.run_task(wi, task, from, &mut scratch);
+            continue;
+        }
+        let mut state = shared.state.lock().expect("pool state poisoned");
+        loop {
+            if state.shutdown {
+                return;
+            }
+            if state.pending > 0 {
+                break;
+            }
+            state = shared
+                .wakeup
+                .wait(state)
+                .expect("pool state poisoned while waiting");
+        }
+    }
+}
+
+/// Ends the worker threads even when the scope body panics, so
+/// [`std::thread::scope`] can join instead of deadlocking.
+struct ShutdownGuard<'a, 'env>(&'a Shared<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// A handle to the scoped worker pool — a cheap copyable reference that
+/// engines hold for the lifetime of one enumeration session. Obtain one
+/// through [`scoped`].
+pub struct WorkerPool<'env, 'pool> {
+    shared: &'pool Shared<'env>,
+}
+
+impl Clone for WorkerPool<'_, '_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for WorkerPool<'_, '_> {}
+
+impl<'env> WorkerPool<'env, '_> {
+    /// Number of workers, the submitting thread included.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Snapshot of the execution counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads(),
+            worker_tasks: self
+                .shared
+                .executed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a batch of independent tasks to completion and returns their
+    /// results in task order.
+    ///
+    /// Tasks are dealt round-robin onto the per-worker deques; idle workers
+    /// steal from the back of their siblings' deques, so an uneven batch
+    /// (one expensive re-optimization among many cheap ones) never leaves
+    /// workers idle while work remains. The calling thread executes tasks
+    /// too — with one thread, or a single task, this is plain inline
+    /// execution.
+    ///
+    /// Panics if a task panicked on a worker thread.
+    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut Scratch) -> T + Send + 'env,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads();
+        if threads == 1 || n == 1 {
+            let mut scratch = self
+                .shared
+                .main_scratch
+                .lock()
+                .expect("pool scratch poisoned");
+            self.shared.executed[0].fetch_add(n, Ordering::Relaxed);
+            return tasks.into_iter().map(|t| t(&mut scratch)).collect();
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            for (i, task) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                let boxed: Task<'env> = Box::new(move |scratch| {
+                    let result = task(scratch);
+                    // The batch may have been abandoned by a panic elsewhere;
+                    // a closed channel is not this task's problem.
+                    let _ = tx.send((i, result));
+                });
+                self.shared.queues[i % threads]
+                    .lock()
+                    .expect("pool queue poisoned")
+                    .push_back(boxed);
+            }
+            state.pending += n;
+        }
+        self.shared.wakeup.notify_all();
+        drop(tx);
+
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut received = 0;
+        while received < n {
+            // Help with the batch from our own deque (and steal) before
+            // blocking on results produced by the workers.
+            if let Some((task, from)) = self.shared.pop_any(0) {
+                let mut scratch = self
+                    .shared
+                    .main_scratch
+                    .lock()
+                    .expect("pool scratch poisoned");
+                self.shared.run_task(0, task, from, &mut scratch);
+                drop(scratch);
+                while let Ok((i, result)) = rx.try_recv() {
+                    results[i] = Some(result);
+                    received += 1;
+                }
+            } else {
+                match rx.recv() {
+                    Ok((i, result)) => {
+                        results[i] = Some(result);
+                        received += 1;
+                    }
+                    // All senders gone with results missing: a worker task
+                    // panicked and its sender was dropped mid-unwind.
+                    Err(_) => break,
+                }
+            }
+        }
+        assert!(received == n, "a worker pool task panicked");
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot is filled once received == n"))
+            .collect()
+    }
+}
+
+/// Resolves a requested thread count to an effective one: `0` means
+/// auto-detect via [`std::thread::available_parallelism`], anything else is
+/// taken as-is (minimum 1).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Spawns `threads - 1` worker threads (the caller is the last worker) and
+/// runs `f` with a [`WorkerPool`] handle; returns when `f` and all workers
+/// are done. With `threads <= 1` no thread is spawned and every batch runs
+/// inline on the caller.
+///
+/// Tasks submitted through the handle may borrow anything that outlives
+/// this call (the `'env` lifetime) — a session's preprocessing, graph, and
+/// cost function — or move owned data in and out.
+pub fn scoped<'env, F, R>(threads: usize, f: F) -> R
+where
+    F: for<'pool> FnOnce(WorkerPool<'env, 'pool>) -> R,
+{
+    let threads = threads.max(1);
+    let shared: Shared<'env> = Shared::new(threads);
+    if threads == 1 {
+        return f(WorkerPool { shared: &shared });
+    }
+    std::thread::scope(|scope| {
+        let guard = ShutdownGuard(&shared);
+        for wi in 1..threads {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared, wi));
+        }
+        let result = f(WorkerPool { shared: &shared });
+        drop(guard);
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_results_come_back_in_task_order() {
+        for threads in [1, 2, 4] {
+            let doubled: Vec<usize> = scoped(threads, |p| {
+                let tasks: Vec<_> = (0..64).map(|i| move |_s: &mut Scratch| i * 2).collect();
+                p.run_batch(tasks)
+            });
+            assert_eq!(doubled, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tasks_can_borrow_the_environment() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = scoped(3, |p| {
+            let tasks: Vec<_> = data
+                .chunks(7)
+                .map(|chunk| move |_s: &mut Scratch| chunk.iter().sum::<u64>())
+                .collect();
+            p.run_batch(tasks).into_iter().sum()
+        });
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn multiple_batches_reuse_the_same_workers() {
+        scoped(4, |p| {
+            for round in 0..10usize {
+                let tasks: Vec<_> = (0..16)
+                    .map(|i| move |_s: &mut Scratch| round * 100 + i)
+                    .collect();
+                let out = p.run_batch(tasks);
+                assert_eq!(out.len(), 16);
+                assert_eq!(out[3], round * 100 + 3);
+            }
+            let stats = p.stats();
+            assert_eq!(stats.threads, 4);
+            assert_eq!(stats.worker_tasks.iter().sum::<usize>(), 160);
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let out: Vec<u8> = scoped(2, |p| p.run_batch(Vec::<fn(&mut Scratch) -> u8>::new()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline_and_counts_tasks() {
+        scoped(1, |p| {
+            let tasks: Vec<_> = (0..5).map(|i| move |_s: &mut Scratch| i).collect();
+            assert_eq!(p.run_batch(tasks), vec![0, 1, 2, 3, 4]);
+            let stats = p.stats();
+            assert_eq!(stats.threads, 1);
+            assert_eq!(stats.worker_tasks, vec![5]);
+            assert_eq!(stats.steals, 0);
+        });
+    }
+
+    #[test]
+    fn scratch_recycles_matching_universes() {
+        let mut scratch = Scratch::default();
+        let mut a = scratch.take(70);
+        a.insert(5);
+        scratch.recycle(a);
+        let b = scratch.take(70);
+        assert!(b.is_empty(), "recycled sets come back cleared");
+        assert_eq!(b.universe(), 70);
+        let c = scratch.take(10);
+        assert_eq!(c.universe(), 10);
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        let stats = scoped(4, |p| {
+            let tasks: Vec<_> = (0..200)
+                .map(|i| {
+                    move |_s: &mut Scratch| {
+                        // Uneven work so stealing has something to balance.
+                        let spins = if i % 16 == 0 { 20_000 } else { 10 };
+                        (0..spins).fold(0u64, |acc, x| acc.wrapping_add(x))
+                    }
+                })
+                .collect();
+            p.run_batch(tasks);
+            p.stats()
+        });
+        assert_eq!(stats.worker_tasks.len(), 4);
+        assert_eq!(stats.worker_tasks.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn resolve_threads_auto_detects_zero() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn moves_owned_state_in_and_out() {
+        // The pattern the factorized engine uses: move a stateful value into
+        // the task, return it with its result.
+        let streams: Vec<Vec<u32>> = (0..8).map(|i| vec![i]).collect();
+        let advanced: Vec<Vec<u32>> = scoped(3, |p| {
+            let tasks: Vec<_> = streams
+                .into_iter()
+                .map(|mut s| {
+                    move |_x: &mut Scratch| {
+                        let next = s.last().unwrap() + 10;
+                        s.push(next);
+                        s
+                    }
+                })
+                .collect();
+            p.run_batch(tasks)
+        });
+        for (i, s) in advanced.iter().enumerate() {
+            assert_eq!(s, &vec![i as u32, i as u32 + 10]);
+        }
+    }
+}

@@ -41,12 +41,14 @@ use crate::cost::{named_cost, BagCost, DynBagCost, Width};
 use crate::diverse::{DiversityFilter, SimilarityMeasure};
 use crate::mintriang::Preprocessed;
 use crate::parallel::ParallelRankedEnumerator;
+use crate::pool::{self, resolve_threads};
 use crate::properdec::RankedDecomposition;
 use crate::ranked::{RankedEnumerator, RankedTriangulation};
 use mtr_chordal::clique_trees_from_cliques;
 use mtr_graph::io::ParseError;
 use mtr_graph::Graph;
 use mtr_pmc::enumerate::{
+    potential_maximal_cliques, potential_maximal_cliques_bounded,
     potential_maximal_cliques_bounded_with_deadline, potential_maximal_cliques_with_deadline,
 };
 use std::ops::ControlFlow;
@@ -200,6 +202,18 @@ pub struct EnumerationStats {
     /// single atom — the direct engine ran, there was nothing to factorize;
     /// `≥ 2` when the factorized per-atom engine actually ran.
     pub atoms: usize,
+    /// Worker threads the run actually executed on: `1` for the sequential
+    /// engine, the resolved pool width otherwise (`.threads(0)` resolves to
+    /// the detected hardware parallelism). This reports what really ran —
+    /// `.threads(t)` is never silently dropped, including under reduction.
+    pub effective_threads: usize,
+    /// Pool tasks executed per worker (index 0 is the session thread
+    /// itself) on the *enumeration* pool — the short-lived preprocessing
+    /// pool is not included. Empty for sequential runs.
+    pub worker_tasks: Vec<usize>,
+    /// Pool tasks a worker stole from a sibling's deque — nonzero steals
+    /// mean the work-stealing actually balanced an uneven batch.
+    pub steals: usize,
 }
 
 impl EnumerationStats {
@@ -436,9 +450,13 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         self
     }
 
-    /// Fans the partition re-optimizations out over `threads` worker
-    /// threads (clamped to ≥ 1). The result stream is identical to the
-    /// sequential one; only the delay changes.
+    /// Fans the partition re-optimizations out over `threads` workers of a
+    /// shared work-stealing pool (see [`pool`]), spawned once per session.
+    /// `0` auto-detects the hardware parallelism
+    /// ([`std::thread::available_parallelism`]); any other value is used
+    /// as-is. The result stream is identical to the sequential one; only
+    /// the delay changes. [`EnumerationStats::effective_threads`] reports
+    /// the resolved count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -610,6 +628,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             }
         }
 
+        let threads = resolve_threads(threads);
         let cost_name = cost.get().name();
         let owned_pre: Preprocessed;
         let pre: &Preprocessed = match source {
@@ -627,6 +646,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                         preprocessing: elapsed,
                         preprocessing_complete: false,
                         total: elapsed,
+                        effective_threads: threads,
                         ..EnumerationStats::default()
                     };
                     SessionReport {
@@ -634,32 +654,58 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                         stop_reason: StopReason::DeadlineExceeded,
                     }
                 };
+                // The PMC enumeration is inherently incremental (prefix by
+                // prefix); the candidate-structure build behind
+                // `from_parts_threaded` fans out over the pool workers.
                 owned_pre = match (width_bound, deadline) {
                     (Some(b), Some(d)) => {
                         match potential_maximal_cliques_bounded_with_deadline(g, b + 1, d) {
-                            Ok(e) => {
-                                Preprocessed::from_parts_bounded(g, e.minimal_separators, e.pmcs, b)
-                            }
+                            Ok(e) => Preprocessed::from_parts_threaded(
+                                g,
+                                e.minimal_separators,
+                                e.pmcs,
+                                Some(b),
+                                threads,
+                            ),
                             Err(_) => return Ok(aborted_init(&started)),
                         }
                     }
-                    (Some(b), None) => Preprocessed::new_bounded(g, b),
+                    (Some(b), None) => {
+                        let e = potential_maximal_cliques_bounded(g, b + 1);
+                        Preprocessed::from_parts_threaded(
+                            g,
+                            e.minimal_separators,
+                            e.pmcs,
+                            Some(b),
+                            threads,
+                        )
+                    }
                     (None, Some(d)) => match potential_maximal_cliques_with_deadline(g, d) {
-                        Ok(e) => Preprocessed::from_parts(g, e.minimal_separators, e.pmcs),
+                        Ok(e) => Preprocessed::from_parts_threaded(
+                            g,
+                            e.minimal_separators,
+                            e.pmcs,
+                            None,
+                            threads,
+                        ),
                         Err(_) => return Ok(aborted_init(&started)),
                     },
-                    (None, None) => Preprocessed::new(g),
+                    (None, None) => {
+                        let e = potential_maximal_cliques(g);
+                        Preprocessed::from_parts_threaded(
+                            g,
+                            e.minimal_separators,
+                            e.pmcs,
+                            None,
+                            threads,
+                        )
+                    }
                 };
                 &owned_pre
             }
         };
 
         let cost_ref = cost.get();
-        let mut engine: Engine<'_, K> = if threads.max(1) > 1 {
-            Engine::Parallel(ParallelRankedEnumerator::new(pre, cost_ref, threads))
-        } else {
-            Engine::Sequential(RankedEnumerator::new(pre, cost_ref))
-        };
         let filter = diversity
             .map(|(measure, threshold)| DiversityFilter::new(pre.graph(), measure, threshold));
 
@@ -670,18 +716,44 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             minimal_separators: pre.minimal_separators().len(),
             pmcs: pre.pmcs().len(),
             full_blocks: pre.full_blocks().len(),
+            effective_threads: threads,
             ..EnumerationStats::default()
         };
-        let stop_reason = drive_engine(
-            &mut engine,
-            filter,
-            &mut stats,
-            started,
-            max_results,
-            deadline,
-            node_budget,
-            on_result,
-        );
+        let stop_reason = if threads > 1 {
+            // One pool for the whole session: workers (and their scratch)
+            // are spawned here and serve every expansion batch.
+            pool::scoped(threads, |p| {
+                let mut engine: Engine<'_, '_, K> =
+                    Engine::Parallel(ParallelRankedEnumerator::with_pool(pre, cost_ref, p));
+                let stop_reason = drive_engine(
+                    &mut engine,
+                    filter,
+                    &mut stats,
+                    started,
+                    max_results,
+                    deadline,
+                    node_budget,
+                    on_result,
+                );
+                let pool_stats = p.stats();
+                stats.worker_tasks = pool_stats.worker_tasks;
+                stats.steals = pool_stats.steals;
+                stop_reason
+            })
+        } else {
+            let mut engine: Engine<'_, '_, K> =
+                Engine::Sequential(RankedEnumerator::new(pre, cost_ref));
+            drive_engine(
+                &mut engine,
+                filter,
+                &mut stats,
+                started,
+                max_results,
+                deadline,
+                node_budget,
+                on_result,
+            )
+        };
         Ok(SessionReport { stats, stop_reason })
     }
 }
@@ -771,12 +843,12 @@ where
 
 /// The engine layer the session drives: either ranked enumerator, behind a
 /// uniform statistics interface.
-enum Engine<'e, K: BagCost + Sync + ?Sized> {
+enum Engine<'e, 'p, K: BagCost + Sync + ?Sized> {
     Sequential(RankedEnumerator<'e, K>),
-    Parallel(ParallelRankedEnumerator<'e, K>),
+    Parallel(ParallelRankedEnumerator<'e, 'p, K>),
 }
 
-impl<K: BagCost + Sync + ?Sized> SessionEngine for Engine<'_, K> {
+impl<K: BagCost + Sync + ?Sized> SessionEngine for Engine<'_, '_, K> {
     fn next_result(&mut self) -> Option<RankedTriangulation> {
         match self {
             Engine::Sequential(e) => e.next(),
@@ -933,6 +1005,30 @@ mod tests {
         let seq_costs: Vec<CostValue> = sequential.results.iter().map(|r| r.cost).collect();
         let par_costs: Vec<CostValue> = parallel.results.iter().map(|r| r.cost).collect();
         assert_eq!(seq_costs, par_costs);
+    }
+
+    #[test]
+    fn thread_stats_report_what_ran() {
+        let g = c6();
+        let sequential = Enumerate::on(&g).cost(&FillIn).run().unwrap();
+        assert_eq!(sequential.stats.effective_threads, 1);
+        assert!(sequential.stats.worker_tasks.is_empty());
+        assert_eq!(sequential.stats.steals, 0);
+
+        let four = Enumerate::on(&g).cost(&FillIn).threads(4).run().unwrap();
+        assert_eq!(four.stats.effective_threads, 4);
+        assert_eq!(four.stats.worker_tasks.len(), 4);
+        // Every explored Lawler–Murty partition is exactly one pool task.
+        assert_eq!(
+            four.stats.worker_tasks.iter().sum::<usize>(),
+            four.stats.nodes_explored
+        );
+
+        // `threads(0)` auto-detects and reports the resolved width.
+        let auto = Enumerate::on(&g).cost(&FillIn).threads(0).run().unwrap();
+        let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(auto.stats.effective_threads, detected);
+        assert_eq!(auto.results.len(), sequential.results.len());
     }
 
     #[test]

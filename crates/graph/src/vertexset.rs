@@ -43,8 +43,12 @@ impl VertexSet {
     /// Creates the full set `{0, …, universe-1}`.
     pub fn full(universe: u32) -> Self {
         let mut s = Self::empty(universe);
-        for v in 0..universe {
-            s.insert(v);
+        if let Some((last, rest)) = s.words.split_last_mut() {
+            for w in rest {
+                *w = !0u64;
+            }
+            let tail = universe as usize % BITS;
+            *last = if tail == 0 { !0u64 } else { (1u64 << tail) - 1 };
         }
         s
     }
@@ -126,6 +130,14 @@ impl VertexSet {
         let had = (self.words[w] >> b) & 1 == 1;
         self.words[w] &= !(1 << b);
         had
+    }
+
+    /// Overwrites this set with the contents of `other` (same universe)
+    /// without reallocating — the cheap path for scratch-set reuse.
+    #[inline]
+    pub fn copy_from(&mut self, other: &VertexSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.copy_from_slice(&other.words);
     }
 
     /// Removes all vertices.
@@ -381,6 +393,36 @@ mod tests {
         assert!(f.contains(69));
         assert_eq!(f.complement(), e);
         assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn full_is_exact_at_word_boundaries() {
+        // The word-filling fast path must match bit-by-bit construction
+        // exactly around the 64-bit word boundary.
+        for n in [0u32, 1, 63, 64, 65, 127, 128, 129] {
+            let fast = VertexSet::full(n);
+            let slow = VertexSet::from_iter(n, 0..n);
+            assert_eq!(fast, slow, "universe {n}");
+            assert_eq!(fast.len(), n as usize, "universe {n}");
+            if n > 0 {
+                assert!(fast.contains(0));
+                assert!(fast.contains(n - 1));
+            }
+            assert!(fast.complement().is_empty(), "universe {n}");
+            // No stray bits beyond the universe: the complement within a
+            // larger embedding must contain exactly the missing vertices.
+            let resized = fast.resized(n + 64);
+            assert_eq!(resized.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let a = VertexSet::from_slice(130, &[0, 64, 129]);
+        let mut b = VertexSet::from_slice(130, &[5, 6, 7]);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), vec![0, 64, 129]);
     }
 
     #[test]

@@ -128,6 +128,52 @@ mod tests {
     }
 
     #[test]
+    fn threaded_reduced_session_matches_sequential_and_reports_threads() {
+        let g = glued();
+        let sequential = Enumerate::on(&g)
+            .cost(&FillIn)
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        assert_eq!(sequential.stats.effective_threads, 1);
+        for threads in [2, 4] {
+            let parallel = Enumerate::on(&g)
+                .cost(&FillIn)
+                .threads(threads)
+                .reduce(ReductionLevel::Full)
+                .run()
+                .unwrap();
+            assert_eq!(costs(&sequential), costs(&parallel), "threads {threads}");
+            assert_eq!(fill_sets(&g, &sequential), fill_sets(&g, &parallel));
+            assert_eq!(parallel.stats.effective_threads, threads);
+            assert_eq!(parallel.stats.atoms, 3);
+            assert_eq!(parallel.stats.worker_tasks.len(), threads);
+            assert!(parallel.stats.worker_tasks.iter().sum::<usize>() > 0);
+        }
+        // The knob can be chained after `.reduce(..)` too.
+        let chained = Enumerate::on(&g)
+            .cost(&FillIn)
+            .reduce(ReductionLevel::Full)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(chained.stats.effective_threads, 2);
+        assert_eq!(costs(&sequential), costs(&chained));
+        // Single-atom fallback: threads flow to the direct parallel engine
+        // instead of being silently dropped.
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let fallback = Enumerate::on(&c6)
+            .cost(&FillIn)
+            .threads(2)
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        assert_eq!(fallback.stats.atoms, 1);
+        assert_eq!(fallback.stats.effective_threads, 2);
+        assert_eq!(fallback.results.len(), 14);
+    }
+
+    #[test]
     fn non_factorizing_cost_falls_back() {
         let g = glued();
         let direct = Enumerate::on(&g).cost(&ExpBagSum).run().unwrap();

@@ -18,15 +18,35 @@
 //! union graph is rebuilt, and the reported cost is re-evaluated on the
 //! full bag set — so results are bit-for-bit comparable with the direct
 //! engine's.
+//!
+//! With a [`WorkerPool`] attached, the per-atom streams advance as pool
+//! tasks: atoms are independent subproblems, so after each pop the cold
+//! coordinates of the successor tuples are pulled concurrently, and every
+//! pull speculatively prefetches a small bounded lookahead of further
+//! `(cost, fill)` entries into the atom's memo buffer — the product-space
+//! merge then never blocks on a cold stream for tuples it is about to
+//! rank. The emitted sequence is identical to the sequential merge; only
+//! the wall-clock delay (and the amount of speculative work) changes.
 
 use crate::decompose::Atom;
 use mtr_chordal::maximal_cliques_chordal;
 use mtr_core::cost::{AtomCombine, BagCost, CostValue};
+use mtr_core::pool::{Scratch, WorkerPool};
 use mtr_core::{Preprocessed, RankedState, RankedTriangulation};
 use mtr_graph::{Graph, Vertex};
 use mtr_separators::minimal_separators;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+
+/// How many results beyond the immediately needed index a pooled stream
+/// pull fetches ahead — the bounded speculative prefetch. Small on purpose:
+/// each extra result is one constrained re-optimization of the atom, so a
+/// large lookahead would trade latency for wasted work near exhaustion.
+/// Speculation is only enabled when the pool does not oversubscribe the
+/// hardware (see [`FactorizedEnumerator::new`]): on fewer cores than
+/// workers the speculative pulls cannot overlap with needed work, they can
+/// only serialize after it.
+const PREFETCH: usize = 2;
 
 /// One memoized per-atom result: its cost (evaluated on the remapped atom
 /// graph) and its fill edges translated back to original vertex ids.
@@ -54,6 +74,13 @@ pub(crate) struct AtomStream {
     engine: AtomEngine,
     cached: Vec<CachedResult>,
     exhausted: bool,
+    /// `state.nodes_explored()` snapshot right after result `r` was
+    /// produced — a deterministic function of `r`, independent of how far
+    /// ahead speculation pulled.
+    nodes_after: Vec<usize>,
+    /// Results genuinely demanded by the merge so far (speculative
+    /// prefetch pulls don't count), as a high-water index + 1.
+    demanded: usize,
 }
 
 impl AtomStream {
@@ -66,6 +93,8 @@ impl AtomStream {
             },
             cached: Vec::new(),
             exhausted: false,
+            nodes_after: Vec::new(),
+            demanded: 0,
         }
     }
 
@@ -80,14 +109,49 @@ impl AtomStream {
             },
             cached: Vec::new(),
             exhausted: false,
+            nodes_after: Vec::new(),
+            demanded: 0,
         }
     }
 
+    /// Lawler–Murty partitions a *sequential* merge would have explored to
+    /// satisfy the demand so far. Speculative prefetch work is excluded on
+    /// purpose: node budgets must stop at the same result on every host
+    /// and at every thread count, and the prefetch window varies with
+    /// both.
     fn nodes_explored(&self) -> usize {
         match &self.engine {
             AtomEngine::Trivial { .. } => 0,
-            AtomEngine::Ranked { state, .. } => state.nodes_explored(),
+            AtomEngine::Ranked { state, .. } => {
+                if self.demanded > self.cached.len() && self.exhausted {
+                    // The demand ran past the stream's end, so the whole
+                    // exploration (including the exhausting pull) was
+                    // demanded — and its total is the same whether it was
+                    // reached lazily or speculatively.
+                    state.nodes_explored()
+                } else {
+                    match self.demanded.min(self.cached.len()) {
+                        0 => 0,
+                        upto => self.nodes_after[upto - 1],
+                    }
+                }
+            }
         }
+    }
+
+    /// Records that the merge genuinely needs result `j` (or discovered
+    /// exhaustion while trying to reach it).
+    fn note_demand(&mut self, j: usize) {
+        self.demanded = self.demanded.max(j + 1);
+    }
+
+    /// Number of results already sitting in the memo buffer.
+    fn cached_len(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
     }
 
     fn preprocessing_counts(&self) -> (usize, usize, usize) {
@@ -140,6 +204,7 @@ impl AtomStream {
                             cost: result.cost,
                             fill,
                         });
+                        self.nodes_after.push(state.nodes_explored());
                     }
                     None => {
                         self.exhausted = true;
@@ -182,32 +247,48 @@ impl Ord for TupleEntry {
 
 /// The merged, globally ranked enumerator over the product of the per-atom
 /// streams.
-pub(crate) struct FactorizedEnumerator<'a, K: BagCost + ?Sized> {
+///
+/// The `Option` wrapping of the streams exists for the pooled mode: a
+/// stream is temporarily *moved* into a pool task while it advances on a
+/// worker and put back when the batch completes, so the engine needs no
+/// shared mutable state (and no locks) across threads. Outside a batch
+/// every slot is occupied.
+pub(crate) struct FactorizedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     graph: &'a Graph,
     cost: &'a K,
     combine: AtomCombine,
     width_bound: Option<usize>,
-    atoms: Vec<AtomStream>,
+    atoms: Vec<Option<AtomStream>>,
+    pool: Option<WorkerPool<'a, 'p>>,
+    prefetch: usize,
     heap: BinaryHeap<TupleEntry>,
     seen: HashSet<Vec<u32>>,
     sequence: u64,
     started: bool,
 }
 
-impl<'a, K: BagCost + ?Sized> FactorizedEnumerator<'a, K> {
+impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
     pub(crate) fn new(
         graph: &'a Graph,
         cost: &'a K,
         combine: AtomCombine,
         width_bound: Option<usize>,
         atoms: Vec<AtomStream>,
+        pool: Option<WorkerPool<'a, 'p>>,
     ) -> Self {
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let prefetch = match &pool {
+            Some(p) if p.threads() <= hardware => PREFETCH,
+            _ => 0,
+        };
         FactorizedEnumerator {
             graph,
             cost,
             combine,
             width_bound,
-            atoms,
+            atoms: atoms.into_iter().map(Some).collect(),
+            pool,
+            prefetch,
             heap: BinaryHeap::new(),
             seen: HashSet::new(),
             sequence: 0,
@@ -215,33 +296,84 @@ impl<'a, K: BagCost + ?Sized> FactorizedEnumerator<'a, K> {
         }
     }
 
+    fn stream(&self, i: usize) -> &AtomStream {
+        self.atoms[i]
+            .as_ref()
+            .expect("stream present outside batch")
+    }
+
     pub(crate) fn queue_depth(&self) -> usize {
         self.heap.len()
     }
 
-    /// Lawler–Murty partitions explored across all atom streams.
+    /// Lawler–Murty partitions explored across all atom streams, counting
+    /// only *demanded* work (see [`AtomStream::nodes_explored`]): node
+    /// budgets therefore stop at the same result sequentially, in
+    /// parallel, and on any host, regardless of speculative prefetch.
     pub(crate) fn nodes_explored(&self) -> usize {
-        self.atoms.iter().map(AtomStream::nodes_explored).sum()
+        (0..self.atoms.len())
+            .map(|i| self.stream(i).nodes_explored())
+            .sum()
     }
 
     /// `(minimal separators, PMCs, full blocks)` summed over the per-atom
     /// preprocessings.
     pub(crate) fn preprocessing_counts(&self) -> (usize, usize, usize) {
-        self.atoms
-            .iter()
-            .map(AtomStream::preprocessing_counts)
+        (0..self.atoms.len())
+            .map(|i| self.stream(i).preprocessing_counts())
             .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z))
+    }
+
+    /// Pool mode: advances the streams behind every `(atom, index)` target
+    /// concurrently (one task per cold stream), each pull prefetching
+    /// [`PREFETCH`] results beyond its target. Sequential mode: no-op —
+    /// [`FactorizedEnumerator::combined_cost`] pulls lazily as before.
+    fn ensure_batch(&mut self, targets: &[(usize, usize)]) {
+        let Some(pool) = self.pool else { return };
+        let cost = self.cost;
+        let width_bound = self.width_bound;
+        let prefetch = self.prefetch;
+        let cold: Vec<(usize, usize)> = targets
+            .iter()
+            .copied()
+            .filter(|&(i, j)| {
+                let s = self.stream(i);
+                !s.is_exhausted() && s.cached_len() <= j
+            })
+            .collect();
+        let tasks: Vec<_> = cold
+            .into_iter()
+            .map(|(i, j)| {
+                let mut stream = self.atoms[i].take().expect("stream present outside batch");
+                move |_scratch: &mut Scratch| {
+                    stream.ensure(j + prefetch, cost, width_bound);
+                    (i, stream)
+                }
+            })
+            .collect();
+        for (i, stream) in pool.run_batch(tasks) {
+            self.atoms[i] = Some(stream);
+        }
     }
 
     /// The combined cost of a tuple, pulling atom streams as needed;
     /// `None` when some coordinate is past the end of its (finite) stream.
     fn combined_cost(&mut self, tuple: &[u32]) -> Option<CostValue> {
+        let cost = self.cost;
+        let width_bound = self.width_bound;
         let mut acc: Option<CostValue> = None;
         for (i, &j) in tuple.iter().enumerate() {
-            if !self.atoms[i].ensure(j as usize, self.cost, self.width_bound) {
+            let stream = self.atoms[i]
+                .as_mut()
+                .expect("stream present outside batch");
+            // This is the genuine demand point (speculative prefetch goes
+            // through `ensure_batch` instead): record it whether or not
+            // the stream can satisfy it, for the node accounting.
+            stream.note_demand(j as usize);
+            if !stream.ensure(j as usize, cost, width_bound) {
                 return None;
             }
-            let c = self.atoms[i].cached[j as usize].cost;
+            let c = stream.cached[j as usize].cost;
             acc = Some(match (acc, self.combine) {
                 (None, _) => c,
                 (Some(a), AtomCombine::Additive) => a.plus(c),
@@ -269,7 +401,7 @@ impl<'a, K: BagCost + ?Sized> FactorizedEnumerator<'a, K> {
     fn materialize(&self, entry: &TupleEntry) -> RankedTriangulation {
         let mut h = self.graph.clone();
         for (i, &j) in entry.tuple.iter().enumerate() {
-            for &(u, v) in &self.atoms[i].cached[j as usize].fill {
+            for &(u, v) in &self.stream(i).cached[j as usize].fill {
                 h.add_edge(u, v);
             }
         }
@@ -292,7 +424,7 @@ impl<'a, K: BagCost + ?Sized> FactorizedEnumerator<'a, K> {
     }
 }
 
-impl<K: BagCost + ?Sized> Iterator for FactorizedEnumerator<'_, K> {
+impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
     type Item = RankedTriangulation;
 
     fn next(&mut self) -> Option<RankedTriangulation> {
@@ -300,10 +432,22 @@ impl<K: BagCost + ?Sized> Iterator for FactorizedEnumerator<'_, K> {
             self.started = true;
             // The all-zeros tuple: every atom's optimum. For the empty
             // product (zero atoms, i.e. the empty graph) this is the empty
-            // tuple whose materialization is the graph itself.
+            // tuple whose materialization is the graph itself. In pool mode
+            // the per-atom optima are computed concurrently first.
+            let first: Vec<(usize, usize)> = (0..self.atoms.len()).map(|i| (i, 0)).collect();
+            self.ensure_batch(&first);
             self.push_tuple(vec![0; self.atoms.len()]);
         }
         let entry = self.heap.pop()?;
+        // Pool mode: warm every successor coordinate concurrently before
+        // the (sequential) heap pushes read the memoized costs.
+        let wanted: Vec<(usize, usize)> = entry
+            .tuple
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| (i, j as usize + 1))
+            .collect();
+        self.ensure_batch(&wanted);
         let result = self.materialize(&entry);
         for i in 0..entry.tuple.len() {
             let mut successor = entry.tuple.clone();
@@ -314,7 +458,7 @@ impl<K: BagCost + ?Sized> Iterator for FactorizedEnumerator<'_, K> {
     }
 }
 
-impl<K: BagCost + ?Sized> mtr_core::SessionEngine for FactorizedEnumerator<'_, K> {
+impl<K: BagCost + Sync + ?Sized> mtr_core::SessionEngine for FactorizedEnumerator<'_, '_, K> {
     fn next_result(&mut self) -> Option<RankedTriangulation> {
         self.next()
     }

@@ -30,21 +30,26 @@
 //! * [`ReductionLevel::Off`] (the default) always runs direct;
 //! * sessions started from an existing `Preprocessed` value have already
 //!   paid the whole-graph initialization, so there is nothing to reduce;
-//! * costs that do not declare an [`AtomCombine`](mtr_core::cost::AtomCombine)
-//!   (see [`BagCost::atom_combine`]) cannot be ranked per-atom soundly;
+//! * costs that do not declare an [`AtomCombine`] (see
+//!   [`BagCost::atom_combine`]) cannot be ranked per-atom soundly;
 //! * decompositions with a single atom gain nothing.
 //!
 //! [`EnumerationStats::atoms`] reports what happened: `0` — no
 //! decomposition was attempted (one of the fallbacks above); `1` — the
 //! decomposition found a single atom, so the direct engine ran; `≥ 2` —
-//! the factorized engine ran. `threads` is ignored while the factorized
-//! engine is active (per-atom parallelism is an open roadmap item).
+//! the factorized engine ran. `.threads(t)` is honored on every path:
+//! with the factorized engine active, the per-atom preprocessing and the
+//! per-atom ranked streams run on a shared work-stealing
+//! [`pool`] (atoms are independent subproblems); on every
+//! fallback the thread count flows through to the direct parallel engine.
+//! [`EnumerationStats::effective_threads`] reports what actually ran.
 
-use crate::decompose::{decompose, ReductionLevel};
+use crate::decompose::{decompose, Atom, ReductionLevel};
 use crate::merge::{AtomStream, FactorizedEnumerator};
-use mtr_core::cost::BagCost;
+use mtr_core::cost::{AtomCombine, BagCost};
 use mtr_core::diverse::DiversityFilter;
 use mtr_core::mintriang::Preprocessed;
+use mtr_core::pool::{self, resolve_threads, Scratch, WorkerPool};
 use mtr_core::ranked::RankedTriangulation;
 use mtr_core::session::{
     drive_engine, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, SessionConfig,
@@ -112,6 +117,14 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         self
     }
 
+    /// Worker threads for the per-atom preprocessing and stream advancement
+    /// (`0` auto-detects; mirrors [`Enumerate::threads`], so the knob can
+    /// also be chained after `.reduce(..)`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Runs the session, collecting the ranked minimal triangulations
     /// (mirrors [`Enumerate::run`]).
     pub fn run(self) -> Result<EnumerationRun, EnumerationError> {
@@ -137,7 +150,9 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         let Reduced { config, level } = self;
 
         // Decide whether the factorized engine applies; otherwise fall back
-        // to the direct session, which also performs all the validation.
+        // to the direct session, which also performs all the validation —
+        // and which honors `config.threads` through its own parallel
+        // engine, so the thread count is never dropped on a fallback.
         let combine = config.cost().atom_combine();
         let graph = config.graph();
         let applicable = level != ReductionLevel::Off && combine.is_some() && graph.is_some();
@@ -163,91 +178,193 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
             return Ok(report);
         }
 
-        let cost_name = config.cost().name();
-        let deadline_at = config.deadline.and_then(|d| started.checked_add(d));
-        let aborted_init = |started: &Instant| {
-            let elapsed = started.elapsed();
-            let stats = EnumerationStats {
-                cost: cost_name.clone(),
-                preprocessing: elapsed,
-                preprocessing_complete: false,
-                total: elapsed,
-                atoms: atom_count,
-                ..EnumerationStats::default()
-            };
-            SessionReport {
-                stats,
-                stop_reason: StopReason::DeadlineExceeded,
-            }
-        };
-
-        // Per-atom preprocessing: chordal atoms are trivial streams; the
-        // rest get their own (possibly width-bounded) `Preprocessed`, with
-        // the session deadline covering the whole sequence.
-        let mut streams = Vec::with_capacity(atom_count);
-        for atom in &decomposition.atoms {
-            if atom.chordal {
-                streams.push(AtomStream::trivial(atom));
-                continue;
-            }
-            let remaining = match deadline_at {
-                Some(at) => match at.checked_duration_since(Instant::now()) {
-                    Some(d) if d > Duration::ZERO => Some(d),
-                    _ => return Ok(aborted_init(&started)),
-                },
-                None => None,
-            };
-            let pre = match (config.width_bound, remaining) {
-                (Some(b), Some(d)) => {
-                    match potential_maximal_cliques_bounded_with_deadline(&atom.graph, b + 1, d) {
-                        Ok(e) => Preprocessed::from_parts_bounded(
-                            &atom.graph,
-                            e.minimal_separators,
-                            e.pmcs,
-                            b,
-                        ),
-                        Err(_) => return Ok(aborted_init(&started)),
-                    }
-                }
-                (Some(b), None) => Preprocessed::new_bounded(&atom.graph, b),
-                (None, Some(d)) => match potential_maximal_cliques_with_deadline(&atom.graph, d) {
-                    Ok(e) => Preprocessed::from_parts(&atom.graph, e.minimal_separators, e.pmcs),
-                    Err(_) => return Ok(aborted_init(&started)),
-                },
-                (None, None) => Preprocessed::new(&atom.graph),
-            };
-            streams.push(AtomStream::ranked(atom, pre));
+        let threads = resolve_threads(config.threads);
+        let atoms = &decomposition.atoms;
+        if threads > 1 {
+            // One pool for the whole reduced session: the per-atom
+            // preprocessing fans out over it first, then the factorized
+            // engine advances the per-atom streams on the same workers.
+            pool::scoped(threads, |p| {
+                drive_factorized(
+                    graph,
+                    atoms,
+                    &config,
+                    combine,
+                    threads,
+                    Some(p),
+                    started,
+                    on_result,
+                )
+            })
+        } else {
+            drive_factorized(
+                graph, atoms, &config, combine, threads, None, started, on_result,
+            )
         }
+    }
+}
 
-        let mut engine =
-            FactorizedEnumerator::new(graph, config.cost(), combine, config.width_bound, streams);
-        let filter = config
-            .diversity
-            .map(|(measure, threshold)| DiversityFilter::new(graph, measure, threshold));
+/// One atom's preprocessing failed its deadline.
+struct AtomInitAborted;
 
-        let (minimal_separators, pmcs, full_blocks) = engine.preprocessing_counts();
-        let mut stats = EnumerationStats {
-            cost: cost_name,
-            preprocessing: started.elapsed(),
-            preprocessing_complete: true,
-            minimal_separators,
-            pmcs,
-            full_blocks,
+/// Builds one non-chordal atom's ranked stream: its own (possibly
+/// width-bounded) `Preprocessed`, under whatever remains of the session
+/// deadline. A plain function (not a closure) so pool tasks can call it
+/// while borrowing only the atom itself.
+fn build_stream(
+    atom: &Atom,
+    width_bound: Option<usize>,
+    deadline_at: Option<Instant>,
+) -> Result<AtomStream, AtomInitAborted> {
+    let remaining = match deadline_at {
+        Some(at) => match at.checked_duration_since(Instant::now()) {
+            Some(d) if d > Duration::ZERO => Some(d),
+            _ => return Err(AtomInitAborted),
+        },
+        None => None,
+    };
+    let pre = match (width_bound, remaining) {
+        (Some(b), Some(d)) => {
+            match potential_maximal_cliques_bounded_with_deadline(&atom.graph, b + 1, d) {
+                Ok(e) => {
+                    Preprocessed::from_parts_bounded(&atom.graph, e.minimal_separators, e.pmcs, b)
+                }
+                Err(_) => return Err(AtomInitAborted),
+            }
+        }
+        (Some(b), None) => Preprocessed::new_bounded(&atom.graph, b),
+        (None, Some(d)) => match potential_maximal_cliques_with_deadline(&atom.graph, d) {
+            Ok(e) => Preprocessed::from_parts(&atom.graph, e.minimal_separators, e.pmcs),
+            Err(_) => return Err(AtomInitAborted),
+        },
+        (None, None) => Preprocessed::new(&atom.graph),
+    };
+    Ok(AtomStream::ranked(atom, pre))
+}
+
+/// The factorized half of [`Reduced::drive`], parameterized over an
+/// optional worker pool (pulled out of the method so the pool scope can
+/// wrap it with the right lifetimes).
+#[allow(clippy::too_many_arguments)] // internal seam mirroring the session knobs
+fn drive_factorized<'env, 'p, K, F>(
+    graph: &'env mtr_graph::Graph,
+    atoms: &'env [Atom],
+    config: &'env SessionConfig<'_, K>,
+    combine: AtomCombine,
+    threads: usize,
+    worker_pool: Option<WorkerPool<'env, 'p>>,
+    started: Instant,
+    on_result: F,
+) -> Result<SessionReport, EnumerationError>
+where
+    K: BagCost + Sync + ?Sized,
+    F: FnMut(RankedTriangulation) -> ControlFlow<()>,
+{
+    let atom_count = atoms.len();
+    let cost_name = config.cost().name();
+    let deadline_at = config.deadline.and_then(|d| started.checked_add(d));
+    let width_bound = config.width_bound;
+    let aborted_init = |started: &Instant| {
+        let elapsed = started.elapsed();
+        let stats = EnumerationStats {
+            cost: cost_name.clone(),
+            preprocessing: elapsed,
+            preprocessing_complete: false,
+            total: elapsed,
             atoms: atom_count,
+            effective_threads: threads,
             ..EnumerationStats::default()
         };
-        // The shared session loop owns all budget/diversity/statistics
-        // semantics; the factorized engine only supplies results.
-        let stop_reason = drive_engine(
-            &mut engine,
-            filter,
-            &mut stats,
-            started,
-            config.max_results,
-            config.deadline,
-            config.node_budget,
-            on_result,
-        );
-        Ok(SessionReport { stats, stop_reason })
+        SessionReport {
+            stats,
+            stop_reason: StopReason::DeadlineExceeded,
+        }
+    };
+
+    // Per-atom preprocessing: chordal atoms are trivial streams built on
+    // the spot; the rest are independent subproblems, so with a pool they
+    // are preprocessed concurrently (the deadline applies inside each
+    // task). Sequentially the deadline covers the whole sequence as before.
+    let mut slots: Vec<Option<AtomStream>> = Vec::with_capacity(atom_count);
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        if atom.chordal {
+            slots.push(Some(AtomStream::trivial(atom)));
+        } else {
+            slots.push(None);
+            pending.push(i);
+        }
     }
+    match worker_pool {
+        Some(p) if pending.len() > 1 => {
+            let tasks: Vec<_> = pending
+                .iter()
+                .map(|&i| {
+                    let atom = &atoms[i];
+                    move |_scratch: &mut Scratch| (i, build_stream(atom, width_bound, deadline_at))
+                })
+                .collect();
+            for (i, built) in p.run_batch(tasks) {
+                match built {
+                    Ok(stream) => slots[i] = Some(stream),
+                    Err(AtomInitAborted) => return Ok(aborted_init(&started)),
+                }
+            }
+        }
+        _ => {
+            for &i in &pending {
+                match build_stream(&atoms[i], width_bound, deadline_at) {
+                    Ok(stream) => slots[i] = Some(stream),
+                    Err(AtomInitAborted) => return Ok(aborted_init(&started)),
+                }
+            }
+        }
+    }
+    let streams: Vec<AtomStream> = slots
+        .into_iter()
+        .map(|s| s.expect("every atom got a stream"))
+        .collect();
+
+    let mut engine = FactorizedEnumerator::new(
+        graph,
+        config.cost(),
+        combine,
+        width_bound,
+        streams,
+        worker_pool,
+    );
+    let filter = config
+        .diversity
+        .map(|(measure, threshold)| DiversityFilter::new(graph, measure, threshold));
+
+    let (minimal_separators, pmcs, full_blocks) = engine.preprocessing_counts();
+    let mut stats = EnumerationStats {
+        cost: cost_name,
+        preprocessing: started.elapsed(),
+        preprocessing_complete: true,
+        minimal_separators,
+        pmcs,
+        full_blocks,
+        atoms: atom_count,
+        effective_threads: threads,
+        ..EnumerationStats::default()
+    };
+    // The shared session loop owns all budget/diversity/statistics
+    // semantics; the factorized engine only supplies results.
+    let stop_reason = drive_engine(
+        &mut engine,
+        filter,
+        &mut stats,
+        started,
+        config.max_results,
+        config.deadline,
+        config.node_budget,
+        on_result,
+    );
+    if let Some(p) = worker_pool {
+        let pool_stats = p.stats();
+        stats.worker_tasks = pool_stats.worker_tasks;
+        stats.steals = pool_stats.steals;
+    }
+    Ok(SessionReport { stats, stop_reason })
 }

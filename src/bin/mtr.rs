@@ -88,7 +88,9 @@ fn usage() -> &'static str {
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
      \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
      \x20          [--stats-json] [--emit-td <directory>] [--bounds]\n\
-     \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]"
+     \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
+     \x20      --threads 0 auto-detects the hardware parallelism; with --reduce the\n\
+     \x20      workers advance the per-atom streams, otherwise the partition expansions"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -151,7 +153,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "--threads expects a positive integer".to_string())?
+                    .map_err(|_| "--threads expects an integer (0 = auto-detect)".to_string())?
             }
             "--diverse" => {
                 opts.diverse = Some(
@@ -281,6 +283,7 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
         .iter()
         .map(|d| format!("{:.3}", d.as_secs_f64() * 1000.0))
         .collect();
+    let worker_tasks: Vec<String> = stats.worker_tasks.iter().map(|t| t.to_string()).collect();
     format!(
         concat!(
             "{{\"cost\": \"{}\", \"stop_reason\": \"{}\", \"results\": {}, ",
@@ -289,6 +292,7 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
             "\"pmcs\": {}, \"full_blocks\": {}, \"nodes_explored\": {}, ",
             "\"max_queue_depth\": {}, \"final_queue_depth\": {}, ",
             "\"duplicates_skipped\": {}, \"diversity_rejected\": {}, ",
+            "\"effective_threads\": {}, \"worker_tasks\": [{}], \"steals\": {}, ",
             "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
             "\"delays_ms\": [{}]}}"
         ),
@@ -307,6 +311,9 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
         stats.final_queue_depth,
         stats.duplicates_skipped,
         stats.diversity_rejected,
+        stats.effective_threads,
+        worker_tasks.join(", "),
+        stats.steals,
         opt_secs(stats.average_delay()),
         opt_secs(stats.max_delay()),
         delays.join(", "),
@@ -434,6 +441,12 @@ fn run(opts: Options) -> Result<(), CliError> {
             delay.as_secs_f64() * 1000.0,
             stats.nodes_explored,
             stats.max_queue_depth
+        );
+    }
+    if stats.effective_threads > 1 {
+        println!(
+            "threads: {} workers, {:?} tasks/worker, {} steals",
+            stats.effective_threads, stats.worker_tasks, stats.steals
         );
     }
     Ok(())
@@ -610,8 +623,60 @@ mod tests {
         assert!(json.contains("\"results\": 2"));
         assert!(json.contains("\"stop_reason\": \"max-results\""));
         assert!(json.contains("\"atoms\": 0"));
+        assert!(json.contains("\"effective_threads\": 1"));
+        assert!(json.contains("\"worker_tasks\": []"));
+        assert!(json.contains("\"steals\": 0"));
         assert!(json.contains("\"delays_ms\": ["));
         // Exactly one top-level object: no stray braces from the format.
         assert_eq!(json.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn threads_flag_accepts_zero_for_auto_detect() {
+        let opts = parse_args(&args(&["g.gr", "--threads", "0"])).unwrap();
+        assert_eq!(opts.threads, 0);
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let run = enumerate(&g, &opts).unwrap();
+        let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(run.stats.effective_threads, detected);
+        assert!(usage().contains("auto-detect"));
+    }
+
+    #[test]
+    fn threads_reach_the_reduced_engine_and_stats_json() {
+        // Two C4s sharing a cut vertex: 2 atoms, so the factorized engine
+        // runs — and must report the requested thread count.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+            ],
+        );
+        let opts = parse_args(&args(&[
+            "g",
+            "--cost",
+            "fill",
+            "--top",
+            "10",
+            "--threads",
+            "2",
+            "--reduce",
+            "full",
+            "--stats-json",
+        ]))
+        .unwrap();
+        let run = enumerate(&g, &opts).unwrap();
+        assert_eq!(run.stats.atoms, 2);
+        assert_eq!(run.stats.effective_threads, 2);
+        let json = stats_json(&run.stats, run.stop_reason);
+        assert!(json.contains("\"effective_threads\": 2"));
+        assert!(json.contains("\"worker_tasks\": ["));
     }
 }

@@ -128,12 +128,12 @@ pub mod prelude {
         ExpBagSum, FillIn, LinearCombination, WeightedFillIn, WeightedWidth, Width, WidthThenFill,
     };
     pub use mtr_core::{
-        all_triangulations_ranked, min_triangulation, top_k_proper_decompositions,
+        all_triangulations_ranked, min_triangulation, resolve_threads, top_k_proper_decompositions,
         top_k_triangulations, CkkEnumerator, DecompositionRun, Diversified, DiversityFilter,
         Enumerate, EnumerationError, EnumerationRun, EnumerationStats, LbTriangSampler,
-        ParallelRankedEnumerator, Preprocessed, ProperDecompositionEnumerator, RankedDecomposition,
-        RankedEnumerator, RankedTriangulation, SessionReport, SimilarityMeasure, StopReason,
-        Triangulation,
+        ParallelRankedEnumerator, PoolStats, Preprocessed, ProperDecompositionEnumerator,
+        RankedDecomposition, RankedEnumerator, RankedTriangulation, SessionReport,
+        SimilarityMeasure, StopReason, Triangulation, WorkerPool,
     };
     pub use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
     pub use mtr_reduce::{decompose, Decomposition, EnumerateReduceExt, Reduced, ReductionLevel};

@@ -1,0 +1,222 @@
+//! Parallel execution must be invisible in the output: for both engines
+//! (the direct Lawler–Murty enumerator and the factorized per-atom engine
+//! under `ReductionLevel::Full`) and both atom-combine modes (additive
+//! fill-like costs and max width-like costs), running with worker threads
+//! must yield result-for-result the same ranked stream as the sequential
+//! run — same cost sequence, same triangulation set, no duplicates.
+//!
+//! Budgets must compose with parallelism: a deadline or node budget with
+//! `threads > 1` still yields a valid prefix of the ranked stream and a
+//! correct typed [`StopReason`]. And `.threads(t)` must never be silently
+//! ignored: [`EnumerationStats::effective_threads`] reports the resolved
+//! width on every path, including every reduction fallback.
+
+mod common;
+
+use common::{arbitrary_graph, fill_key};
+use mtr_core::cost::{CostValue, ExpBagSum, FillIn, Width};
+use mtr_core::{BagCost, Enumerate, EnumerationRun, EnumerationStats, StopReason};
+use mtr_graph::Graph;
+use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+use mtr_workloads::decomposable::{glued_grids, gnp_with_bridges};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn run(
+    g: &Graph,
+    cost: &(dyn BagCost + Sync),
+    threads: usize,
+    level: ReductionLevel,
+    k: Option<usize>,
+) -> EnumerationRun {
+    let mut session = Enumerate::on(g).cost(cost).threads(threads);
+    if let Some(k) = k {
+        session = session.max_results(k);
+    }
+    session
+        .reduce(level)
+        .run()
+        .expect("session cannot fail on a plain graph")
+}
+
+fn costs(run: &EnumerationRun) -> Vec<CostValue> {
+    run.results.iter().map(|r| r.cost).collect()
+}
+
+fn fill_set(g: &Graph, run: &EnumerationRun) -> BTreeSet<Vec<(u32, u32)>> {
+    let set: BTreeSet<_> = run
+        .results
+        .iter()
+        .map(|r| fill_key(g, &r.triangulation))
+        .collect();
+    assert_eq!(set.len(), run.results.len(), "no duplicates allowed");
+    set
+}
+
+/// `threads`-way run must equal the sequential run result-for-result.
+fn assert_parallel_equivalent(
+    g: &Graph,
+    cost: &(dyn BagCost + Sync),
+    level: ReductionLevel,
+    threads: usize,
+) {
+    let sequential = run(g, cost, 1, level, None);
+    let parallel = run(g, cost, threads, level, None);
+    assert_eq!(
+        costs(&sequential),
+        costs(&parallel),
+        "cost sequence diverged at threads={threads}, level={level}, cost={}",
+        cost.name()
+    );
+    assert_eq!(fill_set(g, &sequential), fill_set(g, &parallel));
+    assert_eq!(sequential.stats.duplicates_skipped, 0);
+    assert_eq!(parallel.stats.duplicates_skipped, 0);
+    assert_eq!(sequential.stats.effective_threads, 1);
+    assert_eq!(parallel.stats.effective_threads, threads);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Direct engine: pool-parallel expansion ≡ sequential, for an additive
+    /// and a max-combining cost.
+    #[test]
+    fn direct_engine_parallel_matches_sequential(g in arbitrary_graph(3, 8)) {
+        for threads in [2usize, 4] {
+            assert_parallel_equivalent(&g, &FillIn, ReductionLevel::Off, threads);
+            assert_parallel_equivalent(&g, &Width, ReductionLevel::Off, threads);
+        }
+    }
+
+    /// Factorized engine under full reduction: per-atom parallel streams ≡
+    /// sequential merge ≡ the direct engine, for both combine modes
+    /// (additive fill-in, max width).
+    #[test]
+    fn factorized_engine_parallel_matches_sequential(g in arbitrary_graph(3, 8)) {
+        for threads in [2usize, 4] {
+            assert_parallel_equivalent(&g, &FillIn, ReductionLevel::Full, threads);
+            assert_parallel_equivalent(&g, &Width, ReductionLevel::Full, threads);
+        }
+        // Cross-engine: the reduced parallel stream matches the direct
+        // sequential stream too.
+        let direct = run(&g, &FillIn, 1, ReductionLevel::Off, None);
+        let reduced_parallel = run(&g, &FillIn, 4, ReductionLevel::Full, None);
+        prop_assert_eq!(costs(&direct), costs(&reduced_parallel));
+        prop_assert_eq!(fill_set(&g, &direct), fill_set(&g, &reduced_parallel));
+    }
+}
+
+#[test]
+fn decomposable_corpus_parallel_matches_sequential() {
+    let corpus: Vec<(&str, Graph)> = vec![
+        ("glued_grids3x3", glued_grids(3, 3, 2)),
+        ("gnp_bridges2x8", gnp_with_bridges(2, 8, 0.3, 11)),
+    ];
+    for (name, g) in corpus {
+        for cost in [&FillIn as &(dyn BagCost + Sync), &Width] {
+            let sequential = run(&g, cost, 1, ReductionLevel::Full, Some(15));
+            let parallel = run(&g, cost, 4, ReductionLevel::Full, Some(15));
+            assert_eq!(costs(&sequential), costs(&parallel), "{name}");
+            assert_eq!(fill_set(&g, &sequential), fill_set(&g, &parallel));
+            assert!(parallel.stats.atoms >= 2, "{name} must decompose");
+            assert_eq!(parallel.stats.effective_threads, 4);
+        }
+    }
+}
+
+/// A budgeted parallel run must be a valid ranked prefix with the right
+/// stop reason — for both engines.
+#[test]
+fn budgets_compose_with_threads() {
+    let g = glued_grids(3, 3, 2);
+    for level in [ReductionLevel::Off, ReductionLevel::Full] {
+        let full = run(&g, &FillIn, 2, level, Some(12));
+        // Node budget: stops early with the typed reason, and the emitted
+        // results are a prefix of the unbudgeted stream.
+        let budgeted = Enumerate::on(&g)
+            .cost(&FillIn)
+            .threads(2)
+            .node_budget(3)
+            .max_results(12)
+            .reduce(level)
+            .run()
+            .unwrap();
+        assert_eq!(budgeted.stop_reason, StopReason::NodeBudgetExhausted);
+        assert!(budgeted.results.len() < full.results.len());
+        for (b, f) in budgeted.results.iter().zip(&full.results) {
+            assert_eq!(b.cost, f.cost, "budgeted results are a ranked prefix");
+        }
+        for w in budgeted.results.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+        assert_eq!(budgeted.stats.effective_threads, 2);
+        // Node accounting counts demanded work only, so the budget stops
+        // at exactly the same result as the sequential run — speculative
+        // prefetch (which varies with host width) must not leak into it.
+        let budgeted_seq = Enumerate::on(&g)
+            .cost(&FillIn)
+            .node_budget(3)
+            .max_results(12)
+            .reduce(level)
+            .run()
+            .unwrap();
+        assert_eq!(budgeted_seq.stop_reason, StopReason::NodeBudgetExhausted);
+        assert_eq!(costs(&budgeted_seq), costs(&budgeted));
+        assert_eq!(
+            budgeted_seq.stats.nodes_explored,
+            budgeted.stats.nodes_explored
+        );
+
+        // Zero deadline: aborts during (parallel) preprocessing with the
+        // typed reason and an empty, still-valid prefix.
+        let expired = Enumerate::on(&g)
+            .cost(&FillIn)
+            .threads(2)
+            .deadline(Duration::ZERO)
+            .reduce(level)
+            .run()
+            .unwrap();
+        assert_eq!(expired.stop_reason, StopReason::DeadlineExceeded);
+        assert!(expired.results.is_empty());
+        assert!(!expired.stats.preprocessing_complete);
+        assert_eq!(expired.stats.effective_threads, 2);
+
+        // A generous deadline changes nothing.
+        let generous = Enumerate::on(&g)
+            .cost(&FillIn)
+            .threads(2)
+            .deadline(Duration::from_secs(3600))
+            .max_results(12)
+            .reduce(level)
+            .run()
+            .unwrap();
+        assert_eq!(costs(&full), costs(&generous));
+    }
+}
+
+/// `.threads(t)` is never silently ignored: every fallback of the
+/// reduction layer reports the thread count it actually ran with.
+#[test]
+fn threads_are_never_silently_ignored() {
+    let stats_of = |stats: &EnumerationStats| (stats.effective_threads, stats.atoms);
+    let g = glued_grids(3, 3, 2);
+    // Factorized engine (≥ 2 atoms).
+    let factorized = run(&g, &FillIn, 2, ReductionLevel::Full, Some(5));
+    assert_eq!(stats_of(&factorized.stats).0, 2);
+    assert!(stats_of(&factorized.stats).1 >= 2);
+    // Non-factorizing cost: falls back to the direct engine, threads intact.
+    let fallback = run(&g, &ExpBagSum, 2, ReductionLevel::Full, Some(5));
+    assert_eq!(stats_of(&fallback.stats), (2, 0));
+    // Reduction off: direct engine, threads intact.
+    let off = run(&g, &FillIn, 2, ReductionLevel::Off, Some(5));
+    assert_eq!(stats_of(&off.stats), (2, 0));
+    // Single atom: direct engine, threads intact.
+    let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+    let single = run(&c6, &FillIn, 2, ReductionLevel::Full, Some(5));
+    assert_eq!(stats_of(&single.stats), (2, 1));
+    // Auto-detection resolves to the hardware width on every path.
+    let auto = run(&g, &FillIn, 0, ReductionLevel::Full, Some(5));
+    let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    assert_eq!(auto.stats.effective_threads, detected);
+}
