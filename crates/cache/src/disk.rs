@@ -1,0 +1,405 @@
+//! The on-disk backend: one file per [`AtomKey`], length-prefixed binary
+//! with a versioned header.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      4 bytes   b"MTRA"
+//! version    u32       FORMAT_VERSION
+//! key.graph  2 × u64   canonical key words (echoed for integrity)
+//! cost_len   u32
+//! cost_id    cost_len bytes (UTF-8)
+//! bound      u64       width bound, u64::MAX = none
+//! complete   u8        0 | 1
+//! count      u32       number of entries
+//! entry*     cost f64 (bit pattern), fill_len u32, fill_len × (u32, u32)
+//! ```
+//!
+//! Readers reject anything that does not parse exactly: wrong magic, a
+//! different [`FORMAT_VERSION`], a key echo that does not match the
+//! requested key, or truncated payloads all yield a typed [`DiskError`] —
+//! the store above treats every such error as a cache miss, never as data.
+//! Writes go through a temp file + rename so concurrent readers only ever
+//! observe complete files.
+
+use crate::store::{AtomKey, CacheEntry, CachedPrefix};
+use mtr_graph::CanonicalKey;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk format. Bump on any layout change; readers
+/// reject other versions.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"MTRA";
+
+/// Why a cache file could not be used.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the cache magic bytes.
+    BadMagic,
+    /// The file was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The header's key echo does not match the requested key.
+    KeyMismatch,
+    /// The payload is truncated or internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "cache file i/o error: {e}"),
+            DiskError::BadMagic => f.write_str("not an atom cache file (bad magic)"),
+            DiskError::VersionMismatch { found, expected } => write!(
+                f,
+                "atom cache format version {found} (this build reads {expected})"
+            ),
+            DiskError::KeyMismatch => f.write_str("cache file does not match the requested key"),
+            DiskError::Corrupt(what) => write!(f, "corrupt atom cache file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}
+
+/// A directory of cache files, one per key.
+#[derive(Debug)]
+pub struct DiskBackend {
+    dir: PathBuf,
+}
+
+impl DiskBackend {
+    /// Opens (creating if necessary) `dir` as a cache directory.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<DiskBackend> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskBackend { dir })
+    }
+
+    /// The file a key lives in: canonical hash + sanitized cost text +
+    /// a short hash of the raw cost name + the width bound.
+    pub fn path_of(&self, key: &AtomKey) -> PathBuf {
+        let cost: String = key
+            .cost_id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        // A short hash of the *raw* cost name keeps the file unique per
+        // key: distinct names like `fill_in` / `fill.in` sanitize to the
+        // same text, and a shared file would turn both keys into permanent
+        // misses through the key-echo check.
+        let mut cost_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in key.cost_id.as_bytes() {
+            cost_hash ^= u64::from(*byte);
+            cost_hash = cost_hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let bound = match key.width_bound {
+            Some(b) => format!("b{b}"),
+            None => "unbounded".into(),
+        };
+        self.dir.join(format!(
+            "atom-{}-{}-{:08x}-{}.bin",
+            key.graph.to_hex(),
+            cost,
+            cost_hash as u32,
+            bound
+        ))
+    }
+
+    /// Loads the prefix stored for `key`; `Ok(None)` when no file exists.
+    pub fn load(&self, key: &AtomKey) -> Result<Option<CachedPrefix>, DiskError> {
+        let path = self.path_of(key);
+        let mut bytes = Vec::new();
+        match std::fs::File::open(&path) {
+            Ok(mut f) => f.read_to_end(&mut bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        decode(key, &bytes).map(Some)
+    }
+
+    /// Stores `prefix` under `key`, atomically (temp file + rename). The
+    /// temp name carries a process-wide counter besides the pid: two
+    /// threads of one process publishing the same key must not interleave
+    /// writes into a shared temp file.
+    pub fn store(&self, key: &AtomKey, prefix: &CachedPrefix) -> Result<(), DiskError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = self.path_of(key);
+        let tmp = path.with_extension(format!("tmp{}-{}", std::process::id(), seq));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&encode(key, prefix))?;
+            f.sync_all().ok();
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+}
+
+fn encode(key: &AtomKey, prefix: &CachedPrefix) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for w in key.graph.to_words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&(key.cost_id.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.cost_id.as_bytes());
+    out.extend_from_slice(&key.width_bound.map_or(u64::MAX, |b| b as u64).to_le_bytes());
+    out.push(u8::from(prefix.complete));
+    out.extend_from_slice(&(prefix.entries.len() as u32).to_le_bytes());
+    for e in &prefix.entries {
+        out.extend_from_slice(&e.cost.to_bits().to_le_bytes());
+        out.extend_from_slice(&(e.fill.len() as u32).to_le_bytes());
+        for &(u, v) in &e.fill {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DiskError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(DiskError::Corrupt("truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DiskError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DiskError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DiskError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode(key: &AtomKey, bytes: &[u8]) -> Result<CachedPrefix, DiskError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DiskError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DiskError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let words = [r.u64()?, r.u64()?];
+    let cost_len = r.u32()? as usize;
+    let cost_id = std::str::from_utf8(r.take(cost_len)?)
+        .map_err(|_| DiskError::Corrupt("cost id not UTF-8"))?;
+    let bound = match r.u64()? {
+        u64::MAX => None,
+        b => Some(b as usize),
+    };
+    if CanonicalKey::from_words(words) != key.graph
+        || cost_id != key.cost_id
+        || bound != key.width_bound
+    {
+        return Err(DiskError::KeyMismatch);
+    }
+    let complete = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DiskError::Corrupt("bad completeness flag")),
+    };
+    let count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let cost = f64::from_bits(r.u64()?);
+        if cost.is_nan() {
+            return Err(DiskError::Corrupt("NaN cost"));
+        }
+        let fill_len = r.u32()? as usize;
+        let mut fill = Vec::with_capacity(fill_len.min(1 << 16));
+        for _ in 0..fill_len {
+            let u = r.u32()?;
+            let v = r.u32()?;
+            if u >= v {
+                return Err(DiskError::Corrupt("fill edge not normalized"));
+            }
+            fill.push((u, v));
+        }
+        entries.push(CacheEntry { cost, fill });
+    }
+    if r.pos != bytes.len() {
+        return Err(DiskError::Corrupt("trailing bytes"));
+    }
+    Ok(CachedPrefix { entries, complete })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mtr_cache_disk_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_key() -> AtomKey {
+        AtomKey {
+            graph: CanonicalKey::from_words([0xdead_beef, 0xfeed_f00d]),
+            cost_id: "fill-in".into(),
+            width_bound: Some(4),
+        }
+    }
+
+    fn sample_prefix() -> CachedPrefix {
+        CachedPrefix {
+            entries: vec![
+                CacheEntry {
+                    cost: 2.0,
+                    fill: vec![(0, 3), (1, 2)],
+                },
+                CacheEntry {
+                    cost: 3.0,
+                    fill: vec![(0, 2)],
+                },
+                CacheEntry {
+                    cost: 5.0,
+                    fill: vec![],
+                },
+            ],
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmpdir("roundtrip");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let key = sample_key();
+        assert!(backend.load(&key).unwrap().is_none(), "empty dir misses");
+        backend.store(&key, &sample_prefix()).unwrap();
+        let loaded = backend.load(&key).unwrap().expect("stored");
+        assert_eq!(loaded, sample_prefix());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = tmpdir("version");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let key = sample_key();
+        backend.store(&key, &sample_prefix()).unwrap();
+        // Bump the version field in place (bytes 4..8).
+        let path = backend.path_of(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match backend.load(&key) {
+            Err(DiskError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let key = sample_key();
+        backend.store(&key, &sample_prefix()).unwrap();
+        let path = backend.path_of(&key);
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncation.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(backend.load(&key), Err(DiskError::Corrupt(_))));
+        // Bad magic.
+        let mut garbled = bytes.clone();
+        garbled[0] = b'X';
+        std::fs::write(&path, &garbled).unwrap();
+        assert!(matches!(backend.load(&key), Err(DiskError::BadMagic)));
+        // Key echo mismatch (flip a canonical-hash byte).
+        let mut wrong_key = bytes.clone();
+        wrong_key[8] ^= 0xff;
+        std::fs::write(&path, &wrong_key).unwrap();
+        assert!(matches!(backend.load(&key), Err(DiskError::KeyMismatch)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_names_separate_keys() {
+        let dir = tmpdir("names");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let a = sample_key();
+        let b = AtomKey {
+            width_bound: None,
+            ..a.clone()
+        };
+        let c = AtomKey {
+            cost_id: "width".into(),
+            ..a.clone()
+        };
+        let names: Vec<PathBuf> = [&a, &b, &c].iter().map(|k| backend.path_of(k)).collect();
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[0], names[2]);
+        backend.store(&a, &sample_prefix()).unwrap();
+        assert!(backend.load(&b).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cost_names_that_sanitize_identically_get_distinct_files() {
+        // `fill_in`, `fill.in` and `fill-in` all sanitize to `fill-in`;
+        // the raw-name hash in the file name must keep them apart (a
+        // shared file would clobber back and forth and the key-echo check
+        // would turn every load into a miss).
+        let dir = tmpdir("sanitize");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let make = |cost: &str| AtomKey {
+            graph: CanonicalKey::from_words([5, 6]),
+            cost_id: cost.into(),
+            width_bound: None,
+        };
+        let (a, b, c) = (make("fill_in"), make("fill.in"), make("fill-in"));
+        assert_ne!(backend.path_of(&a), backend.path_of(&b));
+        assert_ne!(backend.path_of(&a), backend.path_of(&c));
+        assert_ne!(backend.path_of(&b), backend.path_of(&c));
+        backend.store(&a, &sample_prefix()).unwrap();
+        let mut other = sample_prefix();
+        other.entries.truncate(1);
+        backend.store(&b, &other).unwrap();
+        assert_eq!(backend.load(&a).unwrap().unwrap(), sample_prefix());
+        assert_eq!(backend.load(&b).unwrap().unwrap(), other);
+        assert!(backend.load(&c).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

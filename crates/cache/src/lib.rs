@@ -1,0 +1,34 @@
+//! `mtr-cache`: a content-addressed store of per-atom ranked enumeration
+//! prefixes.
+//!
+//! Atoms of a clique-separator decomposition are content-addressable
+//! subgraphs: keyed by the [`CanonicalKey`](mtr_graph::CanonicalKey) of
+//! their canonical form (plus the cost they are ranked by and the width
+//! bound they were enumerated under), the ranked prefix of an atom's
+//! minimal triangulations is reusable
+//!
+//! * *within* one run — isomorphic atoms of a decomposition share a single
+//!   stream,
+//! * *across* sessions in one process — through a shared
+//!   [`AtomStore`] (`Arc`, or the process-wide [`global_store`]),
+//! * *across* processes — through the optional on-disk backend
+//!   ([`AtomStore::persistent`]), a simple length-prefixed binary format
+//!   with a versioned header.
+//!
+//! The store itself is engine-agnostic: entries are `(cost, fill edges)`
+//! pairs in the *canonical* vertex labeling, plus a completeness flag. The
+//! `mtr-reduce` crate owns the mapping between canonical entries and live
+//! enumeration state; this crate owns lookup, publication, byte-budgeted
+//! LRU eviction, and persistence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod store;
+
+pub use disk::{DiskBackend, DiskError, FORMAT_VERSION};
+pub use store::{global_store, AtomKey, AtomStore, CacheEntry, CacheStats, CachedPrefix};
+
+/// Default byte budget for in-memory stores: 64 MiB.
+pub const DEFAULT_BYTE_BUDGET: usize = 64 << 20;

@@ -1,0 +1,475 @@
+//! The concurrent, byte-budgeted atom store.
+
+use crate::disk::DiskBackend;
+use mtr_graph::{CanonicalKey, Vertex};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The content address of one cached atom enumeration: the canonical form
+/// of the atom graph, the cost it is ranked by, and the width bound it was
+/// enumerated under. Two sessions agree on a key exactly when their
+/// per-atom ranked streams are interchangeable (up to the canonical
+/// relabeling each side records).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AtomKey {
+    /// Canonical form of the atom's graph.
+    pub graph: CanonicalKey,
+    /// Name of the bag cost the stream is ranked by. Shipped costs have
+    /// unique names; parameterized custom costs must use distinct names to
+    /// be cache-safe (see `BagCost::name` in `mtr-core`).
+    pub cost_id: String,
+    /// The width bound of the enumeration (`None` = unbounded). Bounded
+    /// and unbounded streams differ (the bound prunes), so it is part of
+    /// the address.
+    pub width_bound: Option<usize>,
+}
+
+/// One cached result of an atom's ranked stream: its cost and its fill
+/// edges, both in the *canonical* labeling of the atom graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// The cost value (raw `f64`; `mtr-core`'s `CostValue` round-trips
+    /// through it losslessly — infinities never occur in emitted results).
+    pub cost: f64,
+    /// Fill edges `(u, v)` with `u < v`, canonical vertex ids.
+    pub fill: Vec<(Vertex, Vertex)>,
+}
+
+/// A ranked prefix of one atom's stream, as stored.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CachedPrefix {
+    /// The first `entries.len()` results of the ranked stream, in order.
+    pub entries: Vec<CacheEntry>,
+    /// `true` when the stream is exhausted after this prefix: the atom has
+    /// exactly `entries.len()` minimal triangulations (under the key's
+    /// width bound).
+    pub complete: bool,
+}
+
+impl CachedPrefix {
+    /// Approximate heap footprint, used for the byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 40; // Vec header + cost + padding
+        self.entries
+            .iter()
+            .map(|e| ENTRY_OVERHEAD + e.fill.len() * 8)
+            .sum::<usize>()
+            + 64 // slot + key overhead
+    }
+
+    /// `true` when `self` carries strictly more information than `other`:
+    /// a longer prefix, or the same prefix now known to be complete.
+    fn improves_on(&self, other: &CachedPrefix) -> bool {
+        self.entries.len() > other.entries.len() || (self.complete && !other.complete)
+    }
+}
+
+/// Counters and sizes of one [`AtomStore`], snapshot via
+/// [`AtomStore::stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Keys currently resident in memory.
+    pub entries: usize,
+    /// Approximate bytes resident in memory.
+    pub bytes: usize,
+    /// Lookups that found a prefix (memory or disk).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Prefixes published (stored or extended).
+    pub publishes: u64,
+    /// Keys evicted to honor the byte budget.
+    pub evictions: u64,
+    /// Hits served by reading the disk backend.
+    pub disk_loads: u64,
+}
+
+struct Slot {
+    prefix: CachedPrefix,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<AtomKey, Slot>,
+    total_bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    publishes: u64,
+    evictions: u64,
+    disk_loads: u64,
+}
+
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts least-recently-used slots until `total_bytes <= budget`.
+    /// O(n) per eviction — fine for the entry counts a byte budget admits.
+    fn evict_to(&mut self, budget: usize) {
+        while self.total_bytes > budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            if let Some(slot) = self.map.remove(&victim) {
+                self.total_bytes -= slot.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// A concurrent map from [`AtomKey`] to the ranked prefix of that atom's
+/// minimal-triangulation stream. In-memory LRU with a byte budget by
+/// default; optionally backed by an on-disk directory
+/// ([`AtomStore::persistent`]) for cross-process reuse. Share across
+/// sessions via `Arc` (every constructor returns one).
+pub struct AtomStore {
+    inner: Mutex<Inner>,
+    disk: Option<DiskBackend>,
+    byte_budget: AtomicUsize,
+}
+
+impl std::fmt::Debug for AtomStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("AtomStore")
+            .field("byte_budget", &self.byte_budget())
+            .field("persistent", &self.disk.is_some())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl AtomStore {
+    /// A purely in-memory store holding at most ~`byte_budget` bytes of
+    /// cached prefixes (least-recently-used keys evicted beyond that).
+    pub fn in_memory(byte_budget: usize) -> Arc<AtomStore> {
+        Arc::new(AtomStore {
+            inner: Mutex::new(Inner::default()),
+            disk: None,
+            byte_budget: AtomicUsize::new(byte_budget),
+        })
+    }
+
+    /// A store that additionally persists every published prefix into
+    /// `dir` (created if missing) and falls back to it on memory misses —
+    /// the cross-process warm path. The byte budget governs the in-memory
+    /// layer only; the directory grows with the published set.
+    pub fn persistent(
+        dir: impl AsRef<Path>,
+        byte_budget: usize,
+    ) -> std::io::Result<Arc<AtomStore>> {
+        let disk = DiskBackend::open(dir)?;
+        Ok(Arc::new(AtomStore {
+            inner: Mutex::new(Inner::default()),
+            disk: Some(disk),
+            byte_budget: AtomicUsize::new(byte_budget),
+        }))
+    }
+
+    /// The configured in-memory byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget.load(Ordering::Relaxed)
+    }
+
+    /// Raises the in-memory byte budget to `at_least` if it is currently
+    /// lower (it never shrinks). Sessions sharing one store — notably the
+    /// process-wide [`global_store`] — may ask for different budgets; the
+    /// store honors the largest request seen.
+    pub fn raise_byte_budget(&self, at_least: usize) {
+        self.byte_budget.fetch_max(at_least, Ordering::Relaxed);
+    }
+
+    /// Looks up the cached prefix for `key`, consulting the disk backend
+    /// on a memory miss. Marks the key recently used.
+    pub fn lookup(&self, key: &AtomKey) -> Option<CachedPrefix> {
+        {
+            let mut inner = self.inner.lock().expect("atom store poisoned");
+            let tick = inner.touch();
+            if let Some(slot) = inner.map.get_mut(key) {
+                slot.last_used = tick;
+                let prefix = slot.prefix.clone();
+                inner.hits += 1;
+                return Some(prefix);
+            }
+        }
+        // Memory miss: try disk outside the lock (corrupt or
+        // version-mismatched files read as misses — never as data).
+        let from_disk = self.disk.as_ref().and_then(|d| d.load(key).ok().flatten());
+        let mut inner = self.inner.lock().expect("atom store poisoned");
+        let tick = inner.touch();
+        // The lock was released for the disk read, so another thread may
+        // have inserted (or published a better prefix for) this key
+        // meanwhile: never double-count its bytes, and only replace it if
+        // the disk copy genuinely carries more information.
+        if let Some(slot) = inner.map.get_mut(key) {
+            slot.last_used = tick;
+            let resident = slot.prefix.clone();
+            inner.hits += 1;
+            return Some(resident);
+        }
+        match from_disk {
+            Some(prefix) => {
+                inner.hits += 1;
+                inner.disk_loads += 1;
+                let bytes = prefix.approx_bytes();
+                inner.total_bytes += bytes;
+                inner.map.insert(
+                    key.clone(),
+                    Slot {
+                        prefix: prefix.clone(),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                inner.evict_to(self.byte_budget());
+                Some(prefix)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes a computed prefix for `key`. A prefix only replaces an
+    /// existing one when it carries more information (longer, or newly
+    /// complete); publishing is idempotent otherwise. Returns `true` when
+    /// the store was updated.
+    ///
+    /// With a disk backend, the comparison consults the *disk* copy too:
+    /// a deep prefix that was LRU-evicted from memory must never be
+    /// clobbered on disk by a later shallow session — instead the better
+    /// disk copy is re-adopted into memory.
+    pub fn publish(&self, key: &AtomKey, prefix: CachedPrefix) -> bool {
+        let disk_existing = self.disk.as_ref().and_then(|d| d.load(key).ok().flatten());
+        let write_disk = match &disk_existing {
+            Some(on_disk) => prefix.improves_on(on_disk),
+            None => self.disk.is_some(),
+        };
+        // The best information available: the incoming prefix, unless the
+        // disk already holds strictly more.
+        let candidate = match disk_existing {
+            Some(on_disk) if !write_disk => on_disk,
+            _ => prefix,
+        };
+        let updated = {
+            let mut inner = self.inner.lock().expect("atom store poisoned");
+            let tick = inner.touch();
+            let existing = inner.map.get(key);
+            let improves = match existing {
+                Some(slot) => candidate.improves_on(&slot.prefix),
+                None => true,
+            };
+            if improves {
+                let bytes = candidate.approx_bytes();
+                let old_bytes = inner.map.get(key).map_or(0, |s| s.bytes);
+                inner.total_bytes = inner.total_bytes - old_bytes + bytes;
+                inner.map.insert(
+                    key.clone(),
+                    Slot {
+                        prefix: candidate.clone(),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                inner.publishes += 1;
+                inner.evict_to(self.byte_budget());
+            }
+            improves
+        };
+        if write_disk {
+            if let Some(disk) = &self.disk {
+                // Best-effort persistence: an unwritable directory degrades
+                // to in-memory behavior instead of failing the session.
+                let _ = disk.store(key, &candidate);
+            }
+        }
+        updated || write_disk
+    }
+
+    /// Snapshot of the store's counters and sizes.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("atom store poisoned");
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.total_bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            publishes: inner.publishes,
+            evictions: inner.evictions,
+            disk_loads: inner.disk_loads,
+        }
+    }
+}
+
+/// The process-wide shared store used by sessions configured with an
+/// in-memory cache policy: every session in the process publishes into and
+/// reads from the same store, so repeated sessions on overlapping or
+/// evolving graphs reuse each other's per-atom work without any explicit
+/// wiring. The store's budget is the *largest* any caller has requested so
+/// far (it grows, never shrinks — see [`AtomStore::raise_byte_budget`]).
+pub fn global_store(byte_budget: usize) -> Arc<AtomStore> {
+    static GLOBAL: OnceLock<Arc<AtomStore>> = OnceLock::new();
+    let store = GLOBAL
+        .get_or_init(|| AtomStore::in_memory(byte_budget))
+        .clone();
+    store.raise_byte_budget(byte_budget);
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u64) -> AtomKey {
+        AtomKey {
+            graph: CanonicalKey::from_words([tag, !tag]),
+            cost_id: "width".into(),
+            width_bound: None,
+        }
+    }
+
+    fn prefix(results: usize, complete: bool) -> CachedPrefix {
+        CachedPrefix {
+            entries: (0..results)
+                .map(|i| CacheEntry {
+                    cost: i as f64,
+                    fill: vec![(0, i as u32 + 1)],
+                })
+                .collect(),
+            complete,
+        }
+    }
+
+    #[test]
+    fn lookup_miss_then_publish_then_hit() {
+        let store = AtomStore::in_memory(1 << 20);
+        assert!(store.lookup(&key(1)).is_none());
+        assert!(store.publish(&key(1), prefix(3, false)));
+        let got = store.lookup(&key(1)).expect("published");
+        assert_eq!(got.entries.len(), 3);
+        assert!(!got.complete);
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn publish_only_improves() {
+        let store = AtomStore::in_memory(1 << 20);
+        assert!(store.publish(&key(2), prefix(5, false)));
+        // Shorter prefix: ignored.
+        assert!(!store.publish(&key(2), prefix(2, false)));
+        assert_eq!(store.lookup(&key(2)).unwrap().entries.len(), 5);
+        // Same length, now complete: improves.
+        assert!(store.publish(&key(2), prefix(5, true)));
+        assert!(store.lookup(&key(2)).unwrap().complete);
+        // Re-publishing identical data: no-op.
+        assert!(!store.publish(&key(2), prefix(5, true)));
+    }
+
+    #[test]
+    fn keys_distinguish_cost_and_bound() {
+        let store = AtomStore::in_memory(1 << 20);
+        let a = AtomKey {
+            graph: CanonicalKey::from_words([7, 7]),
+            cost_id: "width".into(),
+            width_bound: None,
+        };
+        let b = AtomKey {
+            cost_id: "fill-in".into(),
+            ..a.clone()
+        };
+        let c = AtomKey {
+            width_bound: Some(3),
+            ..a.clone()
+        };
+        store.publish(&a, prefix(1, true));
+        assert!(store.lookup(&b).is_none());
+        assert!(store.lookup(&c).is_none());
+        assert!(store.lookup(&a).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_honors_byte_budget() {
+        // Budget fits roughly two prefixes; inserting three evicts the
+        // least recently used.
+        let one = prefix(4, false).approx_bytes();
+        let store = AtomStore::in_memory(2 * one + one / 2);
+        store.publish(&key(1), prefix(4, false));
+        store.publish(&key(2), prefix(4, false));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(store.lookup(&key(1)).is_some());
+        store.publish(&key(3), prefix(4, false));
+        let stats = store.stats();
+        assert!(stats.evictions >= 1, "budget must trigger eviction");
+        assert!(stats.bytes <= store.byte_budget());
+        assert!(store.lookup(&key(1)).is_some(), "recently used survives");
+        assert!(store.lookup(&key(3)).is_some(), "newest survives");
+        assert!(store.lookup(&key(2)).is_none(), "LRU victim evicted");
+    }
+
+    #[test]
+    fn shallow_publish_never_clobbers_deeper_disk_prefix() {
+        // Zero memory budget: everything published is immediately evicted
+        // from the memory layer, so the disk file is the only copy. A
+        // later shallow publish must not overwrite the deep one — and must
+        // re-adopt it instead.
+        let dir = std::env::temp_dir().join(format!("mtr_store_clobber_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = AtomStore::persistent(&dir, 0).unwrap();
+        store.publish(&key(9), prefix(20, false));
+        assert_eq!(store.stats().entries, 0, "budget 0 evicts immediately");
+        store.publish(&key(9), prefix(2, false));
+        let got = store.lookup(&key(9)).expect("deep prefix survives");
+        assert_eq!(got.entries.len(), 20, "shallow publish must not clobber");
+        // A genuinely deeper publish still goes through.
+        store.publish(&key(9), prefix(25, true));
+        assert_eq!(store.lookup(&key(9)).unwrap().entries.len(), 25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_publish_and_lookup() {
+        let store = AtomStore::in_memory(1 << 20);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let k = key(t * 1000 + i % 10);
+                        store.publish(&k, prefix((i % 5) as usize + 1, false));
+                        let _ = store.lookup(&k);
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert!(stats.entries <= 40);
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn global_store_is_shared_and_budget_grows_to_max() {
+        let a = global_store(1 << 20);
+        let b = global_store(123);
+        assert!(Arc::ptr_eq(&a, &b), "one store per process");
+        assert_eq!(b.byte_budget(), 1 << 20, "budget never shrinks");
+        let c = global_store(1 << 21);
+        assert_eq!(c.byte_budget(), 1 << 21, "largest request wins");
+    }
+}

@@ -35,7 +35,7 @@ pub mod treedec;
 pub mod verify;
 
 pub use cliques::{maximal_cliques_bruteforce, maximal_cliques_chordal};
-pub use cliquetree::{clique_tree, clique_tree_from_cliques};
+pub use cliquetree::{clique_tree, clique_tree_from_cliques, minimal_separators_from_cliques};
 pub use elimination::{
     degeneracy, elimination_game, min_degree_ordering, min_fill_ordering, mmd_plus_lower_bound,
     treewidth_upper_bound, EliminationResult,

@@ -73,6 +73,6 @@ pub use ranked::{
     RankedTriangulation,
 };
 pub use session::{
-    drive_engine, DecompositionRun, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
-    SessionConfig, SessionEngine, SessionReport, StopReason,
+    drive_engine, CachePolicy, DecompositionRun, Enumerate, EnumerationError, EnumerationRun,
+    EnumerationStats, SessionConfig, SessionEngine, SessionReport, StopReason,
 };

@@ -52,7 +52,51 @@ use mtr_pmc::enumerate::{
     potential_maximal_cliques_bounded_with_deadline, potential_maximal_cliques_with_deadline,
 };
 use std::ops::ControlFlow;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cache policy
+// ---------------------------------------------------------------------------
+
+/// Where (and whether) a reduction-enabled session caches per-atom ranked
+/// prefixes — see [`Enumerate::cache`].
+///
+/// The policy is plain configuration: the store it selects lives in the
+/// `mtr-cache` crate and is wired up by the reduction layer (`mtr-reduce`).
+/// Sessions that run the direct engine (reduction off, non-factorizing
+/// cost, single atom, `Preprocessed` source) carry the policy but have no
+/// atoms to cache, so it is inert there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No caching, no canonicalization: per-atom streams are built from
+    /// scratch exactly as before. The default.
+    #[default]
+    Off,
+    /// Cache atom prefixes in the process-wide in-memory store (byte
+    /// budget in bytes, LRU beyond it). Enables intra-run dedup of
+    /// isomorphic atoms and cross-session reuse within the process. The
+    /// store is shared by every in-memory session of the process, and its
+    /// budget is the largest any session has requested (it grows, never
+    /// shrinks).
+    InMemory(usize),
+    /// Like [`CachePolicy::InMemory`], additionally persisting published
+    /// prefixes into the directory (versioned binary files) and falling
+    /// back to it on memory misses — cross-process/cross-run reuse.
+    Dir(PathBuf),
+}
+
+impl CachePolicy {
+    /// The in-memory policy with the default byte budget (64 MiB).
+    pub fn in_memory() -> Self {
+        CachePolicy::InMemory(64 << 20)
+    }
+
+    /// `true` unless the policy is [`CachePolicy::Off`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, CachePolicy::Off)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Typed errors
@@ -214,6 +258,19 @@ pub struct EnumerationStats {
     /// Pool tasks a worker stole from a sibling's deque — nonzero steals
     /// mean the work-stealing actually balanced an uneven batch.
     pub steals: usize,
+    /// Atom groups whose ranked prefix was served from the atom cache
+    /// (memory or disk). Zero when caching is off or the factorized engine
+    /// did not run.
+    pub atom_cache_hits: usize,
+    /// Atom groups looked up in the atom cache and not found (they
+    /// computed cold and published their prefix on completion).
+    pub atom_cache_misses: usize,
+    /// Atoms that shared another isomorphic atom's stream within this run
+    /// (intra-run dedup): `atoms - atoms_deduped` streams actually ran.
+    pub atoms_deduped: usize,
+    /// Approximate bytes resident in the atom cache when the session
+    /// finished (the store is shared, so this is a store-wide figure).
+    pub cache_bytes: usize,
 }
 
 impl EnumerationStats {
@@ -326,6 +383,8 @@ pub struct SessionConfig<'a, K: BagCost + Sync + ?Sized = Width> {
     pub deadline: Option<Duration>,
     /// Exploration budget from [`Enumerate::node_budget`].
     pub node_budget: Option<usize>,
+    /// Atom cache policy from [`Enumerate::cache`].
+    pub cache: CachePolicy,
 }
 
 impl<'a, K: BagCost + Sync + ?Sized> SessionConfig<'a, K> {
@@ -358,6 +417,7 @@ pub struct Enumerate<'a, K: BagCost + Sync + ?Sized = Width> {
     max_results: Option<usize>,
     deadline: Option<Duration>,
     node_budget: Option<usize>,
+    cache: CachePolicy,
 }
 
 impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
@@ -371,6 +431,7 @@ impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
             .field("max_results", &self.max_results)
             .field("deadline", &self.deadline)
             .field("node_budget", &self.node_budget)
+            .field("cache", &self.cache)
             .finish_non_exhaustive()
     }
 }
@@ -401,6 +462,7 @@ impl<'a> Enumerate<'a, Width> {
             max_results: None,
             deadline: None,
             node_budget: None,
+            cache: CachePolicy::Off,
         }
     }
 }
@@ -419,6 +481,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             max_results: self.max_results,
             deadline: self.deadline,
             node_budget: self.node_budget,
+            cache: self.cache,
         }
     }
 
@@ -437,6 +500,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             max_results: self.max_results,
             deadline: self.deadline,
             node_budget: self.node_budget,
+            cache: self.cache,
         })
     }
 
@@ -507,6 +571,24 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         self
     }
 
+    /// Atom cache policy for reduction-enabled sessions (chain
+    /// `.reduce(..)` from `mtr-reduce` to activate the factorized engine):
+    /// per-atom ranked prefixes are keyed by the canonical form of the
+    /// atom graph, so isomorphic atoms share one stream within a run and
+    /// repeated sessions on overlapping or evolving graphs reuse each
+    /// other's work. The default is [`CachePolicy::Off`] (no
+    /// canonicalization, identical behavior to previous releases).
+    ///
+    /// [`EnumerationStats::atom_cache_hits`],
+    /// [`EnumerationStats::atom_cache_misses`],
+    /// [`EnumerationStats::atoms_deduped`] and
+    /// [`EnumerationStats::cache_bytes`] report what the cache did. On
+    /// sessions that end up running the direct engine the policy is inert.
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
     /// Deconstructs the builder into its [`SessionConfig`] — the hook for
     /// alternative engines (see the `SessionConfig` docs). Most callers
     /// never need this; they call [`Enumerate::run`] directly.
@@ -521,6 +603,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             max_results: self.max_results,
             deadline: self.deadline,
             node_budget: self.node_budget,
+            cache: self.cache,
         }
     }
 
@@ -538,6 +621,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             max_results: config.max_results,
             deadline: config.deadline,
             node_budget: config.node_budget,
+            cache: config.cache,
         }
     }
 
@@ -620,6 +704,8 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             max_results,
             deadline,
             node_budget,
+            // Inert on the direct engine: there are no atoms to cache.
+            cache: _,
         } = self;
 
         if let Some((_, threshold)) = diversity {

@@ -1,0 +1,642 @@
+//! Canonical labeling of small-to-medium graphs ("nauty-lite").
+//!
+//! Atoms of a clique-separator decomposition are content-addressable: two
+//! isomorphic atoms have the same set of minimal triangulations up to a
+//! vertex relabeling, so a *canonical form* — a relabeling that depends
+//! only on the isomorphism class — is exactly the right cache key for
+//! per-atom enumeration state (cf. Sulanke & Lutz's isomorphism-free
+//! enumeration, which keys its generation on lexicographically minimal
+//! canonical representatives).
+//!
+//! The algorithm is the classic individualization–refinement scheme:
+//!
+//! 1. **refinement** — vertices are partitioned by degree and the
+//!    partition is refined by the multiset of neighbor colors until it
+//!    stabilizes (1-dimensional Weisfeiler–Leman); every step is
+//!    label-free, so the stabilized partition is an isomorphism invariant;
+//! 2. **individualization** — if some color class holds several vertices,
+//!    the search branches: each vertex of the first smallest class is made
+//!    unique in turn and refinement continues. Leaves of this search are
+//!    discrete partitions, i.e. candidate vertex orders;
+//! 3. **certificate selection** — each leaf yields the adjacency bitstring
+//!    of the relabeled graph; the lexicographically smallest bitstring
+//!    seen is the canonical certificate. Whenever two leaves produce the
+//!    same certificate, the permutation relating them is an automorphism,
+//!    recorded as a generator; at each search node, cell vertices
+//!    equivalent under the subgroup *fixing the individualized prefix
+//!    pointwise* (the stabilizer — whole-group orbits would be unsound
+//!    below the root) lead to identical subtrees, so only one per orbit
+//!    is explored. This keeps highly symmetric graphs — cliques, cycles,
+//!    grids — far away from the factorial worst case.
+//!
+//! The search is budgeted (`LEAF_BUDGET`): on pathological inputs it
+//! stops early and returns the best certificate found so far. That form is
+//! then *deterministic for a given labeled graph* but no longer guaranteed
+//! to be invariant across relabelings — safe for caching (the certificate
+//! always describes an isomorphic copy of the graph, so a collision of
+//! keys still implies isomorphism up to hash collisions; a missed match
+//! merely costs a cache miss), just not maximally sharing. Complete and
+//! edgeless graphs short-circuit to the identity order.
+
+use crate::graph::Graph;
+use crate::vertexset::Vertex;
+use std::fmt;
+
+/// Upper bound on explored leaves of the individualization–refinement
+/// search. Orbit pruning keeps ordinary graphs orders of magnitude below
+/// this; the budget only exists so adversarial strongly-regular-style
+/// inputs degrade to a best-effort (still deterministic) form instead of
+/// an exponential stall.
+const LEAF_BUDGET: usize = 4096;
+
+/// A content address for a graph's isomorphism class: a stable 128-bit
+/// hash of the canonical certificate (vertex count, edge count, and the
+/// adjacency bitstring of the canonically relabeled graph).
+///
+/// The hash is computed with a fixed FNV-1a variant, so keys are stable
+/// across processes, platforms, and compiler versions — they can be
+/// persisted (the on-disk atom cache of `mtr-cache` does).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey {
+    hash: [u64; 2],
+}
+
+impl CanonicalKey {
+    /// The raw 128 bits, high word first.
+    pub fn to_words(self) -> [u64; 2] {
+        self.hash
+    }
+
+    /// Rebuilds a key from its raw words (the on-disk cache format).
+    pub fn from_words(words: [u64; 2]) -> Self {
+        CanonicalKey { hash: words }
+    }
+
+    /// The key as 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hash[0], self.hash[1])
+    }
+}
+
+impl fmt::Debug for CanonicalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CanonicalKey({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for CanonicalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// The result of canonicalizing a graph: the content key plus the vertex
+/// relabeling that realizes it.
+#[derive(Clone, Debug)]
+pub struct CanonicalForm {
+    /// The 128-bit content address of the isomorphism class.
+    pub key: CanonicalKey,
+    /// `order[canonical] = original`: position `i` of the canonical graph
+    /// is original vertex `order[i]`.
+    pub order: Vec<Vertex>,
+}
+
+impl CanonicalForm {
+    /// `inverse[original] = canonical` — the other direction of
+    /// [`CanonicalForm::order`].
+    pub fn inverse(&self) -> Vec<Vertex> {
+        let mut inv = vec![0 as Vertex; self.order.len()];
+        for (canonical, &original) in self.order.iter().enumerate() {
+            inv[original as usize] = canonical as Vertex;
+        }
+        inv
+    }
+}
+
+impl Graph {
+    /// Returns a copy of the graph relabeled by `order` (`order[new] =
+    /// old`): new vertices `u, v` are adjacent iff `order[u], order[v]`
+    /// are adjacent here.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn relabeled(&self, order: &[Vertex]) -> Graph {
+        assert_eq!(order.len(), self.n() as usize, "order must cover 0..n");
+        let mut inv = vec![u32::MAX; self.n() as usize];
+        for (new, &old) in order.iter().enumerate() {
+            assert!(inv[old as usize] == u32::MAX, "order must be a permutation");
+            inv[old as usize] = new as u32;
+        }
+        let mut g = Graph::new(self.n());
+        for (u, v) in self.edges() {
+            g.add_edge(inv[u as usize], inv[v as usize]);
+        }
+        g
+    }
+
+    /// Computes the canonical form of the graph: a vertex order depending
+    /// (for all practical inputs — see the [module docs](self) on the leaf
+    /// budget) only on the isomorphism class, plus the stable 128-bit
+    /// [`CanonicalKey`] of the relabeled adjacency structure.
+    ///
+    /// Intended for small-to-medium graphs (decomposition atoms); the
+    /// refinement is `O(n²)` per round and the backtracking search is
+    /// pruned by discovered automorphism orbits.
+    pub fn canonical_form(&self) -> CanonicalForm {
+        let n = self.n() as usize;
+        if n == 0 {
+            return CanonicalForm {
+                key: certificate_key(0, 0, &[]),
+                order: Vec::new(),
+            };
+        }
+        // Complete and edgeless graphs: every order yields the same
+        // certificate, so the identity is canonical — and the search below
+        // would waste its budget discovering the full symmetric group.
+        let complete = self.m() == n * (n - 1) / 2;
+        if complete || self.m() == 0 {
+            let order: Vec<Vertex> = (0..self.n()).collect();
+            let cert = certificate(self, &order);
+            return CanonicalForm {
+                key: certificate_key(self.n(), self.m(), &cert),
+                order,
+            };
+        }
+
+        let mut search = Search {
+            graph: self,
+            n,
+            best_cert: None,
+            best_order: Vec::new(),
+            generators: Vec::new(),
+            leaves: 0,
+        };
+        let initial = refine(self, initial_coloring(self));
+        search.explore(initial, &mut Vec::new());
+        let order = search.best_order;
+        let cert = search.best_cert.expect("n > 0 produces at least one leaf");
+        CanonicalForm {
+            key: certificate_key(self.n(), self.m(), &cert),
+            order,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Refinement
+// ---------------------------------------------------------------------------
+
+/// Initial coloring: vertices ranked by degree.
+fn initial_coloring(g: &Graph) -> Vec<u32> {
+    let mut degrees: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    degrees.dedup();
+    (0..g.n())
+        .map(|v| {
+            degrees
+                .binary_search(&g.degree(v))
+                .expect("own degree is present") as u32
+        })
+        .collect()
+}
+
+/// One-dimensional Weisfeiler–Leman refinement to a fixpoint: each round
+/// re-colors every vertex by `(old color, sorted multiset of neighbor
+/// colors)` and re-ranks. All signatures are label-free, so isomorphic
+/// graphs refine to corresponding colorings.
+fn refine(g: &Graph, mut colors: Vec<u32>) -> Vec<u32> {
+    let n = g.n() as usize;
+    loop {
+        let mut signatures: Vec<(u32, Vec<u32>)> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut nbr: Vec<u32> = g
+                .neighbors(v as Vertex)
+                .iter()
+                .map(|w| colors[w as usize])
+                .collect();
+            nbr.sort_unstable();
+            signatures.push((colors[v], nbr));
+        }
+        let mut ranked: Vec<&(u32, Vec<u32>)> = signatures.iter().collect();
+        ranked.sort_unstable();
+        ranked.dedup();
+        let next: Vec<u32> = signatures
+            .iter()
+            .map(|s| ranked.binary_search(&s).expect("own signature") as u32)
+            .collect();
+        let classes_before = count_classes(&colors);
+        let classes_after = count_classes(&next);
+        colors = next;
+        if classes_after == classes_before {
+            return colors;
+        }
+    }
+}
+
+fn count_classes(colors: &[u32]) -> usize {
+    let mut seen: Vec<u32> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Individualizes `v` inside its color class (making it compare strictly
+/// smaller than its former classmates) and re-ranks.
+fn individualize(colors: &[u32], v: usize) -> Vec<u32> {
+    // (color, 1) for everyone except (color, 0) for v, then re-ranked:
+    // doubling leaves room for the split without collisions.
+    colors
+        .iter()
+        .enumerate()
+        .map(|(u, &c)| 2 * c + u32::from(u != v))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Certificates
+// ---------------------------------------------------------------------------
+
+/// The adjacency bitstring of `g` relabeled by `order` (`order[new] =
+/// old`), upper triangle in row-major order, packed into words.
+fn certificate(g: &Graph, order: &[Vertex]) -> Vec<u64> {
+    let n = order.len();
+    let bits = n * n.saturating_sub(1) / 2;
+    let mut words = vec![0u64; bits.div_ceil(64)];
+    let mut idx = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if g.has_edge(order[i], order[j]) {
+                words[idx / 64] |= 1u64 << (idx % 64);
+            }
+            idx += 1;
+        }
+    }
+    words
+}
+
+/// Stable 128-bit FNV-1a-style hash over `(n, m, certificate)`.
+fn certificate_key(n: u32, m: usize, cert: &[u64]) -> CanonicalKey {
+    const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+    const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let feed = |mut h: u64, word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    };
+    let mut a = OFFSET_A;
+    let mut b = OFFSET_B ^ 0x9e37_79b9_7f4a_7c15;
+    a = feed(a, u64::from(n));
+    b = feed(b, u64::from(n).rotate_left(17));
+    a = feed(a, m as u64);
+    b = feed(b, (m as u64).rotate_left(31));
+    for &w in cert {
+        a = feed(a, w);
+        b = feed(b, w.rotate_left(13));
+    }
+    CanonicalKey { hash: [a, b] }
+}
+
+// ---------------------------------------------------------------------------
+// The individualization–refinement search
+// ---------------------------------------------------------------------------
+
+/// Union–find over vertices, tracking the automorphism orbits discovered
+/// so far.
+struct DisjointSets {
+    parent: Vec<usize>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+struct Search<'g> {
+    graph: &'g Graph,
+    n: usize,
+    best_cert: Option<Vec<u64>>,
+    /// `best_order[canonical] = original` for the best certificate so far.
+    best_order: Vec<Vertex>,
+    /// Automorphism generators discovered so far (`g[v] = image of v`),
+    /// each derived from a pair of leaves with equal certificates.
+    generators: Vec<Vec<Vertex>>,
+    leaves: usize,
+}
+
+impl Search<'_> {
+    /// First color class with more than one vertex, smallest class first
+    /// (ties broken by color rank) — an isomorphism-invariant choice.
+    fn target_cell(&self, colors: &[u32]) -> Option<Vec<usize>> {
+        let mut by_color: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (v, &c) in colors.iter().enumerate() {
+            match by_color.binary_search_by_key(&c, |e| e.0) {
+                Ok(i) => by_color[i].1.push(v),
+                Err(i) => by_color.insert(i, (c, vec![v])),
+            }
+        }
+        by_color
+            .into_iter()
+            .filter(|(_, cell)| cell.len() > 1)
+            .min_by_key(|(c, cell)| (cell.len(), *c))
+            .map(|(_, cell)| cell)
+    }
+
+    /// Orbits of the subgroup generated by the discovered automorphisms
+    /// that fix every vertex of `prefix` pointwise. Pruning below the root
+    /// must use these *stabilizer* orbits, not whole-group orbits: an
+    /// automorphism that moves an already-individualized vertex does not
+    /// map the current subtree onto a sibling, so its orbit merges are not
+    /// evidence of subtree equivalence at this node.
+    fn stabilizer_orbits(&self, prefix: &[Vertex]) -> DisjointSets {
+        let mut orbits = DisjointSets::new(self.n);
+        for g in &self.generators {
+            if prefix.iter().all(|&v| g[v as usize] == v) {
+                for (v, &image) in g.iter().enumerate() {
+                    orbits.union(v, image as usize);
+                }
+            }
+        }
+        orbits
+    }
+
+    fn explore(&mut self, colors: Vec<u32>, prefix: &mut Vec<Vertex>) {
+        if self.leaves >= LEAF_BUDGET {
+            return;
+        }
+        let Some(cell) = self.target_cell(&colors) else {
+            // Discrete partition: a leaf. colors are ranks 0..n.
+            self.leaves += 1;
+            let mut order = vec![0 as Vertex; self.n];
+            for (v, &c) in colors.iter().enumerate() {
+                order[c as usize] = v as Vertex;
+            }
+            let cert = certificate(self.graph, &order);
+            match &self.best_cert {
+                None => {
+                    self.best_cert = Some(cert);
+                    self.best_order = order;
+                }
+                Some(best) => match cert.cmp(best) {
+                    std::cmp::Ordering::Less => {
+                        self.best_cert = Some(cert);
+                        self.best_order = order;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        // Equal certificates: `order ∘ best_order⁻¹` maps
+                        // the graph onto itself — an automorphism. Record
+                        // it as a generator for stabilizer-orbit pruning.
+                        let mut g = vec![0 as Vertex; self.n];
+                        for (&b, &o) in self.best_order.iter().zip(&order) {
+                            g[b as usize] = o;
+                        }
+                        self.generators.push(g);
+                    }
+                    std::cmp::Ordering::Greater => {}
+                },
+            }
+            return;
+        };
+        // Branch over the cell, one representative per stabilizer orbit:
+        // two vertices equivalent under an automorphism fixing the current
+        // prefix produce automorphic subtrees with identical certificate
+        // sets. Orbits are recomputed per candidate so generators found in
+        // earlier sibling branches prune later ones.
+        let mut tried: Vec<Vertex> = Vec::new();
+        for &v in &cell {
+            let mut orbits = self.stabilizer_orbits(prefix);
+            if tried
+                .iter()
+                .any(|&t| orbits.find(t as usize) == orbits.find(v))
+            {
+                continue;
+            }
+            tried.push(v as Vertex);
+            let refined = refine(self.graph, individualize(&colors, v));
+            prefix.push(v as Vertex);
+            self.explore(refined, prefix);
+            prefix.pop();
+            if self.leaves >= LEAF_BUDGET {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example_graph;
+
+    /// A deterministic pseudo-random permutation of `0..n` (no external
+    /// RNG in this crate).
+    fn permutation(n: u32, seed: u64) -> Vec<Vertex> {
+        let mut order: Vec<Vertex> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for i in (1..n as usize).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+
+    fn key_of(g: &Graph) -> CanonicalKey {
+        g.canonical_form().key
+    }
+
+    #[test]
+    fn relabeled_permutes_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let order = vec![3, 2, 1, 0];
+        let h = g.relabeled(&order);
+        assert_eq!(h.m(), 3);
+        assert!(h.has_edge(3, 2)); // old (0,1)
+        assert!(h.has_edge(2, 1)); // old (1,2)
+        assert!(h.has_edge(1, 0)); // old (2,3)
+    }
+
+    #[test]
+    fn canonical_order_realizes_the_key() {
+        // Relabeling a graph by its canonical order and canonicalizing
+        // again is a fixpoint: same key, and the relabeled graph is
+        // isomorphic to the original via `order`.
+        let g = paper_example_graph();
+        let form = g.canonical_form();
+        let canon = g.relabeled(&form.order);
+        assert_eq!(canon.m(), g.m());
+        assert_eq!(key_of(&canon), form.key);
+        // The inverse really inverts.
+        let inv = form.inverse();
+        for v in 0..g.n() {
+            assert_eq!(form.order[inv[v as usize] as usize], v);
+        }
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_a_key() {
+        let graphs = vec![
+            paper_example_graph(),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            Graph::complete(5),
+            Graph::new(4),
+            Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]),
+            crate::graph::Graph::from_edges(
+                8,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (3, 4),
+                    (4, 5),
+                    (5, 3),
+                    (2, 3),
+                    (6, 7),
+                ],
+            ),
+        ];
+        for g in &graphs {
+            let base = key_of(g);
+            for seed in 1..6u64 {
+                let order = permutation(g.n(), seed);
+                let h = g.relabeled(&order);
+                assert_eq!(
+                    key_of(&h),
+                    base,
+                    "relabeling by {order:?} changed the key of {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_graphs_differ() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let cycle = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_ne!(key_of(&path), key_of(&star));
+        assert_ne!(key_of(&path), key_of(&cycle));
+        assert_ne!(key_of(&star), key_of(&cycle));
+        // Same n and m, different structure: triangle+isolated vs path.
+        let tri = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+        assert_ne!(key_of(&tri), key_of(&path));
+    }
+
+    #[test]
+    fn symmetric_graphs_stay_within_budget() {
+        // Cliques, cycles, bipartite complete graphs: factorial-sized
+        // automorphism groups that orbit pruning must collapse.
+        let k12 = Graph::complete(12);
+        let _ = k12.canonical_form();
+        let c20 = Graph::from_edges(20, &(0..20).map(|i| (i, (i + 1) % 20)).collect::<Vec<_>>());
+        let _ = c20.canonical_form();
+        let mut k55 = Graph::new(10);
+        for u in 0..5 {
+            for v in 5..10 {
+                k55.add_edge(u, v);
+            }
+        }
+        let form = k55.canonical_form();
+        for seed in 1..4u64 {
+            let h = k55.relabeled(&permutation(10, seed));
+            assert_eq!(key_of(&h), form.key);
+        }
+    }
+
+    #[test]
+    fn strongly_regular_graphs_stay_invariant() {
+        // Petersen (strongly regular, vertex- and edge-transitive) and the
+        // 3-cube: the cases where pruning on whole-group orbits instead of
+        // prefix-stabilizer orbits could miss the minimal leaf in one
+        // labeling but not another.
+        let petersen = Graph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9),
+            ],
+        );
+        let q3 = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+            ],
+        );
+        for g in [&petersen, &q3] {
+            let base = key_of(g);
+            for seed in 1..12u64 {
+                let h = g.relabeled(&permutation(g.n(), seed));
+                assert_eq!(key_of(&h), base);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        assert_eq!(key_of(&Graph::new(0)), key_of(&Graph::new(0)));
+        assert_ne!(key_of(&Graph::new(0)), key_of(&Graph::new(1)));
+        assert_ne!(key_of(&Graph::new(2)), key_of(&Graph::complete(2)));
+        let one = Graph::new(1);
+        let form = one.canonical_form();
+        assert_eq!(form.order, vec![0]);
+    }
+
+    #[test]
+    fn keys_are_stable_across_calls_and_hex_renders() {
+        let g = paper_example_graph();
+        let a = key_of(&g);
+        let b = key_of(&g);
+        assert_eq!(a, b);
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(CanonicalKey::from_words(a.to_words()), a);
+    }
+}

@@ -12,6 +12,10 @@
 //!   extraction and exact bag edge covers for hypertree-width-style costs.
 //! * [`io`] — parsers and writers for PACE `.gr`, DIMACS `.col` and plain
 //!   edge-list files.
+//! * [`canonical`] — canonical labeling for small-to-medium graphs
+//!   (individualization–refinement with orbit pruning), producing the
+//!   stable 128-bit [`CanonicalKey`] content addresses the atom cache of
+//!   `mtr-cache` is keyed by.
 //!
 //! The crate is dependency-free and deliberately small; all triangulation
 //! logic lives in the crates layered on top of it.
@@ -19,11 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod graph;
 pub mod hypergraph;
 pub mod io;
 pub mod vertexset;
 
+pub use canonical::{CanonicalForm, CanonicalKey};
 pub use graph::Graph;
 pub use hypergraph::Hypergraph;
 pub use vertexset::{Vertex, VertexSet};

@@ -35,6 +35,7 @@
 
 pub mod decompose;
 mod merge;
+mod plan;
 pub mod session;
 
 pub use decompose::{decompose, Atom, Decomposition, ReductionLevel};
@@ -275,6 +276,71 @@ mod tests {
             .run()
             .unwrap_err();
         assert_eq!(err, EnumerationError::InvalidDiversityThreshold(2.0));
+    }
+
+    #[test]
+    fn cached_sessions_match_uncached_and_report_cache_stats() {
+        let g = glued();
+        let store = mtr_cache::AtomStore::in_memory(1 << 20);
+        let plain = Enumerate::on(&g)
+            .cost(&FillIn)
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        assert_eq!(plain.stats.atom_cache_hits, 0);
+        assert_eq!(plain.stats.atom_cache_misses, 0);
+        assert_eq!(plain.stats.atoms_deduped, 0);
+        let cold = Enumerate::on(&g)
+            .cost(&FillIn)
+            .reduce(ReductionLevel::Full)
+            .store(store.clone())
+            .run()
+            .unwrap();
+        // The two C4 atoms are isomorphic: one keyed group, looked up once.
+        assert_eq!(cold.stats.atom_cache_hits, 0);
+        assert_eq!(cold.stats.atom_cache_misses, 1);
+        // The two C4 atoms share one stream; the {2,7} edge atom is its
+        // own (chordal, unkeyed) group.
+        assert_eq!(cold.stats.atoms_deduped, 1);
+        assert!(cold.stats.cache_bytes > 0, "cold run published its prefix");
+        let warm = Enumerate::on(&g)
+            .cost(&FillIn)
+            .reduce(ReductionLevel::Full)
+            .store(store)
+            .run()
+            .unwrap();
+        assert_eq!(warm.stats.atom_cache_hits, 1);
+        assert_eq!(warm.stats.atom_cache_misses, 0);
+        // All three runs agree on the ranked stream (costs exactly; fills
+        // as sets — canonical relabeling may reorder equal-cost ties).
+        assert_eq!(costs(&plain), costs(&cold));
+        assert_eq!(costs(&cold), costs(&warm));
+        assert_eq!(fill_sets(&g, &plain), fill_sets(&g, &cold));
+        assert_eq!(fill_sets(&g, &cold), fill_sets(&g, &warm));
+    }
+
+    #[test]
+    fn cache_policy_in_memory_uses_the_process_store() {
+        use mtr_core::CachePolicy;
+        let g = glued();
+        let first = Enumerate::on(&g)
+            .cost(&Width)
+            .cache(CachePolicy::in_memory())
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        let second = Enumerate::on(&g)
+            .cost(&Width)
+            .reduce(ReductionLevel::Full)
+            .cache(CachePolicy::in_memory())
+            .run()
+            .unwrap();
+        assert_eq!(costs(&first), costs(&second));
+        assert_eq!(
+            second.stats.atom_cache_hits, 1,
+            "second session hits the process-wide store"
+        );
+        assert_eq!(fill_sets(&g, &first), fill_sets(&g, &second));
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The factorized ranked enumerator: one lazy ranked stream per atom,
-//! merged into a single globally ranked stream over the product space.
+//! The factorized ranked enumerator: one lazy ranked stream per *stream
+//! group* (isomorphism class of atoms), merged into a single globally
+//! ranked stream over the product space.
 //!
 //! Minimal triangulations factorize over the atoms of a clique-separator
 //! decomposition: every minimal triangulation of the input is the union of
@@ -13,28 +14,41 @@
 //! Per-atom streams are pulled lazily and memoized, so atom `i` only ever
 //! computes as many of its own triangulations as the global ranking needs.
 //!
+//! With the atom cache active ([`CachePolicy`](mtr_core::CachePolicy)),
+//! atoms are first grouped by the [`CanonicalForm`](mtr_graph::canonical)
+//! of their remapped subgraph: isomorphic atoms share a *single* stream
+//! enumerated in the canonical labeling, and each atom carries only a
+//! [`MemberBinding`] — the composition `canonical → atom-local → original`
+//! that translates the shared stream's fill edges back to original vertex
+//! ids on emission. Each keyed group can additionally be *seeded* with a
+//! prefix from an [`AtomStore`] (cross-session reuse) and publishes the
+//! entries it computed back to the store when the run ends. A stream that
+//! is demanded past its seeded prefix lazily materializes its own
+//! preprocessing and replays the enumeration (which is deterministic) to
+//! catch up — a warm session never does more work than a cold one for the
+//! same demand, and usually far less.
+//!
 //! Emitted triangulations are fill-edge sets of the *original* graph: the
-//! per-atom fill edges are remapped through the atom's vertex mapping, the
+//! per-stream fill edges are remapped through the member binding, the
 //! union graph is rebuilt, and the reported cost is re-evaluated on the
 //! full bag set — so results are bit-for-bit comparable with the direct
 //! engine's.
 //!
-//! With a [`WorkerPool`] attached, the per-atom streams advance as pool
-//! tasks: atoms are independent subproblems, so after each pop the cold
+//! With a [`WorkerPool`] attached, the per-group streams advance as pool
+//! tasks: groups are independent subproblems, so after each pop the cold
 //! coordinates of the successor tuples are pulled concurrently, and every
 //! pull speculatively prefetches a small bounded lookahead of further
-//! `(cost, fill)` entries into the atom's memo buffer — the product-space
+//! `(cost, fill)` entries into the group's memo buffer — the product-space
 //! merge then never blocks on a cold stream for tuples it is about to
 //! rank. The emitted sequence is identical to the sequential merge; only
 //! the wall-clock delay (and the amount of speculative work) changes.
 
-use crate::decompose::Atom;
-use mtr_chordal::maximal_cliques_chordal;
+use mtr_cache::{AtomKey, AtomStore, CacheEntry, CachedPrefix};
+use mtr_chordal::{maximal_cliques_chordal, minimal_separators_from_cliques};
 use mtr_core::cost::{AtomCombine, BagCost, CostValue};
 use mtr_core::pool::{Scratch, WorkerPool};
 use mtr_core::{Preprocessed, RankedState, RankedTriangulation};
 use mtr_graph::{Graph, Vertex};
-use mtr_separators::minimal_separators;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -48,69 +62,124 @@ use std::collections::{BinaryHeap, HashSet};
 /// only serialize after it.
 const PREFETCH: usize = 2;
 
-/// One memoized per-atom result: its cost (evaluated on the remapped atom
-/// graph) and its fill edges translated back to original vertex ids.
+/// One memoized per-stream result: its cost (evaluated on the stream's
+/// graph — relabel-invariant for every factorizing cost) and its fill
+/// edges in the *stream-local* labeling (atom-local without the cache,
+/// canonical with it).
 struct CachedResult {
     cost: CostValue,
     fill: Vec<(Vertex, Vertex)>,
 }
 
-/// The engine behind one atom's ranked stream.
+/// The engine behind one group's ranked stream.
 enum AtomEngine {
     /// Chordal atom: exactly one minimal triangulation (the atom itself,
     /// zero fill). No preprocessing, no Lawler–Murty machinery.
     Trivial { graph: Graph },
+    /// A cache-seeded stream whose preprocessing has not been paid yet: it
+    /// serves entries from the memo buffer and only materializes into
+    /// [`AtomEngine::Ranked`] if demand runs past the seeded prefix.
+    Lazy {
+        graph: Graph,
+        width_bound: Option<usize>,
+    },
     /// General atom: a full ranked enumeration over its own preprocessing
-    /// (boxed — `Preprocessed` is large compared to the trivial variant).
+    /// (boxed — `Preprocessed` is large compared to the other variants).
+    /// `produced` counts the results the engine itself has emitted, which
+    /// lags `cached.len()` while replaying over a seeded prefix.
     Ranked {
         pre: Box<Preprocessed>,
         state: RankedState,
+        produced: usize,
     },
 }
 
-/// A lazily pulled, memoized ranked stream of one atom's triangulations.
+/// A lazily pulled, memoized ranked stream shared by one group of
+/// isomorphic atoms.
 pub(crate) struct AtomStream {
-    mapping: Vec<Vertex>,
     engine: AtomEngine,
     cached: Vec<CachedResult>,
     exhausted: bool,
     /// `state.nodes_explored()` snapshot right after result `r` was
     /// produced — a deterministic function of `r`, independent of how far
-    /// ahead speculation pulled.
+    /// ahead speculation pulled. Seeded entries start at zero (they cost
+    /// nothing) and are upgraded to real counts if a replay recomputes
+    /// them.
     nodes_after: Vec<usize>,
     /// Results genuinely demanded by the merge so far (speculative
     /// prefetch pulls don't count), as a high-water index + 1.
     demanded: usize,
+    /// Entries seeded from the atom store (prefix of `cached`).
+    seeded: usize,
+    /// The seeded prefix was already marked complete in the store.
+    was_complete: bool,
+    /// The content address of this stream, when cache-keyed; publishing
+    /// and seeding both go through it.
+    key: Option<AtomKey>,
 }
 
 impl AtomStream {
-    /// A stream backed by the trivial single-result engine (chordal atoms).
-    pub(crate) fn trivial(atom: &Atom) -> Self {
-        AtomStream {
-            mapping: atom.mapping.clone(),
-            engine: AtomEngine::Trivial {
-                graph: atom.graph.clone(),
-            },
-            cached: Vec::new(),
-            exhausted: false,
-            nodes_after: Vec::new(),
-            demanded: 0,
-        }
+    /// A stream backed by the trivial single-result engine (chordal
+    /// atoms). `graph` is the stream-local graph the members map onto.
+    pub(crate) fn trivial(graph: Graph) -> Self {
+        AtomStream::with_engine(AtomEngine::Trivial { graph }, None)
     }
 
-    /// A stream backed by a ranked enumeration over `pre` (which must be
-    /// the preprocessing of the atom's remapped graph).
-    pub(crate) fn ranked(atom: &Atom, pre: Preprocessed) -> Self {
-        AtomStream {
-            mapping: atom.mapping.clone(),
-            engine: AtomEngine::Ranked {
+    /// A stream backed by a ranked enumeration over `pre` (the
+    /// preprocessing of the stream-local graph), built eagerly — the cold
+    /// path. `key` attaches the cache address its results publish under.
+    pub(crate) fn cold(pre: Preprocessed, key: Option<AtomKey>) -> Self {
+        AtomStream::with_engine(
+            AtomEngine::Ranked {
                 pre: Box::new(pre),
                 state: RankedState::new(),
+                produced: 0,
             },
+            key,
+        )
+    }
+
+    /// A stream seeded from a cached prefix — the warm path. No
+    /// preprocessing happens unless demand outruns the prefix, in which
+    /// case the stream materializes lazily and replays (deterministically)
+    /// to catch up.
+    pub(crate) fn seeded(
+        graph: Graph,
+        width_bound: Option<usize>,
+        key: AtomKey,
+        prefix: &CachedPrefix,
+    ) -> Self {
+        let mut stream =
+            AtomStream::with_engine(AtomEngine::Lazy { graph, width_bound }, Some(key));
+        stream.cached = prefix
+            .entries
+            .iter()
+            .map(|e: &CacheEntry| CachedResult {
+                cost: if e.cost.is_infinite() {
+                    CostValue::INFINITE
+                } else {
+                    CostValue::finite(e.cost)
+                },
+                fill: e.fill.clone(),
+            })
+            .collect();
+        stream.nodes_after = vec![0; stream.cached.len()];
+        stream.seeded = stream.cached.len();
+        stream.was_complete = prefix.complete;
+        stream.exhausted = prefix.complete;
+        stream
+    }
+
+    fn with_engine(engine: AtomEngine, key: Option<AtomKey>) -> Self {
+        AtomStream {
+            engine,
             cached: Vec::new(),
             exhausted: false,
             nodes_after: Vec::new(),
             demanded: 0,
+            seeded: 0,
+            was_complete: false,
+            key,
         }
     }
 
@@ -118,10 +187,10 @@ impl AtomStream {
     /// satisfy the demand so far. Speculative prefetch work is excluded on
     /// purpose: node budgets must stop at the same result on every host
     /// and at every thread count, and the prefetch window varies with
-    /// both.
+    /// both. Cache-served entries count zero (no work was done for them).
     fn nodes_explored(&self) -> usize {
         match &self.engine {
-            AtomEngine::Trivial { .. } => 0,
+            AtomEngine::Trivial { .. } | AtomEngine::Lazy { .. } => 0,
             AtomEngine::Ranked { state, .. } => {
                 if self.demanded > self.cached.len() && self.exhausted {
                     // The demand ran past the stream's end, so the whole
@@ -156,13 +225,39 @@ impl AtomStream {
 
     fn preprocessing_counts(&self) -> (usize, usize, usize) {
         match &self.engine {
-            AtomEngine::Trivial { .. } => (0, 0, 0),
+            AtomEngine::Trivial { .. } | AtomEngine::Lazy { .. } => (0, 0, 0),
             AtomEngine::Ranked { pre, .. } => (
                 pre.minimal_separators().len(),
                 pre.pmcs().len(),
                 pre.full_blocks().len(),
             ),
         }
+    }
+
+    /// What this stream should write back to the atom store: everything it
+    /// knows, when that exceeds what the store already had. `None` when
+    /// the stream is unkeyed or learned nothing new.
+    pub(crate) fn publishable(&self) -> Option<(AtomKey, CachedPrefix)> {
+        let key = self.key.clone()?;
+        let learned_more =
+            self.cached.len() > self.seeded || (self.exhausted && !self.was_complete);
+        if !learned_more {
+            return None;
+        }
+        Some((
+            key,
+            CachedPrefix {
+                entries: self
+                    .cached
+                    .iter()
+                    .map(|r| CacheEntry {
+                        cost: r.cost.value(),
+                        fill: r.fill.clone(),
+                    })
+                    .collect(),
+                complete: self.exhausted,
+            },
+        ))
     }
 
     /// Makes sure result `j` is cached (pulling the engine as needed).
@@ -177,7 +272,26 @@ impl AtomStream {
             if self.exhausted {
                 return false;
             }
+            if let AtomEngine::Lazy {
+                graph,
+                width_bound: bound,
+            } = &self.engine
+            {
+                // Demand ran past the seeded prefix: pay the preprocessing
+                // now and replay the (deterministic) enumeration below to
+                // catch up with the seeded entries.
+                let pre = match bound {
+                    Some(b) => Preprocessed::new_bounded(graph, *b),
+                    None => Preprocessed::new(graph),
+                };
+                self.engine = AtomEngine::Ranked {
+                    pre: Box::new(pre),
+                    state: RankedState::new(),
+                    produced: 0,
+                };
+            }
             match &mut self.engine {
+                AtomEngine::Lazy { .. } => unreachable!("materialized above"),
                 AtomEngine::Trivial { graph } => {
                     self.exhausted = true;
                     let bags = maximal_cliques_chordal(graph)
@@ -192,21 +306,37 @@ impl AtomStream {
                         fill: Vec::new(),
                     });
                 }
-                AtomEngine::Ranked { pre, state } => match state.next(pre, cost) {
+                AtomEngine::Ranked {
+                    pre,
+                    state,
+                    produced,
+                } => match state.next(pre, cost) {
                     Some(result) => {
-                        let fill = pre
-                            .graph()
-                            .fill_edges_of(&result.triangulation)
-                            .into_iter()
-                            .map(|(u, v)| (self.mapping[u as usize], self.mapping[v as usize]))
-                            .collect();
-                        self.cached.push(CachedResult {
-                            cost: result.cost,
-                            fill,
-                        });
-                        self.nodes_after.push(state.nodes_explored());
+                        let idx = *produced;
+                        *produced += 1;
+                        if idx < self.cached.len() {
+                            // Replaying over a seeded prefix: the engine
+                            // recomputed a cache-served entry. Upgrade its
+                            // node count; the result itself must match.
+                            debug_assert_eq!(
+                                self.cached[idx].cost, result.cost,
+                                "cached prefix diverges from the enumeration"
+                            );
+                            self.nodes_after[idx] = state.nodes_explored();
+                        } else {
+                            let fill = pre.graph().fill_edges_of(&result.triangulation);
+                            self.cached.push(CachedResult {
+                                cost: result.cost,
+                                fill,
+                            });
+                            self.nodes_after.push(state.nodes_explored());
+                        }
                     }
                     None => {
+                        debug_assert!(
+                            *produced >= self.cached.len(),
+                            "cached prefix is longer than the actual stream"
+                        );
                         self.exhausted = true;
                         return false;
                     }
@@ -215,6 +345,18 @@ impl AtomStream {
         }
         true
     }
+}
+
+/// How one atom of the decomposition maps onto its (possibly shared)
+/// stream: the group index plus the vertex translation used on emission.
+pub(crate) struct MemberBinding {
+    /// Index into the enumerator's stream table.
+    pub group: usize,
+    /// `emit_map[stream_local] = original`: translates the stream's fill
+    /// edges back to original-graph vertex ids. Without the cache this is
+    /// the atom's own mapping; with it, the composition through the
+    /// canonical relabeling.
+    pub emit_map: Vec<Vertex>,
 }
 
 /// One pending tuple of per-atom stream indices.
@@ -246,7 +388,8 @@ impl Ord for TupleEntry {
 }
 
 /// The merged, globally ranked enumerator over the product of the per-atom
-/// streams.
+/// streams. Tuples are indexed per *atom* (members); the backing streams
+/// are per *group*, so isomorphic atoms share memoized work.
 ///
 /// The `Option` wrapping of the streams exists for the pooled mode: a
 /// stream is temporarily *moved* into a pool task while it advances on a
@@ -258,7 +401,8 @@ pub(crate) struct FactorizedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     cost: &'a K,
     combine: AtomCombine,
     width_bound: Option<usize>,
-    atoms: Vec<Option<AtomStream>>,
+    members: &'a [MemberBinding],
+    streams: Vec<Option<AtomStream>>,
     pool: Option<WorkerPool<'a, 'p>>,
     prefetch: usize,
     heap: BinaryHeap<TupleEntry>,
@@ -273,7 +417,8 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
         cost: &'a K,
         combine: AtomCombine,
         width_bound: Option<usize>,
-        atoms: Vec<AtomStream>,
+        members: &'a [MemberBinding],
+        streams: Vec<AtomStream>,
         pool: Option<WorkerPool<'a, 'p>>,
     ) -> Self {
         let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -286,7 +431,8 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
             cost,
             combine,
             width_bound,
-            atoms: atoms.into_iter().map(Some).collect(),
+            members,
+            streams: streams.into_iter().map(Some).collect(),
             pool,
             prefetch,
             heap: BinaryHeap::new(),
@@ -296,8 +442,8 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
         }
     }
 
-    fn stream(&self, i: usize) -> &AtomStream {
-        self.atoms[i]
+    fn stream(&self, group: usize) -> &AtomStream {
+        self.streams[group]
             .as_ref()
             .expect("stream present outside batch")
     }
@@ -306,64 +452,90 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
         self.heap.len()
     }
 
-    /// Lawler–Murty partitions explored across all atom streams, counting
+    /// Lawler–Murty partitions explored across all streams, counting
     /// only *demanded* work (see [`AtomStream::nodes_explored`]): node
     /// budgets therefore stop at the same result sequentially, in
     /// parallel, and on any host, regardless of speculative prefetch.
+    /// (With the cache active, served entries count zero — warm sessions
+    /// genuinely explore less.)
     pub(crate) fn nodes_explored(&self) -> usize {
-        (0..self.atoms.len())
-            .map(|i| self.stream(i).nodes_explored())
+        (0..self.streams.len())
+            .map(|g| self.stream(g).nodes_explored())
             .sum()
     }
 
-    /// `(minimal separators, PMCs, full blocks)` summed over the per-atom
-    /// preprocessings.
+    /// `(minimal separators, PMCs, full blocks)` summed over the per-group
+    /// preprocessings (cache-served streams that never materialized count
+    /// zero).
     pub(crate) fn preprocessing_counts(&self) -> (usize, usize, usize) {
-        (0..self.atoms.len())
-            .map(|i| self.stream(i).preprocessing_counts())
+        (0..self.streams.len())
+            .map(|g| self.stream(g).preprocessing_counts())
             .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z))
     }
 
-    /// Pool mode: advances the streams behind every `(atom, index)` target
-    /// concurrently (one task per cold stream), each pull prefetching
-    /// [`PREFETCH`] results beyond its target. Sequential mode: no-op —
+    /// Writes every stream's newly computed entries back to `store` —
+    /// called once by the session when the run ends, so prefetch results
+    /// computed speculatively on pool workers are published too.
+    pub(crate) fn publish_into(&self, store: &AtomStore) {
+        for g in 0..self.streams.len() {
+            if let Some((key, prefix)) = self.stream(g).publishable() {
+                store.publish(&key, prefix);
+            }
+        }
+    }
+
+    /// Pool mode: advances the streams behind every `(member, index)`
+    /// target concurrently (one task per cold group, at the group's
+    /// maximum demanded index), each pull prefetching [`PREFETCH`] results
+    /// beyond its target. Sequential mode: no-op —
     /// [`FactorizedEnumerator::combined_cost`] pulls lazily as before.
     fn ensure_batch(&mut self, targets: &[(usize, usize)]) {
         let Some(pool) = self.pool else { return };
         let cost = self.cost;
         let width_bound = self.width_bound;
         let prefetch = self.prefetch;
-        let cold: Vec<(usize, usize)> = targets
+        // Aggregate member targets into one per group (members sharing a
+        // group demand the maximum of their coordinates).
+        let mut group_target: Vec<Option<usize>> = vec![None; self.streams.len()];
+        for &(i, j) in targets {
+            let g = self.members[i].group;
+            group_target[g] = Some(group_target[g].map_or(j, |prev: usize| prev.max(j)));
+        }
+        let cold: Vec<(usize, usize)> = group_target
             .iter()
-            .copied()
-            .filter(|&(i, j)| {
-                let s = self.stream(i);
+            .enumerate()
+            .filter_map(|(g, target)| target.map(|j| (g, j)))
+            .filter(|&(g, j)| {
+                let s = self.stream(g);
                 !s.is_exhausted() && s.cached_len() <= j
             })
             .collect();
         let tasks: Vec<_> = cold
             .into_iter()
-            .map(|(i, j)| {
-                let mut stream = self.atoms[i].take().expect("stream present outside batch");
+            .map(|(g, j)| {
+                let mut stream = self.streams[g]
+                    .take()
+                    .expect("stream present outside batch");
                 move |_scratch: &mut Scratch| {
                     stream.ensure(j + prefetch, cost, width_bound);
-                    (i, stream)
+                    (g, stream)
                 }
             })
             .collect();
-        for (i, stream) in pool.run_batch(tasks) {
-            self.atoms[i] = Some(stream);
+        for (g, stream) in pool.run_batch(tasks) {
+            self.streams[g] = Some(stream);
         }
     }
 
-    /// The combined cost of a tuple, pulling atom streams as needed;
+    /// The combined cost of a tuple, pulling streams as needed;
     /// `None` when some coordinate is past the end of its (finite) stream.
     fn combined_cost(&mut self, tuple: &[u32]) -> Option<CostValue> {
         let cost = self.cost;
         let width_bound = self.width_bound;
         let mut acc: Option<CostValue> = None;
         for (i, &j) in tuple.iter().enumerate() {
-            let stream = self.atoms[i]
+            let group = self.members[i].group;
+            let stream = self.streams[group]
                 .as_mut()
                 .expect("stream present outside batch");
             // This is the genuine demand point (speculative prefetch goes
@@ -401,8 +573,9 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
     fn materialize(&self, entry: &TupleEntry) -> RankedTriangulation {
         let mut h = self.graph.clone();
         for (i, &j) in entry.tuple.iter().enumerate() {
-            for &(u, v) in &self.stream(i).cached[j as usize].fill {
-                h.add_edge(u, v);
+            let member = &self.members[i];
+            for &(u, v) in &self.stream(member.group).cached[j as usize].fill {
+                h.add_edge(member.emit_map[u as usize], member.emit_map[v as usize]);
             }
         }
         let bags = maximal_cliques_chordal(&h)
@@ -414,7 +587,10 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
         // the contract of `AtomCombine` — otherwise the stream would not be
         // globally sorted.
         debug_assert_eq!(cost, entry.cost, "atom_combine() contract violated");
-        let seps = minimal_separators(&h);
+        // H is chordal, so its minimal separators are the clique-tree
+        // adhesions — a fraction of the cost of a separator enumeration,
+        // which used to dominate the per-result delay of the merge.
+        let seps = minimal_separators_from_cliques(bags.clone());
         RankedTriangulation {
             minimal_separators: seps,
             triangulation: h,
@@ -433,10 +609,10 @@ impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
             // The all-zeros tuple: every atom's optimum. For the empty
             // product (zero atoms, i.e. the empty graph) this is the empty
             // tuple whose materialization is the graph itself. In pool mode
-            // the per-atom optima are computed concurrently first.
-            let first: Vec<(usize, usize)> = (0..self.atoms.len()).map(|i| (i, 0)).collect();
+            // the per-group optima are computed concurrently first.
+            let first: Vec<(usize, usize)> = (0..self.members.len()).map(|i| (i, 0)).collect();
             self.ensure_batch(&first);
-            self.push_tuple(vec![0; self.atoms.len()]);
+            self.push_tuple(vec![0; self.members.len()]);
         }
         let entry = self.heap.pop()?;
         // Pool mode: warm every successor coordinate concurrently before

@@ -1,0 +1,237 @@
+//! Stream planning: from decomposition atoms to (possibly shared,
+//! possibly cache-keyed) enumeration streams.
+//!
+//! Without the atom cache every atom gets its own stream over its own
+//! remapped subgraph — the pre-cache behavior, bit for bit. With the cache
+//! active, atoms are grouped by the canonical form of their subgraph:
+//! isomorphic atoms ("members") share one stream enumerated in the
+//! *canonical* labeling, and each member keeps only the vertex translation
+//! `canonical → original` used when its fill edges are emitted. Keyed
+//! groups (non-chordal ones — chordal streams are O(1) and not worth
+//! storing) can then be seeded from and published to an
+//! [`AtomStore`](mtr_cache::AtomStore).
+
+use crate::decompose::Atom;
+use crate::merge::MemberBinding;
+use mtr_cache::AtomKey;
+use mtr_graph::{CanonicalKey, Graph, Vertex};
+use std::collections::HashMap;
+
+/// One stream to build: the graph it enumerates plus its cache address.
+pub(crate) struct StreamSpec {
+    /// The stream-local graph (atom-local without the cache, canonical
+    /// with it).
+    pub graph: Graph,
+    /// The group is an isomorphism class of chordal atoms: a single
+    /// trivial result, no preprocessing.
+    pub chordal: bool,
+    /// The store address of this stream — `Some` only for cache-planned
+    /// non-chordal groups.
+    pub key: Option<AtomKey>,
+}
+
+/// The output of planning: stream specs (one per group) and the member
+/// bindings (one per atom, in atom order).
+pub(crate) struct StreamPlan {
+    pub specs: Vec<StreamSpec>,
+    pub members: Vec<MemberBinding>,
+    /// Atoms that joined an existing group instead of opening their own —
+    /// the intra-run dedup count reported in the session stats.
+    pub deduped: usize,
+}
+
+/// The identity plan: one stream per atom in its own labeling. This is
+/// the cache-off path and keeps the engine behavior identical to previous
+/// releases (including tie order among equal-cost results).
+pub(crate) fn plan_identity(atoms: &[Atom]) -> StreamPlan {
+    StreamPlan {
+        specs: atoms
+            .iter()
+            .map(|atom| StreamSpec {
+                graph: atom.graph.clone(),
+                chordal: atom.chordal,
+                key: None,
+            })
+            .collect(),
+        members: atoms
+            .iter()
+            .enumerate()
+            .map(|(i, atom)| MemberBinding {
+                group: i,
+                emit_map: atom.mapping.clone(),
+            })
+            .collect(),
+        deduped: 0,
+    }
+}
+
+/// The canonical plan: atoms grouped by the canonical form of their
+/// subgraph, streams enumerated in canonical labeling, non-chordal groups
+/// keyed for the store.
+pub(crate) fn plan_canonical(
+    atoms: &[Atom],
+    cost_id: &str,
+    width_bound: Option<usize>,
+) -> StreamPlan {
+    let mut specs: Vec<StreamSpec> = Vec::new();
+    let mut members: Vec<MemberBinding> = Vec::new();
+    let mut groups: HashMap<CanonicalKey, usize> = HashMap::new();
+    let mut deduped = 0usize;
+    for atom in atoms {
+        let form = atom.graph.canonical_form();
+        // emit_map[canonical] = original: canonical position -> atom-local
+        // vertex (form.order) -> original vertex (atom.mapping).
+        let emit_map: Vec<Vertex> = form
+            .order
+            .iter()
+            .map(|&local| atom.mapping[local as usize])
+            .collect();
+        let group = match groups.get(&form.key) {
+            Some(&g) => {
+                debug_assert_eq!(
+                    (specs[g].graph.n(), specs[g].graph.m(), specs[g].chordal),
+                    (atom.graph.n(), atom.graph.m(), atom.chordal),
+                    "canonical key collision between non-isomorphic atoms"
+                );
+                deduped += 1;
+                g
+            }
+            None => {
+                let g = specs.len();
+                groups.insert(form.key, g);
+                specs.push(StreamSpec {
+                    graph: atom.graph.relabeled(&form.order),
+                    chordal: atom.chordal,
+                    key: (!atom.chordal).then(|| AtomKey {
+                        graph: form.key,
+                        cost_id: cost_id.to_string(),
+                        width_bound,
+                    }),
+                });
+                g
+            }
+        };
+        members.push(MemberBinding { group, emit_map });
+    }
+    StreamPlan {
+        specs,
+        members,
+        deduped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose, ReductionLevel};
+    use mtr_graph::VertexSet;
+
+    fn star() -> Graph {
+        // 3 isomorphic triangle-arms glued on the center vertex 0.
+        Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (0, 4),
+                (3, 4),
+                (0, 5),
+                (0, 6),
+                (5, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn identity_plan_is_one_stream_per_atom() {
+        let g = star();
+        let dec = decompose(&g, ReductionLevel::Full);
+        let plan = plan_identity(&dec.atoms);
+        assert_eq!(plan.specs.len(), dec.atoms.len());
+        assert_eq!(plan.members.len(), dec.atoms.len());
+        assert_eq!(plan.deduped, 0);
+        for (i, m) in plan.members.iter().enumerate() {
+            assert_eq!(m.group, i);
+            assert_eq!(m.emit_map, dec.atoms[i].mapping);
+        }
+    }
+
+    #[test]
+    fn canonical_plan_groups_isomorphic_atoms() {
+        let g = star();
+        let dec = decompose(&g, ReductionLevel::Full);
+        assert!(dec.atoms.len() >= 3);
+        let plan = plan_canonical(&dec.atoms, "fill-in", None);
+        // All three arms are isomorphic triangles: one group.
+        assert_eq!(plan.specs.len(), 1, "isomorphic atoms share one stream");
+        assert_eq!(plan.deduped, dec.atoms.len() - 1);
+        // Chordal groups are unkeyed (not worth storing).
+        assert!(plan.specs[0].chordal);
+        assert!(plan.specs[0].key.is_none());
+        // Every member's emit map is a bijection onto its atom's vertices.
+        for (m, atom) in plan.members.iter().zip(&dec.atoms) {
+            let mapped = VertexSet::from_iter(g.n(), m.emit_map.iter().copied());
+            assert_eq!(mapped, atom.vertices);
+        }
+    }
+
+    #[test]
+    fn canonical_plan_keys_non_chordal_groups() {
+        // Two disjoint C4s (isomorphic, non-chordal) and one C5.
+        let g = Graph::from_edges(
+            13,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 12),
+                (12, 8),
+            ],
+        );
+        let dec = decompose(&g, ReductionLevel::Full);
+        let plan = plan_canonical(&dec.atoms, "width", Some(3));
+        assert_eq!(plan.specs.len(), 2, "two isomorphism classes");
+        assert_eq!(plan.deduped, 1);
+        for spec in &plan.specs {
+            assert!(!spec.chordal);
+            let key = spec.key.as_ref().expect("non-chordal groups are keyed");
+            assert_eq!(key.cost_id, "width");
+            assert_eq!(key.width_bound, Some(3));
+        }
+        assert_ne!(
+            plan.specs[0].key.as_ref().unwrap().graph,
+            plan.specs[1].key.as_ref().unwrap().graph,
+            "C4 and C5 have different canonical keys"
+        );
+    }
+
+    #[test]
+    fn emit_maps_translate_canonical_edges_back() {
+        let g = star();
+        let dec = decompose(&g, ReductionLevel::Full);
+        let plan = plan_canonical(&dec.atoms, "fill-in", None);
+        // Relabeling the shared canonical graph through any member's emit
+        // map must land exactly on that member's induced subgraph edges.
+        for (m, atom) in plan.members.iter().zip(&dec.atoms) {
+            let spec = &plan.specs[m.group];
+            for (u, v) in spec.graph.edges() {
+                let (ou, ov) = (m.emit_map[u as usize], m.emit_map[v as usize]);
+                assert!(
+                    g.has_edge(ou, ov),
+                    "canonical edge ({u},{v}) maps to non-edge ({ou},{ov})"
+                );
+            }
+            assert_eq!(spec.graph.m(), atom.graph.m());
+        }
+    }
+}

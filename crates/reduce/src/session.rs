@@ -43,22 +43,52 @@
 //! [`pool`] (atoms are independent subproblems); on every
 //! fallback the thread count flows through to the direct parallel engine.
 //! [`EnumerationStats::effective_threads`] reports what actually ran.
+//!
+//! # Atom caching
+//!
+//! With a cache active — [`Enumerate::cache`] /
+//! [`Reduced::cache`] set to a non-`Off` [`CachePolicy`], or an explicit
+//! [`Reduced::store`] — atoms are grouped by the canonical form of their
+//! remapped subgraph before streams are built:
+//!
+//! * **intra-run dedup** — isomorphic atoms within one decomposition share
+//!   a single stream enumerated in the canonical labeling, each atom
+//!   relabeling the shared fill edges on emission;
+//! * **cross-session reuse** — non-chordal groups look their
+//!   `(canonical key, cost, width bound)` address up in the
+//!   [`AtomStore`]; a hit seeds the stream's memo buffer (no per-atom
+//!   preprocessing until demand outruns the prefix), a miss computes cold
+//!   and publishes everything it learned — including speculative prefetch
+//!   results computed on pool workers — when the run ends.
+//!
+//! Cached and cold runs emit equivalent ranked streams: the same cost
+//! sequence, and the same triangulations up to the recorded canonical
+//! relabeling (equal-cost results may tie-break differently than a
+//! cache-*off* run, whose streams are enumerated in atom-local labeling).
+//! [`EnumerationStats::atom_cache_hits`] /
+//! [`EnumerationStats::atom_cache_misses`] /
+//! [`EnumerationStats::atoms_deduped`] / [`EnumerationStats::cache_bytes`]
+//! report what the cache did.
 
-use crate::decompose::{decompose, Atom, ReductionLevel};
+use crate::decompose::{decompose, ReductionLevel};
 use crate::merge::{AtomStream, FactorizedEnumerator};
+use crate::plan::{plan_canonical, plan_identity, StreamPlan};
+use mtr_cache::{AtomKey, AtomStore, CachedPrefix, DEFAULT_BYTE_BUDGET};
 use mtr_core::cost::{AtomCombine, BagCost};
 use mtr_core::diverse::DiversityFilter;
 use mtr_core::mintriang::Preprocessed;
 use mtr_core::pool::{self, resolve_threads, Scratch, WorkerPool};
 use mtr_core::ranked::RankedTriangulation;
 use mtr_core::session::{
-    drive_engine, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, SessionConfig,
-    SessionReport, StopReason,
+    drive_engine, CachePolicy, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
+    SessionConfig, SessionReport, StopReason,
 };
+use mtr_graph::Graph;
 use mtr_pmc::enumerate::{
     potential_maximal_cliques_bounded_with_deadline, potential_maximal_cliques_with_deadline,
 };
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Extension trait adding [`reduce`](EnumerateReduceExt::reduce) to the
@@ -76,6 +106,7 @@ impl<'a, K: BagCost + Sync + ?Sized> EnumerateReduceExt<'a, K> for Enumerate<'a,
         Reduced {
             config: self.into_config(),
             level,
+            store: None,
         }
     }
 }
@@ -85,6 +116,8 @@ impl<'a, K: BagCost + Sync + ?Sized> EnumerateReduceExt<'a, K> for Enumerate<'a,
 pub struct Reduced<'a, K: BagCost + Sync + ?Sized> {
     config: SessionConfig<'a, K>,
     level: ReductionLevel,
+    /// An explicit atom store, overriding the configured [`CachePolicy`].
+    store: Option<Arc<AtomStore>>,
 }
 
 impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
@@ -125,6 +158,47 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         self
     }
 
+    /// Atom cache policy (mirrors [`Enumerate::cache`], so the knob can be
+    /// chained after `.reduce(..)` too).
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.config.cache = policy;
+        self
+    }
+
+    /// Uses `store` as the atom cache for this session, overriding the
+    /// configured [`CachePolicy`] — the programmatic way to share one
+    /// in-memory store across chosen sessions (clone the `Arc`):
+    ///
+    /// ```
+    /// use mtr_cache::AtomStore;
+    /// use mtr_core::{cost::FillIn, Enumerate};
+    /// use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+    /// use mtr_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(
+    ///     7,
+    ///     &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6), (6, 0)],
+    /// );
+    /// let store = AtomStore::in_memory(1 << 20);
+    /// let cold = Enumerate::on(&g)
+    ///     .cost(&FillIn)
+    ///     .reduce(ReductionLevel::Full)
+    ///     .store(store.clone())
+    ///     .run()?;
+    /// let warm = Enumerate::on(&g)
+    ///     .cost(&FillIn)
+    ///     .reduce(ReductionLevel::Full)
+    ///     .store(store)
+    ///     .run()?;
+    /// assert!(warm.stats.atom_cache_hits > 0);
+    /// assert_eq!(cold.results.len(), warm.results.len());
+    /// # Ok::<(), mtr_core::EnumerationError>(())
+    /// ```
+    pub fn store(mut self, store: Arc<AtomStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Runs the session, collecting the ranked minimal triangulations
     /// (mirrors [`Enumerate::run`]).
     pub fn run(self) -> Result<EnumerationRun, EnumerationError> {
@@ -147,7 +221,11 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         F: FnMut(RankedTriangulation) -> ControlFlow<()>,
     {
         let started = Instant::now();
-        let Reduced { config, level } = self;
+        let Reduced {
+            config,
+            level,
+            store,
+        } = self;
 
         // Decide whether the factorized engine applies; otherwise fall back
         // to the direct session, which also performs all the validation —
@@ -172,14 +250,52 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         if atom_count <= 1 {
             // Nothing factorized out: the direct engine is strictly better
             // (the merge layer would only duplicate per-result work). The
-            // atom count is still reported so callers can see why.
+            // atom count is still reported so callers can see why. The
+            // cache has nothing to key here either (no atoms ran).
             let mut report = Enumerate::from_config(config).drive(on_result)?;
             report.stats.atoms = atom_count.max(1);
             return Ok(report);
         }
 
+        // Resolve the atom store: an explicit `.store(..)` wins, then the
+        // configured policy. Canonicalization (and intra-run dedup) is on
+        // exactly when a store is attached.
+        let store = match store {
+            Some(s) => Some(s),
+            None => match &config.cache {
+                CachePolicy::Off => None,
+                CachePolicy::InMemory(bytes) => Some(mtr_cache::global_store(*bytes)),
+                CachePolicy::Dir(path) => Some(
+                    AtomStore::persistent(path, DEFAULT_BYTE_BUDGET).map_err(|e| {
+                        EnumerationError::Io {
+                            path: path.display().to_string(),
+                            message: e.to_string(),
+                        }
+                    })?,
+                ),
+            },
+        };
+
+        // Plan the streams (grouping isomorphic atoms when caching) and
+        // look up every keyed group — all ahead of the pool scope, so the
+        // plan can be borrowed by pool tasks.
+        let cost_id = config.cost().name();
+        let plan = if store.is_some() {
+            plan_canonical(&decomposition.atoms, &cost_id, config.width_bound)
+        } else {
+            plan_identity(&decomposition.atoms)
+        };
+        let seeds: Vec<Option<CachedPrefix>> = plan
+            .specs
+            .iter()
+            .map(|spec| match (&store, &spec.key) {
+                (Some(store), Some(key)) => store.lookup(key),
+                _ => None,
+            })
+            .collect();
+        let setup = FactorizedSetup { plan, seeds, store };
+
         let threads = resolve_threads(config.threads);
-        let atoms = &decomposition.atoms;
         if threads > 1 {
             // One pool for the whole reduced session: the per-atom
             // preprocessing fans out over it first, then the factorized
@@ -187,7 +303,8 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
             pool::scoped(threads, |p| {
                 drive_factorized(
                     graph,
-                    atoms,
+                    &setup,
+                    atom_count,
                     &config,
                     combine,
                     threads,
@@ -198,8 +315,69 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
             })
         } else {
             drive_factorized(
-                graph, atoms, &config, combine, threads, None, started, on_result,
+                graph, &setup, atom_count, &config, combine, threads, None, started, on_result,
             )
+        }
+    }
+}
+
+/// Everything the factorized drive needs beyond the session config: the
+/// stream plan, the per-group cache seeds, and the store to publish into.
+struct FactorizedSetup {
+    plan: StreamPlan,
+    seeds: Vec<Option<CachedPrefix>>,
+    store: Option<Arc<AtomStore>>,
+}
+
+/// The single place reduce-path statistics are stamped from, normal
+/// completion and aborted initialization alike — so a newly added stats
+/// field cannot silently stay zero on one path (it either appears here or
+/// the field review catches it).
+struct StatsContext {
+    cost_name: String,
+    atoms: usize,
+    threads: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    atoms_deduped: usize,
+    store: Option<Arc<AtomStore>>,
+}
+
+impl StatsContext {
+    fn new(setup: &FactorizedSetup, cost_name: String, atoms: usize, threads: usize) -> Self {
+        let keyed = setup.plan.specs.iter().filter(|s| s.key.is_some()).count();
+        let cache_hits = setup.seeds.iter().filter(|s| s.is_some()).count();
+        StatsContext {
+            cost_name,
+            atoms,
+            threads,
+            cache_hits,
+            cache_misses: keyed - cache_hits,
+            atoms_deduped: setup.plan.deduped,
+            store: setup.store.clone(),
+        }
+    }
+
+    fn cache_bytes(&self) -> usize {
+        self.store.as_ref().map_or(0, |s| s.stats().bytes)
+    }
+
+    /// Base statistics for this run; the caller fills in the
+    /// preprocessing counters and lets [`drive_engine`] own the rest.
+    fn stats(&self, started: &Instant, preprocessing_complete: bool) -> EnumerationStats {
+        let elapsed = started.elapsed();
+        EnumerationStats {
+            cost: self.cost_name.clone(),
+            preprocessing: elapsed,
+            preprocessing_complete,
+            total: elapsed,
+            atoms: self.atoms,
+            effective_threads: self.threads,
+            atom_cache_hits: self.cache_hits,
+            atom_cache_misses: self.cache_misses,
+            atoms_deduped: self.atoms_deduped,
+            cache_bytes: self.cache_bytes(),
+            ..EnumerationStats::default()
         }
     }
 }
@@ -207,12 +385,13 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
 /// One atom's preprocessing failed its deadline.
 struct AtomInitAborted;
 
-/// Builds one non-chordal atom's ranked stream: its own (possibly
+/// Builds one non-chordal group's cold ranked stream: its own (possibly
 /// width-bounded) `Preprocessed`, under whatever remains of the session
 /// deadline. A plain function (not a closure) so pool tasks can call it
-/// while borrowing only the atom itself.
+/// while borrowing only the stream's graph.
 fn build_stream(
-    atom: &Atom,
+    graph: &Graph,
+    key: Option<AtomKey>,
     width_bound: Option<usize>,
     deadline_at: Option<Instant>,
 ) -> Result<AtomStream, AtomInitAborted> {
@@ -225,21 +404,19 @@ fn build_stream(
     };
     let pre = match (width_bound, remaining) {
         (Some(b), Some(d)) => {
-            match potential_maximal_cliques_bounded_with_deadline(&atom.graph, b + 1, d) {
-                Ok(e) => {
-                    Preprocessed::from_parts_bounded(&atom.graph, e.minimal_separators, e.pmcs, b)
-                }
+            match potential_maximal_cliques_bounded_with_deadline(graph, b + 1, d) {
+                Ok(e) => Preprocessed::from_parts_bounded(graph, e.minimal_separators, e.pmcs, b),
                 Err(_) => return Err(AtomInitAborted),
             }
         }
-        (Some(b), None) => Preprocessed::new_bounded(&atom.graph, b),
-        (None, Some(d)) => match potential_maximal_cliques_with_deadline(&atom.graph, d) {
-            Ok(e) => Preprocessed::from_parts(&atom.graph, e.minimal_separators, e.pmcs),
+        (Some(b), None) => Preprocessed::new_bounded(graph, b),
+        (None, Some(d)) => match potential_maximal_cliques_with_deadline(graph, d) {
+            Ok(e) => Preprocessed::from_parts(graph, e.minimal_separators, e.pmcs),
             Err(_) => return Err(AtomInitAborted),
         },
-        (None, None) => Preprocessed::new(&atom.graph),
+        (None, None) => Preprocessed::new(graph),
     };
-    Ok(AtomStream::ranked(atom, pre))
+    Ok(AtomStream::cold(pre, key))
 }
 
 /// The factorized half of [`Reduced::drive`], parameterized over an
@@ -247,8 +424,9 @@ fn build_stream(
 /// wrap it with the right lifetimes).
 #[allow(clippy::too_many_arguments)] // internal seam mirroring the session knobs
 fn drive_factorized<'env, 'p, K, F>(
-    graph: &'env mtr_graph::Graph,
-    atoms: &'env [Atom],
+    graph: &'env Graph,
+    setup: &'env FactorizedSetup,
+    atom_count: usize,
     config: &'env SessionConfig<'_, K>,
     combine: AtomCombine,
     threads: usize,
@@ -260,61 +438,64 @@ where
     K: BagCost + Sync + ?Sized,
     F: FnMut(RankedTriangulation) -> ControlFlow<()>,
 {
-    let atom_count = atoms.len();
-    let cost_name = config.cost().name();
+    let ctx = StatsContext::new(setup, config.cost().name(), atom_count, threads);
     let deadline_at = config.deadline.and_then(|d| started.checked_add(d));
     let width_bound = config.width_bound;
-    let aborted_init = |started: &Instant| {
-        let elapsed = started.elapsed();
-        let stats = EnumerationStats {
-            cost: cost_name.clone(),
-            preprocessing: elapsed,
-            preprocessing_complete: false,
-            total: elapsed,
-            atoms: atom_count,
-            effective_threads: threads,
-            ..EnumerationStats::default()
-        };
-        SessionReport {
-            stats,
-            stop_reason: StopReason::DeadlineExceeded,
-        }
+    let aborted_init = |started: &Instant| SessionReport {
+        stats: ctx.stats(started, false),
+        stop_reason: StopReason::DeadlineExceeded,
     };
 
-    // Per-atom preprocessing: chordal atoms are trivial streams built on
-    // the spot; the rest are independent subproblems, so with a pool they
-    // are preprocessed concurrently (the deadline applies inside each
-    // task). Sequentially the deadline covers the whole sequence as before.
-    let mut slots: Vec<Option<AtomStream>> = Vec::with_capacity(atom_count);
+    // Per-group stream construction: chordal groups get trivial streams,
+    // cache hits are seeded (no preprocessing yet), and the remaining cold
+    // groups are independent subproblems — with a pool they are
+    // preprocessed concurrently (the deadline applies inside each task).
+    // Sequentially the deadline covers the whole sequence as before.
+    let specs = &setup.plan.specs;
+    let mut slots: Vec<Option<AtomStream>> = Vec::with_capacity(specs.len());
     let mut pending: Vec<usize> = Vec::new();
-    for (i, atom) in atoms.iter().enumerate() {
-        if atom.chordal {
-            slots.push(Some(AtomStream::trivial(atom)));
+    for (g, spec) in specs.iter().enumerate() {
+        if spec.chordal {
+            slots.push(Some(AtomStream::trivial(spec.graph.clone())));
+        } else if let Some(prefix) = &setup.seeds[g] {
+            let key = spec.key.clone().expect("seeded specs are keyed");
+            slots.push(Some(AtomStream::seeded(
+                spec.graph.clone(),
+                width_bound,
+                key,
+                prefix,
+            )));
         } else {
             slots.push(None);
-            pending.push(i);
+            pending.push(g);
         }
     }
     match worker_pool {
         Some(p) if pending.len() > 1 => {
             let tasks: Vec<_> = pending
                 .iter()
-                .map(|&i| {
-                    let atom = &atoms[i];
-                    move |_scratch: &mut Scratch| (i, build_stream(atom, width_bound, deadline_at))
+                .map(|&g| {
+                    let spec = &specs[g];
+                    move |_scratch: &mut Scratch| {
+                        (
+                            g,
+                            build_stream(&spec.graph, spec.key.clone(), width_bound, deadline_at),
+                        )
+                    }
                 })
                 .collect();
-            for (i, built) in p.run_batch(tasks) {
+            for (g, built) in p.run_batch(tasks) {
                 match built {
-                    Ok(stream) => slots[i] = Some(stream),
+                    Ok(stream) => slots[g] = Some(stream),
                     Err(AtomInitAborted) => return Ok(aborted_init(&started)),
                 }
             }
         }
         _ => {
-            for &i in &pending {
-                match build_stream(&atoms[i], width_bound, deadline_at) {
-                    Ok(stream) => slots[i] = Some(stream),
+            for &g in &pending {
+                let spec = &specs[g];
+                match build_stream(&spec.graph, spec.key.clone(), width_bound, deadline_at) {
+                    Ok(stream) => slots[g] = Some(stream),
                     Err(AtomInitAborted) => return Ok(aborted_init(&started)),
                 }
             }
@@ -322,7 +503,7 @@ where
     }
     let streams: Vec<AtomStream> = slots
         .into_iter()
-        .map(|s| s.expect("every atom got a stream"))
+        .map(|s| s.expect("every group got a stream"))
         .collect();
 
     let mut engine = FactorizedEnumerator::new(
@@ -330,6 +511,7 @@ where
         config.cost(),
         combine,
         width_bound,
+        &setup.plan.members,
         streams,
         worker_pool,
     );
@@ -338,17 +520,10 @@ where
         .map(|(measure, threshold)| DiversityFilter::new(graph, measure, threshold));
 
     let (minimal_separators, pmcs, full_blocks) = engine.preprocessing_counts();
-    let mut stats = EnumerationStats {
-        cost: cost_name,
-        preprocessing: started.elapsed(),
-        preprocessing_complete: true,
-        minimal_separators,
-        pmcs,
-        full_blocks,
-        atoms: atom_count,
-        effective_threads: threads,
-        ..EnumerationStats::default()
-    };
+    let mut stats = ctx.stats(&started, true);
+    stats.minimal_separators = minimal_separators;
+    stats.pmcs = pmcs;
+    stats.full_blocks = full_blocks;
     // The shared session loop owns all budget/diversity/statistics
     // semantics; the factorized engine only supplies results.
     let stop_reason = drive_engine(
@@ -361,6 +536,12 @@ where
         config.node_budget,
         on_result,
     );
+    if let Some(store) = &setup.store {
+        // Publish everything the streams learned (cold computation and
+        // speculative prefetch alike), then refresh the resident size.
+        engine.publish_into(store);
+        stats.cache_bytes = store.stats().bytes;
+    }
     if let Some(p) = worker_pool {
         let pool_stats = p.stats();
         stats.worker_tasks = pool_stats.worker_tasks;

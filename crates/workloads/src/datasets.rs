@@ -302,6 +302,23 @@ pub fn all_datasets(scale: DatasetScale) -> Vec<Dataset> {
     };
     out.push(Dataset::new("decomposable-like", decomposable));
 
+    // --- Evolving graphs (cross-session cache reuse) ------------------------
+    // One instance per snapshot of an edit sequence: consecutive instances
+    // share all but one atom, which is what the atom cache exploits.
+    let (blobs, blob_n, p, edits): (u32, u32, f64, u32) = match scale {
+        Smoke => (2, 6, 0.35, 2),
+        Standard => (3, 10, 0.3, 4),
+        Large => (4, 14, 0.25, 6),
+    };
+    out.push(Dataset::new(
+        "evolving-like",
+        decomposable::evolving_sequence(blobs, blob_n, p, edits, 900)
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| (format!("evolve_step{i}"), g))
+            .collect(),
+    ));
+
     out
 }
 

@@ -99,6 +99,47 @@ pub fn gnp_with_bridges(blobs: u32, blob_n: u32, p: f64, seed: u64) -> Graph {
     g
 }
 
+/// An evolving graph: a base chain of bridged `G(n, p)` blobs (see
+/// [`gnp_with_bridges`]) followed by `edits` cumulative single-edge
+/// changes, each adding one missing edge *inside* a randomly chosen blob.
+/// Returns the `edits + 1` snapshots, base first.
+///
+/// This is the cross-session cache-reuse workload: consecutive snapshots
+/// differ in exactly one blob, so a cache-enabled session on snapshot
+/// `i + 1` reuses the ranked prefixes of every atom it shares with
+/// snapshot `i` (all but one blob) and only recomputes the edited atom.
+pub fn evolving_sequence(blobs: u32, blob_n: u32, p: f64, edits: u32, seed: u64) -> Vec<Graph> {
+    assert!(blob_n >= 2, "blobs need at least two vertices to edit");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5E9_0E4C));
+    let mut current = gnp_with_bridges(blobs, blob_n, p, seed);
+    let mut out = Vec::with_capacity(edits as usize + 1);
+    out.push(current.clone());
+    for _ in 0..edits {
+        // Pick a blob, then a missing intra-blob edge; adding (never
+        // removing) keeps every snapshot connected. A complete blob is
+        // skipped in favor of the next one — the random draw happens once
+        // per edit, so the `attempt` offset provably visits every blob.
+        let mut added = false;
+        let chosen = rng.gen_range(0..blobs);
+        for attempt in 0..blobs {
+            let b = (chosen + attempt) % blobs;
+            let offset = b * blob_n;
+            let candidates: Vec<(Vertex, Vertex)> = (0..blob_n)
+                .flat_map(|i| ((i + 1)..blob_n).map(move |j| (offset + i, offset + j)))
+                .filter(|&(u, v)| !current.has_edge(u, v))
+                .collect();
+            if let Some(&(u, v)) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                current.add_edge(u, v);
+                added = true;
+                break;
+            }
+        }
+        assert!(added, "every blob is complete; nothing left to edit");
+        out.push(current.clone());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +166,54 @@ mod tests {
         // Every arm vertex sees its arm plus the whole center.
         for v in 2..11 {
             assert_eq!(g.degree(v), 2 + 2);
+        }
+    }
+
+    #[test]
+    fn evolving_sequence_edits_one_blob_edge_at_a_time() {
+        let steps = evolving_sequence(3, 6, 0.35, 4, 42);
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0], gnp_with_bridges(3, 6, 0.35, 42));
+        for w in steps.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert_eq!(b.m(), a.m() + 1, "each step adds exactly one edge");
+            assert!(b.is_connected());
+            // The new edge lies inside one blob (no new bridges).
+            let new_edge = b
+                .edges()
+                .find(|&(u, v)| !a.has_edge(u, v))
+                .expect("one edge was added");
+            assert_eq!(new_edge.0 / 6, new_edge.1 / 6, "edit stays intra-blob");
+        }
+        // Deterministic for a fixed seed.
+        assert_eq!(steps, evolving_sequence(3, 6, 0.35, 4, 42));
+        // Different seeds diverge.
+        assert_ne!(steps, evolving_sequence(3, 6, 0.35, 4, 43));
+    }
+
+    #[test]
+    fn evolving_sequence_exhausts_blobs_without_panicking() {
+        // Drive each sequence to its exact edit capacity (every missing
+        // intra-blob edge): blobs saturate at different times, so the
+        // fallback must walk on to a still-editable blob — a re-drawing
+        // fallback would panic spuriously here.
+        for seed in 0..20 {
+            let base = gnp_with_bridges(2, 4, 0.5, seed);
+            let capacity: usize = (0..2u32)
+                .map(|b| {
+                    (0..4u32)
+                        .flat_map(|i| ((i + 1)..4).map(move |j| (4 * b + i, 4 * b + j)))
+                        .filter(|&(u, v)| !base.has_edge(u, v))
+                        .count()
+                })
+                .sum();
+            let steps = evolving_sequence(2, 4, 0.5, capacity as u32, seed);
+            assert_eq!(steps.len(), capacity + 1, "seed {seed}");
+            for w in steps.windows(2) {
+                assert_eq!(w[1].m(), w[0].m() + 1);
+            }
+            // The final snapshot has both blobs complete.
+            assert_eq!(steps.last().unwrap().m(), base.m() + capacity);
         }
     }
 

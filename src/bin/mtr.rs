@@ -27,11 +27,12 @@
 
 use ranked_triangulations::chordal::{self, clique_tree, write_td};
 use ranked_triangulations::core::{
-    Enumerate, EnumerationError, EnumerationRun, EnumerationStats, RankedTriangulation,
-    SimilarityMeasure, StopReason,
+    CachePolicy, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
+    RankedTriangulation, SimilarityMeasure, StopReason,
 };
 use ranked_triangulations::graph::{io, Graph};
 use ranked_triangulations::reduce::{decompose, EnumerateReduceExt, ReductionLevel};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -56,6 +57,8 @@ struct Options {
     deadline: Option<f64>,
     node_budget: Option<usize>,
     reduce: ReductionLevel,
+    cache: bool,
+    cache_dir: Option<PathBuf>,
     stats_json: bool,
     emit_td: Option<PathBuf>,
     bounds: bool,
@@ -87,10 +90,13 @@ fn usage() -> &'static str {
     "usage: mtr <graph-file|-> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]\n\
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
      \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
+     \x20          [--cache] [--cache-dir <directory>]\n\
      \x20          [--stats-json] [--emit-td <directory>] [--bounds]\n\
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
      \x20      --threads 0 auto-detects the hardware parallelism; with --reduce the\n\
-     \x20      workers advance the per-atom streams, otherwise the partition expansions"
+     \x20      workers advance the per-atom streams, otherwise the partition expansions\n\
+     \x20      --cache enables the canonical-form atom cache (requires --reduce);\n\
+     \x20      --cache-dir additionally persists atom prefixes across runs"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -119,6 +125,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             Mode::Atoms => ReductionLevel::Full,
             Mode::Enumerate => ReductionLevel::Off,
         },
+        cache: false,
+        cache_dir: None,
         stats_json: false,
         emit_td: None,
         bounds: false,
@@ -181,6 +189,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--reduce" => opts.reduce = value("--reduce")?.parse()?,
+            "--cache" => opts.cache = true,
+            "--cache-dir" => {
+                opts.cache = true;
+                opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?));
+            }
             "--stats-json" => opts.stats_json = true,
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
@@ -189,6 +202,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.mode == Mode::Atoms && opts.reduce == ReductionLevel::Off {
         return Err("the atoms subcommand expects --reduce components|full".to_string());
+    }
+    if opts.mode == Mode::Enumerate && opts.cache && opts.reduce == ReductionLevel::Off {
+        return Err(
+            "--cache / --cache-dir only apply to reduced sessions: add --reduce components|full"
+                .to_string(),
+        );
     }
     Ok(opts)
 }
@@ -266,6 +285,12 @@ fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationErr
     if let Some(nodes) = opts.node_budget {
         session = session.node_budget(nodes);
     }
+    if opts.cache {
+        session = session.cache(match &opts.cache_dir {
+            Some(dir) => CachePolicy::Dir(dir.clone()),
+            None => CachePolicy::in_memory(),
+        });
+    }
     // `ReductionLevel::Off` transparently runs the direct engine, so the
     // session can always go through the reduction layer.
     session.reduce(opts.reduce).run()
@@ -293,6 +318,8 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
             "\"max_queue_depth\": {}, \"final_queue_depth\": {}, ",
             "\"duplicates_skipped\": {}, \"diversity_rejected\": {}, ",
             "\"effective_threads\": {}, \"worker_tasks\": [{}], \"steals\": {}, ",
+            "\"atom_cache_hits\": {}, \"atom_cache_misses\": {}, ",
+            "\"atoms_deduped\": {}, \"cache_bytes\": {}, ",
             "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
             "\"delays_ms\": [{}]}}"
         ),
@@ -314,6 +341,10 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
         stats.effective_threads,
         worker_tasks.join(", "),
         stats.steals,
+        stats.atom_cache_hits,
+        stats.atom_cache_misses,
+        stats.atoms_deduped,
+        stats.cache_bytes,
         opt_secs(stats.average_delay()),
         opt_secs(stats.max_delay()),
         delays.join(", "),
@@ -341,9 +372,21 @@ fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
         dec.clique_separators.len(),
         dec.simplicial.len()
     );
+    // Canonical keys make the dedup potential visible: atoms sharing a key
+    // are isomorphic, so the cache would run one stream for the group.
+    let keys: Vec<ranked_triangulations::graph::CanonicalKey> = dec
+        .atoms
+        .iter()
+        .map(|atom| atom.graph.canonical_form().key)
+        .collect();
+    let mut groups: HashMap<ranked_triangulations::graph::CanonicalKey, Vec<usize>> =
+        HashMap::new();
+    for (i, &key) in keys.iter().enumerate() {
+        groups.entry(key).or_default().push(i);
+    }
     for (i, atom) in dec.atoms.iter().enumerate() {
         println!(
-            "atom #{i}: {} vertices, {} edges, {} {}",
+            "atom #{i}: {} vertices, {} edges, {} canonical {} {}",
             atom.graph.n(),
             atom.graph.m(),
             if atom.chordal {
@@ -351,8 +394,28 @@ fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
             } else {
                 "non-chordal"
             },
+            keys[i],
             format_vertices(&atom.vertices)
         );
+    }
+    let mut grouped: Vec<(&ranked_triangulations::graph::CanonicalKey, &Vec<usize>)> =
+        groups.iter().collect();
+    grouped.sort_by_key(|(_, members)| members[0]);
+    println!(
+        "isomorphism classes: {} ({} atoms deduplicated by the cache)",
+        grouped.len(),
+        dec.atoms.len() - grouped.len()
+    );
+    for (key, members) in grouped {
+        if members.len() > 1 {
+            let list: Vec<String> = members.iter().map(|i| format!("#{i}")).collect();
+            println!(
+                "  class {}: {} isomorphic atoms ({})",
+                key,
+                members.len(),
+                list.join(" ")
+            );
+        }
     }
     for sep in &dec.clique_separators {
         println!("clique separator: {}", format_vertices(sep));
@@ -405,6 +468,19 @@ fn run(opts: Options) -> Result<(), CliError> {
             ),
             n => println!("reduction ({}): factorized over {n} atoms", opts.reduce),
         }
+    }
+    if opts.cache {
+        println!(
+            "atom cache: {} hits, {} misses, {} atoms deduped, {} bytes resident{}",
+            stats.atom_cache_hits,
+            stats.atom_cache_misses,
+            stats.atoms_deduped,
+            stats.cache_bytes,
+            match &opts.cache_dir {
+                Some(dir) => format!(" (persisted in {})", dir.display()),
+                None => String::new(),
+            }
+        );
     }
     if opts.stats_json {
         println!("{}", stats_json(stats, run.stop_reason));
@@ -512,6 +588,70 @@ mod tests {
         let opts = parse_args(&args(&["graph.gr"])).unwrap();
         assert_eq!(opts.reduce, ReductionLevel::Off);
         assert!(!opts.stats_json);
+        assert!(!opts.cache);
+        assert!(opts.cache_dir.is_none());
+    }
+
+    #[test]
+    fn parse_args_cache_flags() {
+        let opts = parse_args(&args(&["g.gr", "--reduce", "full", "--cache"])).unwrap();
+        assert!(opts.cache);
+        assert!(opts.cache_dir.is_none());
+        let with_dir = parse_args(&args(&[
+            "g.gr",
+            "--reduce",
+            "full",
+            "--cache-dir",
+            "/tmp/atoms",
+        ]))
+        .unwrap();
+        assert!(with_dir.cache, "--cache-dir implies --cache");
+        assert_eq!(with_dir.cache_dir, Some(PathBuf::from("/tmp/atoms")));
+        // Caching without reduction is a usage error, not a silent no-op.
+        assert!(parse_args(&args(&["g.gr", "--cache"])).is_err());
+        assert!(parse_args(&args(&["g.gr", "--cache-dir", "/tmp/x"])).is_err());
+        // The atoms subcommand inspects the decomposition only.
+        assert!(parse_args(&args(&["atoms", "g.gr", "--cache"])).is_err());
+    }
+
+    #[test]
+    fn enumerate_with_cache_matches_and_reports_stats() {
+        // Two isomorphic C4s sharing a cut vertex: one keyed group, one
+        // atom deduplicated within the run.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+            ],
+        );
+        let plain = enumerate(
+            &g,
+            &parse_args(&args(&[
+                "g", "--cost", "fill", "--top", "10", "--reduce", "full",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let opts = parse_args(&args(&[
+            "g", "--cost", "fill", "--top", "10", "--reduce", "full", "--cache",
+        ]))
+        .unwrap();
+        let cached = enumerate(&g, &opts).unwrap();
+        assert_eq!(cached.stats.atoms_deduped, 1);
+        let plain_costs: Vec<_> = plain.results.iter().map(|r| r.cost).collect();
+        let cached_costs: Vec<_> = cached.results.iter().map(|r| r.cost).collect();
+        assert_eq!(plain_costs, cached_costs);
+        let json = stats_json(&cached.stats, cached.stop_reason);
+        assert!(json.contains("\"atom_cache_hits\": "));
+        assert!(json.contains("\"atoms_deduped\": 1"));
+        assert!(json.contains("\"cache_bytes\": "));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`separators`] | `mtr-separators` | minimal separators, crossing relation, blocks, realizations |
 //! | [`pmc`] | `mtr-pmc` | potential maximal cliques (test + enumeration) |
 //! | [`core`] | `mtr-core` | bag costs, `MinTriang`, `RankedTriang`, proper-decomposition enumeration, CKK baseline |
+//! | [`cache`] | `mtr-cache` | content-addressed atom cache: canonical-form keyed ranked prefixes, LRU + on-disk backend |
 //! | [`reduce`] | `mtr-reduce` | safe reductions, clique-separator atom decomposition, factorized ranked enumeration |
 //! | [`workloads`] | `mtr-workloads` | dataset generators and the experiment harness |
 //!
@@ -112,6 +113,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mtr_cache as cache;
 pub use mtr_chordal as chordal;
 pub use mtr_core as core;
 pub use mtr_graph as graph;
@@ -122,6 +124,7 @@ pub use mtr_workloads as workloads;
 
 /// The most commonly used items, for glob import in applications.
 pub mod prelude {
+    pub use mtr_cache::{AtomStore, CacheStats};
     pub use mtr_chordal::{clique_tree, is_chordal, is_minimal_triangulation, TreeDecomposition};
     pub use mtr_core::cost::{
         named_cost, BagCost, Constrained, Constraints, CostValue, CoverWidth, DynBagCost,
@@ -129,13 +132,13 @@ pub mod prelude {
     };
     pub use mtr_core::{
         all_triangulations_ranked, min_triangulation, resolve_threads, top_k_proper_decompositions,
-        top_k_triangulations, CkkEnumerator, DecompositionRun, Diversified, DiversityFilter,
-        Enumerate, EnumerationError, EnumerationRun, EnumerationStats, LbTriangSampler,
-        ParallelRankedEnumerator, PoolStats, Preprocessed, ProperDecompositionEnumerator,
-        RankedDecomposition, RankedEnumerator, RankedTriangulation, SessionReport,
-        SimilarityMeasure, StopReason, Triangulation, WorkerPool,
+        top_k_triangulations, CachePolicy, CkkEnumerator, DecompositionRun, Diversified,
+        DiversityFilter, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
+        LbTriangSampler, ParallelRankedEnumerator, PoolStats, Preprocessed,
+        ProperDecompositionEnumerator, RankedDecomposition, RankedEnumerator, RankedTriangulation,
+        SessionReport, SimilarityMeasure, StopReason, Triangulation, WorkerPool,
     };
-    pub use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
+    pub use mtr_graph::{CanonicalForm, CanonicalKey, Graph, Hypergraph, Vertex, VertexSet};
     pub use mtr_reduce::{decompose, Decomposition, EnumerateReduceExt, Reduced, ReductionLevel};
 }
 

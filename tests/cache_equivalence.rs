@@ -1,0 +1,381 @@
+//! Correctness of the content-addressed atom cache: enumeration through a
+//! cache-enabled reduced session — cold (empty store), warm (seeded by a
+//! previous session), under LRU pressure, or against an on-disk store —
+//! must stay equivalent to the direct engine: identical ranked cost
+//! sequences and identical triangulation sets (triangulations compare as
+//! fill-edge sets of the original graph, which quotients out the canonical
+//! relabeling the cache enumerates under).
+//!
+//! Also covered here: canonical-form invariance under random relabeling
+//! (the property the whole cache keying rests on) and rejection of
+//! version-mismatched on-disk cache files.
+
+mod common;
+
+use common::{arbitrary_graph, fill_key};
+use mtr_cache::{AtomStore, DiskBackend, DiskError, FORMAT_VERSION};
+use mtr_core::cost::{CostValue, FillIn, Width};
+use mtr_core::{BagCost, CachePolicy, Enumerate, EnumerationRun};
+use mtr_graph::{Graph, Vertex};
+use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+use mtr_workloads::decomposable::{
+    evolving_sequence, glued_grids, gnp_with_bridges, star_of_cliques,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn run_direct(g: &Graph, cost: &(dyn BagCost + Sync), k: Option<usize>) -> EnumerationRun {
+    let mut session = Enumerate::on(g).cost(cost);
+    if let Some(k) = k {
+        session = session.max_results(k);
+    }
+    session.run().expect("direct session cannot fail")
+}
+
+fn run_cached(
+    g: &Graph,
+    cost: &(dyn BagCost + Sync),
+    k: Option<usize>,
+    threads: usize,
+    store: Arc<AtomStore>,
+) -> EnumerationRun {
+    let mut session = Enumerate::on(g).cost(cost).threads(threads);
+    if let Some(k) = k {
+        session = session.max_results(k);
+    }
+    session
+        .reduce(ReductionLevel::Full)
+        .store(store)
+        .run()
+        .expect("cached session cannot fail")
+}
+
+fn costs(run: &EnumerationRun) -> Vec<CostValue> {
+    run.results.iter().map(|r| r.cost).collect()
+}
+
+fn fill_multiset(g: &Graph, run: &EnumerationRun) -> BTreeSet<Vec<(Vertex, Vertex)>> {
+    let set: BTreeSet<_> = run
+        .results
+        .iter()
+        .map(|r| fill_key(g, &r.triangulation))
+        .collect();
+    assert_eq!(
+        set.len(),
+        run.results.len(),
+        "enumeration must not emit duplicates"
+    );
+    set
+}
+
+/// The full equivalence check: direct ≡ cold ≡ warm on one store, at the
+/// given thread count, full streams.
+fn assert_cache_equivalent(g: &Graph, cost: &(dyn BagCost + Sync), threads: usize) {
+    let direct = run_direct(g, cost, None);
+    let store = AtomStore::in_memory(1 << 22);
+    let cold = run_cached(g, cost, None, threads, store.clone());
+    let warm = run_cached(g, cost, None, threads, store);
+    let name = cost.name();
+    assert_eq!(
+        costs(&direct),
+        costs(&cold),
+        "cold cost sequence mismatch under {name} at {threads} threads"
+    );
+    assert_eq!(
+        costs(&cold),
+        costs(&warm),
+        "warm cost sequence mismatch under {name} at {threads} threads"
+    );
+    assert_eq!(fill_multiset(g, &direct), fill_multiset(g, &cold));
+    assert_eq!(fill_multiset(g, &cold), fill_multiset(g, &warm));
+    // A warm session never misses what the cold one published.
+    assert_eq!(warm.stats.atom_cache_misses, 0, "warm run missed ({name})");
+}
+
+/// Deterministic pseudo-random permutation of `0..n`.
+fn permutation(n: u32, seed: u64) -> Vec<Vertex> {
+    let mut order: Vec<Vertex> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for i in (1..n as usize).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtr_cache_eq_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both combine modes (fill-in = Additive, width = Max), sequential:
+    /// warm ≡ cold ≡ direct on random graphs.
+    #[test]
+    fn cached_streams_match_direct_sequential(g in arbitrary_graph(4, 9)) {
+        assert_cache_equivalent(&g, &FillIn, 1);
+        assert_cache_equivalent(&g, &Width, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The same equivalence with the worker pool active (threads = 4):
+    /// seeding, lazy replay, prefetch publication, and the merge must all
+    /// stay invisible in the output.
+    #[test]
+    fn cached_streams_match_direct_threaded(g in arbitrary_graph(4, 8)) {
+        assert_cache_equivalent(&g, &FillIn, 4);
+        assert_cache_equivalent(&g, &Width, 4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Canonical forms are invariant under relabeling: the property the
+    /// cache keying rests on.
+    #[test]
+    fn canonical_key_invariant_under_relabeling(
+        g in arbitrary_graph(2, 10),
+        seed in 1u32..10_000,
+    ) {
+        let base = g.canonical_form();
+        let order = permutation(g.n(), seed as u64);
+        let relabeled = g.relabeled(&order);
+        let form = relabeled.canonical_form();
+        prop_assert_eq!(base.key, form.key);
+        // The recorded order really reconstructs one canonical graph: both
+        // sides relabeled by their own canonical order are equal.
+        prop_assert_eq!(
+            g.relabeled(&base.order),
+            relabeled.relabeled(&form.order)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A store too small to hold everything (forcing LRU eviction mid-run
+    /// and between runs) affects performance only, never results.
+    #[test]
+    fn lru_pressure_keeps_streams_correct(g in arbitrary_graph(5, 9)) {
+        let direct = run_direct(&g, &FillIn, None);
+        let tiny = AtomStore::in_memory(256);
+        let cold = run_cached(&g, &FillIn, None, 1, tiny.clone());
+        let warm = run_cached(&g, &FillIn, None, 1, tiny.clone());
+        prop_assert_eq!(costs(&direct), costs(&cold));
+        prop_assert_eq!(costs(&cold), costs(&warm));
+        prop_assert_eq!(fill_multiset(&g, &direct), fill_multiset(&g, &warm));
+        prop_assert!(tiny.stats().bytes <= 256);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus checks
+// ---------------------------------------------------------------------------
+
+/// The decomposable corpus: first-25 cost-sequence equivalence for both
+/// costs at threads 1 and 4, against one shared store (so later runs may
+/// hit prefixes published by earlier ones — exactly the production
+/// pattern). Fill sets are compared on *full* streams only (see the
+/// property tests): under a top-K budget, equal-cost plateaus are cut at
+/// an arbitrary tie order, which the canonical relabeling may permute.
+#[test]
+fn corpus_first_25_equivalence() {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("glued_grids3x3", glued_grids(3, 3, 2)),
+        ("star_of_cliques3x3", star_of_cliques(3, 3, 2)),
+        ("gnp_bridges2x8", gnp_with_bridges(2, 8, 0.3, 800)),
+    ];
+    const K: usize = 25;
+    let store = AtomStore::in_memory(1 << 22);
+    for (name, g) in &instances {
+        for cost in [&FillIn as &(dyn BagCost + Sync), &Width] {
+            let direct = run_direct(g, cost, Some(K));
+            for threads in [1, 4] {
+                let cached = run_cached(g, cost, Some(K), threads, store.clone());
+                assert_eq!(
+                    costs(&direct),
+                    costs(&cached),
+                    "{name} under {} at {threads} threads",
+                    cost.name()
+                );
+            }
+        }
+    }
+}
+
+/// The evolving-sequence workload: enumerate every snapshot against one
+/// store; every step after the base must hit the cache (it shares all but
+/// one atom with its predecessor) while staying equivalent to direct.
+#[test]
+fn evolving_sequence_reuses_across_sessions() {
+    let steps = evolving_sequence(3, 8, 0.3, 3, 900);
+    let store = AtomStore::in_memory(1 << 22);
+    let mut total_hits = 0usize;
+    for (i, g) in steps.iter().enumerate() {
+        let direct = run_direct(g, &FillIn, Some(10));
+        let cached = run_cached(g, &FillIn, Some(10), 1, store.clone());
+        assert_eq!(costs(&direct), costs(&cached), "snapshot {i}");
+        if i > 0 {
+            assert!(
+                cached.stats.atom_cache_hits > 0,
+                "snapshot {i} shares atoms with snapshot {}",
+                i - 1
+            );
+        }
+        total_hits += cached.stats.atom_cache_hits;
+    }
+    assert!(total_hits >= steps.len() - 1);
+}
+
+/// Budgeted warm sessions produce exact prefixes of the unbudgeted cold
+/// stream (budget semantics are cache-oblivious).
+#[test]
+fn warm_budgets_are_prefixes() {
+    let g = glued_grids(3, 3, 2);
+    let store = AtomStore::in_memory(1 << 22);
+    let full = run_cached(&g, &FillIn, None, 1, store.clone());
+    for k in [1, 3, 7] {
+        let capped = run_cached(&g, &FillIn, Some(k), 1, store.clone());
+        assert_eq!(capped.results.len(), k.min(full.results.len()));
+        for (a, b) in capped.results.iter().zip(&full.results) {
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-disk persistence
+// ---------------------------------------------------------------------------
+
+/// Round trip through `CachePolicy::Dir`: a second "process" (fresh
+/// session, same directory) serves its atoms from disk and matches.
+#[test]
+fn disk_store_round_trips_across_sessions() {
+    let dir = tmpdir("roundtrip");
+    let g = gnp_with_bridges(2, 8, 0.3, 801);
+    let direct = run_direct(&g, &FillIn, Some(15));
+    let run_dir = |g: &Graph| {
+        Enumerate::on(g)
+            .cost(&FillIn)
+            .max_results(15)
+            .cache(CachePolicy::Dir(dir.clone()))
+            .reduce(ReductionLevel::Full)
+            .run()
+            .expect("dir-cached session cannot fail")
+    };
+    let cold = run_dir(&g);
+    assert!(cold.stats.atom_cache_misses > 0, "first run is cold");
+    // A fresh store over the same directory: warm from disk alone.
+    let warm = run_dir(&g);
+    assert!(warm.stats.atom_cache_hits > 0, "second run loads from disk");
+    assert_eq!(warm.stats.atom_cache_misses, 0);
+    assert_eq!(costs(&direct), costs(&cold));
+    assert_eq!(costs(&cold), costs(&warm));
+    assert_eq!(fill_multiset(&g, &direct), fill_multiset(&g, &warm));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Files written by a different format version are rejected (typed error
+/// at the backend layer, clean miss at the session layer).
+#[test]
+fn disk_version_mismatch_is_rejected() {
+    let dir = tmpdir("version");
+    // Denser blobs: this instance has two non-chordal (i.e. cache-keyed)
+    // atoms, so the cold run persists files this test can poison.
+    let g = gnp_with_bridges(2, 10, 0.4, 802);
+    let run_dir = |g: &Graph| {
+        Enumerate::on(g)
+            .cost(&FillIn)
+            .max_results(10)
+            .cache(CachePolicy::Dir(dir.clone()))
+            .reduce(ReductionLevel::Full)
+            .run()
+            .expect("dir-cached session cannot fail")
+    };
+    let cold = run_dir(&g);
+    assert!(cold.stats.cache_bytes > 0);
+    // Corrupt every cache file's version header.
+    let mut files = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        files += 1;
+    }
+    assert!(files > 0, "the cold run persisted at least one atom");
+    // The backend reports the typed error…
+    let backend = DiskBackend::open(&dir).unwrap();
+    let key = mtr_cache::AtomKey {
+        graph: mtr_graph::CanonicalKey::from_words([0, 0]),
+        cost_id: "fill-in".into(),
+        width_bound: None,
+    };
+    assert!(backend.load(&key).ok().flatten().is_none());
+    // …and a session over the poisoned directory treats every file as a
+    // miss: zero hits, correct results, and it re-publishes good files.
+    let repaired = run_dir(&g);
+    assert_eq!(repaired.stats.atom_cache_hits, 0, "stale files never hit");
+    assert_eq!(costs(&cold), costs(&repaired));
+    let warm = run_dir(&g);
+    assert!(
+        warm.stats.atom_cache_hits > 0,
+        "re-published files hit again"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The version-mismatch error is distinguishable at the backend API (the
+/// property the repair path above relies on).
+#[test]
+fn disk_backend_reports_version_mismatch_error() {
+    let dir = tmpdir("typed");
+    let backend = DiskBackend::open(&dir).unwrap();
+    let key = mtr_cache::AtomKey {
+        graph: mtr_graph::CanonicalKey::from_words([11, 22]),
+        cost_id: "width".into(),
+        width_bound: None,
+    };
+    backend
+        .store(
+            &key,
+            &mtr_cache::CachedPrefix {
+                entries: vec![mtr_cache::CacheEntry {
+                    cost: 1.0,
+                    fill: vec![(0, 1)],
+                }],
+                complete: true,
+            },
+        )
+        .unwrap();
+    let path = backend.path_of(&key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        backend.load(&key),
+        Err(DiskError::VersionMismatch { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
