@@ -56,6 +56,10 @@ fn ranked_first_10(g: &Graph, level: ReductionLevel, threads: usize) -> usize {
 }
 
 fn bench_parallel_scaling(c: &mut Criterion) {
+    // Thread-scaling numbers are only meaningful relative to the recording
+    // host's width: warn loudly (and record `host_parallelism` in the
+    // snapshot) when the 2- and 4-thread rows cannot physically speed up.
+    mtr_bench::warn_if_oversubscribed(4);
     let mut group = c.benchmark_group("parallel_scaling_ranked_first_10");
     group
         .sample_size(10)

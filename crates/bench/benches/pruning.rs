@@ -1,0 +1,80 @@
+//! Ablation benchmarks for incumbent-bounded Lawler pruning: end-to-end
+//! ranked enumeration (first 10 results, preprocessing included) with the
+//! default `PruningPolicy::Incumbent` vs `--no-prune`, on the same
+//! non-decomposable instances the enumeration benches use. Pruning is
+//! exact — both rows emit the identical ranked stream — so the entire
+//! difference is deferred constrained re-optimizations.
+//!
+//! FillIn is the primary cost (additive combine, informative fill lower
+//! bounds); Width rows ride along to cover the max-combine path. Each
+//! instance also logs its `nodes_pruned` / `nodes_explored` counters once,
+//! so the snapshot note can record how often the bound actually fires.
+//!
+//! Snapshot with `MTR_BENCH_JSON=BENCH_pruning.json cargo bench -p
+//! mtr-bench --bench pruning`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtr_core::cost::{FillIn, Width};
+use mtr_core::{BagCost, Enumerate, PruningPolicy};
+use mtr_graph::Graph;
+use mtr_workloads::random::gnp_connected;
+use mtr_workloads::structured::{grid, mycielski};
+use std::time::Duration;
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp20_020", gnp_connected(20, 0.20, 7)),
+        ("myciel4", mycielski(4)),
+        ("grid4x4", grid(4, 4)),
+    ]
+}
+
+fn ranked_first_10(g: &Graph, cost: &(dyn BagCost + Sync), pruning: PruningPolicy) -> usize {
+    Enumerate::on(g)
+        .cost(cost)
+        .max_results(10)
+        .pruning(pruning)
+        .run()
+        .expect("session is well-configured")
+        .results
+        .len()
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning_ranked_first_10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (name, g) in instances() {
+        for (cost_name, cost) in [
+            ("fill", &FillIn as &(dyn BagCost + Sync)),
+            ("width", &Width),
+        ] {
+            // One diagnostic run per (instance, cost): how much work the
+            // incumbent bound defers, for the snapshot's note.
+            let run = Enumerate::on(&g)
+                .cost(cost)
+                .max_results(10)
+                .run()
+                .expect("session is well-configured");
+            eprintln!(
+                "{name}/{cost_name}: nodes_pruned={} nodes_explored={} incumbent={:?}",
+                run.stats.nodes_pruned, run.stats.nodes_explored, run.stats.incumbent_cost
+            );
+            for (mode, policy) in [
+                ("pruned", PruningPolicy::Incumbent),
+                ("no_prune", PruningPolicy::Off),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(&format!("{cost_name}_{mode}"), name),
+                    &g,
+                    |b, g| b.iter(|| ranked_first_10(g, cost, policy)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -49,6 +49,32 @@ pub fn budget_from_env(default_secs: f64) -> Duration {
     Duration::from_secs_f64(secs)
 }
 
+/// Hardware threads the recording host actually exposes. Thread-scaling
+/// snapshots are only meaningful relative to this number, so it belongs in
+/// every recorded JSON's `host` section as `host_parallelism`.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Prints a loud warning when a thread-scaling benchmark is about to run
+/// more worker threads than the host has hardware threads: every
+/// oversubscribed row measures scheduling overhead, not speedup, and the
+/// snapshot must be interpreted (and ideally re-recorded) accordingly.
+/// Returns the detected parallelism so callers can embed it in notes.
+pub fn warn_if_oversubscribed(max_threads: usize) -> usize {
+    let host = host_parallelism();
+    if host < max_threads {
+        eprintln!(
+            "WARNING: this host exposes host_parallelism = {host} hardware thread(s), \
+             but the benchmark scales up to {max_threads} workers. Rows with \
+             threads > {host} measure pool oversubscription overhead, not speedup; \
+             record host_parallelism in the snapshot's host section and re-record \
+             on a wider host to observe scaling."
+        );
+    }
+    host
+}
+
 /// Writes a report file under `results/`, creating the directory if needed.
 /// Returns the path written.
 pub fn write_report(name: &str, contents: &str) -> PathBuf {

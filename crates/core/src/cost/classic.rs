@@ -2,7 +2,7 @@
 
 use super::{induced_edge_count, AtomCombine, BagCost, ChildSolution, CostValue};
 use mtr_graph::{Graph, Hypergraph, Vertex, VertexSet};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Width: the cardinality of the largest bag minus one.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,6 +36,18 @@ impl BagCost for Width {
         // Width is the maximum of a ⊆-monotone bag price and ignores vertex
         // identities, so it max-combines exactly across atoms.
         Some(AtomCombine::Max)
+    }
+
+    fn include_lower_bound(&self, _g: &Graph, include: &[VertexSet]) -> Option<CostValue> {
+        // Each include separator is a clique of every member H, so it lies
+        // inside a bag. Bags of minimal triangulations are potential maximal
+        // cliques of G, and a minimal separator never is one (it has full
+        // components), so the containment is strict: width(H) ≥ |S|.
+        include
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .map(CostValue::from_usize)
     }
 }
 
@@ -80,6 +92,26 @@ impl BagCost for FillIn {
         // Fill sets of the per-atom triangulations are pairwise disjoint
         // (clique separators have no missing edges), so fill adds up.
         Some(AtomCombine::Additive)
+    }
+
+    fn include_lower_bound(&self, g: &Graph, include: &[VertexSet]) -> Option<CostValue> {
+        if include.is_empty() {
+            return None;
+        }
+        // Saturating each include separator forces its missing edges into
+        // every member of the partition; count each forced edge once.
+        let mut forced: HashSet<(Vertex, Vertex)> = HashSet::new();
+        for s in include {
+            let vs = s.to_vec();
+            for (i, &u) in vs.iter().enumerate() {
+                for &v in &vs[i + 1..] {
+                    if !g.has_edge(u, v) {
+                        forced.insert((u, v));
+                    }
+                }
+            }
+        }
+        Some(CostValue::from_usize(forced.len()))
     }
 }
 

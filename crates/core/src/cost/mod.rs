@@ -169,6 +169,19 @@ pub trait BagCost {
     fn atom_combine(&self) -> Option<AtomCombine> {
         None
     }
+
+    /// An *admissible* lower bound on the cost of every triangulation of `g`
+    /// that saturates all separators in `include` — the committed prefix of a
+    /// Lawler–Murty partition. Used by incumbent-bounded pruning to defer
+    /// partitions that cannot beat the incumbent; an inadmissible bound here
+    /// would break the ranked order, so implementations must only count cost
+    /// that is *forced* by the include set.
+    ///
+    /// The default `None` means "no prefix bound"; pruning then falls back on
+    /// the (always admissible) cost of the parent partition.
+    fn include_lower_bound(&self, _g: &Graph, _include: &[VertexSet]) -> Option<CostValue> {
+        None
+    }
 }
 
 /// Number of edges of the subgraph of `g` induced by `scope`.

@@ -62,7 +62,7 @@ pub mod session;
 pub use baseline::{BaselineResult, CkkEnumerator, LbTriangSampler};
 pub use cost::{named_cost, BagCost, Constrained, Constraints, CostValue, DynBagCost};
 pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
-pub use mintriang::{min_triangulation, Preprocessed, Triangulation};
+pub use mintriang::{min_triangulation, min_triangulation_in, Preprocessed, Triangulation};
 pub use parallel::ParallelRankedEnumerator;
 pub use pool::{resolve_threads, PoolStats, Scratch, WorkerPool};
 pub use properdec::{
@@ -73,6 +73,7 @@ pub use ranked::{
     RankedTriangulation,
 };
 pub use session::{
-    drive_engine, CachePolicy, DecompositionRun, Enumerate, EnumerationError, EnumerationRun,
-    EnumerationStats, SessionConfig, SessionEngine, SessionReport, StopReason,
+    drive_engine, heuristic_incumbent, CachePolicy, DecompositionRun, Enumerate, EnumerationError,
+    EnumerationRun, EnumerationStats, PruningPolicy, SessionConfig, SessionEngine, SessionReport,
+    StopReason,
 };

@@ -351,6 +351,27 @@ pub fn min_triangulation<K: BagCost + ?Sized>(
     pre: &Preprocessed,
     cost: &K,
 ) -> Option<Triangulation> {
+    thread_local! {
+        // The arena only pays off when it survives across invocations (the
+        // bound on Scratch::recycle keeps it small); a fresh arena per call
+        // would be strictly slower than plain clones.
+        static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+    }
+    SCRATCH.with(|s| min_triangulation_in(pre, cost, &mut s.borrow_mut()))
+}
+
+/// [`min_triangulation`] with an explicit scratch arena.
+///
+/// The dynamic program assembles and discards many intermediate bag lists
+/// (one per candidate improvement); this variant routes those `VertexSet`s
+/// through `scratch` so repeated invocations — one per Lawler–Murty node in
+/// the ranked engines — stop churning the allocator. The returned
+/// [`Triangulation`] owns its sets and does not borrow the scratch.
+pub fn min_triangulation_in<K: BagCost + ?Sized>(
+    pre: &Preprocessed,
+    cost: &K,
+    scratch: &mut Scratch,
+) -> Option<Triangulation> {
     let g = &pre.graph;
     if g.n() == 0 {
         return Some(Triangulation {
@@ -372,10 +393,10 @@ pub fn min_triangulation<K: BagCost + ?Sized>(
             };
             let value = cost.combine(g, scope, omega, &children);
             if best.as_ref().is_none_or(|b| value < b.cost) {
-                best = Some(BlockSolution {
-                    bags: assemble_bags(&children, omega),
-                    cost: value,
-                });
+                let bags = assemble_bags_in(&children, omega, scratch);
+                if let Some(replaced) = best.replace(BlockSolution { bags, cost: value }) {
+                    recycle_bags(scratch, replaced.bags);
+                }
             }
         }
         solutions[bi] = best;
@@ -392,10 +413,10 @@ pub fn min_triangulation<K: BagCost + ?Sized>(
             };
             let value = cost.combine(g, comp, omega, &children);
             if best.as_ref().is_none_or(|b| value < b.cost) {
-                best = Some(BlockSolution {
-                    bags: assemble_bags(&children, omega),
-                    cost: value,
-                });
+                let bags = assemble_bags_in(&children, omega, scratch);
+                if let Some(replaced) = best.replace(BlockSolution { bags, cost: value }) {
+                    recycle_bags(scratch, replaced.bags);
+                }
             }
         }
         let comp_solution = best?;
@@ -410,6 +431,11 @@ pub fn min_triangulation<K: BagCost + ?Sized>(
     let mut h = g.clone();
     for bag in &all_bags {
         h.saturate(bag);
+    }
+    // Everything the DP assembled is scratch material from here on.
+    recycle_bags(scratch, all_bags);
+    for sol in solutions.into_iter().flatten() {
+        recycle_bags(scratch, sol.bags);
     }
     let bags = maximal_cliques_chordal(&h)
         .expect("saturating the bags of a block decomposition must give a chordal graph");
@@ -442,14 +468,32 @@ fn gather_children<'a>(
     Some(children)
 }
 
-fn assemble_bags(children: &[ChildSolution<'_>], omega: &VertexSet) -> Vec<VertexSet> {
+/// Like cloning the child bags plus `omega` into a fresh list, but the
+/// backing sets come from the arena.
+fn assemble_bags_in(
+    children: &[ChildSolution<'_>],
+    omega: &VertexSet,
+    scratch: &mut Scratch,
+) -> Vec<VertexSet> {
     let mut bags: Vec<VertexSet> =
         Vec::with_capacity(1 + children.iter().map(|c| c.bags.len()).sum::<usize>());
     for c in children {
-        bags.extend(c.bags.iter().cloned());
+        for b in c.bags {
+            let mut copy = scratch.take(b.universe());
+            copy.copy_from(b);
+            bags.push(copy);
+        }
     }
-    bags.push(omega.clone());
+    let mut top = scratch.take(omega.universe());
+    top.copy_from(omega);
+    bags.push(top);
     bags
+}
+
+fn recycle_bags(scratch: &mut Scratch, bags: Vec<VertexSet>) {
+    for b in bags {
+        scratch.recycle(b);
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 //!   session builder uses this path.
 
 use crate::cost::{BagCost, Constrained, Constraints, CostValue};
-use crate::mintriang::{min_triangulation, Preprocessed, Triangulation};
+use crate::mintriang::{min_triangulation_in, Preprocessed, Triangulation};
 use crate::pool::{self, Scratch, WorkerPool};
 use crate::ranked::RankedTriangulation;
 use mtr_graph::VertexSet;
@@ -32,10 +32,17 @@ use mtr_separators::enumerate::minimal_separators;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+/// Mirror of the sequential engine's node state: solved entries carry their
+/// exact-cost optimum, deferred entries only an admissible lower bound.
+enum EntryState {
+    Solved(Triangulation),
+    Deferred,
+}
+
 struct Entry {
     cost: CostValue,
     sequence: u64,
-    best: Triangulation,
+    state: EntryState,
     constraints: Constraints,
 }
 
@@ -79,6 +86,9 @@ pub struct ParallelRankedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     nodes_explored: usize,
     sequence: u64,
     started: bool,
+    prune: bool,
+    incumbent: Option<CostValue>,
+    nodes_deferred: usize,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
@@ -108,7 +118,35 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             nodes_explored: 0,
             sequence: 0,
             started: false,
+            prune: false,
+            incumbent: None,
+            nodes_deferred: 0,
         }
+    }
+
+    /// Enables incumbent-bounded Lawler pruning, optionally seeded with the
+    /// cost of a known (e.g. heuristic) minimal triangulation. Identical
+    /// semantics to [`crate::ranked::RankedEnumerator::with_pruning`]: the
+    /// output sequence is unchanged, only re-optimizations that cannot affect
+    /// the emitted prefix are deferred.
+    pub fn with_pruning(mut self, incumbent: Option<CostValue>) -> Self {
+        debug_assert!(!self.started, "enable pruning before iterating");
+        self.prune = true;
+        self.incumbent = incumbent;
+        self
+    }
+
+    /// Number of constrained re-optimizations deferred by pruning and never
+    /// (yet) paid for; see
+    /// [`crate::ranked::RankedEnumerator::nodes_pruned`].
+    pub fn nodes_pruned(&self) -> usize {
+        self.nodes_deferred
+    }
+
+    /// The current incumbent cost bound, if pruning is active and a bound is
+    /// known (the heuristic seed, then the most recently emitted cost).
+    pub fn incumbent(&self) -> Option<CostValue> {
+        self.incumbent
     }
 
     /// Number of results skipped as duplicates (expected to be zero; see
@@ -130,9 +168,11 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
     }
 
     /// Solves `MinTriang⟨κ[I, X]⟩` for a batch of constraint sets in
-    /// parallel (one pool task each) and returns the satisfying optima, in
-    /// batch order.
-    fn solve_batch(&self, batch: Vec<Constraints>) -> Vec<(Triangulation, Constraints)> {
+    /// parallel (one pool task each, each re-optimization drawing its
+    /// `VertexSet` scratch from the worker's arena) and returns one slot per
+    /// input in batch order — `None` where the constrained instance is
+    /// infeasible or the optimum does not satisfy its constraints.
+    fn solve_batch(&self, batch: Vec<Constraints>) -> Vec<Option<(Triangulation, Constraints)>> {
         if batch.is_empty() {
             return Vec::new();
         }
@@ -141,9 +181,9 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         let tasks: Vec<_> = batch
             .into_iter()
             .map(|constraints| {
-                move |_scratch: &mut Scratch| {
+                move |scratch: &mut Scratch| {
                     let constrained = Constrained::new(cost, &constraints);
-                    let best = min_triangulation(pre, &constrained);
+                    let best = min_triangulation_in(pre, &constrained, scratch);
                     (best, constraints)
                 }
             })
@@ -154,7 +194,7 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         };
         solved
             .into_iter()
-            .filter_map(|(result, constraints)| {
+            .map(|(result, constraints)| {
                 result.and_then(|best| {
                     if constraints.satisfied_by_graph(&best.graph) {
                         Some((best, constraints))
@@ -166,35 +206,102 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             .collect()
     }
 
-    fn push_solutions(&mut self, solutions: Vec<(Triangulation, Constraints)>) {
-        for (best, constraints) in solutions {
-            self.sequence += 1;
+    /// Pays for a deferred partition that reached the top of the queue: one
+    /// constrained re-optimization (a single pool task), reinserted at its
+    /// exact cost under its *original* sequence number so tie-breaks match
+    /// the unpruned run.
+    fn solve_deferred(&mut self, entry: Entry) {
+        self.nodes_deferred -= 1;
+        self.nodes_explored += 1;
+        let solved = self.solve_batch(vec![entry.constraints]);
+        if let Some((best, constraints)) = solved.into_iter().next().flatten() {
+            debug_assert!(
+                best.cost >= entry.cost,
+                "deferred lower bound was not admissible"
+            );
             self.queue.push(Entry {
                 cost: best.cost,
-                sequence: self.sequence,
-                best,
+                sequence: entry.sequence,
+                state: EntryState::Solved(best),
                 constraints,
             });
         }
     }
 
-    fn expand(&mut self, seps_of_h: &[VertexSet], constraints: &Constraints) {
+    fn expand(
+        &mut self,
+        seps_of_h: &[VertexSet],
+        constraints: &Constraints,
+        parent_cost: CostValue,
+    ) {
         let new_seps: Vec<&VertexSet> = seps_of_h
             .iter()
             .filter(|s| !constraints.include.contains(s))
             .collect();
-        let batch: Vec<Constraints> = (0..new_seps.len())
-            .map(|i| {
-                let mut include = constraints.include.clone();
-                include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
-                let mut exclude = constraints.exclude.clone();
-                exclude.push(new_seps[i].clone());
-                Constraints::new(include, exclude)
-            })
-            .collect();
-        self.nodes_explored += batch.len();
-        let solutions = self.solve_batch(batch);
-        self.push_solutions(solutions);
+        let bound_children = self.prune && self.incumbent.is_some();
+        // Split the children — in generation order — into deferred ones,
+        // which enter the queue on their admissible lower bound alone, and
+        // eager ones, which are re-optimized as one pool batch.
+        let mut deferred: Vec<(usize, CostValue, Constraints)> = Vec::new();
+        let mut eager_positions: Vec<usize> = Vec::new();
+        let mut eager_batch: Vec<Constraints> = Vec::new();
+        for i in 0..new_seps.len() {
+            let mut include = constraints.include.clone();
+            include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
+            let mut exclude = constraints.exclude.clone();
+            exclude.push(new_seps[i].clone());
+            let lower_bound = bound_children.then(|| {
+                match self.cost.include_lower_bound(self.pre.graph(), &include) {
+                    Some(prefix) => parent_cost.max(prefix),
+                    None => parent_cost,
+                }
+            });
+            let child = Constraints::new(include, exclude);
+            match (lower_bound, self.incumbent) {
+                (Some(lb), Some(incumbent)) if lb > incumbent => deferred.push((i, lb, child)),
+                _ => {
+                    eager_positions.push(i);
+                    eager_batch.push(child);
+                }
+            }
+        }
+        self.nodes_explored += eager_batch.len();
+        let solved = self.solve_batch(eager_batch);
+        // Re-interleave solved and deferred children by generation position
+        // before assigning sequence numbers, so ties break exactly as in the
+        // sequential engine (and as in an unpruned run).
+        let mut pending: Vec<(usize, Entry)> = Vec::with_capacity(new_seps.len());
+        for (i, lb, child) in deferred {
+            self.nodes_deferred += 1;
+            pending.push((
+                i,
+                Entry {
+                    cost: lb,
+                    sequence: 0,
+                    state: EntryState::Deferred,
+                    constraints: child,
+                },
+            ));
+        }
+        for (i, result) in eager_positions.into_iter().zip(solved) {
+            if let Some((best, child)) = result {
+                pending.push((
+                    i,
+                    Entry {
+                        cost: best.cost,
+                        sequence: 0,
+                        state: EntryState::Solved(best),
+                        constraints: child,
+                    },
+                ));
+            }
+        }
+        pending.sort_by_key(|(i, _)| *i);
+        for (_, mut entry) in pending {
+            self.sequence += 1;
+            entry.sequence = self.sequence;
+            self.queue.push(entry);
+        }
     }
 }
 
@@ -205,25 +312,43 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
         if !self.started {
             self.started = true;
             self.nodes_explored += 1;
-            let solutions = self.solve_batch(vec![Constraints::none()]);
-            self.push_solutions(solutions);
+            let solved = self.solve_batch(vec![Constraints::none()]);
+            if let Some((best, constraints)) = solved.into_iter().next().flatten() {
+                self.sequence += 1;
+                self.queue.push(Entry {
+                    cost: best.cost,
+                    sequence: self.sequence,
+                    state: EntryState::Solved(best),
+                    constraints,
+                });
+            }
         }
         loop {
             let entry = self.queue.pop()?;
-            let fill = entry.best.fill_edges(self.pre.graph());
+            let best = match entry.state {
+                EntryState::Deferred => {
+                    self.solve_deferred(entry);
+                    continue;
+                }
+                EntryState::Solved(best) => best,
+            };
+            let fill = best.fill_edges(self.pre.graph());
             let is_new = self.emitted_fills.insert(fill);
             // Computed once: shared by the expansion and the emitted result.
-            let seps_of_h = minimal_separators(&entry.best.graph);
-            self.expand(&seps_of_h, &entry.constraints);
+            let seps_of_h = minimal_separators(&best.graph);
+            self.expand(&seps_of_h, &entry.constraints, entry.cost);
             if !is_new {
                 self.duplicates_skipped += 1;
                 continue;
             }
+            if self.prune {
+                self.incumbent = Some(best.cost);
+            }
             return Some(RankedTriangulation {
                 minimal_separators: seps_of_h,
-                triangulation: entry.best.graph,
-                bags: entry.best.bags,
-                cost: entry.best.cost,
+                triangulation: best.graph,
+                bags: best.bags,
+                cost: best.cost,
             });
         }
     }
@@ -311,6 +436,34 @@ mod tests {
         assert_eq!(fill_keys(&g, &owned), fill_keys(&g, &pooled));
         assert_eq!(stats.threads, 3);
         assert!(stats.worker_tasks.iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn pruned_parallel_matches_unpruned_and_sequential() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&g);
+        for threads in [1, 4] {
+            let plain: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, threads).collect();
+            for seed in [None, Some(CostValue::ZERO), Some(CostValue::from_usize(3))] {
+                let pruned: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, threads)
+                    .with_pruning(seed)
+                    .collect();
+                assert_eq!(plain.len(), pruned.len(), "threads = {threads}");
+                let plain_costs: Vec<_> = plain.iter().map(|r| r.cost).collect();
+                let pruned_costs: Vec<_> = pruned.iter().map(|r| r.cost).collect();
+                assert_eq!(plain_costs, pruned_costs);
+                assert_eq!(fill_keys(&g, &plain), fill_keys(&g, &pruned));
+            }
+        }
+        // A pruned prefix still matches the sequential engine, and defers
+        // work a tight seed makes prunable.
+        let sequential: Vec<_> = RankedEnumerator::new(&pre, &FillIn).take(3).collect();
+        let mut pruned_iter =
+            ParallelRankedEnumerator::new(&pre, &FillIn, 4).with_pruning(Some(CostValue::ZERO));
+        let pruned: Vec<_> = pruned_iter.by_ref().take(3).collect();
+        assert_eq!(fill_keys(&g, &sequential), fill_keys(&g, &pruned));
+        assert!(pruned_iter.nodes_pruned() > 0);
+        assert_eq!(pruned_iter.incumbent(), Some(pruned[2].cost));
     }
 
     #[test]

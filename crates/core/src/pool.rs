@@ -44,6 +44,12 @@ use std::sync::{mpsc, Condvar, Mutex};
 #[derive(Debug, Default)]
 pub struct Scratch {
     free: Vec<VertexSet>,
+    bytes_reused: usize,
+}
+
+/// Heap bytes of one bitset over `universe` vertices.
+fn set_bytes(universe: u32) -> usize {
+    (universe as usize).div_ceil(64) * std::mem::size_of::<u64>()
 }
 
 impl Scratch {
@@ -53,6 +59,7 @@ impl Scratch {
         if let Some(pos) = self.free.iter().position(|s| s.universe() == universe) {
             let mut s = self.free.swap_remove(pos);
             s.clear();
+            self.bytes_reused += set_bytes(universe);
             s
         } else {
             VertexSet::empty(universe)
@@ -62,9 +69,15 @@ impl Scratch {
     /// Hands a set back for reuse by a later [`Scratch::take`].
     pub fn recycle(&mut self, set: VertexSet) {
         // Bound the arena so one huge batch cannot pin memory forever.
-        if self.free.len() < 32 {
+        if self.free.len() < 128 {
             self.free.push(set);
         }
+    }
+
+    /// Total bytes of bitset storage served from the arena instead of fresh
+    /// allocations, over the lifetime of this scratch.
+    pub fn bytes_reused(&self) -> usize {
+        self.bytes_reused
     }
 }
 
@@ -80,6 +93,9 @@ pub struct PoolStats {
     pub worker_tasks: Vec<usize>,
     /// Tasks a worker popped from a sibling's deque (work stealing events).
     pub steals: usize,
+    /// Bytes of bitset scratch served from the per-worker arenas instead of
+    /// fresh allocations, summed over all workers.
+    pub arena_bytes_reused: usize,
 }
 
 type Task<'env> = Box<dyn FnOnce(&mut Scratch) + Send + 'env>;
@@ -97,6 +113,7 @@ struct Shared<'env> {
     wakeup: Condvar,
     executed: Vec<AtomicUsize>,
     steals: AtomicUsize,
+    arena_reused: AtomicUsize,
     /// Scratch of the submitting thread (workers own theirs on their stack).
     main_scratch: Mutex<Scratch>,
 }
@@ -112,6 +129,7 @@ impl<'env> Shared<'env> {
             wakeup: Condvar::new(),
             executed: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
             steals: AtomicUsize::new(0),
+            arena_reused: AtomicUsize::new(0),
             main_scratch: Mutex::new(Scratch::default()),
         }
     }
@@ -144,7 +162,10 @@ impl<'env> Shared<'env> {
         if from != wi {
             self.steals.fetch_add(1, Ordering::Relaxed);
         }
+        let before = scratch.bytes_reused();
         task(scratch);
+        self.arena_reused
+            .fetch_add(scratch.bytes_reused() - before, Ordering::Relaxed);
     }
 
     fn shutdown(&self) {
@@ -217,6 +238,7 @@ impl<'env> WorkerPool<'env, '_> {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            arena_bytes_reused: self.shared.arena_reused.load(Ordering::Relaxed),
         }
     }
 
@@ -248,7 +270,12 @@ impl<'env> WorkerPool<'env, '_> {
                 .lock()
                 .expect("pool scratch poisoned");
             self.shared.executed[0].fetch_add(n, Ordering::Relaxed);
-            return tasks.into_iter().map(|t| t(&mut scratch)).collect();
+            let before = scratch.bytes_reused();
+            let out: Vec<T> = tasks.into_iter().map(|t| t(&mut scratch)).collect();
+            self.shared
+                .arena_reused
+                .fetch_add(scratch.bytes_reused() - before, Ordering::Relaxed);
+            return out;
         }
 
         let (tx, rx) = mpsc::channel::<(usize, T)>();
@@ -418,13 +445,16 @@ mod tests {
     fn scratch_recycles_matching_universes() {
         let mut scratch = Scratch::default();
         let mut a = scratch.take(70);
+        assert_eq!(scratch.bytes_reused(), 0, "first take allocates");
         a.insert(5);
         scratch.recycle(a);
         let b = scratch.take(70);
         assert!(b.is_empty(), "recycled sets come back cleared");
         assert_eq!(b.universe(), 70);
+        assert_eq!(scratch.bytes_reused(), 16, "two u64 words reused");
         let c = scratch.take(10);
         assert_eq!(c.universe(), 10);
+        assert_eq!(scratch.bytes_reused(), 16, "mismatched universe allocates");
     }
 
     #[test]

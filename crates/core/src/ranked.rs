@@ -16,7 +16,8 @@
 //! consecutive results is polynomial.
 
 use crate::cost::{BagCost, Constrained, Constraints, CostValue};
-use crate::mintriang::{min_triangulation, Preprocessed, Triangulation};
+use crate::mintriang::{min_triangulation_in, Preprocessed, Triangulation};
+use crate::pool::Scratch;
 use mtr_graph::{Graph, VertexSet};
 use mtr_separators::enumerate::minimal_separators;
 use std::cmp::Ordering;
@@ -53,13 +54,25 @@ impl RankedTriangulation {
     }
 }
 
-/// A partition of the not-yet-emitted triangulations, represented by its
-/// best member.
+/// How a queued partition is materialized.
+#[derive(Debug)]
+enum NodeState {
+    /// The partition has been re-optimized; the entry's key is the exact
+    /// cost of this best member.
+    Solved(Triangulation),
+    /// Incumbent-bounded pruning deferred the re-optimization; the entry's
+    /// key is an admissible lower bound on the partition's best cost. The
+    /// node is solved only if it ever reaches the front of the queue.
+    Deferred,
+}
+
+/// A partition of the not-yet-emitted triangulations, keyed by the exact
+/// cost of its best member (solved) or an admissible lower bound (deferred).
 #[derive(Debug)]
 struct QueueEntry {
     cost: CostValue,
     sequence: u64,
-    best: Triangulation,
+    state: NodeState,
     constraints: Constraints,
 }
 
@@ -102,12 +115,52 @@ pub struct RankedState {
     nodes_explored: usize,
     sequence: u64,
     started: bool,
+    /// Per-state arena for the `MinTriang` re-optimizations.
+    scratch: Scratch,
+    /// Incumbent-bounded pruning: when on, children whose lower bound
+    /// strictly exceeds `incumbent` are enqueued [`NodeState::Deferred`]
+    /// instead of being re-optimized eagerly. The emitted sequence is
+    /// identical either way; see the module docs of `session` for why.
+    prune: bool,
+    /// Cost of the best known triangulation: the heuristic seed before the
+    /// first emission, then the cost of the latest emitted result.
+    incumbent: Option<CostValue>,
+    /// Deferred entries currently in the queue (re-optimizations avoided so
+    /// far; any of them still in the queue when the caller stops pulling
+    /// was pruned for good).
+    nodes_deferred: usize,
 }
 
 impl RankedState {
     /// Creates a fresh (not yet started) enumeration state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Turns on incumbent-bounded pruning, optionally seeding the incumbent
+    /// with the cost of a heuristic triangulation (an upper bound on the
+    /// cheapest result). Must be called before the first [`RankedState::next`].
+    pub fn enable_pruning(&mut self, incumbent: Option<CostValue>) {
+        debug_assert!(!self.started, "pruning must be configured up front");
+        self.prune = true;
+        self.incumbent = incumbent;
+    }
+
+    /// Number of partitions whose re-optimization is currently deferred by
+    /// pruning. Once the caller stops pulling, these are exactly the
+    /// `MinTriang` calls that were never paid for.
+    pub fn nodes_pruned(&self) -> usize {
+        self.nodes_deferred
+    }
+
+    /// The current incumbent cost, when pruning is on and a bound is known.
+    pub fn incumbent(&self) -> Option<CostValue> {
+        self.incumbent
+    }
+
+    /// Bytes of bitset scratch this state's arena served without allocating.
+    pub fn arena_bytes_reused(&self) -> usize {
+        self.scratch.bytes_reused()
     }
 
     /// Number of results skipped because an identical triangulation was
@@ -141,29 +194,73 @@ impl RankedState {
     ) -> Option<RankedTriangulation> {
         if !self.started {
             self.started = true;
-            self.push_partition(pre, cost, Constraints::none());
+            self.push_partition(pre, cost, Constraints::none(), None);
         }
         loop {
             let entry = self.queue.pop()?;
-            let fill = entry.best.fill_edges(pre.graph());
+            let best = match entry.state {
+                NodeState::Solved(best) => best,
+                NodeState::Deferred => {
+                    // The deferred partition reached the front of the queue:
+                    // it must be solved now. Reinserting at its exact cost
+                    // with the *original* sequence number reproduces the
+                    // unpruned order exactly, ties included, because the
+                    // lower bound never exceeds the exact cost.
+                    self.solve_deferred(pre, cost, entry);
+                    continue;
+                }
+            };
+            let fill = best.fill_edges(pre.graph());
             let is_new = self.emitted_fills.insert(fill);
             // The minimal separators of H feed both the partition expansion
             // and the emitted result: compute them once and share.
-            let seps_of_h = minimal_separators(&entry.best.graph);
-            self.expand(pre, cost, &seps_of_h, &entry.constraints);
+            let seps_of_h = minimal_separators(&best.graph);
+            self.expand(pre, cost, &seps_of_h, &entry.constraints, entry.cost);
             if !is_new {
                 // Should not happen (partitions are disjoint); counted so the
                 // tests can assert on it, and skipped to preserve soundness.
                 self.duplicates_skipped += 1;
                 continue;
             }
+            // Emitted results track the frontier: a child can only be needed
+            // after everything at most as expensive as the incumbent is out.
+            if self.prune {
+                self.incumbent = Some(best.cost);
+            }
             let result = RankedTriangulation {
                 minimal_separators: seps_of_h,
-                triangulation: entry.best.graph,
-                bags: entry.best.bags,
-                cost: entry.best.cost,
+                triangulation: best.graph,
+                bags: best.bags,
+                cost: best.cost,
             };
             return Some(result);
+        }
+    }
+
+    /// Re-optimizes a deferred entry and reinserts it (at its exact cost,
+    /// keeping its sequence number) when its partition is non-empty.
+    fn solve_deferred<K: BagCost + ?Sized>(
+        &mut self,
+        pre: &Preprocessed,
+        cost: &K,
+        entry: QueueEntry,
+    ) {
+        self.nodes_deferred -= 1;
+        self.nodes_explored += 1;
+        let constrained = Constrained::new(cost, &entry.constraints);
+        if let Some(best) = min_triangulation_in(pre, &constrained, &mut self.scratch) {
+            if entry.constraints.satisfied_by_graph(&best.graph) {
+                debug_assert!(
+                    best.cost >= entry.cost,
+                    "deferral lower bound must be admissible"
+                );
+                self.queue.push(QueueEntry {
+                    cost: best.cost,
+                    sequence: entry.sequence,
+                    state: NodeState::Solved(best),
+                    constraints: entry.constraints,
+                });
+            }
         }
     }
 
@@ -172,10 +269,28 @@ impl RankedState {
         pre: &Preprocessed,
         cost: &K,
         constraints: Constraints,
+        lower_bound: Option<CostValue>,
     ) {
+        if self.prune {
+            if let (Some(lb), Some(incumbent)) = (lower_bound, self.incumbent) {
+                // Strictly-greater only: a partition whose bound ties the
+                // incumbent may hold the next result, so it stays eager.
+                if lb > incumbent {
+                    self.sequence += 1;
+                    self.nodes_deferred += 1;
+                    self.queue.push(QueueEntry {
+                        cost: lb,
+                        sequence: self.sequence,
+                        state: NodeState::Deferred,
+                        constraints,
+                    });
+                    return;
+                }
+            }
+        }
         self.nodes_explored += 1;
         let constrained = Constrained::new(cost, &constraints);
-        if let Some(best) = min_triangulation(pre, &constrained) {
+        if let Some(best) = min_triangulation_in(pre, &constrained, &mut self.scratch) {
             // Guard against a best solution that silently violates the
             // constraints (line 12 of the algorithm): only non-empty
             // partitions are enqueued.
@@ -184,7 +299,7 @@ impl RankedState {
                 self.queue.push(QueueEntry {
                     cost: best.cost,
                     sequence: self.sequence,
-                    best,
+                    state: NodeState::Solved(best),
                     constraints,
                 });
             }
@@ -197,6 +312,7 @@ impl RankedState {
         cost: &K,
         seps_of_h: &[VertexSet],
         constraints: &Constraints,
+        parent_cost: CostValue,
     ) {
         // Minimal separators of the emitted triangulation H; those not
         // already forced define the sub-partitions.
@@ -204,12 +320,21 @@ impl RankedState {
             .iter()
             .filter(|s| !constraints.include.contains(s))
             .collect();
+        let bound_children = self.prune && self.incumbent.is_some();
         for i in 0..new_seps.len() {
             let mut include = constraints.include.clone();
             include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
             let mut exclude = constraints.exclude.clone();
             exclude.push(new_seps[i].clone());
-            self.push_partition(pre, cost, Constraints::new(include, exclude));
+            // Children are sub-partitions of the parent, so the parent's
+            // exact cost lower-bounds them for *any* bag cost; the cost may
+            // sharpen that with a bound forced by the committed prefix.
+            let lb =
+                bound_children.then(|| match cost.include_lower_bound(pre.graph(), &include) {
+                    Some(prefix) => parent_cost.max(prefix),
+                    None => parent_cost,
+                });
+            self.push_partition(pre, cost, Constraints::new(include, exclude), lb);
         }
     }
 }
@@ -232,6 +357,30 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
             cost,
             state: RankedState::new(),
         }
+    }
+
+    /// Turns on incumbent-bounded pruning with an optional heuristic seed;
+    /// see [`RankedState::enable_pruning`].
+    pub fn with_pruning(mut self, incumbent: Option<CostValue>) -> Self {
+        self.state.enable_pruning(incumbent);
+        self
+    }
+
+    /// Number of re-optimizations currently avoided by pruning; see
+    /// [`RankedState::nodes_pruned`].
+    pub fn nodes_pruned(&self) -> usize {
+        self.state.nodes_pruned()
+    }
+
+    /// The current incumbent cost, if pruning holds one.
+    pub fn incumbent(&self) -> Option<CostValue> {
+        self.state.incumbent()
+    }
+
+    /// Bytes of bitset scratch served from the arena; see
+    /// [`RankedState::arena_bytes_reused`].
+    pub fn arena_bytes_reused(&self) -> usize {
+        self.state.arena_bytes_reused()
     }
 
     /// Number of duplicate results skipped; see
@@ -405,6 +554,48 @@ mod tests {
         let pre1 = Preprocessed::new_bounded(&c6, 1);
         let results1: Vec<_> = RankedEnumerator::new(&pre1, &FillIn).collect();
         assert!(results1.is_empty());
+    }
+
+    #[test]
+    fn pruned_enumeration_matches_unpruned_exactly() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&c6);
+        for cost in [&Width as &dyn BagCost, &FillIn, &WidthThenFill] {
+            let plain: Vec<_> = RankedEnumerator::new(&pre, cost).collect();
+            // Any incumbent seed — even a nonsensically low one — only defers
+            // work; the emitted sequence is bit-identical.
+            for seed in [None, Some(CostValue::ZERO), Some(CostValue::from_usize(2))] {
+                let pruned: Vec<_> = RankedEnumerator::new(&pre, cost)
+                    .with_pruning(seed)
+                    .collect();
+                assert_eq!(pruned.len(), plain.len(), "{}", cost.name());
+                for (a, b) in plain.iter().zip(&pruned) {
+                    assert_eq!(a.cost, b.cost);
+                    assert_eq!(a.triangulation, b.triangulation);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_defers_re_optimizations_for_top_k() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&c6);
+        let mut pruned = RankedEnumerator::new(&pre, &FillIn).with_pruning(Some(CostValue::ZERO));
+        let first = pruned.next().unwrap();
+        let mut plain = RankedEnumerator::new(&pre, &FillIn);
+        assert_eq!(plain.next().unwrap().cost, first.cost);
+        assert!(
+            pruned.nodes_pruned() > 0,
+            "children above the incumbent must be deferred"
+        );
+        assert!(
+            pruned.nodes_explored() < plain.nodes_explored(),
+            "pruning must avoid eager re-optimizations ({} vs {})",
+            pruned.nodes_explored(),
+            plain.nodes_explored()
+        );
+        assert_eq!(pruned.incumbent(), Some(first.cost));
     }
 
     #[test]

@@ -37,14 +37,16 @@
 //! `Diversified::new`) remain available as the low-level engine layer the
 //! session drives; new code should prefer [`Enumerate`].
 
-use crate::cost::{named_cost, BagCost, DynBagCost, Width};
+use crate::cost::{named_cost, BagCost, CostValue, DynBagCost, Width};
 use crate::diverse::{DiversityFilter, SimilarityMeasure};
 use crate::mintriang::Preprocessed;
 use crate::parallel::ParallelRankedEnumerator;
 use crate::pool::{self, resolve_threads};
 use crate::properdec::RankedDecomposition;
 use crate::ranked::{RankedEnumerator, RankedTriangulation};
-use mtr_chordal::clique_trees_from_cliques;
+use mtr_chordal::{
+    clique_trees_from_cliques, lb_triang_min_degree, maximal_cliques_chordal, mcs_m,
+};
 use mtr_graph::io::ParseError;
 use mtr_graph::Graph;
 use mtr_pmc::enumerate::{
@@ -96,6 +98,75 @@ impl CachePolicy {
     pub fn is_enabled(&self) -> bool {
         !matches!(self, CachePolicy::Off)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pruning policy
+// ---------------------------------------------------------------------------
+
+/// Whether a session prunes Lawler–Murty partitions against an incumbent
+/// cost bound — see [`Enumerate::pruning`].
+///
+/// Pruning is *exact*: a partition whose admissible lower bound exceeds the
+/// incumbent is deferred, not discarded, and is re-optimized lazily if (and
+/// only if) the ranked order ever reaches it. The emitted result sequence —
+/// costs, triangulations, and tie order — is identical with pruning on or
+/// off; only the number of constrained `MinTriang` re-optimizations paid
+/// before each emission changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PruningPolicy {
+    /// Prune against an incumbent: seeded from a cheap heuristic minimal
+    /// triangulation (MCS-M and min-degree `LB-Triang`, whichever is
+    /// cheaper under the session cost), then tightened to the cost of the
+    /// most recently emitted result. The default.
+    #[default]
+    Incumbent,
+    /// Never defer: every partition is re-optimized eagerly, exactly as in
+    /// previous releases (`mtr --no-prune`).
+    Off,
+}
+
+impl PruningPolicy {
+    /// `true` unless the policy is [`PruningPolicy::Off`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, PruningPolicy::Off)
+    }
+}
+
+/// The incumbent seed for [`PruningPolicy::Incumbent`]: the cheaper of two
+/// heuristic minimal triangulations (MCS-M and min-degree `LB-Triang`)
+/// under `cost`, skipping candidates a [`Enumerate::width_bound`] session
+/// could never emit. `None` when no candidate qualifies — pruning then
+/// starts from the first emitted result instead.
+///
+/// Public so alternative engines (the factorized per-atom enumerator of
+/// `mtr-reduce`) can seed their own incumbents — globally and per atom —
+/// with the same heuristic the direct session uses.
+pub fn heuristic_incumbent<K: BagCost + ?Sized>(
+    g: &Graph,
+    cost: &K,
+    width_bound: Option<usize>,
+) -> Option<CostValue> {
+    if g.n() == 0 {
+        return None;
+    }
+    let scope = g.vertex_set();
+    let candidates = [mcs_m(g).triangulation, lb_triang_min_degree(g)];
+    let mut best: Option<CostValue> = None;
+    for h in &candidates {
+        let Some(bags) = maximal_cliques_chordal(h) else {
+            continue;
+        };
+        let width = bags.iter().map(|b| b.len()).max().unwrap_or(1) - 1;
+        if width_bound.is_some_and(|b| width > b) {
+            continue;
+        }
+        let value = cost.cost_of_bags(g, &scope, &bags);
+        if value.is_finite() && best.is_none_or(|b| value < b) {
+            best = Some(value);
+        }
+    }
+    best
 }
 
 // ---------------------------------------------------------------------------
@@ -271,6 +342,17 @@ pub struct EnumerationStats {
     /// Approximate bytes resident in the atom cache when the session
     /// finished (the store is shared, so this is a store-wide figure).
     pub cache_bytes: usize,
+    /// Constrained re-optimizations the incumbent bound deferred and never
+    /// paid for — work a [`PruningPolicy::Off`] run would have done. Zero
+    /// when pruning is off or never fired.
+    pub nodes_pruned: usize,
+    /// The incumbent cost bound when the session stopped: the heuristic
+    /// seed, tightened to the most recently emitted cost. `None` when
+    /// pruning is off or no bound was ever established.
+    pub incumbent_cost: Option<f64>,
+    /// Bytes of `VertexSet` scratch served from a per-worker arena instead
+    /// of fresh allocations, summed over the session's re-optimizations.
+    pub arena_bytes_reused: usize,
 }
 
 impl EnumerationStats {
@@ -385,6 +467,8 @@ pub struct SessionConfig<'a, K: BagCost + Sync + ?Sized = Width> {
     pub node_budget: Option<usize>,
     /// Atom cache policy from [`Enumerate::cache`].
     pub cache: CachePolicy,
+    /// Incumbent pruning policy from [`Enumerate::pruning`].
+    pub pruning: PruningPolicy,
 }
 
 impl<'a, K: BagCost + Sync + ?Sized> SessionConfig<'a, K> {
@@ -418,6 +502,7 @@ pub struct Enumerate<'a, K: BagCost + Sync + ?Sized = Width> {
     deadline: Option<Duration>,
     node_budget: Option<usize>,
     cache: CachePolicy,
+    pruning: PruningPolicy,
 }
 
 impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
@@ -432,6 +517,7 @@ impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
             .field("deadline", &self.deadline)
             .field("node_budget", &self.node_budget)
             .field("cache", &self.cache)
+            .field("pruning", &self.pruning)
             .finish_non_exhaustive()
     }
 }
@@ -463,6 +549,7 @@ impl<'a> Enumerate<'a, Width> {
             deadline: None,
             node_budget: None,
             cache: CachePolicy::Off,
+            pruning: PruningPolicy::default(),
         }
     }
 }
@@ -482,6 +569,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             deadline: self.deadline,
             node_budget: self.node_budget,
             cache: self.cache,
+            pruning: self.pruning,
         }
     }
 
@@ -501,6 +589,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             deadline: self.deadline,
             node_budget: self.node_budget,
             cache: self.cache,
+            pruning: self.pruning,
         })
     }
 
@@ -589,6 +678,19 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         self
     }
 
+    /// Incumbent-bounded pruning policy (see [`PruningPolicy`]). The
+    /// default, [`PruningPolicy::Incumbent`], defers partitions that
+    /// provably cannot beat the incumbent cost; the emitted results are
+    /// identical either way, so [`PruningPolicy::Off`] exists for
+    /// measurement and debugging (`mtr --no-prune`).
+    ///
+    /// [`EnumerationStats::nodes_pruned`] and
+    /// [`EnumerationStats::incumbent_cost`] report what pruning did.
+    pub fn pruning(mut self, policy: PruningPolicy) -> Self {
+        self.pruning = policy;
+        self
+    }
+
     /// Deconstructs the builder into its [`SessionConfig`] — the hook for
     /// alternative engines (see the `SessionConfig` docs). Most callers
     /// never need this; they call [`Enumerate::run`] directly.
@@ -604,6 +706,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             deadline: self.deadline,
             node_budget: self.node_budget,
             cache: self.cache,
+            pruning: self.pruning,
         }
     }
 
@@ -622,6 +725,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             deadline: config.deadline,
             node_budget: config.node_budget,
             cache: config.cache,
+            pruning: config.pruning,
         }
     }
 
@@ -706,6 +810,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget,
             // Inert on the direct engine: there are no atoms to cache.
             cache: _,
+            pruning,
         } = self;
 
         if let Some((_, threshold)) = diversity {
@@ -794,6 +899,13 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         let cost_ref = cost.get();
         let filter = diversity
             .map(|(measure, threshold)| DiversityFilter::new(pre.graph(), measure, threshold));
+        // Seed the incumbent from a heuristic minimal triangulation before
+        // any partition is expanded — children of the very first expansion
+        // can already be deferred against it.
+        let incumbent = match pruning {
+            PruningPolicy::Incumbent => heuristic_incumbent(pre.graph(), cost_ref, width_bound),
+            PruningPolicy::Off => None,
+        };
 
         let mut stats = EnumerationStats {
             cost: cost_name,
@@ -809,8 +921,11 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             // One pool for the whole session: workers (and their scratch)
             // are spawned here and serve every expansion batch.
             pool::scoped(threads, |p| {
-                let mut engine: Engine<'_, '_, K> =
-                    Engine::Parallel(ParallelRankedEnumerator::with_pool(pre, cost_ref, p));
+                let mut inner = ParallelRankedEnumerator::with_pool(pre, cost_ref, p);
+                if pruning.is_enabled() {
+                    inner = inner.with_pruning(incumbent);
+                }
+                let mut engine: Engine<'_, '_, K> = Engine::Parallel(inner);
                 let stop_reason = drive_engine(
                     &mut engine,
                     filter,
@@ -824,11 +939,17 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 let pool_stats = p.stats();
                 stats.worker_tasks = pool_stats.worker_tasks;
                 stats.steals = pool_stats.steals;
+                // The parallel engine's scratch lives in the workers, so its
+                // arena savings are reported by the pool, not the engine.
+                stats.arena_bytes_reused += pool_stats.arena_bytes_reused;
                 stop_reason
             })
         } else {
-            let mut engine: Engine<'_, '_, K> =
-                Engine::Sequential(RankedEnumerator::new(pre, cost_ref));
+            let mut inner = RankedEnumerator::new(pre, cost_ref);
+            if pruning.is_enabled() {
+                inner = inner.with_pruning(incumbent);
+            }
+            let mut engine: Engine<'_, '_, K> = Engine::Sequential(inner);
             drive_engine(
                 &mut engine,
                 filter,
@@ -860,6 +981,21 @@ pub trait SessionEngine {
     fn nodes_explored(&self) -> usize;
     /// Duplicate results skipped (`0` for engines that cannot emit them).
     fn duplicates_skipped(&self) -> usize;
+    /// Re-optimizations deferred by incumbent pruning and never paid for
+    /// (`0` for engines without pruning).
+    fn nodes_pruned(&self) -> usize {
+        0
+    }
+    /// The engine's current incumbent cost bound, if pruning is active.
+    fn incumbent_cost(&self) -> Option<CostValue> {
+        None
+    }
+    /// Bytes of `VertexSet` scratch the engine served from its own arena
+    /// (engines whose scratch lives in a worker pool report `0` here; the
+    /// session adds the pool's figure).
+    fn arena_bytes_reused(&self) -> usize {
+        0
+    }
 }
 
 /// The shared emission loop of every session: drives `engine` until it is
@@ -923,6 +1059,12 @@ where
     stats.final_queue_depth = engine.queue_depth();
     stats.nodes_explored = engine.nodes_explored();
     stats.duplicates_skipped = engine.duplicates_skipped();
+    stats.nodes_pruned = engine.nodes_pruned();
+    stats.incumbent_cost = engine
+        .incumbent_cost()
+        .filter(|c| c.is_finite())
+        .map(|c| c.value());
+    stats.arena_bytes_reused = engine.arena_bytes_reused();
     stats.total = started.elapsed();
     stop_reason
 }
@@ -960,6 +1102,28 @@ impl<K: BagCost + Sync + ?Sized> SessionEngine for Engine<'_, '_, K> {
         match self {
             Engine::Sequential(e) => e.duplicates_skipped(),
             Engine::Parallel(e) => e.duplicates_skipped(),
+        }
+    }
+
+    fn nodes_pruned(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.nodes_pruned(),
+            Engine::Parallel(e) => e.nodes_pruned(),
+        }
+    }
+
+    fn incumbent_cost(&self) -> Option<CostValue> {
+        match self {
+            Engine::Sequential(e) => e.incumbent(),
+            Engine::Parallel(e) => e.incumbent(),
+        }
+    }
+
+    fn arena_bytes_reused(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.arena_bytes_reused(),
+            // Reported by the worker pool (see the session's parallel path).
+            Engine::Parallel(_) => 0,
         }
     }
 }
@@ -1257,6 +1421,99 @@ mod tests {
         for r in &run.results {
             assert!(is_minimal_triangulation(&g, &r.triangulation));
         }
+    }
+
+    #[test]
+    fn pruning_on_and_off_emit_identical_runs() {
+        let g = c6();
+        for threads in [1, 4] {
+            let pruned = Enumerate::on(&g)
+                .cost(&FillIn)
+                .threads(threads)
+                .run()
+                .unwrap();
+            let plain = Enumerate::on(&g)
+                .cost(&FillIn)
+                .threads(threads)
+                .pruning(PruningPolicy::Off)
+                .run()
+                .unwrap();
+            assert_eq!(pruned.results.len(), plain.results.len());
+            let pruned_costs: Vec<CostValue> = pruned.results.iter().map(|r| r.cost).collect();
+            let plain_costs: Vec<CostValue> = plain.results.iter().map(|r| r.cost).collect();
+            assert_eq!(pruned_costs, plain_costs);
+            // Pruning is the default; opting out zeroes its stats.
+            assert_eq!(plain.stats.nodes_pruned, 0);
+            assert_eq!(plain.stats.incumbent_cost, None);
+            // An exhausted pruned run paid every re-optimization eventually,
+            // and ends with the incumbent at the costliest emitted result.
+            assert_eq!(
+                pruned.stats.incumbent_cost,
+                Some(pruned.results.last().unwrap().cost.value())
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_prefix_defers_work() {
+        // A 3x3 grid has non-uniform fill-in costs, so the heuristic seed
+        // and the emitted frontier both defer real work in a top-3 run.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 3),
+                (3, 6),
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
+            ],
+        );
+        let pruned = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(3)
+            .run()
+            .unwrap();
+        let plain = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(3)
+            .pruning(PruningPolicy::Off)
+            .run()
+            .unwrap();
+        let pruned_costs: Vec<CostValue> = pruned.results.iter().map(|r| r.cost).collect();
+        let plain_costs: Vec<CostValue> = plain.results.iter().map(|r| r.cost).collect();
+        assert_eq!(pruned_costs, plain_costs);
+        assert!(pruned.stats.nodes_pruned > 0);
+        assert!(pruned.stats.nodes_explored < plain.stats.nodes_explored);
+    }
+
+    #[test]
+    fn arena_bytes_are_reported() {
+        let g = c6();
+        let sequential = Enumerate::on(&g).cost(&FillIn).run().unwrap();
+        assert!(sequential.stats.arena_bytes_reused > 0);
+        let parallel = Enumerate::on(&g).cost(&FillIn).threads(4).run().unwrap();
+        assert!(parallel.stats.arena_bytes_reused > 0);
+    }
+
+    #[test]
+    fn heuristic_incumbent_is_a_sound_upper_bound() {
+        let g = c6();
+        let best = Enumerate::on(&g)
+            .cost(&FillIn)
+            .max_results(1)
+            .run()
+            .unwrap();
+        let seed = heuristic_incumbent(&g, &FillIn, None).unwrap();
+        assert!(seed >= best.results[0].cost);
+        // A width bound below every heuristic candidate leaves no seed.
+        assert_eq!(heuristic_incumbent(&g, &FillIn, Some(0)), None);
     }
 
     #[test]

@@ -47,7 +47,7 @@ use mtr_cache::{AtomKey, AtomStore, CacheEntry, CachedPrefix};
 use mtr_chordal::{maximal_cliques_chordal, minimal_separators_from_cliques};
 use mtr_core::cost::{AtomCombine, BagCost, CostValue};
 use mtr_core::pool::{Scratch, WorkerPool};
-use mtr_core::{Preprocessed, RankedState, RankedTriangulation};
+use mtr_core::{heuristic_incumbent, Preprocessed, RankedState, RankedTriangulation};
 use mtr_graph::{Graph, Vertex};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -116,6 +116,10 @@ pub(crate) struct AtomStream {
     /// The content address of this stream, when cache-keyed; publishing
     /// and seeding both go through it.
     key: Option<AtomKey>,
+    /// Incumbent-bounded pruning for the stream's own Lawler–Murty search
+    /// (exact — the emitted stream is identical either way). Set before the
+    /// first pull; a lazily materialized engine picks it up too.
+    prune: bool,
 }
 
 impl AtomStream {
@@ -180,6 +184,38 @@ impl AtomStream {
             seeded: 0,
             was_complete: false,
             key,
+            prune: false,
+        }
+    }
+
+    /// Enables incumbent-bounded pruning on this stream's own enumeration,
+    /// seeded with a heuristic minimal triangulation of the stream graph.
+    /// Call before the first pull; seeded (lazy) streams arm their engine
+    /// when (and if) demand materializes it.
+    pub(crate) fn enable_pruning<K: BagCost + ?Sized>(
+        &mut self,
+        cost: &K,
+        width_bound: Option<usize>,
+    ) {
+        self.prune = true;
+        if let AtomEngine::Ranked { pre, state, .. } = &mut self.engine {
+            state.enable_pruning(heuristic_incumbent(pre.graph(), cost, width_bound));
+        }
+    }
+
+    /// Re-optimizations the stream's own pruning deferred and never paid.
+    fn nodes_pruned(&self) -> usize {
+        match &self.engine {
+            AtomEngine::Ranked { state, .. } => state.nodes_pruned(),
+            _ => 0,
+        }
+    }
+
+    /// Scratch bytes the stream's enumeration served from its arena.
+    fn arena_bytes_reused(&self) -> usize {
+        match &self.engine {
+            AtomEngine::Ranked { state, .. } => state.arena_bytes_reused(),
+            _ => 0,
         }
     }
 
@@ -284,9 +320,13 @@ impl AtomStream {
                     Some(b) => Preprocessed::new_bounded(graph, *b),
                     None => Preprocessed::new(graph),
                 };
+                let mut state = RankedState::new();
+                if self.prune {
+                    state.enable_pruning(heuristic_incumbent(pre.graph(), cost, width_bound));
+                }
                 self.engine = AtomEngine::Ranked {
                     pre: Box::new(pre),
-                    state: RankedState::new(),
+                    state,
                     produced: 0,
                 };
             }
@@ -359,11 +399,15 @@ pub(crate) struct MemberBinding {
     pub emit_map: Vec<Vertex>,
 }
 
-/// One pending tuple of per-atom stream indices.
+/// One pending tuple of per-atom stream indices. `solved` entries carry
+/// their exact combined cost; deferred ones only an admissible lower bound
+/// (the cost of the tuple they were generated from), and have not demanded
+/// anything from the per-atom streams yet.
 struct TupleEntry {
     cost: CostValue,
     sequence: u64,
     tuple: Vec<u32>,
+    solved: bool,
 }
 
 impl PartialEq for TupleEntry {
@@ -409,6 +453,9 @@ pub(crate) struct FactorizedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     seen: HashSet<Vec<u32>>,
     sequence: u64,
     started: bool,
+    prune: bool,
+    incumbent: Option<CostValue>,
+    nodes_deferred: usize,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
@@ -439,7 +486,45 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
             seen: HashSet::new(),
             sequence: 0,
             started: false,
+            prune: false,
+            incumbent: None,
+            nodes_deferred: 0,
         }
+    }
+
+    /// Enables incumbent-bounded pruning of the product-space merge,
+    /// optionally seeded with the cost of a heuristic triangulation of the
+    /// whole graph. Successor tuples of a popped tuple that is already
+    /// costlier than the incumbent are deferred: they enter the heap on the
+    /// parent's cost (a valid lower bound — per-atom streams are
+    /// nondecreasing and both combines are monotone) without demanding
+    /// anything from the per-atom streams, and are only priced if the
+    /// ranked order reaches them. Exact: the emitted sequence is unchanged.
+    pub(crate) fn enable_pruning(&mut self, incumbent: Option<CostValue>) {
+        debug_assert!(!self.started, "enable pruning before iterating");
+        self.prune = true;
+        self.incumbent = incumbent;
+    }
+
+    /// Deferred work never paid for: heap tuples still unpriced plus the
+    /// per-atom streams' own deferred re-optimizations.
+    pub(crate) fn nodes_pruned(&self) -> usize {
+        self.nodes_deferred
+            + (0..self.streams.len())
+                .map(|g| self.stream(g).nodes_pruned())
+                .sum::<usize>()
+    }
+
+    /// The current global incumbent bound, if pruning is active.
+    pub(crate) fn incumbent(&self) -> Option<CostValue> {
+        self.incumbent
+    }
+
+    /// Scratch bytes served from the per-stream enumeration arenas.
+    pub(crate) fn arena_bytes_reused(&self) -> usize {
+        (0..self.streams.len())
+            .map(|g| self.stream(g).arena_bytes_reused())
+            .sum()
     }
 
     fn stream(&self, group: usize) -> &AtomStream {
@@ -565,6 +650,52 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
                 cost,
                 sequence: self.sequence,
                 tuple,
+                solved: true,
+            });
+        }
+    }
+
+    /// Pushes `tuple` on its parent's cost alone, without demanding
+    /// anything from the per-atom streams. The sequence number is assigned
+    /// now (generation order), so if the tuple is later solved and survives
+    /// it ranks exactly where an eager push would have ranked it.
+    fn defer_tuple(&mut self, tuple: Vec<u32>, lower_bound: CostValue) {
+        if !self.seen.insert(tuple.clone()) {
+            return;
+        }
+        self.sequence += 1;
+        self.nodes_deferred += 1;
+        self.heap.push(TupleEntry {
+            cost: lower_bound,
+            sequence: self.sequence,
+            tuple,
+            solved: false,
+        });
+    }
+
+    /// Pays for a deferred tuple that reached the heap top: prices it
+    /// against the per-atom streams (pool-warming cold coordinates first)
+    /// and reinserts it with its exact cost and original sequence number.
+    /// Dropped if some coordinate is past the end of its stream.
+    fn solve_deferred(&mut self, entry: TupleEntry) {
+        self.nodes_deferred -= 1;
+        let wanted: Vec<(usize, usize)> = entry
+            .tuple
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| (i, j as usize))
+            .collect();
+        self.ensure_batch(&wanted);
+        if let Some(cost) = self.combined_cost(&entry.tuple) {
+            debug_assert!(
+                cost >= entry.cost,
+                "deferred tuple lower bound was not admissible"
+            );
+            self.heap.push(TupleEntry {
+                cost,
+                sequence: entry.sequence,
+                tuple: entry.tuple,
+                solved: true,
             });
         }
     }
@@ -614,23 +745,46 @@ impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
             self.ensure_batch(&first);
             self.push_tuple(vec![0; self.members.len()]);
         }
-        let entry = self.heap.pop()?;
-        // Pool mode: warm every successor coordinate concurrently before
-        // the (sequential) heap pushes read the memoized costs.
-        let wanted: Vec<(usize, usize)> = entry
-            .tuple
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| (i, j as usize + 1))
-            .collect();
-        self.ensure_batch(&wanted);
-        let result = self.materialize(&entry);
-        for i in 0..entry.tuple.len() {
-            let mut successor = entry.tuple.clone();
-            successor[i] += 1;
-            self.push_tuple(successor);
+        loop {
+            let entry = self.heap.pop()?;
+            if !entry.solved {
+                // A deferred tuple reached the top: its exact cost is now
+                // needed to decide the order, so pay for it and re-rank.
+                self.solve_deferred(entry);
+                continue;
+            }
+            // Every successor's lower bound is this tuple's cost (per-atom
+            // streams are nondecreasing and both combines monotone), so
+            // when that already exceeds the incumbent, defer all of them
+            // without touching the streams.
+            let defer_children = self.prune && self.incumbent.is_some_and(|inc| entry.cost > inc);
+            if !defer_children {
+                // Pool mode: warm every successor coordinate concurrently
+                // before the (sequential) heap pushes read the memoized
+                // costs.
+                let wanted: Vec<(usize, usize)> = entry
+                    .tuple
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| (i, j as usize + 1))
+                    .collect();
+                self.ensure_batch(&wanted);
+            }
+            let result = self.materialize(&entry);
+            for i in 0..entry.tuple.len() {
+                let mut successor = entry.tuple.clone();
+                successor[i] += 1;
+                if defer_children {
+                    self.defer_tuple(successor, entry.cost);
+                } else {
+                    self.push_tuple(successor);
+                }
+            }
+            if self.prune {
+                self.incumbent = Some(result.cost);
+            }
+            return Some(result);
         }
-        Some(result)
     }
 }
 
@@ -651,5 +805,17 @@ impl<K: BagCost + Sync + ?Sized> mtr_core::SessionEngine for FactorizedEnumerato
         // Distinct tuples materialize distinct fill unions (per-atom fill
         // sets are disjoint), and the `seen` set keeps tuples unique.
         0
+    }
+
+    fn nodes_pruned(&self) -> usize {
+        self.nodes_pruned()
+    }
+
+    fn incumbent_cost(&self) -> Option<CostValue> {
+        self.incumbent()
+    }
+
+    fn arena_bytes_reused(&self) -> usize {
+        self.arena_bytes_reused()
     }
 }

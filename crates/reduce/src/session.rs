@@ -80,8 +80,8 @@ use mtr_core::mintriang::Preprocessed;
 use mtr_core::pool::{self, resolve_threads, Scratch, WorkerPool};
 use mtr_core::ranked::RankedTriangulation;
 use mtr_core::session::{
-    drive_engine, CachePolicy, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
-    SessionConfig, SessionReport, StopReason,
+    drive_engine, heuristic_incumbent, CachePolicy, Enumerate, EnumerationError, EnumerationRun,
+    EnumerationStats, PruningPolicy, SessionConfig, SessionReport, StopReason,
 };
 use mtr_graph::Graph;
 use mtr_pmc::enumerate::{
@@ -162,6 +162,14 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
     /// chained after `.reduce(..)` too).
     pub fn cache(mut self, policy: CachePolicy) -> Self {
         self.config.cache = policy;
+        self
+    }
+
+    /// Incumbent-bounded pruning policy (mirrors [`Enumerate::pruning`]):
+    /// applies both to the product-space merge and to every per-atom
+    /// stream's own Lawler–Murty search. Exact either way.
+    pub fn pruning(mut self, policy: PruningPolicy) -> Self {
+        self.config.pruning = policy;
         self
     }
 
@@ -501,10 +509,21 @@ where
             }
         }
     }
-    let streams: Vec<AtomStream> = slots
+    let mut streams: Vec<AtomStream> = slots
         .into_iter()
         .map(|s| s.expect("every group got a stream"))
         .collect();
+
+    // Incumbent-bounded pruning, both per atom (each stream's own
+    // Lawler–Murty search gets a heuristic seed for its atom graph) and
+    // across the merge (a whole-graph heuristic seed bounds the product
+    // space before the first result is even emitted).
+    let prune = config.pruning.is_enabled();
+    if prune {
+        for stream in &mut streams {
+            stream.enable_pruning(config.cost(), width_bound);
+        }
+    }
 
     let mut engine = FactorizedEnumerator::new(
         graph,
@@ -515,6 +534,9 @@ where
         streams,
         worker_pool,
     );
+    if prune {
+        engine.enable_pruning(heuristic_incumbent(graph, config.cost(), width_bound));
+    }
     let filter = config
         .diversity
         .map(|(measure, threshold)| DiversityFilter::new(graph, measure, threshold));
@@ -546,6 +568,7 @@ where
         let pool_stats = p.stats();
         stats.worker_tasks = pool_stats.worker_tasks;
         stats.steals = pool_stats.steals;
+        stats.arena_bytes_reused += pool_stats.arena_bytes_reused;
     }
     Ok(SessionReport { stats, stop_reason })
 }

@@ -57,13 +57,12 @@ impl SeparatorGraph {
         let k = separators.len() as u32;
         let mut adjacency: Vec<VertexSet> = (0..k).map(|_| VertexSet::empty(k)).collect();
         // For each separator, compute the components of G \ S once and test
-        // every other separator against them.
+        // every *later* separator against them — crossing is symmetric
+        // (Parra–Scheffler), so the pair (i, j) only needs one test and the
+        // insert below records both directions.
         for i in 0..separators.len() {
             let comps = g.components_excluding(&separators[i]);
-            for j in 0..separators.len() {
-                if i == j {
-                    continue;
-                }
+            for j in i + 1..separators.len() {
                 let mut hit = 0;
                 for c in &comps {
                     if c.intersects(&separators[j]) {

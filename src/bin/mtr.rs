@@ -27,7 +27,7 @@
 
 use ranked_triangulations::chordal::{self, clique_tree, write_td};
 use ranked_triangulations::core::{
-    CachePolicy, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
+    CachePolicy, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, PruningPolicy,
     RankedTriangulation, SimilarityMeasure, StopReason,
 };
 use ranked_triangulations::graph::{io, Graph};
@@ -59,6 +59,7 @@ struct Options {
     reduce: ReductionLevel,
     cache: bool,
     cache_dir: Option<PathBuf>,
+    no_prune: bool,
     stats_json: bool,
     emit_td: Option<PathBuf>,
     bounds: bool,
@@ -90,13 +91,15 @@ fn usage() -> &'static str {
     "usage: mtr <graph-file|-> [--format pace|dimacs|edges] [--cost width|fill|width-fill|expbags]\n\
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
      \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
-     \x20          [--cache] [--cache-dir <directory>]\n\
+     \x20          [--cache] [--cache-dir <directory>] [--no-prune]\n\
      \x20          [--stats-json] [--emit-td <directory>] [--bounds]\n\
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
      \x20      --threads 0 auto-detects the hardware parallelism; with --reduce the\n\
      \x20      workers advance the per-atom streams, otherwise the partition expansions\n\
      \x20      --cache enables the canonical-form atom cache (requires --reduce);\n\
-     \x20      --cache-dir additionally persists atom prefixes across runs"
+     \x20      --cache-dir additionally persists atom prefixes across runs\n\
+     \x20      --no-prune disables incumbent-bounded branch pruning (on by default;\n\
+     \x20      pruning never changes the results, only the work performed)"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -127,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         },
         cache: false,
         cache_dir: None,
+        no_prune: false,
         stats_json: false,
         emit_td: None,
         bounds: false,
@@ -194,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.cache = true;
                 opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?));
             }
+            "--no-prune" => opts.no_prune = true,
             "--stats-json" => opts.stats_json = true,
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
@@ -291,6 +296,9 @@ fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationErr
             None => CachePolicy::in_memory(),
         });
     }
+    if opts.no_prune {
+        session = session.pruning(PruningPolicy::Off);
+    }
     // `ReductionLevel::Off` transparently runs the direct engine, so the
     // session can always go through the reduction layer.
     session.reduce(opts.reduce).run()
@@ -315,11 +323,13 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
             "\"preprocessing_secs\": {:.6}, \"preprocessing_complete\": {}, ",
             "\"total_secs\": {:.6}, \"atoms\": {}, \"minimal_separators\": {}, ",
             "\"pmcs\": {}, \"full_blocks\": {}, \"nodes_explored\": {}, ",
+            "\"nodes_pruned\": {}, \"incumbent_cost\": {}, ",
             "\"max_queue_depth\": {}, \"final_queue_depth\": {}, ",
             "\"duplicates_skipped\": {}, \"diversity_rejected\": {}, ",
             "\"effective_threads\": {}, \"worker_tasks\": [{}], \"steals\": {}, ",
             "\"atom_cache_hits\": {}, \"atom_cache_misses\": {}, ",
             "\"atoms_deduped\": {}, \"cache_bytes\": {}, ",
+            "\"arena_bytes_reused\": {}, ",
             "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
             "\"delays_ms\": [{}]}}"
         ),
@@ -334,6 +344,10 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
         stats.pmcs,
         stats.full_blocks,
         stats.nodes_explored,
+        stats.nodes_pruned,
+        stats
+            .incumbent_cost
+            .map_or_else(|| "null".into(), |c| format!("{c}")),
         stats.max_queue_depth,
         stats.final_queue_depth,
         stats.duplicates_skipped,
@@ -345,6 +359,7 @@ fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
         stats.atom_cache_misses,
         stats.atoms_deduped,
         stats.cache_bytes,
+        stats.arena_bytes_reused,
         opt_secs(stats.average_delay()),
         opt_secs(stats.max_delay()),
         delays.join(", "),
@@ -517,6 +532,17 @@ fn run(opts: Options) -> Result<(), CliError> {
             delay.as_secs_f64() * 1000.0,
             stats.nodes_explored,
             stats.max_queue_depth
+        );
+    }
+    if opts.no_prune {
+        println!("pruning: disabled (--no-prune)");
+    } else {
+        println!(
+            "pruning: {} nodes pruned, incumbent {}",
+            stats.nodes_pruned,
+            stats
+                .incumbent_cost
+                .map_or_else(|| "none".into(), |c| format!("{c}"))
         );
     }
     if stats.effective_threads > 1 {
@@ -766,9 +792,33 @@ mod tests {
         assert!(json.contains("\"effective_threads\": 1"));
         assert!(json.contains("\"worker_tasks\": []"));
         assert!(json.contains("\"steals\": 0"));
+        assert!(json.contains("\"nodes_pruned\": "));
+        assert!(json.contains("\"incumbent_cost\": "));
+        assert!(json.contains("\"arena_bytes_reused\": "));
         assert!(json.contains("\"delays_ms\": ["));
         // Exactly one top-level object: no stray braces from the format.
         assert_eq!(json.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn no_prune_flag_disables_pruning_without_changing_results() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pruned = enumerate(
+            &g,
+            &parse_args(&args(&["g", "--cost", "fill", "--top", "5"])).unwrap(),
+        )
+        .unwrap();
+        let opts = parse_args(&args(&["g", "--cost", "fill", "--top", "5", "--no-prune"])).unwrap();
+        assert!(opts.no_prune);
+        let plain = enumerate(&g, &opts).unwrap();
+        assert_eq!(plain.stats.nodes_pruned, 0);
+        assert_eq!(plain.stats.incumbent_cost, None);
+        let pruned_costs: Vec<_> = pruned.results.iter().map(|r| r.cost).collect();
+        let plain_costs: Vec<_> = plain.results.iter().map(|r| r.cost).collect();
+        assert_eq!(pruned_costs, plain_costs);
+        let json = stats_json(&plain.stats, plain.stop_reason);
+        assert!(json.contains("\"nodes_pruned\": 0"));
+        assert!(json.contains("\"incumbent_cost\": null"));
     }
 
     #[test]

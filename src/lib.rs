@@ -135,8 +135,9 @@ pub mod prelude {
         top_k_triangulations, CachePolicy, CkkEnumerator, DecompositionRun, Diversified,
         DiversityFilter, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
         LbTriangSampler, ParallelRankedEnumerator, PoolStats, Preprocessed,
-        ProperDecompositionEnumerator, RankedDecomposition, RankedEnumerator, RankedTriangulation,
-        SessionReport, SimilarityMeasure, StopReason, Triangulation, WorkerPool,
+        ProperDecompositionEnumerator, PruningPolicy, RankedDecomposition, RankedEnumerator,
+        RankedTriangulation, SessionReport, SimilarityMeasure, StopReason, Triangulation,
+        WorkerPool,
     };
     pub use mtr_graph::{CanonicalForm, CanonicalKey, Graph, Hypergraph, Vertex, VertexSet};
     pub use mtr_reduce::{decompose, Decomposition, EnumerateReduceExt, Reduced, ReductionLevel};

@@ -1,0 +1,166 @@
+//! Incumbent-bounded pruning must be invisible in the output: for both
+//! engines (the direct Lawler–Murty enumerator and the factorized per-atom
+//! engine under `ReductionLevel::Full`), both atom-combine modes (additive
+//! fill-like costs and max width-like costs), and both thread counts, the
+//! default pruned run must yield result-for-result the same ranked stream
+//! — same cost sequence, same fill sets, in the same order — as a run with
+//! `PruningPolicy::Off`. Pruning changes the work performed, never the
+//! results.
+//!
+//! Budgets must compose: a `max_results` prefix of the pruned stream equals
+//! the same prefix of the unpruned stream, and pruning-off runs must report
+//! zero `nodes_pruned` and no incumbent.
+
+mod common;
+
+use common::{arbitrary_graph, fill_key};
+use mtr_core::cost::{CostValue, FillIn, Width};
+use mtr_core::{BagCost, Enumerate, EnumerationRun, PruningPolicy};
+use mtr_graph::Graph;
+use mtr_reduce::{EnumerateReduceExt, ReductionLevel};
+use mtr_workloads::decomposable::glued_grids;
+use proptest::prelude::*;
+
+fn run(
+    g: &Graph,
+    cost: &(dyn BagCost + Sync),
+    threads: usize,
+    level: ReductionLevel,
+    pruning: PruningPolicy,
+    k: Option<usize>,
+) -> EnumerationRun {
+    let mut session = Enumerate::on(g)
+        .cost(cost)
+        .threads(threads)
+        .pruning(pruning);
+    if let Some(k) = k {
+        session = session.max_results(k);
+    }
+    session
+        .reduce(level)
+        .run()
+        .expect("session cannot fail on a plain graph")
+}
+
+fn costs(run: &EnumerationRun) -> Vec<CostValue> {
+    run.results.iter().map(|r| r.cost).collect()
+}
+
+/// The full ranked sequence, in emission order, identified by fill set.
+fn fill_sequence(g: &Graph, run: &EnumerationRun) -> Vec<Vec<(u32, u32)>> {
+    run.results
+        .iter()
+        .map(|r| fill_key(g, &r.triangulation))
+        .collect()
+}
+
+/// Pruned ≡ unpruned, result-for-result (order included — pruning must be
+/// tie-safe, not just set-equal).
+fn assert_pruning_invisible(
+    g: &Graph,
+    cost: &(dyn BagCost + Sync),
+    level: ReductionLevel,
+    threads: usize,
+) {
+    let pruned = run(g, cost, threads, level, PruningPolicy::Incumbent, None);
+    let plain = run(g, cost, threads, level, PruningPolicy::Off, None);
+    assert_eq!(
+        costs(&plain),
+        costs(&pruned),
+        "cost sequence diverged at threads={threads}, level={level}, cost={}",
+        cost.name()
+    );
+    assert_eq!(
+        fill_sequence(g, &plain),
+        fill_sequence(g, &pruned),
+        "emission order diverged at threads={threads}, level={level}, cost={}",
+        cost.name()
+    );
+    assert_eq!(plain.stats.nodes_pruned, 0, "pruning off must not defer");
+    assert_eq!(plain.stats.incumbent_cost, None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Direct engine: pruning on ≡ off for an additive and a max-combining
+    /// cost, sequentially and in parallel.
+    #[test]
+    fn direct_engine_pruning_is_invisible(g in arbitrary_graph(3, 8)) {
+        for threads in [1usize, 4] {
+            assert_pruning_invisible(&g, &FillIn, ReductionLevel::Off, threads);
+            assert_pruning_invisible(&g, &Width, ReductionLevel::Off, threads);
+        }
+    }
+
+    /// Factorized engine under full reduction: pruning applies to both the
+    /// per-atom streams and the product-space merge, and is still
+    /// invisible in the results.
+    #[test]
+    fn factorized_engine_pruning_is_invisible(g in arbitrary_graph(3, 8)) {
+        for threads in [1usize, 4] {
+            assert_pruning_invisible(&g, &FillIn, ReductionLevel::Full, threads);
+            assert_pruning_invisible(&g, &Width, ReductionLevel::Full, threads);
+        }
+    }
+
+    /// A `max_results` prefix of the pruned stream is exactly the same
+    /// prefix of the unpruned stream — the incumbent tightening during a
+    /// budgeted run must not cut results the budget would have admitted.
+    #[test]
+    fn budget_prefix_composes_with_pruning(g in arbitrary_graph(3, 8)) {
+        for level in [ReductionLevel::Off, ReductionLevel::Full] {
+            let plain = run(&g, &FillIn, 1, level, PruningPolicy::Off, None);
+            let k = (plain.results.len() / 2).max(1);
+            let pruned = run(&g, &FillIn, 1, level, PruningPolicy::Incumbent, Some(k));
+            let prefix: Vec<_> = fill_sequence(&g, &plain)
+                .into_iter()
+                .take(pruned.results.len())
+                .collect();
+            prop_assert_eq!(fill_sequence(&g, &pruned), prefix);
+        }
+    }
+}
+
+/// Pruning actually fires on instances where the ranked frontier is not
+/// flat — and still emits the identical stream. The single 3×3 grid
+/// exercises the direct engine (it has one atom); the glued grids exercise
+/// the factorized merge and the per-atom streams.
+#[test]
+fn pruning_fires_on_grid_corpus() {
+    let grid3x3 = Graph::from_edges(
+        9,
+        &[
+            (0, 1),
+            (1, 2),
+            (3, 4),
+            (4, 5),
+            (6, 7),
+            (7, 8),
+            (0, 3),
+            (3, 6),
+            (1, 4),
+            (4, 7),
+            (2, 5),
+            (5, 8),
+        ],
+    );
+    for (name, g, level) in [
+        ("grid3x3", &grid3x3, ReductionLevel::Off),
+        ("glued_grids", &glued_grids(3, 3, 2), ReductionLevel::Full),
+    ] {
+        let pruned = run(g, &FillIn, 1, level, PruningPolicy::Incumbent, Some(10));
+        let plain = run(g, &FillIn, 1, level, PruningPolicy::Off, Some(10));
+        assert_eq!(costs(&plain), costs(&pruned), "{name}");
+        assert_eq!(fill_sequence(g, &plain), fill_sequence(g, &pruned));
+        assert!(
+            pruned.stats.nodes_pruned > 0,
+            "pruning should defer work on {name} at level={level}"
+        );
+        assert!(
+            pruned.stats.nodes_explored <= plain.stats.nodes_explored,
+            "pruning must never explore more than the plain run"
+        );
+        assert!(pruned.stats.incumbent_cost.is_some());
+    }
+}
