@@ -1,0 +1,230 @@
+//! Service-mode benchmarks for the `mtr-serve` daemon: end-to-end
+//! throughput of warm vs cold request traces and first-result latency
+//! under client concurrency.
+//!
+//! * `serve_traffic` — wall-clock per trace of 6 requests
+//!   ([`mtr_workloads::traffic`]) fanned over 1 / 4 / 16 concurrent
+//!   client connections. `cold` traces are fresh graphs every sample
+//!   (the shared store never helps); `warm` traces replay one cached
+//!   base, so admission routes them to the warm queue and the atoms'
+//!   ranked prefixes are served from the store. The headline claim —
+//!   warm traffic ≥ 3× cold — reads directly off the two rows.
+//! * `serve_first_result` — time from sending a request to receiving
+//!   the first ranked result, measured one probe at a time while the
+//!   remaining clients stream load ([`Bencher::iter_custom`], so the
+//!   snapshot's `p50_ns`/`p99_ns` are true per-request percentiles).
+//!
+//! Snapshot with `MTR_BENCH_JSON=BENCH_serve.json cargo bench -p
+//! mtr-bench --bench serve`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtr_serve::{
+    serve_ephemeral, Client, EnumerateRequest, ServerConfig, ServerHandle, TenantQuota,
+};
+use mtr_workloads::decomposable::gnp_with_bridges;
+use mtr_workloads::traffic::{trace, TrafficMix, TrafficRequest};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
+const TRACE_LEN: usize = 6;
+/// Traced instance size: 3 bridged blobs of 11 vertices. Big enough that
+/// enumeration dominates transport, so warm-vs-cold measures the cache.
+const TRACE_BLOBS: u32 = 3;
+const TRACE_BLOB_N: u32 = 11;
+const TRACE_TOP_K: usize = 10;
+
+fn daemon() -> ServerHandle {
+    serve_ephemeral(ServerConfig {
+        workers: 4,
+        // All bench clients share one tenant; the default per-tenant
+        // concurrency quota (4) would refuse the 16-client rows.
+        quota: TenantQuota {
+            max_concurrent_sessions: 64,
+            ..TenantQuota::default()
+        },
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind bench daemon")
+}
+
+fn request_for(g: &mtr_graph::Graph, max_results: usize) -> EnumerateRequest {
+    EnumerateRequest {
+        tenant: "bench".into(),
+        n: g.n(),
+        edges: g.edges().collect(),
+        cost: "width".into(),
+        width_bound: None,
+        max_results: Some(max_results),
+        deadline_ms: None,
+        node_budget: None,
+        threads: 1,
+        cache: true,
+        binary: true,
+    }
+}
+
+/// Plays a trace against the daemon over `clients` connections
+/// (round-robin partition, one connection per client thread) and returns
+/// the total number of results streamed back.
+fn play_trace(addr: &str, requests: &[TrafficRequest], clients: usize) -> usize {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect_tcp(addr).expect("connect");
+                    let mut streamed = 0usize;
+                    for r in requests.iter().skip(c).step_by(clients) {
+                        let (results, _) = client
+                            .enumerate(&request_for(&r.graph, TRACE_TOP_K))
+                            .expect("served request");
+                        streamed += results.len();
+                    }
+                    streamed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    })
+}
+
+/// Warm vs cold trace throughput at increasing client concurrency. The
+/// cold rows consume a pre-generated pool of never-repeated traces so
+/// the daemon's shared store cannot warm them across samples.
+fn bench_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_traffic");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    let handle = daemon();
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    // Every sample of every cold row takes the next unseen trace (seeds
+    // rotate inside each trace too, so nothing ever repeats).
+    let cold_pool: Vec<Vec<TrafficRequest>> = (0..64)
+        .map(|i| {
+            trace(
+                TRACE_LEN,
+                TRACE_BLOBS,
+                TRACE_BLOB_N,
+                TrafficMix::all_cold(),
+                0xC01D + 101 * i,
+            )
+        })
+        .collect();
+    let next_cold = AtomicU64::new(0);
+
+    // The warm trace replays one base; serve it once so the pool is hot.
+    let warm = trace(
+        TRACE_LEN,
+        TRACE_BLOBS,
+        TRACE_BLOB_N,
+        TrafficMix::all_warm(),
+        0x3A7,
+    );
+    play_trace(&addr, &warm[..1], 1);
+
+    for clients in CLIENT_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("{clients}clients")),
+            &clients,
+            |b, &clients| {
+                b.iter_custom(|_| {
+                    let i = next_cold.fetch_add(1, Ordering::Relaxed) as usize;
+                    let requests = &cold_pool[i % cold_pool.len()];
+                    let t = Instant::now();
+                    play_trace(&addr, requests, clients);
+                    t.elapsed()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("{clients}clients")),
+            &clients,
+            |b, &clients| b.iter(|| play_trace(&addr, &warm, clients)),
+        );
+    }
+    group.finish();
+    handle.shutdown();
+}
+
+/// First-result latency: one timed probe request per sample while the
+/// other `clients - 1` connections stream competing load. Samples are
+/// individual measurements, so the snapshot's p50/p99 are per-request
+/// latency percentiles.
+fn bench_first_result(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_first_result");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(10));
+
+    let handle = daemon();
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let load_graph = gnp_with_bridges(2, 6, 0.35, 0x10AD);
+    let warm_graph = gnp_with_bridges(2, 6, 0.35, 0x3A7_0002);
+    // Pre-warm the probe graph and the load graph.
+    play_trace(
+        &addr,
+        &[
+            synthetic_request(0, warm_graph.clone()),
+            synthetic_request(1, load_graph.clone()),
+        ],
+        1,
+    );
+    let next_cold_seed = AtomicU64::new(0xF005_BA11);
+
+    for clients in CLIENT_COUNTS {
+        for mode in ["cold", "warm"] {
+            group.bench_with_input(
+                BenchmarkId::new(mode, format!("{clients}clients")),
+                &clients,
+                |b, &clients| {
+                    b.iter_custom(|_| {
+                        let probe_graph = if mode == "warm" {
+                            warm_graph.clone()
+                        } else {
+                            let seed = next_cold_seed.fetch_add(1, Ordering::Relaxed);
+                            gnp_with_bridges(2, 6, 0.35, seed)
+                        };
+                        std::thread::scope(|s| {
+                            for _ in 1..clients {
+                                let addr = &addr;
+                                let g = &load_graph;
+                                s.spawn(move || {
+                                    let mut cl = Client::connect_tcp(addr).expect("connect load");
+                                    cl.enumerate(&request_for(g, 5)).expect("load request");
+                                });
+                            }
+                            let mut cl = Client::connect_tcp(&addr).expect("connect probe");
+                            let req = request_for(&probe_graph, 3);
+                            let t = Instant::now();
+                            let mut first = None;
+                            cl.enumerate_streaming(&req, |_| {
+                                first.get_or_insert_with(|| t.elapsed());
+                            })
+                            .expect("probe request");
+                            first.expect("probe streamed at least one result")
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    handle.shutdown();
+}
+
+fn synthetic_request(index: usize, graph: mtr_graph::Graph) -> TrafficRequest {
+    TrafficRequest {
+        index,
+        graph,
+        kind: mtr_workloads::traffic::TrafficKind::Fresh,
+        base: index,
+    }
+}
+
+criterion_group!(benches, bench_traffic, bench_first_result);
+criterion_main!(benches);

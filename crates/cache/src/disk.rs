@@ -120,6 +120,14 @@ impl DiskBackend {
         ))
     }
 
+    /// Reports whether a file exists for `key` without reading it. The
+    /// file may still fail to decode on a later [`DiskBackend::load`]
+    /// (corruption, version skew) — callers using this for scheduling
+    /// hints must treat a positive probe as advisory, not a guarantee.
+    pub fn contains(&self, key: &AtomKey) -> bool {
+        self.path_of(key).is_file()
+    }
+
     /// Loads the prefix stored for `key`; `Ok(None)` when no file exists.
     pub fn load(&self, key: &AtomKey) -> Result<Option<CachedPrefix>, DiskError> {
         let path = self.path_of(key);

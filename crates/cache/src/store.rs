@@ -242,6 +242,23 @@ impl AtomStore {
         }
     }
 
+    /// Reports whether `key` has a cached prefix — in memory or on disk —
+    /// without perturbing any store state: no LRU touch, no hit/miss
+    /// counters, no disk adoption into memory. Admission schedulers (the
+    /// `mtr serve` daemon's warm-first queue) probe with this so that
+    /// *classifying* a request as warm never ages out the entries that
+    /// made it warm.
+    pub fn probe(&self, key: &AtomKey) -> bool {
+        {
+            let inner = self.inner.lock().expect("atom store poisoned");
+            if inner.map.contains_key(key) {
+                return true;
+            }
+        }
+        // Memory miss: a cheap disk existence check outside the lock.
+        self.disk.as_ref().is_some_and(|d| d.contains(key))
+    }
+
     /// Publishes a computed prefix for `key`. A prefix only replaces an
     /// existing one when it carries more information (longer, or newly
     /// complete); publishing is idempotent otherwise. Returns `true` when
@@ -366,6 +383,21 @@ mod tests {
         assert_eq!(stats.publishes, 1);
         assert_eq!(stats.entries, 1);
         assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn probe_sees_entries_without_perturbing_stats_or_lru() {
+        let store = AtomStore::in_memory(1 << 20);
+        assert!(!store.probe(&key(1)));
+        store.publish(&key(1), prefix(2, true));
+        let before = store.stats();
+        assert!(store.probe(&key(1)));
+        assert!(!store.probe(&key(2)));
+        let after = store.stats();
+        // Probing is invisible: no hits, no misses, no touches.
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.entries, before.entries);
     }
 
     #[test]

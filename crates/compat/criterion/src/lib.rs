@@ -38,6 +38,20 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Slowest sample, nanoseconds per iteration.
     pub max_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub p50_ns: f64,
+    /// 99th-percentile sample (the max for fewer than 100 samples),
+    /// nanoseconds per iteration. Meaningful for latency-style benches
+    /// where every sample is one independent measurement
+    /// ([`Bencher::iter_custom`]).
+    pub p99_ns: f64,
+}
+
+/// The `q`-quantile of `sorted` (ascending), by the nearest-rank method.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The top-level benchmark driver.
@@ -61,15 +75,16 @@ impl Criterion {
     pub fn final_summary(&self) {
         println!();
         println!(
-            "{:<55} {:>12} {:>12} {:>12}",
-            "benchmark", "min", "mean", "max"
+            "{:<55} {:>12} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "p50", "p99", "max"
         );
         for r in &self.results {
             println!(
-                "{:<55} {:>12} {:>12} {:>12}",
+                "{:<55} {:>12} {:>12} {:>12} {:>12}",
                 r.id,
                 format_ns(r.min_ns),
-                format_ns(r.mean_ns),
+                format_ns(r.p50_ns),
+                format_ns(r.p99_ns),
                 format_ns(r.max_ns)
             );
         }
@@ -117,13 +132,16 @@ fn results_to_json(results: &[BenchResult]) -> String {
         let _ = writeln!(
             out,
             "  {{\"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
-             \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}}}{}",
+             \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"p50_ns\": {:.1}, \"p99_ns\": {:.1}}}{}",
             json_escape(&r.id),
             r.samples,
             r.iters_per_sample,
             r.min_ns,
             r.mean_ns,
             r.max_ns,
+            r.p50_ns,
+            r.p99_ns,
             comma
         );
     }
@@ -217,6 +235,8 @@ impl BenchmarkGroup<'_> {
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
         eprintln!(
             "measured {id}: {} ({} samples)",
             format_ns(mean),
@@ -229,6 +249,8 @@ impl BenchmarkGroup<'_> {
             min_ns: min,
             mean_ns: mean,
             max_ns: max,
+            p50_ns: quantile(&sorted, 0.5),
+            p99_ns: quantile(&sorted, 0.99),
         });
     }
 
@@ -277,6 +299,25 @@ impl Bencher {
             }
             let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
             self.samples_ns.push(per_iter);
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` with caller-side measurement, mirroring criterion's
+    /// `iter_custom`: the closure receives an iteration count and returns
+    /// the measured [`Duration`] for that many iterations. Every sample
+    /// runs exactly one iteration here, so the recorded distribution (and
+    /// its p50/p99) is over *individual* measurements — the right shape
+    /// for latency benchmarks.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.iters_per_sample = 1;
+        let budget_start = Instant::now();
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let elapsed = routine(1);
+            self.samples_ns.push(elapsed.as_nanos() as f64);
             if budget_start.elapsed() > self.measurement_time {
                 break;
             }
@@ -341,6 +382,47 @@ mod tests {
             .results
             .iter()
             .all(|r| r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns));
+        assert!(c
+            .results
+            .iter()
+            .all(|r| r.min_ns <= r.p50_ns && r.p50_ns <= r.p99_ns && r.p99_ns <= r.max_ns));
+    }
+
+    #[test]
+    fn iter_custom_records_caller_measurements() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(4)
+                .measurement_time(Duration::from_millis(200));
+            let mut tick = 0u64;
+            group.bench_with_input(BenchmarkId::new("lat", 0), &(), |b, ()| {
+                b.iter_custom(|iters| {
+                    assert_eq!(iters, 1);
+                    tick += 1;
+                    Duration::from_micros(tick)
+                })
+            });
+            group.finish();
+        }
+        let r = &c.results[0];
+        assert_eq!(r.samples, 4);
+        assert_eq!(r.iters_per_sample, 1);
+        // Samples were 1, 2, 3, 4 µs.
+        assert_eq!(r.min_ns, 1_000.0);
+        assert_eq!(r.max_ns, 4_000.0);
+        assert_eq!(r.p50_ns, 2_000.0);
+        assert_eq!(r.p99_ns, 4_000.0);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&sorted, 0.5), 50.0);
+        assert_eq!(quantile(&sorted, 0.99), 99.0);
+        assert_eq!(quantile(&[7.0], 0.5), 7.0);
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
     }
 
     #[test]
@@ -352,10 +434,13 @@ mod tests {
             min_ns: 1.0,
             mean_ns: 2.0,
             max_ns: 3.0,
+            p50_ns: 2.0,
+            p99_ns: 3.0,
         }]);
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));
         assert!(json.contains("\"id\": \"a/b\""));
+        assert!(json.contains("\"p99_ns\": 3.0"));
     }
 
     #[test]

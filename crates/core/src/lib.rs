@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cancel;
 pub mod cost;
 pub mod diverse;
 pub mod mintriang;
@@ -60,6 +61,7 @@ pub mod ranked;
 pub mod session;
 
 pub use baseline::{BaselineResult, CkkEnumerator, LbTriangSampler};
+pub use cancel::CancelFlag;
 pub use cost::{named_cost, BagCost, Constrained, Constraints, CostValue, DynBagCost};
 pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
 pub use mintriang::{min_triangulation, min_triangulation_in, Preprocessed, Triangulation};

@@ -23,6 +23,7 @@
 //!   scratch) serves the whole session. The [`Enumerate`](crate::Enumerate)
 //!   session builder uses this path.
 
+use crate::cancel::CancelFlag;
 use crate::cost::{BagCost, Constrained, Constraints, CostValue};
 use crate::mintriang::{min_triangulation_in, Preprocessed, Triangulation};
 use crate::pool::{self, Scratch, WorkerPool};
@@ -89,6 +90,7 @@ pub struct ParallelRankedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     prune: bool,
     incumbent: Option<CostValue>,
     nodes_deferred: usize,
+    cancel: Option<CancelFlag>,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
@@ -121,6 +123,7 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             prune: false,
             incumbent: None,
             nodes_deferred: 0,
+            cancel: None,
         }
     }
 
@@ -133,6 +136,15 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         debug_assert!(!self.started, "enable pruning before iterating");
         self.prune = true;
         self.incumbent = incumbent;
+        self
+    }
+
+    /// Binds a cooperative cancellation flag: once raised (from any
+    /// thread), the iterator returns `None` at its next demand boundary —
+    /// between expansion batches, never inside one — leaving the emitted
+    /// sequence a valid ranked prefix.
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -324,6 +336,11 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
             }
         }
         loop {
+            // The demand boundary: checked between partition pops so a
+            // cancelled session never starts another expansion batch.
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return None;
+            }
             let entry = self.queue.pop()?;
             let best = match entry.state {
                 EntryState::Deferred => {

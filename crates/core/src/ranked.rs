@@ -15,6 +15,7 @@
 //! poly-MS class of graphs (or a constant width bound) the delay between
 //! consecutive results is polynomial.
 
+use crate::cancel::CancelFlag;
 use crate::cost::{BagCost, Constrained, Constraints, CostValue};
 use crate::mintriang::{min_triangulation_in, Preprocessed, Triangulation};
 use crate::pool::Scratch;
@@ -129,6 +130,10 @@ pub struct RankedState {
     /// far; any of them still in the queue when the caller stops pulling
     /// was pruned for good).
     nodes_deferred: usize,
+    /// Cooperative cancellation: when raised, [`RankedState::next`] bails
+    /// out with `None` at its demand boundary (before popping the next
+    /// partition), leaving the emitted sequence a valid ranked prefix.
+    cancel: Option<CancelFlag>,
 }
 
 impl RankedState {
@@ -144,6 +149,12 @@ impl RankedState {
         debug_assert!(!self.started, "pruning must be configured up front");
         self.prune = true;
         self.incumbent = incumbent;
+    }
+
+    /// Binds a cooperative cancellation flag: once raised (from any thread),
+    /// [`RankedState::next`] returns `None` at its next demand boundary.
+    pub fn bind_cancel(&mut self, flag: CancelFlag) {
+        self.cancel = Some(flag);
     }
 
     /// Number of partitions whose re-optimization is currently deferred by
@@ -197,6 +208,12 @@ impl RankedState {
             self.push_partition(pre, cost, Constraints::none(), None);
         }
         loop {
+            // The demand boundary: between partition pops, never inside a
+            // re-optimization, so cancellation is prompt but the emitted
+            // prefix stays exact.
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return None;
+            }
             let entry = self.queue.pop()?;
             let best = match entry.state {
                 NodeState::Solved(best) => best,
@@ -363,6 +380,13 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
     /// see [`RankedState::enable_pruning`].
     pub fn with_pruning(mut self, incumbent: Option<CostValue>) -> Self {
         self.state.enable_pruning(incumbent);
+        self
+    }
+
+    /// Binds a cooperative cancellation flag; see
+    /// [`RankedState::bind_cancel`].
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.state.bind_cancel(flag);
         self
     }
 

@@ -37,6 +37,7 @@
 //! `Diversified::new`) remain available as the low-level engine layer the
 //! session drives; new code should prefer [`Enumerate`].
 
+use crate::cancel::CancelFlag;
 use crate::cost::{named_cost, BagCost, CostValue, DynBagCost, Width};
 use crate::diverse::{DiversityFilter, SimilarityMeasure};
 use crate::mintriang::Preprocessed;
@@ -260,6 +261,11 @@ pub enum StopReason {
     NodeBudgetExhausted,
     /// The [`Enumerate::drive`] callback requested an early stop.
     Stopped,
+    /// The session's [`CancelFlag`] was raised (see
+    /// [`Enumerate::cancel_flag`]) — typically by a service handler whose
+    /// client disconnected. The results emitted before the flag was
+    /// observed are a valid ranked prefix.
+    Cancelled,
 }
 
 impl std::fmt::Display for StopReason {
@@ -270,6 +276,7 @@ impl std::fmt::Display for StopReason {
             StopReason::DeadlineExceeded => "deadline-exceeded",
             StopReason::NodeBudgetExhausted => "node-budget-exhausted",
             StopReason::Stopped => "stopped",
+            StopReason::Cancelled => "cancelled",
         })
     }
 }
@@ -368,6 +375,68 @@ impl EnumerationStats {
     /// Largest single-result delay; `None` when the run produced no results.
     pub fn max_delay(&self) -> Option<Duration> {
         self.delays.iter().max().copied()
+    }
+
+    /// Renders the statistics as a single JSON object whose keys mirror the
+    /// field names — the `mtr --stats-json` output and the per-response
+    /// stats footer of the `mtr serve` daemon share this implementation.
+    pub fn to_json(&self, stop_reason: StopReason) -> String {
+        let opt_secs = |d: Option<Duration>| {
+            d.map(|d| format!("{:.6}", d.as_secs_f64()))
+                .unwrap_or_else(|| "null".into())
+        };
+        let delays: Vec<String> = self
+            .delays
+            .iter()
+            .map(|d| format!("{:.3}", d.as_secs_f64() * 1000.0))
+            .collect();
+        let worker_tasks: Vec<String> = self.worker_tasks.iter().map(|t| t.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"cost\": \"{}\", \"stop_reason\": \"{}\", \"results\": {}, ",
+                "\"preprocessing_secs\": {:.6}, \"preprocessing_complete\": {}, ",
+                "\"total_secs\": {:.6}, \"atoms\": {}, \"minimal_separators\": {}, ",
+                "\"pmcs\": {}, \"full_blocks\": {}, \"nodes_explored\": {}, ",
+                "\"nodes_pruned\": {}, \"incumbent_cost\": {}, ",
+                "\"max_queue_depth\": {}, \"final_queue_depth\": {}, ",
+                "\"duplicates_skipped\": {}, \"diversity_rejected\": {}, ",
+                "\"effective_threads\": {}, \"worker_tasks\": [{}], \"steals\": {}, ",
+                "\"atom_cache_hits\": {}, \"atom_cache_misses\": {}, ",
+                "\"atoms_deduped\": {}, \"cache_bytes\": {}, ",
+                "\"arena_bytes_reused\": {}, ",
+                "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
+                "\"delays_ms\": [{}]}}"
+            ),
+            self.cost,
+            stop_reason,
+            self.results,
+            self.preprocessing.as_secs_f64(),
+            self.preprocessing_complete,
+            self.total.as_secs_f64(),
+            self.atoms,
+            self.minimal_separators,
+            self.pmcs,
+            self.full_blocks,
+            self.nodes_explored,
+            self.nodes_pruned,
+            self.incumbent_cost
+                .map_or_else(|| "null".into(), |c| format!("{c}")),
+            self.max_queue_depth,
+            self.final_queue_depth,
+            self.duplicates_skipped,
+            self.diversity_rejected,
+            self.effective_threads,
+            worker_tasks.join(", "),
+            self.steals,
+            self.atom_cache_hits,
+            self.atom_cache_misses,
+            self.atoms_deduped,
+            self.cache_bytes,
+            self.arena_bytes_reused,
+            opt_secs(self.average_delay()),
+            opt_secs(self.max_delay()),
+            delays.join(", "),
+        )
     }
 }
 
@@ -469,6 +538,8 @@ pub struct SessionConfig<'a, K: BagCost + Sync + ?Sized = Width> {
     pub cache: CachePolicy,
     /// Incumbent pruning policy from [`Enumerate::pruning`].
     pub pruning: PruningPolicy,
+    /// Cooperative cancellation flag from [`Enumerate::cancel_flag`].
+    pub cancel: Option<CancelFlag>,
 }
 
 impl<'a, K: BagCost + Sync + ?Sized> SessionConfig<'a, K> {
@@ -503,6 +574,7 @@ pub struct Enumerate<'a, K: BagCost + Sync + ?Sized = Width> {
     node_budget: Option<usize>,
     cache: CachePolicy,
     pruning: PruningPolicy,
+    cancel: Option<CancelFlag>,
 }
 
 impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
@@ -550,6 +622,7 @@ impl<'a> Enumerate<'a, Width> {
             node_budget: None,
             cache: CachePolicy::Off,
             pruning: PruningPolicy::default(),
+            cancel: None,
         }
     }
 }
@@ -570,6 +643,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: self.node_budget,
             cache: self.cache,
             pruning: self.pruning,
+            cancel: self.cancel,
         }
     }
 
@@ -590,6 +664,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: self.node_budget,
             cache: self.cache,
             pruning: self.pruning,
+            cancel: self.cancel,
         })
     }
 
@@ -691,6 +766,17 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         self
     }
 
+    /// Attaches a cooperative cancellation flag: raising `flag` (from any
+    /// thread) stops the session with [`StopReason::Cancelled`] at the next
+    /// demand boundary — between Lawler–Murty partition expansions, never
+    /// mid-re-optimization — so the results already emitted remain a valid
+    /// ranked prefix. This is how a long-lived service cancels a session
+    /// whose client disconnected.
+    pub fn cancel_flag(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
     /// Deconstructs the builder into its [`SessionConfig`] — the hook for
     /// alternative engines (see the `SessionConfig` docs). Most callers
     /// never need this; they call [`Enumerate::run`] directly.
@@ -707,6 +793,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: self.node_budget,
             cache: self.cache,
             pruning: self.pruning,
+            cancel: self.cancel,
         }
     }
 
@@ -726,6 +813,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: config.node_budget,
             cache: config.cache,
             pruning: config.pruning,
+            cancel: config.cancel,
         }
     }
 
@@ -811,6 +899,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             // Inert on the direct engine: there are no atoms to cache.
             cache: _,
             pruning,
+            cancel,
         } = self;
 
         if let Some((_, threshold)) = diversity {
@@ -925,6 +1014,9 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 if pruning.is_enabled() {
                     inner = inner.with_pruning(incumbent);
                 }
+                if let Some(flag) = cancel.clone() {
+                    inner = inner.with_cancel(flag);
+                }
                 let mut engine: Engine<'_, '_, K> = Engine::Parallel(inner);
                 let stop_reason = drive_engine(
                     &mut engine,
@@ -934,6 +1026,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                     max_results,
                     deadline,
                     node_budget,
+                    cancel.as_ref(),
                     on_result,
                 );
                 let pool_stats = p.stats();
@@ -949,6 +1042,9 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             if pruning.is_enabled() {
                 inner = inner.with_pruning(incumbent);
             }
+            if let Some(flag) = cancel.clone() {
+                inner = inner.with_cancel(flag);
+            }
             let mut engine: Engine<'_, '_, K> = Engine::Sequential(inner);
             drive_engine(
                 &mut engine,
@@ -958,6 +1054,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 max_results,
                 deadline,
                 node_budget,
+                cancel.as_ref(),
                 on_result,
             )
         };
@@ -1016,6 +1113,7 @@ pub fn drive_engine<E, F>(
     max_results: Option<usize>,
     deadline: Option<Duration>,
     node_budget: Option<usize>,
+    cancel: Option<&CancelFlag>,
     mut on_result: F,
 ) -> StopReason
 where
@@ -1026,8 +1124,12 @@ where
     // deadlines; a non-representable deadline is simply never hit.
     let deadline_at = deadline.and_then(|d| started.checked_add(d));
     let mut last_emit = Instant::now();
+    let cancelled = || cancel.is_some_and(|c| c.is_cancelled());
 
     let stop_reason = loop {
+        if cancelled() {
+            break StopReason::Cancelled;
+        }
         if max_results.is_some_and(|k| stats.results >= k) {
             break StopReason::MaxResults;
         }
@@ -1038,7 +1140,13 @@ where
             break StopReason::NodeBudgetExhausted;
         }
         let Some(result) = engine.next_result() else {
-            break StopReason::Exhausted;
+            // An engine holding the same flag bails out mid-demand with
+            // `None`; that is a cancellation, not exhaustion.
+            break if cancelled() {
+                StopReason::Cancelled
+            } else {
+                StopReason::Exhausted
+            };
         };
         stats.max_queue_depth = stats.max_queue_depth.max(engine.queue_depth());
         if let Some(f) = filter.as_mut() {

@@ -47,7 +47,7 @@ use mtr_cache::{AtomKey, AtomStore, CacheEntry, CachedPrefix};
 use mtr_chordal::{maximal_cliques_chordal, minimal_separators_from_cliques};
 use mtr_core::cost::{AtomCombine, BagCost, CostValue};
 use mtr_core::pool::{Scratch, WorkerPool};
-use mtr_core::{heuristic_incumbent, Preprocessed, RankedState, RankedTriangulation};
+use mtr_core::{heuristic_incumbent, CancelFlag, Preprocessed, RankedState, RankedTriangulation};
 use mtr_graph::{Graph, Vertex};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -120,6 +120,10 @@ pub(crate) struct AtomStream {
     /// (exact — the emitted stream is identical either way). Set before the
     /// first pull; a lazily materialized engine picks it up too.
     prune: bool,
+    /// Cooperative cancellation: when raised, [`AtomStream::ensure`] bails
+    /// out *without* marking the stream exhausted, so a partial prefix is
+    /// still publishable (as incomplete) and never poisons the store.
+    cancel: Option<CancelFlag>,
 }
 
 impl AtomStream {
@@ -185,7 +189,14 @@ impl AtomStream {
             was_complete: false,
             key,
             prune: false,
+            cancel: None,
         }
+    }
+
+    /// Binds a cooperative cancellation flag checked at every pull of the
+    /// stream's engine (the per-atom demand boundary).
+    pub(crate) fn bind_cancel(&mut self, flag: CancelFlag) {
+        self.cancel = Some(flag);
     }
 
     /// Enables incumbent-bounded pruning on this stream's own enumeration,
@@ -306,6 +317,12 @@ impl AtomStream {
     ) -> bool {
         while self.cached.len() <= j {
             if self.exhausted {
+                return false;
+            }
+            // The per-atom demand boundary. Crucially this does NOT set
+            // `exhausted`: the memo buffer stays a valid (incomplete)
+            // prefix, so a cancelled run publishes only what it truly knows.
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                 return false;
             }
             if let AtomEngine::Lazy {
@@ -456,6 +473,7 @@ pub(crate) struct FactorizedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     prune: bool,
     incumbent: Option<CostValue>,
     nodes_deferred: usize,
+    cancel: Option<CancelFlag>,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
@@ -489,7 +507,21 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
             prune: false,
             incumbent: None,
             nodes_deferred: 0,
+            cancel: None,
         }
+    }
+
+    /// Binds a cooperative cancellation flag to the merge and to every
+    /// per-group stream: the iterator returns `None` at its next tuple pop,
+    /// and in-flight stream pulls (pooled or lazy) stop at their own demand
+    /// boundaries.
+    pub(crate) fn bind_cancel(&mut self, flag: CancelFlag) {
+        for slot in &mut self.streams {
+            if let Some(stream) = slot.as_mut() {
+                stream.bind_cancel(flag.clone());
+            }
+        }
+        self.cancel = Some(flag);
     }
 
     /// Enables incumbent-bounded pruning of the product-space merge,
@@ -746,6 +778,11 @@ impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
             self.push_tuple(vec![0; self.members.len()]);
         }
         loop {
+            // The merge's demand boundary: between tuple pops, so a
+            // cancelled session never prices or materializes another tuple.
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return None;
+            }
             let entry = self.heap.pop()?;
             if !entry.solved {
                 // A deferred tuple reached the top: its exact cost is now

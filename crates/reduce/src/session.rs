@@ -173,6 +173,15 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         self
     }
 
+    /// Cooperative cancellation flag (mirrors [`Enumerate::cancel_flag`]):
+    /// raising it stops the merge and every per-atom stream at their next
+    /// demand boundary with [`StopReason::Cancelled`], and the run
+    /// publishes only fully computed prefixes to the atom store.
+    pub fn cancel_flag(mut self, flag: mtr_core::CancelFlag) -> Self {
+        self.config.cancel = Some(flag);
+        self
+    }
+
     /// Uses `store` as the atom cache for this session, overriding the
     /// configured [`CachePolicy`] — the programmatic way to share one
     /// in-memory store across chosen sessions (clone the `Arc`):
@@ -537,6 +546,9 @@ where
     if prune {
         engine.enable_pruning(heuristic_incumbent(graph, config.cost(), width_bound));
     }
+    if let Some(flag) = &config.cancel {
+        engine.bind_cancel(flag.clone());
+    }
     let filter = config
         .diversity
         .map(|(measure, threshold)| DiversityFilter::new(graph, measure, threshold));
@@ -556,6 +568,7 @@ where
         config.max_results,
         config.deadline,
         config.node_budget,
+        config.cancel.as_ref(),
         on_result,
     );
     if let Some(store) = &setup.store {

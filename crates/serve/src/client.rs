@@ -1,0 +1,319 @@
+//! A small blocking client for the `mtr-serve` protocol: handshake, send
+//! a request, stream the ranked results back. Used by `mtr client`, the
+//! equivalence tests, and the service benchmarks.
+
+use std::io::{BufRead as _, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+use crate::json::{self, Json};
+use crate::protocol::{self, EnumerateRequest, FRAME_RESULT_BINARY, WIRE_MAGIC, WIRE_VERSION};
+
+/// One streamed result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServedResult {
+    /// 0-based rank in the served stream.
+    pub rank: u64,
+    /// Cost under the requested bag cost.
+    pub cost: f64,
+    /// Fill edges over the request's vertex indexing (triangulation =
+    /// input graph + fill).
+    pub fill: Vec<(u32, u32)>,
+}
+
+/// The terminal summary of a successful stream.
+#[derive(Clone, Debug)]
+pub struct Done {
+    /// Which queue admission put the request on (`"warm"` / `"cold"`).
+    pub queue: String,
+    /// Why the session stopped (the `StopReason` display form).
+    pub stop_reason: String,
+    /// Number of results streamed.
+    pub results: usize,
+    /// The session's statistics (the `EnumerationStats::to_json` object,
+    /// re-rendered with sorted keys).
+    pub stats: Json,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent something the client cannot parse.
+    Protocol(String),
+    /// The server refused the request with an error frame.
+    Server {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl ClientStream {
+    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.write_all(bytes),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write_all(bytes),
+        }
+    }
+}
+
+/// A connected, handshaken client.
+pub struct Client {
+    reader: BufReader<ClientStream>,
+}
+
+impl Client {
+    /// Connects over TCP and performs the version handshake.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Client::handshake(ClientStream::Tcp(stream))
+    }
+
+    /// Connects over a Unix-domain socket and performs the handshake.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        Client::handshake(ClientStream::Unix(stream))
+    }
+
+    fn handshake(mut stream: ClientStream) -> Result<Client, ClientError> {
+        stream.write_all_bytes(protocol::hello_frame().as_bytes())?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+        };
+        let line = client.read_line()?;
+        let doc = json::parse(&line).map_err(ClientError::Protocol)?;
+        match doc.get("frame").and_then(Json::as_str) {
+            Some("hello") => {
+                let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+                if version != u64::from(WIRE_VERSION) {
+                    return Err(ClientError::Protocol(format!(
+                        "server speaks protocol v{version}, this client v{WIRE_VERSION}"
+                    )));
+                }
+                Ok(client)
+            }
+            Some("error") => Err(server_error(&doc)),
+            _ => Err(ClientError::Protocol(format!("unexpected frame: {line}"))),
+        }
+    }
+
+    /// Sends an enumeration request and invokes `on_result` for every
+    /// streamed result, in rank order, returning the terminal summary.
+    /// Results arrive incrementally — `on_result` sees each one as soon
+    /// as the daemon emits it.
+    pub fn enumerate_streaming(
+        &mut self,
+        req: &EnumerateRequest,
+        mut on_result: impl FnMut(ServedResult),
+    ) -> Result<Done, ClientError> {
+        self.reader
+            .get_mut()
+            .write_all_bytes(protocol::enumerate_frame(req).as_bytes())?;
+
+        // The accepted frame tells us which queue admission chose.
+        let line = self.read_line()?;
+        let doc = json::parse(&line).map_err(ClientError::Protocol)?;
+        let queue = match doc.get("frame").and_then(Json::as_str) {
+            Some("accepted") => doc
+                .get("queue")
+                .and_then(Json::as_str)
+                .unwrap_or("cold")
+                .to_string(),
+            Some("error") => return Err(server_error(&doc)),
+            _ => return Err(ClientError::Protocol(format!("unexpected frame: {line}"))),
+        };
+
+        if req.binary {
+            let mut header = [0u8; 8];
+            self.reader.read_exact(&mut header)?;
+            if &header[..4] != WIRE_MAGIC
+                || u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) != WIRE_VERSION
+            {
+                return Err(ClientError::Protocol("bad binary stream header".into()));
+            }
+        }
+
+        loop {
+            if req.binary && self.peek_byte()? == FRAME_RESULT_BINARY {
+                let mut tag_len = [0u8; 5];
+                self.reader.read_exact(&mut tag_len)?;
+                let len = u32::from_le_bytes(tag_len[1..5].try_into().expect("4 bytes")) as usize;
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                let (rank, cost, fill) = protocol::decode_binary_result(&payload)
+                    .map_err(|e| ClientError::Protocol(e.message))?;
+                on_result(ServedResult { rank, cost, fill });
+                continue;
+            }
+            let line = self.read_line()?;
+            let doc = json::parse(&line).map_err(ClientError::Protocol)?;
+            match doc.get("frame").and_then(Json::as_str) {
+                Some("result") => {
+                    let rank = doc
+                        .get("rank")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ClientError::Protocol("result without rank".into()))?;
+                    let cost = doc
+                        .get("cost")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| ClientError::Protocol("result without cost".into()))?;
+                    let mut fill = Vec::new();
+                    for pair in doc.get("fill").and_then(Json::as_arr).unwrap_or(&[]) {
+                        let pair = pair
+                            .as_arr()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| ClientError::Protocol("bad fill pair".into()))?;
+                        let u = pair[0]
+                            .as_u64()
+                            .ok_or_else(|| ClientError::Protocol("bad fill pair".into()))?;
+                        let v = pair[1]
+                            .as_u64()
+                            .ok_or_else(|| ClientError::Protocol("bad fill pair".into()))?;
+                        fill.push((u as u32, v as u32));
+                    }
+                    on_result(ServedResult { rank, cost, fill });
+                }
+                Some("done") => {
+                    let stop_reason = doc
+                        .get("stop_reason")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    let results = doc.get("results").and_then(Json::as_u64).unwrap_or(0) as usize;
+                    let stats = doc.get("stats").cloned().unwrap_or(Json::Null);
+                    return Ok(Done {
+                        queue,
+                        stop_reason,
+                        results,
+                        stats,
+                    });
+                }
+                Some("error") => return Err(server_error(&doc)),
+                _ => return Err(ClientError::Protocol(format!("unexpected frame: {line}"))),
+            }
+        }
+    }
+
+    /// Sends an enumeration request and collects the full stream.
+    pub fn enumerate(
+        &mut self,
+        req: &EnumerateRequest,
+    ) -> Result<(Vec<ServedResult>, Done), ClientError> {
+        let mut results = Vec::new();
+        let done = self.enumerate_streaming(req, |r| results.push(r))?;
+        Ok((results, done))
+    }
+
+    /// Asks the daemon to shut down gracefully; returns once the server
+    /// acknowledges with its `bye` frame.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.reader
+            .get_mut()
+            .write_all_bytes(protocol::shutdown_frame().as_bytes())?;
+        let line = self.read_line()?;
+        let doc = json::parse(&line).map_err(ClientError::Protocol)?;
+        match doc.get("frame").and_then(Json::as_str) {
+            Some("bye") => Ok(()),
+            Some("error") => Err(server_error(&doc)),
+            _ => Err(ClientError::Protocol(format!("unexpected frame: {line}"))),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.reader.read(&mut byte) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        return String::from_utf8(line)
+                            .map_err(|_| ClientError::Protocol("non-utf8 frame".into()));
+                    }
+                    line.push(byte[0]);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Peeks at the next byte without consuming it (distinguishes binary
+    /// frames from JSON lines).
+    fn peek_byte(&mut self) -> Result<u8, ClientError> {
+        let buf = self.reader.fill_buf()?;
+        match buf.first() {
+            Some(&b) => Ok(b),
+            // fill_buf returning empty means EOF.
+            None => Err(ClientError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+}
+
+fn server_error(doc: &Json) -> ClientError {
+    ClientError::Server {
+        code: doc
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        message: doc
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+    }
+}

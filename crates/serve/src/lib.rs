@@ -1,0 +1,58 @@
+//! `mtr-serve`: a multi-tenant ranked-enumeration daemon.
+//!
+//! The PODS 2019 algorithm is *anytime*: results stream out cheapest
+//! first with bounded incremental delay, so the natural deployment is a
+//! long-lived service — clients submit graphs, the daemon streams ranked
+//! minimal triangulations back as they are found, and a shared
+//! [content-addressed atom cache](mtr_cache) turns repeated or
+//! isomorphic workloads into warm, near-instant streams.
+//!
+//! The crate is dependency-free (the workspace is hermetic): the wire
+//! format is newline-delimited JSON parsed by a [hand-rolled
+//! reader](json), the event loop is non-blocking `std::net` (no epoll
+//! bindings — the workspace forbids `unsafe`), and the optional binary
+//! result framing reuses the little-endian magic + version + length
+//! prefix discipline of the cache's disk format. See `docs/PROTOCOL.md`
+//! for the wire grammar and [`server`] for the architecture.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use mtr_serve::{serve, BindAddr, Client, EnumerateRequest, ServerConfig};
+//!
+//! let handle = serve(
+//!     &BindAddr::Tcp("127.0.0.1:0".into()),
+//!     ServerConfig::default(),
+//! )?;
+//! let addr = handle.local_addr().expect("tcp bind");
+//!
+//! let mut client = Client::connect_tcp(&addr.to_string())?;
+//! let req = EnumerateRequest {
+//!     tenant: "demo".into(),
+//!     n: 4,
+//!     edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+//!     cost: "fill".into(),
+//!     width_bound: None,
+//!     max_results: Some(5),
+//!     deadline_ms: None,
+//!     node_budget: None,
+//!     threads: 1,
+//!     cache: true,
+//!     binary: false,
+//! };
+//! let done = client.enumerate_streaming(&req, |r| {
+//!     println!("#{} cost {} fill {:?}", r.rank, r.cost, r.fill);
+//! })?;
+//! println!("stopped: {} after {} results", done.stop_reason, done.results);
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, Done, ServedResult};
+pub use protocol::{EnumerateRequest, ProtocolError, Request, WIRE_MAGIC, WIRE_VERSION};
+pub use server::{serve, serve_ephemeral, BindAddr, ServerConfig, ServerHandle, TenantQuota};

@@ -1,0 +1,408 @@
+//! The `mtr-serve` wire protocol.
+//!
+//! A connection speaks newline-delimited JSON frames (NDJSON). The client
+//! opens with a `hello` frame carrying the protocol version — the same
+//! magic + version discipline as the `mtr-cache` disk format — and the
+//! server answers with its own `hello` or an `error` frame and a close.
+//! After the handshake the client sends one request frame at a time and
+//! the server streams response frames back; see `docs/PROTOCOL.md` for
+//! the full grammar.
+//!
+//! Response streams are JSON by default. A request with `"binary": true`
+//! switches the *result* frames of that stream to a length-prefixed
+//! binary encoding (little-endian, like the disk format): the stream then
+//! starts with the 8-byte `MTRW` + version header, each result is a
+//! `0x01`-tagged length-prefixed record, and the trailing `done` /
+//! `error` frames remain JSON lines. The two framings interleave safely
+//! because a JSON line always starts with `{` (0x7B), never `0x01`.
+
+use crate::json::{self, Json};
+use mtr_core::StopReason;
+
+/// Magic bytes opening a binary result stream. Deliberately distinct from
+/// the cache's `MTRA` so a cache file can never be mistaken for a wire
+/// capture (or vice versa).
+pub const WIRE_MAGIC: &[u8; 4] = b"MTRW";
+
+/// Version of the wire protocol; bumped on any incompatible change.
+/// Mismatched hellos are rejected with an `error` frame, mirroring the
+/// version check of the cache's disk format.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Tag byte of a binary result frame.
+pub const FRAME_RESULT_BINARY: u8 = 0x01;
+
+/// An enumeration request, decoded and validated.
+#[derive(Clone, Debug)]
+pub struct EnumerateRequest {
+    /// Tenant identity for admission control (default `"anonymous"`).
+    pub tenant: String,
+    /// Number of vertices.
+    pub n: u32,
+    /// Edge list (`u < n`, `v < n` enforced at parse time).
+    pub edges: Vec<(u32, u32)>,
+    /// Cost name (see `mtr_core::cost::named_cost`).
+    pub cost: String,
+    /// Optional width bound (`MinTriangB`).
+    pub width_bound: Option<usize>,
+    /// Stop after this many results.
+    pub max_results: Option<usize>,
+    /// Wall-clock budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Lawler–Murty node budget.
+    pub node_budget: Option<u64>,
+    /// Worker threads for this session (0 = auto).
+    pub threads: usize,
+    /// Run through the reduction layer with the server's shared atom
+    /// store (warm path). `false` = direct engine, bit-for-bit equal to
+    /// `Enumerate::on`.
+    pub cache: bool,
+    /// Stream results in the binary framing instead of JSON.
+    pub binary: bool,
+}
+
+/// A decoded client frame.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// The handshake frame: `{"frame": "hello", "magic": "MTRW", "version": 1}`.
+    Hello {
+        /// Magic string as sent (must equal `MTRW`).
+        magic: String,
+        /// Protocol version as sent (must equal [`WIRE_VERSION`]).
+        version: u64,
+    },
+    /// An enumeration request.
+    Enumerate(Box<EnumerateRequest>),
+    /// Ask the daemon to shut down gracefully (drain, then exit).
+    Shutdown,
+}
+
+/// A protocol-level error: machine-readable code plus human message.
+#[derive(Clone, Debug)]
+pub struct ProtocolError {
+    /// Stable machine-readable code (`bad-json`, `bad-request`,
+    /// `version-mismatch`, `unknown-cost`, `quota-exceeded`,
+    /// `shutting-down`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one client frame from a protocol line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let doc = json::parse(line).map_err(|e| ProtocolError::new("bad-json", e))?;
+    let frame = doc
+        .get("frame")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new("bad-request", "missing \"frame\""))?;
+    match frame {
+        "hello" => {
+            let magic = doc
+                .get("magic")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+            Ok(Request::Hello { magic, version })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        "enumerate" => parse_enumerate(&doc).map(|r| Request::Enumerate(Box::new(r))),
+        other => Err(ProtocolError::new(
+            "bad-request",
+            format!("unknown frame \"{other}\""),
+        )),
+    }
+}
+
+fn parse_enumerate(doc: &Json) -> Result<EnumerateRequest, ProtocolError> {
+    let bad = |m: String| ProtocolError::new("bad-request", m);
+    let n = doc
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("missing or invalid \"n\"".into()))?;
+    let n = u32::try_from(n).map_err(|_| bad("\"n\" out of range".into()))?;
+    let mut edges = Vec::new();
+    if let Some(list) = doc.get("edges") {
+        let list = list
+            .as_arr()
+            .ok_or_else(|| bad("\"edges\" must be an array".into()))?;
+        for pair in list {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| bad("each edge must be a [u, v] pair".into()))?;
+            let u = pair[0]
+                .as_u64()
+                .filter(|&u| u < u64::from(n))
+                .ok_or_else(|| bad("edge endpoint out of range".into()))?;
+            let v = pair[1]
+                .as_u64()
+                .filter(|&v| v < u64::from(n))
+                .ok_or_else(|| bad("edge endpoint out of range".into()))?;
+            if u == v {
+                return Err(bad("self-loops are not allowed".into()));
+            }
+            edges.push((u as u32, v as u32));
+        }
+    }
+    let usize_field = |key: &str| -> Result<Option<usize>, ProtocolError> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .and_then(|v| usize::try_from(v).ok())
+                .map(Some)
+                .ok_or_else(|| bad(format!("invalid \"{key}\""))),
+        }
+    };
+    let u64_field = |key: &str| -> Result<Option<u64>, ProtocolError> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| bad(format!("invalid \"{key}\""))),
+        }
+    };
+    Ok(EnumerateRequest {
+        tenant: doc
+            .get("tenant")
+            .and_then(Json::as_str)
+            .unwrap_or("anonymous")
+            .to_string(),
+        n,
+        edges,
+        cost: doc
+            .get("cost")
+            .and_then(Json::as_str)
+            .unwrap_or("width")
+            .to_string(),
+        width_bound: usize_field("width_bound")?,
+        max_results: usize_field("max_results")?,
+        deadline_ms: u64_field("deadline_ms")?,
+        node_budget: u64_field("node_budget")?,
+        threads: usize_field("threads")?.unwrap_or(1),
+        cache: doc.get("cache").and_then(Json::as_bool).unwrap_or(false),
+        binary: doc.get("binary").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+/// The client's opening handshake line.
+pub fn hello_frame() -> String {
+    format!("{{\"frame\": \"hello\", \"magic\": \"MTRW\", \"version\": {WIRE_VERSION}}}\n")
+}
+
+/// The server's handshake acknowledgement.
+pub fn hello_ack_frame() -> String {
+    format!(
+        "{{\"frame\": \"hello\", \"server\": \"mtr-serve\", \"magic\": \"MTRW\", \"version\": {WIRE_VERSION}}}\n"
+    )
+}
+
+/// Serializes an [`EnumerateRequest`] back into its wire line (the
+/// client-side encoder).
+pub fn enumerate_frame(req: &EnumerateRequest) -> String {
+    let edges: Vec<String> = req
+        .edges
+        .iter()
+        .map(|&(u, v)| format!("[{u},{v}]"))
+        .collect();
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".into(), |v| v.to_string());
+    format!(
+        concat!(
+            "{{\"frame\": \"enumerate\", \"tenant\": \"{}\", \"n\": {}, ",
+            "\"edges\": [{}], \"cost\": \"{}\", \"width_bound\": {}, ",
+            "\"max_results\": {}, \"deadline_ms\": {}, \"node_budget\": {}, ",
+            "\"threads\": {}, \"cache\": {}, \"binary\": {}}}\n"
+        ),
+        json::escape(&req.tenant),
+        req.n,
+        edges.join(","),
+        json::escape(&req.cost),
+        opt(req.width_bound.map(|v| v as u64)),
+        opt(req.max_results.map(|v| v as u64)),
+        opt(req.deadline_ms),
+        opt(req.node_budget),
+        req.threads,
+        req.cache,
+        req.binary,
+    )
+}
+
+/// The shutdown request line.
+pub fn shutdown_frame() -> String {
+    "{\"frame\": \"shutdown\"}\n".to_string()
+}
+
+/// A streamed result as a JSON line.
+pub fn result_frame(rank: u64, cost: f64, fill: &[(u32, u32)]) -> String {
+    let fill: Vec<String> = fill.iter().map(|&(u, v)| format!("[{u},{v}]")).collect();
+    format!(
+        "{{\"frame\": \"result\", \"rank\": {rank}, \"cost\": {cost}, \"fill\": [{}]}}\n",
+        fill.join(",")
+    )
+}
+
+/// The 8-byte header opening a binary result stream (magic + version,
+/// little-endian — the cache disk-format discipline).
+pub fn binary_stream_header() -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out
+}
+
+/// A streamed result as a binary frame: tag byte, u32 payload length,
+/// then `u64 rank, f64 cost, u32 k, k × (u32 u, u32 v)` — all
+/// little-endian.
+pub fn result_frame_binary(rank: u64, cost: f64, fill: &[(u32, u32)]) -> Vec<u8> {
+    let payload_len = 8 + 8 + 4 + fill.len() * 8;
+    let mut out = Vec::with_capacity(1 + 4 + payload_len);
+    out.push(FRAME_RESULT_BINARY);
+    out.extend_from_slice(
+        &u32::try_from(payload_len)
+            .expect("frame fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&rank.to_le_bytes());
+    out.extend_from_slice(&cost.to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(fill.len())
+            .expect("fill fits u32")
+            .to_le_bytes(),
+    );
+    for &(u, v) in fill {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// A decoded binary result record: `(rank, cost, fill edges)`.
+pub type BinaryResult = (u64, f64, Vec<(u32, u32)>);
+
+/// Decodes the payload of a binary result frame (after tag and length
+/// have been consumed). Returns `(rank, cost, fill)`.
+pub fn decode_binary_result(payload: &[u8]) -> Result<BinaryResult, ProtocolError> {
+    let err = || ProtocolError::new("bad-frame", "truncated binary result frame");
+    let take = |at: usize, len: usize| payload.get(at..at + len).ok_or_else(err);
+    let rank = u64::from_le_bytes(take(0, 8)?.try_into().expect("8 bytes"));
+    let cost = f64::from_le_bytes(take(8, 8)?.try_into().expect("8 bytes"));
+    let k = u32::from_le_bytes(take(16, 4)?.try_into().expect("4 bytes")) as usize;
+    if payload.len() != 20 + k * 8 {
+        return Err(err());
+    }
+    let mut fill = Vec::with_capacity(k);
+    for i in 0..k {
+        let u = u32::from_le_bytes(take(20 + i * 8, 4)?.try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(take(24 + i * 8, 4)?.try_into().expect("4 bytes"));
+        fill.push((u, v));
+    }
+    Ok((rank, cost, fill))
+}
+
+/// The terminal frame of a successful stream. `stats` is the JSON object
+/// produced by `EnumerationStats::to_json` — embedded verbatim, so the
+/// daemon and the CLI `--stats-json` output share one serialization.
+pub fn done_frame(stop_reason: StopReason, results: usize, stats: &str) -> String {
+    format!(
+        "{{\"frame\": \"done\", \"stop_reason\": \"{stop_reason}\", \"results\": {results}, \"stats\": {stats}}}\n"
+    )
+}
+
+/// An error frame. Terminal for the current request (handshake and
+/// protocol errors also close the connection).
+pub fn error_frame(err: &ProtocolError) -> String {
+    format!(
+        "{{\"frame\": \"error\", \"code\": \"{}\", \"message\": \"{}\"}}\n",
+        err.code,
+        json::escape(&err.message)
+    )
+}
+
+/// The server's goodbye after a `shutdown` request is accepted.
+pub fn bye_frame() -> String {
+    "{\"frame\": \"bye\"}\n".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_request_round_trips() {
+        let req = EnumerateRequest {
+            tenant: "t1".into(),
+            n: 5,
+            edges: vec![(0, 1), (1, 2), (3, 4)],
+            cost: "fill".into(),
+            width_bound: Some(3),
+            max_results: Some(10),
+            deadline_ms: None,
+            node_budget: Some(1000),
+            threads: 2,
+            cache: true,
+            binary: false,
+        };
+        let line = enumerate_frame(&req);
+        let back = match parse_request(line.trim_end()).expect("valid") {
+            Request::Enumerate(r) => r,
+            other => panic!("wrong frame: {other:?}"),
+        };
+        assert_eq!(back.tenant, req.tenant);
+        assert_eq!(back.n, req.n);
+        assert_eq!(back.edges, req.edges);
+        assert_eq!(back.cost, req.cost);
+        assert_eq!(back.width_bound, req.width_bound);
+        assert_eq!(back.max_results, req.max_results);
+        assert_eq!(back.deadline_ms, req.deadline_ms);
+        assert_eq!(back.node_budget, req.node_budget);
+        assert_eq!(back.threads, req.threads);
+        assert_eq!(back.cache, req.cache);
+        assert_eq!(back.binary, req.binary);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert_eq!(parse_request("not json").unwrap_err().code, "bad-json");
+        assert_eq!(parse_request("{}").unwrap_err().code, "bad-request");
+        let out_of_range = r#"{"frame": "enumerate", "n": 3, "edges": [[0, 3]]}"#;
+        assert_eq!(parse_request(out_of_range).unwrap_err().code, "bad-request");
+        let self_loop = r#"{"frame": "enumerate", "n": 3, "edges": [[1, 1]]}"#;
+        assert_eq!(parse_request(self_loop).unwrap_err().code, "bad-request");
+    }
+
+    #[test]
+    fn binary_result_frames_round_trip() {
+        let fill = vec![(0, 2), (1, 3), (7, 9)];
+        let frame = result_frame_binary(42, 3.5, &fill);
+        assert_eq!(frame[0], FRAME_RESULT_BINARY);
+        let len = u32::from_le_bytes(frame[1..5].try_into().expect("4 bytes")) as usize;
+        assert_eq!(frame.len(), 5 + len);
+        let (rank, cost, back) = decode_binary_result(&frame[5..]).expect("valid");
+        assert_eq!(rank, 42);
+        assert_eq!(cost, 3.5);
+        assert_eq!(back, fill);
+        // Truncations are rejected, never mis-decoded.
+        assert!(decode_binary_result(&frame[5..frame.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn binary_header_reuses_the_magic_version_discipline() {
+        let header = binary_stream_header();
+        assert_eq!(&header[..4], WIRE_MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")),
+            WIRE_VERSION
+        );
+    }
+}

@@ -1,0 +1,870 @@
+//! The daemon: a hand-rolled non-blocking event loop multiplexing many
+//! client connections onto one shared [`AtomStore`] and a small pool of
+//! session-runner threads.
+//!
+//! # Architecture
+//!
+//! One **IO thread** owns the listener and every socket, all in
+//! non-blocking mode. Each loop iteration accepts new connections, reads
+//! request bytes, parses complete frames, admits sessions, and flushes
+//! per-connection write buffers. There are no callbacks and no `unsafe`
+//! (the workspace forbids it, which also rules out `poll(2)`): readiness
+//! is discovered by attempting the syscall and treating `WouldBlock` as
+//! "not ready", with a sub-millisecond sleep when an iteration made no
+//! progress.
+//!
+//! **Session runners** (N worker threads) pop admitted sessions from a
+//! two-level queue — warm before cold — and drive the enumeration
+//! engines, pushing response frames into the connection's shared write
+//! buffer. The buffer enforces backpressure: past the high-water mark the
+//! runner blocks (stops demanding results from the engine — the anytime
+//! guarantee means no work is wasted) until the IO thread drains the
+//! socket below the low-water mark.
+//!
+//! **Cache-aware admission**: at admission the request's graph is
+//! decomposed into atoms and their canonical keys are probed —
+//! non-perturbing [`AtomStore::probe`] — against the shared store. A
+//! request with at least one warm atom goes to the warm queue and is
+//! served first: it will stream its first results almost immediately,
+//! which maximizes throughput under mixed workloads without starving
+//! cold requests (runners fall back to the cold queue whenever the warm
+//! one is empty).
+//!
+//! **Cancellation and shutdown**: a disconnect observed by the IO thread
+//! raises the session's [`CancelFlag`]; every engine bails at its next
+//! demand boundary ([`StopReason::Cancelled`]) and partial per-atom
+//! prefixes are still published to the store (marked incomplete). A
+//! graceful shutdown — [`ServerHandle::shutdown`] or a client `shutdown`
+//! frame — stops accepting connections, drains every admitted session to
+//! completion, flushes all buffers, then exits.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mtr_cache::{AtomKey, AtomStore, DEFAULT_BYTE_BUDGET};
+use mtr_core::cost::named_cost;
+use mtr_core::{CancelFlag, Enumerate, StopReason};
+use mtr_graph::Graph;
+use mtr_reduce::{decompose, EnumerateReduceExt, ReductionLevel};
+
+use crate::protocol::{self, EnumerateRequest, ProtocolError, Request, WIRE_VERSION};
+
+/// Worker blocks when a connection's write buffer exceeds this.
+const HIGH_WATER: usize = 256 * 1024;
+/// ... and resumes once the IO thread drains it below this.
+const LOW_WATER: usize = 64 * 1024;
+/// Idle-iteration sleep of the event loop.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Per-tenant admission quotas. A value of `None` means "uncapped".
+#[derive(Clone, Debug)]
+pub struct TenantQuota {
+    /// Maximum in-flight (queued or running) sessions per tenant;
+    /// requests beyond it are refused with a `quota-exceeded` error
+    /// frame (the connection stays usable).
+    pub max_concurrent_sessions: usize,
+    /// Hard cap on `max_results`; requests asking for more (or for an
+    /// unbounded stream, when set) are clamped.
+    pub max_results_cap: Option<usize>,
+    /// Hard cap on the per-session deadline, clamped likewise.
+    pub deadline_cap: Option<Duration>,
+    /// Hard cap on the Lawler–Murty node budget, clamped likewise.
+    pub node_budget_cap: Option<u64>,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_concurrent_sessions: 4,
+            max_results_cap: None,
+            deadline_cap: None,
+            node_budget_cap: None,
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Session-runner threads (0 = one per available core, capped at 8).
+    pub workers: usize,
+    /// Byte budget of the shared in-memory atom store (0 = the cache
+    /// crate's default budget). Ignored when `store` is set.
+    pub byte_budget: usize,
+    /// Persist the shared store into this directory (cross-restart warm
+    /// starts). Ignored when `store` is set.
+    pub cache_dir: Option<PathBuf>,
+    /// Use this store instead of creating one — lets tests and in-process
+    /// embedders share a store with direct sessions.
+    pub store: Option<Arc<AtomStore>>,
+    /// Per-tenant quotas.
+    pub quota: TenantQuota,
+    /// Honor the wire `shutdown` frame (on by default in the CLI; tests
+    /// may disable it so a client cannot stop a shared fixture).
+    pub allow_remote_shutdown: bool,
+}
+
+/// Where to listen.
+#[derive(Clone, Debug)]
+pub enum BindAddr {
+    /// A TCP address like `127.0.0.1:7171` (port 0 picks an ephemeral
+    /// port, reported by [`ServerHandle::local_addr`]).
+    Tcp(String),
+    /// A Unix-domain socket path (removed and re-created on bind).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+enum NetListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl NetListener {
+    fn accept(&self) -> std::io::Result<Option<NetStream>> {
+        match self {
+            NetListener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(true)?;
+                    s.set_nodelay(true).ok();
+                    Ok(Some(NetStream::Tcp(s)))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            NetListener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(true)?;
+                    Ok(Some(NetStream::Unix(s)))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+enum NetStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    fn read_some(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_some(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+/// The write side of one connection, shared between the IO thread (which
+/// drains it into the socket) and the session runner (which fills it and
+/// blocks on the high-water mark).
+struct ConnOut {
+    state: Mutex<OutState>,
+    cv: Condvar,
+}
+
+struct OutState {
+    buf: VecDeque<u8>,
+    /// The running session's cancel flag (raised on disconnect).
+    cancel: Option<CancelFlag>,
+    /// Session runner is done writing frames for the current request.
+    finished: bool,
+    /// The IO thread observed a disconnect; drop writes, stop blocking.
+    disconnected: bool,
+}
+
+impl ConnOut {
+    fn new() -> Arc<ConnOut> {
+        Arc::new(ConnOut {
+            state: Mutex::new(OutState {
+                buf: VecDeque::new(),
+                cancel: None,
+                finished: false,
+                disconnected: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Appends frame bytes, blocking while the buffer is above the
+    /// high-water mark — the backpressure that stops the runner from
+    /// demanding results a slow client cannot absorb. Returns `false`
+    /// when the connection is gone (the caller should stop streaming).
+    fn push(&self, bytes: &[u8]) -> bool {
+        let mut state = self.state.lock().expect("conn out poisoned");
+        while state.buf.len() >= HIGH_WATER && !state.disconnected {
+            let (next, _timeout) = self
+                .cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("conn out poisoned");
+            state = next;
+        }
+        if state.disconnected {
+            return false;
+        }
+        state.buf.extend(bytes);
+        true
+    }
+
+    /// Marks the current request's stream complete.
+    fn finish(&self) {
+        let mut state = self.state.lock().expect("conn out poisoned");
+        state.finished = true;
+        state.cancel = None;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn mark_disconnected(&self) {
+        let mut state = self.state.lock().expect("conn out poisoned");
+        state.disconnected = true;
+        if let Some(flag) = &state.cancel {
+            flag.cancel();
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// One admitted session, waiting in (or popped from) the scheduler.
+struct Job {
+    req: EnumerateRequest,
+    graph: Graph,
+    out: Arc<ConnOut>,
+    cancel: CancelFlag,
+    tenant: String,
+}
+
+#[derive(Default)]
+struct Sched {
+    warm: VecDeque<Job>,
+    cold: VecDeque<Job>,
+}
+
+struct Shared {
+    store: Arc<AtomStore>,
+    sched: Mutex<Sched>,
+    sched_cv: Condvar,
+    /// In-flight (queued + running) session count per tenant.
+    tenants: Mutex<HashMap<String, usize>>,
+    /// Sessions admitted but not yet finished (queued or running).
+    in_flight: AtomicUsize,
+    shutting_down: AtomicBool,
+    quota: TenantQuota,
+}
+
+impl Shared {
+    fn release_tenant(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        if let Some(count) = tenants.get_mut(tenant) {
+            *count -= 1;
+            if *count == 0 {
+                tenants.remove(tenant);
+            }
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (they keep serving);
+/// call [`ServerHandle::shutdown`] for a graceful drain or
+/// [`ServerHandle::wait`] to block until a wire `shutdown` frame stops
+/// the daemon.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: Option<SocketAddr>,
+    io_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (None for Unix sockets) — the way tests
+    /// discover an ephemeral port.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// The shared atom store (for probing warmth from tests/benches).
+    pub fn store(&self) -> Arc<AtomStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted session,
+    /// flush every connection, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.sched_cv.notify_all();
+        self.join();
+    }
+
+    /// Blocks until the daemon exits on its own (a wire `shutdown`
+    /// frame). The CLI `mtr serve` foreground mode.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(io) = self.io_thread.take() {
+            io.join().expect("io thread panicked");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("session runner panicked");
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Detached: threads keep running. Explicit shutdown()/wait() are
+        // the supported exits; this keeps drop non-blocking.
+    }
+}
+
+/// Binds and starts the daemon.
+pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let (listener, local_addr) = match addr {
+        BindAddr::Tcp(spec) => {
+            let l = TcpListener::bind(spec.as_str())?;
+            l.set_nonblocking(true)?;
+            let bound = l.local_addr()?;
+            (NetListener::Tcp(l), Some(bound))
+        }
+        #[cfg(unix)]
+        BindAddr::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            (NetListener::Unix(l), None)
+        }
+    };
+
+    let store = match (&config.store, &config.cache_dir) {
+        (Some(store), _) => Arc::clone(store),
+        (None, Some(dir)) => AtomStore::persistent(dir, effective_budget(config.byte_budget))?,
+        (None, None) => AtomStore::in_memory(effective_budget(config.byte_budget)),
+    };
+
+    let shared = Arc::new(Shared {
+        store,
+        sched: Mutex::new(Sched::default()),
+        sched_cv: Condvar::new(),
+        tenants: Mutex::new(HashMap::new()),
+        in_flight: AtomicUsize::new(0),
+        shutting_down: AtomicBool::new(false),
+        quota: config.quota.clone(),
+    });
+
+    let worker_count = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(2)
+    } else {
+        config.workers
+    };
+    let workers = (0..worker_count)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("mtr-serve-runner-{i}"))
+                .spawn(move || run_sessions(&shared))
+                .expect("spawn session runner")
+        })
+        .collect();
+
+    let io_shared = Arc::clone(&shared);
+    let allow_remote_shutdown = config.allow_remote_shutdown;
+    let io_thread = std::thread::Builder::new()
+        .name("mtr-serve-io".into())
+        .spawn(move || event_loop(listener, &io_shared, allow_remote_shutdown))
+        .expect("spawn io thread");
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        io_thread: Some(io_thread),
+        workers,
+    })
+}
+
+fn effective_budget(requested: usize) -> usize {
+    if requested == 0 {
+        DEFAULT_BYTE_BUDGET
+    } else {
+        requested
+    }
+}
+
+/// Connection lifecycle stages.
+enum Stage {
+    /// Waiting for the client hello.
+    AwaitHello,
+    /// Handshake done; ready for a request.
+    Idle,
+    /// A session is queued or running for this connection.
+    Busy,
+}
+
+struct Conn {
+    stream: NetStream,
+    inbuf: Vec<u8>,
+    out: Arc<ConnOut>,
+    stage: Stage,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn queue_text(&self, frame: String) {
+        let mut state = self.out.state.lock().expect("conn out poisoned");
+        state.buf.extend(frame.as_bytes());
+    }
+}
+
+/// The IO thread body.
+fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown: bool) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut read_buf = [0u8; 16 * 1024];
+    loop {
+        let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+        let mut progressed = false;
+
+        // Accept (never during shutdown — the listener drains instead).
+        if !shutting_down {
+            while let Ok(Some(stream)) = listener.accept() {
+                conns.push(Conn {
+                    stream,
+                    inbuf: Vec::new(),
+                    out: ConnOut::new(),
+                    stage: Stage::AwaitHello,
+                    close_after_flush: false,
+                });
+                progressed = true;
+            }
+        }
+
+        let mut i = 0;
+        while i < conns.len() {
+            let mut drop_conn = false;
+
+            // Read whatever the client sent; 0 bytes = disconnect.
+            loop {
+                match conns[i].stream.read_some(&mut read_buf) {
+                    Ok(0) => {
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        conns[i].inbuf.extend_from_slice(&read_buf[..k]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+
+            // Parse complete lines unless a session is in flight (frames
+            // arriving meanwhile stay buffered — pipelining).
+            while !drop_conn && !matches!(conns[i].stage, Stage::Busy) {
+                let Some(nl) = conns[i].inbuf.iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let line: Vec<u8> = conns[i].inbuf.drain(..=nl).collect();
+                let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                progressed = true;
+                handle_line(&mut conns[i], &line, shared, allow_remote_shutdown);
+            }
+
+            // Flush the write buffer into the socket.
+            loop {
+                let chunk: Vec<u8> = {
+                    let state = conns[i].out.state.lock().expect("conn out poisoned");
+                    if state.buf.is_empty() {
+                        break;
+                    }
+                    state.buf.iter().take(16 * 1024).copied().collect()
+                };
+                match conns[i].stream.write_some(&chunk) {
+                    Ok(0) => {
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        let mut state = conns[i].out.state.lock().expect("conn out poisoned");
+                        state.buf.drain(..k);
+                        let below_low = state.buf.len() < LOW_WATER;
+                        drop(state);
+                        if below_low {
+                            // Wake a runner blocked on the high-water mark.
+                            conns[i].out.cv.notify_all();
+                        }
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+
+            // Session finished and its frames are flushed → back to Idle
+            // (buffered pipelined requests get parsed next iteration).
+            if matches!(conns[i].stage, Stage::Busy) {
+                let state = conns[i].out.state.lock().expect("conn out poisoned");
+                if state.finished && state.buf.is_empty() {
+                    drop(state);
+                    conns[i].stage = Stage::Idle;
+                    progressed = true;
+                }
+            }
+
+            let flushed = {
+                let state = conns[i].out.state.lock().expect("conn out poisoned");
+                state.buf.is_empty()
+            };
+            if conns[i].close_after_flush && flushed {
+                drop_conn = true;
+            }
+            // During shutdown, idle connections are closed once flushed;
+            // busy ones stay until their session drains.
+            if shutting_down && flushed && !matches!(conns[i].stage, Stage::Busy) {
+                drop_conn = true;
+            }
+
+            if drop_conn {
+                conns[i].out.mark_disconnected();
+                conns.swap_remove(i);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if shutting_down {
+            let queues_empty = {
+                let sched = shared.sched.lock().expect("scheduler poisoned");
+                sched.warm.is_empty() && sched.cold.is_empty()
+            };
+            if conns.is_empty() && queues_empty && shared.in_flight.load(Ordering::SeqCst) == 0 {
+                // Wake any runner still parked on the queue condvar so it
+                // can observe the shutdown flag and exit.
+                shared.sched_cv.notify_all();
+                return;
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// Processes one parsed protocol line on a connection.
+fn handle_line(conn: &mut Conn, line: &str, shared: &Arc<Shared>, allow_remote_shutdown: bool) {
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(err) => {
+            conn.queue_text(protocol::error_frame(&err));
+            conn.close_after_flush = true;
+            return;
+        }
+    };
+    match (&conn.stage, request) {
+        (Stage::AwaitHello, Request::Hello { magic, version }) => {
+            if magic != "MTRW" || version != u64::from(WIRE_VERSION) {
+                conn.queue_text(protocol::error_frame(&ProtocolError {
+                    code: "version-mismatch",
+                    message: format!(
+                        "server speaks MTRW v{WIRE_VERSION}, client sent {magic} v{version}"
+                    ),
+                }));
+                conn.close_after_flush = true;
+                return;
+            }
+            conn.queue_text(protocol::hello_ack_frame());
+            conn.stage = Stage::Idle;
+        }
+        (Stage::AwaitHello, _) => {
+            conn.queue_text(protocol::error_frame(&ProtocolError {
+                code: "bad-request",
+                message: "expected hello frame".into(),
+            }));
+            conn.close_after_flush = true;
+        }
+        (Stage::Idle, Request::Hello { .. }) => {
+            conn.queue_text(protocol::error_frame(&ProtocolError {
+                code: "bad-request",
+                message: "duplicate hello".into(),
+            }));
+        }
+        (Stage::Idle, Request::Shutdown) => {
+            if allow_remote_shutdown {
+                conn.queue_text(protocol::bye_frame());
+                conn.close_after_flush = true;
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                shared.sched_cv.notify_all();
+            } else {
+                conn.queue_text(protocol::error_frame(&ProtocolError {
+                    code: "bad-request",
+                    message: "remote shutdown is disabled".into(),
+                }));
+            }
+        }
+        (Stage::Idle, Request::Enumerate(req)) => admit(conn, *req, shared),
+        (Stage::Busy, _) => unreachable!("lines are not parsed while busy"),
+    }
+}
+
+/// Admission control: validate, enforce quotas, classify warm/cold, and
+/// enqueue. Refusals are per-request error frames; the connection stays
+/// open and usable.
+fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        conn.queue_text(protocol::error_frame(&ProtocolError {
+            code: "shutting-down",
+            message: "daemon is draining".into(),
+        }));
+        return;
+    }
+    let Some(cost) = named_cost(&req.cost) else {
+        conn.queue_text(protocol::error_frame(&ProtocolError {
+            code: "unknown-cost",
+            message: format!("no cost named \"{}\"", req.cost),
+        }));
+        return;
+    };
+
+    // Per-tenant concurrency quota.
+    {
+        let mut tenants = shared.tenants.lock().expect("tenant map poisoned");
+        let count = tenants.entry(req.tenant.clone()).or_insert(0);
+        if *count >= shared.quota.max_concurrent_sessions {
+            drop(tenants);
+            conn.queue_text(protocol::error_frame(&ProtocolError {
+                code: "quota-exceeded",
+                message: format!(
+                    "tenant \"{}\" already has {} in-flight sessions",
+                    req.tenant, shared.quota.max_concurrent_sessions
+                ),
+            }));
+            return;
+        }
+        *count += 1;
+    }
+
+    // Clamp budgets to the configured caps.
+    if let Some(cap) = shared.quota.max_results_cap {
+        req.max_results = Some(req.max_results.map_or(cap, |v| v.min(cap)));
+    }
+    if let Some(cap) = shared.quota.deadline_cap {
+        let cap_ms = cap.as_millis().min(u128::from(u64::MAX)) as u64;
+        req.deadline_ms = Some(req.deadline_ms.map_or(cap_ms, |v| v.min(cap_ms)));
+    }
+    if let Some(cap) = shared.quota.node_budget_cap {
+        req.node_budget = Some(req.node_budget.map_or(cap, |v| v.min(cap)));
+    }
+
+    let graph = Graph::from_edges(req.n, &req.edges);
+
+    // Cache-aware classification: probe the atoms' canonical keys
+    // without perturbing the store. Only cached sessions can actually
+    // hit the store, so direct requests are always cold.
+    let warm = req.cache && {
+        let cost_id = cost.name();
+        decompose(&graph, ReductionLevel::Full)
+            .atoms
+            .iter()
+            .any(|atom| {
+                shared.store.probe(&AtomKey {
+                    graph: atom.graph.canonical_form().key,
+                    cost_id: cost_id.clone(),
+                    width_bound: req.width_bound,
+                })
+            })
+    };
+
+    let cancel = CancelFlag::new();
+    {
+        let mut state = conn.out.state.lock().expect("conn out poisoned");
+        state.finished = false;
+        state.cancel = Some(cancel.clone());
+    }
+    conn.queue_text(format!(
+        "{{\"frame\": \"accepted\", \"queue\": \"{}\"}}\n",
+        if warm { "warm" } else { "cold" }
+    ));
+    conn.stage = Stage::Busy;
+
+    let tenant = req.tenant.clone();
+    let job = Job {
+        req,
+        graph,
+        out: Arc::clone(&conn.out),
+        cancel,
+        tenant,
+    };
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    {
+        let mut sched = shared.sched.lock().expect("scheduler poisoned");
+        if warm {
+            sched.warm.push_back(job);
+        } else {
+            sched.cold.push_back(job);
+        }
+    }
+    shared.sched_cv.notify_one();
+}
+
+/// A session-runner thread: pop warm-first, drive the engines, stream.
+fn run_sessions(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut sched = shared.sched.lock().expect("scheduler poisoned");
+            loop {
+                if let Some(job) = sched.warm.pop_front().or_else(|| sched.cold.pop_front()) {
+                    break job;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                sched = shared.sched_cv.wait(sched).expect("scheduler poisoned");
+            }
+        };
+        run_one(&job, shared);
+        shared.release_tenant(&job.tenant);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs one admitted session and streams its frames.
+fn run_one(job: &Job, shared: &Arc<Shared>) {
+    let req = &job.req;
+    if req.binary {
+        job.out.push(&protocol::binary_stream_header());
+    }
+
+    let mut session = match Enumerate::on(&job.graph).cost_named(&req.cost) {
+        Ok(session) => session,
+        Err(e) => {
+            job.out.push(
+                protocol::error_frame(&ProtocolError {
+                    code: "unknown-cost",
+                    message: e.to_string(),
+                })
+                .as_bytes(),
+            );
+            job.out.finish();
+            return;
+        }
+    };
+    session = session.threads(req.threads).cancel_flag(job.cancel.clone());
+    if let Some(bound) = req.width_bound {
+        session = session.width_bound(bound);
+    }
+    if let Some(k) = req.max_results {
+        session = session.max_results(k);
+    }
+    if let Some(ms) = req.deadline_ms {
+        session = session.deadline(Duration::from_millis(ms));
+    }
+    if let Some(nodes) = req.node_budget {
+        session = session.node_budget(usize::try_from(nodes).unwrap_or(usize::MAX));
+    }
+
+    let mut rank = 0u64;
+    let out = Arc::clone(&job.out);
+    let graph = &job.graph;
+    let binary = req.binary;
+    let mut emit = |r: mtr_core::RankedTriangulation| {
+        let fill = graph.fill_edges_of(&r.triangulation);
+        let ok = if binary {
+            out.push(&protocol::result_frame_binary(rank, r.cost.value(), &fill))
+        } else {
+            out.push(protocol::result_frame(rank, r.cost.value(), &fill).as_bytes())
+        };
+        rank += 1;
+        if ok {
+            std::ops::ControlFlow::Continue(())
+        } else {
+            std::ops::ControlFlow::Break(())
+        }
+    };
+
+    // Cached sessions run through the reduction layer against the shared
+    // store (the warm path); direct ones run the plain engine and are
+    // bit-for-bit equal to `Enumerate::on` — the equivalence tests rely
+    // on exactly that split.
+    let outcome = if req.cache {
+        session
+            .reduce(ReductionLevel::Full)
+            .store(Arc::clone(&shared.store))
+            .drive(&mut emit)
+    } else {
+        session.drive(&mut emit)
+    };
+
+    match outcome {
+        Ok(report) => {
+            let stop_reason = if report.stop_reason == StopReason::Stopped {
+                // The only Break in the callback is a disconnect.
+                StopReason::Cancelled
+            } else {
+                report.stop_reason
+            };
+            let stats = report.stats.to_json(stop_reason);
+            job.out
+                .push(protocol::done_frame(stop_reason, rank as usize, &stats).as_bytes());
+        }
+        Err(e) => {
+            job.out.push(
+                protocol::error_frame(&ProtocolError {
+                    code: "session-error",
+                    message: e.to_string(),
+                })
+                .as_bytes(),
+            );
+        }
+    }
+    job.out.finish();
+}
+
+/// Convenience: bind a TCP daemon on `127.0.0.1` with an ephemeral port
+/// (the test fixture path).
+pub fn serve_ephemeral(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    serve(&BindAddr::Tcp("127.0.0.1:0".into()), config)
+}
+
+/// Removes a stale Unix socket file (ignores missing).
+pub fn cleanup_unix_socket(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}

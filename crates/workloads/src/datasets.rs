@@ -12,6 +12,7 @@ use crate::decomposable;
 use crate::queries;
 use crate::random;
 use crate::structured;
+use crate::traffic;
 use mtr_graph::Graph;
 
 /// A named graph instance belonging to a dataset family.
@@ -317,6 +318,36 @@ pub fn all_datasets(scale: DatasetScale) -> Vec<Dataset> {
             .enumerate()
             .map(|(i, g)| (format!("evolve_step{i}"), g))
             .collect(),
+    ));
+
+    // --- Service traffic (the mtr-serve request mix) ------------------------
+    // A slice of a seeded request trace: repeats and isomorphic relabelings
+    // of decomposable bases interleaved with fresh instances — the daemon's
+    // warm/cold admission workload (see `crate::traffic`).
+    let (requests, t_blobs, t_blob_n): (usize, u32, u32) = match scale {
+        Smoke => (6, 2, 6),
+        Standard => (12, 3, 9),
+        Large => (20, 4, 12),
+    };
+    out.push(Dataset::new(
+        "traffic-like",
+        traffic::trace(
+            requests,
+            t_blobs,
+            t_blob_n,
+            traffic::TrafficMix::default_mix(),
+            1200,
+        )
+        .into_iter()
+        .map(|r| {
+            let tag = match r.kind {
+                traffic::TrafficKind::Repeat => "repeat",
+                traffic::TrafficKind::Isomorphic => "iso",
+                traffic::TrafficKind::Fresh => "fresh",
+            };
+            (format!("req{:02}_{}_of{}", r.index, tag, r.base), r.graph)
+        })
+        .collect(),
     ));
 
     out

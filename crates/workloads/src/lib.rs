@@ -5,9 +5,11 @@
 //! graphs. This crate provides seeded synthetic generators covering the same
 //! structural regimes ([`random`], [`structured`], [`queries`]), instances
 //! engineered to exercise the clique-separator atom decomposition
-//! ([`decomposable`]), a registry of dataset families mirroring the paper's
-//! datasets ([`datasets`]), and the measurement harness that regenerates
-//! each table and figure ([`experiment`]).
+//! ([`decomposable`]), request traces for the `mtr-serve` daemon mixing
+//! warm repeats/relabelings with cold instances ([`traffic`]), a registry
+//! of dataset families mirroring the paper's datasets ([`datasets`]), and
+//! the measurement harness that regenerates each table and figure
+//! ([`experiment`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +20,7 @@ pub mod experiment;
 pub mod queries;
 pub mod random;
 pub mod structured;
+pub mod traffic;
 
 pub use datasets::{all_datasets, Dataset, DatasetInstance, DatasetScale};
 pub use experiment::{

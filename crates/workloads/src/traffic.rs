@@ -1,0 +1,245 @@
+//! Request-trace generator for the `mtr-serve` daemon: a seeded stream of
+//! enumeration requests mixing *warm* traffic (exact repeats and
+//! isomorphic relabelings of earlier graphs — both hit the
+//! content-addressed atom cache) with *cold* traffic (fresh instances).
+//!
+//! Real multi-tenant query workloads are heavily skewed: the same queries
+//! (and structurally identical queries over different literals) recur. The
+//! canonical-form atom cache turns exactly that recurrence into warm
+//! streams, and this generator reproduces it so the service benchmarks
+//! can measure warm-vs-cold throughput and the admission scheduler's
+//! effect under a realistic mix.
+//!
+//! Base instances are decomposable (bridged `G(n, p)` blobs — see
+//! [`crate::decomposable::gnp_with_bridges`]): the cache only engages on
+//! graphs with two or more atoms, so single-atom traffic would make every
+//! request cold regardless of repeats.
+
+use crate::decomposable::gnp_with_bridges;
+use mtr_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a request relates to the trace so far.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// A verbatim repeat of an earlier request's graph (fully warm).
+    Repeat,
+    /// A uniformly random relabeling of an earlier graph — isomorphic, so
+    /// the canonical atom keys still hit the cache (warm), but the byte
+    /// representation differs (exercises canonicalization).
+    Isomorphic,
+    /// A graph never seen before (cold).
+    Fresh,
+}
+
+/// One request of a generated trace.
+#[derive(Clone, Debug)]
+pub struct TrafficRequest {
+    /// Position in the trace.
+    pub index: usize,
+    /// The request's graph.
+    pub graph: Graph,
+    /// Warm/cold provenance.
+    pub kind: TrafficKind,
+    /// Index of the base instance this request derives from (for
+    /// repeats/relabelings, the earlier fresh request; for fresh
+    /// requests, itself).
+    pub base: usize,
+}
+
+/// The warm/cold composition of a trace. Fractions are of the whole
+/// trace; the remainder is fresh. The first request is always fresh
+/// (there is nothing to repeat yet).
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficMix {
+    /// Fraction of verbatim repeats.
+    pub repeat: f64,
+    /// Fraction of isomorphic relabelings.
+    pub isomorphic: f64,
+}
+
+impl TrafficMix {
+    /// The default service mix: half repeats, a quarter relabelings, a
+    /// quarter fresh.
+    pub fn default_mix() -> TrafficMix {
+        TrafficMix {
+            repeat: 0.5,
+            isomorphic: 0.25,
+        }
+    }
+
+    /// Everything fresh — the all-cold baseline.
+    pub fn all_cold() -> TrafficMix {
+        TrafficMix {
+            repeat: 0.0,
+            isomorphic: 0.0,
+        }
+    }
+
+    /// Everything a repeat of the first instance — the all-warm ceiling.
+    pub fn all_warm() -> TrafficMix {
+        TrafficMix {
+            repeat: 1.0,
+            isomorphic: 0.0,
+        }
+    }
+}
+
+/// Generates a seeded request trace of `requests` graphs.
+///
+/// `blobs`/`blob_n` size the fresh instances (each fresh graph is a chain
+/// of `blobs` random blobs of `blob_n` vertices, bridged — so it
+/// decomposes into that many atoms). Fresh instances rotate their seed,
+/// so every fresh request is a genuinely new graph; repeats and
+/// relabelings pick a uniformly random earlier fresh instance.
+///
+/// The trace is reproducible: equal arguments yield the identical
+/// sequence of graphs and kinds.
+pub fn trace(
+    requests: usize,
+    blobs: u32,
+    blob_n: u32,
+    mix: TrafficMix,
+    seed: u64,
+) -> Vec<TrafficRequest> {
+    assert!(
+        mix.repeat >= 0.0 && mix.isomorphic >= 0.0 && mix.repeat + mix.isomorphic <= 1.0,
+        "mix fractions must be non-negative and sum to at most 1"
+    );
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x072A_FF1C));
+    let mut out: Vec<TrafficRequest> = Vec::with_capacity(requests);
+    let mut fresh_bases: Vec<usize> = Vec::new();
+    let mut next_fresh_seed = seed;
+    for index in 0..requests {
+        // Uniform in [0, 1): the standard 53-mantissa-bit construction
+        // (the compat rand stub has no float ranges).
+        let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let kind = if fresh_bases.is_empty() {
+            TrafficKind::Fresh
+        } else if draw < mix.repeat {
+            TrafficKind::Repeat
+        } else if draw < mix.repeat + mix.isomorphic {
+            TrafficKind::Isomorphic
+        } else {
+            TrafficKind::Fresh
+        };
+        let request = match kind {
+            TrafficKind::Fresh => {
+                let graph = gnp_with_bridges(blobs, blob_n, 0.35, next_fresh_seed);
+                next_fresh_seed = next_fresh_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                fresh_bases.push(index);
+                TrafficRequest {
+                    index,
+                    graph,
+                    kind,
+                    base: index,
+                }
+            }
+            TrafficKind::Repeat => {
+                let base = fresh_bases[rng.gen_range(0..fresh_bases.len())];
+                TrafficRequest {
+                    index,
+                    graph: out[base].graph.clone(),
+                    kind,
+                    base,
+                }
+            }
+            TrafficKind::Isomorphic => {
+                let base = fresh_bases[rng.gen_range(0..fresh_bases.len())];
+                let graph = out[base]
+                    .graph
+                    .relabeled(&random_permutation(out[base].graph.n(), &mut rng));
+                TrafficRequest {
+                    index,
+                    graph,
+                    kind,
+                    base,
+                }
+            }
+        };
+        out.push(request);
+    }
+    out
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+fn random_permutation(n: u32, rng: &mut StdRng) -> Vec<Vertex> {
+    let mut order: Vec<Vertex> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..(i as u32 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtr_graph::CanonicalForm;
+
+    #[test]
+    fn traces_are_reproducible() {
+        let a = trace(12, 2, 6, TrafficMix::default_mix(), 7);
+        let b = trace(12, 2, 6, TrafficMix::default_mix(), 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.base, y.base);
+            let ex: Vec<_> = x.graph.edges().collect();
+            let ey: Vec<_> = y.graph.edges().collect();
+            assert_eq!(ex, ey);
+        }
+    }
+
+    #[test]
+    fn first_request_is_fresh_and_kinds_follow_the_mix() {
+        let t = trace(40, 2, 5, TrafficMix::default_mix(), 3);
+        assert_eq!(t[0].kind, TrafficKind::Fresh);
+        let warm = t.iter().filter(|r| r.kind != TrafficKind::Fresh).count();
+        // default_mix is 75% warm; 40 draws leave plenty of slack.
+        assert!(warm >= 15, "expected a mostly-warm trace, got {warm}/40");
+        assert!(warm < 40, "some requests must stay fresh");
+    }
+
+    #[test]
+    fn repeats_are_identical_and_relabelings_are_isomorphic() {
+        let t = trace(30, 2, 5, TrafficMix::default_mix(), 11);
+        for r in &t {
+            match r.kind {
+                TrafficKind::Repeat => {
+                    let base: Vec<_> = t[r.base].graph.edges().collect();
+                    let this: Vec<_> = r.graph.edges().collect();
+                    assert_eq!(base, this, "repeat must be verbatim");
+                }
+                TrafficKind::Isomorphic => {
+                    // Same canonical key = isomorphic (and cache-warm).
+                    let base: CanonicalForm = t[r.base].graph.canonical_form();
+                    let this: CanonicalForm = r.graph.canonical_form();
+                    assert_eq!(base.key, this.key);
+                }
+                TrafficKind::Fresh => assert_eq!(r.base, r.index),
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_instances_are_multi_atom() {
+        use mtr_reduce::{decompose, ReductionLevel};
+        let t = trace(6, 3, 6, TrafficMix::all_cold(), 5);
+        for r in &t {
+            let atoms = decompose(&r.graph, ReductionLevel::Full).atoms.len();
+            assert!(
+                atoms >= 2,
+                "traffic graphs must factorize for the cache to engage (got {atoms} atoms)"
+            );
+        }
+    }
+
+    #[test]
+    fn all_warm_replays_one_base() {
+        let t = trace(8, 2, 5, TrafficMix::all_warm(), 9);
+        assert!(t[1..].iter().all(|r| r.kind == TrafficKind::Repeat));
+        assert!(t[1..].iter().all(|r| r.base == 0));
+    }
+}

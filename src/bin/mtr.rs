@@ -8,6 +8,13 @@
 //!                    [--reduce off|components|full] [--stats-json]
 //!                    [--emit-td <directory>] [--bounds]
 //! mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]
+//! mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]
+//!           [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]
+//!           [--deadline-cap <secs>] [--node-budget-cap <n>] [--no-remote-shutdown]
+//! mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]
+//!           [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]
+//!           [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]
+//!           [--shutdown]
 //! ```
 //!
 //! The graph is read from a file, or from standard input when the path is
@@ -22,6 +29,13 @@
 //! of `mtr-reduce`; the `atoms` subcommand prints the decomposition itself
 //! without enumerating.
 //!
+//! `serve` starts the `mtr-serve` daemon (see `docs/PROTOCOL.md`):
+//! streaming ranked enumeration over TCP or a Unix socket with a shared
+//! atom cache and cache-aware admission. `client` submits one request to a
+//! running daemon and prints the streamed results; `--shutdown` asks the
+//! daemon to drain and exit afterwards (with `-` as the graph path it
+//! sends no request at all — a pure shutdown).
+//!
 //! Bad inputs exit with a non-zero status and a typed, line-numbered
 //! message (see [`EnumerationError`]) instead of panicking.
 
@@ -32,6 +46,7 @@ use ranked_triangulations::core::{
 };
 use ranked_triangulations::graph::{io, Graph};
 use ranked_triangulations::reduce::{decompose, EnumerateReduceExt, ReductionLevel};
+use ranked_triangulations::serve;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -94,6 +109,13 @@ fn usage() -> &'static str {
      \x20          [--cache] [--cache-dir <directory>] [--no-prune]\n\
      \x20          [--stats-json] [--emit-td <directory>] [--bounds]\n\
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
+     \x20      mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]\n\
+     \x20                [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]\n\
+     \x20                [--deadline-cap <secs>] [--node-budget-cap <n>] [--no-remote-shutdown]\n\
+     \x20      mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]\n\
+     \x20                [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]\n\
+     \x20                [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]\n\
+     \x20                [--shutdown]\n\
      \x20      --threads 0 auto-detects the hardware parallelism; with --reduce the\n\
      \x20      workers advance the per-atom streams, otherwise the partition expansions\n\
      \x20      --cache enables the canonical-form atom cache (requires --reduce);\n\
@@ -305,65 +327,10 @@ fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationErr
 }
 
 /// Renders the run's statistics as a single JSON object (the `--stats-json`
-/// output). Keys mirror the [`EnumerationStats`] field names.
+/// output). Delegates to [`EnumerationStats::to_json`], the shared
+/// serialization also emitted by the `mtr serve` daemon's stats frames.
 fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
-    let opt_secs = |d: Option<Duration>| {
-        d.map(|d| format!("{:.6}", d.as_secs_f64()))
-            .unwrap_or_else(|| "null".into())
-    };
-    let delays: Vec<String> = stats
-        .delays
-        .iter()
-        .map(|d| format!("{:.3}", d.as_secs_f64() * 1000.0))
-        .collect();
-    let worker_tasks: Vec<String> = stats.worker_tasks.iter().map(|t| t.to_string()).collect();
-    format!(
-        concat!(
-            "{{\"cost\": \"{}\", \"stop_reason\": \"{}\", \"results\": {}, ",
-            "\"preprocessing_secs\": {:.6}, \"preprocessing_complete\": {}, ",
-            "\"total_secs\": {:.6}, \"atoms\": {}, \"minimal_separators\": {}, ",
-            "\"pmcs\": {}, \"full_blocks\": {}, \"nodes_explored\": {}, ",
-            "\"nodes_pruned\": {}, \"incumbent_cost\": {}, ",
-            "\"max_queue_depth\": {}, \"final_queue_depth\": {}, ",
-            "\"duplicates_skipped\": {}, \"diversity_rejected\": {}, ",
-            "\"effective_threads\": {}, \"worker_tasks\": [{}], \"steals\": {}, ",
-            "\"atom_cache_hits\": {}, \"atom_cache_misses\": {}, ",
-            "\"atoms_deduped\": {}, \"cache_bytes\": {}, ",
-            "\"arena_bytes_reused\": {}, ",
-            "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
-            "\"delays_ms\": [{}]}}"
-        ),
-        stats.cost,
-        stop_reason,
-        stats.results,
-        stats.preprocessing.as_secs_f64(),
-        stats.preprocessing_complete,
-        stats.total.as_secs_f64(),
-        stats.atoms,
-        stats.minimal_separators,
-        stats.pmcs,
-        stats.full_blocks,
-        stats.nodes_explored,
-        stats.nodes_pruned,
-        stats
-            .incumbent_cost
-            .map_or_else(|| "null".into(), |c| format!("{c}")),
-        stats.max_queue_depth,
-        stats.final_queue_depth,
-        stats.duplicates_skipped,
-        stats.diversity_rejected,
-        stats.effective_threads,
-        worker_tasks.join(", "),
-        stats.steals,
-        stats.atom_cache_hits,
-        stats.atom_cache_misses,
-        stats.atoms_deduped,
-        stats.cache_bytes,
-        stats.arena_bytes_reused,
-        opt_secs(stats.average_delay()),
-        opt_secs(stats.max_delay()),
-        delays.join(", "),
-    )
+    stats.to_json(stop_reason)
 }
 
 /// Renders a vertex set compactly, eliding long lists.
@@ -554,13 +521,284 @@ fn run(opts: Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Options of the `serve` subcommand.
+struct ServeOptions {
+    addr: Option<String>,
+    unix: Option<PathBuf>,
+    workers: usize,
+    byte_budget: usize,
+    cache_dir: Option<PathBuf>,
+    max_sessions: usize,
+    max_results_cap: Option<usize>,
+    deadline_cap: Option<f64>,
+    node_budget_cap: Option<u64>,
+    allow_remote_shutdown: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions {
+        addr: None,
+        unix: None,
+        workers: 0,
+        byte_budget: 0,
+        cache_dir: None,
+        max_sessions: 4,
+        max_results_cap: None,
+        deadline_cap: None,
+        node_budget_cap: None,
+        allow_remote_shutdown: true,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let int = |name: &str, text: String| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{name} expects a non-negative integer"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--unix" => opts.unix = Some(PathBuf::from(value("--unix")?)),
+            "--workers" => opts.workers = int("--workers", value("--workers")?)? as usize,
+            "--byte-budget" => {
+                opts.byte_budget = int("--byte-budget", value("--byte-budget")?)? as usize
+            }
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--max-sessions" => {
+                opts.max_sessions = int("--max-sessions", value("--max-sessions")?)? as usize
+            }
+            "--max-results-cap" => {
+                opts.max_results_cap =
+                    Some(int("--max-results-cap", value("--max-results-cap")?)? as usize)
+            }
+            "--deadline-cap" => {
+                let secs: f64 = value("--deadline-cap")?
+                    .parse()
+                    .map_err(|_| "--deadline-cap expects a number of seconds".to_string())?;
+                opts.deadline_cap = Some(secs);
+            }
+            "--node-budget-cap" => {
+                opts.node_budget_cap = Some(int("--node-budget-cap", value("--node-budget-cap")?)?)
+            }
+            "--no-remote-shutdown" => opts.allow_remote_shutdown = false,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if opts.addr.is_some() && opts.unix.is_some() {
+        return Err("--addr and --unix are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
+    let bind = match &opts.unix {
+        Some(path) => serve::BindAddr::Unix(path.clone()),
+        None => serve::BindAddr::Tcp(
+            opts.addr
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+        ),
+    };
+    let config = serve::ServerConfig {
+        workers: opts.workers,
+        byte_budget: opts.byte_budget,
+        cache_dir: opts.cache_dir.clone(),
+        store: None,
+        quota: serve::TenantQuota {
+            max_concurrent_sessions: opts.max_sessions,
+            max_results_cap: opts.max_results_cap,
+            deadline_cap: opts.deadline_cap.map(Duration::from_secs_f64),
+            node_budget_cap: opts.node_budget_cap,
+        },
+        allow_remote_shutdown: opts.allow_remote_shutdown,
+    };
+    let handle = serve::serve(&bind, config)
+        .map_err(|e| CliError::Usage(format!("failed to bind the daemon: {e}")))?;
+    match (&opts.unix, handle.local_addr()) {
+        (Some(path), _) => println!("mtr-serve listening on unix socket {}", path.display()),
+        (None, Some(addr)) => println!("mtr-serve listening on {addr}"),
+        (None, None) => println!("mtr-serve listening"),
+    }
+    println!("serving until a client sends a shutdown frame");
+    handle.wait();
+    println!("mtr-serve drained all sessions and exited");
+    Ok(())
+}
+
+/// Options of the `client` subcommand.
+struct ClientOptions {
+    input: PathBuf,
+    format: Option<String>,
+    addr: Option<String>,
+    unix: Option<PathBuf>,
+    cost: String,
+    top: Option<usize>,
+    width_bound: Option<usize>,
+    deadline: Option<f64>,
+    node_budget: Option<u64>,
+    threads: usize,
+    tenant: String,
+    cache: bool,
+    binary: bool,
+    stats_json: bool,
+    shutdown: bool,
+}
+
+fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
+    let mut it = args.iter();
+    let input = it.next().ok_or_else(|| usage().to_string())?;
+    let mut opts = ClientOptions {
+        input: PathBuf::from(input),
+        format: None,
+        addr: None,
+        unix: None,
+        cost: "width".into(),
+        top: Some(5),
+        width_bound: None,
+        deadline: None,
+        node_budget: None,
+        threads: 1,
+        tenant: "anonymous".into(),
+        cache: false,
+        binary: false,
+        stats_json: false,
+        shutdown: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--format" => opts.format = Some(value("--format")?),
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--unix" => opts.unix = Some(PathBuf::from(value("--unix")?)),
+            "--cost" => opts.cost = value("--cost")?,
+            "--top" => {
+                opts.top = Some(
+                    value("--top")?
+                        .parse()
+                        .map_err(|_| "--top expects a positive integer".to_string())?,
+                )
+            }
+            "--width-bound" => {
+                opts.width_bound = Some(
+                    value("--width-bound")?
+                        .parse()
+                        .map_err(|_| "--width-bound expects an integer".to_string())?,
+                )
+            }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| "--deadline expects a number of seconds".to_string())?;
+                opts.deadline = Some(secs);
+            }
+            "--node-budget" => {
+                opts.node_budget = Some(
+                    value("--node-budget")?
+                        .parse()
+                        .map_err(|_| "--node-budget expects a positive integer".to_string())?,
+                )
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer (0 = auto-detect)".to_string())?
+            }
+            "--tenant" => opts.tenant = value("--tenant")?,
+            "--cache" => opts.cache = true,
+            "--binary" => opts.binary = true,
+            "--stats-json" => opts.stats_json = true,
+            "--shutdown" => opts.shutdown = true,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if opts.addr.is_some() && opts.unix.is_some() {
+        return Err("--addr and --unix are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+fn run_client(opts: ClientOptions) -> Result<(), CliError> {
+    let mut client = match &opts.unix {
+        Some(path) => serve::Client::connect_unix(path),
+        None => serve::Client::connect_tcp(opts.addr.as_deref().unwrap_or("127.0.0.1:7171")),
+    }
+    .map_err(|e| CliError::Usage(format!("failed to connect: {e}")))?;
+
+    // Bare `--shutdown` (the graph path is "-" by convention, or any
+    // placeholder): skip the enumeration and just drain the daemon.
+    if opts.shutdown && opts.input.as_os_str() == "-" {
+        client
+            .shutdown_server()
+            .map_err(|e| CliError::Usage(format!("shutdown failed: {e}")))?;
+        println!("daemon acknowledged shutdown");
+        return Ok(());
+    }
+
+    let g = load_graph(&opts.input, opts.format.as_deref())?;
+    let req = serve::EnumerateRequest {
+        tenant: opts.tenant.clone(),
+        n: g.n(),
+        edges: g.edges().collect(),
+        cost: opts.cost.clone(),
+        width_bound: opts.width_bound,
+        max_results: opts.top,
+        deadline_ms: opts.deadline.map(|s| (s * 1000.0) as u64),
+        node_budget: opts.node_budget,
+        threads: opts.threads,
+        cache: opts.cache,
+        binary: opts.binary,
+    };
+    let mut count = 0usize;
+    let done = client
+        .enumerate_streaming(&req, |r| {
+            println!(
+                "#{}: cost = {}, fill-in = {} edges",
+                r.rank,
+                r.cost,
+                r.fill.len()
+            );
+            count += 1;
+        })
+        .map_err(|e| CliError::Usage(format!("request failed: {e}")))?;
+    println!(
+        "done: {} results, stop: {}, queue: {}",
+        done.results, done.stop_reason, done.queue
+    );
+    if opts.stats_json {
+        println!("{}", done.stats.render());
+    }
+    if opts.shutdown {
+        client
+            .shutdown_server()
+            .map_err(|e| CliError::Usage(format!("shutdown failed: {e}")))?;
+        println!("daemon acknowledged shutdown");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
-    match parse_args(&args).map_err(CliError::Usage).and_then(run) {
+    let outcome = match args[0].as_str() {
+        "serve" => parse_serve_args(&args[1..])
+            .map_err(CliError::Usage)
+            .and_then(run_serve),
+        "client" => parse_client_args(&args[1..])
+            .map_err(CliError::Usage)
+            .and_then(run_client),
+        _ => parse_args(&args).map_err(CliError::Usage).and_then(run),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");

@@ -120,6 +120,7 @@ pub use mtr_graph as graph;
 pub use mtr_pmc as pmc;
 pub use mtr_reduce as reduce;
 pub use mtr_separators as separators;
+pub use mtr_serve as serve;
 pub use mtr_workloads as workloads;
 
 /// The most commonly used items, for glob import in applications.
@@ -132,9 +133,9 @@ pub mod prelude {
     };
     pub use mtr_core::{
         all_triangulations_ranked, min_triangulation, resolve_threads, top_k_proper_decompositions,
-        top_k_triangulations, CachePolicy, CkkEnumerator, DecompositionRun, Diversified,
-        DiversityFilter, Enumerate, EnumerationError, EnumerationRun, EnumerationStats,
-        LbTriangSampler, ParallelRankedEnumerator, PoolStats, Preprocessed,
+        top_k_triangulations, CachePolicy, CancelFlag, CkkEnumerator, DecompositionRun,
+        Diversified, DiversityFilter, Enumerate, EnumerationError, EnumerationRun,
+        EnumerationStats, LbTriangSampler, ParallelRankedEnumerator, PoolStats, Preprocessed,
         ProperDecompositionEnumerator, PruningPolicy, RankedDecomposition, RankedEnumerator,
         RankedTriangulation, SessionReport, SimilarityMeasure, StopReason, Triangulation,
         WorkerPool,

@@ -1,0 +1,397 @@
+//! Served ≡ direct: the `mtr-serve` daemon must be a transparent
+//! transport around the enumeration engines.
+//!
+//! * For **direct** (cache-off) requests the streamed prefix is
+//!   bit-for-bit the `Enumerate::on` output — same costs, same fill
+//!   edges, same tie order — because the daemon runs the very same
+//!   sequential engine.
+//! * For **cached** requests sharing the daemon's one [`AtomStore`],
+//!   equality follows the cache-equivalence semantics (see
+//!   `tests/cache_equivalence.rs`): identical cost sequences, and on
+//!   full streams identical triangulation sets (tie plateaus may be
+//!   ordered differently).
+//! * Disconnects cancel the session without hurting the daemon, and a
+//!   graceful shutdown drains every in-flight stream completely — no
+//!   lost, truncated, or duplicated results.
+
+mod common;
+
+use common::arbitrary_graph;
+use proptest::prelude::*;
+use ranked_triangulations::prelude::*;
+use ranked_triangulations::serve::{
+    serve_ephemeral, Client, ClientError, EnumerateRequest, ServerConfig, ServerHandle, TenantQuota,
+};
+use ranked_triangulations::workloads::decomposable;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::ops::ControlFlow;
+use std::sync::OnceLock;
+
+/// One daemon shared by the proptest cases (starting a daemon per case
+/// would dominate the runtime). The handle lives for the whole test
+/// process; the OS reaps the threads at exit.
+fn shared_daemon() -> &'static ServerHandle {
+    static DAEMON: OnceLock<ServerHandle> = OnceLock::new();
+    DAEMON.get_or_init(|| {
+        serve_ephemeral(ServerConfig {
+            workers: 4,
+            allow_remote_shutdown: false,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral daemon")
+    })
+}
+
+fn request_for(g: &Graph, cost: &str, cache: bool, max_results: Option<usize>) -> EnumerateRequest {
+    EnumerateRequest {
+        tenant: "test".into(),
+        n: g.n(),
+        edges: g.edges().collect(),
+        cost: cost.into(),
+        width_bound: None,
+        max_results,
+        deadline_ms: None,
+        node_budget: None,
+        threads: 1,
+        cache,
+        binary: false,
+    }
+}
+
+/// A stream as `(cost, fill)` pairs in emission order.
+type Stream = Vec<(f64, Vec<(u32, u32)>)>;
+
+/// The reference stream: the direct sequential engine.
+fn direct_stream(g: &Graph, cost: &str, max_results: Option<usize>) -> Stream {
+    let mut session = Enumerate::on(g).cost_named(cost).expect("known cost");
+    if let Some(k) = max_results {
+        session = session.max_results(k);
+    }
+    let mut out = Vec::new();
+    session
+        .drive(|r| {
+            out.push((r.cost.value(), g.fill_edges_of(&r.triangulation)));
+            ControlFlow::Continue(())
+        })
+        .expect("well-configured session");
+    out
+}
+
+fn served_stream(addr: &str, req: &EnumerateRequest) -> (Stream, String, String) {
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let (results, done) = client.enumerate(req).expect("served request");
+    (
+        results.into_iter().map(|r| (r.cost, r.fill)).collect(),
+        done.stop_reason,
+        done.queue,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Direct requests: the streamed prefix equals `Enumerate::on`
+    /// bit-for-bit — cost bits, fill edges, and tie order included.
+    #[test]
+    fn served_direct_equals_enumerate_on(g in arbitrary_graph(4, 8)) {
+        let addr = shared_daemon()
+            .local_addr()
+            .expect("tcp daemon")
+            .to_string();
+        for cost in ["fill", "width"] {
+            for top in [Some(4), None] {
+                let reference = direct_stream(&g, cost, top);
+                let (served, _, queue) =
+                    served_stream(&addr, &request_for(&g, cost, false, top));
+                prop_assert_eq!(&queue, "cold", "direct requests never probe warm");
+                prop_assert_eq!(served.len(), reference.len());
+                for (s, r) in served.iter().zip(&reference) {
+                    prop_assert_eq!(s.0.to_bits(), r.0.to_bits(), "cost must match bit-for-bit");
+                    prop_assert_eq!(&s.1, &r.1, "fill edges and tie order must match");
+                }
+            }
+        }
+    }
+
+    /// Binary framing carries the identical stream.
+    #[test]
+    fn binary_framing_is_transparent(g in arbitrary_graph(4, 7)) {
+        let addr = shared_daemon()
+            .local_addr()
+            .expect("tcp daemon")
+            .to_string();
+        let reference = direct_stream(&g, "fill", Some(6));
+        let mut req = request_for(&g, "fill", false, Some(6));
+        req.binary = true;
+        let (served, _, _) = served_stream(&addr, &req);
+        prop_assert_eq!(served.len(), reference.len());
+        for (s, r) in served.iter().zip(&reference) {
+            prop_assert_eq!(s.0.to_bits(), r.0.to_bits());
+            prop_assert_eq!(&s.1, &r.1);
+        }
+    }
+}
+
+/// The canonical fill-set key of a full stream (order-insensitive), used
+/// for cached comparisons where tie plateaus may reorder.
+fn fill_set(stream: &[(f64, Vec<(u32, u32)>)]) -> BTreeSet<Vec<(u32, u32)>> {
+    let set: BTreeSet<Vec<(u32, u32)>> = stream
+        .iter()
+        .map(|(_, fill)| {
+            let mut fill = fill.clone();
+            fill.sort_unstable();
+            fill
+        })
+        .collect();
+    assert_eq!(set.len(), stream.len(), "no duplicate triangulations");
+    set
+}
+
+/// Acceptance scenario: ≥4 concurrent clients multiplexed onto one
+/// shared store. Every full cached stream must carry exactly the direct
+/// engine's triangulation set and cost sequence, and repeats of the same
+/// graph must eventually classify warm.
+#[test]
+fn concurrent_clients_share_one_store() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 4,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    // Multi-atom instance (the cache only engages on factorizable
+    // graphs); full unbudgeted streams so set-equality is sound.
+    let g = decomposable::gnp_with_bridges(2, 6, 0.35, 42);
+    let reference = direct_stream(&g, "fill", None);
+    let reference_costs: Vec<u64> = reference.iter().map(|(c, _)| c.to_bits()).collect();
+    let reference_set = fill_set(&reference);
+
+    // Warm the store once, then fan out concurrent clients.
+    let (first, stop, queue) = served_stream(&addr, &request_for(&g, "fill", true, None));
+    assert_eq!(stop, "exhausted");
+    assert_eq!(queue, "cold", "nothing cached before the first request");
+    assert_eq!(fill_set(&first), reference_set);
+
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            let g = g.clone();
+            std::thread::spawn(move || {
+                let mut req = request_for(&g, "fill", true, None);
+                req.tenant = format!("tenant-{i}");
+                served_stream(&addr, &req)
+            })
+        })
+        .collect();
+    for t in threads {
+        let (stream, stop, queue) = t.join().expect("client thread");
+        assert_eq!(stop, "exhausted");
+        assert_eq!(queue, "warm", "repeat of a cached graph must admit warm");
+        let costs: Vec<u64> = stream.iter().map(|(c, _)| c.to_bits()).collect();
+        assert_eq!(costs, reference_costs, "cost sequence must match direct");
+        assert_eq!(fill_set(&stream), reference_set);
+    }
+
+    let stats = handle.store().stats();
+    assert!(
+        stats.hits > 0,
+        "concurrent repeats must hit the shared store"
+    );
+    handle.shutdown();
+}
+
+/// A client that vanishes mid-stream must cancel its session (the daemon
+/// stays healthy and drains instantly afterwards).
+#[test]
+fn disconnect_mid_stream_cancels_the_session() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    // A stream far too long to exhaust: Mycielski-5, unbudgeted.
+    let g = ranked_triangulations::workloads::structured::mycielski(5);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(ranked_triangulations::serve::protocol::hello_frame().as_bytes())
+            .expect("send hello");
+        let req = request_for(&g, "fill", false, None);
+        stream
+            .write_all(ranked_triangulations::serve::protocol::enumerate_frame(&req).as_bytes())
+            .expect("send request");
+        let mut reader = BufReader::new(stream);
+        // Read hello-ack, accepted, and a couple of results, then vanish.
+        for _ in 0..4 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read frame");
+            assert!(!line.is_empty(), "daemon closed early");
+        }
+        // Dropping the stream here is the mid-stream disconnect.
+    }
+
+    // The single worker must be free again: a fresh request completes.
+    let small = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let reference = direct_stream(&small, "fill", None);
+    let (served, stop, _) = served_stream(&addr, &request_for(&small, "fill", false, None));
+    assert_eq!(stop, "exhausted");
+    assert_eq!(served.len(), reference.len());
+
+    // And shutdown drains immediately — it would hang here if the
+    // cancelled session were still running.
+    handle.shutdown();
+}
+
+/// Graceful shutdown drains in-flight sessions: every stream admitted
+/// before the signal is delivered completely — identical to the direct
+/// engine, with its done frame — despite the daemon refusing new work.
+#[test]
+fn graceful_shutdown_drains_in_flight_sessions() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 2,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let g = decomposable::gnp_with_bridges(2, 6, 0.3, 17);
+    let reference = direct_stream(&g, "fill", None);
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let g = g.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect");
+                let mut req = request_for(&g, "fill", false, None);
+                req.tenant = format!("drain-{i}");
+                let mut results = Vec::new();
+                let mut signalled = false;
+                let done = client
+                    .enumerate_streaming(&req, |r| {
+                        if !signalled {
+                            // First result seen → the session is admitted
+                            // and running; safe to signal shutdown.
+                            tx.send(()).expect("signal");
+                            signalled = true;
+                        }
+                        results.push((r.cost, r.fill));
+                    })
+                    .expect("stream survives the shutdown");
+                (results, done)
+            })
+        })
+        .collect();
+    drop(tx);
+
+    // Wait until every client is mid-stream, then drain.
+    for _ in 0..3 {
+        rx.recv().expect("all clients admitted");
+    }
+    handle.shutdown();
+
+    for t in clients {
+        let (results, done) = t.join().expect("client thread");
+        assert_eq!(done.stop_reason, "exhausted", "no stream may be truncated");
+        assert_eq!(
+            results.len(),
+            reference.len(),
+            "no lost or duplicated results"
+        );
+        for (s, r) in results.iter().zip(&reference) {
+            assert_eq!(s.0.to_bits(), r.0.to_bits());
+            assert_eq!(&s.1, &r.1);
+        }
+    }
+}
+
+/// Version handshake: a mismatched hello is refused with a typed error,
+/// exactly like a version-skewed cache file reads as a miss.
+#[test]
+fn version_mismatch_is_rejected() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"{\"frame\": \"hello\", \"magic\": \"MTRW\", \"version\": 999}\n")
+        .expect("send hello");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    assert!(line.contains("\"error\""), "got: {line}");
+    assert!(line.contains("version-mismatch"), "got: {line}");
+    // The daemon closes the connection afterwards.
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("read eof");
+    assert!(rest.is_empty());
+    handle.shutdown();
+}
+
+/// Per-tenant quotas: a tenant at its concurrency cap is refused with a
+/// `quota-exceeded` error frame and the connection stays usable.
+#[test]
+fn tenant_quota_is_enforced() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        quota: TenantQuota {
+            max_concurrent_sessions: 0,
+            ..TenantQuota::default()
+        },
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    match client.enumerate(&request_for(&g, "fill", false, None)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "quota-exceeded"),
+        other => panic!("expected a quota refusal, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Budget clamping: the daemon caps `max_results` at the configured
+/// quota even when the client asks for an unbounded stream.
+#[test]
+fn quota_caps_clamp_requested_budgets() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        quota: TenantQuota {
+            max_results_cap: Some(2),
+            ..TenantQuota::default()
+        },
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let g = ranked_triangulations::workloads::structured::grid(3, 3);
+    let reference = direct_stream(&g, "fill", Some(2));
+    let (served, stop, _) = served_stream(&addr, &request_for(&g, "fill", false, None));
+    assert_eq!(stop, "max-results");
+    assert_eq!(served.len(), 2);
+    for (s, r) in served.iter().zip(&reference) {
+        assert_eq!(s.0.to_bits(), r.0.to_bits());
+        assert_eq!(&s.1, &r.1);
+    }
+    handle.shutdown();
+}

@@ -122,6 +122,84 @@ fn composed_budgets_report_the_binding_constraint() {
     }
 }
 
+/// Cooperative cancellation: raising the [`CancelFlag`] mid-stream stops
+/// the session with [`StopReason::Cancelled`], and the partial results are
+/// a valid ranked prefix of the unbudgeted stream — the daemon's contract
+/// for client disconnects.
+#[test]
+fn cancelled_session_returns_valid_partial_results() {
+    let g = structured::grid(3, 3);
+    let pre = Preprocessed::new(&g);
+    let full = Enumerate::with(&pre)
+        .cost(&FillIn)
+        .run()
+        .expect("session is well-configured");
+    assert_eq!(full.stop_reason, StopReason::Exhausted);
+    assert!(full.results.len() > 4, "grid(3,3) has many triangulations");
+
+    let flag = CancelFlag::new();
+    let cancel_after = 3;
+    let mut seen = Vec::new();
+    let trigger = flag.clone();
+    let report = Enumerate::with(&pre)
+        .cost(&FillIn)
+        .cancel_flag(flag)
+        .drive(|r| {
+            seen.push(r);
+            if seen.len() == cancel_after {
+                // Raised from inside the stream, observed at the next
+                // demand boundary — exactly the disconnect pattern.
+                trigger.cancel();
+            }
+            std::ops::ControlFlow::Continue(())
+        })
+        .expect("session is well-configured");
+
+    assert_eq!(report.stop_reason, StopReason::Cancelled);
+    assert_eq!(seen.len(), cancel_after);
+    for r in &seen {
+        assert!(is_minimal_triangulation(&g, &r.triangulation));
+    }
+    // The cancelled prefix matches the unbudgeted stream rank-for-rank.
+    for (c, f) in seen.iter().zip(&full.results) {
+        assert_eq!(c.cost, f.cost);
+    }
+
+    // A flag raised before the run starts yields an empty Cancelled run.
+    let pre_raised = CancelFlag::new();
+    pre_raised.cancel();
+    let run = Enumerate::with(&pre)
+        .cost(&FillIn)
+        .cancel_flag(pre_raised)
+        .run()
+        .expect("session is well-configured");
+    assert_eq!(run.stop_reason, StopReason::Cancelled);
+    assert!(run.results.is_empty());
+}
+
+/// Cancellation reaches the parallel engine's demand boundary too.
+#[test]
+fn cancelled_parallel_session_stops() {
+    let g = structured::mycielski(5);
+    let flag = CancelFlag::new();
+    let trigger = flag.clone();
+    let mut seen = 0usize;
+    let report = Enumerate::on(&g)
+        .cost(&FillIn)
+        .threads(2)
+        .cancel_flag(flag)
+        .drive(|_| {
+            seen += 1;
+            if seen == 2 {
+                trigger.cancel();
+            }
+            std::ops::ControlFlow::Continue(())
+        })
+        .expect("session is well-configured");
+    assert_eq!(report.stop_reason, StopReason::Cancelled);
+    assert!(seen >= 2);
+}
+
 /// The deadline applies to proper-tree-decomposition sessions too.
 #[test]
 fn decomposition_sessions_respect_deadlines() {
