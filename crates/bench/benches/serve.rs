@@ -94,16 +94,20 @@ fn play_trace(addr: &str, requests: &[TrafficRequest], clients: usize) -> usize 
 /// the daemon's shared store cannot warm them across samples.
 fn bench_traffic(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_traffic");
+    // 20 samples per row: the warm rows are a few ms each and OS jitter
+    // on a small host easily swings a 10-sample mean by tens of percent.
     group
-        .sample_size(10)
+        .sample_size(20)
         .measurement_time(Duration::from_secs(5));
 
     let handle = daemon();
     let addr = handle.local_addr().expect("tcp daemon").to_string();
 
     // Every sample of every cold row takes the next unseen trace (seeds
-    // rotate inside each trace too, so nothing ever repeats).
-    let cold_pool: Vec<Vec<TrafficRequest>> = (0..64)
+    // rotate inside each trace too, so nothing ever repeats). Sized so
+    // all rows' samples together cannot wrap the pool — a wrapped trace
+    // would silently come back warm.
+    let cold_pool: Vec<Vec<TrafficRequest>> = (0..128)
         .map(|i| {
             trace(
                 TRACE_LEN,

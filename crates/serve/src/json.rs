@@ -127,12 +127,19 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. Recursion descends one
+/// stack frame per `[`/`{`, so without a limit a remote line of tens of
+/// thousands of opening brackets overflows the IO thread's stack and
+/// aborts the whole daemon. The protocol needs depth 4.
+pub const MAX_DEPTH: usize = 64;
+
 /// Parses one complete JSON document from `input`. Anything but
 /// whitespace after the document is an error.
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -146,6 +153,8 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -185,6 +194,17 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the nesting depth on container entry; errors past
+    /// [`MAX_DEPTH`] instead of recursing toward a stack overflow.
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(format!("nesting deeper than {MAX_DEPTH} at offset {}", self.pos))
+        } else {
+            Ok(())
+        }
+    }
+
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
@@ -200,10 +220,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -219,6 +241,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
@@ -228,10 +251,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -242,6 +267,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
@@ -377,6 +403,21 @@ mod tests {
         assert!(parse(r#""unterminated"#).is_err());
         assert!(parse("NaN").is_err());
         assert!(parse("1e999").is_err(), "overflow to infinity is rejected");
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // One past the limit is an error, not a recursive descent: a
+        // hostile line of 100k brackets must not overflow the stack.
+        let too_deep = "[".repeat(MAX_DEPTH + 1);
+        assert!(parse(&too_deep).is_err());
+        let hostile = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert!(parse(&hostile).is_err());
+        let mixed = "{\"a\":".repeat(100_000);
+        assert!(parse(&mixed).is_err());
+        // ... while the limit itself still parses.
+        let at_limit = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_limit).is_ok());
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub enum Request {
 pub struct ProtocolError {
     /// Stable machine-readable code (`bad-json`, `bad-request`,
     /// `version-mismatch`, `unknown-cost`, `quota-exceeded`,
-    /// `shutting-down`).
+    /// `frame-too-large`, `shutting-down`).
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,

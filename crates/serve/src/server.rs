@@ -47,7 +47,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mtr_cache::{AtomKey, AtomStore, DEFAULT_BYTE_BUDGET};
 use mtr_core::cost::named_cost;
@@ -63,6 +63,17 @@ const HIGH_WATER: usize = 256 * 1024;
 const LOW_WATER: usize = 64 * 1024;
 /// Idle-iteration sleep of the event loop.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
+/// Cap on a connection's unparsed input. A single protocol line longer
+/// than this is refused (`frame-too-large`, connection closed); while a
+/// session is in flight the IO thread simply stops reading past the cap,
+/// leaving further pipelined bytes in the kernel buffer, so a client can
+/// never grow the daemon's memory without bound.
+pub const MAX_INBUF: usize = 1024 * 1024;
+/// During graceful shutdown, a draining connection whose client has
+/// stopped reading (write buffer full, no flush progress) is dropped
+/// after this long — `mark_disconnected` cancels its session cleanly —
+/// so `shutdown()`/`wait()` cannot hang on a stalled client.
+const SHUTDOWN_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Per-tenant admission quotas. A value of `None` means "uncapped".
 #[derive(Clone, Debug)]
@@ -78,6 +89,12 @@ pub struct TenantQuota {
     pub deadline_cap: Option<Duration>,
     /// Hard cap on the Lawler–Murty node budget, clamped likewise.
     pub node_budget_cap: Option<u64>,
+    /// Hard cap on a request's vertex count `n`; larger requests are
+    /// refused with `quota-exceeded` (the graph is never materialized,
+    /// so a hostile `"n": 4000000000` cannot allocate anything).
+    pub max_vertices: Option<u32>,
+    /// Hard cap on a request's edge count, refused likewise.
+    pub max_edges: Option<usize>,
 }
 
 impl Default for TenantQuota {
@@ -87,6 +104,8 @@ impl Default for TenantQuota {
             max_results_cap: None,
             deadline_cap: None,
             node_budget_cap: None,
+            max_vertices: Some(65_536),
+            max_edges: Some(1 << 20),
         }
     }
 }
@@ -249,6 +268,18 @@ impl ConnOut {
     }
 }
 
+/// A validated request handed off by the IO thread, waiting for the
+/// admission worker to build its graph and classify it warm/cold. Kept
+/// off the IO thread because `Graph::from_edges` + `decompose` + the
+/// canonical-form probe are CPU work that would head-of-line block every
+/// other connection's reads, writes, and accepts.
+struct Pending {
+    req: EnumerateRequest,
+    out: Arc<ConnOut>,
+    cancel: CancelFlag,
+    tenant: String,
+}
+
 /// One admitted session, waiting in (or popped from) the scheduler.
 struct Job {
     req: EnumerateRequest,
@@ -266,11 +297,15 @@ struct Sched {
 
 struct Shared {
     store: Arc<AtomStore>,
+    /// Requests accepted by the IO thread, awaiting classification.
+    admission: Mutex<VecDeque<Pending>>,
+    admission_cv: Condvar,
     sched: Mutex<Sched>,
     sched_cv: Condvar,
     /// In-flight (queued + running) session count per tenant.
     tenants: Mutex<HashMap<String, usize>>,
-    /// Sessions admitted but not yet finished (queued or running).
+    /// Sessions admitted but not yet finished (pending, queued, or
+    /// running).
     in_flight: AtomicUsize,
     shutting_down: AtomicBool,
     quota: TenantQuota,
@@ -286,6 +321,20 @@ impl Shared {
             }
         }
     }
+
+    /// Retires one in-flight session: tenant slot and drain counter.
+    fn retire(&self, tenant: &str) {
+        self.release_tenant(tenant);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Raises the shutdown flag and wakes every parked thread (admission
+    /// worker and session runners) so they can observe it.
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.admission_cv.notify_all();
+        self.sched_cv.notify_all();
+    }
 }
 
 /// A running daemon. Dropping the handle without calling
@@ -297,6 +346,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: Option<SocketAddr>,
     io_thread: Option<JoinHandle<()>>,
+    admission_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -315,8 +365,7 @@ impl ServerHandle {
     /// Graceful shutdown: stop accepting, drain every admitted session,
     /// flush every connection, join all threads.
     pub fn shutdown(mut self) {
-        self.shared.shutting_down.store(true, Ordering::SeqCst);
-        self.shared.sched_cv.notify_all();
+        self.shared.begin_shutdown();
         self.join();
     }
 
@@ -329,6 +378,9 @@ impl ServerHandle {
     fn join(&mut self) {
         if let Some(io) = self.io_thread.take() {
             io.join().expect("io thread panicked");
+        }
+        if let Some(admission) = self.admission_thread.take() {
+            admission.join().expect("admission worker panicked");
         }
         for worker in self.workers.drain(..) {
             worker.join().expect("session runner panicked");
@@ -369,6 +421,8 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
 
     let shared = Arc::new(Shared {
         store,
+        admission: Mutex::new(VecDeque::new()),
+        admission_cv: Condvar::new(),
         sched: Mutex::new(Sched::default()),
         sched_cv: Condvar::new(),
         tenants: Mutex::new(HashMap::new()),
@@ -394,6 +448,12 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
         })
         .collect();
 
+    let admission_shared = Arc::clone(&shared);
+    let admission_thread = std::thread::Builder::new()
+        .name("mtr-serve-admission".into())
+        .spawn(move || run_admission(&admission_shared))
+        .expect("spawn admission worker");
+
     let io_shared = Arc::clone(&shared);
     let allow_remote_shutdown = config.allow_remote_shutdown;
     let io_thread = std::thread::Builder::new()
@@ -405,6 +465,7 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
         shared,
         local_addr,
         io_thread: Some(io_thread),
+        admission_thread: Some(admission_thread),
         workers,
     })
 }
@@ -433,6 +494,10 @@ struct Conn {
     out: Arc<ConnOut>,
     stage: Stage,
     close_after_flush: bool,
+    /// When the write buffer stopped making flush progress (client not
+    /// reading); `None` while draining or empty. Drives the shutdown
+    /// stall timeout.
+    stalled_since: Option<Instant>,
 }
 
 impl Conn {
@@ -446,8 +511,12 @@ impl Conn {
 fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown: bool) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut read_buf = [0u8; 16 * 1024];
+    let mut shutdown_since: Option<Instant> = None;
     loop {
         let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+        if shutting_down && shutdown_since.is_none() {
+            shutdown_since = Some(Instant::now());
+        }
         let mut progressed = false;
 
         // Accept (never during shutdown — the listener drains instead).
@@ -459,6 +528,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
                     out: ConnOut::new(),
                     stage: Stage::AwaitHello,
                     close_after_flush: false,
+                    stalled_since: None,
                 });
                 progressed = true;
             }
@@ -468,8 +538,11 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
         while i < conns.len() {
             let mut drop_conn = false;
 
-            // Read whatever the client sent; 0 bytes = disconnect.
-            loop {
+            // Read whatever the client sent; 0 bytes = disconnect. Stop
+            // at the input cap — excess bytes wait in the kernel buffer
+            // (TCP backpressure), so a flooding client cannot grow the
+            // daemon's memory.
+            while conns[i].inbuf.len() < MAX_INBUF {
                 match conns[i].stream.read_some(&mut read_buf) {
                     Ok(0) => {
                         drop_conn = true;
@@ -490,7 +563,10 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
 
             // Parse complete lines unless a session is in flight (frames
             // arriving meanwhile stay buffered — pipelining).
-            while !drop_conn && !matches!(conns[i].stage, Stage::Busy) {
+            while !drop_conn
+                && !conns[i].close_after_flush
+                && !matches!(conns[i].stage, Stage::Busy)
+            {
                 let Some(nl) = conns[i].inbuf.iter().position(|&b| b == b'\n') else {
                     break;
                 };
@@ -503,7 +579,23 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
                 handle_line(&mut conns[i], &line, shared, allow_remote_shutdown);
             }
 
+            // A full inbuf with no newline can never complete: refuse the
+            // oversized line. (While Busy the bytes may hold well-formed
+            // pipelined frames — those parse once the session finishes.)
+            if !drop_conn
+                && !conns[i].close_after_flush
+                && !matches!(conns[i].stage, Stage::Busy)
+                && conns[i].inbuf.len() >= MAX_INBUF
+            {
+                conns[i].queue_text(protocol::error_frame(&ProtocolError {
+                    code: "frame-too-large",
+                    message: format!("protocol line exceeds {MAX_INBUF} bytes"),
+                }));
+                conns[i].close_after_flush = true;
+            }
+
             // Flush the write buffer into the socket.
+            let mut wrote_any = false;
             loop {
                 let chunk: Vec<u8> = {
                     let state = conns[i].out.state.lock().expect("conn out poisoned");
@@ -526,6 +618,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
                             // Wake a runner blocked on the high-water mark.
                             conns[i].out.cv.notify_all();
                         }
+                        wrote_any = true;
                         progressed = true;
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -552,12 +645,29 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
                 let state = conns[i].out.state.lock().expect("conn out poisoned");
                 state.buf.is_empty()
             };
+            // Stall tracking: a non-empty buffer that made no flush
+            // progress this iteration means the client is not reading.
+            if flushed || wrote_any {
+                conns[i].stalled_since = None;
+            } else if conns[i].stalled_since.is_none() {
+                conns[i].stalled_since = Some(Instant::now());
+            }
             if conns[i].close_after_flush && flushed {
                 drop_conn = true;
             }
             // During shutdown, idle connections are closed once flushed;
-            // busy ones stay until their session drains.
+            // busy ones stay until their session drains — unless the
+            // client has stopped reading, in which case waiting is
+            // hopeless (the runner is parked on the high-water mark) and
+            // the connection is dropped so the drain can finish.
             if shutting_down && flushed && !matches!(conns[i].stage, Stage::Busy) {
+                drop_conn = true;
+            }
+            if shutdown_since.is_some_and(|at| at.elapsed() >= SHUTDOWN_STALL_TIMEOUT)
+                && conns[i]
+                    .stalled_since
+                    .is_some_and(|since| since.elapsed() >= SHUTDOWN_STALL_TIMEOUT)
+            {
                 drop_conn = true;
             }
 
@@ -576,8 +686,9 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
                 sched.warm.is_empty() && sched.cold.is_empty()
             };
             if conns.is_empty() && queues_empty && shared.in_flight.load(Ordering::SeqCst) == 0 {
-                // Wake any runner still parked on the queue condvar so it
-                // can observe the shutdown flag and exit.
+                // Wake the admission worker and any runner still parked
+                // on their condvars so they observe the flag and exit.
+                shared.admission_cv.notify_all();
                 shared.sched_cv.notify_all();
                 return;
             }
@@ -631,8 +742,7 @@ fn handle_line(conn: &mut Conn, line: &str, shared: &Arc<Shared>, allow_remote_s
             if allow_remote_shutdown {
                 conn.queue_text(protocol::bye_frame());
                 conn.close_after_flush = true;
-                shared.shutting_down.store(true, Ordering::SeqCst);
-                shared.sched_cv.notify_all();
+                shared.begin_shutdown();
             } else {
                 conn.queue_text(protocol::error_frame(&ProtocolError {
                     code: "bad-request",
@@ -645,9 +755,11 @@ fn handle_line(conn: &mut Conn, line: &str, shared: &Arc<Shared>, allow_remote_s
     }
 }
 
-/// Admission control: validate, enforce quotas, classify warm/cold, and
-/// enqueue. Refusals are per-request error frames; the connection stays
-/// open and usable.
+/// Admission control, stage one (IO thread): validate and enforce
+/// quotas — all O(request size) — then hand off to the admission worker,
+/// which does the CPU-heavy graph build and warm/cold classification.
+/// Refusals are per-request error frames; the connection stays open and
+/// usable.
 fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
     if shared.shutting_down.load(Ordering::SeqCst) {
         conn.queue_text(protocol::error_frame(&ProtocolError {
@@ -656,13 +768,33 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
         }));
         return;
     }
-    let Some(cost) = named_cost(&req.cost) else {
+    if named_cost(&req.cost).is_none() {
         conn.queue_text(protocol::error_frame(&ProtocolError {
             code: "unknown-cost",
             message: format!("no cost named \"{}\"", req.cost),
         }));
         return;
-    };
+    }
+
+    // Graph-size quotas, checked before anything is materialized.
+    if let Some(cap) = shared.quota.max_vertices {
+        if req.n > cap {
+            conn.queue_text(protocol::error_frame(&ProtocolError {
+                code: "quota-exceeded",
+                message: format!("graph has {} vertices, cap is {cap}", req.n),
+            }));
+            return;
+        }
+    }
+    if let Some(cap) = shared.quota.max_edges {
+        if req.edges.len() > cap {
+            conn.queue_text(protocol::error_frame(&ProtocolError {
+                code: "quota-exceeded",
+                message: format!("graph has {} edges, cap is {cap}", req.edges.len()),
+            }));
+            return;
+        }
+    }
 
     // Per-tenant concurrency quota.
     {
@@ -694,13 +826,84 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
         req.node_budget = Some(req.node_budget.map_or(cap, |v| v.min(cap)));
     }
 
+    let cancel = CancelFlag::new();
+    let tenant = req.tenant.clone();
+    let pending = Pending {
+        req,
+        out: Arc::clone(&conn.out),
+        cancel: cancel.clone(),
+        tenant,
+    };
+    {
+        // Re-check the shutdown flag under the admission lock: the
+        // worker exits once it observes (shutting-down ∧ empty queue)
+        // under this same lock, so a request pushed here is guaranteed
+        // to be processed — without the re-check it could be stranded,
+        // wedging the drain with a phantom in-flight session.
+        let mut admission = shared.admission.lock().expect("admission queue poisoned");
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            drop(admission);
+            shared.release_tenant(&pending.tenant);
+            conn.queue_text(protocol::error_frame(&ProtocolError {
+                code: "shutting-down",
+                message: "daemon is draining".into(),
+            }));
+            return;
+        }
+        let mut state = conn.out.state.lock().expect("conn out poisoned");
+        state.finished = false;
+        state.cancel = Some(cancel);
+        drop(state);
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        admission.push_back(pending);
+    }
+    conn.stage = Stage::Busy;
+    shared.admission_cv.notify_one();
+}
+
+/// The admission worker: pops validated requests, builds their graphs,
+/// classifies warm/cold against the shared store, and enqueues them for
+/// the session runners. Dedicated thread so `Graph::from_edges` +
+/// `decompose` + canonical-form probing never run on the IO thread.
+fn run_admission(shared: &Arc<Shared>) {
+    loop {
+        let pending = {
+            let mut admission = shared.admission.lock().expect("admission queue poisoned");
+            loop {
+                if let Some(pending) = admission.pop_front() {
+                    break pending;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                admission = shared
+                    .admission_cv
+                    .wait(admission)
+                    .expect("admission queue poisoned");
+            }
+        };
+        classify_and_enqueue(pending, shared);
+    }
+}
+
+/// Admission control, stage two (admission worker): the CPU-heavy part.
+fn classify_and_enqueue(pending: Pending, shared: &Arc<Shared>) {
+    // The client may have vanished while the request sat in the
+    // admission queue; skip the graph work entirely.
+    if pending.cancel.is_cancelled() {
+        pending.out.finish();
+        shared.retire(&pending.tenant);
+        return;
+    }
+
+    let req = &pending.req;
     let graph = Graph::from_edges(req.n, &req.edges);
 
     // Cache-aware classification: probe the atoms' canonical keys
     // without perturbing the store. Only cached sessions can actually
     // hit the store, so direct requests are always cold.
     let warm = req.cache && {
-        let cost_id = cost.name();
+        let cost_id = named_cost(&req.cost).expect("validated at stage one").name();
         decompose(&graph, ReductionLevel::Full)
             .atoms
             .iter()
@@ -713,27 +916,23 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
             })
     };
 
-    let cancel = CancelFlag::new();
-    {
-        let mut state = conn.out.state.lock().expect("conn out poisoned");
-        state.finished = false;
-        state.cancel = Some(cancel.clone());
-    }
-    conn.queue_text(format!(
+    let accepted = format!(
         "{{\"frame\": \"accepted\", \"queue\": \"{}\"}}\n",
         if warm { "warm" } else { "cold" }
-    ));
-    conn.stage = Stage::Busy;
+    );
+    if !pending.out.push(accepted.as_bytes()) {
+        pending.out.finish();
+        shared.retire(&pending.tenant);
+        return;
+    }
 
-    let tenant = req.tenant.clone();
     let job = Job {
-        req,
+        req: pending.req,
         graph,
-        out: Arc::clone(&conn.out),
-        cancel,
-        tenant,
+        out: pending.out,
+        cancel: pending.cancel,
+        tenant: pending.tenant,
     };
-    shared.in_flight.fetch_add(1, Ordering::SeqCst);
     {
         let mut sched = shared.sched.lock().expect("scheduler poisoned");
         if warm {
@@ -761,8 +960,7 @@ fn run_sessions(shared: &Arc<Shared>) {
             }
         };
         run_one(&job, shared);
-        shared.release_tenant(&job.tenant);
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.retire(&job.tenant);
     }
 }
 
@@ -812,8 +1010,10 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
         } else {
             out.push(protocol::result_frame(rank, r.cost.value(), &fill).as_bytes())
         };
-        rank += 1;
         if ok {
+            // Count only frames actually delivered, so the done frame's
+            // `results` field matches what the client received.
+            rank += 1;
             std::ops::ControlFlow::Continue(())
         } else {
             std::ops::ControlFlow::Break(())

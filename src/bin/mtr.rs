@@ -10,7 +10,8 @@
 //! mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]
 //! mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]
 //!           [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]
-//!           [--deadline-cap <secs>] [--node-budget-cap <n>] [--no-remote-shutdown]
+//!           [--deadline-cap <secs>] [--node-budget-cap <n>] [--max-vertices <n>]
+//!           [--max-edges <m>] [--no-remote-shutdown]
 //! mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]
 //!           [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]
 //!           [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]
@@ -111,7 +112,8 @@ fn usage() -> &'static str {
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
      \x20      mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]\n\
      \x20                [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]\n\
-     \x20                [--deadline-cap <secs>] [--node-budget-cap <n>] [--no-remote-shutdown]\n\
+     \x20                [--deadline-cap <secs>] [--node-budget-cap <n>] [--max-vertices <n>]\n\
+     \x20                [--max-edges <m>] [--no-remote-shutdown]\n\
      \x20      mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]\n\
      \x20                [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]\n\
      \x20                [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]\n\
@@ -532,6 +534,8 @@ struct ServeOptions {
     max_results_cap: Option<usize>,
     deadline_cap: Option<f64>,
     node_budget_cap: Option<u64>,
+    max_vertices: Option<u32>,
+    max_edges: Option<usize>,
     allow_remote_shutdown: bool,
 }
 
@@ -546,6 +550,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         max_results_cap: None,
         deadline_cap: None,
         node_budget_cap: None,
+        max_vertices: serve::TenantQuota::default().max_vertices,
+        max_edges: serve::TenantQuota::default().max_edges,
         allow_remote_shutdown: true,
     };
     let mut it = args.iter();
@@ -583,6 +589,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--node-budget-cap" => {
                 opts.node_budget_cap = Some(int("--node-budget-cap", value("--node-budget-cap")?)?)
             }
+            "--max-vertices" => {
+                opts.max_vertices = Some(
+                    u32::try_from(int("--max-vertices", value("--max-vertices")?)?)
+                        .map_err(|_| "--max-vertices out of range".to_string())?,
+                )
+            }
+            "--max-edges" => {
+                opts.max_edges = Some(int("--max-edges", value("--max-edges")?)? as usize)
+            }
             "--no-remote-shutdown" => opts.allow_remote_shutdown = false,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -612,6 +627,8 @@ fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
             max_results_cap: opts.max_results_cap,
             deadline_cap: opts.deadline_cap.map(Duration::from_secs_f64),
             node_budget_cap: opts.node_budget_cap,
+            max_vertices: opts.max_vertices,
+            max_edges: opts.max_edges,
         },
         allow_remote_shutdown: opts.allow_remote_shutdown,
     };

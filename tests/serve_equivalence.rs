@@ -343,6 +343,94 @@ fn version_mismatch_is_rejected() {
     handle.shutdown();
 }
 
+/// Hostile input must not kill the daemon: a deeply nested JSON bomb
+/// (which would overflow the parser's stack without a depth limit) and
+/// an over-long line (which would grow `inbuf` without bound) both get a
+/// typed error and a close, and the daemon keeps serving afterwards.
+#[test]
+fn hostile_frames_are_refused_and_the_daemon_survives() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let refused_with = |payload: &[u8], code: &str| {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(payload).expect("send hostile payload");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read error frame");
+        assert!(line.contains("\"error\""), "got: {line}");
+        assert!(line.contains(code), "expected {code}, got: {line}");
+        // The daemon closes the connection afterwards.
+        let mut rest = String::new();
+        reader.read_line(&mut rest).expect("read eof");
+        assert!(rest.is_empty());
+    };
+
+    // 100k nested arrays in one line, sent before any handshake.
+    let mut bomb = vec![b'['; 100_000];
+    bomb.push(b'\n');
+    refused_with(&bomb, "bad-json");
+
+    // A line exactly at the daemon's input cap with no newline can never
+    // complete. (Exactly at, so the daemon consumes every byte and its
+    // close is a clean FIN — a longer payload risks an RST discarding
+    // the error frame before the client reads it.)
+    let cap = ranked_triangulations::serve::server::MAX_INBUF;
+    refused_with(&vec![b'x'; cap], "frame-too-large");
+
+    // The daemon is still healthy: a normal session completes.
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let reference = direct_stream(&g, "fill", None);
+    let (served, stop, _) = served_stream(&addr, &request_for(&g, "fill", false, None));
+    assert_eq!(stop, "exhausted");
+    assert_eq!(served.len(), reference.len());
+    handle.shutdown();
+}
+
+/// Graph-size quotas: a request whose `n` exceeds the cap is refused at
+/// admission, before any graph is materialized, and the connection
+/// stays usable.
+#[test]
+fn graph_size_quota_is_enforced() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        quota: TenantQuota {
+            max_vertices: Some(8),
+            max_edges: Some(4),
+            ..TenantQuota::default()
+        },
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let big = Graph::from_edges(16, &[(0, 1)]);
+    match client.enumerate(&request_for(&big, "fill", false, None)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "quota-exceeded"),
+        other => panic!("expected a vertex-cap refusal, got {other:?}"),
+    }
+    let dense = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+    match client.enumerate(&request_for(&dense, "fill", false, None)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "quota-exceeded"),
+        other => panic!("expected an edge-cap refusal, got {other:?}"),
+    }
+    // Within the caps, the same connection still serves.
+    let small = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let (results, done) = client
+        .enumerate(&request_for(&small, "fill", false, None))
+        .expect("request within quota");
+    assert_eq!(done.stop_reason, "exhausted");
+    assert_eq!(results.len(), direct_stream(&small, "fill", None).len());
+    handle.shutdown();
+}
+
 /// Per-tenant quotas: a tenant at its concurrency cap is refused with a
 /// `quota-exceeded` error frame and the connection stays usable.
 #[test]
