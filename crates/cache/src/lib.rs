@@ -28,7 +28,9 @@ mod disk;
 mod store;
 
 pub use disk::{DiskBackend, DiskError, FORMAT_VERSION};
-pub use store::{global_store, AtomKey, AtomStore, CacheEntry, CacheStats, CachedPrefix};
+pub use store::{
+    global_store, AtomKey, AtomStore, CacheEntry, CacheStats, CachedPrefix, StoreStats,
+};
 
 /// Default byte budget for in-memory stores: 64 MiB.
 pub const DEFAULT_BYTE_BUDGET: usize = 64 << 20;

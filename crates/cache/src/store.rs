@@ -4,8 +4,38 @@ use crate::disk::DiskBackend;
 use mtr_graph::{CanonicalKey, Vertex};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache metric handles, resolved once per process. Recording is gated
+/// inside `mtr-obs` on the global level; these mirror the per-store
+/// counters so a fleet of stores aggregates into one registry view.
+struct CacheMetrics {
+    hits: mtr_obs::Counter,
+    misses: mtr_obs::Counter,
+    publishes: mtr_obs::Counter,
+    evictions: mtr_obs::Counter,
+    disk_loads: mtr_obs::Counter,
+    disk_errors: mtr_obs::Counter,
+    lookup_ns: mtr_obs::Histogram,
+    publish_ns: mtr_obs::Histogram,
+    disk_load_ns: mtr_obs::Histogram,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: mtr_obs::counter("cache.hits"),
+        misses: mtr_obs::counter("cache.misses"),
+        publishes: mtr_obs::counter("cache.publishes"),
+        evictions: mtr_obs::counter("cache.evictions"),
+        disk_loads: mtr_obs::counter("cache.disk_loads"),
+        disk_errors: mtr_obs::counter("cache.disk_errors"),
+        lookup_ns: mtr_obs::histogram("cache.lookup_ns"),
+        publish_ns: mtr_obs::histogram("cache.publish_ns"),
+        disk_load_ns: mtr_obs::histogram("cache.disk_load_ns"),
+    })
+}
 
 /// The content address of one cached atom enumeration: the canonical form
 /// of the atom graph, the cost it is ranked by, and the width bound it was
@@ -84,6 +114,26 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Hits served by reading the disk backend.
     pub disk_loads: u64,
+    /// Disk backend operations (loads or stores) that failed: I/O
+    /// errors, corrupt files, version skew. Every one degraded to a miss
+    /// or to in-memory-only behavior; a growing count means the cache
+    /// directory is unhealthy.
+    pub disk_errors: u64,
+}
+
+/// The store-wide health counters: the subset of [`CacheStats`] an
+/// operator watches (hit rate, eviction churn, disk health), snapshot
+/// via [`AtomStore::store_stats`] without the sizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found a prefix (memory or disk).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Keys evicted to honor the byte budget.
+    pub evictions: u64,
+    /// Failed disk backend operations (see [`CacheStats::disk_errors`]).
+    pub disk_errors: u64,
 }
 
 struct Slot {
@@ -123,6 +173,7 @@ impl Inner {
             if let Some(slot) = self.map.remove(&victim) {
                 self.total_bytes -= slot.bytes;
                 self.evictions += 1;
+                cache_metrics().evictions.incr();
             }
         }
     }
@@ -137,6 +188,9 @@ pub struct AtomStore {
     inner: Mutex<Inner>,
     disk: Option<DiskBackend>,
     byte_budget: AtomicUsize,
+    /// Failed disk operations; outside `inner` because they happen
+    /// outside the lock.
+    disk_errors: AtomicU64,
 }
 
 impl std::fmt::Debug for AtomStore {
@@ -158,6 +212,7 @@ impl AtomStore {
             inner: Mutex::new(Inner::default()),
             disk: None,
             byte_budget: AtomicUsize::new(byte_budget),
+            disk_errors: AtomicU64::new(0),
         })
     }
 
@@ -174,6 +229,7 @@ impl AtomStore {
             inner: Mutex::new(Inner::default()),
             disk: Some(disk),
             byte_budget: AtomicUsize::new(byte_budget),
+            disk_errors: AtomicU64::new(0),
         }))
     }
 
@@ -190,9 +246,44 @@ impl AtomStore {
         self.byte_budget.fetch_max(at_least, Ordering::Relaxed);
     }
 
+    /// Reads the disk backend for `key`, timing the read and counting
+    /// failures (I/O, corruption, version skew) — every failure reads as
+    /// a miss, never as data.
+    fn disk_read(&self, key: &AtomKey) -> Option<CachedPrefix> {
+        let disk = self.disk.as_ref()?;
+        let started = mtr_obs::clock();
+        let loaded = disk.load(key);
+        cache_metrics().disk_load_ns.record_elapsed(started);
+        match loaded {
+            Ok(found) => found,
+            Err(_) => {
+                self.count_disk_error();
+                None
+            }
+        }
+    }
+
+    fn count_disk_error(&self) {
+        self.disk_errors.fetch_add(1, Ordering::Relaxed);
+        cache_metrics().disk_errors.incr();
+    }
+
     /// Looks up the cached prefix for `key`, consulting the disk backend
     /// on a memory miss. Marks the key recently used.
     pub fn lookup(&self, key: &AtomKey) -> Option<CachedPrefix> {
+        let started = mtr_obs::clock();
+        let found = self.lookup_inner(key);
+        let metrics = cache_metrics();
+        metrics.lookup_ns.record_elapsed(started);
+        if found.is_some() {
+            metrics.hits.incr();
+        } else {
+            metrics.misses.incr();
+        }
+        found
+    }
+
+    fn lookup_inner(&self, key: &AtomKey) -> Option<CachedPrefix> {
         {
             let mut inner = self.inner.lock().expect("atom store poisoned");
             let tick = inner.touch();
@@ -205,7 +296,7 @@ impl AtomStore {
         }
         // Memory miss: try disk outside the lock (corrupt or
         // version-mismatched files read as misses — never as data).
-        let from_disk = self.disk.as_ref().and_then(|d| d.load(key).ok().flatten());
+        let from_disk = self.disk_read(key);
         let mut inner = self.inner.lock().expect("atom store poisoned");
         let tick = inner.touch();
         // The lock was released for the disk read, so another thread may
@@ -222,6 +313,7 @@ impl AtomStore {
             Some(prefix) => {
                 inner.hits += 1;
                 inner.disk_loads += 1;
+                cache_metrics().disk_loads.incr();
                 let bytes = prefix.approx_bytes();
                 inner.total_bytes += bytes;
                 inner.map.insert(
@@ -269,7 +361,14 @@ impl AtomStore {
     /// clobbered on disk by a later shallow session — instead the better
     /// disk copy is re-adopted into memory.
     pub fn publish(&self, key: &AtomKey, prefix: CachedPrefix) -> bool {
-        let disk_existing = self.disk.as_ref().and_then(|d| d.load(key).ok().flatten());
+        let started = mtr_obs::clock();
+        let updated = self.publish_inner(key, prefix);
+        cache_metrics().publish_ns.record_elapsed(started);
+        updated
+    }
+
+    fn publish_inner(&self, key: &AtomKey, prefix: CachedPrefix) -> bool {
+        let disk_existing = self.disk_read(key);
         let write_disk = match &disk_existing {
             Some(on_disk) => prefix.improves_on(on_disk),
             None => self.disk.is_some(),
@@ -301,6 +400,7 @@ impl AtomStore {
                     },
                 );
                 inner.publishes += 1;
+                cache_metrics().publishes.incr();
                 inner.evict_to(self.byte_budget());
             }
             improves
@@ -309,7 +409,9 @@ impl AtomStore {
             if let Some(disk) = &self.disk {
                 // Best-effort persistence: an unwritable directory degrades
                 // to in-memory behavior instead of failing the session.
-                let _ = disk.store(key, &candidate);
+                if disk.store(key, &candidate).is_err() {
+                    self.count_disk_error();
+                }
             }
         }
         updated || write_disk
@@ -326,6 +428,20 @@ impl AtomStore {
             publishes: inner.publishes,
             evictions: inner.evictions,
             disk_loads: inner.disk_loads,
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compact store-wide health snapshot: the four figures an operator
+    /// watches (hit/miss balance, eviction pressure, disk trouble) without
+    /// the sizing detail of [`CacheStats`].
+    pub fn store_stats(&self) -> StoreStats {
+        let stats = self.stats();
+        StoreStats {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            disk_errors: stats.disk_errors,
         }
     }
 }

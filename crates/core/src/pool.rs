@@ -35,7 +35,26 @@
 use mtr_graph::VertexSet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, OnceLock};
+
+/// Pool metric handles, resolved once per process (`mtr-obs` names are
+/// interned in a global registry; the hot path only touches atomics).
+struct PoolMetrics {
+    tasks: mtr_obs::Counter,
+    steals: mtr_obs::Counter,
+    task_ns: mtr_obs::Histogram,
+    queue_depth: mtr_obs::Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        tasks: mtr_obs::counter("core.pool.tasks"),
+        steals: mtr_obs::counter("core.pool.steals"),
+        task_ns: mtr_obs::histogram("core.pool.task_ns"),
+        queue_depth: mtr_obs::gauge("core.pool.queue_depth"),
+    })
+}
 
 /// Reusable per-worker scratch space. Every task receives `&mut Scratch`
 /// for its worker; sets recycled here are handed back by [`Scratch::take`]
@@ -151,6 +170,7 @@ impl<'env> Shared<'env> {
             };
             if let Some(task) = task {
                 self.state.lock().expect("pool state poisoned").pending -= 1;
+                pool_metrics().queue_depth.add(-1);
                 return Some((task, qi));
             }
         }
@@ -158,12 +178,17 @@ impl<'env> Shared<'env> {
     }
 
     fn run_task(&self, wi: usize, task: Task<'env>, from: usize, scratch: &mut Scratch) {
+        let metrics = pool_metrics();
         self.executed[wi].fetch_add(1, Ordering::Relaxed);
+        metrics.tasks.incr();
         if from != wi {
             self.steals.fetch_add(1, Ordering::Relaxed);
+            metrics.steals.incr();
         }
         let before = scratch.bytes_reused();
+        let started = mtr_obs::clock();
         task(scratch);
+        metrics.task_ns.record_elapsed(started);
         self.arena_reused
             .fetch_add(scratch.bytes_reused() - before, Ordering::Relaxed);
     }
@@ -270,8 +295,18 @@ impl<'env> WorkerPool<'env, '_> {
                 .lock()
                 .expect("pool scratch poisoned");
             self.shared.executed[0].fetch_add(n, Ordering::Relaxed);
+            let metrics = pool_metrics();
+            metrics.tasks.add(n as u64);
             let before = scratch.bytes_reused();
-            let out: Vec<T> = tasks.into_iter().map(|t| t(&mut scratch)).collect();
+            let out: Vec<T> = tasks
+                .into_iter()
+                .map(|t| {
+                    let started = mtr_obs::clock();
+                    let result = t(&mut scratch);
+                    metrics.task_ns.record_elapsed(started);
+                    result
+                })
+                .collect();
             self.shared
                 .arena_reused
                 .fetch_add(scratch.bytes_reused() - before, Ordering::Relaxed);
@@ -296,6 +331,7 @@ impl<'env> WorkerPool<'env, '_> {
             }
             state.pending += n;
         }
+        pool_metrics().queue_depth.add(n as i64);
         self.shared.wakeup.notify_all();
         drop(tx);
 

@@ -58,6 +58,33 @@ use std::ops::ControlFlow;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+/// Session metric handles, resolved once per process. All recording is
+/// gated inside `mtr-obs` on the global level — with observability off
+/// each hook is one relaxed atomic load.
+struct SessionMetrics {
+    sessions: mtr_obs::Counter,
+    results: mtr_obs::Counter,
+    preprocess_ns: mtr_obs::Histogram,
+    advance_ns: mtr_obs::Histogram,
+    delay_ns: mtr_obs::Histogram,
+}
+
+fn session_metrics() -> &'static SessionMetrics {
+    static METRICS: std::sync::OnceLock<SessionMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SessionMetrics {
+        sessions: mtr_obs::counter("core.session.sessions"),
+        results: mtr_obs::counter("core.session.results"),
+        preprocess_ns: mtr_obs::histogram("core.session.preprocess_ns"),
+        advance_ns: mtr_obs::histogram("core.session.advance_ns"),
+        delay_ns: mtr_obs::histogram("core.session.delay_ns"),
+    })
+}
+
+/// Nanoseconds of `d`, saturating (u64 holds ~584 years).
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 // ---------------------------------------------------------------------------
 // Cache policy
 // ---------------------------------------------------------------------------
@@ -910,6 +937,9 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
 
         let threads = resolve_threads(threads);
         let cost_name = cost.get().name();
+        session_metrics().sessions.incr();
+        let mut pre_span = mtr_obs::span("session.preprocess");
+        pre_span.attr("cost", cost_name.as_str());
         let owned_pre: Preprocessed;
         let pre: &Preprocessed = match source {
             Source::Pre(p) => {
@@ -1006,6 +1036,10 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             effective_threads: threads,
             ..EnumerationStats::default()
         };
+        drop(pre_span);
+        session_metrics()
+            .preprocess_ns
+            .record(saturating_ns(stats.preprocessing));
         let stop_reason = if threads > 1 {
             // One pool for the whole session: workers (and their scratch)
             // are spawned here and serve every expansion batch.
@@ -1125,6 +1159,8 @@ where
     let deadline_at = deadline.and_then(|d| started.checked_add(d));
     let mut last_emit = Instant::now();
     let cancelled = || cancel.is_some_and(|c| c.is_cancelled());
+    let metrics = session_metrics();
+    let mut emit_span = mtr_obs::span("session.emit");
 
     let stop_reason = loop {
         if cancelled() {
@@ -1139,7 +1175,10 @@ where
         if node_budget.is_some_and(|n| engine.nodes_explored() >= n) {
             break StopReason::NodeBudgetExhausted;
         }
-        let Some(result) = engine.next_result() else {
+        let advance_started = mtr_obs::clock();
+        let next = engine.next_result();
+        metrics.advance_ns.record_elapsed(advance_started);
+        let Some(result) = next else {
             // An engine holding the same flag bails out mid-demand with
             // `None`; that is a cancellation, not exhaustion.
             break if cancelled() {
@@ -1156,9 +1195,12 @@ where
             }
         }
         let now = Instant::now();
-        stats.delays.push(now.duration_since(last_emit));
+        let delay = now.duration_since(last_emit);
+        stats.delays.push(delay);
         last_emit = now;
         stats.results += 1;
+        metrics.results.incr();
+        metrics.delay_ns.record(saturating_ns(delay));
         if on_result(result).is_break() {
             break StopReason::Stopped;
         }
@@ -1174,6 +1216,11 @@ where
         .map(|c| c.value());
     stats.arena_bytes_reused = engine.arena_bytes_reused();
     stats.total = started.elapsed();
+    if emit_span.is_active() {
+        emit_span.attr("results", stats.results.to_string());
+        emit_span.attr("stop", stop_reason.to_string());
+    }
+    drop(emit_span);
     stop_reason
 }
 

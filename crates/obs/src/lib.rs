@@ -1,0 +1,206 @@
+//! `mtr-obs`: a zero-dependency metrics registry and span tracer for the
+//! ranked-triangulations workspace.
+//!
+//! The workspace is hermetic (no crates.io) and forbids `unsafe`, so this
+//! crate hand-rolls the small observability surface the engines need, the
+//! way `mtr-serve` hand-rolls its JSON reader and event loop:
+//!
+//! * a process-wide **metrics registry** of named counters, gauges, and
+//!   log-bucketed histograms, all plain `std::sync::atomic` cells;
+//! * lightweight **span tracing** with a bounded in-memory ring buffer
+//!   and pluggable sinks (JSONL file, stderr) for offline analysis.
+//!
+//! Everything is gated on one global [`Level`] stored in an `AtomicU8`:
+//! with instrumentation [`Level::Off`] (the default) every hot-path hook
+//! is a **single relaxed atomic load** and an untaken branch — no clock
+//! reads, no allocation, no locks — so the library can stay instrumented
+//! permanently without taxing uninstrumented runs. [`Level::Metrics`]
+//! activates the counters/gauges/histograms; [`Level::Trace`] additionally
+//! records spans.
+//!
+//! ```
+//! use mtr_obs as obs;
+//!
+//! obs::set_level(obs::Level::Metrics);
+//! let results = obs::counter("demo.results");
+//! results.add(3);
+//! let delay = obs::histogram("demo.delay_ns");
+//! delay.record(1500);
+//! let snap = obs::snapshot();
+//! assert!(snap.iter().any(|m| m.name == "demo.results"));
+//! obs::set_level(obs::Level::Off);
+//! ```
+//!
+//! Neutrality is a hard contract: enabling any level must never change
+//! what an enumeration computes — only record what it did.
+//! `tests/observability_neutrality.rs` in the workspace root pins this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod trace;
+
+pub use registry::{
+    counter, counter_value, gauge, histogram, reset, snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricSnapshot, MetricValue,
+};
+pub use trace::{
+    clear_sinks, event, install_sink, recent_spans, span, JsonlSink, SpanGuard, SpanRecord,
+    SpanSink, StderrSink, RING_CAPACITY,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// How much the process records. Stored globally; see [`set_level`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is recorded; every hook is one relaxed atomic load.
+    Off = 0,
+    /// Counters, gauges, and histograms are live; spans are not.
+    Metrics = 1,
+    /// Metrics plus span tracing (ring buffer and installed sinks).
+    Trace = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide instrumentation level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Raises the level to at least `level`, never lowering it — the form
+/// long-lived components (the `mtr serve` daemon) use so they cannot
+/// accidentally disable a trace the operator asked for.
+pub fn raise_level(level: Level) {
+    LEVEL.fetch_max(level as u8, Ordering::Relaxed);
+}
+
+/// The current instrumentation level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Metrics,
+        _ => Level::Trace,
+    }
+}
+
+/// `true` when counters/gauges/histograms are live. This is the single
+/// relaxed load every metric hook performs first.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Metrics as u8
+}
+
+/// `true` when span tracing is live.
+#[inline]
+pub fn trace_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Trace as u8
+}
+
+/// Reads the clock only when metrics are enabled: `None` is the disabled
+/// fast path (no `Instant::now` call). Pair with
+/// [`Histogram::record_elapsed`].
+#[inline]
+pub fn clock() -> Option<Instant> {
+    if metrics_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and level are process-global, so the crate's tests
+    /// serialize on one lock (they run on separate threads otherwise).
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_level_records_nothing() {
+        let _g = guard();
+        set_level(Level::Off);
+        reset();
+        let c = counter("test.disabled.counter");
+        c.add(5);
+        assert_eq!(c.get(), 0, "Off must not count");
+        let h = histogram("test.disabled.hist");
+        h.record(123);
+        assert_eq!(h.snapshot().count, 0, "Off must not record");
+        let s = span("test.disabled.span");
+        assert!(!s.is_active());
+        drop(s);
+        assert!(recent_spans().is_empty());
+    }
+
+    #[test]
+    fn metrics_level_counts_but_does_not_trace() {
+        let _g = guard();
+        set_level(Level::Metrics);
+        reset();
+        let c = counter("test.metrics.counter");
+        c.add(2);
+        c.add(3);
+        assert_eq!(c.get(), 5);
+        assert_eq!(counter_value("test.metrics.counter"), Some(5));
+        let g = gauge("test.metrics.gauge");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        let s = span("test.metrics.span");
+        assert!(!s.is_active(), "Metrics level records no spans");
+        drop(s);
+        assert!(recent_spans().is_empty());
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn trace_level_records_spans_into_the_ring() {
+        let _g = guard();
+        set_level(Level::Trace);
+        reset();
+        {
+            let mut s = span("test.trace.work");
+            s.attr("tenant", "t-1");
+        }
+        event("test.trace.tick", vec![("n", "3".into())]);
+        let spans = recent_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "test.trace.work");
+        assert_eq!(spans[0].kind, "span");
+        assert_eq!(spans[0].attrs, vec![("tenant".into(), "t-1".into())]);
+        assert_eq!(spans[1].kind, "event");
+        assert_eq!(spans[1].dur_ns, 0);
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn level_raise_never_lowers() {
+        let _g = guard();
+        set_level(Level::Off);
+        raise_level(Level::Metrics);
+        assert_eq!(level(), Level::Metrics);
+        raise_level(Level::Off);
+        assert_eq!(level(), Level::Metrics, "raise must not lower");
+        set_level(Level::Off);
+        assert_eq!(level(), Level::Off, "set still lowers explicitly");
+    }
+
+    #[test]
+    fn clock_is_none_when_disabled() {
+        let _g = guard();
+        set_level(Level::Off);
+        assert!(clock().is_none());
+        set_level(Level::Metrics);
+        assert!(clock().is_some());
+        set_level(Level::Off);
+    }
+}

@@ -1,0 +1,339 @@
+//! The process-wide metrics registry: named counters, gauges, and
+//! log-bucketed histograms.
+//!
+//! Metrics are created on first use ([`counter`] / [`gauge`] /
+//! [`histogram`]) and live for the process; handles are cheap `Arc`
+//! clones of the registered atomic cells, so call sites can cache one in
+//! a `OnceLock` and pay a name lookup only once. Every mutation checks
+//! [`metrics_enabled`](crate::metrics_enabled) first — with
+//! instrumentation off the mutation is one relaxed load and a return.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A monotone event counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` when metrics are enabled; a relaxed load and return
+    /// otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Shorthand for `add(1)`.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count (reads regardless of level).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, in-flight count).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge when metrics are enabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::metrics_enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative) when metrics are enabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (reads regardless of level).
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of every histogram: power-of-two buckets covering the
+/// full `u64` range (bucket `i` holds values in `[2^(i-1), 2^i)`, bucket
+/// 0 holds zero), so nanosecond durations from sub-microsecond to hours
+/// land in distinct buckets without configuration.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the power-of-two bucket for `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+fn bucket_le(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Records one sample when metrics are enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::metrics_enabled() {
+            let cells = &self.0;
+            cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the nanoseconds elapsed since `started`, if it was taken —
+    /// the companion of [`clock`](crate::clock), so the disabled path
+    /// never reads the clock at all.
+    #[inline]
+    pub fn record_elapsed(&self, started: Option<Instant>) {
+        if let Some(at) = started {
+            self.record(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A consistent-enough snapshot of the cells (buckets are read one by
+    /// one; concurrent recording may skew `count` by in-flight samples).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cells = &self.0;
+        let buckets = cells
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_le(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The observable state of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wraps past `u64::MAX`).
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// increasing bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One registered metric at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// The registered name.
+    pub name: String,
+    /// The value, by kind.
+    pub value: MetricValue,
+}
+
+/// The value of one metric in a [`snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A [`Counter`]'s count.
+    Counter(u64),
+    /// A [`Gauge`]'s value.
+    Gauge(i64),
+    /// A [`Histogram`]'s cells.
+    Histogram(HistogramSnapshot),
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The counter registered under `name`, created on first use. Asking for
+/// a name registered as a different kind returns a detached cell (a
+/// registry is not worth panicking over); kinds per name should be
+/// consistent.
+pub fn counter(name: &str) -> Counter {
+    let mut map = lock();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+    {
+        Metric::Counter(cell) => Counter(cell.clone()),
+        _ => {
+            debug_assert!(false, "metric {name} registered as a different kind");
+            Counter(Arc::new(AtomicU64::new(0)))
+        }
+    }
+}
+
+/// The gauge registered under `name`, created on first use.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = lock();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::new(AtomicI64::new(0))))
+    {
+        Metric::Gauge(cell) => Gauge(cell.clone()),
+        _ => {
+            debug_assert!(false, "metric {name} registered as a different kind");
+            Gauge(Arc::new(AtomicI64::new(0)))
+        }
+    }
+}
+
+/// The histogram registered under `name`, created on first use.
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = lock();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCells::new())))
+    {
+        Metric::Histogram(cells) => Histogram(cells.clone()),
+        _ => {
+            debug_assert!(false, "metric {name} registered as a different kind");
+            Histogram(Arc::new(HistogramCells::new()))
+        }
+    }
+}
+
+/// Snapshot of every registered metric, sorted by name.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let map = lock();
+    map.iter()
+        .map(|(name, metric)| MetricSnapshot {
+            name: name.clone(),
+            value: match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                Metric::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                Metric::Histogram(h) => MetricValue::Histogram(Histogram(h.clone()).snapshot()),
+            },
+        })
+        .collect()
+}
+
+/// The current count of the counter registered under `name`, if any —
+/// a convenience for tests reconciling totals.
+pub fn counter_value(name: &str) -> Option<u64> {
+    let map = lock();
+    match map.get(name) {
+        Some(Metric::Counter(c)) => Some(c.load(Ordering::Relaxed)),
+        _ => None,
+    }
+}
+
+/// Zeroes every registered metric (handles stay valid) and clears the
+/// span ring buffer. For tests and benchmarks; production readers should
+/// diff snapshots instead.
+pub fn reset() {
+    let map = lock();
+    for metric in map.values() {
+        match metric {
+            Metric::Counter(c) => c.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+    drop(map);
+    crate::trace::clear_ring();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(1), 1);
+        assert_eq!(bucket_le(2), 3);
+        assert_eq!(bucket_le(10), 1023);
+        assert_eq!(bucket_le(63), u64::MAX);
+    }
+
+    #[test]
+    fn handles_share_the_registered_cell() {
+        let a = counter("test.registry.shared");
+        let b = counter("test.registry.shared");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same name, same cell");
+    }
+
+    #[test]
+    fn kind_mismatch_returns_a_detached_cell_in_release() {
+        // Only meaningful without debug assertions; with them the
+        // mismatch would trip the debug_assert instead.
+        if !cfg!(debug_assertions) {
+            let _c = counter("test.registry.kind");
+            let g = gauge("test.registry.kind");
+            g.set(1); // must not corrupt the counter cell
+            assert_eq!(counter_value("test.registry.kind"), Some(0));
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Span tracing: timed scopes recorded into a bounded ring buffer and
+//! forwarded to pluggable sinks.
+//!
+//! A [`span`] is an RAII guard: created when tracing is enabled, it
+//! captures a start instant and optional string attributes, and on drop
+//! appends one [`SpanRecord`] to the in-memory ring (capacity
+//! [`RING_CAPACITY`], oldest evicted first) and to every installed
+//! [`SpanSink`]. With tracing disabled the guard is inert — no clock
+//! read, no allocation. Timestamps are nanoseconds relative to the
+//! process's first trace use, so JSONL files diff cleanly across runs.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans kept in memory for [`recent_spans`]; older records are evicted
+/// (sinks, when installed, still saw them).
+pub const RING_CAPACITY: usize = 4096;
+
+/// One finished span or point event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// `"span"` for timed scopes, `"event"` for point events.
+    pub kind: &'static str,
+    /// The span name (dotted, lowercase: `serve.request`).
+    pub name: String,
+    /// Start offset in nanoseconds since the process's trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for events).
+    pub dur_ns: u64,
+    /// Attribute key/value pairs, in attachment order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Renders the record as one JSON line (no trailing newline), the
+    /// format `JsonlSink` writes and `docs/OBSERVABILITY.md` documents.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(80);
+        let _ = write!(
+            out,
+            "{{\"kind\":\"{}\",\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}",
+            self.kind,
+            escape(&self.name),
+            self.start_ns,
+            self.dur_ns
+        );
+        if !self.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A destination for finished spans. Implementations must be fast or
+/// buffered: `record` runs on the instrumented thread.
+pub trait SpanSink: Send + Sync {
+    /// Called once per finished span/event while tracing is enabled.
+    fn record(&self, span: &SpanRecord);
+}
+
+fn ring() -> &'static Mutex<VecDeque<SpanRecord>> {
+    static RING: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(64)))
+}
+
+fn sinks() -> &'static Mutex<Vec<Arc<dyn SpanSink>>> {
+    static SINKS: OnceLock<Mutex<Vec<Arc<dyn SpanSink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn emit(record: SpanRecord) {
+    {
+        let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record.clone());
+    }
+    let sinks = sinks().lock().unwrap_or_else(|e| e.into_inner());
+    for sink in sinks.iter() {
+        sink.record(&record);
+    }
+}
+
+/// Installs a sink; every subsequently finished span is forwarded to it
+/// (in addition to the ring buffer).
+pub fn install_sink(sink: Arc<dyn SpanSink>) {
+    sinks().lock().unwrap_or_else(|e| e.into_inner()).push(sink);
+}
+
+/// Removes every installed sink (the ring buffer keeps recording).
+pub fn clear_sinks() {
+    sinks().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// The ring buffer's current contents, oldest first.
+pub fn recent_spans() -> Vec<SpanRecord> {
+    ring()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
+pub(crate) fn clear_ring() {
+    ring().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    started: Instant,
+    attrs: Vec<(String, String)>,
+}
+
+/// RAII guard for one timed scope; records on drop. Inert (a `None`)
+/// when tracing was disabled at creation.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Whether this guard will record (tracing was enabled at creation).
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches a key/value attribute; a no-op on inert guards, so
+    /// callers can attach unconditionally without paying for the value
+    /// conversion when disabled (pass `&str`/`String` already at hand,
+    /// or guard expensive formatting with [`SpanGuard::is_active`]).
+    pub fn attr(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(active) = &mut self.0 {
+            active.attrs.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let start_ns =
+                u64::try_from(active.started.saturating_duration_since(epoch()).as_nanos())
+                    .unwrap_or(u64::MAX);
+            let dur_ns = u64::try_from(active.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            emit(SpanRecord {
+                kind: "span",
+                name: active.name.to_string(),
+                start_ns,
+                dur_ns,
+                attrs: active.attrs,
+            });
+        }
+    }
+}
+
+/// Opens a span named `name`. With tracing disabled this is one relaxed
+/// atomic load and an inert guard.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::trace_enabled() {
+        return SpanGuard(None);
+    }
+    let _ = epoch(); // pin the epoch no later than the first span start
+    SpanGuard(Some(ActiveSpan {
+        name,
+        started: Instant::now(),
+        attrs: Vec::new(),
+    }))
+}
+
+/// Records a point event (a zero-duration record) when tracing is
+/// enabled. `attrs` is only built by the caller if it chooses; prefer
+/// checking [`trace_enabled`](crate::trace_enabled) before formatting
+/// expensive values.
+pub fn event(name: &'static str, attrs: Vec<(&'static str, String)>) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let start_ns = u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX);
+    emit(SpanRecord {
+        kind: "event",
+        name: name.to_string(),
+        start_ns,
+        dur_ns: 0,
+        attrs: attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    });
+}
+
+/// A sink appending one JSON line per span to a file (buffered; flushed
+/// on [`JsonlSink::flush`] and on drop). Write errors after creation are
+/// swallowed — tracing must never fail the traced work.
+pub struct JsonlSink {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns the sink ready to
+    /// [`install_sink`].
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Arc<JsonlSink>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Arc::new(JsonlSink {
+            file: Mutex::new(std::io::BufWriter::new(file)),
+        }))
+    }
+
+    /// Flushes buffered lines to the file.
+    pub fn flush(&self) {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = file.flush();
+    }
+}
+
+impl SpanSink for JsonlSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(file, "{}", span.to_jsonl());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A sink writing one JSON line per span to stderr.
+pub struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn record(&self, span: &SpanRecord) {
+        eprintln!("{}", span.to_jsonl());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_rendering_escapes_and_orders_fields() {
+        let record = SpanRecord {
+            kind: "span",
+            name: "test.\"quoted\"".into(),
+            start_ns: 5,
+            dur_ns: 17,
+            attrs: vec![("tenant".into(), "a\nb".into())],
+        };
+        assert_eq!(
+            record.to_jsonl(),
+            "{\"kind\":\"span\",\"name\":\"test.\\\"quoted\\\"\",\"start_ns\":5,\"dur_ns\":17,\"attrs\":{\"tenant\":\"a\\nb\"}}"
+        );
+        let bare = SpanRecord {
+            kind: "event",
+            name: "tick".into(),
+            start_ns: 0,
+            dur_ns: 0,
+            attrs: vec![],
+        };
+        assert_eq!(
+            bare.to_jsonl(),
+            "{\"kind\":\"event\",\"name\":\"tick\",\"start_ns\":0,\"dur_ns\":0}"
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        // Exercise the ring directly (emit is level-independent); the
+        // level-gated entry points are covered in lib.rs tests.
+        clear_ring();
+        for i in 0..(RING_CAPACITY + 10) {
+            emit(SpanRecord {
+                kind: "event",
+                name: format!("tick.{i}"),
+                start_ns: i as u64,
+                dur_ns: 0,
+                attrs: vec![],
+            });
+        }
+        let spans = recent_spans();
+        assert_eq!(spans.len(), RING_CAPACITY);
+        assert_eq!(spans[0].name, "tick.10", "oldest evicted first");
+        clear_ring();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_span() {
+        let path = std::env::temp_dir().join(format!("mtr_obs_sink_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create sink");
+        sink.record(&SpanRecord {
+            kind: "span",
+            name: "a".into(),
+            start_ns: 1,
+            dur_ns: 2,
+            attrs: vec![],
+        });
+        sink.record(&SpanRecord {
+            kind: "event",
+            name: "b".into(),
+            start_ns: 3,
+            dur_ns: 0,
+            attrs: vec![("k".into(), "v".into())],
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"attrs\":{\"k\":\"v\"}"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -62,6 +62,25 @@ use std::collections::{BinaryHeap, HashSet};
 /// only serialize after it.
 const PREFETCH: usize = 2;
 
+/// Handles into the [`mtr_obs`] registry for per-atom stream advancement,
+/// resolved once so the hot demand path only touches atomics.
+struct StreamMetrics {
+    /// `reduce.stream.advances`: results pulled out of per-atom engines
+    /// (seeded cache hits excluded — they cost nothing to serve).
+    advances: mtr_obs::Counter,
+    /// `reduce.stream.advance_ns`: wall time of one demand that actually
+    /// advanced a stream (may cover several results when demand jumps).
+    advance_ns: mtr_obs::Histogram,
+}
+
+fn stream_metrics() -> &'static StreamMetrics {
+    static METRICS: std::sync::OnceLock<StreamMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| StreamMetrics {
+        advances: mtr_obs::counter("reduce.stream.advances"),
+        advance_ns: mtr_obs::histogram("reduce.stream.advance_ns"),
+    })
+}
+
 /// One memoized per-stream result: its cost (evaluated on the stream's
 /// graph — relabel-invariant for every factorizing cost) and its fill
 /// edges in the *stream-local* labeling (atom-local without the cache,
@@ -310,6 +329,28 @@ impl AtomStream {
     /// Makes sure result `j` is cached (pulling the engine as needed).
     /// Returns `false` when the stream is exhausted before `j`.
     fn ensure<K: BagCost + ?Sized>(
+        &mut self,
+        j: usize,
+        cost: &K,
+        width_bound: Option<usize>,
+    ) -> bool {
+        if self.cached.len() > j {
+            // Already memoized: no engine work, no metrics traffic.
+            return true;
+        }
+        let started = mtr_obs::clock();
+        let before = self.cached.len();
+        let ok = self.ensure_inner(j, cost, width_bound);
+        let advanced = (self.cached.len() - before) as u64;
+        if advanced > 0 {
+            let metrics = stream_metrics();
+            metrics.advances.add(advanced);
+            metrics.advance_ns.record_elapsed(started);
+        }
+        ok
+    }
+
+    fn ensure_inner<K: BagCost + ?Sized>(
         &mut self,
         j: usize,
         cost: &K,

@@ -249,6 +249,23 @@ impl Client {
         Ok((results, done))
     }
 
+    /// Asks the daemon for a live introspection snapshot. Returns the
+    /// whole `metrics` frame as parsed JSON: `"metrics"` holds the
+    /// observability registry, `"store"` the cache-store statistics,
+    /// `"tenants"` the per-tenant request counts.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.reader
+            .get_mut()
+            .write_all_bytes(protocol::metrics_request_frame().as_bytes())?;
+        let line = self.read_line()?;
+        let doc = json::parse(&line).map_err(ClientError::Protocol)?;
+        match doc.get("frame").and_then(Json::as_str) {
+            Some("metrics") => Ok(doc),
+            Some("error") => Err(server_error(&doc)),
+            _ => Err(ClientError::Protocol(format!("unexpected frame: {line}"))),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully; returns once the server
     /// acknowledges with its `bye` frame.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {

@@ -199,7 +199,10 @@ impl Parser<'_> {
     fn enter(&mut self) -> Result<(), String> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            Err(format!("nesting deeper than {MAX_DEPTH} at offset {}", self.pos))
+            Err(format!(
+                "nesting deeper than {MAX_DEPTH} at offset {}",
+                self.pos
+            ))
         } else {
             Ok(())
         }

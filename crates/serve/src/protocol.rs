@@ -73,6 +73,9 @@ pub enum Request {
     },
     /// An enumeration request.
     Enumerate(Box<EnumerateRequest>),
+    /// Ask for a live introspection snapshot: the observability registry,
+    /// store-wide cache statistics, and per-tenant request counts.
+    Metrics,
     /// Ask the daemon to shut down gracefully (drain, then exit).
     Shutdown,
 }
@@ -114,6 +117,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
             Ok(Request::Hello { magic, version })
         }
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "enumerate" => parse_enumerate(&doc).map(|r| Request::Enumerate(Box::new(r))),
         other => Err(ProtocolError::new(
@@ -241,6 +245,11 @@ pub fn enumerate_frame(req: &EnumerateRequest) -> String {
 /// The shutdown request line.
 pub fn shutdown_frame() -> String {
     "{\"frame\": \"shutdown\"}\n".to_string()
+}
+
+/// The metrics request line.
+pub fn metrics_request_frame() -> String {
+    "{\"frame\": \"metrics\"}\n".to_string()
 }
 
 /// A streamed result as a JSON line.

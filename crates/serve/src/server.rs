@@ -55,7 +55,49 @@ use mtr_core::{CancelFlag, Enumerate, StopReason};
 use mtr_graph::Graph;
 use mtr_reduce::{decompose, EnumerateReduceExt, ReductionLevel};
 
+use crate::json::Json;
 use crate::protocol::{self, EnumerateRequest, ProtocolError, Request, WIRE_VERSION};
+
+/// Handles into the [`mtr_obs`] registry for the daemon's own counters,
+/// resolved once. Per-tenant counters live in [`Shared::tenant_metrics`]
+/// (bounded — tenant names are client-controlled input).
+struct ServeMetrics {
+    /// `serve.connections`: connections accepted.
+    connections: mtr_obs::Counter,
+    /// `serve.requests`: enumerate requests that passed stage-one
+    /// admission (quota refusals excluded).
+    requests: mtr_obs::Counter,
+    /// `serve.warm` / `serve.cold`: admission classification outcomes.
+    warm: mtr_obs::Counter,
+    /// See [`ServeMetrics::warm`].
+    cold: mtr_obs::Counter,
+    /// `serve.admission_wait_ns`: accept-to-runner-pop latency.
+    admission_wait_ns: mtr_obs::Histogram,
+    /// `serve.first_result_ns`: accept-to-first-result-frame latency.
+    first_result_ns: mtr_obs::Histogram,
+    /// `serve.backpressure_stalls`: times a session runner blocked on a
+    /// connection's high-water mark.
+    backpressure_stalls: mtr_obs::Counter,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: std::sync::OnceLock<ServeMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| ServeMetrics {
+        connections: mtr_obs::counter("serve.connections"),
+        requests: mtr_obs::counter("serve.requests"),
+        warm: mtr_obs::counter("serve.warm"),
+        cold: mtr_obs::counter("serve.cold"),
+        admission_wait_ns: mtr_obs::histogram("serve.admission_wait_ns"),
+        first_result_ns: mtr_obs::histogram("serve.first_result_ns"),
+        backpressure_stalls: mtr_obs::counter("serve.backpressure_stalls"),
+    })
+}
+
+/// Cap on distinct per-tenant counter entries — tenant names are
+/// client-controlled, so without a cap a hostile client could grow the
+/// tenant table without bound. Requests beyond the cap are counted under
+/// the synthetic tenant `"other"`.
+const MAX_TENANT_METRICS: usize = 64;
 
 /// Worker blocks when a connection's write buffer exceeds this.
 const HIGH_WATER: usize = 256 * 1024;
@@ -129,6 +171,10 @@ pub struct ServerConfig {
     /// Honor the wire `shutdown` frame (on by default in the CLI; tests
     /// may disable it so a client cannot stop a shared fixture).
     pub allow_remote_shutdown: bool,
+    /// Log any request whose first-result latency exceeds this many
+    /// milliseconds (one JSON line on stderr with the full timing
+    /// breakdown). `None` disables the slow-request log.
+    pub slow_ms: Option<u64>,
 }
 
 /// Where to listen.
@@ -234,6 +280,9 @@ impl ConnOut {
     /// when the connection is gone (the caller should stop streaming).
     fn push(&self, bytes: &[u8]) -> bool {
         let mut state = self.state.lock().expect("conn out poisoned");
+        if state.buf.len() >= HIGH_WATER && !state.disconnected {
+            serve_metrics().backpressure_stalls.incr();
+        }
         while state.buf.len() >= HIGH_WATER && !state.disconnected {
             let (next, _timeout) = self
                 .cv
@@ -278,6 +327,9 @@ struct Pending {
     out: Arc<ConnOut>,
     cancel: CancelFlag,
     tenant: String,
+    /// When stage-one admission accepted the request (`None` only if the
+    /// metrics level was somehow off — the daemon raises it at startup).
+    accepted_at: Option<Instant>,
 }
 
 /// One admitted session, waiting in (or popped from) the scheduler.
@@ -287,6 +339,10 @@ struct Job {
     out: Arc<ConnOut>,
     cancel: CancelFlag,
     tenant: String,
+    /// Which queue admission chose (`true` = warm).
+    warm: bool,
+    /// See [`Pending::accepted_at`].
+    accepted_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -304,6 +360,12 @@ struct Shared {
     sched_cv: Condvar,
     /// In-flight (queued + running) session count per tenant.
     tenants: Mutex<HashMap<String, usize>>,
+    /// Cumulative requests per tenant (bounded at [`MAX_TENANT_METRICS`]
+    /// distinct names; overflow folds into `"other"`). Also published to
+    /// the obs registry as `serve.tenant.<name>.requests`.
+    tenant_metrics: Mutex<HashMap<String, mtr_obs::Counter>>,
+    /// Slow-request log threshold (see [`ServerConfig::slow_ms`]).
+    slow_ms: Option<u64>,
     /// Sessions admitted but not yet finished (pending, queued, or
     /// running).
     in_flight: AtomicUsize,
@@ -312,6 +374,22 @@ struct Shared {
 }
 
 impl Shared {
+    /// Counts one request for `tenant`, folding names past the table cap
+    /// into `"other"` so client-chosen tenant strings cannot grow the
+    /// daemon's memory (or the obs registry) without bound.
+    fn count_tenant_request(&self, tenant: &str) {
+        let mut table = self.tenant_metrics.lock().expect("tenant metrics poisoned");
+        let key = if table.contains_key(tenant) || table.len() < MAX_TENANT_METRICS {
+            tenant
+        } else {
+            "other"
+        };
+        table
+            .entry(key.to_string())
+            .or_insert_with(|| mtr_obs::counter(&format!("serve.tenant.{key}.requests")))
+            .incr();
+    }
+
     fn release_tenant(&self, tenant: &str) {
         let mut tenants = self.tenants.lock().expect("tenant map poisoned");
         if let Some(count) = tenants.get_mut(tenant) {
@@ -419,6 +497,11 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
         (None, None) => AtomStore::in_memory(effective_budget(config.byte_budget)),
     };
 
+    // The daemon always runs with live metrics: the `metrics` frame is
+    // part of the wire protocol, so its counters must be counting from
+    // the first request. (Never *lowers* an ambient Trace level.)
+    mtr_obs::raise_level(mtr_obs::Level::Metrics);
+
     let shared = Arc::new(Shared {
         store,
         admission: Mutex::new(VecDeque::new()),
@@ -426,6 +509,8 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
         sched: Mutex::new(Sched::default()),
         sched_cv: Condvar::new(),
         tenants: Mutex::new(HashMap::new()),
+        tenant_metrics: Mutex::new(HashMap::new()),
+        slow_ms: config.slow_ms,
         in_flight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
         quota: config.quota.clone(),
@@ -512,6 +597,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
     let mut conns: Vec<Conn> = Vec::new();
     let mut read_buf = [0u8; 16 * 1024];
     let mut shutdown_since: Option<Instant> = None;
+    let mut last_drain_report: Option<Instant> = None;
     loop {
         let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
         if shutting_down && shutdown_since.is_none() {
@@ -522,6 +608,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
         // Accept (never during shutdown — the listener drains instead).
         if !shutting_down {
             while let Ok(Some(stream)) = listener.accept() {
+                serve_metrics().connections.incr();
                 conns.push(Conn {
                     stream,
                     inbuf: Vec::new(),
@@ -681,11 +768,26 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
         }
 
         if shutting_down {
-            let queues_empty = {
+            let (warm_depth, cold_depth) = {
                 let sched = shared.sched.lock().expect("scheduler poisoned");
-                sched.warm.is_empty() && sched.cold.is_empty()
+                (sched.warm.len(), sched.cold.len())
             };
-            if conns.is_empty() && queues_empty && shared.in_flight.load(Ordering::SeqCst) == 0 {
+            let queues_empty = warm_depth == 0 && cold_depth == 0;
+            let in_flight = shared.in_flight.load(Ordering::SeqCst);
+            // Drain progress, once a second: the scheduler's queue depths
+            // and in-flight session count, so an operator watching a slow
+            // graceful shutdown can see it is actually moving.
+            if !(conns.is_empty() && queues_empty && in_flight == 0)
+                && last_drain_report.is_none_or(|at| at.elapsed() >= Duration::from_secs(1))
+            {
+                eprintln!(
+                    "[mtr-serve] draining: warm={warm_depth} cold={cold_depth} \
+                     in_flight={in_flight} connections={}",
+                    conns.len()
+                );
+                last_drain_report = Some(Instant::now());
+            }
+            if conns.is_empty() && queues_empty && in_flight == 0 {
                 // Wake the admission worker and any runner still parked
                 // on their condvars so they observe the flag and exit.
                 shared.admission_cv.notify_all();
@@ -738,6 +840,9 @@ fn handle_line(conn: &mut Conn, line: &str, shared: &Arc<Shared>, allow_remote_s
                 message: "duplicate hello".into(),
             }));
         }
+        (Stage::Idle, Request::Metrics) => {
+            conn.queue_text(metrics_response(shared));
+        }
         (Stage::Idle, Request::Shutdown) => {
             if allow_remote_shutdown {
                 conn.queue_text(protocol::bye_frame());
@@ -753,6 +858,68 @@ fn handle_line(conn: &mut Conn, line: &str, shared: &Arc<Shared>, allow_remote_s
         (Stage::Idle, Request::Enumerate(req)) => admit(conn, *req, shared),
         (Stage::Busy, _) => unreachable!("lines are not parsed while busy"),
     }
+}
+
+/// Builds the `metrics` response frame: the full observability registry
+/// (counters and gauges as numbers, histograms as
+/// `{count, sum, buckets: [[le, n], ...]}`), store-wide cache statistics,
+/// and the per-tenant request table. Rendered through [`Json`], so keys
+/// come out sorted and the frame is deterministic for a given state.
+fn metrics_response(shared: &Arc<Shared>) -> String {
+    use std::collections::BTreeMap;
+
+    let num = Json::Num;
+    let mut registry = BTreeMap::new();
+    for metric in mtr_obs::snapshot() {
+        let value = match metric.value {
+            mtr_obs::MetricValue::Counter(v) => num(v as f64),
+            mtr_obs::MetricValue::Gauge(v) => num(v as f64),
+            mtr_obs::MetricValue::Histogram(h) => {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|&(le, n)| Json::Arr(vec![num(le as f64), num(n as f64)]))
+                    .collect();
+                let mut obj = BTreeMap::new();
+                obj.insert("count".to_string(), num(h.count as f64));
+                obj.insert("sum".to_string(), num(h.sum as f64));
+                obj.insert("buckets".to_string(), Json::Arr(buckets));
+                Json::Obj(obj)
+            }
+        };
+        registry.insert(metric.name, value);
+    }
+
+    let stats = shared.store.stats();
+    let mut store = BTreeMap::new();
+    store.insert("entries".to_string(), num(stats.entries as f64));
+    store.insert("bytes".to_string(), num(stats.bytes as f64));
+    store.insert("hits".to_string(), num(stats.hits as f64));
+    store.insert("misses".to_string(), num(stats.misses as f64));
+    store.insert("publishes".to_string(), num(stats.publishes as f64));
+    store.insert("evictions".to_string(), num(stats.evictions as f64));
+    store.insert("disk_loads".to_string(), num(stats.disk_loads as f64));
+    store.insert("disk_errors".to_string(), num(stats.disk_errors as f64));
+
+    let tenants: BTreeMap<String, Json> = {
+        let table = shared
+            .tenant_metrics
+            .lock()
+            .expect("tenant metrics poisoned");
+        table
+            .iter()
+            .map(|(name, counter)| (name.clone(), num(counter.get() as f64)))
+            .collect()
+    };
+
+    let mut frame = BTreeMap::new();
+    frame.insert("frame".to_string(), Json::Str("metrics".to_string()));
+    frame.insert("metrics".to_string(), Json::Obj(registry));
+    frame.insert("store".to_string(), Json::Obj(store));
+    frame.insert("tenants".to_string(), Json::Obj(tenants));
+    let mut line = Json::Obj(frame).render();
+    line.push('\n');
+    line
 }
 
 /// Admission control, stage one (IO thread): validate and enforce
@@ -826,6 +993,8 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
         req.node_budget = Some(req.node_budget.map_or(cap, |v| v.min(cap)));
     }
 
+    serve_metrics().requests.incr();
+    shared.count_tenant_request(&req.tenant);
     let cancel = CancelFlag::new();
     let tenant = req.tenant.clone();
     let pending = Pending {
@@ -833,6 +1002,7 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
         out: Arc::clone(&conn.out),
         cancel: cancel.clone(),
         tenant,
+        accepted_at: mtr_obs::clock(),
     };
     {
         // Re-check the shutdown flag under the admission lock: the
@@ -903,7 +1073,9 @@ fn classify_and_enqueue(pending: Pending, shared: &Arc<Shared>) {
     // without perturbing the store. Only cached sessions can actually
     // hit the store, so direct requests are always cold.
     let warm = req.cache && {
-        let cost_id = named_cost(&req.cost).expect("validated at stage one").name();
+        let cost_id = named_cost(&req.cost)
+            .expect("validated at stage one")
+            .name();
         decompose(&graph, ReductionLevel::Full)
             .atoms
             .iter()
@@ -915,6 +1087,13 @@ fn classify_and_enqueue(pending: Pending, shared: &Arc<Shared>) {
                 })
             })
     };
+
+    let metrics = serve_metrics();
+    if warm {
+        metrics.warm.incr();
+    } else {
+        metrics.cold.incr();
+    }
 
     let accepted = format!(
         "{{\"frame\": \"accepted\", \"queue\": \"{}\"}}\n",
@@ -932,6 +1111,8 @@ fn classify_and_enqueue(pending: Pending, shared: &Arc<Shared>) {
         out: pending.out,
         cancel: pending.cancel,
         tenant: pending.tenant,
+        warm,
+        accepted_at: pending.accepted_at,
     };
     {
         let mut sched = shared.sched.lock().expect("scheduler poisoned");
@@ -964,9 +1145,22 @@ fn run_sessions(shared: &Arc<Shared>) {
     }
 }
 
+/// Nanoseconds in `d`, saturating at `u64::MAX`.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Runs one admitted session and streams its frames.
 fn run_one(job: &Job, shared: &Arc<Shared>) {
     let req = &job.req;
+    let queue = if job.warm { "warm" } else { "cold" };
+    let admission_wait = job.accepted_at.map(|at| at.elapsed());
+    if let Some(wait) = admission_wait {
+        serve_metrics().admission_wait_ns.record(duration_ns(wait));
+    }
+    let mut req_span = mtr_obs::span("serve.request");
+    req_span.attr("tenant", job.tenant.clone());
+    req_span.attr("queue", queue.to_string());
     if req.binary {
         job.out.push(&protocol::binary_stream_header());
     }
@@ -1000,9 +1194,11 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
     }
 
     let mut rank = 0u64;
+    let mut first_result: Option<Duration> = None;
     let out = Arc::clone(&job.out);
     let graph = &job.graph;
     let binary = req.binary;
+    let accepted_at = job.accepted_at;
     let mut emit = |r: mtr_core::RankedTriangulation| {
         let fill = graph.fill_edges_of(&r.triangulation);
         let ok = if binary {
@@ -1014,6 +1210,12 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
             // Count only frames actually delivered, so the done frame's
             // `results` field matches what the client received.
             rank += 1;
+            if first_result.is_none() {
+                first_result = accepted_at.map(|at| at.elapsed());
+                if let Some(latency) = first_result {
+                    serve_metrics().first_result_ns.record(duration_ns(latency));
+                }
+            }
             std::ops::ControlFlow::Continue(())
         } else {
             std::ops::ControlFlow::Break(())
@@ -1033,7 +1235,7 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
         session.drive(&mut emit)
     };
 
-    match outcome {
+    let stop_label = match outcome {
         Ok(report) => {
             let stop_reason = if report.stop_reason == StopReason::Stopped {
                 // The only Break in the callback is a disconnect.
@@ -1044,6 +1246,7 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
             let stats = report.stats.to_json(stop_reason);
             job.out
                 .push(protocol::done_frame(stop_reason, rank as usize, &stats).as_bytes());
+            stop_reason.to_string()
         }
         Err(e) => {
             job.out.push(
@@ -1053,9 +1256,41 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
                 })
                 .as_bytes(),
             );
+            "error".to_string()
+        }
+    };
+    job.out.finish();
+
+    if req_span.is_active() {
+        req_span.attr("results", rank.to_string());
+        req_span.attr("stop", stop_label.clone());
+    }
+    drop(req_span);
+
+    // The slow-request log: one stderr JSON line with the full timing
+    // breakdown whenever the first result took longer than the threshold
+    // (a request that produced no result is judged by its total time).
+    if let (Some(threshold), Some(at)) = (shared.slow_ms, job.accepted_at) {
+        let total = at.elapsed();
+        let first = first_result.unwrap_or(total);
+        if first >= Duration::from_millis(threshold) {
+            let ms = |d: Duration| d.as_nanos() as f64 / 1_000_000.0;
+            eprintln!(
+                concat!(
+                    "{{\"slow_request\": {{\"tenant\": \"{}\", \"queue\": \"{}\", ",
+                    "\"admission_wait_ms\": {:.3}, \"first_result_ms\": {:.3}, ",
+                    "\"total_ms\": {:.3}, \"results\": {}, \"stop_reason\": \"{}\"}}}}"
+                ),
+                crate::json::escape(&job.tenant),
+                queue,
+                ms(admission_wait.unwrap_or_default()),
+                ms(first),
+                ms(total),
+                rank,
+                stop_label,
+            );
         }
     }
-    job.out.finish();
 }
 
 /// Convenience: bind a TCP daemon on `127.0.0.1` with an ephemeral port

@@ -6,16 +6,17 @@
 //!                    [--top <k>] [--width-bound <b>] [--threads <t>]
 //!                    [--diverse <threshold>] [--deadline <secs>] [--node-budget <n>]
 //!                    [--reduce off|components|full] [--stats-json]
-//!                    [--emit-td <directory>] [--bounds]
+//!                    [--emit-td <directory>] [--bounds] [--trace-json <path>]
 //! mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]
 //! mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]
 //!           [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]
 //!           [--deadline-cap <secs>] [--node-budget-cap <n>] [--max-vertices <n>]
-//!           [--max-edges <m>] [--no-remote-shutdown]
+//!           [--max-edges <m>] [--no-remote-shutdown] [--slow-ms <ms>]
+//!           [--trace-json <path>]
 //! mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]
 //!           [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]
 //!           [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]
-//!           [--shutdown]
+//!           [--metrics] [--shutdown]
 //! ```
 //!
 //! The graph is read from a file, or from standard input when the path is
@@ -40,17 +41,20 @@
 //! Bad inputs exit with a non-zero status and a typed, line-numbered
 //! message (see [`EnumerationError`]) instead of panicking.
 
+use ranked_triangulations::cache::{self, AtomStore, StoreStats, DEFAULT_BYTE_BUDGET};
 use ranked_triangulations::chordal::{self, clique_tree, write_td};
 use ranked_triangulations::core::{
-    CachePolicy, Enumerate, EnumerationError, EnumerationRun, EnumerationStats, PruningPolicy,
+    Enumerate, EnumerationError, EnumerationRun, EnumerationStats, PruningPolicy,
     RankedTriangulation, SimilarityMeasure, StopReason,
 };
 use ranked_triangulations::graph::{io, Graph};
+use ranked_triangulations::obs;
 use ranked_triangulations::reduce::{decompose, EnumerateReduceExt, ReductionLevel};
 use ranked_triangulations::serve;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What the invocation asks for: ranked enumeration (the default) or an
@@ -79,6 +83,7 @@ struct Options {
     stats_json: bool,
     emit_td: Option<PathBuf>,
     bounds: bool,
+    trace_json: Option<PathBuf>,
 }
 
 /// Everything the CLI can fail with: flag misuse, or a typed enumeration
@@ -108,22 +113,26 @@ fn usage() -> &'static str {
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
      \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
      \x20          [--cache] [--cache-dir <directory>] [--no-prune]\n\
-     \x20          [--stats-json] [--emit-td <directory>] [--bounds]\n\
+     \x20          [--stats-json] [--emit-td <directory>] [--bounds] [--trace-json <path>]\n\
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
      \x20      mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]\n\
      \x20                [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]\n\
      \x20                [--deadline-cap <secs>] [--node-budget-cap <n>] [--max-vertices <n>]\n\
-     \x20                [--max-edges <m>] [--no-remote-shutdown]\n\
+     \x20                [--max-edges <m>] [--no-remote-shutdown] [--slow-ms <ms>]\n\
+     \x20                [--trace-json <path>]\n\
      \x20      mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]\n\
      \x20                [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]\n\
      \x20                [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]\n\
-     \x20                [--shutdown]\n\
+     \x20                [--metrics] [--shutdown]\n\
      \x20      --threads 0 auto-detects the hardware parallelism; with --reduce the\n\
      \x20      workers advance the per-atom streams, otherwise the partition expansions\n\
      \x20      --cache enables the canonical-form atom cache (requires --reduce);\n\
      \x20      --cache-dir additionally persists atom prefixes across runs\n\
      \x20      --no-prune disables incumbent-bounded branch pruning (on by default;\n\
-     \x20      pruning never changes the results, only the work performed)"
+     \x20      pruning never changes the results, only the work performed)\n\
+     \x20      --trace-json records every span and event as JSONL (see docs/OBSERVABILITY.md);\n\
+     \x20      --slow-ms logs requests whose first result took longer than the threshold;\n\
+     \x20      client --metrics prints the daemon's live introspection snapshot"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -158,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         stats_json: false,
         emit_td: None,
         bounds: false,
+        trace_json: None,
     };
     while let Some(flag) = it.next() {
         if mode == Mode::Atoms && !matches!(flag.as_str(), "--format" | "--reduce") {
@@ -226,6 +236,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--stats-json" => opts.stats_json = true,
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
+            "--trace-json" => opts.trace_json = Some(PathBuf::from(value("--trace-json")?)),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -299,7 +310,28 @@ fn emit_td(dir: &Path, index: usize, g: &Graph, r: &RankedTriangulation) -> Resu
     Ok(())
 }
 
-fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationError> {
+/// Resolves the atom store a cached session will use — the same instance
+/// the reduction layer would pick for the equivalent `CachePolicy` — so
+/// the CLI can report store-wide statistics after the run.
+fn resolve_store(opts: &Options) -> Result<Option<Arc<AtomStore>>, EnumerationError> {
+    if !opts.cache {
+        return Ok(None);
+    }
+    match &opts.cache_dir {
+        Some(dir) => AtomStore::persistent(dir, DEFAULT_BYTE_BUDGET)
+            .map(Some)
+            .map_err(|e| EnumerationError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            }),
+        None => Ok(Some(cache::global_store(DEFAULT_BYTE_BUDGET))),
+    }
+}
+
+fn enumerate(
+    g: &Graph,
+    opts: &Options,
+) -> Result<(EnumerationRun, Option<Arc<AtomStore>>), EnumerationError> {
     let mut session = Enumerate::on(g).cost_named(&opts.cost)?;
     if let Some(bound) = opts.width_bound {
         session = session.width_bound(bound);
@@ -314,25 +346,64 @@ fn enumerate(g: &Graph, opts: &Options) -> Result<EnumerationRun, EnumerationErr
     if let Some(nodes) = opts.node_budget {
         session = session.node_budget(nodes);
     }
-    if opts.cache {
-        session = session.cache(match &opts.cache_dir {
-            Some(dir) => CachePolicy::Dir(dir.clone()),
-            None => CachePolicy::in_memory(),
-        });
-    }
     if opts.no_prune {
         session = session.pruning(PruningPolicy::Off);
     }
     // `ReductionLevel::Off` transparently runs the direct engine, so the
-    // session can always go through the reduction layer.
-    session.reduce(opts.reduce).run()
+    // session can always go through the reduction layer. A cached session
+    // attaches the explicitly resolved store (rather than a CachePolicy)
+    // so `run()` can surface the store's statistics afterwards.
+    let store = resolve_store(opts)?;
+    let mut reduced = session.reduce(opts.reduce);
+    if let Some(store) = &store {
+        reduced = reduced.store(Arc::clone(store));
+    }
+    reduced.run().map(|run| (run, store))
+}
+
+/// Enables full tracing and attaches a JSONL sink at `path` (the
+/// `--trace-json` flag). The returned handle is flushed when the command
+/// finishes — the global sink registry keeps its own reference alive.
+fn setup_trace(path: &Path) -> Result<Arc<obs::JsonlSink>, CliError> {
+    let sink = obs::JsonlSink::create(path).map_err(|e| {
+        CliError::Enumeration(EnumerationError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    })?;
+    obs::install_sink(sink.clone());
+    obs::raise_level(obs::Level::Trace);
+    Ok(sink)
+}
+
+/// Renders store-wide statistics as a JSON object (the `"store"` key of
+/// `--stats-json` output).
+fn store_stats_json(stats: StoreStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"disk_errors\": {}}}",
+        stats.hits, stats.misses, stats.evictions, stats.disk_errors
+    )
 }
 
 /// Renders the run's statistics as a single JSON object (the `--stats-json`
 /// output). Delegates to [`EnumerationStats::to_json`], the shared
-/// serialization also emitted by the `mtr serve` daemon's stats frames.
-fn stats_json(stats: &EnumerationStats, stop_reason: StopReason) -> String {
-    stats.to_json(stop_reason)
+/// serialization also emitted by the `mtr serve` daemon's stats frames;
+/// a cached session additionally splices in the store-wide `"store"`
+/// object.
+fn stats_json(
+    stats: &EnumerationStats,
+    stop_reason: StopReason,
+    store: Option<StoreStats>,
+) -> String {
+    let base = stats.to_json(stop_reason);
+    match store {
+        None => base,
+        Some(s) => format!(
+            "{}, \"store\": {}}}",
+            base.strip_suffix('}').expect("stats render as an object"),
+            store_stats_json(s)
+        ),
+    }
 }
 
 /// Renders a vertex set compactly, eliding long lists.
@@ -404,10 +475,30 @@ fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
     for sep in &dec.clique_separators {
         println!("clique separator: {}", format_vertices(sep));
     }
+    // Store-wide health of the process-global atom store: in a fresh CLI
+    // process this is all zeros, but embedders inspecting decompositions
+    // mid-run (and the tests) see the live figures.
+    let s = cache::global_store(DEFAULT_BYTE_BUDGET).store_stats();
+    println!(
+        "atom store (process-wide): {} hits, {} misses, {} evictions, {} disk errors",
+        s.hits, s.misses, s.evictions, s.disk_errors
+    );
     Ok(())
 }
 
 fn run(opts: Options) -> Result<(), CliError> {
+    let trace_sink = match &opts.trace_json {
+        Some(path) => Some(setup_trace(path)?),
+        None => None,
+    };
+    let outcome = run_inner(&opts);
+    if let Some(sink) = trace_sink {
+        sink.flush();
+    }
+    outcome
+}
+
+fn run_inner(opts: &Options) -> Result<(), CliError> {
     let g = load_graph(&opts.input, opts.format.as_deref())?;
     println!(
         "graph: {} vertices, {} edges ({} components)",
@@ -417,7 +508,7 @@ fn run(opts: Options) -> Result<(), CliError> {
     );
 
     if opts.mode == Mode::Atoms {
-        return run_atoms(&g, &opts);
+        return run_atoms(&g, opts);
     }
 
     if opts.bounds {
@@ -429,7 +520,7 @@ fn run(opts: Options) -> Result<(), CliError> {
         );
     }
 
-    let run = enumerate(&g, &opts)?;
+    let (run, store) = enumerate(&g, opts)?;
     let stats = &run.stats;
     println!(
         "initialization: {} minimal separators, {} PMCs, {} full blocks ({:.2}s)",
@@ -466,8 +557,22 @@ fn run(opts: Options) -> Result<(), CliError> {
             }
         );
     }
+    if let Some(store) = &store {
+        let s = store.store_stats();
+        println!(
+            "atom store (store-wide): {} hits, {} misses, {} evictions, {} disk errors",
+            s.hits, s.misses, s.evictions, s.disk_errors
+        );
+    }
     if opts.stats_json {
-        println!("{}", stats_json(stats, run.stop_reason));
+        println!(
+            "{}",
+            stats_json(
+                stats,
+                run.stop_reason,
+                store.as_ref().map(|s| s.store_stats())
+            )
+        );
     }
     if !stats.preprocessing_complete {
         println!("deadline expired during initialization — no results");
@@ -537,6 +642,8 @@ struct ServeOptions {
     max_vertices: Option<u32>,
     max_edges: Option<usize>,
     allow_remote_shutdown: bool,
+    slow_ms: Option<u64>,
+    trace_json: Option<PathBuf>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -553,6 +660,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         max_vertices: serve::TenantQuota::default().max_vertices,
         max_edges: serve::TenantQuota::default().max_edges,
         allow_remote_shutdown: true,
+        slow_ms: None,
+        trace_json: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -599,6 +708,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 opts.max_edges = Some(int("--max-edges", value("--max-edges")?)? as usize)
             }
             "--no-remote-shutdown" => opts.allow_remote_shutdown = false,
+            "--slow-ms" => opts.slow_ms = Some(int("--slow-ms", value("--slow-ms")?)?),
+            "--trace-json" => opts.trace_json = Some(PathBuf::from(value("--trace-json")?)),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -609,6 +720,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
 }
 
 fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
+    let trace_sink = match &opts.trace_json {
+        Some(path) => Some(setup_trace(path)?),
+        None => None,
+    };
     let bind = match &opts.unix {
         Some(path) => serve::BindAddr::Unix(path.clone()),
         None => serve::BindAddr::Tcp(
@@ -631,6 +746,7 @@ fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
             max_edges: opts.max_edges,
         },
         allow_remote_shutdown: opts.allow_remote_shutdown,
+        slow_ms: opts.slow_ms,
     };
     let handle = serve::serve(&bind, config)
         .map_err(|e| CliError::Usage(format!("failed to bind the daemon: {e}")))?;
@@ -641,6 +757,9 @@ fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
     }
     println!("serving until a client sends a shutdown frame");
     handle.wait();
+    if let Some(sink) = trace_sink {
+        sink.flush();
+    }
     println!("mtr-serve drained all sessions and exited");
     Ok(())
 }
@@ -661,6 +780,7 @@ struct ClientOptions {
     cache: bool,
     binary: bool,
     stats_json: bool,
+    metrics: bool,
     shutdown: bool,
 }
 
@@ -682,6 +802,7 @@ fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
         cache: false,
         binary: false,
         stats_json: false,
+        metrics: false,
         shutdown: false,
     };
     while let Some(flag) = it.next() {
@@ -731,6 +852,7 @@ fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
             "--cache" => opts.cache = true,
             "--binary" => opts.binary = true,
             "--stats-json" => opts.stats_json = true,
+            "--metrics" => opts.metrics = true,
             "--shutdown" => opts.shutdown = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -748,13 +870,21 @@ fn run_client(opts: ClientOptions) -> Result<(), CliError> {
     }
     .map_err(|e| CliError::Usage(format!("failed to connect: {e}")))?;
 
-    // Bare `--shutdown` (the graph path is "-" by convention, or any
-    // placeholder): skip the enumeration and just drain the daemon.
-    if opts.shutdown && opts.input.as_os_str() == "-" {
-        client
-            .shutdown_server()
-            .map_err(|e| CliError::Usage(format!("shutdown failed: {e}")))?;
-        println!("daemon acknowledged shutdown");
+    // Bare `--metrics` / `--shutdown` (the graph path is "-" by
+    // convention): skip the enumeration entirely — query and/or drain.
+    if (opts.shutdown || opts.metrics) && opts.input.as_os_str() == "-" {
+        if opts.metrics {
+            let doc = client
+                .metrics()
+                .map_err(|e| CliError::Usage(format!("metrics query failed: {e}")))?;
+            println!("{}", doc.render());
+        }
+        if opts.shutdown {
+            client
+                .shutdown_server()
+                .map_err(|e| CliError::Usage(format!("shutdown failed: {e}")))?;
+            println!("daemon acknowledged shutdown");
+        }
         return Ok(());
     }
 
@@ -790,6 +920,12 @@ fn run_client(opts: ClientOptions) -> Result<(), CliError> {
     );
     if opts.stats_json {
         println!("{}", done.stats.render());
+    }
+    if opts.metrics {
+        let doc = client
+            .metrics()
+            .map_err(|e| CliError::Usage(format!("metrics query failed: {e}")))?;
+        println!("{}", doc.render());
     }
     if opts.shutdown {
         client
@@ -912,7 +1048,7 @@ mod tests {
                 (6, 0),
             ],
         );
-        let plain = enumerate(
+        let (plain, no_store) = enumerate(
             &g,
             &parse_args(&args(&[
                 "g", "--cost", "fill", "--top", "10", "--reduce", "full",
@@ -920,19 +1056,25 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
+        assert!(no_store.is_none(), "uncached runs attach no store");
         let opts = parse_args(&args(&[
             "g", "--cost", "fill", "--top", "10", "--reduce", "full", "--cache",
         ]))
         .unwrap();
-        let cached = enumerate(&g, &opts).unwrap();
+        let (cached, store) = enumerate(&g, &opts).unwrap();
+        let store = store.expect("--cache attaches the shared store");
         assert_eq!(cached.stats.atoms_deduped, 1);
         let plain_costs: Vec<_> = plain.results.iter().map(|r| r.cost).collect();
         let cached_costs: Vec<_> = cached.results.iter().map(|r| r.cost).collect();
         assert_eq!(plain_costs, cached_costs);
-        let json = stats_json(&cached.stats, cached.stop_reason);
+        let json = stats_json(&cached.stats, cached.stop_reason, Some(store.store_stats()));
         assert!(json.contains("\"atom_cache_hits\": "));
         assert!(json.contains("\"atoms_deduped\": 1"));
         assert!(json.contains("\"cache_bytes\": "));
+        // The store-wide satellite object rides along in --stats-json.
+        assert!(json.contains("\"store\": {\"hits\": "));
+        assert!(json.contains("\"disk_errors\": 0"));
+        assert!(json.ends_with("}}"));
     }
 
     #[test]
@@ -948,6 +1090,57 @@ mod tests {
         assert!(parse_args(&args(&["atoms", "g.gr", "--top", "3"])).is_err());
         assert!(parse_args(&args(&["atoms", "g.gr", "--stats-json"])).is_err());
         assert!(parse_args(&args(&["atoms", "g.gr", "--reduce", "off"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_observability_flags() {
+        let opts = parse_args(&args(&["g.gr", "--trace-json", "/tmp/trace.jsonl"])).unwrap();
+        assert_eq!(opts.trace_json, Some(PathBuf::from("/tmp/trace.jsonl")));
+        assert!(parse_args(&args(&["g.gr", "--trace-json"])).is_err());
+        let serve =
+            parse_serve_args(&args(&["--slow-ms", "250", "--trace-json", "/tmp/t.jsonl"])).unwrap();
+        assert_eq!(serve.slow_ms, Some(250));
+        assert_eq!(serve.trace_json, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert!(parse_serve_args(&args(&["--slow-ms", "soon"])).is_err());
+        let client = parse_client_args(&args(&["-", "--metrics"])).unwrap();
+        assert!(client.metrics);
+        assert!(usage().contains("--trace-json"));
+        assert!(usage().contains("--slow-ms"));
+        assert!(usage().contains("--metrics"));
+    }
+
+    #[test]
+    fn trace_json_writes_span_lines() {
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join("mtr_cli_trace_graph.gr");
+        std::fs::write(&graph_path, "p tw 4 4\n1 2\n2 3\n3 4\n4 1\n").unwrap();
+        let trace_path = dir.join("mtr_cli_trace_out.jsonl");
+        let opts = parse_args(&args(&[
+            graph_path.to_str().unwrap(),
+            "--cost",
+            "fill",
+            "--top",
+            "2",
+            "--trace-json",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        if let Err(e) = run(opts) {
+            panic!("traced run failed: {e}");
+        }
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            text.lines()
+                .any(|l| l.contains("\"name\":\"session.preprocess\"")),
+            "trace file should carry the preprocess span: {text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.contains("\"name\":\"session.emit\"")),
+            "trace file should carry the emit span: {text}"
+        );
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]
@@ -993,7 +1186,7 @@ mod tests {
     fn enumerate_applies_budgets() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let opts = parse_args(&args(&["g.gr", "--cost", "fill", "--top", "3"])).unwrap();
-        let run = enumerate(&g, &opts).unwrap();
+        let (run, _) = enumerate(&g, &opts).unwrap();
         assert_eq!(run.results.len(), 3);
         assert_eq!(run.stop_reason, StopReason::MaxResults);
     }
@@ -1014,12 +1207,12 @@ mod tests {
                 (6, 0),
             ],
         );
-        let direct = enumerate(
+        let (direct, _) = enumerate(
             &g,
             &parse_args(&args(&["g", "--cost", "fill", "--top", "10"])).unwrap(),
         )
         .unwrap();
-        let reduced = enumerate(
+        let (reduced, _) = enumerate(
             &g,
             &parse_args(&args(&[
                 "g", "--cost", "fill", "--top", "10", "--reduce", "full",
@@ -1037,8 +1230,8 @@ mod tests {
     fn stats_json_is_well_formed() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let opts = parse_args(&args(&["g.gr", "--cost", "fill", "--top", "2"])).unwrap();
-        let run = enumerate(&g, &opts).unwrap();
-        let json = stats_json(&run.stats, run.stop_reason);
+        let (run, _) = enumerate(&g, &opts).unwrap();
+        let json = stats_json(&run.stats, run.stop_reason, None);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cost\": \"fill-in\""));
         assert!(json.contains("\"results\": 2"));
@@ -1058,20 +1251,20 @@ mod tests {
     #[test]
     fn no_prune_flag_disables_pruning_without_changing_results() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
-        let pruned = enumerate(
+        let (pruned, _) = enumerate(
             &g,
             &parse_args(&args(&["g", "--cost", "fill", "--top", "5"])).unwrap(),
         )
         .unwrap();
         let opts = parse_args(&args(&["g", "--cost", "fill", "--top", "5", "--no-prune"])).unwrap();
         assert!(opts.no_prune);
-        let plain = enumerate(&g, &opts).unwrap();
+        let (plain, _) = enumerate(&g, &opts).unwrap();
         assert_eq!(plain.stats.nodes_pruned, 0);
         assert_eq!(plain.stats.incumbent_cost, None);
         let pruned_costs: Vec<_> = pruned.results.iter().map(|r| r.cost).collect();
         let plain_costs: Vec<_> = plain.results.iter().map(|r| r.cost).collect();
         assert_eq!(pruned_costs, plain_costs);
-        let json = stats_json(&plain.stats, plain.stop_reason);
+        let json = stats_json(&plain.stats, plain.stop_reason, None);
         assert!(json.contains("\"nodes_pruned\": 0"));
         assert!(json.contains("\"incumbent_cost\": null"));
     }
@@ -1081,7 +1274,7 @@ mod tests {
         let opts = parse_args(&args(&["g.gr", "--threads", "0"])).unwrap();
         assert_eq!(opts.threads, 0);
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
-        let run = enumerate(&g, &opts).unwrap();
+        let (run, _) = enumerate(&g, &opts).unwrap();
         let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
         assert_eq!(run.stats.effective_threads, detected);
         assert!(usage().contains("auto-detect"));
@@ -1117,10 +1310,10 @@ mod tests {
             "--stats-json",
         ]))
         .unwrap();
-        let run = enumerate(&g, &opts).unwrap();
+        let (run, _) = enumerate(&g, &opts).unwrap();
         assert_eq!(run.stats.atoms, 2);
         assert_eq!(run.stats.effective_threads, 2);
-        let json = stats_json(&run.stats, run.stop_reason);
+        let json = stats_json(&run.stats, run.stop_reason, None);
         assert!(json.contains("\"effective_threads\": 2"));
         assert!(json.contains("\"worker_tasks\": ["));
     }

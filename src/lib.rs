@@ -19,6 +19,7 @@
 //! | [`separators`] | `mtr-separators` | minimal separators, crossing relation, blocks, realizations |
 //! | [`pmc`] | `mtr-pmc` | potential maximal cliques (test + enumeration) |
 //! | [`core`] | `mtr-core` | bag costs, `MinTriang`, `RankedTriang`, proper-decomposition enumeration, CKK baseline |
+//! | [`obs`] | `mtr-obs` | zero-dependency metrics registry (counters, gauges, histograms) and span tracing |
 //! | [`cache`] | `mtr-cache` | content-addressed atom cache: canonical-form keyed ranked prefixes, LRU + on-disk backend |
 //! | [`reduce`] | `mtr-reduce` | safe reductions, clique-separator atom decomposition, factorized ranked enumeration |
 //! | [`workloads`] | `mtr-workloads` | dataset generators and the experiment harness |
@@ -117,6 +118,7 @@ pub use mtr_cache as cache;
 pub use mtr_chordal as chordal;
 pub use mtr_core as core;
 pub use mtr_graph as graph;
+pub use mtr_obs as obs;
 pub use mtr_pmc as pmc;
 pub use mtr_reduce as reduce;
 pub use mtr_separators as separators;

@@ -315,6 +315,87 @@ fn graceful_shutdown_drains_in_flight_sessions() {
     }
 }
 
+/// Live introspection: after serving traffic, the daemon answers a
+/// `metrics` frame with per-tenant request counts, the shared store's
+/// hit/miss totals, warm/cold classification counters, and a non-empty
+/// first-result latency histogram — all from the same connection a
+/// client streams results over.
+#[test]
+fn metrics_frame_reports_live_introspection() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 2,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    // Traffic: tenant `obs-a` sends the same cached request twice (cold
+    // then warm), tenant `obs-b` one direct request.
+    let g = decomposable::gnp_with_bridges(2, 6, 0.35, 42);
+    let mut cached = request_for(&g, "fill", true, None);
+    cached.tenant = "obs-a".into();
+    let (_, _, first_queue) = served_stream(&addr, &cached);
+    assert_eq!(first_queue, "cold");
+    let (_, _, repeat_queue) = served_stream(&addr, &cached);
+    assert_eq!(repeat_queue, "warm");
+    let small = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let mut direct = request_for(&small, "fill", false, Some(2));
+    direct.tenant = "obs-b".into();
+    served_stream(&addr, &direct);
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let doc = client.metrics().expect("metrics frame");
+
+    // Per-tenant request counts are exact: the tenant table is this
+    // daemon's own.
+    let tenant = |name: &str| {
+        doc.get("tenants")
+            .and_then(|t| t.get(name))
+            .and_then(|v| v.as_u64())
+    };
+    assert_eq!(tenant("obs-a"), Some(2), "got: {}", doc.render());
+    assert_eq!(tenant("obs-b"), Some(1), "got: {}", doc.render());
+
+    // The shared store saw the warm repeat.
+    let store = |field: &str| {
+        doc.get("store")
+            .and_then(|s| s.get(field))
+            .and_then(|v| v.as_u64())
+    };
+    assert!(store("hits").expect("store.hits") > 0);
+    assert!(store("misses").expect("store.misses") > 0);
+
+    // Registry counters and histograms (process-global, so other tests
+    // in this binary may have added to them — lower bounds only).
+    let metric = |name: &str| doc.get("metrics").and_then(|m| m.get(name));
+    let counter = |name: &str| metric(name).and_then(|v| v.as_u64());
+    assert!(counter("serve.warm").expect("serve.warm") >= 1);
+    assert!(counter("serve.cold").expect("serve.cold") >= 2);
+    assert!(counter("serve.requests").expect("serve.requests") >= 3);
+
+    let first_result = metric("serve.first_result_ns").expect("first-result histogram");
+    assert!(
+        first_result
+            .get("count")
+            .and_then(|v| v.as_u64())
+            .expect("count")
+            >= 3,
+        "every streamed request records a first-result latency"
+    );
+    let buckets = first_result
+        .get("buckets")
+        .and_then(|b| b.as_arr())
+        .expect("buckets array");
+    assert!(!buckets.is_empty(), "latency histogram must have samples");
+    for pair in buckets {
+        let pair = pair.as_arr().expect("bucket pair");
+        assert_eq!(pair.len(), 2, "buckets are [le, count] pairs");
+    }
+
+    handle.shutdown();
+}
+
 /// Version handshake: a mismatched hello is refused with a typed error,
 /// exactly like a version-skewed cache file reads as a miss.
 #[test]
