@@ -1,11 +1,12 @@
 //! The on-disk backend: one file per [`AtomKey`], length-prefixed binary
-//! with a versioned header.
+//! with a versioned, checksummed header.
 //!
 //! Layout (all integers little-endian):
 //!
 //! ```text
 //! magic      4 bytes   b"MTRA"
 //! version    u32       FORMAT_VERSION
+//! checksum   u64       FNV-1a 64 over every byte after this field
 //! key.graph  2 × u64   canonical key words (echoed for integrity)
 //! cost_len   u32
 //! cost_id    cost_len bytes (UTF-8)
@@ -16,11 +17,22 @@
 //! ```
 //!
 //! Readers reject anything that does not parse exactly: wrong magic, a
-//! different [`FORMAT_VERSION`], a key echo that does not match the
-//! requested key, or truncated payloads all yield a typed [`DiskError`] —
-//! the store above treats every such error as a cache miss, never as data.
-//! Writes go through a temp file + rename so concurrent readers only ever
-//! observe complete files.
+//! different [`FORMAT_VERSION`], a checksum that does not cover the
+//! payload (a torn or bit-rotted file), a key echo that does not match
+//! the requested key, or truncated payloads all yield a typed
+//! [`DiskError`] — the store above treats every such error as a cache
+//! miss, never as data. An unusable file is additionally **quarantined**:
+//! renamed to `<name>.corrupt` so it stops shadowing its slot and the
+//! next publish can re-create it (only genuine I/O errors leave the file
+//! in place). Writes go through a temp file + `sync_all` + rename + a
+//! parent-directory fsync, so a crash at any instant leaves either the
+//! old file, the new file, or a quarantinable partial — never silent
+//! garbage served as data.
+//!
+//! The `cache.disk.write` and `cache.disk.read` failpoints (`mtr-fault`)
+//! inject `DiskError::Io` at the seams where the real filesystem fails;
+//! `tests/chaos.rs` drives them to pin the warm ≡ cold ≡ direct
+//! equivalence under disk failure.
 
 use crate::store::{AtomKey, CacheEntry, CachedPrefix};
 use mtr_graph::CanonicalKey;
@@ -28,8 +40,8 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Version of the on-disk format. Bump on any layout change; readers
-/// reject other versions.
-pub const FORMAT_VERSION: u32 = 1;
+/// reject other versions. Version 2 added the payload checksum.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"MTRA";
 
@@ -49,6 +61,9 @@ pub enum DiskError {
     },
     /// The header's key echo does not match the requested key.
     KeyMismatch,
+    /// The stored checksum does not cover the payload bytes: the file was
+    /// torn mid-write or rotted at rest.
+    ChecksumMismatch,
     /// The payload is truncated or internally inconsistent.
     Corrupt(&'static str),
 }
@@ -63,6 +78,9 @@ impl std::fmt::Display for DiskError {
                 "atom cache format version {found} (this build reads {expected})"
             ),
             DiskError::KeyMismatch => f.write_str("cache file does not match the requested key"),
+            DiskError::ChecksumMismatch => {
+                f.write_str("atom cache file checksum mismatch (torn write or bit rot)")
+            }
             DiskError::Corrupt(what) => write!(f, "corrupt atom cache file: {what}"),
         }
     }
@@ -129,7 +147,17 @@ impl DiskBackend {
     }
 
     /// Loads the prefix stored for `key`; `Ok(None)` when no file exists.
+    ///
+    /// A file that exists but cannot be used — bad magic, version skew, a
+    /// failed checksum, a foreign key echo, or a malformed payload — is
+    /// quarantined to `<name>.corrupt` before the typed error is
+    /// returned, so the slot is immediately re-writable and the bad file
+    /// is kept (not destroyed) for forensics. Genuine I/O errors leave
+    /// the file alone: the data may be fine, the filesystem was not.
     pub fn load(&self, key: &AtomKey) -> Result<Option<CachedPrefix>, DiskError> {
+        if let Err(fault) = mtr_fault::check("cache.disk.read") {
+            return Err(DiskError::Io(std::io::Error::other(fault.to_string())));
+        }
         let path = self.path_of(key);
         let mut bytes = Vec::new();
         match std::fs::File::open(&path) {
@@ -137,32 +165,90 @@ impl DiskBackend {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        decode(key, &bytes).map(Some)
+        match decode(key, &bytes) {
+            Ok(prefix) => Ok(Some(prefix)),
+            Err(e @ DiskError::Io(_)) => Err(e),
+            Err(e) => {
+                self.quarantine(&path);
+                Err(e)
+            }
+        }
     }
 
-    /// Stores `prefix` under `key`, atomically (temp file + rename). The
-    /// temp name carries a process-wide counter besides the pid: two
-    /// threads of one process publishing the same key must not interleave
-    /// writes into a shared temp file.
+    /// Moves an unusable cache file aside to `<name>.corrupt`
+    /// (best-effort: a second corrupt generation overwrites the first;
+    /// a failed rename falls back to deletion so the bad file can never
+    /// keep shadowing its slot).
+    fn quarantine(&self, path: &Path) {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".corrupt");
+        if std::fs::rename(path, &target).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        quarantine_counter().incr();
+    }
+
+    /// Stores `prefix` under `key`, atomically and durably: temp file +
+    /// `sync_all` + rename, then an fsync of the parent directory so the
+    /// rename itself survives a crash. The temp name carries a
+    /// process-wide counter besides the pid: two threads of one process
+    /// publishing the same key must not interleave writes into a shared
+    /// temp file.
+    ///
+    /// Every failure — including `sync_all`, which used to be silently
+    /// discarded — is returned to the caller; the store above counts it
+    /// in `cache.disk_errors`.
     pub fn store(&self, key: &AtomKey, prefix: &CachedPrefix) -> Result<(), DiskError> {
         static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let path = self.path_of(key);
         let tmp = path.with_extension(format!("tmp{}-{}", std::process::id(), seq));
-        {
+        let written = (|| -> Result<(), DiskError> {
+            if let Err(fault) = mtr_fault::check("cache.disk.write") {
+                return Err(DiskError::Io(std::io::Error::other(fault.to_string())));
+            }
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(&encode(key, prefix))?;
-            f.sync_all().ok();
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)?;
+            Ok(())
+        })();
+        if let Err(e) = written {
+            // Never leave the temp generation behind on a failed publish.
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, &path)?;
-        Ok(())
+        // Durability of the rename: fsync the directory entry. The data
+        // already hit the disk above, so a failure here is counted (by
+        // the caller) but the freshly-renamed file stays in place.
+        let dir_sync = std::fs::File::open(&self.dir).and_then(|d| d.sync_all());
+        dir_sync.map_err(DiskError::Io)
     }
+}
+
+/// Counter of quarantined cache files (`cache.disk_quarantined`),
+/// resolved once per process like every other obs handle.
+fn quarantine_counter() -> &'static mtr_obs::Counter {
+    static QUARANTINED: std::sync::OnceLock<mtr_obs::Counter> = std::sync::OnceLock::new();
+    QUARANTINED.get_or_init(|| mtr_obs::counter("cache.disk_quarantined"))
+}
+
+/// FNV-1a 64 over `bytes` — the payload checksum of format version 2.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn encode(key: &AtomKey, prefix: &CachedPrefix) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // Checksum placeholder, patched once the payload is complete.
+    out.extend_from_slice(&[0u8; 8]);
     for w in key.graph.to_words() {
         out.extend_from_slice(&w.to_le_bytes());
     }
@@ -179,6 +265,8 @@ fn encode(key: &AtomKey, prefix: &CachedPrefix) -> Vec<u8> {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+    let checksum = fnv64(&out[16..]);
+    out[8..16].copy_from_slice(&checksum.to_le_bytes());
     out
 }
 
@@ -223,6 +311,12 @@ fn decode(key: &AtomKey, bytes: &[u8]) -> Result<CachedPrefix, DiskError> {
             found: version,
             expected: FORMAT_VERSION,
         });
+    }
+    let checksum = r.u64()?;
+    // Verified before any payload field is trusted: a torn or bit-rotted
+    // file fails here, not in some arbitrary later parse step.
+    if fnv64(&bytes[r.pos..]) != checksum {
+        return Err(DiskError::ChecksumMismatch);
     }
     let words = [r.u64()?, r.u64()?];
     let cost_len = r.u32()? as usize;
@@ -347,19 +441,71 @@ mod tests {
         backend.store(&key, &sample_prefix()).unwrap();
         let path = backend.path_of(&key);
         let bytes = std::fs::read(&path).unwrap();
-        // Truncation.
+        // Truncation: the checksum no longer covers the payload.
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        assert!(matches!(backend.load(&key), Err(DiskError::Corrupt(_))));
-        // Bad magic.
+        assert!(matches!(
+            backend.load(&key),
+            Err(DiskError::ChecksumMismatch)
+        ));
+        // Bad magic (checked before the checksum).
         let mut garbled = bytes.clone();
         garbled[0] = b'X';
         std::fs::write(&path, &garbled).unwrap();
         assert!(matches!(backend.load(&key), Err(DiskError::BadMagic)));
-        // Key echo mismatch (flip a canonical-hash byte).
-        let mut wrong_key = bytes.clone();
-        wrong_key[8] ^= 0xff;
-        std::fs::write(&path, &wrong_key).unwrap();
-        assert!(matches!(backend.load(&key), Err(DiskError::KeyMismatch)));
+        // A flipped payload byte (here: in the key echo) fails the
+        // checksum before any field is interpreted.
+        let mut flipped = bytes.clone();
+        flipped[16] ^= 0xff;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            backend.load(&key),
+            Err(DiskError::ChecksumMismatch)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_echo_mismatch_is_detected_on_checksum_valid_files() {
+        // A *well-formed* file of key A copied over key B's slot (valid
+        // checksum, foreign content) must still be rejected by the echo.
+        let dir = tmpdir("keyecho");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let a = sample_key();
+        let b = AtomKey {
+            graph: CanonicalKey::from_words([1, 2]),
+            ..a.clone()
+        };
+        backend.store(&a, &sample_prefix()).unwrap();
+        std::fs::copy(backend.path_of(&a), backend.path_of(&b)).unwrap();
+        assert!(matches!(backend.load(&b), Err(DiskError::KeyMismatch)));
+        assert_eq!(backend.load(&a).unwrap().unwrap(), sample_prefix());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unusable_files_are_quarantined_and_the_slot_recovers() {
+        let dir = tmpdir("quarantine");
+        let backend = DiskBackend::open(&dir).unwrap();
+        let key = sample_key();
+        backend.store(&key, &sample_prefix()).unwrap();
+        let path = backend.path_of(&key);
+        let bytes = std::fs::read(&path).unwrap();
+        // Tear the file, fail one load...
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(backend.load(&key).is_err());
+        // ...and the bad generation is moved aside, so the slot reads as
+        // a clean miss and the corpse is preserved for inspection.
+        assert!(!path.exists(), "quarantine must clear the slot");
+        let quarantined = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(".corrupt");
+            PathBuf::from(p)
+        };
+        assert!(quarantined.exists(), "bad file kept as .corrupt");
+        assert!(backend.load(&key).unwrap().is_none());
+        // Re-publishing heals the slot completely.
+        backend.store(&key, &sample_prefix()).unwrap();
+        assert_eq!(backend.load(&key).unwrap().unwrap(), sample_prefix());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -285,7 +285,7 @@ impl AtomStore {
 
     fn lookup_inner(&self, key: &AtomKey) -> Option<CachedPrefix> {
         {
-            let mut inner = self.inner.lock().expect("atom store poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             let tick = inner.touch();
             if let Some(slot) = inner.map.get_mut(key) {
                 slot.last_used = tick;
@@ -297,7 +297,7 @@ impl AtomStore {
         // Memory miss: try disk outside the lock (corrupt or
         // version-mismatched files read as misses — never as data).
         let from_disk = self.disk_read(key);
-        let mut inner = self.inner.lock().expect("atom store poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let tick = inner.touch();
         // The lock was released for the disk read, so another thread may
         // have inserted (or published a better prefix for) this key
@@ -342,7 +342,7 @@ impl AtomStore {
     /// made it warm.
     pub fn probe(&self, key: &AtomKey) -> bool {
         {
-            let inner = self.inner.lock().expect("atom store poisoned");
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             if inner.map.contains_key(key) {
                 return true;
             }
@@ -380,7 +380,7 @@ impl AtomStore {
             _ => prefix,
         };
         let updated = {
-            let mut inner = self.inner.lock().expect("atom store poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             let tick = inner.touch();
             let existing = inner.map.get(key);
             let improves = match existing {
@@ -419,7 +419,7 @@ impl AtomStore {
 
     /// Snapshot of the store's counters and sizes.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("atom store poisoned");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         CacheStats {
             entries: inner.map.len(),
             bytes: inner.total_bytes,

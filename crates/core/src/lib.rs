@@ -66,7 +66,7 @@ pub use cost::{named_cost, BagCost, Constrained, Constraints, CostValue, DynBagC
 pub use diverse::{Diversified, DiversityFilter, SimilarityMeasure};
 pub use mintriang::{min_triangulation, min_triangulation_in, Preprocessed, Triangulation};
 pub use parallel::ParallelRankedEnumerator;
-pub use pool::{resolve_threads, PoolStats, Scratch, WorkerPool};
+pub use pool::{panic_message, resolve_threads, PoolStats, Scratch, TaskPanic, WorkerPool};
 pub use properdec::{
     top_k_proper_decompositions, ProperDecompositionEnumerator, RankedDecomposition,
 };

@@ -199,7 +199,11 @@ impl Preprocessed {
                         }
                     })
                     .collect();
+                // These tasks run only workspace code (no user cost
+                // function), so a panic here is a bug, not tenant input;
+                // re-raise it on the calling thread with its message.
                 p.run_batch(tasks)
+                    .unwrap_or_else(|panic| std::panic::panic_any(panic.message))
             });
             chunked.into_iter().flatten().collect()
         } else {

@@ -91,6 +91,10 @@ pub struct ParallelRankedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     incumbent: Option<CostValue>,
     nodes_deferred: usize,
     cancel: Option<CancelFlag>,
+    /// First pool-task failure (panic or injected fault) observed by a
+    /// batch: iteration stops and the session layer surfaces it as a
+    /// typed error instead of a process-killing unwind.
+    failed: Option<String>,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
@@ -124,6 +128,7 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             incumbent: None,
             nodes_deferred: 0,
             cancel: None,
+            failed: None,
         }
     }
 
@@ -179,12 +184,24 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         self.queue.len()
     }
 
+    /// The message of the pool-task panic (or injected `pool.task` fault)
+    /// that aborted iteration, if one did. Once set, [`Iterator::next`]
+    /// keeps returning `None`: the emitted prefix stays a valid ranked
+    /// prefix, but the session must report the failure rather than
+    /// exhaustion.
+    pub fn failure(&self) -> Option<&str> {
+        self.failed.as_deref()
+    }
+
     /// Solves `MinTriang⟨κ[I, X]⟩` for a batch of constraint sets in
     /// parallel (one pool task each, each re-optimization drawing its
     /// `VertexSet` scratch from the worker's arena) and returns one slot per
     /// input in batch order — `None` where the constrained instance is
     /// infeasible or the optimum does not satisfy its constraints.
-    fn solve_batch(&self, batch: Vec<Constraints>) -> Vec<Option<(Triangulation, Constraints)>> {
+    fn solve_batch(
+        &mut self,
+        batch: Vec<Constraints>,
+    ) -> Vec<Option<(Triangulation, Constraints)>> {
         if batch.is_empty() {
             return Vec::new();
         }
@@ -203,6 +220,16 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         let solved = match &self.exec {
             Exec::Owned(threads) => pool::scoped(*threads, |p| p.run_batch(tasks)),
             Exec::Pooled(p) => p.run_batch(tasks),
+        };
+        let solved = match solved {
+            Ok(solved) => solved,
+            Err(panic) => {
+                // A cost-function panic (or injected fault) fails this
+                // *session*: record it, stop producing, keep the process —
+                // and every other session's pool workers — alive.
+                self.failed = Some(panic.message);
+                return Vec::new();
+            }
         };
         solved
             .into_iter()
@@ -321,6 +348,9 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
     type Item = RankedTriangulation;
 
     fn next(&mut self) -> Option<RankedTriangulation> {
+        if self.failed.is_some() {
+            return None;
+        }
         if !self.started {
             self.started = true;
             self.nodes_explored += 1;
@@ -337,8 +367,9 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
         }
         loop {
             // The demand boundary: checked between partition pops so a
-            // cancelled session never starts another expansion batch.
-            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            // cancelled (or batch-failed) session never starts another
+            // expansion batch.
+            if self.failed.is_some() || self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                 return None;
             }
             let entry = self.queue.pop()?;
@@ -354,6 +385,11 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
             // Computed once: shared by the expansion and the emitted result.
             let seps_of_h = minimal_separators(&best.graph);
             self.expand(&seps_of_h, &entry.constraints, entry.cost);
+            if self.failed.is_some() {
+                // The expansion batch died: `best` was computed, but the
+                // session is failing — do not emit a result past the fault.
+                return None;
+            }
             if !is_new {
                 self.duplicates_skipped += 1;
                 continue;

@@ -27,13 +27,15 @@
 //! let inputs: Vec<u64> = (0..100).collect();
 //! let sum: u64 = pool::scoped(4, |p| {
 //!     let tasks = inputs.iter().map(|&x| move |_s: &mut pool::Scratch| x * x);
-//!     p.run_batch(tasks.collect()).into_iter().sum()
+//!     let results = p.run_batch(tasks.collect()).expect("tasks do not panic");
+//!     results.into_iter().sum()
 //! });
 //! assert_eq!(sum, (0..100u64).map(|x| x * x).sum());
 //! ```
 
 use mtr_graph::VertexSet;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, OnceLock};
 
@@ -117,6 +119,62 @@ pub struct PoolStats {
     pub arena_bytes_reused: usize,
 }
 
+/// A task batch failed instead of completing: some task panicked (the
+/// unwind is caught on the worker, so the pool and the process survive)
+/// or an armed `pool.task` failpoint injected an error. Surfaced by the
+/// session layer as `EnumerationError::WorkerPanicked`, failing one
+/// session instead of the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload (or injected-fault message) of the first task
+    /// that failed.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a worker pool task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from
+/// [`std::panic::catch_unwind`]) as the human-readable message `panic!`
+/// was invoked with, falling back for exotic payload types.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(other) => match other.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Runs one task with panic containment and the `pool.task` failpoint:
+/// an injected fault (error *or* panic outcome) and a genuine unwind both
+/// come back as `Err(TaskPanic)`; neither escapes to the calling thread.
+fn run_contained<T>(
+    task: impl FnOnce(&mut Scratch) -> T,
+    scratch: &mut Scratch,
+) -> Result<T, TaskPanic> {
+    // The failpoint runs *inside* the unwind boundary so an injected
+    // panic is contained exactly like a real task panic (a worker thread
+    // must never unwind — its channel slot would go missing).
+    match catch_unwind(AssertUnwindSafe(|| {
+        mtr_fault::check("pool.task").map(|()| task(scratch))
+    })) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(fault)) => Err(TaskPanic {
+            message: fault.to_string(),
+        }),
+        Err(payload) => Err(TaskPanic {
+            message: panic_message(payload),
+        }),
+    }
+}
+
 type Task<'env> = Box<dyn FnOnce(&mut Scratch) + Send + 'env>;
 
 struct PoolState {
@@ -161,7 +219,12 @@ impl<'env> Shared<'env> {
         for k in 0..threads {
             let qi = (wi + k) % threads;
             let task = {
-                let mut q = self.queues[qi].lock().expect("pool queue poisoned");
+                // Tasks run outside every pool lock (unwinds are caught in
+                // the task wrapper), so a poisoned guard only means some
+                // *other* thread died mid-section; the deques and counters
+                // it protects are updated atomically under the lock and
+                // stay internally consistent — recover and continue.
+                let mut q = self.queues[qi].lock().unwrap_or_else(|e| e.into_inner());
                 if qi == wi {
                     q.pop_front()
                 } else {
@@ -169,7 +232,7 @@ impl<'env> Shared<'env> {
                 }
             };
             if let Some(task) = task {
-                self.state.lock().expect("pool state poisoned").pending -= 1;
+                self.state.lock().unwrap_or_else(|e| e.into_inner()).pending -= 1;
                 pool_metrics().queue_depth.add(-1);
                 return Some((task, qi));
             }
@@ -194,7 +257,10 @@ impl<'env> Shared<'env> {
     }
 
     fn shutdown(&self) {
-        self.state.lock().expect("pool state poisoned").shutdown = true;
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown = true;
         self.wakeup.notify_all();
     }
 }
@@ -206,7 +272,7 @@ fn worker_loop(shared: &Shared<'_>, wi: usize) {
             shared.run_task(wi, task, from, &mut scratch);
             continue;
         }
-        let mut state = shared.state.lock().expect("pool state poisoned");
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.shutdown {
                 return;
@@ -214,10 +280,7 @@ fn worker_loop(shared: &Shared<'_>, wi: usize) {
             if state.pending > 0 {
                 break;
             }
-            state = shared
-                .wakeup
-                .wait(state)
-                .expect("pool state poisoned while waiting");
+            state = shared.wakeup.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -277,15 +340,20 @@ impl<'env> WorkerPool<'env, '_> {
     /// too — with one thread, or a single task, this is plain inline
     /// execution.
     ///
-    /// Panics if a task panicked on a worker thread.
-    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    /// A panicking task does not take the process (or even the pool) down:
+    /// the unwind is caught where the task ran, every other task of the
+    /// batch still completes, the workers survive for later batches, and
+    /// the whole batch reports [`TaskPanic`] carrying the first panic's
+    /// message. The `pool.task` failpoint injects the same failure shape
+    /// for chaos tests.
+    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, TaskPanic>
     where
         T: Send + 'env,
         F: FnOnce(&mut Scratch) -> T + Send + 'env,
     {
         let n = tasks.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let threads = self.threads();
         if threads == 1 || n == 1 {
@@ -293,40 +361,50 @@ impl<'env> WorkerPool<'env, '_> {
                 .shared
                 .main_scratch
                 .lock()
-                .expect("pool scratch poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             self.shared.executed[0].fetch_add(n, Ordering::Relaxed);
             let metrics = pool_metrics();
             metrics.tasks.add(n as u64);
             let before = scratch.bytes_reused();
-            let out: Vec<T> = tasks
-                .into_iter()
-                .map(|t| {
-                    let started = mtr_obs::clock();
-                    let result = t(&mut scratch);
-                    metrics.task_ns.record_elapsed(started);
-                    result
-                })
-                .collect();
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            let mut failed: Option<TaskPanic> = None;
+            for t in tasks {
+                let started = mtr_obs::clock();
+                let result = run_contained(t, &mut scratch);
+                metrics.task_ns.record_elapsed(started);
+                match result {
+                    Ok(v) => out.push(v),
+                    Err(panic) => {
+                        // Finish nothing further: inline batches have no
+                        // concurrent siblings to wait for.
+                        failed = Some(panic);
+                        break;
+                    }
+                }
+            }
             self.shared
                 .arena_reused
                 .fetch_add(scratch.bytes_reused() - before, Ordering::Relaxed);
-            return out;
+            return match failed {
+                None => Ok(out),
+                Some(panic) => Err(panic),
+            };
         }
 
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, TaskPanic>)>();
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             for (i, task) in tasks.into_iter().enumerate() {
                 let tx = tx.clone();
                 let boxed: Task<'env> = Box::new(move |scratch| {
-                    let result = task(scratch);
-                    // The batch may have been abandoned by a panic elsewhere;
-                    // a closed channel is not this task's problem.
+                    let result = run_contained(task, scratch);
+                    // The batch may have been abandoned; a closed channel is
+                    // not this task's problem.
                     let _ = tx.send((i, result));
                 });
                 self.shared.queues[i % threads]
                     .lock()
-                    .expect("pool queue poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .push_back(boxed);
             }
             state.pending += n;
@@ -336,7 +414,20 @@ impl<'env> WorkerPool<'env, '_> {
         drop(tx);
 
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut failed: Option<TaskPanic> = None;
         let mut received = 0;
+        let take = |slot: &mut Option<T>,
+                    outcome: Result<T, TaskPanic>,
+                    failed: &mut Option<TaskPanic>| {
+            match outcome {
+                Ok(v) => *slot = Some(v),
+                Err(panic) => {
+                    if failed.is_none() {
+                        *failed = Some(panic);
+                    }
+                }
+            }
+        };
         while received < n {
             // Help with the batch from our own deque (and steal) before
             // blocking on results produced by the workers.
@@ -345,30 +436,40 @@ impl<'env> WorkerPool<'env, '_> {
                     .shared
                     .main_scratch
                     .lock()
-                    .expect("pool scratch poisoned");
+                    .unwrap_or_else(|e| e.into_inner());
                 self.shared.run_task(0, task, from, &mut scratch);
                 drop(scratch);
-                while let Ok((i, result)) = rx.try_recv() {
-                    results[i] = Some(result);
+                while let Ok((i, outcome)) = rx.try_recv() {
+                    take(&mut results[i], outcome, &mut failed);
                     received += 1;
                 }
             } else {
                 match rx.recv() {
-                    Ok((i, result)) => {
-                        results[i] = Some(result);
+                    Ok((i, outcome)) => {
+                        take(&mut results[i], outcome, &mut failed);
                         received += 1;
                     }
-                    // All senders gone with results missing: a worker task
-                    // panicked and its sender was dropped mid-unwind.
-                    Err(_) => break,
+                    // All senders gone with results missing: every unwind is
+                    // caught task-side, so this is unreachable in practice —
+                    // but a lost slot must fail the batch, never hang it.
+                    Err(_) => {
+                        if failed.is_none() {
+                            failed = Some(TaskPanic {
+                                message: "a batch result went missing".to_string(),
+                            });
+                        }
+                        break;
+                    }
                 }
             }
         }
-        assert!(received == n, "a worker pool task panicked");
-        results
+        if let Some(panic) = failed {
+            return Err(panic);
+        }
+        Ok(results
             .into_iter()
             .map(|r| r.expect("every batch slot is filled once received == n"))
-            .collect()
+            .collect())
     }
 }
 
@@ -423,7 +524,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let doubled: Vec<usize> = scoped(threads, |p| {
                 let tasks: Vec<_> = (0..64).map(|i| move |_s: &mut Scratch| i * 2).collect();
-                p.run_batch(tasks)
+                p.run_batch(tasks).expect("no task panics")
             });
             assert_eq!(doubled, (0..64).map(|i| i * 2).collect::<Vec<_>>());
         }
@@ -437,7 +538,10 @@ mod tests {
                 .chunks(7)
                 .map(|chunk| move |_s: &mut Scratch| chunk.iter().sum::<u64>())
                 .collect();
-            p.run_batch(tasks).into_iter().sum()
+            p.run_batch(tasks)
+                .expect("no task panics")
+                .into_iter()
+                .sum()
         });
         assert_eq!(total, data.iter().sum::<u64>());
     }
@@ -449,7 +553,7 @@ mod tests {
                 let tasks: Vec<_> = (0..16)
                     .map(|i| move |_s: &mut Scratch| round * 100 + i)
                     .collect();
-                let out = p.run_batch(tasks);
+                let out = p.run_batch(tasks).expect("no task panics");
                 assert_eq!(out.len(), 16);
                 assert_eq!(out[3], round * 100 + 3);
             }
@@ -461,7 +565,10 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        let out: Vec<u8> = scoped(2, |p| p.run_batch(Vec::<fn(&mut Scratch) -> u8>::new()));
+        let out: Vec<u8> = scoped(2, |p| {
+            p.run_batch(Vec::<fn(&mut Scratch) -> u8>::new())
+                .expect("empty batch cannot fail")
+        });
         assert!(out.is_empty());
     }
 
@@ -469,7 +576,10 @@ mod tests {
     fn single_thread_runs_inline_and_counts_tasks() {
         scoped(1, |p| {
             let tasks: Vec<_> = (0..5).map(|i| move |_s: &mut Scratch| i).collect();
-            assert_eq!(p.run_batch(tasks), vec![0, 1, 2, 3, 4]);
+            assert_eq!(
+                p.run_batch(tasks).expect("no task panics"),
+                vec![0, 1, 2, 3, 4]
+            );
             let stats = p.stats();
             assert_eq!(stats.threads, 1);
             assert_eq!(stats.worker_tasks, vec![5]);
@@ -505,11 +615,56 @@ mod tests {
                     }
                 })
                 .collect();
-            p.run_batch(tasks);
+            p.run_batch(tasks).expect("no task panics");
             p.stats()
         });
         assert_eq!(stats.worker_tasks.len(), 4);
         assert_eq!(stats.worker_tasks.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn panicking_task_fails_the_batch_and_spares_the_pool() {
+        type BoxedTask = Box<dyn FnOnce(&mut Scratch) -> usize + Send>;
+        for threads in [1, 2, 4] {
+            let err = scoped(threads, |p| {
+                let tasks: Vec<BoxedTask> = (0..8usize)
+                    .map(|i| {
+                        Box::new(move |_s: &mut Scratch| {
+                            if i == 3 {
+                                panic!("task {i} exploded");
+                            }
+                            i
+                        }) as BoxedTask
+                    })
+                    .collect();
+                let err = p.run_batch(tasks).expect_err("batch must fail");
+                // The workers caught the unwind: the same pool still
+                // serves later batches.
+                let again = p
+                    .run_batch(
+                        (0..4)
+                            .map(|i| move |_s: &mut Scratch| i)
+                            .collect::<Vec<_>>(),
+                    )
+                    .expect("pool survives a panicked batch");
+                assert_eq!(again, vec![0, 1, 2, 3]);
+                err
+            });
+            assert!(
+                err.message.contains("task 3 exploded"),
+                "threads = {threads}: unexpected message {:?}",
+                err.message
+            );
+            assert!(err.to_string().contains("worker pool task panicked"));
+        }
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let s = catch_unwind(|| panic!("plain {}", "formatted")).unwrap_err();
+        assert_eq!(panic_message(s), "plain formatted");
+        let s = catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(s), "non-string panic payload");
     }
 
     #[test]
@@ -535,7 +690,7 @@ mod tests {
                     }
                 })
                 .collect();
-            p.run_batch(tasks)
+            p.run_batch(tasks).expect("no task panics")
         });
         for (i, s) in advanced.iter().enumerate() {
             assert_eq!(s, &vec![i as u32, i as u32 + 10]);

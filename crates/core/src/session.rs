@@ -226,6 +226,11 @@ pub enum EnumerationError {
     /// so it must be chosen when the [`Preprocessed`] value is built (or by
     /// starting from the graph with [`Enumerate::on`]).
     WidthBoundOnPreprocessed,
+    /// A worker-pool task died mid-session — a panicking cost function or
+    /// an injected `pool.task` fault. The unwind was contained on its
+    /// worker (the pool, sibling sessions, and the process all survive);
+    /// the session that owned the batch fails with the panic's message.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for EnumerationError {
@@ -241,6 +246,9 @@ impl std::fmt::Display for EnumerationError {
             ),
             EnumerationError::InvalidDiversityThreshold(t) => {
                 write!(f, "diversity threshold {t} is outside [0, 1]")
+            }
+            EnumerationError::WorkerPanicked(message) => {
+                write!(f, "a worker task panicked: {message}")
             }
             EnumerationError::WidthBoundOnPreprocessed => write!(
                 f,
@@ -1040,7 +1048,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         session_metrics()
             .preprocess_ns
             .record(saturating_ns(stats.preprocessing));
-        let stop_reason = if threads > 1 {
+        let (stop_reason, engine_failure) = if threads > 1 {
             // One pool for the whole session: workers (and their scratch)
             // are spawned here and serve every expansion batch.
             pool::scoped(threads, |p| {
@@ -1069,7 +1077,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 // The parallel engine's scratch lives in the workers, so its
                 // arena savings are reported by the pool, not the engine.
                 stats.arena_bytes_reused += pool_stats.arena_bytes_reused;
-                stop_reason
+                (stop_reason, engine.failure())
             })
         } else {
             let mut inner = RankedEnumerator::new(pre, cost_ref);
@@ -1080,7 +1088,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 inner = inner.with_cancel(flag);
             }
             let mut engine: Engine<'_, '_, K> = Engine::Sequential(inner);
-            drive_engine(
+            let stop_reason = drive_engine(
                 &mut engine,
                 filter,
                 &mut stats,
@@ -1090,8 +1098,14 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 node_budget,
                 cancel.as_ref(),
                 on_result,
-            )
+            );
+            (stop_reason, engine.failure())
         };
+        if let Some(message) = engine_failure {
+            // The engine went quiet because a pool task died, not because
+            // the space was exhausted: fail the session, typed.
+            return Err(EnumerationError::WorkerPanicked(message));
+        }
         Ok(SessionReport { stats, stop_reason })
     }
 }
@@ -1126,6 +1140,14 @@ pub trait SessionEngine {
     /// session adds the pool's figure).
     fn arena_bytes_reused(&self) -> usize {
         0
+    }
+    /// The message of a contained worker-pool task failure that aborted
+    /// the engine, if one did. An engine that failed returns `None` from
+    /// [`SessionEngine::next_result`] (the emitted prefix stays valid);
+    /// the session checks this afterwards and converts the apparent
+    /// exhaustion into [`EnumerationError::WorkerPanicked`].
+    fn failure(&self) -> Option<String> {
+        None
     }
 }
 
@@ -1279,6 +1301,15 @@ impl<K: BagCost + Sync + ?Sized> SessionEngine for Engine<'_, '_, K> {
             Engine::Sequential(e) => e.arena_bytes_reused(),
             // Reported by the worker pool (see the session's parallel path).
             Engine::Parallel(_) => 0,
+        }
+    }
+
+    fn failure(&self) -> Option<String> {
+        match self {
+            // The sequential engine runs inline: a panic there propagates
+            // on the calling thread and is the caller's to catch.
+            Engine::Sequential(_) => None,
+            Engine::Parallel(e) => e.failure().map(str::to_string),
         }
     }
 }

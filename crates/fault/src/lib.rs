@@ -1,0 +1,548 @@
+//! `mtr-fault`: a deterministic, seeded failpoint registry for
+//! chaos-testing the ranked-triangulations workspace.
+//!
+//! Production code declares **named failpoints** at the seams where real
+//! systems fail — disk writes, disk reads, session execution, pool tasks —
+//! by calling [`check`]:
+//!
+//! ```
+//! fn write_payload() -> Result<(), mtr_fault::FaultError> {
+//!     mtr_fault::check("demo.disk.write")?; // no-op unless armed
+//!     // ... the real write ...
+//!     Ok(())
+//! }
+//! ```
+//!
+//! With no faults configured (the default, and the only state production
+//! ever runs in) every [`check`] is a **single relaxed atomic load** and
+//! an untaken branch — the same zero-cost gate pattern as
+//! `mtr_obs::Level`. No locks, no allocation, no clock reads.
+//! `crates/bench/benches/fault_overhead.rs` pins this.
+//!
+//! Tests and the `--fault <spec>` CLI flag arm points with an
+//! [`Outcome`]:
+//!
+//! * `error` — [`check`] returns [`FaultError`], which the call site maps
+//!   into its own typed error (an `io::Error` for the disk cache, an
+//!   `EnumerationError` for the pool);
+//! * `panic` — [`check`] panics with a recognizable message, exercising
+//!   `catch_unwind` isolation paths;
+//! * `delay:<ms>` — [`check`] sleeps, then succeeds, exercising timeout
+//!   and watchdog paths;
+//! * `fail:<k>` — the first `k` evaluations return [`FaultError`], then
+//!   the point succeeds forever, exercising retry convergence.
+//!
+//! An outcome may carry a trigger probability (`error%25`), drawn from a
+//! seeded xorshift generator ([`set_seed`]) so probabilistic chaos runs
+//! are **reproducible**: same seed, same spec, same traffic order — same
+//! faults.
+//!
+//! The registry is process-global, like the `mtr-obs` level: tests that
+//! arm faults must serialize with each other and [`clear_all`] when done.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Fast-path gate: `true` only while at least one failpoint is armed.
+/// Kept in lockstep with the registry map so the disabled path never
+/// touches the mutex.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// What an armed failpoint injects when evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every evaluation returns a [`FaultError`].
+    Error,
+    /// Every evaluation panics (message contains the point name and
+    /// `"injected panic"`).
+    Panic,
+    /// Every evaluation sleeps this many milliseconds, then succeeds.
+    Delay(u64),
+    /// The first `k` evaluations return [`FaultError`]; later ones
+    /// succeed. `fail:0` is equivalent to an unarmed point.
+    FailFirstK(u64),
+}
+
+/// The typed error an `error`/`fail:<k>` failpoint injects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultError {
+    /// Name of the failpoint that fired.
+    pub point: String,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at failpoint '{}'", self.point)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// One armed point: its outcome, optional trigger probability, and
+/// remaining-failure budget for `fail:<k>`.
+#[derive(Clone, Debug)]
+struct Point {
+    outcome: Outcome,
+    /// Trigger probability in percent (1..=100). 100 = always.
+    percent: u8,
+    /// Remaining injected failures for [`Outcome::FailFirstK`].
+    remaining: u64,
+    /// Times this point actually injected a fault (error, panic, or
+    /// delay) — not mere evaluations.
+    trips: u64,
+}
+
+struct Registry {
+    points: HashMap<String, Point>,
+    /// xorshift64 state for probabilistic triggers; never zero.
+    rng: u64,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(Registry {
+            points: HashMap::new(),
+            rng: 0x9e37_79b9_7f4a_7c15,
+        })
+    })
+    .lock()
+    // A panicking failpoint never unwinds while holding this lock
+    // (the panic happens after the guard is dropped), but a chaos test
+    // asserting inside a configure/clear window might; the map is
+    // always internally consistent, so recover.
+    .unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// xorshift64 step; deterministic for a given seed.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+/// `true` while at least one failpoint is armed. This is the single
+/// relaxed load the disabled fast path performs.
+#[inline]
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Evaluates the named failpoint.
+///
+/// Unarmed (the production state): one relaxed atomic load, returns
+/// `Ok(())`. Armed: injects the configured [`Outcome`] — returns
+/// `Err(FaultError)`, panics, or sleeps then returns `Ok(())`.
+#[inline]
+pub fn check(name: &str) -> Result<(), FaultError> {
+    if !enabled() {
+        return Ok(());
+    }
+    check_armed(name)
+}
+
+/// Slow path, split out so the armed branch never inlines into hot loops.
+#[cold]
+fn check_armed(name: &str) -> Result<(), FaultError> {
+    let action = {
+        let mut reg = registry();
+        let Some(point) = reg.points.get(name).cloned() else {
+            return Ok(());
+        };
+        if point.percent < 100 {
+            let draw = (reg.next_u64() % 100) as u8;
+            if draw >= point.percent {
+                return Ok(());
+            }
+        }
+        let point = reg
+            .points
+            .get_mut(name)
+            .expect("point present: map unchanged since lookup");
+        match point.outcome {
+            Outcome::Error => {
+                point.trips += 1;
+                Action::Error
+            }
+            Outcome::Panic => {
+                point.trips += 1;
+                Action::Panic
+            }
+            Outcome::Delay(ms) => {
+                point.trips += 1;
+                Action::Delay(ms)
+            }
+            Outcome::FailFirstK(_) => {
+                if point.remaining > 0 {
+                    point.remaining -= 1;
+                    point.trips += 1;
+                    Action::Error
+                } else {
+                    Action::Proceed
+                }
+            }
+        }
+    }; // registry lock released before we sleep or panic
+    match action {
+        Action::Proceed => Ok(()),
+        Action::Error => Err(FaultError { point: name.into() }),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Action::Panic => panic!("failpoint '{name}': injected panic"),
+    }
+}
+
+/// What [`check_armed`] decided under the lock, executed after release.
+enum Action {
+    Proceed,
+    Error,
+    Delay(u64),
+    Panic,
+}
+
+/// Arms `name` with `outcome`, triggering on every evaluation.
+pub fn configure(name: &str, outcome: Outcome) {
+    configure_with(name, outcome, 100);
+}
+
+/// Arms `name` with `outcome`, triggering on `percent`% of evaluations
+/// (drawn from the seeded generator; clamped to 1..=100).
+pub fn configure_with(name: &str, outcome: Outcome, percent: u8) {
+    let percent = percent.clamp(1, 100);
+    let remaining = match outcome {
+        Outcome::FailFirstK(k) => k,
+        _ => 0,
+    };
+    let mut reg = registry();
+    reg.points.insert(
+        name.to_string(),
+        Point {
+            outcome,
+            percent,
+            remaining,
+            trips: 0,
+        },
+    );
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms one failpoint. The global gate stays armed while any other
+/// point remains.
+pub fn clear(name: &str) {
+    let mut reg = registry();
+    reg.points.remove(name);
+    if reg.points.is_empty() {
+        ARMED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Disarms every failpoint and restores the zero-cost disabled state.
+pub fn clear_all() {
+    let mut reg = registry();
+    reg.points.clear();
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Reseeds the probabilistic-trigger generator. Zero is mapped to a
+/// fixed non-zero constant (xorshift has no zero state).
+pub fn set_seed(seed: u64) {
+    let mut reg = registry();
+    reg.rng = if seed == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        seed
+    };
+}
+
+/// How many times `name` actually injected a fault (not evaluations
+/// that passed). Zero for unarmed points.
+pub fn trips(name: &str) -> u64 {
+    registry().points.get(name).map_or(0, |p| p.trips)
+}
+
+/// Names of all currently armed failpoints, sorted.
+pub fn armed_points() -> Vec<String> {
+    let reg = registry();
+    let mut names: Vec<String> = reg.points.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// A malformed `--fault` spec, with a message suitable for CLI usage
+/// errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses and applies a `--fault` spec string.
+///
+/// Grammar (comma-separated entries):
+///
+/// ```text
+/// spec    := entry (',' entry)*
+/// entry   := 'seed=' u64
+///          | point '=' outcome ('%' percent)?
+/// outcome := 'error' | 'panic' | 'delay:' ms | 'fail:' k
+/// ```
+///
+/// Examples: `cache.disk.write=error`, `pool.task=panic`,
+/// `serve.session.run=delay:50`, `cache.disk.read=fail:3`,
+/// `seed=42,cache.disk.write=error%25`.
+pub fn apply_spec(spec: &str) -> Result<(), SpecError> {
+    // Parse fully before arming anything: a bad entry must not leave a
+    // half-applied spec behind.
+    let mut seed: Option<u64> = None;
+    let mut parsed: Vec<(String, Outcome, u8)> = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, value) = entry
+            .split_once('=')
+            .ok_or_else(|| SpecError(format!("'{entry}' is not 'point=outcome'")))?;
+        let (name, value) = (name.trim(), value.trim());
+        if name.is_empty() {
+            return Err(SpecError(format!("'{entry}' has an empty point name")));
+        }
+        if name == "seed" {
+            let s: u64 = value
+                .parse()
+                .map_err(|_| SpecError(format!("seed '{value}' is not a u64")))?;
+            seed = Some(s);
+            continue;
+        }
+        let (value, percent) = match value.split_once('%') {
+            Some((v, p)) => {
+                let pct: u8 = p
+                    .parse()
+                    .ok()
+                    .filter(|pct| (1..=100).contains(pct))
+                    .ok_or_else(|| {
+                        SpecError(format!("percent '{p}' must be an integer in 1..=100"))
+                    })?;
+                (v.trim(), pct)
+            }
+            None => (value, 100),
+        };
+        let outcome = match value.split_once(':') {
+            None => match value {
+                "error" => Outcome::Error,
+                "panic" => Outcome::Panic,
+                other => {
+                    return Err(SpecError(format!(
+                        "unknown outcome '{other}' (expected error, panic, delay:<ms>, fail:<k>)"
+                    )))
+                }
+            },
+            Some(("delay", ms)) => {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| SpecError(format!("delay '{ms}' is not a u64 of milliseconds")))?;
+                Outcome::Delay(ms)
+            }
+            Some(("fail", k)) => {
+                let k: u64 = k
+                    .parse()
+                    .map_err(|_| SpecError(format!("fail count '{k}' is not a u64")))?;
+                Outcome::FailFirstK(k)
+            }
+            Some((other, _)) => {
+                return Err(SpecError(format!(
+                    "unknown outcome '{other}' (expected error, panic, delay:<ms>, fail:<k>)"
+                )))
+            }
+        };
+        parsed.push((name.to_string(), outcome, percent));
+    }
+    if parsed.is_empty() && seed.is_none() {
+        return Err(SpecError("spec is empty".into()));
+    }
+    if let Some(s) = seed {
+        set_seed(s);
+    }
+    for (name, outcome, percent) in parsed {
+        configure_with(&name, outcome, percent);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests serialize on one lock
+    /// (same idiom as `mtr-obs`).
+    fn guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_check_is_ok_and_gate_is_cold() {
+        let _g = guard();
+        clear_all();
+        assert!(!enabled());
+        assert!(check("test.nothing").is_ok());
+        assert_eq!(trips("test.nothing"), 0);
+    }
+
+    #[test]
+    fn error_outcome_returns_typed_fault() {
+        let _g = guard();
+        clear_all();
+        configure("test.err", Outcome::Error);
+        assert!(enabled());
+        let e = check("test.err").unwrap_err();
+        assert_eq!(e.point, "test.err");
+        assert!(e.to_string().contains("test.err"));
+        // Other points are unaffected.
+        assert!(check("test.other").is_ok());
+        assert_eq!(trips("test.err"), 1);
+        clear_all();
+        assert!(check("test.err").is_ok());
+    }
+
+    #[test]
+    fn panic_outcome_panics_with_point_name() {
+        let _g = guard();
+        clear_all();
+        configure("test.boom", Outcome::Panic);
+        let caught = std::panic::catch_unwind(|| check("test.boom"));
+        clear_all();
+        let msg = *caught
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("test.boom") && msg.contains("injected panic"));
+    }
+
+    #[test]
+    fn delay_outcome_sleeps_then_succeeds() {
+        let _g = guard();
+        clear_all();
+        configure("test.slow", Outcome::Delay(20));
+        let t0 = std::time::Instant::now();
+        assert!(check("test.slow").is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(trips("test.slow"), 1);
+        clear_all();
+    }
+
+    #[test]
+    fn fail_first_k_then_succeeds_forever() {
+        let _g = guard();
+        clear_all();
+        configure("test.flaky", Outcome::FailFirstK(3));
+        for _ in 0..3 {
+            assert!(check("test.flaky").is_err());
+        }
+        for _ in 0..10 {
+            assert!(check("test.flaky").is_ok());
+        }
+        assert_eq!(trips("test.flaky"), 3);
+        clear_all();
+    }
+
+    #[test]
+    fn percent_triggers_are_seeded_and_reproducible() {
+        let _g = guard();
+        clear_all();
+        let run = || {
+            set_seed(42);
+            configure_with("test.maybe", Outcome::Error, 30);
+            let pattern: Vec<bool> = (0..64).map(|_| check("test.maybe").is_err()).collect();
+            clear_all();
+            pattern
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce the same trigger pattern");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            fired > 0 && fired < 64,
+            "30% trigger should fire sometimes but not always (fired {fired}/64)"
+        );
+    }
+
+    #[test]
+    fn clear_single_point_keeps_others_armed() {
+        let _g = guard();
+        clear_all();
+        configure("test.a", Outcome::Error);
+        configure("test.b", Outcome::Error);
+        clear("test.a");
+        assert!(enabled(), "one point still armed");
+        assert!(check("test.a").is_ok());
+        assert!(check("test.b").is_err());
+        clear("test.b");
+        assert!(!enabled(), "last clear disarms the gate");
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let _g = guard();
+        clear_all();
+        apply_spec("seed=7, cache.w=error%50 ,pool.t=panic,s.run=delay:5,c.r=fail:2")
+            .expect("valid spec");
+        assert_eq!(
+            armed_points(),
+            vec![
+                "c.r".to_string(),
+                "cache.w".into(),
+                "pool.t".into(),
+                "s.run".into()
+            ]
+        );
+        assert!(check("c.r").is_err());
+        assert!(check("c.r").is_err());
+        assert!(check("c.r").is_ok(), "fail:2 exhausted");
+        clear_all();
+    }
+
+    #[test]
+    fn spec_errors_are_descriptive_and_atomic() {
+        let _g = guard();
+        clear_all();
+        for (spec, needle) in [
+            ("", "empty"),
+            ("no-equals", "not 'point=outcome'"),
+            ("p=warp", "unknown outcome"),
+            ("p=delay:soon", "not a u64"),
+            ("p=fail:-1", "not a u64"),
+            ("p=error%0", "1..=100"),
+            ("p=error%101", "1..=100"),
+            ("seed=abc", "not a u64"),
+            ("=error", "empty point name"),
+            ("good=error,bad=nope", "unknown outcome"),
+        ] {
+            let err = apply_spec(spec).expect_err(spec);
+            assert!(
+                err.to_string().contains(needle),
+                "spec {spec:?}: error {err} should mention {needle:?}"
+            );
+        }
+        // The trailing case had one valid entry before the bad one:
+        // nothing may have been armed.
+        assert!(!enabled(), "failed spec must not arm any point");
+    }
+}

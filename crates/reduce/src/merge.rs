@@ -515,6 +515,12 @@ pub(crate) struct FactorizedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     incumbent: Option<CostValue>,
     nodes_deferred: usize,
     cancel: Option<CancelFlag>,
+    /// First pool-task failure (contained panic or injected fault) seen by
+    /// a stream-advancing batch. Once set the merge stops producing: the
+    /// batch consumed stream slots it can no longer restore, so every
+    /// later demand would be unsound — the session surfaces the typed
+    /// failure instead.
+    failed: Option<String>,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
@@ -549,6 +555,7 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
             incumbent: None,
             nodes_deferred: 0,
             cancel: None,
+            failed: None,
         }
     }
 
@@ -680,8 +687,18 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
                 }
             })
             .collect();
-        for (g, stream) in pool.run_batch(tasks) {
-            self.streams[g] = Some(stream);
+        match pool.run_batch(tasks) {
+            Ok(advanced) => {
+                for (g, stream) in advanced {
+                    self.streams[g] = Some(stream);
+                }
+            }
+            Err(panic) => {
+                // The batch's stream slots are unrecoverable (they moved
+                // into the dead tasks); record the failure and let `next`
+                // refuse further work before any slot is dereferenced.
+                self.failed = Some(panic.message);
+            }
         }
     }
 
@@ -759,6 +776,9 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
             .map(|(i, &j)| (i, j as usize))
             .collect();
         self.ensure_batch(&wanted);
+        if self.failed.is_some() {
+            return;
+        }
         if let Some(cost) = self.combined_cost(&entry.tuple) {
             debug_assert!(
                 cost >= entry.cost,
@@ -808,6 +828,9 @@ impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
     type Item = RankedTriangulation;
 
     fn next(&mut self) -> Option<RankedTriangulation> {
+        if self.failed.is_some() {
+            return None;
+        }
         if !self.started {
             self.started = true;
             // The all-zeros tuple: every atom's optimum. For the empty
@@ -816,12 +839,16 @@ impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
             // the per-group optima are computed concurrently first.
             let first: Vec<(usize, usize)> = (0..self.members.len()).map(|i| (i, 0)).collect();
             self.ensure_batch(&first);
+            if self.failed.is_some() {
+                return None;
+            }
             self.push_tuple(vec![0; self.members.len()]);
         }
         loop {
             // The merge's demand boundary: between tuple pops, so a
-            // cancelled session never prices or materializes another tuple.
-            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            // cancelled (or batch-failed) session never prices or
+            // materializes another tuple.
+            if self.failed.is_some() || self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                 return None;
             }
             let entry = self.heap.pop()?;
@@ -847,6 +874,9 @@ impl<K: BagCost + Sync + ?Sized> Iterator for FactorizedEnumerator<'_, '_, K> {
                     .map(|(i, &j)| (i, j as usize + 1))
                     .collect();
                 self.ensure_batch(&wanted);
+                if self.failed.is_some() {
+                    return None;
+                }
             }
             let result = self.materialize(&entry);
             for i in 0..entry.tuple.len() {
@@ -895,5 +925,9 @@ impl<K: BagCost + Sync + ?Sized> mtr_core::SessionEngine for FactorizedEnumerato
 
     fn arena_bytes_reused(&self) -> usize {
         self.arena_bytes_reused()
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.failed.clone()
     }
 }

@@ -501,7 +501,10 @@ where
                     }
                 })
                 .collect();
-            for (g, built) in p.run_batch(tasks) {
+            let built_streams = p
+                .run_batch(tasks)
+                .map_err(|panic| EnumerationError::WorkerPanicked(panic.message))?;
+            for (g, built) in built_streams {
                 match built {
                     Ok(stream) => slots[g] = Some(stream),
                     Err(AtomInitAborted) => return Ok(aborted_init(&started)),
@@ -571,6 +574,11 @@ where
         config.cancel.as_ref(),
         on_result,
     );
+    if let Some(message) = mtr_core::SessionEngine::failure(&engine) {
+        // A stream-advancing batch died and took its stream slots with it:
+        // nothing below (publishing included) is sound. Fail typed.
+        return Err(EnumerationError::WorkerPanicked(message));
+    }
     if let Some(store) = &setup.store {
         // Publish everything the streams learned (cold computation and
         // speculative prefetch alike), then refresh the resident size.

@@ -171,9 +171,7 @@ impl Client {
         if req.binary {
             let mut header = [0u8; 8];
             self.reader.read_exact(&mut header)?;
-            if &header[..4] != WIRE_MAGIC
-                || u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) != WIRE_VERSION
-            {
+            if &header[..4] != WIRE_MAGIC || le_u32(&header[4..8])? != WIRE_VERSION {
                 return Err(ClientError::Protocol("bad binary stream header".into()));
             }
         }
@@ -182,7 +180,13 @@ impl Client {
             if req.binary && self.peek_byte()? == FRAME_RESULT_BINARY {
                 let mut tag_len = [0u8; 5];
                 self.reader.read_exact(&mut tag_len)?;
-                let len = u32::from_le_bytes(tag_len[1..5].try_into().expect("4 bytes")) as usize;
+                let len = le_u32(&tag_len[1..5])? as usize;
+                if len > MAX_BINARY_FRAME {
+                    return Err(ClientError::Protocol(format!(
+                        "binary result frame claims {len} bytes (cap {MAX_BINARY_FRAME}) — \
+                         corrupt stream"
+                    )));
+                }
                 let mut payload = vec![0u8; len];
                 self.reader.read_exact(&mut payload)?;
                 let (rank, cost, fill) = protocol::decode_binary_result(&payload)
@@ -316,6 +320,108 @@ impl Client {
                 ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ))),
+        }
+    }
+}
+
+/// Sanity cap on a binary result frame's claimed payload length — a torn
+/// or corrupt stream must fail with a typed protocol error, not a
+/// multi-gigabyte allocation.
+const MAX_BINARY_FRAME: usize = 1 << 26;
+
+/// Decodes a 4-byte little-endian length/version field, turning a
+/// short slice into a typed protocol error instead of a client panic.
+fn le_u32(bytes: &[u8]) -> Result<u32, ClientError> {
+    let arr: [u8; 4] = bytes
+        .try_into()
+        .map_err(|_| ClientError::Protocol("truncated binary field (expected 4 bytes)".into()))?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+/// Retry policy for [`enumerate_with_retry`]: exponential backoff with
+/// deterministic, seeded jitter (reproducible chaos tests).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Reconnect-and-reissue attempts after the first failure.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles every attempt
+    /// (plus up to 50% seeded jitter), capped at 10 seconds.
+    pub backoff_ms: u64,
+    /// Jitter seed. Two clients with different seeds desynchronize
+    /// their retry storms; the same seed reproduces the exact schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff_ms: 100,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), from the
+    /// mutable xorshift state `rng`.
+    fn delay(&self, attempt: u32, rng: &mut u64) -> std::time::Duration {
+        let base = self
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(10_000);
+        // xorshift64 — same generator as the engine's seeded paths.
+        let mut x = *rng | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *rng = x;
+        let jitter = if base == 0 { 0 } else { x % (base / 2 + 1) };
+        std::time::Duration::from_millis(base + jitter)
+    }
+}
+
+/// Is this failure worth a reconnect? Transport errors (refused, reset,
+/// truncated) and the server's `internal-error` frame (a contained
+/// daemon-side fault) are; everything else — quota refusals, malformed
+/// requests, genuine session errors — would fail identically on retry.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_) => true,
+        ClientError::Server { code, .. } => code == "internal-error",
+        ClientError::Protocol(_) => false,
+    }
+}
+
+/// Connects via `connect` and runs `req`, retrying per `policy` on
+/// transport failures and daemon-side `internal-error` frames.
+///
+/// A request is reissued **only if zero result frames were received** on
+/// the failed attempt: result frames are the stream's side effect, and a
+/// client that already observed rank 0..k cannot reconcile them with a
+/// fresh stream (enumeration is deterministic, but a retried session may
+/// legitimately stop at a different budget boundary). A partial stream
+/// therefore surfaces the original error.
+pub fn enumerate_with_retry(
+    mut connect: impl FnMut() -> Result<Client, ClientError>,
+    req: &EnumerateRequest,
+    policy: &RetryPolicy,
+) -> Result<(Vec<ServedResult>, Done), ClientError> {
+    let mut rng = policy.seed;
+    let mut attempt = 0u32;
+    loop {
+        let mut results = Vec::new();
+        let outcome =
+            connect().and_then(|mut client| client.enumerate_streaming(req, |r| results.push(r)));
+        match outcome {
+            Ok(done) => return Ok((results, done)),
+            Err(e) => {
+                if !results.is_empty() || attempt >= policy.retries || !retryable(&e) {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay(attempt, &mut rng));
+                attempt += 1;
+            }
         }
     }
 }

@@ -53,6 +53,6 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, Done, ServedResult};
+pub use client::{enumerate_with_retry, Client, ClientError, Done, RetryPolicy, ServedResult};
 pub use protocol::{EnumerateRequest, ProtocolError, Request, WIRE_MAGIC, WIRE_VERSION};
 pub use server::{serve, serve_ephemeral, BindAddr, ServerConfig, ServerHandle, TenantQuota};

@@ -85,7 +85,12 @@ pub enum Request {
 pub struct ProtocolError {
     /// Stable machine-readable code (`bad-json`, `bad-request`,
     /// `version-mismatch`, `unknown-cost`, `quota-exceeded`,
-    /// `frame-too-large`, `shutting-down`).
+    /// `frame-too-large`, `shutting-down`, `session-error`,
+    /// `internal-error`). `internal-error` marks a contained daemon-side
+    /// fault (a panicking session, an injected failpoint) — the request
+    /// failed but the connection and daemon are healthy, so clients may
+    /// retry; `session-error` is a deterministic per-request failure that
+    /// would fail identically on retry.
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,

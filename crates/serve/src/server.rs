@@ -175,6 +175,11 @@ pub struct ServerConfig {
     /// milliseconds (one JSON line on stderr with the full timing
     /// breakdown). `None` disables the slow-request log.
     pub slow_ms: Option<u64>,
+    /// Daemon-side watchdog: cancel any session still running after this
+    /// many milliseconds (via its [`CancelFlag`], so the anytime
+    /// guarantee holds — results streamed so far are kept and the done
+    /// frame reports `cancelled`). `None` disables the watchdog.
+    pub max_session_ms: Option<u64>,
 }
 
 /// Where to listen.
@@ -279,7 +284,7 @@ impl ConnOut {
     /// demanding results a slow client cannot absorb. Returns `false`
     /// when the connection is gone (the caller should stop streaming).
     fn push(&self, bytes: &[u8]) -> bool {
-        let mut state = self.state.lock().expect("conn out poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.buf.len() >= HIGH_WATER && !state.disconnected {
             serve_metrics().backpressure_stalls.incr();
         }
@@ -287,7 +292,7 @@ impl ConnOut {
             let (next, _timeout) = self
                 .cv
                 .wait_timeout(state, Duration::from_millis(50))
-                .expect("conn out poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             state = next;
         }
         if state.disconnected {
@@ -299,7 +304,7 @@ impl ConnOut {
 
     /// Marks the current request's stream complete.
     fn finish(&self) {
-        let mut state = self.state.lock().expect("conn out poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.finished = true;
         state.cancel = None;
         drop(state);
@@ -307,7 +312,7 @@ impl ConnOut {
     }
 
     fn mark_disconnected(&self) {
-        let mut state = self.state.lock().expect("conn out poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.disconnected = true;
         if let Some(flag) = &state.cancel {
             flag.cancel();
@@ -371,6 +376,18 @@ struct Shared {
     in_flight: AtomicUsize,
     shutting_down: AtomicBool,
     quota: TenantQuota,
+    /// See [`ServerConfig::max_session_ms`].
+    max_session_ms: Option<u64>,
+    /// Sessions under watchdog supervision: registration id, the instant
+    /// past which the session is overdue, and its cancel flag.
+    watchdog: Mutex<WatchdogState>,
+    watchdog_cv: Condvar,
+}
+
+#[derive(Default)]
+struct WatchdogState {
+    next_id: u64,
+    entries: Vec<(u64, Instant, CancelFlag)>,
 }
 
 impl Shared {
@@ -378,7 +395,10 @@ impl Shared {
     /// into `"other"` so client-chosen tenant strings cannot grow the
     /// daemon's memory (or the obs registry) without bound.
     fn count_tenant_request(&self, tenant: &str) {
-        let mut table = self.tenant_metrics.lock().expect("tenant metrics poisoned");
+        let mut table = self
+            .tenant_metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let key = if table.contains_key(tenant) || table.len() < MAX_TENANT_METRICS {
             tenant
         } else {
@@ -391,7 +411,7 @@ impl Shared {
     }
 
     fn release_tenant(&self, tenant: &str) {
-        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(count) = tenants.get_mut(tenant) {
             *count -= 1;
             if *count == 0 {
@@ -407,11 +427,66 @@ impl Shared {
     }
 
     /// Raises the shutdown flag and wakes every parked thread (admission
-    /// worker and session runners) so they can observe it.
+    /// worker, session runners, and watchdog) so they can observe it.
     fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         self.admission_cv.notify_all();
         self.sched_cv.notify_all();
+        self.watchdog_cv.notify_all();
+    }
+
+    /// Puts a session under watchdog supervision; returns the token to
+    /// pass to [`Shared::unwatch`] when the session finishes.
+    fn watch(&self, deadline: Instant, cancel: CancelFlag) -> u64 {
+        let mut state = self.watchdog.lock().unwrap_or_else(|e| e.into_inner());
+        let id = state.next_id;
+        state.next_id += 1;
+        state.entries.push((id, deadline, cancel));
+        drop(state);
+        self.watchdog_cv.notify_all();
+        id
+    }
+
+    fn unwatch(&self, id: u64) {
+        let mut state = self.watchdog.lock().unwrap_or_else(|e| e.into_inner());
+        state.entries.retain(|(entry_id, _, _)| *entry_id != id);
+    }
+}
+
+/// The watchdog thread: cancels any supervised session still running
+/// past its per-session deadline ([`ServerConfig::max_session_ms`]).
+/// Sleeps until the earliest registered deadline; parks on the condvar
+/// while nothing is supervised.
+fn run_watchdog(shared: &Arc<Shared>) {
+    let mut state = shared.watchdog.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let now = Instant::now();
+        state.entries.retain(|(_, deadline, cancel)| {
+            if *deadline <= now {
+                cancel.cancel();
+                false
+            } else {
+                true
+            }
+        });
+        if shared.shutting_down.load(Ordering::SeqCst) && state.entries.is_empty() {
+            return;
+        }
+        let next = state.entries.iter().map(|(_, at, _)| *at).min();
+        state = match next {
+            Some(at) => {
+                let wait = at.saturating_duration_since(Instant::now());
+                let (next_state, _timeout) = shared
+                    .watchdog_cv
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(|e| e.into_inner());
+                next_state
+            }
+            None => shared
+                .watchdog_cv
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner()),
+        };
     }
 }
 
@@ -425,6 +500,7 @@ pub struct ServerHandle {
     local_addr: Option<SocketAddr>,
     io_thread: Option<JoinHandle<()>>,
     admission_thread: Option<JoinHandle<()>>,
+    watchdog_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -454,14 +530,29 @@ impl ServerHandle {
     }
 
     fn join(&mut self) {
+        // A panicked thread must not take the join (and with it the
+        // owning process) down: the daemon's threads all run inside
+        // respawn loops, so a `join` Err means the loop itself died on
+        // its final iteration — report it and keep joining the rest.
         if let Some(io) = self.io_thread.take() {
-            io.join().expect("io thread panicked");
+            if io.join().is_err() {
+                eprintln!("[mtr-serve] io thread panicked during shutdown");
+            }
         }
         if let Some(admission) = self.admission_thread.take() {
-            admission.join().expect("admission worker panicked");
+            if admission.join().is_err() {
+                eprintln!("[mtr-serve] admission worker panicked during shutdown");
+            }
+        }
+        if let Some(watchdog) = self.watchdog_thread.take() {
+            if watchdog.join().is_err() {
+                eprintln!("[mtr-serve] watchdog thread panicked during shutdown");
+            }
         }
         for worker in self.workers.drain(..) {
-            worker.join().expect("session runner panicked");
+            if worker.join().is_err() {
+                eprintln!("[mtr-serve] session runner panicked during shutdown");
+            }
         }
     }
 }
@@ -514,6 +605,9 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
         in_flight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
         quota: config.quota.clone(),
+        max_session_ms: config.max_session_ms,
+        watchdog: Mutex::new(WatchdogState::default()),
+        watchdog_cv: Condvar::new(),
     });
 
     let worker_count = if config.workers == 0 {
@@ -528,7 +622,7 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("mtr-serve-runner-{i}"))
-                .spawn(move || run_sessions(&shared))
+                .spawn(move || supervise("session runner", || run_sessions(&shared)))
                 .expect("spawn session runner")
         })
         .collect();
@@ -536,8 +630,16 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
     let admission_shared = Arc::clone(&shared);
     let admission_thread = std::thread::Builder::new()
         .name("mtr-serve-admission".into())
-        .spawn(move || run_admission(&admission_shared))
+        .spawn(move || supervise("admission worker", || run_admission(&admission_shared)))
         .expect("spawn admission worker");
+
+    let watchdog_thread = config.max_session_ms.map(|_| {
+        let watchdog_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("mtr-serve-watchdog".into())
+            .spawn(move || supervise("watchdog", || run_watchdog(&watchdog_shared)))
+            .expect("spawn watchdog thread")
+    });
 
     let io_shared = Arc::clone(&shared);
     let allow_remote_shutdown = config.allow_remote_shutdown;
@@ -551,8 +653,28 @@ pub fn serve(addr: &BindAddr, config: ServerConfig) -> std::io::Result<ServerHan
         local_addr,
         io_thread: Some(io_thread),
         admission_thread: Some(admission_thread),
+        watchdog_thread,
         workers,
     })
+}
+
+/// Runs a daemon thread body inside a respawn loop: a panic is reported
+/// and the body re-entered (shared state is poison-recovered on the next
+/// lock, see the `unwrap_or_else(into_inner)` sites), so one wedged
+/// request can never silently kill a session runner or the admission
+/// worker. A normal return (shutdown observed) exits the loop.
+fn supervise(role: &str, mut body: impl FnMut()) {
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut body)) {
+            Ok(()) => return,
+            Err(payload) => {
+                eprintln!(
+                    "[mtr-serve] {role} thread panicked ({}); respawning",
+                    mtr_core::panic_message(payload)
+                );
+            }
+        }
+    }
 }
 
 fn effective_budget(requested: usize) -> usize {
@@ -587,7 +709,7 @@ struct Conn {
 
 impl Conn {
     fn queue_text(&self, frame: String) {
-        let mut state = self.out.state.lock().expect("conn out poisoned");
+        let mut state = self.out.state.lock().unwrap_or_else(|e| e.into_inner());
         state.buf.extend(frame.as_bytes());
     }
 }
@@ -685,7 +807,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
             let mut wrote_any = false;
             loop {
                 let chunk: Vec<u8> = {
-                    let state = conns[i].out.state.lock().expect("conn out poisoned");
+                    let state = conns[i].out.state.lock().unwrap_or_else(|e| e.into_inner());
                     if state.buf.is_empty() {
                         break;
                     }
@@ -697,7 +819,8 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
                         break;
                     }
                     Ok(k) => {
-                        let mut state = conns[i].out.state.lock().expect("conn out poisoned");
+                        let mut state =
+                            conns[i].out.state.lock().unwrap_or_else(|e| e.into_inner());
                         state.buf.drain(..k);
                         let below_low = state.buf.len() < LOW_WATER;
                         drop(state);
@@ -720,7 +843,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
             // Session finished and its frames are flushed → back to Idle
             // (buffered pipelined requests get parsed next iteration).
             if matches!(conns[i].stage, Stage::Busy) {
-                let state = conns[i].out.state.lock().expect("conn out poisoned");
+                let state = conns[i].out.state.lock().unwrap_or_else(|e| e.into_inner());
                 if state.finished && state.buf.is_empty() {
                     drop(state);
                     conns[i].stage = Stage::Idle;
@@ -729,7 +852,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
             }
 
             let flushed = {
-                let state = conns[i].out.state.lock().expect("conn out poisoned");
+                let state = conns[i].out.state.lock().unwrap_or_else(|e| e.into_inner());
                 state.buf.is_empty()
             };
             // Stall tracking: a non-empty buffer that made no flush
@@ -769,7 +892,7 @@ fn event_loop(listener: NetListener, shared: &Arc<Shared>, allow_remote_shutdown
 
         if shutting_down {
             let (warm_depth, cold_depth) = {
-                let sched = shared.sched.lock().expect("scheduler poisoned");
+                let sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
                 (sched.warm.len(), sched.cold.len())
             };
             let queues_empty = warm_depth == 0 && cold_depth == 0;
@@ -905,7 +1028,7 @@ fn metrics_response(shared: &Arc<Shared>) -> String {
         let table = shared
             .tenant_metrics
             .lock()
-            .expect("tenant metrics poisoned");
+            .unwrap_or_else(|e| e.into_inner());
         table
             .iter()
             .map(|(name, counter)| (name.clone(), num(counter.get() as f64)))
@@ -965,7 +1088,7 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
 
     // Per-tenant concurrency quota.
     {
-        let mut tenants = shared.tenants.lock().expect("tenant map poisoned");
+        let mut tenants = shared.tenants.lock().unwrap_or_else(|e| e.into_inner());
         let count = tenants.entry(req.tenant.clone()).or_insert(0);
         if *count >= shared.quota.max_concurrent_sessions {
             drop(tenants);
@@ -1010,7 +1133,7 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
         // under this same lock, so a request pushed here is guaranteed
         // to be processed — without the re-check it could be stranded,
         // wedging the drain with a phantom in-flight session.
-        let mut admission = shared.admission.lock().expect("admission queue poisoned");
+        let mut admission = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
         if shared.shutting_down.load(Ordering::SeqCst) {
             drop(admission);
             shared.release_tenant(&pending.tenant);
@@ -1020,7 +1143,7 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
             }));
             return;
         }
-        let mut state = conn.out.state.lock().expect("conn out poisoned");
+        let mut state = conn.out.state.lock().unwrap_or_else(|e| e.into_inner());
         state.finished = false;
         state.cancel = Some(cancel);
         drop(state);
@@ -1038,7 +1161,7 @@ fn admit(conn: &mut Conn, mut req: EnumerateRequest, shared: &Arc<Shared>) {
 fn run_admission(shared: &Arc<Shared>) {
     loop {
         let pending = {
-            let mut admission = shared.admission.lock().expect("admission queue poisoned");
+            let mut admission = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(pending) = admission.pop_front() {
                     break pending;
@@ -1049,7 +1172,7 @@ fn run_admission(shared: &Arc<Shared>) {
                 admission = shared
                     .admission_cv
                     .wait(admission)
-                    .expect("admission queue poisoned");
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
         classify_and_enqueue(pending, shared);
@@ -1115,7 +1238,7 @@ fn classify_and_enqueue(pending: Pending, shared: &Arc<Shared>) {
         accepted_at: pending.accepted_at,
     };
     {
-        let mut sched = shared.sched.lock().expect("scheduler poisoned");
+        let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
         if warm {
             sched.warm.push_back(job);
         } else {
@@ -1129,7 +1252,7 @@ fn classify_and_enqueue(pending: Pending, shared: &Arc<Shared>) {
 fn run_sessions(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut sched = shared.sched.lock().expect("scheduler poisoned");
+            let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = sched.warm.pop_front().or_else(|| sched.cold.pop_front()) {
                     break job;
@@ -1137,10 +1260,42 @@ fn run_sessions(shared: &Arc<Shared>) {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
-                sched = shared.sched_cv.wait(sched).expect("scheduler poisoned");
+                sched = shared
+                    .sched_cv
+                    .wait(sched)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
-        run_one(&job, shared);
+        // Watchdog supervision: a session still running past the cap is
+        // cancelled through its CancelFlag — the engines observe it at
+        // their next demand boundary and stop with `cancelled`.
+        let watch_token = shared.max_session_ms.map(|ms| {
+            shared.watch(
+                Instant::now() + Duration::from_millis(ms),
+                job.cancel.clone(),
+            )
+        });
+        // Panic isolation: a panicking session (a cost-function bug, a
+        // fault-injected panic) must fail *this* request, not the
+        // daemon. The client gets a typed `internal-error` frame; every
+        // other connection is untouched.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one(&job, shared);
+        }));
+        if let Err(payload) = outcome {
+            let message = mtr_core::panic_message(payload);
+            job.out.push(
+                protocol::error_frame(&ProtocolError {
+                    code: "internal-error",
+                    message: format!("session panicked: {message}"),
+                })
+                .as_bytes(),
+            );
+            job.out.finish();
+        }
+        if let Some(token) = watch_token {
+            shared.unwatch(token);
+        }
         shared.retire(&job.tenant);
     }
 }
@@ -1161,6 +1316,19 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
     let mut req_span = mtr_obs::span("serve.request");
     req_span.attr("tenant", job.tenant.clone());
     req_span.attr("queue", queue.to_string());
+    // Chaos hook: `error` surfaces as a typed internal-error frame,
+    // `panic` exercises the catch_unwind isolation in the caller.
+    if let Err(fault) = mtr_fault::check("serve.session.run") {
+        job.out.push(
+            protocol::error_frame(&ProtocolError {
+                code: "internal-error",
+                message: fault.to_string(),
+            })
+            .as_bytes(),
+        );
+        job.out.finish();
+        return;
+    }
     if req.binary {
         job.out.push(&protocol::binary_stream_header());
     }
@@ -1249,9 +1417,17 @@ fn run_one(job: &Job, shared: &Arc<Shared>) {
             stop_reason.to_string()
         }
         Err(e) => {
+            // A contained worker panic is the daemon's fault, not the
+            // request's: distinguish it on the wire so clients can
+            // decide to retry (`internal-error`) vs give up
+            // (`session-error`).
+            let code = match &e {
+                mtr_core::EnumerationError::WorkerPanicked(_) => "internal-error",
+                _ => "session-error",
+            };
             job.out.push(
                 protocol::error_frame(&ProtocolError {
-                    code: "session-error",
+                    code,
                     message: e.to_string(),
                 })
                 .as_bytes(),

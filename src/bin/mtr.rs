@@ -47,6 +47,7 @@ use ranked_triangulations::core::{
     Enumerate, EnumerationError, EnumerationRun, EnumerationStats, PruningPolicy,
     RankedTriangulation, SimilarityMeasure, StopReason,
 };
+use ranked_triangulations::fault;
 use ranked_triangulations::graph::{io, Graph};
 use ranked_triangulations::obs;
 use ranked_triangulations::reduce::{decompose, EnumerateReduceExt, ReductionLevel};
@@ -84,6 +85,7 @@ struct Options {
     emit_td: Option<PathBuf>,
     bounds: bool,
     trace_json: Option<PathBuf>,
+    fault: Option<String>,
 }
 
 /// Everything the CLI can fail with: flag misuse, or a typed enumeration
@@ -114,16 +116,17 @@ fn usage() -> &'static str {
      \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
      \x20          [--cache] [--cache-dir <directory>] [--no-prune]\n\
      \x20          [--stats-json] [--emit-td <directory>] [--bounds] [--trace-json <path>]\n\
+     \x20          [--fault <spec>]\n\
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
      \x20      mtr serve [--addr <host:port>] [--unix <path>] [--workers <n>] [--cache-dir <dir>]\n\
      \x20                [--byte-budget <bytes>] [--max-sessions <n>] [--max-results-cap <k>]\n\
      \x20                [--deadline-cap <secs>] [--node-budget-cap <n>] [--max-vertices <n>]\n\
      \x20                [--max-edges <m>] [--no-remote-shutdown] [--slow-ms <ms>]\n\
-     \x20                [--trace-json <path>]\n\
+     \x20                [--max-session-ms <ms>] [--trace-json <path>] [--fault <spec>]\n\
      \x20      mtr client <graph-file|-> [--addr <host:port>] [--unix <path>] [--cost <name>]\n\
      \x20                [--top <k>] [--width-bound <b>] [--deadline <secs>] [--node-budget <n>]\n\
      \x20                [--threads <t>] [--tenant <name>] [--cache] [--binary] [--stats-json]\n\
-     \x20                [--metrics] [--shutdown]\n\
+     \x20                [--metrics] [--shutdown] [--retries <n>] [--backoff-ms <ms>]\n\
      \x20      --threads 0 auto-detects the hardware parallelism; with --reduce the\n\
      \x20      workers advance the per-atom streams, otherwise the partition expansions\n\
      \x20      --cache enables the canonical-form atom cache (requires --reduce);\n\
@@ -132,6 +135,11 @@ fn usage() -> &'static str {
      \x20      pruning never changes the results, only the work performed)\n\
      \x20      --trace-json records every span and event as JSONL (see docs/OBSERVABILITY.md);\n\
      \x20      --slow-ms logs requests whose first result took longer than the threshold;\n\
+     \x20      --max-session-ms cancels any served session running past the cap;\n\
+     \x20      --fault arms seeded failpoints, e.g. cache.disk.write=error%50,seed=7\n\
+     \x20      (see docs/ROBUSTNESS.md for the catalog — testing only);\n\
+     \x20      client --retries reissues a failed request (exponential --backoff-ms,\n\
+     \x20      only when zero results were received) — safe against transient faults;\n\
      \x20      client --metrics prints the daemon's live introspection snapshot"
 }
 
@@ -168,6 +176,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         emit_td: None,
         bounds: false,
         trace_json: None,
+        fault: None,
     };
     while let Some(flag) = it.next() {
         if mode == Mode::Atoms && !matches!(flag.as_str(), "--format" | "--reduce") {
@@ -237,6 +246,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
             "--trace-json" => opts.trace_json = Some(PathBuf::from(value("--trace-json")?)),
+            "--fault" => opts.fault = Some(value("--fault")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -487,6 +497,9 @@ fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
 }
 
 fn run(opts: Options) -> Result<(), CliError> {
+    if let Some(spec) = &opts.fault {
+        fault::apply_spec(spec).map_err(|e| CliError::Usage(format!("bad --fault spec: {e}")))?;
+    }
     let trace_sink = match &opts.trace_json {
         Some(path) => Some(setup_trace(path)?),
         None => None,
@@ -643,7 +656,9 @@ struct ServeOptions {
     max_edges: Option<usize>,
     allow_remote_shutdown: bool,
     slow_ms: Option<u64>,
+    max_session_ms: Option<u64>,
     trace_json: Option<PathBuf>,
+    fault: Option<String>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -661,7 +676,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         max_edges: serve::TenantQuota::default().max_edges,
         allow_remote_shutdown: true,
         slow_ms: None,
+        max_session_ms: None,
         trace_json: None,
+        fault: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -709,7 +726,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             }
             "--no-remote-shutdown" => opts.allow_remote_shutdown = false,
             "--slow-ms" => opts.slow_ms = Some(int("--slow-ms", value("--slow-ms")?)?),
+            "--max-session-ms" => {
+                opts.max_session_ms = Some(int("--max-session-ms", value("--max-session-ms")?)?)
+            }
             "--trace-json" => opts.trace_json = Some(PathBuf::from(value("--trace-json")?)),
+            "--fault" => opts.fault = Some(value("--fault")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -720,6 +741,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
 }
 
 fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
+    if let Some(spec) = &opts.fault {
+        fault::apply_spec(spec).map_err(|e| CliError::Usage(format!("bad --fault spec: {e}")))?;
+    }
     let trace_sink = match &opts.trace_json {
         Some(path) => Some(setup_trace(path)?),
         None => None,
@@ -747,6 +771,7 @@ fn run_serve(opts: ServeOptions) -> Result<(), CliError> {
         },
         allow_remote_shutdown: opts.allow_remote_shutdown,
         slow_ms: opts.slow_ms,
+        max_session_ms: opts.max_session_ms,
     };
     let handle = serve::serve(&bind, config)
         .map_err(|e| CliError::Usage(format!("failed to bind the daemon: {e}")))?;
@@ -782,6 +807,8 @@ struct ClientOptions {
     stats_json: bool,
     metrics: bool,
     shutdown: bool,
+    retries: u32,
+    backoff_ms: u64,
 }
 
 fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
@@ -804,6 +831,8 @@ fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
         stats_json: false,
         metrics: false,
         shutdown: false,
+        retries: 0,
+        backoff_ms: 100,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -854,6 +883,16 @@ fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
             "--stats-json" => opts.stats_json = true,
             "--metrics" => opts.metrics = true,
             "--shutdown" => opts.shutdown = true,
+            "--retries" => {
+                opts.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries expects a non-negative integer".to_string())?
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "--backoff-ms expects a non-negative integer".to_string())?
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -864,11 +903,11 @@ fn parse_client_args(args: &[String]) -> Result<ClientOptions, String> {
 }
 
 fn run_client(opts: ClientOptions) -> Result<(), CliError> {
-    let mut client = match &opts.unix {
+    let connect = || match &opts.unix {
         Some(path) => serve::Client::connect_unix(path),
         None => serve::Client::connect_tcp(opts.addr.as_deref().unwrap_or("127.0.0.1:7171")),
-    }
-    .map_err(|e| CliError::Usage(format!("failed to connect: {e}")))?;
+    };
+    let mut client = connect().map_err(|e| CliError::Usage(format!("failed to connect: {e}")))?;
 
     // Bare `--metrics` / `--shutdown` (the graph path is "-" by
     // convention): skip the enumeration entirely — query and/or drain.
@@ -902,18 +941,35 @@ fn run_client(opts: ClientOptions) -> Result<(), CliError> {
         cache: opts.cache,
         binary: opts.binary,
     };
-    let mut count = 0usize;
-    let done = client
-        .enumerate_streaming(&req, |r| {
-            println!(
-                "#{}: cost = {}, fill-in = {} edges",
-                r.rank,
-                r.cost,
-                r.fill.len()
-            );
-            count += 1;
-        })
-        .map_err(|e| CliError::Usage(format!("request failed: {e}")))?;
+    let print_result = |r: &serve::ServedResult| {
+        println!(
+            "#{}: cost = {}, fill-in = {} edges",
+            r.rank,
+            r.cost,
+            r.fill.len()
+        );
+    };
+    let done = if opts.retries > 0 {
+        // Resilient mode: reconnect and reissue on transient failures
+        // (connection refused/reset, daemon-side internal-error) — but
+        // never after a partial stream. Results print after the stream
+        // completes, since an aborted attempt discards its partial list.
+        let policy = serve::RetryPolicy {
+            retries: opts.retries,
+            backoff_ms: opts.backoff_ms,
+            ..serve::RetryPolicy::default()
+        };
+        let (results, done) = serve::enumerate_with_retry(&connect, &req, &policy)
+            .map_err(|e| CliError::Usage(format!("request failed: {e}")))?;
+        for r in &results {
+            print_result(r);
+        }
+        done
+    } else {
+        client
+            .enumerate_streaming(&req, |r| print_result(&r))
+            .map_err(|e| CliError::Usage(format!("request failed: {e}")))?
+    };
     println!(
         "done: {} results, stop: {}, queue: {}",
         done.results, done.stop_reason, done.queue
@@ -1107,6 +1163,40 @@ mod tests {
         assert!(usage().contains("--trace-json"));
         assert!(usage().contains("--slow-ms"));
         assert!(usage().contains("--metrics"));
+    }
+
+    #[test]
+    fn parse_args_fault_and_resilience_flags() {
+        // --fault is stored verbatim at parse time on both subcommands…
+        let opts = parse_args(&args(&["g.gr", "--fault", "pool.task=error%50"])).unwrap();
+        assert_eq!(opts.fault.as_deref(), Some("pool.task=error%50"));
+        assert!(parse_args(&args(&["g.gr", "--fault"])).is_err());
+        let serve = parse_serve_args(&args(&[
+            "--max-session-ms",
+            "60000",
+            "--fault",
+            "serve.session.run=panic",
+        ]))
+        .unwrap();
+        assert_eq!(serve.max_session_ms, Some(60000));
+        assert_eq!(serve.fault.as_deref(), Some("serve.session.run=panic"));
+        assert!(parse_serve_args(&args(&["--max-session-ms", "soon"])).is_err());
+        // …and a bad spec is a usage error at startup, before any graph
+        // is loaded (apply_spec rejects without arming anything).
+        let bad = parse_args(&args(&["/no/such/graph.gr", "--fault", "bogus"])).unwrap();
+        match run(bad) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("bad --fault spec"), "{msg}"),
+            Err(other) => panic!("bad spec should be a usage error, got: {other}"),
+            Ok(()) => panic!("bad spec should fail"),
+        }
+        let client =
+            parse_client_args(&args(&["-", "--retries", "3", "--backoff-ms", "50"])).unwrap();
+        assert_eq!(client.retries, 3);
+        assert_eq!(client.backoff_ms, 50);
+        assert!(parse_client_args(&args(&["-", "--retries", "-1"])).is_err());
+        for flag in ["--fault", "--max-session-ms", "--retries", "--backoff-ms"] {
+            assert!(usage().contains(flag), "usage() should mention {flag}");
+        }
     }
 
     #[test]

@@ -117,6 +117,7 @@
 pub use mtr_cache as cache;
 pub use mtr_chordal as chordal;
 pub use mtr_core as core;
+pub use mtr_fault as fault;
 pub use mtr_graph as graph;
 pub use mtr_obs as obs;
 pub use mtr_pmc as pmc;

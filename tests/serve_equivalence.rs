@@ -564,3 +564,92 @@ fn quota_caps_clamp_requested_budgets() {
     }
     handle.shutdown();
 }
+
+/// A client that vanishes *during admission* — request sent, connection
+/// dropped before the accepted frame — must not strand a phantom
+/// in-flight session: the admission worker observes the cancel, the
+/// daemon keeps serving, and a graceful shutdown drains instantly.
+#[test]
+fn disconnect_during_admission_leaves_no_phantom_session() {
+    let handle = serve_ephemeral(ServerConfig {
+        workers: 1,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+    let g = decomposable::gnp_with_bridges(2, 6, 0.3, 99);
+    let req = request_for(&g, "fill", false, None);
+    for _ in 0..8 {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(ranked_triangulations::serve::protocol::hello_frame().as_bytes())
+            .expect("send hello");
+        let mut reply = String::new();
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        reader.read_line(&mut reply).expect("hello ack");
+        stream
+            .write_all(ranked_triangulations::serve::protocol::enumerate_frame(&req).as_bytes())
+            .expect("send request");
+        // Drop without reading the accepted frame: the request may still
+        // be sitting in the admission queue when the disconnect lands.
+        drop(reader);
+        drop(stream);
+    }
+
+    // The daemon is healthy and the worker free: a fresh request
+    // completes in full.
+    let reference = direct_stream(&g, "fill", None);
+    let (served, stop, _) = served_stream(&addr, &request_for(&g, "fill", false, None));
+    assert_eq!(stop, "exhausted");
+    assert_eq!(served.len(), reference.len());
+
+    // Shutdown would hang on any phantom in-flight session.
+    handle.shutdown();
+}
+
+/// A request racing the shutdown signal has exactly two sane outcomes —
+/// refused with `shutting-down`, or admitted and drained to a complete
+/// stream. Never a hang, never a truncated stream.
+#[test]
+fn shutdown_while_request_pending_refuses_or_drains() {
+    let g = decomposable::gnp_with_bridges(2, 6, 0.3, 7);
+    let reference = direct_stream(&g, "fill", None);
+    // The race window is sub-millisecond; iterate a few daemons with the
+    // shutdown signal landing at staggered delays to land on both sides.
+    for delay_us in [0u64, 50, 200, 800] {
+        let handle = serve_ephemeral(ServerConfig {
+            workers: 1,
+            allow_remote_shutdown: false,
+            ..ServerConfig::default()
+        })
+        .expect("bind daemon");
+        let addr = handle.local_addr().expect("tcp daemon").to_string();
+
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        let shutdown = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            handle.shutdown();
+        });
+        match client.enumerate(&request_for(&g, "fill", false, None)) {
+            Ok((results, done)) => {
+                // Admitted before the signal: the drain must deliver the
+                // complete stream.
+                assert_eq!(done.stop_reason, "exhausted", "no truncated streams");
+                assert_eq!(results.len(), reference.len());
+            }
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, "shutting-down", "the only valid refusal");
+            }
+            Err(ClientError::Io(_)) => {
+                // The listener may already be gone mid-handshake or the
+                // socket closed while the request was in flight — a
+                // transport-level close is a fair outcome of losing the
+                // race, as long as the shutdown itself completes.
+            }
+            Err(other) => panic!("unexpected failure mode: {other}"),
+        }
+        shutdown.join().expect("shutdown completes — no hang");
+    }
+}
