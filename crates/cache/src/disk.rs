@@ -185,6 +185,12 @@ impl DiskBackend {
         if std::fs::rename(path, &target).is_err() {
             let _ = std::fs::remove_file(path);
         }
+        // Same durability rule as `store`: the rename (or unlink) only
+        // survives a crash once the directory entry is synced. Without
+        // this, a crash could resurrect the corrupt file in its original
+        // slot and re-poison every later load. Best-effort, like the
+        // rename itself.
+        let _ = std::fs::File::open(&self.dir).and_then(|d| d.sync_all());
         quarantine_counter().incr();
     }
 

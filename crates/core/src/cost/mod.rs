@@ -182,6 +182,22 @@ pub trait BagCost {
     fn include_lower_bound(&self, _g: &Graph, _include: &[VertexSet]) -> Option<CostValue> {
         None
     }
+
+    /// Whether the cost is invariant under vertex relabeling: for every
+    /// permutation `σ` of the vertices and every triangulation `H`,
+    /// `cost(σ(H)) = cost(H)`. Equivalently, [`BagCost::cost_of_bags`]
+    /// depends only on the isomorphism type of `(g[scope], bags)`.
+    ///
+    /// Symmetry-aware machinery (orbit-canonical subproblem sharing,
+    /// `--modulo-symmetry`) is only sound for label-invariant costs — an
+    /// automorphism of the graph must map optimal solutions to equally
+    /// optimal solutions. The default is `false`, which simply disables
+    /// those optimizations; declaring `true` for a cost that does depend
+    /// on vertex identities (e.g. per-vertex weights) would corrupt the
+    /// ranked order.
+    fn label_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// Number of edges of the subgraph of `g` induced by `scope`.

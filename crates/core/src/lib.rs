@@ -22,6 +22,9 @@
 //!   engine and the factorized per-atom engine of `mtr-reduce` execute on;
 //! * [`diverse`] — diversity-aware filtering of the ranked stream (the
 //!   diversification question raised in the paper's conclusions);
+//! * [`symmetry`] — symmetry-aware search-space collapse: orbit-canonical
+//!   exact-cost sharing of constrained re-optimizations in full mode, and
+//!   enumeration modulo the automorphism group ([`SymmetryPolicy`]);
 //! * [`session`] — the canonical entry point: the [`Enumerate`]
 //!   builder/session API composing all of the above, with budgets
 //!   ([`StopReason`]), statistics ([`EnumerationStats`]) and typed errors
@@ -59,6 +62,7 @@ pub mod pool;
 pub mod properdec;
 pub mod ranked;
 pub mod session;
+pub mod symmetry;
 
 pub use baseline::{BaselineResult, CkkEnumerator, LbTriangSampler};
 pub use cancel::CancelFlag;
@@ -79,3 +83,4 @@ pub use session::{
     EnumerationRun, EnumerationStats, PruningPolicy, SessionConfig, SessionEngine, SessionReport,
     StopReason,
 };
+pub use symmetry::{OrbitContext, SymmetryPolicy};

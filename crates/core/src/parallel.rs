@@ -28,16 +28,21 @@ use crate::cost::{BagCost, Constrained, Constraints, CostValue};
 use crate::mintriang::{min_triangulation_in, Preprocessed, Triangulation};
 use crate::pool::{self, Scratch, WorkerPool};
 use crate::ranked::RankedTriangulation;
+use crate::symmetry::{ModuloDedup, OrbitContext, OrbitShare, SymmetryMode};
 use mtr_graph::VertexSet;
 use mtr_separators::enumerate::minimal_separators;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 /// Mirror of the sequential engine's node state: solved entries carry their
-/// exact-cost optimum, deferred entries only an admissible lower bound.
+/// exact-cost optimum, deferred entries an admissible lower bound, and
+/// known (orbit-replayed) entries their exact cost without the
+/// triangulation itself.
 enum EntryState {
     Solved(Triangulation),
     Deferred,
+    Known,
 }
 
 struct Entry {
@@ -95,6 +100,12 @@ pub struct ParallelRankedEnumerator<'a, 'p, K: BagCost + Sync + ?Sized> {
     /// batch: iteration stops and the session layer surfaces it as a
     /// typed error instead of a process-killing unwind.
     failed: Option<String>,
+    /// Symmetry machinery (orbit sharing or modulo quotienting); see
+    /// [`crate::symmetry`]. Unlike the sequential engine — which records a
+    /// child's outcome before its next sibling's lookup — a whole eager
+    /// batch is looked up before any of it is solved, so the parallel
+    /// engine may replay fewer cousins; the output is unaffected.
+    symmetry: SymmetryMode,
 }
 
 impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
@@ -129,6 +140,7 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             nodes_deferred: 0,
             cancel: None,
             failed: None,
+            symmetry: SymmetryMode::Off,
         }
     }
 
@@ -151,6 +163,34 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
     pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Turns on orbit-canonical exact-cost sharing; identical semantics to
+    /// [`crate::ranked::RankedState::enable_orbit_sharing`].
+    pub fn with_orbit_sharing(mut self, ctx: Arc<OrbitContext>) -> Self {
+        debug_assert!(!self.started, "configure symmetry before iterating");
+        self.symmetry = SymmetryMode::Share(OrbitShare::new(ctx));
+        self
+    }
+
+    /// Quotients the stream by the automorphism group; identical semantics
+    /// to [`crate::ranked::RankedState::enable_modulo_symmetry`].
+    pub fn with_modulo_symmetry(mut self, ctx: Arc<OrbitContext>) -> Self {
+        debug_assert!(!self.started, "configure symmetry before iterating");
+        self.symmetry = SymmetryMode::Modulo(ModuloDedup::new(ctx));
+        self
+    }
+
+    /// Number of re-optimizations skipped by orbit replay; see
+    /// [`crate::ranked::RankedState::orbit_replays`].
+    pub fn orbit_replays(&self) -> usize {
+        self.symmetry.orbit_replays()
+    }
+
+    /// Number of branches/results merged into their orbit representative;
+    /// see [`crate::ranked::RankedState::orbits_merged`].
+    pub fn orbits_merged(&self) -> usize {
+        self.symmetry.orbits_merged()
     }
 
     /// Number of constrained re-optimizations deferred by pruning and never
@@ -245,12 +285,11 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             .collect()
     }
 
-    /// Pays for a deferred partition that reached the top of the queue: one
-    /// constrained re-optimization (a single pool task), reinserted at its
-    /// exact cost under its *original* sequence number so tie-breaks match
-    /// the unpruned run.
-    fn solve_deferred(&mut self, entry: Entry) {
-        self.nodes_deferred -= 1;
+    /// Pays for a deferred or orbit-replayed partition that reached the top
+    /// of the queue: one constrained re-optimization (a single pool task),
+    /// reinserted at its exact cost under its *original* sequence number so
+    /// tie-breaks match the unpruned run.
+    fn resolve_entry(&mut self, entry: Entry) {
         self.nodes_explored += 1;
         let solved = self.solve_batch(vec![entry.constraints]);
         if let Some((best, constraints)) = solved.into_iter().next().flatten() {
@@ -258,12 +297,23 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
                 best.cost >= entry.cost,
                 "deferred lower bound was not admissible"
             );
+            self.record_outcome(&constraints, best.cost);
             self.queue.push(Entry {
                 cost: best.cost,
                 sequence: entry.sequence,
                 state: EntryState::Solved(best),
                 constraints,
             });
+        }
+    }
+
+    /// Publishes a feasible subproblem's exact optimum to its orbit, when
+    /// sharing is on.
+    fn record_outcome(&mut self, constraints: &Constraints, cost: CostValue) {
+        if let SymmetryMode::Share(share) = &mut self.symmetry {
+            if let Some(key) = share.key_of(constraints) {
+                share.put(key, cost);
+            }
         }
     }
 
@@ -278,17 +328,35 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             .filter(|s| !constraints.include.contains(s))
             .collect();
         let bound_children = self.prune && self.incumbent.is_some();
-        // Split the children — in generation order — into deferred ones,
-        // which enter the queue on their admissible lower bound alone, and
-        // eager ones, which are re-optimized as one pool batch.
+        // Split the children — in generation order — into deferred ones
+        // (queued on their admissible lower bound alone), orbit-replayed
+        // ones (queued at a sibling orbit's exact cost), and eager ones,
+        // which are re-optimized as one pool batch.
         let mut deferred: Vec<(usize, CostValue, Constraints)> = Vec::new();
+        let mut known: Vec<(usize, CostValue, Constraints)> = Vec::new();
         let mut eager_positions: Vec<usize> = Vec::new();
         let mut eager_batch: Vec<Constraints> = Vec::new();
-        for i in 0..new_seps.len() {
+        // Modulo-symmetry: siblings in one stabilizer orbit spawn one
+        // child, with the staircase reordered so the dropped cells sit
+        // early (see the sequential engine); the prefixes still range
+        // over all earlier separators, dropped or not. Positions below
+        // are plan positions, so ties break as in the sequential engine.
+        let plan = match &mut self.symmetry {
+            SymmetryMode::Modulo(dedup) => dedup.branch_plan(constraints, &new_seps),
+            _ => None,
+        };
+        let order: Vec<(usize, bool)> =
+            plan.unwrap_or_else(|| (0..new_seps.len()).map(|i| (i, true)).collect());
+        for pos in 0..order.len() {
+            let (idx, kept) = order[pos];
+            if !kept {
+                continue;
+            }
+            let i = pos;
             let mut include = constraints.include.clone();
-            include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
+            include.extend(order[..pos].iter().map(|&(k, _)| new_seps[k].clone()));
             let mut exclude = constraints.exclude.clone();
-            exclude.push(new_seps[i].clone());
+            exclude.push(new_seps[idx].clone());
             let lower_bound = bound_children.then(|| {
                 match self.cost.include_lower_bound(self.pre.graph(), &include) {
                     Some(prefix) => parent_cost.max(prefix),
@@ -299,6 +367,13 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
             match (lower_bound, self.incumbent) {
                 (Some(lb), Some(incumbent)) if lb > incumbent => deferred.push((i, lb, child)),
                 _ => {
+                    if let SymmetryMode::Share(share) = &mut self.symmetry {
+                        if let Some(cost) = share.key_of(&child).and_then(|k| share.get(&k)) {
+                            share.replays += 1;
+                            known.push((i, cost, child));
+                            continue;
+                        }
+                    }
                     eager_positions.push(i);
                     eager_batch.push(child);
                 }
@@ -306,9 +381,9 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         }
         self.nodes_explored += eager_batch.len();
         let solved = self.solve_batch(eager_batch);
-        // Re-interleave solved and deferred children by generation position
-        // before assigning sequence numbers, so ties break exactly as in the
-        // sequential engine (and as in an unpruned run).
+        // Re-interleave solved, deferred and replayed children by generation
+        // position before assigning sequence numbers, so ties break exactly
+        // as in the sequential engine (and as in an unpruned run).
         let mut pending: Vec<(usize, Entry)> = Vec::with_capacity(new_seps.len());
         for (i, lb, child) in deferred {
             self.nodes_deferred += 1;
@@ -318,6 +393,17 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
                     cost: lb,
                     sequence: 0,
                     state: EntryState::Deferred,
+                    constraints: child,
+                },
+            ));
+        }
+        for (i, cost, child) in known {
+            pending.push((
+                i,
+                Entry {
+                    cost,
+                    sequence: 0,
+                    state: EntryState::Known,
                     constraints: child,
                 },
             ));
@@ -339,6 +425,10 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> ParallelRankedEnumerator<'a, 'p, K> {
         for (_, mut entry) in pending {
             self.sequence += 1;
             entry.sequence = self.sequence;
+            if let EntryState::Solved(best) = &entry.state {
+                let cost = best.cost;
+                self.record_outcome(&entry.constraints, cost);
+            }
             self.queue.push(entry);
         }
     }
@@ -356,6 +446,7 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
             self.nodes_explored += 1;
             let solved = self.solve_batch(vec![Constraints::none()]);
             if let Some((best, constraints)) = solved.into_iter().next().flatten() {
+                self.record_outcome(&constraints, best.cost);
                 self.sequence += 1;
                 self.queue.push(Entry {
                     cost: best.cost,
@@ -375,12 +466,23 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
             let entry = self.queue.pop()?;
             let best = match entry.state {
                 EntryState::Deferred => {
-                    self.solve_deferred(entry);
+                    self.nodes_deferred -= 1;
+                    self.resolve_entry(entry);
+                    continue;
+                }
+                EntryState::Known => {
+                    self.resolve_entry(entry);
                     continue;
                 }
                 EntryState::Solved(best) => best,
             };
             let fill = best.fill_edges(self.pre.graph());
+            // Modulo-symmetry: suppress orbit-duplicate results but still
+            // expand their partition (mirrors the sequential engine).
+            let orbit_new = match &mut self.symmetry {
+                SymmetryMode::Modulo(dedup) => dedup.admit_result(&fill),
+                _ => true,
+            };
             let is_new = self.emitted_fills.insert(fill);
             // Computed once: shared by the expansion and the emitted result.
             let seps_of_h = minimal_separators(&best.graph);
@@ -396,6 +498,9 @@ impl<K: BagCost + Sync + ?Sized> Iterator for ParallelRankedEnumerator<'_, '_, K
             }
             if self.prune {
                 self.incumbent = Some(best.cost);
+            }
+            if !orbit_new {
+                continue;
             }
             return Some(RankedTriangulation {
                 minimal_separators: seps_of_h,
@@ -517,6 +622,45 @@ mod tests {
         assert_eq!(fill_keys(&g, &sequential), fill_keys(&g, &pruned));
         assert!(pruned_iter.nodes_pruned() > 0);
         assert_eq!(pruned_iter.incumbent(), Some(pruned[2].cost));
+    }
+
+    #[test]
+    fn orbit_sharing_parallel_matches_plain() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&g);
+        let ctx = OrbitContext::probe(&g).expect("C6 is symmetric");
+        for threads in [1, 4] {
+            let plain: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, threads).collect();
+            let shared: Vec<_> = ParallelRankedEnumerator::new(&pre, &FillIn, threads)
+                .with_orbit_sharing(ctx.clone())
+                .collect();
+            assert_eq!(plain.len(), shared.len(), "threads = {threads}");
+            let plain_costs: Vec<_> = plain.iter().map(|r| r.cost).collect();
+            let shared_costs: Vec<_> = shared.iter().map(|r| r.cost).collect();
+            assert_eq!(plain_costs, shared_costs);
+            assert_eq!(fill_keys(&g, &plain), fill_keys(&g, &shared));
+        }
+    }
+
+    #[test]
+    fn modulo_symmetry_parallel_quotients_like_sequential() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&g);
+        let ctx = OrbitContext::probe(&g).unwrap();
+        let sequential: Vec<_> = RankedEnumerator::new(&pre, &FillIn)
+            .with_modulo_symmetry(ctx.clone())
+            .collect();
+        assert_eq!(sequential.len(), 3);
+        for threads in [1, 4] {
+            let mut it = ParallelRankedEnumerator::new(&pre, &FillIn, threads)
+                .with_modulo_symmetry(ctx.clone());
+            let parallel: Vec<_> = it.by_ref().collect();
+            assert_eq!(parallel.len(), 3, "threads = {threads}");
+            assert!(it.orbits_merged() > 0);
+            let seq_costs: Vec<_> = sequential.iter().map(|r| r.cost).collect();
+            let par_costs: Vec<_> = parallel.iter().map(|r| r.cost).collect();
+            assert_eq!(seq_costs, par_costs);
+        }
     }
 
     #[test]

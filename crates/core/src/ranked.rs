@@ -19,10 +19,12 @@ use crate::cancel::CancelFlag;
 use crate::cost::{BagCost, Constrained, Constraints, CostValue};
 use crate::mintriang::{min_triangulation_in, Preprocessed, Triangulation};
 use crate::pool::Scratch;
+use crate::symmetry::{ModuloDedup, OrbitContext, OrbitShare, SymmetryMode};
 use mtr_graph::{Graph, VertexSet};
 use mtr_separators::enumerate::minimal_separators;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 /// One result of the ranked enumeration.
 #[derive(Clone, Debug)]
@@ -65,6 +67,13 @@ enum NodeState {
     /// key is an admissible lower bound on the partition's best cost. The
     /// node is solved only if it ever reaches the front of the queue.
     Deferred,
+    /// An orbit-equivalent subproblem already solved this partition's
+    /// optimum: the entry's key is that *exact* cost, replayed by orbit
+    /// sharing without re-running the dynamic program. The triangulation
+    /// itself is materialized only if the entry ever reaches the front of
+    /// the queue — the same discipline as [`NodeState::Deferred`], so the
+    /// emitted stream is unchanged.
+    Known,
 }
 
 /// A partition of the not-yet-emitted triangulations, keyed by the exact
@@ -134,6 +143,9 @@ pub struct RankedState {
     /// out with `None` at its demand boundary (before popping the next
     /// partition), leaving the emitted sequence a valid ranked prefix.
     cancel: Option<CancelFlag>,
+    /// Symmetry machinery: orbit-canonical exact-cost sharing (full mode)
+    /// or orbit quotienting (modulo mode); see [`crate::symmetry`].
+    symmetry: SymmetryMode,
 }
 
 impl RankedState {
@@ -155,6 +167,38 @@ impl RankedState {
     /// [`RankedState::next`] returns `None` at its next demand boundary.
     pub fn bind_cancel(&mut self, flag: CancelFlag) {
         self.cancel = Some(flag);
+    }
+
+    /// Turns on orbit-canonical exact-cost sharing: a child partition whose
+    /// constraint configuration lands in an already-solved orbit is enqueued
+    /// at that exact cost without re-running the dynamic program. The
+    /// emitted stream is bit-for-bit identical to the unshared one (ties
+    /// included); only sound for label-invariant costs. Must be called
+    /// before the first [`RankedState::next`].
+    pub fn enable_orbit_sharing(&mut self, ctx: Arc<OrbitContext>) {
+        debug_assert!(!self.started, "symmetry must be configured up front");
+        self.symmetry = SymmetryMode::Share(OrbitShare::new(ctx));
+    }
+
+    /// Switches the stream to one cheapest representative per
+    /// automorphism-orbit of minimal triangulations, pruning orbit-duplicate
+    /// branches during the search. Only sound for label-invariant costs.
+    /// Must be called before the first [`RankedState::next`].
+    pub fn enable_modulo_symmetry(&mut self, ctx: Arc<OrbitContext>) {
+        debug_assert!(!self.started, "symmetry must be configured up front");
+        self.symmetry = SymmetryMode::Modulo(ModuloDedup::new(ctx));
+    }
+
+    /// Number of re-optimizations skipped so far by replaying an
+    /// orbit-mate's exact cost (full mode with sharing).
+    pub fn orbit_replays(&self) -> usize {
+        self.symmetry.orbit_replays()
+    }
+
+    /// Number of branches and results merged into their orbit
+    /// representative so far (modulo-symmetry mode).
+    pub fn orbits_merged(&self) -> usize {
+        self.symmetry.orbits_merged()
     }
 
     /// Number of partitions whose re-optimization is currently deferred by
@@ -223,11 +267,27 @@ impl RankedState {
                     // with the *original* sequence number reproduces the
                     // unpruned order exactly, ties included, because the
                     // lower bound never exceeds the exact cost.
-                    self.solve_deferred(pre, cost, entry);
+                    self.nodes_deferred -= 1;
+                    self.resolve_entry(pre, cost, entry);
+                    continue;
+                }
+                NodeState::Known => {
+                    // An orbit replay reached the front: materialize its
+                    // triangulation now. The entry's key is already the
+                    // exact cost, so reinserting with the original sequence
+                    // number leaves the stream untouched.
+                    self.resolve_entry(pre, cost, entry);
                     continue;
                 }
             };
             let fill = best.fill_edges(pre.graph());
+            // Modulo-symmetry: a result orbit-equivalent to an earlier
+            // emission is suppressed, but its partition is still expanded —
+            // its children may hold orbit representatives of their own.
+            let orbit_new = match &mut self.symmetry {
+                SymmetryMode::Modulo(dedup) => dedup.admit_result(&fill),
+                _ => true,
+            };
             let is_new = self.emitted_fills.insert(fill);
             // The minimal separators of H feed both the partition expansion
             // and the emitted result: compute them once and share.
@@ -241,8 +301,13 @@ impl RankedState {
             }
             // Emitted results track the frontier: a child can only be needed
             // after everything at most as expensive as the incumbent is out.
+            // A suppressed orbit duplicate still tightens the incumbent —
+            // its cost is the cost of a real (already-emitted) result.
             if self.prune {
                 self.incumbent = Some(best.cost);
+            }
+            if !orbit_new {
+                continue;
             }
             let result = RankedTriangulation {
                 minimal_separators: seps_of_h,
@@ -254,15 +319,15 @@ impl RankedState {
         }
     }
 
-    /// Re-optimizes a deferred entry and reinserts it (at its exact cost,
-    /// keeping its sequence number) when its partition is non-empty.
-    fn solve_deferred<K: BagCost + ?Sized>(
+    /// Re-optimizes a deferred or replayed entry and reinserts it (at its
+    /// exact cost, keeping its sequence number) when its partition is
+    /// non-empty.
+    fn resolve_entry<K: BagCost + ?Sized>(
         &mut self,
         pre: &Preprocessed,
         cost: &K,
         entry: QueueEntry,
     ) {
-        self.nodes_deferred -= 1;
         self.nodes_explored += 1;
         let constrained = Constrained::new(cost, &entry.constraints);
         if let Some(best) = min_triangulation_in(pre, &constrained, &mut self.scratch) {
@@ -271,12 +336,23 @@ impl RankedState {
                     best.cost >= entry.cost,
                     "deferral lower bound must be admissible"
                 );
+                self.record_outcome(&entry.constraints, best.cost);
                 self.queue.push(QueueEntry {
                     cost: best.cost,
                     sequence: entry.sequence,
                     state: NodeState::Solved(best),
                     constraints: entry.constraints,
                 });
+            }
+        }
+    }
+
+    /// Publishes a feasible subproblem's exact optimum to its orbit, when
+    /// sharing is on.
+    fn record_outcome(&mut self, constraints: &Constraints, cost: CostValue) {
+        if let SymmetryMode::Share(share) = &mut self.symmetry {
+            if let Some(key) = share.key_of(constraints) {
+                share.put(key, cost);
             }
         }
     }
@@ -305,6 +381,25 @@ impl RankedState {
                 }
             }
         }
+        // Orbit sharing: when a sibling's orbit already solved this
+        // configuration, enqueue at its exact cost without re-optimizing.
+        // The dynamic program runs only if the entry ever reaches the
+        // front of the queue, so the emitted stream cannot change.
+        let mut share_key = None;
+        if let SymmetryMode::Share(share) = &mut self.symmetry {
+            share_key = share.key_of(&constraints);
+            if let Some(known) = share_key.as_ref().and_then(|k| share.get(k)) {
+                share.replays += 1;
+                self.sequence += 1;
+                self.queue.push(QueueEntry {
+                    cost: known,
+                    sequence: self.sequence,
+                    state: NodeState::Known,
+                    constraints,
+                });
+                return;
+            }
+        }
         self.nodes_explored += 1;
         let constrained = Constrained::new(cost, &constraints);
         if let Some(best) = min_triangulation_in(pre, &constrained, &mut self.scratch) {
@@ -312,6 +407,9 @@ impl RankedState {
             // constraints (line 12 of the algorithm): only non-empty
             // partitions are enqueued.
             if constraints.satisfied_by_graph(&best.graph) {
+                if let (SymmetryMode::Share(share), Some(key)) = (&mut self.symmetry, share_key) {
+                    share.put(key, best.cost);
+                }
                 self.sequence += 1;
                 self.queue.push(QueueEntry {
                     cost: best.cost,
@@ -338,11 +436,29 @@ impl RankedState {
             .filter(|s| !constraints.include.contains(s))
             .collect();
         let bound_children = self.prune && self.incumbent.is_some();
-        for i in 0..new_seps.len() {
+        // Modulo-symmetry: branch separators in the same orbit under the
+        // stabilizer of this node's constraints spawn one child — the
+        // dropped cells' triangulations are σ-images of solutions in
+        // earlier kept cells. The plan reorders the staircase (any order
+        // is a valid partition) so dropped cells sit as early — as large
+        // — as possible; its prefixes still range over *all* earlier
+        // separators, dropped or not, so kept cells keep their original
+        // disjoint solution sets.
+        let plan = match &mut self.symmetry {
+            SymmetryMode::Modulo(dedup) => dedup.branch_plan(constraints, &new_seps),
+            _ => None,
+        };
+        let order: Vec<(usize, bool)> =
+            plan.unwrap_or_else(|| (0..new_seps.len()).map(|i| (i, true)).collect());
+        for pos in 0..order.len() {
+            let (idx, kept) = order[pos];
+            if !kept {
+                continue;
+            }
             let mut include = constraints.include.clone();
-            include.extend(new_seps[..i].iter().map(|s| (*s).clone()));
+            include.extend(order[..pos].iter().map(|&(k, _)| new_seps[k].clone()));
             let mut exclude = constraints.exclude.clone();
-            exclude.push(new_seps[i].clone());
+            exclude.push(new_seps[idx].clone());
             // Children are sub-partitions of the parent, so the parent's
             // exact cost lower-bounds them for *any* bag cost; the cost may
             // sharpen that with a bound forced by the committed prefix.
@@ -351,7 +467,8 @@ impl RankedState {
                     Some(prefix) => parent_cost.max(prefix),
                     None => parent_cost,
                 });
-            self.push_partition(pre, cost, Constraints::new(include, exclude), lb);
+            let child = Constraints::new(include, exclude);
+            self.push_partition(pre, cost, child, lb);
         }
     }
 }
@@ -388,6 +505,32 @@ impl<'a, K: BagCost + ?Sized> RankedEnumerator<'a, K> {
     pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
         self.state.bind_cancel(flag);
         self
+    }
+
+    /// Turns on orbit-canonical exact-cost sharing; see
+    /// [`RankedState::enable_orbit_sharing`].
+    pub fn with_orbit_sharing(mut self, ctx: Arc<OrbitContext>) -> Self {
+        self.state.enable_orbit_sharing(ctx);
+        self
+    }
+
+    /// Quotients the stream by the automorphism group; see
+    /// [`RankedState::enable_modulo_symmetry`].
+    pub fn with_modulo_symmetry(mut self, ctx: Arc<OrbitContext>) -> Self {
+        self.state.enable_modulo_symmetry(ctx);
+        self
+    }
+
+    /// Number of re-optimizations skipped by orbit replay; see
+    /// [`RankedState::orbit_replays`].
+    pub fn orbit_replays(&self) -> usize {
+        self.state.orbit_replays()
+    }
+
+    /// Number of branches/results merged into their orbit representative;
+    /// see [`RankedState::orbits_merged`].
+    pub fn orbits_merged(&self) -> usize {
+        self.state.orbits_merged()
     }
 
     /// Number of re-optimizations currently avoided by pruning; see
@@ -620,6 +763,111 @@ mod tests {
             plain.nodes_explored()
         );
         assert_eq!(pruned.incumbent(), Some(first.cost));
+    }
+
+    #[test]
+    fn orbit_sharing_matches_plain_exactly() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&c6);
+        let ctx = OrbitContext::probe(&c6).expect("C6 has a dihedral group");
+        for cost in [&Width as &dyn BagCost, &FillIn, &WidthThenFill] {
+            let mut plain = RankedEnumerator::new(&pre, cost);
+            let plain_results: Vec<_> = plain.by_ref().collect();
+            let mut shared = RankedEnumerator::new(&pre, cost).with_orbit_sharing(ctx.clone());
+            let shared_results: Vec<_> = shared.by_ref().collect();
+            assert_eq!(shared_results.len(), plain_results.len(), "{}", cost.name());
+            for (a, b) in plain_results.iter().zip(&shared_results) {
+                assert_eq!(a.cost, b.cost, "{}", cost.name());
+                assert_eq!(a.triangulation, b.triangulation, "{}", cost.name());
+            }
+            assert_eq!(
+                shared.nodes_pruned(),
+                0,
+                "sharing must not count as pruning"
+            );
+        }
+    }
+
+    #[test]
+    fn orbit_sharing_replays_on_grid() {
+        // The 3×3 grid (dihedral group of order 8) generates cousin
+        // partitions with orbit-equivalent constraint configurations; the
+        // replayed ones skip their eager re-optimization, which shows up as
+        // fewer explored nodes under top-k demand.
+        let mut edges = vec![];
+        let idx = |r: u32, c: u32| r * 3 + c;
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                if c + 1 < 3 {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < 3 {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let grid = Graph::from_edges(9, &edges);
+        let pre = Preprocessed::new(&grid);
+        let ctx = OrbitContext::probe(&grid).expect("grid3 has a dihedral group");
+        assert_eq!(ctx.group_order(), 8);
+        let mut plain = RankedEnumerator::new(&pre, &FillIn);
+        let plain_top: Vec<_> = plain.by_ref().take(10).collect();
+        let mut shared = RankedEnumerator::new(&pre, &FillIn).with_orbit_sharing(ctx);
+        let shared_top: Vec<_> = shared.by_ref().take(10).collect();
+        assert_eq!(plain_top.len(), shared_top.len());
+        for (a, b) in plain_top.iter().zip(&shared_top) {
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.triangulation, b.triangulation);
+        }
+        assert!(
+            shared.orbit_replays() > 0,
+            "grid cousins must hit shared orbits"
+        );
+        assert!(
+            shared.nodes_explored() < plain.nodes_explored(),
+            "replayed partitions must skip their eager re-optimization ({} vs {})",
+            shared.nodes_explored(),
+            plain.nodes_explored()
+        );
+    }
+
+    #[test]
+    fn orbit_sharing_composes_with_pruning() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&c6);
+        let ctx = OrbitContext::probe(&c6).unwrap();
+        let plain: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        let both: Vec<_> = RankedEnumerator::new(&pre, &FillIn)
+            .with_pruning(Some(CostValue::ZERO))
+            .with_orbit_sharing(ctx)
+            .collect();
+        assert_eq!(plain.len(), both.len());
+        for (a, b) in plain.iter().zip(&both) {
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.triangulation, b.triangulation);
+        }
+    }
+
+    #[test]
+    fn modulo_symmetry_on_c6_quotients_the_stream() {
+        // C6's 14 minimal triangulations fall into 3 orbits under the
+        // dihedral group of order 12 (triangulations of the hexagon up to
+        // rotation/reflection: 14 = 6 + 6 + 2 → orbits of the "fan",
+        // "zigzag", and "center-free" shapes).
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let pre = Preprocessed::new(&c6);
+        let ctx = OrbitContext::probe(&c6).unwrap();
+        let all: Vec<_> = RankedEnumerator::new(&pre, &FillIn).collect();
+        assert_eq!(all.len(), 14);
+        let mut modulo = RankedEnumerator::new(&pre, &FillIn).with_modulo_symmetry(ctx);
+        let reps: Vec<_> = modulo.by_ref().collect();
+        assert_eq!(reps.len(), 3, "C6 triangulations form 3 orbits");
+        assert!(modulo.orbits_merged() > 0);
+        // Each representative is cheapest in its orbit ⇒ rank-r rep costs
+        // no more than the rank-r full result.
+        for (r, rep) in reps.iter().enumerate() {
+            assert!(rep.cost <= all[r].cost);
+        }
     }
 
     #[test]

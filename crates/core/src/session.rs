@@ -45,6 +45,7 @@ use crate::parallel::ParallelRankedEnumerator;
 use crate::pool::{self, resolve_threads};
 use crate::properdec::RankedDecomposition;
 use crate::ranked::{RankedEnumerator, RankedTriangulation};
+use crate::symmetry::{OrbitContext, SymmetryPolicy};
 use mtr_chordal::{
     clique_trees_from_cliques, lb_triang_min_degree, maximal_cliques_chordal, mcs_m,
 };
@@ -64,6 +65,8 @@ use std::time::{Duration, Instant};
 struct SessionMetrics {
     sessions: mtr_obs::Counter,
     results: mtr_obs::Counter,
+    orbit_replays: mtr_obs::Counter,
+    nodes_pruned: mtr_obs::Counter,
     preprocess_ns: mtr_obs::Histogram,
     advance_ns: mtr_obs::Histogram,
     delay_ns: mtr_obs::Histogram,
@@ -74,6 +77,8 @@ fn session_metrics() -> &'static SessionMetrics {
     METRICS.get_or_init(|| SessionMetrics {
         sessions: mtr_obs::counter("core.session.sessions"),
         results: mtr_obs::counter("core.session.results"),
+        orbit_replays: mtr_obs::counter("core.session.orbit_replays"),
+        nodes_pruned: mtr_obs::counter("core.session.nodes_pruned"),
         preprocess_ns: mtr_obs::histogram("core.session.preprocess_ns"),
         advance_ns: mtr_obs::histogram("core.session.advance_ns"),
         delay_ns: mtr_obs::histogram("core.session.delay_ns"),
@@ -395,6 +400,18 @@ pub struct EnumerationStats {
     /// Bytes of `VertexSet` scratch served from a per-worker arena instead
     /// of fresh allocations, summed over the session's re-optimizations.
     pub arena_bytes_reused: usize,
+    /// Order of the *discovered* automorphism group of the input graph
+    /// (a subgroup of the full group when the canonical search truncated).
+    /// `1` when the group is trivial or the probe was skipped
+    /// ([`SymmetryPolicy::Off`], label-dependent cost); `0` when the
+    /// session never reached the probe (aborted preprocessing).
+    pub symmetry_group_order: u128,
+    /// Branches dropped and results suppressed as orbit duplicates in
+    /// [`SymmetryPolicy::ModuloSymmetry`] mode. Zero otherwise.
+    pub orbits_merged: usize,
+    /// Constrained re-optimizations enqueued at an orbit-mate's exact cost
+    /// instead of being re-run (full mode with a non-trivial group).
+    pub subproblems_replayed: usize,
 }
 
 impl EnumerationStats {
@@ -440,7 +457,9 @@ impl EnumerationStats {
                 "\"atoms_deduped\": {}, \"cache_bytes\": {}, ",
                 "\"arena_bytes_reused\": {}, ",
                 "\"average_delay_secs\": {}, \"max_delay_secs\": {}, ",
-                "\"delays_ms\": [{}]}}"
+                "\"delays_ms\": [{}], ",
+                "\"symmetry\": {{\"group_order\": {}, \"orbits_merged\": {}, ",
+                "\"subproblems_replayed\": {}}}}}"
             ),
             self.cost,
             stop_reason,
@@ -471,6 +490,9 @@ impl EnumerationStats {
             opt_secs(self.average_delay()),
             opt_secs(self.max_delay()),
             delays.join(", "),
+            self.symmetry_group_order,
+            self.orbits_merged,
+            self.subproblems_replayed,
         )
     }
 }
@@ -573,6 +595,8 @@ pub struct SessionConfig<'a, K: BagCost + Sync + ?Sized = Width> {
     pub cache: CachePolicy,
     /// Incumbent pruning policy from [`Enumerate::pruning`].
     pub pruning: PruningPolicy,
+    /// Symmetry policy from [`Enumerate::symmetry`].
+    pub symmetry: SymmetryPolicy,
     /// Cooperative cancellation flag from [`Enumerate::cancel_flag`].
     pub cancel: Option<CancelFlag>,
 }
@@ -609,6 +633,7 @@ pub struct Enumerate<'a, K: BagCost + Sync + ?Sized = Width> {
     node_budget: Option<usize>,
     cache: CachePolicy,
     pruning: PruningPolicy,
+    symmetry: SymmetryPolicy,
     cancel: Option<CancelFlag>,
 }
 
@@ -625,6 +650,7 @@ impl<K: BagCost + Sync + ?Sized> std::fmt::Debug for Enumerate<'_, K> {
             .field("node_budget", &self.node_budget)
             .field("cache", &self.cache)
             .field("pruning", &self.pruning)
+            .field("symmetry", &self.symmetry)
             .finish_non_exhaustive()
     }
 }
@@ -657,6 +683,7 @@ impl<'a> Enumerate<'a, Width> {
             node_budget: None,
             cache: CachePolicy::Off,
             pruning: PruningPolicy::default(),
+            symmetry: SymmetryPolicy::default(),
             cancel: None,
         }
     }
@@ -678,6 +705,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: self.node_budget,
             cache: self.cache,
             pruning: self.pruning,
+            symmetry: self.symmetry,
             cancel: self.cancel,
         }
     }
@@ -699,6 +727,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: self.node_budget,
             cache: self.cache,
             pruning: self.pruning,
+            symmetry: self.symmetry,
             cancel: self.cancel,
         })
     }
@@ -801,6 +830,23 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
         self
     }
 
+    /// Symmetry policy (see [`SymmetryPolicy`]). The default,
+    /// [`SymmetryPolicy::Full`], probes the automorphism group once per
+    /// session (for label-invariant costs) and shares exact costs across
+    /// orbit-equivalent subproblems — the emitted stream is unchanged, bit
+    /// for bit. [`SymmetryPolicy::ModuloSymmetry`] quotients the stream to
+    /// one cheapest representative per orbit of minimal triangulations
+    /// (`mtr --modulo-symmetry`); [`SymmetryPolicy::Off`] skips the probe
+    /// entirely.
+    ///
+    /// [`EnumerationStats::symmetry_group_order`],
+    /// [`EnumerationStats::subproblems_replayed`] and
+    /// [`EnumerationStats::orbits_merged`] report what the machinery did.
+    pub fn symmetry(mut self, policy: SymmetryPolicy) -> Self {
+        self.symmetry = policy;
+        self
+    }
+
     /// Attaches a cooperative cancellation flag: raising `flag` (from any
     /// thread) stops the session with [`StopReason::Cancelled`] at the next
     /// demand boundary — between Lawler–Murty partition expansions, never
@@ -828,6 +874,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: self.node_budget,
             cache: self.cache,
             pruning: self.pruning,
+            symmetry: self.symmetry,
             cancel: self.cancel,
         }
     }
@@ -848,6 +895,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             node_budget: config.node_budget,
             cache: config.cache,
             pruning: config.pruning,
+            symmetry: config.symmetry,
             cancel: config.cancel,
         }
     }
@@ -934,6 +982,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             // Inert on the direct engine: there are no atoms to cache.
             cache: _,
             pruning,
+            symmetry,
             cancel,
         } = self;
 
@@ -1033,6 +1082,15 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             PruningPolicy::Incumbent => heuristic_incumbent(pre.graph(), cost_ref, width_bound),
             PruningPolicy::Off => None,
         };
+        // Probe the automorphism group once per session. Skipped entirely
+        // for SymmetryPolicy::Off and for label-dependent costs (where an
+        // automorphism need not preserve the ranking); a trivial group
+        // probes to `None` and the engines run exactly as before.
+        let orbit_ctx = if symmetry != SymmetryPolicy::Off && cost_ref.label_invariant() {
+            OrbitContext::probe(pre.graph())
+        } else {
+            None
+        };
 
         let mut stats = EnumerationStats {
             cost: cost_name,
@@ -1042,6 +1100,7 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             pmcs: pre.pmcs().len(),
             full_blocks: pre.full_blocks().len(),
             effective_threads: threads,
+            symmetry_group_order: orbit_ctx.as_ref().map_or(1, |c| c.group_order()),
             ..EnumerationStats::default()
         };
         drop(pre_span);
@@ -1058,6 +1117,12 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
                 }
                 if let Some(flag) = cancel.clone() {
                     inner = inner.with_cancel(flag);
+                }
+                if let Some(ctx) = &orbit_ctx {
+                    inner = match symmetry {
+                        SymmetryPolicy::ModuloSymmetry => inner.with_modulo_symmetry(ctx.clone()),
+                        _ => inner.with_orbit_sharing(ctx.clone()),
+                    };
                 }
                 let mut engine: Engine<'_, '_, K> = Engine::Parallel(inner);
                 let stop_reason = drive_engine(
@@ -1086,6 +1151,12 @@ impl<'a, K: BagCost + Sync + ?Sized> Enumerate<'a, K> {
             }
             if let Some(flag) = cancel.clone() {
                 inner = inner.with_cancel(flag);
+            }
+            if let Some(ctx) = &orbit_ctx {
+                inner = match symmetry {
+                    SymmetryPolicy::ModuloSymmetry => inner.with_modulo_symmetry(ctx.clone()),
+                    _ => inner.with_orbit_sharing(ctx.clone()),
+                };
             }
             let mut engine: Engine<'_, '_, K> = Engine::Sequential(inner);
             let stop_reason = drive_engine(
@@ -1139,6 +1210,16 @@ pub trait SessionEngine {
     /// (engines whose scratch lives in a worker pool report `0` here; the
     /// session adds the pool's figure).
     fn arena_bytes_reused(&self) -> usize {
+        0
+    }
+    /// Re-optimizations the engine replayed from an orbit-mate's exact
+    /// cost (`0` for engines without orbit sharing).
+    fn orbit_replays(&self) -> usize {
+        0
+    }
+    /// Branches/results the engine merged into their orbit representative
+    /// (`0` for engines without modulo-symmetry).
+    fn orbits_merged(&self) -> usize {
         0
     }
     /// The message of a contained worker-pool task failure that aborted
@@ -1237,6 +1318,10 @@ where
         .filter(|c| c.is_finite())
         .map(|c| c.value());
     stats.arena_bytes_reused = engine.arena_bytes_reused();
+    stats.subproblems_replayed = engine.orbit_replays();
+    stats.orbits_merged = engine.orbits_merged();
+    metrics.orbit_replays.add(stats.subproblems_replayed as u64);
+    metrics.nodes_pruned.add(stats.nodes_pruned as u64);
     stats.total = started.elapsed();
     if emit_span.is_active() {
         emit_span.attr("results", stats.results.to_string());
@@ -1301,6 +1386,20 @@ impl<K: BagCost + Sync + ?Sized> SessionEngine for Engine<'_, '_, K> {
             Engine::Sequential(e) => e.arena_bytes_reused(),
             // Reported by the worker pool (see the session's parallel path).
             Engine::Parallel(_) => 0,
+        }
+    }
+
+    fn orbit_replays(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.orbit_replays(),
+            Engine::Parallel(e) => e.orbit_replays(),
+        }
+    }
+
+    fn orbits_merged(&self) -> usize {
+        match self {
+            Engine::Sequential(e) => e.orbits_merged(),
+            Engine::Parallel(e) => e.orbits_merged(),
         }
     }
 

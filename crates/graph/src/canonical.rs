@@ -39,7 +39,8 @@
 //! edgeless graphs short-circuit to the identity order.
 
 use crate::graph::Graph;
-use crate::vertexset::Vertex;
+use crate::vertexset::{Vertex, VertexSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Upper bound on explored leaves of the individualization–refinement
@@ -443,6 +444,352 @@ impl Search<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The automorphism group
+// ---------------------------------------------------------------------------
+
+/// Cap on the breadth-first set-orbit closure used by
+/// [`AutGroup::canonicalize_vertex_set`]. Orbits of the vertex sets that
+/// arise in enumeration (separators, constraint families) are tiny — at
+/// most the group order, usually far less — but a set orbit under a large
+/// symmetric group can be `C(n, k)`-sized, so the walk is budgeted. Within
+/// budget the result is the exact orbit minimum; beyond it, a
+/// deterministic best-effort representative.
+const SET_ORBIT_CAP: usize = 4096;
+
+/// `n!` as a saturating `u128` (saturates from `n = 35`).
+fn factorial_saturating(n: usize) -> u128 {
+    (2..=n as u128).fold(1u128, |acc, k| acc.saturating_mul(k))
+}
+
+fn identity_perm(n: usize) -> Vec<Vertex> {
+    (0..n as u32).collect()
+}
+
+fn is_identity_perm(p: &[Vertex]) -> bool {
+    p.iter().enumerate().all(|(i, &image)| image as usize == i)
+}
+
+/// `(a ∘ b)[v] = a[b[v]]` — apply `b` first, then `a`.
+fn compose_perms(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    b.iter().map(|&v| a[v as usize]).collect()
+}
+
+fn invert_perm(p: &[Vertex]) -> Vec<Vertex> {
+    let mut inv = vec![0 as Vertex; p.len()];
+    for (v, &image) in p.iter().enumerate() {
+        inv[image as usize] = v as Vertex;
+    }
+    inv
+}
+
+/// One level of a Schreier–Sims stabilizer chain: a base point, the
+/// generators known to fix all earlier base points, and the transversal
+/// mapping each point of the base point's orbit to a coset representative.
+struct ChainLevel {
+    point: usize,
+    gens: Vec<Vec<Vertex>>,
+    transversal: BTreeMap<usize, Vec<Vertex>>,
+}
+
+/// Deterministic incremental Schreier–Sims. Sifting every discovered
+/// generator (and, recursively, every Schreier generator) through the
+/// chain makes each level's generator set generate the full stabilizer of
+/// the earlier base points, so the product of transversal sizes is the
+/// exact order of the generated group (orbit–stabilizer theorem).
+struct StabChain {
+    n: usize,
+    levels: Vec<ChainLevel>,
+}
+
+impl StabChain {
+    fn new(n: usize) -> Self {
+        StabChain {
+            n,
+            levels: Vec::new(),
+        }
+    }
+
+    fn order(&self) -> u128 {
+        self.levels.iter().fold(1u128, |acc, level| {
+            acc.saturating_mul(level.transversal.len() as u128)
+        })
+    }
+
+    /// Reduces `g` through the chain. `Some((level, residue))` when the
+    /// reduced permutation escapes the transversal at `level`; `None` when
+    /// `g` is already in the generated group.
+    fn strip(&self, mut g: Vec<Vertex>) -> Option<(usize, Vec<Vertex>)> {
+        for (i, level) in self.levels.iter().enumerate() {
+            let image = g[level.point] as usize;
+            match level.transversal.get(&image) {
+                Some(rep) => g = compose_perms(&invert_perm(rep), &g),
+                None => return Some((i, g)),
+            }
+        }
+        if is_identity_perm(&g) {
+            None
+        } else {
+            Some((self.levels.len(), g))
+        }
+    }
+
+    fn insert(&mut self, g: Vec<Vertex>) {
+        let Some((level, residue)) = self.strip(g) else {
+            return;
+        };
+        if level == self.levels.len() {
+            let point = residue
+                .iter()
+                .enumerate()
+                .find(|&(v, &image)| image as usize != v)
+                .map(|(v, _)| v)
+                .expect("a non-identity residue moves some point");
+            let mut transversal = BTreeMap::new();
+            transversal.insert(point, identity_perm(self.n));
+            self.levels.push(ChainLevel {
+                point,
+                gens: Vec::new(),
+                transversal,
+            });
+        }
+        self.levels[level].gens.push(residue);
+        // The residue fixes every earlier base point, so it is a member of
+        // each earlier level's stabilizer as well — and although it fixes
+        // those base points, it can still extend their orbits through
+        // other orbit members. Every level up to the insertion point must
+        // therefore be rebuilt, deepest first.
+        for i in (0..=level).rev() {
+            self.rebuild(i);
+        }
+    }
+
+    /// Recomputes the orbit/transversal at `level` and sifts the Schreier
+    /// generators. The stabilizer of the first `level` base points is
+    /// generated by this level's residues *plus every deeper level's* —
+    /// deeper residues fix more base points, hence also the first `level`
+    /// of them — so the orbit walk must range over all of them.
+    fn rebuild(&mut self, level: usize) {
+        let point = self.levels[level].point;
+        let gens: Vec<Vec<Vertex>> = self.levels[level..]
+            .iter()
+            .flat_map(|l| l.gens.iter().cloned())
+            .collect();
+        let mut transversal: BTreeMap<usize, Vec<Vertex>> = BTreeMap::new();
+        transversal.insert(point, identity_perm(self.n));
+        let mut frontier = vec![point];
+        while let Some(delta) = frontier.pop() {
+            let rep = transversal[&delta].clone();
+            for s in &gens {
+                let image = s[delta] as usize;
+                if let std::collections::btree_map::Entry::Vacant(e) = transversal.entry(image) {
+                    e.insert(compose_perms(s, &rep));
+                    frontier.push(image);
+                }
+            }
+        }
+        let mut schreier = Vec::new();
+        for (&delta, rep) in &transversal {
+            for s in &gens {
+                let image = s[delta] as usize;
+                let lift = compose_perms(s, rep);
+                let sg = compose_perms(&invert_perm(&transversal[&image]), &lift);
+                if !is_identity_perm(&sg) {
+                    schreier.push(sg);
+                }
+            }
+        }
+        self.levels[level].transversal = transversal;
+        for sg in schreier {
+            self.insert(sg);
+        }
+    }
+}
+
+/// The automorphism group of a graph, as discovered by the
+/// individualization–refinement search of [`Graph::canonical_form`].
+///
+/// The generators are the automorphisms recorded at certificate-equal
+/// leaves of the search. When the search completes within its leaf budget
+/// these generate the full automorphism group; on a budget-truncated
+/// search they generate a subgroup. Every consumer in this workspace
+/// (orbit-canonical subproblem keys, modulo-symmetry dedup, branch
+/// pruning) is sound for an arbitrary subgroup — a smaller group merely
+/// merges fewer orbits — so the API reports the *discovered* group
+/// honestly rather than promising `Aut(G)`.
+#[derive(Clone, Debug)]
+pub struct AutGroup {
+    n: u32,
+    generators: Vec<Vec<Vertex>>,
+    order: u128,
+    orbits: Vec<Vec<Vertex>>,
+}
+
+impl AutGroup {
+    fn from_generators(n: u32, mut generators: Vec<Vec<Vertex>>, order: Option<u128>) -> AutGroup {
+        generators.retain(|g| !is_identity_perm(g));
+        generators.sort_unstable();
+        generators.dedup();
+        let order = order.unwrap_or_else(|| {
+            let mut chain = StabChain::new(n as usize);
+            for g in &generators {
+                chain.insert(g.clone());
+            }
+            chain.order()
+        });
+        let mut sets = DisjointSets::new(n as usize);
+        for g in &generators {
+            for (v, &image) in g.iter().enumerate() {
+                sets.union(v, image as usize);
+            }
+        }
+        let mut by_root: BTreeMap<usize, Vec<Vertex>> = BTreeMap::new();
+        for v in 0..n as usize {
+            by_root.entry(sets.find(v)).or_default().push(v as Vertex);
+        }
+        let orbits = by_root.into_values().collect();
+        AutGroup {
+            n,
+            generators,
+            order,
+            orbits,
+        }
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The discovered generators, each as `g[v] = image of v`. Identity
+    /// permutations are never included, so a trivial (discovered) group
+    /// has no generators.
+    pub fn generators(&self) -> &[Vec<Vertex>] {
+        &self.generators
+    }
+
+    /// Exact order of the group *generated by the discovered generators*
+    /// (Schreier–Sims), saturating at `u128::MAX`.
+    pub fn order(&self) -> u128 {
+        self.order
+    }
+
+    /// Whether no non-trivial automorphism was discovered.
+    pub fn is_trivial(&self) -> bool {
+        self.generators.is_empty()
+    }
+
+    /// The vertex orbits of the discovered group, each sorted increasing,
+    /// ordered by smallest member. A trivial group has `n` singleton
+    /// orbits.
+    pub fn vertex_orbits(&self) -> &[Vec<Vertex>] {
+        &self.orbits
+    }
+
+    /// Number of vertex orbits (`n` for a trivial group, `1` for a
+    /// vertex-transitive discovered group).
+    pub fn orbit_count(&self) -> usize {
+        self.orbits.len()
+    }
+
+    /// Explicitly enumerates the group elements (including the identity)
+    /// by breadth-first closure of the generators. Returns `None` when the
+    /// group has more than `cap` elements — callers that need the list
+    /// bounded (e.g. per-subproblem canonicalization) pick the cap.
+    pub fn elements(&self, cap: usize) -> Option<Vec<Vec<Vertex>>> {
+        let id = identity_perm(self.n as usize);
+        let mut seen: Vec<Vec<Vertex>> = vec![id.clone()];
+        let mut frontier = vec![id];
+        while let Some(p) = frontier.pop() {
+            for g in &self.generators {
+                let q = compose_perms(g, &p);
+                if !seen.contains(&q) {
+                    if seen.len() >= cap {
+                        return None;
+                    }
+                    seen.push(q.clone());
+                    frontier.push(q);
+                }
+            }
+        }
+        seen.sort_unstable();
+        Some(seen)
+    }
+
+    /// The lexicographically smallest image of `s` under the discovered
+    /// group — a canonical representative of the set's orbit, suitable as
+    /// a dedup/cache key (`canonicalize_vertex_set(σ(s)) ==
+    /// canonicalize_vertex_set(s)` for every discovered `σ`).
+    ///
+    /// Computed by closing the set's orbit under the generators, which is
+    /// bounded by the orbit size, not the group order. The walk is capped
+    /// (at 4096 visited images); past the cap the result is deterministic
+    /// for the given input but may not be the global orbit minimum.
+    pub fn canonicalize_vertex_set(&self, s: &VertexSet) -> VertexSet {
+        if self.generators.is_empty() {
+            return s.clone();
+        }
+        let mut best = s.clone();
+        let mut seen: Vec<VertexSet> = vec![s.clone()];
+        let mut frontier = vec![s.clone()];
+        while let Some(cur) = frontier.pop() {
+            for g in &self.generators {
+                let image = VertexSet::from_iter(s.universe(), cur.iter().map(|v| g[v as usize]));
+                if !seen.contains(&image) {
+                    if seen.len() >= SET_ORBIT_CAP {
+                        return best;
+                    }
+                    if image < best {
+                        best = image.clone();
+                    }
+                    seen.push(image.clone());
+                    frontier.push(image);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Graph {
+    /// Discovers the automorphism group of the graph by running the same
+    /// budgeted individualization–refinement search as
+    /// [`Graph::canonical_form`] and collecting the automorphisms recorded
+    /// at certificate-equal leaves. See [`AutGroup`] for the discovered-
+    /// subgroup caveat; complete and edgeless graphs short-circuit to the
+    /// full symmetric group.
+    pub fn automorphisms(&self) -> AutGroup {
+        let n = self.n() as usize;
+        if n <= 1 {
+            return AutGroup::from_generators(self.n(), Vec::new(), Some(1));
+        }
+        let complete = self.m() == n * (n - 1) / 2;
+        if complete || self.m() == 0 {
+            // Every permutation is an automorphism: generate S_n by
+            // adjacent transpositions instead of burning the search budget.
+            let generators: Vec<Vec<Vertex>> = (0..n - 1)
+                .map(|i| {
+                    let mut p = identity_perm(n);
+                    p.swap(i, i + 1);
+                    p
+                })
+                .collect();
+            return AutGroup::from_generators(self.n(), generators, Some(factorial_saturating(n)));
+        }
+        let mut search = Search {
+            graph: self,
+            n,
+            best_cert: None,
+            best_order: Vec::new(),
+            generators: Vec::new(),
+            leaves: 0,
+        };
+        let initial = refine(self, initial_coloring(self));
+        search.explore(initial, &mut Vec::new());
+        AutGroup::from_generators(self.n(), search.generators, None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +973,153 @@ mod tests {
         let one = Graph::new(1);
         let form = one.canonical_form();
         assert_eq!(form.order, vec![0]);
+    }
+
+    #[test]
+    fn aut_group_orders_of_known_graphs() {
+        // Path P3: exactly the end-swap, order 2, orbits {0,2},{1}.
+        let p3 = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let aut = p3.automorphisms();
+        assert_eq!(aut.order(), 2);
+        assert_eq!(aut.orbit_count(), 2);
+        assert!(!aut.is_trivial());
+        // C4: dihedral group of order 8, vertex-transitive.
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let aut = c4.automorphisms();
+        assert_eq!(aut.order(), 8);
+        assert_eq!(aut.orbit_count(), 1);
+        // C6: dihedral group of order 12.
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(c6.automorphisms().order(), 12);
+        // Complete graph short-circuit: S_5, order 120, one orbit.
+        let k5 = Graph::complete(5);
+        let aut = k5.automorphisms();
+        assert_eq!(aut.order(), 120);
+        assert_eq!(aut.orbit_count(), 1);
+        // Edgeless short-circuit.
+        assert_eq!(Graph::new(4).automorphisms().order(), 24);
+        // An asymmetric graph: trivial group, singleton orbits.
+        // P5 plus a vertex hung off {1, 2}: the leaf 0 sits on a degree-3
+        // vertex, the leaf 4 on a degree-2 vertex, which forces every
+        // degree-preserving map to the identity.
+        let asym = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (2, 5)]);
+        let aut = asym.automorphisms();
+        assert_eq!(aut.order(), 1);
+        assert!(aut.is_trivial());
+        assert_eq!(aut.orbit_count(), 6);
+        // Tiny graphs.
+        assert_eq!(Graph::new(0).automorphisms().order(), 1);
+        assert_eq!(Graph::new(1).automorphisms().order(), 1);
+    }
+
+    #[test]
+    fn aut_group_order_divides_known_order_on_transitive_graphs() {
+        // Petersen: |Aut| = 120; the 3-cube: |Aut| = 48. The discovered
+        // group is allowed to be a subgroup (see AutGroup docs), but its
+        // order must divide the true order and must be non-trivial on
+        // graphs this symmetric.
+        let petersen = Graph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9),
+            ],
+        );
+        let aut = petersen.automorphisms();
+        assert!(aut.order() > 1);
+        assert_eq!(
+            120 % aut.order(),
+            0,
+            "order {} must divide 120",
+            aut.order()
+        );
+        assert_eq!(aut.orbit_count(), 1, "Petersen is vertex-transitive");
+    }
+
+    #[test]
+    fn aut_order_matches_element_closure_on_the_cube() {
+        // Regression: the stabilizer chain used to compute each level's
+        // orbit from that level's own residues only, ignoring deeper
+        // levels' — which also fix the earlier base points and can extend
+        // the orbit. On Q3 that undercounted the order as 32, which is
+        // not even a divisor of |Aut(Q3)| = 48. The chain's product must
+        // equal the size of the generators' explicit closure.
+        let mut edges = vec![];
+        for u in 0u32..8 {
+            for b in 0..3 {
+                let v = u ^ (1 << b);
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let aut = Graph::from_edges(8, &edges).automorphisms();
+        let elements = aut.elements(512).expect("|Aut(Q3)| fits the cap");
+        assert_eq!(aut.order(), elements.len() as u128);
+        assert_eq!(aut.order(), 48);
+    }
+
+    #[test]
+    fn aut_generators_are_automorphisms() {
+        let g = paper_example_graph();
+        let aut = g.automorphisms();
+        for gen in aut.generators() {
+            for (u, v) in g.edges() {
+                assert!(
+                    g.has_edge(gen[u as usize], gen[v as usize]),
+                    "generator {gen:?} does not preserve edge ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aut_elements_closure_and_cap() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let aut = c4.automorphisms();
+        let elements = aut.elements(64).expect("order 8 fits the cap");
+        assert_eq!(elements.len(), 8);
+        assert!(elements.iter().any(|p| is_identity_perm(p)));
+        assert!(aut.elements(4).is_none(), "cap must be honored");
+        // Trivial group: just the identity.
+        let p2 = Graph::from_edges(3, &[(0, 1)]);
+        let singleton = Graph::from_edges(3, &[(0, 1)]).automorphisms();
+        let _ = p2;
+        assert!(singleton.elements(8).is_some());
+    }
+
+    #[test]
+    fn canonicalize_vertex_set_is_orbit_invariant() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let aut = c6.automorphisms();
+        let elements = aut.elements(64).expect("order 12 fits");
+        let s = VertexSet::from_slice(6, &[0, 2]);
+        let canon = aut.canonicalize_vertex_set(&s);
+        for sigma in &elements {
+            let image = VertexSet::from_iter(6, s.iter().map(|v| sigma[v as usize]));
+            assert_eq!(
+                aut.canonicalize_vertex_set(&image),
+                canon,
+                "σ-image {image:?} canonicalized differently"
+            );
+        }
+        // The canonical form is itself a member of the orbit.
+        assert!(elements
+            .iter()
+            .any(|sigma| VertexSet::from_iter(6, s.iter().map(|v| sigma[v as usize])) == canon));
     }
 
     #[test]

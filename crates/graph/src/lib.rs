@@ -29,7 +29,7 @@ pub mod hypergraph;
 pub mod io;
 pub mod vertexset;
 
-pub use canonical::{CanonicalForm, CanonicalKey};
+pub use canonical::{AutGroup, CanonicalForm, CanonicalKey};
 pub use graph::Graph;
 pub use hypergraph::Hypergraph;
 pub use vertexset::{Vertex, VertexSet};

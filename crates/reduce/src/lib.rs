@@ -344,6 +344,83 @@ mod tests {
     }
 
     #[test]
+    fn per_atom_orbit_sharing_is_exact_on_glued_graph() {
+        use mtr_core::SymmetryPolicy;
+        let g = glued();
+        // Each C4 atom is a 4-cycle with automorphism group of order 8, so
+        // the per-atom probes fire even though they change nothing
+        // observable: the merged stream must be bit-for-bit identical.
+        let off = Enumerate::on(&g)
+            .cost(&FillIn)
+            .symmetry(SymmetryPolicy::Off)
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        for threads in [1, 4] {
+            let shared = Enumerate::on(&g)
+                .cost(&FillIn)
+                .reduce(ReductionLevel::Full)
+                .threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(costs(&off), costs(&shared), "threads {threads}");
+            assert_eq!(fill_sets(&g, &off), fill_sets(&g, &shared));
+            assert_eq!(shared.stats.atoms, 3);
+            // The factorized path never probes the whole graph: the
+            // session-level group order reads as trivial by design.
+            assert_eq!(shared.stats.symmetry_group_order, 1);
+        }
+    }
+
+    #[test]
+    fn modulo_symmetry_falls_back_to_direct_engine() {
+        use mtr_core::SymmetryPolicy;
+        // Two C5 lobes sharing the cut vertex 0: the cut vertex is a clique
+        // separator (two atoms), but the whole graph's automorphisms swap
+        // the lobes — a quotient the per-atom product stream cannot see,
+        // so modulo mode must bypass the factorized engine entirely.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (0, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 0),
+            ],
+        );
+        let reduced = Enumerate::on(&g)
+            .cost(&FillIn)
+            .symmetry(SymmetryPolicy::ModuloSymmetry)
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        assert_eq!(reduced.stats.atoms, 0, "modulo quotients whole graphs");
+        let direct = Enumerate::on(&g)
+            .cost(&FillIn)
+            .symmetry(SymmetryPolicy::ModuloSymmetry)
+            .run()
+            .unwrap();
+        assert_eq!(costs(&direct), costs(&reduced));
+        assert_eq!(fill_sets(&g, &direct), fill_sets(&g, &reduced));
+        let full = Enumerate::on(&g)
+            .cost(&FillIn)
+            .reduce(ReductionLevel::Full)
+            .run()
+            .unwrap();
+        assert!(
+            reduced.results.len() < full.results.len(),
+            "one representative per orbit is a strict quotient here"
+        );
+        assert!(reduced.stats.orbits_merged > 0);
+    }
+
+    #[test]
     fn chordal_graph_reduces_to_single_trivial_result() {
         let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let run = Enumerate::on(&path)

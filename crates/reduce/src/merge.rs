@@ -47,7 +47,9 @@ use mtr_cache::{AtomKey, AtomStore, CacheEntry, CachedPrefix};
 use mtr_chordal::{maximal_cliques_chordal, minimal_separators_from_cliques};
 use mtr_core::cost::{AtomCombine, BagCost, CostValue};
 use mtr_core::pool::{Scratch, WorkerPool};
-use mtr_core::{heuristic_incumbent, CancelFlag, Preprocessed, RankedState, RankedTriangulation};
+use mtr_core::{
+    heuristic_incumbent, CancelFlag, OrbitContext, Preprocessed, RankedState, RankedTriangulation,
+};
 use mtr_graph::{Graph, Vertex};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -108,7 +110,7 @@ enum AtomEngine {
     /// lags `cached.len()` while replaying over a seeded prefix.
     Ranked {
         pre: Box<Preprocessed>,
-        state: RankedState,
+        state: Box<RankedState>,
         produced: usize,
     },
 }
@@ -139,6 +141,13 @@ pub(crate) struct AtomStream {
     /// (exact — the emitted stream is identical either way). Set before the
     /// first pull; a lazily materialized engine picks it up too.
     prune: bool,
+    /// Orbit-canonical sharing of constrained re-optimizations inside this
+    /// stream's own search (exact — the emitted stream is identical either
+    /// way). The automorphism probe runs against the *stream* graph, so
+    /// isomorphic-atom grouping and per-atom symmetry compose. Same arming
+    /// discipline as `prune`: set before the first pull, re-armed when a
+    /// lazy engine materializes.
+    share_orbits: bool,
     /// Cooperative cancellation: when raised, [`AtomStream::ensure`] bails
     /// out *without* marking the stream exhausted, so a partial prefix is
     /// still publishable (as incomplete) and never poisons the store.
@@ -159,7 +168,7 @@ impl AtomStream {
         AtomStream::with_engine(
             AtomEngine::Ranked {
                 pre: Box::new(pre),
-                state: RankedState::new(),
+                state: Box::new(RankedState::new()),
                 produced: 0,
             },
             key,
@@ -208,6 +217,7 @@ impl AtomStream {
             was_complete: false,
             key,
             prune: false,
+            share_orbits: false,
             cancel: None,
         }
     }
@@ -233,10 +243,32 @@ impl AtomStream {
         }
     }
 
+    /// Enables orbit-canonical subproblem sharing on this stream's own
+    /// enumeration when the stream graph has a nontrivial automorphism
+    /// group. Call before the first pull; seeded (lazy) streams arm their
+    /// engine when (and if) demand materializes it.
+    pub(crate) fn enable_orbit_sharing(&mut self) {
+        self.share_orbits = true;
+        if let AtomEngine::Ranked { pre, state, .. } = &mut self.engine {
+            if let Some(ctx) = OrbitContext::probe(pre.graph()) {
+                state.enable_orbit_sharing(ctx);
+            }
+        }
+    }
+
     /// Re-optimizations the stream's own pruning deferred and never paid.
     fn nodes_pruned(&self) -> usize {
         match &self.engine {
             AtomEngine::Ranked { state, .. } => state.nodes_pruned(),
+            _ => 0,
+        }
+    }
+
+    /// Constrained re-optimizations this stream served from an
+    /// orbit-equivalent sibling instead of running the DP.
+    fn orbit_replays(&self) -> usize {
+        match &self.engine {
+            AtomEngine::Ranked { state, .. } => state.orbit_replays(),
             _ => 0,
         }
     }
@@ -382,9 +414,14 @@ impl AtomStream {
                 if self.prune {
                     state.enable_pruning(heuristic_incumbent(pre.graph(), cost, width_bound));
                 }
+                if self.share_orbits {
+                    if let Some(ctx) = OrbitContext::probe(pre.graph()) {
+                        state.enable_orbit_sharing(ctx);
+                    }
+                }
                 self.engine = AtomEngine::Ranked {
                     pre: Box::new(pre),
-                    state,
+                    state: Box::new(state),
                     produced: 0,
                 };
             }
@@ -598,6 +635,14 @@ impl<'a, 'p, K: BagCost + Sync + ?Sized> FactorizedEnumerator<'a, 'p, K> {
     /// The current global incumbent bound, if pruning is active.
     pub(crate) fn incumbent(&self) -> Option<CostValue> {
         self.incumbent
+    }
+
+    /// Constrained re-optimizations the per-atom streams served from
+    /// orbit-equivalent siblings instead of running the DP.
+    pub(crate) fn orbit_replays(&self) -> usize {
+        (0..self.streams.len())
+            .map(|g| self.stream(g).orbit_replays())
+            .sum()
     }
 
     /// Scratch bytes served from the per-stream enumeration arenas.
@@ -917,6 +962,10 @@ impl<K: BagCost + Sync + ?Sized> mtr_core::SessionEngine for FactorizedEnumerato
 
     fn nodes_pruned(&self) -> usize {
         self.nodes_pruned()
+    }
+
+    fn orbit_replays(&self) -> usize {
+        self.orbit_replays()
     }
 
     fn incumbent_cost(&self) -> Option<CostValue> {

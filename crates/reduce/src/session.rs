@@ -83,6 +83,7 @@ use mtr_core::session::{
     drive_engine, heuristic_incumbent, CachePolicy, Enumerate, EnumerationError, EnumerationRun,
     EnumerationStats, PruningPolicy, SessionConfig, SessionReport, StopReason,
 };
+use mtr_core::symmetry::SymmetryPolicy;
 use mtr_graph::Graph;
 use mtr_pmc::enumerate::{
     potential_maximal_cliques_bounded_with_deadline, potential_maximal_cliques_with_deadline,
@@ -173,6 +174,17 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         self
     }
 
+    /// Symmetry policy (mirrors [`Enumerate::symmetry`], so the knob can
+    /// be chained after `.reduce(..)` too). `Full` arms orbit-canonical
+    /// subproblem sharing inside every per-atom stream (probing each
+    /// stream graph's own automorphisms); `ModuloSymmetry` falls back to
+    /// the direct engine, because a whole-graph automorphism may permute
+    /// atoms — a quotient the per-atom product stream cannot see.
+    pub fn symmetry(mut self, policy: SymmetryPolicy) -> Self {
+        self.config.symmetry = policy;
+        self
+    }
+
     /// Cooperative cancellation flag (mirrors [`Enumerate::cancel_flag`]):
     /// raising it stops the merge and every per-atom stream at their next
     /// demand boundary with [`StopReason::Cancelled`], and the run
@@ -250,7 +262,13 @@ impl<'a, K: BagCost + Sync + ?Sized> Reduced<'a, K> {
         // engine, so the thread count is never dropped on a fallback.
         let combine = config.cost().atom_combine();
         let graph = config.graph();
-        let applicable = level != ReductionLevel::Off && combine.is_some() && graph.is_some();
+        // Modulo-symmetry quotients by the automorphism group of the *whole*
+        // graph, which the per-atom product stream cannot see (an
+        // automorphism may permute atoms); the direct engine handles it.
+        let applicable = level != ReductionLevel::Off
+            && combine.is_some()
+            && graph.is_some()
+            && config.symmetry != SymmetryPolicy::ModuloSymmetry;
         if !applicable {
             return Enumerate::from_config(config).drive(on_result);
         }
@@ -394,6 +412,10 @@ impl StatsContext {
             atom_cache_misses: self.cache_misses,
             atoms_deduped: self.atoms_deduped,
             cache_bytes: self.cache_bytes(),
+            // No whole-graph probe on the factorized path: symmetry lives
+            // per atom here, so the session-level group order reads as
+            // trivial (the per-stream probes feed `subproblems_replayed`).
+            symmetry_group_order: 1,
             ..EnumerationStats::default()
         }
     }
@@ -534,6 +556,16 @@ where
     if prune {
         for stream in &mut streams {
             stream.enable_pruning(config.cost(), width_bound);
+        }
+    }
+
+    // Per-atom symmetry: each stream graph gets its own automorphism probe
+    // (an atom often keeps local symmetry even when the whole graph has
+    // none). Exact — the merged stream is identical either way — and only
+    // sound for label-invariant costs, same gate as the direct engine.
+    if config.symmetry != SymmetryPolicy::Off && config.cost().label_invariant() {
+        for stream in &mut streams {
+            stream.enable_orbit_sharing();
         }
     }
 

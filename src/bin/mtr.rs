@@ -45,7 +45,7 @@ use ranked_triangulations::cache::{self, AtomStore, StoreStats, DEFAULT_BYTE_BUD
 use ranked_triangulations::chordal::{self, clique_tree, write_td};
 use ranked_triangulations::core::{
     Enumerate, EnumerationError, EnumerationRun, EnumerationStats, PruningPolicy,
-    RankedTriangulation, SimilarityMeasure, StopReason,
+    RankedTriangulation, SimilarityMeasure, StopReason, SymmetryPolicy,
 };
 use ranked_triangulations::fault;
 use ranked_triangulations::graph::{io, Graph};
@@ -81,6 +81,7 @@ struct Options {
     cache: bool,
     cache_dir: Option<PathBuf>,
     no_prune: bool,
+    symmetry: SymmetryPolicy,
     stats_json: bool,
     emit_td: Option<PathBuf>,
     bounds: bool,
@@ -115,6 +116,7 @@ fn usage() -> &'static str {
      \x20          [--top <k>] [--width-bound <b>] [--threads <t>] [--diverse <threshold>]\n\
      \x20          [--deadline <secs>] [--node-budget <n>] [--reduce off|components|full]\n\
      \x20          [--cache] [--cache-dir <directory>] [--no-prune]\n\
+     \x20          [--modulo-symmetry] [--no-symmetry]\n\
      \x20          [--stats-json] [--emit-td <directory>] [--bounds] [--trace-json <path>]\n\
      \x20          [--fault <spec>]\n\
      \x20      mtr atoms <graph-file|-> [--format pace|dimacs|edges] [--reduce components|full]\n\
@@ -133,6 +135,9 @@ fn usage() -> &'static str {
      \x20      --cache-dir additionally persists atom prefixes across runs\n\
      \x20      --no-prune disables incumbent-bounded branch pruning (on by default;\n\
      \x20      pruning never changes the results, only the work performed)\n\
+     \x20      --modulo-symmetry emits one representative per automorphism orbit of\n\
+     \x20      minimal triangulations (for label-invariant costs); --no-symmetry also\n\
+     \x20      disables the exact orbit-sharing of subproblems that is on by default\n\
      \x20      --trace-json records every span and event as JSONL (see docs/OBSERVABILITY.md);\n\
      \x20      --slow-ms logs requests whose first result took longer than the threshold;\n\
      \x20      --max-session-ms cancels any served session running past the cap;\n\
@@ -172,6 +177,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache: false,
         cache_dir: None,
         no_prune: false,
+        symmetry: SymmetryPolicy::default(),
         stats_json: false,
         emit_td: None,
         bounds: false,
@@ -242,6 +248,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?));
             }
             "--no-prune" => opts.no_prune = true,
+            "--modulo-symmetry" => opts.symmetry = SymmetryPolicy::ModuloSymmetry,
+            "--no-symmetry" => opts.symmetry = SymmetryPolicy::Off,
             "--stats-json" => opts.stats_json = true,
             "--emit-td" => opts.emit_td = Some(PathBuf::from(value("--emit-td")?)),
             "--bounds" => opts.bounds = true,
@@ -359,6 +367,7 @@ fn enumerate(
     if opts.no_prune {
         session = session.pruning(PruningPolicy::Off);
     }
+    session = session.symmetry(opts.symmetry);
     // `ReductionLevel::Off` transparently runs the direct engine, so the
     // session can always go through the reduction layer. A cached session
     // attaches the explicitly resolved store (rather than a CachePolicy)
@@ -450,8 +459,12 @@ fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
         groups.entry(key).or_default().push(i);
     }
     for (i, atom) in dec.atoms.iter().enumerate() {
+        // The discovered automorphism group of the atom itself: its order
+        // bounds the per-atom subproblem sharing, and the orbit count shows
+        // how interchangeable the atom's vertices are (n orbits = rigid).
+        let aut = atom.graph.automorphisms();
         println!(
-            "atom #{i}: {} vertices, {} edges, {} canonical {} {}",
+            "atom #{i}: {} vertices, {} edges, {} canonical {} aut |G|={} orbits={} {}",
             atom.graph.n(),
             atom.graph.m(),
             if atom.chordal {
@@ -460,6 +473,8 @@ fn run_atoms(g: &Graph, opts: &Options) -> Result<(), CliError> {
                 "non-chordal"
             },
             keys[i],
+            aut.order(),
+            aut.orbit_count(),
             format_vertices(&atom.vertices)
         );
     }
@@ -630,6 +645,19 @@ fn run_inner(opts: &Options) -> Result<(), CliError> {
             stats
                 .incumbent_cost
                 .map_or_else(|| "none".into(), |c| format!("{c}"))
+        );
+    }
+    if stats.symmetry_group_order > 1 || stats.orbits_merged > 0 || stats.subproblems_replayed > 0 {
+        println!(
+            "symmetry: discovered group order {}, {} subproblems replayed, {} orbits merged{}",
+            stats.symmetry_group_order,
+            stats.subproblems_replayed,
+            stats.orbits_merged,
+            if opts.symmetry == SymmetryPolicy::ModuloSymmetry {
+                " (one representative per orbit)"
+            } else {
+                ""
+            }
         );
     }
     if stats.effective_threads > 1 {
@@ -1334,8 +1362,13 @@ mod tests {
         assert!(json.contains("\"incumbent_cost\": "));
         assert!(json.contains("\"arena_bytes_reused\": "));
         assert!(json.contains("\"delays_ms\": ["));
-        // Exactly one top-level object: no stray braces from the format.
-        assert_eq!(json.matches('{').count(), 1);
+        assert!(json.contains("\"symmetry\": {\"group_order\": "));
+        assert!(json.contains("\"orbits_merged\": "));
+        assert!(json.contains("\"subproblems_replayed\": "));
+        // The top-level object plus the nested symmetry object: no stray
+        // braces from the format.
+        assert_eq!(json.matches('{').count(), 2);
+        assert_eq!(json.matches('}').count(), 2);
     }
 
     #[test]
@@ -1357,6 +1390,41 @@ mod tests {
         let json = stats_json(&plain.stats, plain.stop_reason, None);
         assert!(json.contains("\"nodes_pruned\": 0"));
         assert!(json.contains("\"incumbent_cost\": null"));
+    }
+
+    #[test]
+    fn symmetry_flags_parse_and_quotient_the_stream() {
+        let defaults = parse_args(&args(&["g.gr"])).unwrap();
+        assert_eq!(defaults.symmetry, SymmetryPolicy::Full);
+        let off = parse_args(&args(&["g.gr", "--no-symmetry"])).unwrap();
+        assert_eq!(off.symmetry, SymmetryPolicy::Off);
+        let modulo = parse_args(&args(&["g.gr", "--modulo-symmetry"])).unwrap();
+        assert_eq!(modulo.symmetry, SymmetryPolicy::ModuloSymmetry);
+        // The atoms subcommand takes neither.
+        assert!(parse_args(&args(&["atoms", "g.gr", "--modulo-symmetry"])).is_err());
+        assert!(usage().contains("--modulo-symmetry"));
+
+        // End to end on C6: 14 minimal triangulations, 3 up to rotation
+        // and reflection — and the stats surface the quotient.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let full = parse_args(&args(&["g", "--cost", "fill", "--top", "20"])).unwrap();
+        let (all, _) = enumerate(&g, &full).unwrap();
+        assert_eq!(all.results.len(), 14);
+        assert_eq!(all.stats.symmetry_group_order, 12);
+        let opts = parse_args(&args(&[
+            "g",
+            "--cost",
+            "fill",
+            "--top",
+            "20",
+            "--modulo-symmetry",
+        ]))
+        .unwrap();
+        let (quotient, _) = enumerate(&g, &opts).unwrap();
+        assert_eq!(quotient.results.len(), 3);
+        assert!(quotient.stats.orbits_merged > 0);
+        let json = stats_json(&quotient.stats, quotient.stop_reason, None);
+        assert!(json.contains("\"symmetry\": {\"group_order\": 12"));
     }
 
     #[test]
